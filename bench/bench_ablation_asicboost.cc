@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: the ASICBoost one-time algorithmic gain (Section IV-E).
+ *
+ * "Aside from ASICBoost that delivered a one-time 20% improvement by
+ * parallelizing the inner and outer loops in the algorithm, most
+ * miners operate in a brute-force and parallelized manner."
+ *
+ * We schedule the real double-SHA256 mining DFG (derived from FIPS
+ * 180-4, see crypto::Sha256) with and without the shared-schedule
+ * optimization across CMOS nodes, showing the gain is algorithmic
+ * (CMOS-independent) and non-recurring.
+ */
+
+#include <iostream>
+
+#include "aladdin/simulator.hh"
+#include "bench_common.hh"
+#include "dfg/analysis.hh"
+#include "kernels/btc.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Ablation", "ASICBoost: the confined-computation "
+                              "ceiling of Bitcoin mining");
+    bench::note("the mining DFG is two chained SHA-256 compressions; "
+                "its serial 64-round recurrence bounds specialization; "
+                "sharing the second chunk's message schedule "
+                "(ASICBoost) is the one known algorithmic win, "
+                "~15-20%, once.");
+
+    dfg::Graph plain = kernels::makeBtc(false);
+    dfg::Graph boosted = kernels::makeBtc(true);
+    dfg::Analysis pa = dfg::analyze(plain);
+    dfg::Analysis ba = dfg::analyze(boosted);
+
+    std::cout << "plain:     |V|=" << pa.num_nodes << " depth="
+              << pa.depth << " compute="
+              << plain.countIf(dfg::isCompute) << '\n';
+    std::cout << "asicboost: |V|=" << ba.num_nodes << " depth="
+              << ba.depth << " compute="
+              << boosted.countIf(dfg::isCompute) << '\n';
+    double node_saving =
+        1.0 - static_cast<double>(boosted.countIf(dfg::isCompute)) /
+                  static_cast<double>(plain.countIf(dfg::isCompute));
+    std::cout << "compute-node saving: " << fmtPercent(node_saving)
+              << " (paper: one-time ~20%)\n\n";
+
+    aladdin::Simulator sim_plain(std::move(plain));
+    aladdin::Simulator sim_boost(std::move(boosted));
+
+    Table t({"Node", "Plain energy/nonce [pJ]", "Boost energy [pJ]",
+             "Energy saving", "Plain cycles", "Boost cycles"});
+    for (double node : {45.0, 22.0, 10.0, 5.0}) {
+        aladdin::DesignPoint dp;
+        dp.node_nm = node;
+        dp.partition = 4;
+        dp.simplification = 1;
+        auto rp = sim_plain.run(dp);
+        auto rb = sim_boost.run(dp);
+        t.addRow({fmtNode(node), fmtFixed(rp.energy_pj, 0),
+                  fmtFixed(rb.energy_pj, 0),
+                  fmtPercent(1.0 - rb.energy_pj / rp.energy_pj),
+                  std::to_string(rp.cycles),
+                  std::to_string(rb.cycles)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nThe saving is CMOS-independent (same percentage on "
+                 "every node) and cannot be applied twice: the "
+                 "remaining DFG is the fixed SHA-256 recurrence — the "
+                 "accelerator wall for a confined computation.\n";
+    return 0;
+}

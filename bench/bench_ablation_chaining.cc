@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: computation heterogeneity (operation chaining) across CMOS
+ * nodes — the mechanism behind Figure 13's "performance still improves
+ * for newer CMOS nodes, since functional units are faster, and more
+ * computation units are fused and scheduled in a cycle".
+ */
+
+#include <iostream>
+
+#include "aladdin/simulator.hh"
+#include "bench_common.hh"
+#include "kernels/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Ablation", "Operation chaining x CMOS node");
+    bench::note("chaining gains compound with process speed: faster "
+                "gates fit more dependent logic levels into the fixed "
+                "1 GHz cycle. Serial kernels (NWN) benefit most; "
+                "latency-dominated FP kernels less.");
+
+    Table t({"Kernel", "Node", "Runtime nohet [us]", "Runtime het [us]",
+             "Speedup", "Fused ops"});
+    for (const char *abbrev : {"NWN", "AES", "RED", "S3D", "BTC"}) {
+        aladdin::Simulator sim(kernels::makeKernel(abbrev));
+        for (double node : {45.0, 14.0, 5.0}) {
+            aladdin::DesignPoint dp;
+            dp.node_nm = node;
+            dp.partition = 16;
+            dp.chaining = false;
+            auto plain = sim.run(dp);
+            dp.chaining = true;
+            auto fused = sim.run(dp);
+            t.addRow({abbrev, fmtNode(node),
+                      fmtFixed(plain.runtime_ns / 1e3, 3),
+                      fmtFixed(fused.runtime_ns / 1e3, 3),
+                      fmtGain(plain.runtime_ns / fused.runtime_ns, 2),
+                      std::to_string(fused.fused_ops)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

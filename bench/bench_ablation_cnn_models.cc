@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: model size and the FPGA gains disparity (Section IV-C).
+ *
+ * The paper attributes VGG-16's smaller FPGA gains to its size: ~3x
+ * the parameters and ~20x the operations per image of AlexNet. We
+ * compute both from the real topologies and show per-layer where the
+ * weight pressure concentrates.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "nn/layers.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+void
+printModel(const char *name, const std::vector<nn::Layer> &layers)
+{
+    std::cout << "--- " << name << " ---\n";
+    Table t({"Layer", "Output", "MACs [M]", "Params [M]",
+             "Activations [K]"});
+    for (const auto &layer : layers) {
+        nn::LayerCost c = nn::layerCost(layer);
+        t.addRow({layer.name,
+                  std::to_string(c.out_w) + "x" +
+                      std::to_string(c.out_h),
+                  fmtFixed(c.macs / 1e6, 1), fmtFixed(c.params / 1e6, 2),
+                  fmtFixed(c.activations / 1e3, 0)});
+    }
+    nn::ModelCost total = nn::modelCost(layers);
+    t.addRow({"TOTAL", "-", fmtFixed(total.total_macs / 1e6, 0),
+              fmtFixed(total.total_params / 1e6, 1),
+              fmtFixed(total.total_activations / 1e3, 0)});
+    t.print(std::cout);
+    std::cout << "GOP/image: " << fmtFixed(total.gops_per_image, 2)
+              << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "CNN model sizes behind the Figure 8 "
+                              "disparity");
+    bench::note("VGG-16 vs AlexNet: ~3x the data, ~20x the operations "
+                "per image — the size that 'stresses FPGA resources' "
+                "and caps VGG's specialization gains.");
+
+    printModel("AlexNet", nn::alexnetLayers());
+    printModel("VGG-16", nn::vgg16Layers());
+
+    nn::ModelCost alex = nn::modelCost(nn::alexnetLayers());
+    nn::ModelCost vgg = nn::modelCost(nn::vgg16Layers());
+    std::cout << "VGG-16 / AlexNet: operations "
+              << fmtGain(vgg.total_macs / alex.total_macs, 1)
+              << " (paper: ~20x), parameters "
+              << fmtGain(vgg.total_params / alex.total_params, 1)
+              << " (paper: ~3x)\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: dark silicon — the fraction of fabricated transistors a
+ * power envelope lets switch, across nodes and die sizes. The
+ * mechanism behind Figure 3d's capped large-chip gains and the
+ * "old nodes more appealing under a restricted TDP" observation.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "potential/model.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using potential::ChipSpec;
+using potential::PotentialModel;
+
+int
+main()
+{
+    bench::banner("Ablation", "Dark silicon: active transistor "
+                              "fraction under fixed envelopes");
+    bench::note("active / fabricated transistors at 1 GHz. Leakage of "
+                "all fabricated devices charges against the envelope "
+                "first; on dense nodes large dies go fully dark.");
+
+    PotentialModel model;
+    for (double tdp : {50.0, 200.0, 800.0}) {
+        std::cout << "TDP " << fmtFixed(tdp, 0) << "W:\n";
+        Table t({"Die \\ Node", "45nm", "28nm", "16nm", "10nm", "7nm",
+                 "5nm"});
+        for (double die : {50.0, 200.0, 800.0}) {
+            std::vector<std::string> row = {fmtFixed(die, 0) + "mm2"};
+            for (double node : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
+                ChipSpec spec{node, die, 1.0, tdp};
+                double frac = model.activeTransistors(spec) /
+                              model.areaTransistors(spec);
+                row.push_back(fmtPercent(frac));
+            }
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // The crossover the paper describes: for each die size under a
+    // tight envelope, which node maximizes efficiency potential?
+    std::cout << "Best-efficiency node per die size at 100W:\n";
+    Table best({"Die [mm2]", "Best node", "Efficiency vs 45nm"});
+    for (double die : {25.0, 100.0, 400.0, 800.0}) {
+        double best_eff = 0.0, best_node = 45.0;
+        ChipSpec ref{45.0, die, 1.0, 100.0};
+        for (double node : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
+            ChipSpec spec{node, die, 1.0, 100.0};
+            double eff = model.energyEfficiency(spec);
+            if (eff > best_eff) {
+                best_eff = eff;
+                best_node = node;
+            }
+        }
+        best.addRow({fmtFixed(die, 0), fmtNode(best_node),
+                     fmtGain(best_eff / model.energyEfficiency(ref),
+                             1)});
+    }
+    best.print(std::cout);
+    return 0;
+}

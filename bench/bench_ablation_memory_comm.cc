@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: memory and communication specialization concepts (Table I
+ * rows 1-6, Table II's MEM/COMM columns) applied in the simulator.
+ *
+ * Sweeps the 3x3 (memory x communication) concept grid per kernel:
+ * simple/banked/heterogeneous memory against FIFO/concurrent/DMA
+ * fabrics, showing the Table II tradeoff empirically — heterogeneity
+ * buys time at space (area/leakage) cost, simplification the reverse,
+ * and the winner depends on the kernel's access pattern.
+ */
+
+#include <iostream>
+
+#include "aladdin/simulator.hh"
+#include "bench_common.hh"
+#include "kernels/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using aladdin::CommMode;
+using aladdin::DesignPoint;
+using aladdin::MemoryMode;
+using aladdin::Simulator;
+
+int
+main()
+{
+    bench::banner("Ablation", "Memory x communication concept grid");
+    bench::note("TRD streams root loads (DMA shines); SMV's indirect "
+                "accesses conflict in striped banks (heterogeneous "
+                "layout shines); NWN is latency-bound (the FIFO's "
+                "forwarding cycle hurts most).");
+
+    const MemoryMode mems[] = {MemoryMode::Simple, MemoryMode::Banked,
+                               MemoryMode::Heterogeneous};
+    const CommMode comms[] = {CommMode::Fifo, CommMode::Concurrent,
+                              CommMode::Dma};
+
+    for (const char *abbrev : {"TRD", "SMV", "NWN", "S3D"}) {
+        Simulator sim(kernels::makeKernel(abbrev));
+        std::cout << "--- " << abbrev << " (P=16, 14nm) ---\n";
+        Table t({"Memory \\ Comm", "fifo", "concurrent", "dma"});
+        Table a({"Memory \\ Comm (area um2)", "fifo", "concurrent",
+                 "dma"});
+        for (MemoryMode mem : mems) {
+            std::vector<std::string> row = {
+                aladdin::memoryModeName(mem)};
+            std::vector<std::string> arow = {
+                aladdin::memoryModeName(mem)};
+            for (CommMode comm : comms) {
+                DesignPoint dp;
+                dp.node_nm = 14.0;
+                dp.partition = 16;
+                dp.memory = mem;
+                dp.comm = comm;
+                auto res = sim.run(dp);
+                row.push_back(fmtFixed(res.runtime_ns / 1e3, 3) + "us");
+                arow.push_back(fmtSi(res.area_um2, 1));
+            }
+            t.addRow(row);
+            a.addRow(arow);
+        }
+        t.print(std::cout);
+        a.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}

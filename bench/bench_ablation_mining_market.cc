@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: the mining market over time — Section IV-D's platform
+ * transitions reproduced endogenously from network growth, electricity
+ * prices, and the chip dataset's physics.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hh"
+#include "economics/mining_market.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Ablation", "Mining-market platform transitions");
+    bench::note("as network hashrate compounds, revenue per GH/s "
+                "collapses; platforms drop out in order (CPU, GPU, "
+                "FPGA) and the energy share of revenue becomes the "
+                "dominating factor — the paper's Section IV-D story.");
+
+    auto epochs = economics::simulateMarket();
+    Table t({"Year", "Network GH/s", "$ / GH/s / day", "Best chip",
+             "Payback [days]", "Energy share", "Profitable platforms"});
+    for (const auto &epoch : epochs) {
+        std::string platforms;
+        for (auto p : epoch.profitable_platforms) {
+            if (!platforms.empty())
+                platforms += ",";
+            platforms += chipdb::platformName(p);
+        }
+        t.addRow({fmtFixed(epoch.year, 2), fmtSi(epoch.network_ghs, 1),
+                  fmtSi(epoch.usd_per_ghs_day, 1), epoch.best.chip,
+                  std::isinf(epoch.best.payback_days)
+                      ? "never"
+                      : fmtFixed(epoch.best.payback_days, 1),
+                  fmtPercent(epoch.best.energy_cost_share), platforms});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation: the TPU roofline — where AlexNet's and VGG-16's layers sit
+ * between the weight-bandwidth slope and the 92-TOPS compute roof, and
+ * how the ridge moves with Table I's simplification (operand width)
+ * and memory (bandwidth) choices.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "nn/layers.hh"
+#include "plot/ascii_chart.hh"
+#include "roofline/roofline.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using roofline::machineRoofline;
+using roofline::placeLayer;
+using roofline::placeModel;
+using roofline::Regime;
+using roofline::Roofline;
+
+int
+main()
+{
+    bench::banner("Ablation", "TPU roofline placement");
+    bench::note("attainable TOPS = min(92, intensity x 30 GB/s); FC "
+                "layers sit deep in the memory-bound slope, large "
+                "convolutions on the roof — the quantitative backdrop "
+                "of Table I's concepts.");
+
+    Roofline roof = machineRoofline(tpu::TpuConfig::tpuV1());
+    std::cout << "peak " << fmtFixed(roof.peak_tops, 1)
+              << " TOPS, bandwidth " << fmtFixed(roof.bandwidth_gbs, 0)
+              << " GB/s, ridge at " << fmtFixed(roof.ridge_intensity, 0)
+              << " op/B\n\n";
+
+    Table t({"Workload", "Intensity [op/B]", "Attainable [TOPS]",
+             "Regime", "% of peak"});
+    plot::ChartConfig cfg;
+    cfg.width = 64;
+    cfg.height = 14;
+    cfg.x_scale = plot::Scale::Log10;
+    cfg.y_scale = plot::Scale::Log10;
+    cfg.title = "Roofline (x: op/B, y: TOPS)";
+    plot::AsciiChart chart(cfg);
+    plot::Series roofline_series{"roofline", '-', {}, {}};
+    for (double i = 0.5; i <= 1e5; i *= 2.0) {
+        roofline_series.xs.push_back(i);
+        roofline_series.ys.push_back(roof.attainable(i));
+    }
+    plot::Series layers{"layers", 'o', {}, {}};
+
+    auto add = [&](const roofline::Placement &p) {
+        t.addRow({p.name, fmtFixed(p.intensity, 1),
+                  fmtFixed(p.attainable_tops, 2),
+                  p.regime == Regime::ComputeBound ? "compute"
+                                                   : "memory",
+                  fmtPercent(p.peak_fraction)});
+        layers.xs.push_back(p.intensity);
+        layers.ys.push_back(p.attainable_tops);
+    };
+
+    for (const auto &layer : nn::alexnetLayers()) {
+        if (layer.kind != nn::LayerKind::Pool)
+            add(placeLayer(roof, layer, 8));
+    }
+    add(placeModel(roof, "AlexNet (total)", nn::alexnetLayers(), 8));
+    add(placeModel(roof, "VGG-16 (total)", nn::vgg16Layers(), 8));
+    t.print(std::cout);
+    std::cout << '\n';
+
+    chart.addSeries(std::move(roofline_series));
+    chart.addSeries(std::move(layers));
+    chart.print(std::cout);
+
+    std::cout << "\nMoving the ridge: operand width (simplification) "
+                 "and weight bandwidth (memory):\n";
+    Table r({"Config", "Ridge [op/B]", "AlexNet attainable [TOPS]"});
+    for (double bw : {15.0, 30.0, 120.0}) {
+        tpu::TpuConfig cfg2 = tpu::TpuConfig::tpuV1();
+        cfg2.weight_bw_gbs = bw;
+        Roofline rf = machineRoofline(cfg2);
+        auto p = placeModel(rf, "AlexNet", nn::alexnetLayers(), 8);
+        r.addRow({"BW " + fmtFixed(bw, 0) + " GB/s",
+                  fmtFixed(rf.ridge_intensity, 0),
+                  fmtFixed(p.attainable_tops, 2)});
+    }
+    r.print(std::cout);
+    return 0;
+}

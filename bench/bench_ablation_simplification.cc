@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: the simplification-degree sweep — energy falls with
+ * datapath narrowing until the deep-pipelining regime adds latency and
+ * register overhead (Figure 13's "highest simplification degree that
+ * does not cause diminishing returns").
+ */
+
+#include <iostream>
+
+#include "aladdin/fu_library.hh"
+#include "aladdin/simulator.hh"
+#include "bench_common.hh"
+#include "kernels/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Ablation", "Simplification degree: energy vs "
+                              "latency");
+    bench::note("degrees 1..10 narrow the datapath (energy down, "
+                "runtime flat); 11..13 deep-pipeline the units "
+                "(chaining disabled, dependent chains stretch).");
+
+    Table t({"Kernel", "Degree", "Width [b]", "Runtime [us]",
+             "Energy [nJ]", "Efficiency [GOP/J]"});
+    for (const char *abbrev : {"GMM", "NWN"}) {
+        aladdin::Simulator sim(kernels::makeKernel(abbrev));
+        for (int degree : {1, 4, 7, 10, 11, 13}) {
+            aladdin::DesignPoint dp;
+            dp.node_nm = 14.0;
+            dp.partition = 16;
+            dp.simplification = degree;
+            auto res = sim.run(dp);
+            t.addRow({abbrev, std::to_string(degree),
+                      std::to_string(
+                          aladdin::simplifiedWidth(degree)),
+                      fmtFixed(res.runtime_ns / 1e3, 3),
+                      fmtFixed(res.energy_pj / 1e3, 2),
+                      fmtFixed(res.efficiency_opj / 1e9, 1)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

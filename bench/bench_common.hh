@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared presentation helpers for the figure-regeneration benches. Each
+ * bench prints the same rows/series the corresponding paper figure
+ * plots, with a banner tying it back to the paper.
+ */
+
+#ifndef ACCELWALL_BENCH_COMMON_HH
+#define ACCELWALL_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+namespace accelwall::bench
+{
+
+/** Print a figure banner: id, title, and what the paper reported. */
+inline void
+banner(const std::string &figure, const std::string &title)
+{
+    std::string head = "=== " + figure + ": " + title + " ===";
+    std::cout << '\n'
+              << std::string(head.size(), '=') << '\n'
+              << head << '\n'
+              << std::string(head.size(), '=') << "\n\n";
+}
+
+/** Print a paper-reference note under the banner. */
+inline void
+note(const std::string &text)
+{
+    std::cout << "paper: " << text << "\n\n";
+}
+
+} // namespace accelwall::bench
+
+#endif // ACCELWALL_BENCH_COMMON_HH

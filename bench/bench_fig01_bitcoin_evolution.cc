@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 1: evolution of Bitcoin mining ASIC chips — per-area
+ * performance, transistor (physical) performance, and chip
+ * specialization return over introduction dates, normalized to the
+ * first 130nm ASIC.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "csr/csr.hh"
+#include "plot/ascii_chart.hh"
+#include "potential/model.hh"
+#include "studies/bitcoin.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Figure 1", "Evolution of Bitcoin mining ASIC chips");
+    bench::note("performance (hashes/s/mm2) improved ~510x while "
+                "transistor performance improved ~307x, leaving CSR "
+                "~1.7x that stopped improving in the last two years.");
+
+    potential::PotentialModel model;
+    auto asics = studies::miningAsics();
+    auto series =
+        csr::csrSeries(studies::miningChipGains(asics, false), model,
+                       csr::Metric::AreaThroughput);
+
+    Table t({"Date", "Chip", "Node", "GH/s/mm2", "Performance",
+             "Transistor perf", "CSR"});
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const auto &chip = asics[i];
+        const auto &pt = series[i];
+        t.addRow({fmtFixed(chip.year, 1), chip.label,
+                  fmtNode(chip.node_nm),
+                  fmtFixed(chip.ghs / chip.area_mm2, 3),
+                  fmtGain(pt.rel_gain, 1), fmtGain(pt.rel_phy, 1),
+                  fmtGain(pt.csr, 2)});
+    }
+    t.print(std::cout);
+
+    const auto &last = series.back();
+    std::cout << "\nEndpoint: performance " << fmtGain(last.rel_gain, 1)
+              << ", transistor performance " << fmtGain(last.rel_phy, 1)
+              << ", CSR " << fmtGain(last.csr, 2)
+              << "  (paper: 510x / 307.4x / ~1.66x)\n\n";
+
+    // The figure itself: relative performance over introduction dates,
+    // log y-axis, with the transistor-performance and CSR series.
+    plot::ChartConfig cfg;
+    cfg.width = 68;
+    cfg.height = 16;
+    cfg.y_scale = plot::Scale::Log10;
+    cfg.x_plain_ticks = true; // year axis
+    cfg.title = "Relative performance vs introduction date "
+                "(normalized to the 130nm ASIC)";
+    cfg.x_label = "introduction date [year]";
+    plot::AsciiChart chart(cfg);
+    plot::Series perf{"performance", 'P', {}, {}};
+    plot::Series phy{"transistor performance", 'T', {}, {}};
+    plot::Series csr_series{"chip specialization return", 'C', {}, {}};
+    for (const auto &pt : series) {
+        perf.xs.push_back(pt.year);
+        perf.ys.push_back(pt.rel_gain);
+        phy.xs.push_back(pt.year);
+        phy.ys.push_back(pt.rel_phy);
+        csr_series.xs.push_back(pt.year);
+        csr_series.ys.push_back(pt.csr);
+    }
+    chart.addSeries(std::move(phy));
+    chart.addSeries(std::move(csr_series));
+    chart.addSeries(std::move(perf));
+    chart.print(std::cout);
+    return 0;
+}

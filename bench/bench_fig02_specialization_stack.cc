@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 2: the specialization stack, quantified. The paper's figure
+ * is a taxonomy; this bench turns it into numbers by attributing each
+ * case study's cumulative gain across the stack layers (physical via
+ * the potential model, the rest via annotated generational steps).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "potential/model.hh"
+#include "stack/stack.hh"
+#include "studies/bitcoin.hh"
+#include "studies/fpga.hh"
+#include "studies/video.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using stack::attributeStack;
+using stack::Breakdown;
+using stack::Layer;
+using stack::Step;
+
+namespace
+{
+
+void
+addRow(Table &t, const char *study, const Breakdown &bd)
+{
+    auto share = [&](Layer layer) {
+        auto it = bd.share.find(layer);
+        return fmtPercent(it == bd.share.end() ? 0.0 : it->second);
+    };
+    t.addRow({study, fmtGain(bd.total_gain, 0),
+              share(Layer::Physical), share(Layer::Platform),
+              share(Layer::Algorithm), share(Layer::Framework),
+              share(Layer::Engineering)});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 2", "The specialization stack, quantified "
+                              "per case study");
+    bench::note("gain = physical x specialization-stack layers "
+                "(Eq. 2). Platform transitions carry Bitcoin; the "
+                "algorithm layer carries the emerging CNN domain; "
+                "mature video decoding is nearly all physics.");
+
+    potential::PotentialModel model;
+    Table t({"Study", "Total gain", "%Physical", "%Platform",
+             "%Algorithm", "%Framework", "%Engineering"});
+
+    // Bitcoin: annotate platform boundaries.
+    {
+        auto chips =
+            studies::miningChipGains(studies::miningChips(), false);
+        const auto &raw = studies::miningChips();
+        std::vector<Step> steps;
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            Step step{chips[i], {}};
+            if (i > 0 && raw[i].platform != raw[i - 1].platform)
+                step.changed.push_back(Layer::Platform);
+            steps.push_back(std::move(step));
+        }
+        addRow(t, "Bitcoin (GH/s/mm2)",
+               attributeStack(steps, model,
+                              csr::Metric::AreaThroughput));
+    }
+
+    // Video decoders: all steps are engineering (same ASIC platform,
+    // standardized codecs).
+    {
+        std::vector<Step> steps;
+        for (auto &chip : studies::videoChipGains(false))
+            steps.push_back({std::move(chip), {}});
+        addRow(t, "Video decode (MPix/s)",
+               attributeStack(steps, model, csr::Metric::Throughput));
+    }
+
+    // FPGA AlexNet: published designs compete on algorithms and
+    // frameworks (OpenCL GEMM, Winograd, RTL compilers).
+    {
+        std::vector<Step> steps;
+        auto chips = studies::fpgaChipGains(
+            studies::fpgaDesignsFor("AlexNet"), false);
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            Step step{chips[i], {}};
+            if (i > 0)
+                step.changed = {Layer::Algorithm, Layer::Framework};
+            steps.push_back(std::move(step));
+        }
+        addRow(t, "FPGA AlexNet (GOPS)",
+               attributeStack(steps, model, csr::Metric::Throughput));
+    }
+
+    t.print(std::cout);
+    std::cout << "\nShares are of cumulative log-gain and sum to 100% "
+                 "per row (negative = the layer regressed).\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 3a: CMOS device scaling, 45nm..5nm — relative leakage power,
+ * capacitance, VDD, frequency, and dynamic power per node.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cmos/scaling.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Figure 3a", "CMOS device scaling (relative to 45nm)");
+    bench::note("Stillmaker & Baas scaling equations + IRDS 5nm; all "
+                "device quantities improve monotonically toward 5nm.");
+
+    const auto &scaling = cmos::ScalingTable::instance();
+    Table t({"Node", "Leakage power", "Capacitance", "VDD",
+             "Frequency gain", "Dynamic power"});
+    for (double node : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
+        t.addRow({fmtNode(node),
+                  fmtFixed(scaling.leakagePower(node), 3),
+                  fmtFixed(scaling.capacitanceRel(node), 3),
+                  fmtFixed(scaling.vddRel(node), 3),
+                  fmtGain(scaling.frequencyGain(node), 2),
+                  fmtFixed(scaling.dynamicPower(node), 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nFull tabulated range (oldest to newest):\n";
+    Table full({"Node", "VDD [V]", "Gate delay", "Cap/gate",
+                "Leak/transistor", "Dyn energy/op", "Density gain"});
+    for (double node : scaling.nodes()) {
+        const auto &p = scaling.at(node);
+        full.addRow({fmtNode(node), fmtFixed(p.vdd, 2),
+                     fmtFixed(p.gate_delay, 2),
+                     fmtFixed(p.capacitance, 2),
+                     fmtFixed(p.leakage, 3),
+                     fmtFixed(scaling.dynamicEnergy(node), 3),
+                     fmtGain(scaling.densityGain(node), 2)});
+    }
+    full.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 3b: transistor count given area and CMOS node. Re-derives the
+ * paper's regression TC(D) = 4.99e9 * D^0.877 from the (synthetic)
+ * datasheet corpus and prints the fitted curve over the figure's D
+ * range alongside per-node-band sample counts.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "chipdb/budget.hh"
+#include "chipdb/synth.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Figure 3b", "Transistor count vs density factor "
+                               "D = area/node^2");
+    bench::note("TC(D) = 4.99e9 * D^0.877 fit over 1612 CPU + 1001 GPU "
+                "datasheets.");
+
+    auto corpus = chipdb::makeSynthCorpus();
+    auto fit = chipdb::fitAreaModel(corpus);
+
+    std::cout << "corpus: " << corpus.size() << " records\n";
+    std::cout << "fitted: TC(D) = " << fmtSi(fit.coeff, 2) << " * D^"
+              << fmtFixed(fit.exponent, 3) << "  (R^2 = "
+              << fmtFixed(fit.r2, 3) << ")\n";
+    std::cout << "paper:  TC(D) = 4.99G * D^0.877\n\n";
+
+    // The figure's node bands (legend: 16nm-12nm, 40nm-20nm, 80nm-45nm,
+    // 180nm-90nm).
+    std::map<std::string, int> bands;
+    for (const auto &rec : corpus) {
+        if (rec.transistors <= 0.0)
+            continue;
+        if (rec.node_nm <= 16.0)
+            ++bands["16nm-12nm"];
+        else if (rec.node_nm <= 40.0)
+            ++bands["40nm-20nm"];
+        else if (rec.node_nm <= 80.0)
+            ++bands["80nm-45nm"];
+        else
+            ++bands["180nm-90nm"];
+    }
+    Table bt({"Node band", "Samples"});
+    for (const auto &[band, count] : bands)
+        bt.addRow({band, std::to_string(count)});
+    bt.print(std::cout);
+
+    std::cout << "\nFitted curve over the figure's axis:\n";
+    Table t({"D [mm^2/nm^2]", "TC (fit)", "TC (paper law)"});
+    chipdb::BudgetModel paper_law;
+    for (double d = 0.01; d <= 100.0; d *= 10.0) {
+        t.addRow({fmtFixed(d, 2), fmtSi(fit(d), 2),
+                  fmtSi(paper_law.areaTransistors(d * 25.0, 5.0), 2)});
+        // note: area = D * node^2 with node=5nm gives D directly.
+    }
+    t.print(std::cout);
+
+    std::cout << "\nLarge 5nm chips (D=32, 800mm^2): "
+              << fmtSi(fit(32.0), 2)
+              << " transistors (paper: approaching 100G, not all "
+                 "usable)\n";
+    return 0;
+}

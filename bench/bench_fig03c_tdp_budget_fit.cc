@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 3c: transistors x frequency given TDP, per node group.
+ * Re-derives the four power-envelope regressions from the synthetic
+ * corpus and prints the fitted curves over the figure's TDP axis.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "chipdb/budget.hh"
+#include "chipdb/synth.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Figure 3c", "Transistor budget given frequency and "
+                               "TDP, per node group");
+    bench::note("paper fits: 10nm-5nm 2.15*TDP^0.402; 22nm-12nm "
+                "0.49*TDP^0.557; 32nm-28nm 0.11*TDP^0.729; 55nm-40nm "
+                "0.02*TDP^0.869 [B transistors * GHz]");
+
+    auto corpus = chipdb::makeSynthCorpus();
+    chipdb::BudgetModel canonical;
+
+    Table t({"Node group", "Fitted coeff", "Fitted exp", "Paper coeff",
+             "Paper exp", "R^2"});
+    for (const auto &group : canonical.groups()) {
+        if (group.min_node_nm > 55.0)
+            continue; // the paper fits only the four modern groups
+        auto fit = chipdb::fitTdpModel(corpus, group.min_node_nm,
+                                       group.max_node_nm);
+        t.addRow({group.label, fmtFixed(fit.coeff, 3),
+                  fmtFixed(fit.exponent, 3), fmtFixed(group.coeff, 3),
+                  fmtFixed(group.exponent, 3), fmtFixed(fit.r2, 3)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nBudget curves over the figure's axis "
+                 "[B transistors x GHz]:\n";
+    Table c({"TDP [W]", "10nm-5nm", "22nm-12nm", "32nm-28nm",
+             "55nm-40nm"});
+    for (double tdp : {24.0, 60.0, 120.0, 300.0, 600.0}) {
+        c.addRow({fmtFixed(tdp, 0),
+                  fmtFixed(canonical.tdpTransistorGhz(tdp, 7.0) / 1e9, 1),
+                  fmtFixed(canonical.tdpTransistorGhz(tdp, 16.0) / 1e9, 1),
+                  fmtFixed(canonical.tdpTransistorGhz(tdp, 28.0) / 1e9, 1),
+                  fmtFixed(canonical.tdpTransistorGhz(tdp, 45.0) / 1e9,
+                           1)});
+    }
+    c.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 4: video decoder ASICs — performance scaling and CSR (4a),
+ * transistor budget and frequency (4b), energy efficiency and CSR (4c).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "csr/csr.hh"
+#include "plot/ascii_chart.hh"
+#include "potential/model.hh"
+#include "studies/video.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+void
+printSeries(const std::vector<csr::CsrPoint> &series,
+            const char *metric_label)
+{
+    // The paper presents gains "in an ascending manner".
+    std::vector<csr::CsrPoint> sorted = series;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.rel_gain < b.rel_gain;
+              });
+    Table t({"Chip", metric_label, "Physical potential", "CSR"});
+    for (const auto &pt : sorted) {
+        t.addRow({pt.name, fmtGain(pt.rel_gain, 1),
+                  fmtGain(pt.rel_phy, 1), fmtGain(pt.csr, 2)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4", "Video decoder ASICs: performance, "
+                              "budget, and energy efficiency");
+    bench::note("throughput improved up to 64x and efficiency up to 34x "
+                "over ISSCC2006, but CSR plateaued and dips below 1 for "
+                "the best performers; JSSC2017 has ~36x the "
+                "transistors.");
+
+    potential::PotentialModel model;
+
+    std::cout << "(a) Performance scaling and CSR\n";
+    auto perf = csr::csrSeries(studies::videoChipGains(false), model,
+                               csr::Metric::Throughput);
+    printSeries(perf, "MPixels/s gain");
+
+    std::cout << "\n(b) Transistor budget and frequency\n";
+    Table budget({"Chip", "Node", "kGates", "SRAM [KB]",
+                  "Transistors", "Rel. budget", "Freq [MHz]"});
+    double base_tc =
+        studies::videoTransistors(studies::videoDecoderChips().front());
+    for (const auto &chip : studies::videoDecoderChips()) {
+        double tc = studies::videoTransistors(chip);
+        budget.addRow({chip.label, fmtNode(chip.node_nm),
+                       fmtFixed(chip.kgates, 0),
+                       fmtFixed(chip.sram_kb, 0), fmtSi(tc, 2),
+                       fmtGain(tc / base_tc, 1),
+                       fmtFixed(chip.freq_mhz, 0)});
+    }
+    budget.print(std::cout);
+
+    std::cout << "\n(c) Energy efficiency scaling and CSR\n";
+    auto eff = csr::csrSeries(studies::videoChipGains(true), model,
+                              csr::Metric::EnergyEfficiency);
+    printSeries(eff, "MPixels/J gain");
+
+    auto max_gain = [](const std::vector<csr::CsrPoint> &s) {
+        double best = 0.0;
+        for (const auto &pt : s)
+            best = std::max(best, pt.rel_gain);
+        return best;
+    };
+    std::cout << "\nEndpoints: performance "
+              << fmtGain(max_gain(perf), 1) << " (paper: 64x), "
+              << "efficiency " << fmtGain(max_gain(eff), 1)
+              << " (paper: 34x)\n\n";
+
+    // The figure: ascending gains with the CSR series underneath.
+    plot::ChartConfig cfg;
+    cfg.width = 68;
+    cfg.height = 14;
+    cfg.y_scale = plot::Scale::Log10;
+    cfg.title = "Decoder gains in ascending order (P = perf gain, "
+                "E = eff gain, c/e = CSR)";
+    plot::AsciiChart chart(cfg);
+    auto series_of = [](const std::vector<csr::CsrPoint> &s, char mark,
+                        const char *label, bool csr_axis) {
+        std::vector<csr::CsrPoint> sorted = s;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.rel_gain < b.rel_gain;
+                  });
+        plot::Series out{label, mark, {}, {}};
+        for (std::size_t i = 0; i < sorted.size(); ++i) {
+            out.xs.push_back(static_cast<double>(i));
+            out.ys.push_back(csr_axis ? sorted[i].csr
+                                      : sorted[i].rel_gain);
+        }
+        return out;
+    };
+    chart.addSeries(series_of(perf, 'P', "perf gain", false));
+    chart.addSeries(series_of(eff, 'E', "eff gain", false));
+    chart.addSeries(series_of(perf, 'c', "perf CSR", true));
+    chart.addSeries(series_of(eff, 'e', "eff CSR", true));
+    chart.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7: GPU architecture + CMOS scaling, energy efficiency — the
+ * Figure 6 analysis with frames/J as the gain and efficiency potential
+ * as the physical axis.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "csr/arch_gains.hh"
+#include "potential/model.hh"
+#include "studies/gpu.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main()
+{
+    bench::banner("Figure 7",
+                  "Architecture + CMOS scaling: energy efficiency");
+    bench::note("same structure as Figure 6 with frames/J: first "
+                "architecture on a node dips, CSR band stays ~0.5-2.0 "
+                "while absolute efficiency grows an order of magnitude "
+                "more.");
+
+    csr::ArchGainSolver solver(5);
+    for (const auto &r : studies::gpuBenchmarks())
+        solver.addObservation(r.arch, r.app, r.frames_per_joule);
+    solver.solve();
+
+    potential::PotentialModel model;
+    std::map<std::string, std::pair<double, int>> pots;
+    for (const auto &gpu : studies::gpuChips()) {
+        auto &[log_sum, n] = pots[gpu.arch];
+        log_sum +=
+            std::log(model.energyEfficiency(studies::gpuSpec(gpu)));
+        ++n;
+    }
+    auto phy = [&](const std::string &arch) {
+        const auto &[log_sum, n] = pots.at(arch);
+        return std::exp(log_sum / n);
+    };
+
+    const std::string base = "Tesla";
+    Table t({"Architecture", "Node", "Gain vs Tesla", "Physical",
+             "CSR", "Relation"});
+    for (const auto &arch : studies::gpuArchs()) {
+        double gain = solver.gain(arch.name, base);
+        double rel_phy = phy(arch.name) / phy(base);
+        t.addRow({arch.name, fmtNode(arch.node_nm), fmtGain(gain, 2),
+                  fmtGain(rel_phy, 2), fmtGain(gain / rel_phy, 2),
+                  solver.isDirect(arch.name, base)
+                      ? "direct (Eq.3)"
+                      : "transitive (Eq.4)"});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 8: FPGA implementations of AlexNet and VGG-16 — performance
+ * and CSR (8a), resource utilization and frequency (8b), energy
+ * efficiency and CSR (8c).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "csr/csr.hh"
+#include "potential/model.hh"
+#include "studies/fpga.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+void
+printModel(const std::string &model_name,
+           const potential::PotentialModel &model)
+{
+    auto designs = studies::fpgaDesignsFor(model_name);
+
+    std::cout << "--- " << model_name << " ---\n";
+    std::cout << "(a) Performance and CSR\n";
+    auto perf =
+        csr::csrSeries(studies::fpgaChipGains(designs, false), model,
+                       csr::Metric::Throughput);
+    Table pt({"Design", "Node", "GOPS", "Gain", "CSR"});
+    std::vector<std::size_t> order(designs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return perf[a].rel_gain < perf[b].rel_gain;
+    });
+    for (std::size_t i : order) {
+        pt.addRow({designs[i].label, fmtNode(designs[i].node_nm),
+                   fmtFixed(designs[i].gops, 1),
+                   fmtGain(perf[i].rel_gain, 1),
+                   fmtGain(perf[i].csr, 2)});
+    }
+    pt.print(std::cout);
+
+    std::cout << "\n(b) Resource utilization and frequency\n";
+    Table ut({"Design", "%LUTs", "%DSPs", "%BRAMs", "Freq [MHz]"});
+    for (std::size_t i : order) {
+        const auto &d = designs[i];
+        ut.addRow({d.label, fmtFixed(d.lut_pct, 0),
+                   fmtFixed(d.dsp_pct, 0), fmtFixed(d.bram_pct, 0),
+                   fmtFixed(d.freq_mhz, 0)});
+    }
+    ut.print(std::cout);
+
+    std::cout << "\n(c) Energy efficiency and CSR\n";
+    auto eff = csr::csrSeries(studies::fpgaChipGains(designs, true),
+                              model, csr::Metric::EnergyEfficiency);
+    Table et({"Design", "GOPS/J", "Gain", "CSR"});
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return eff[a].rel_gain < eff[b].rel_gain;
+    });
+    for (std::size_t i : order) {
+        et.addRow({designs[i].label,
+                   fmtFixed(designs[i].gops / designs[i].tdp_w, 1),
+                   fmtGain(eff[i].rel_gain, 1),
+                   fmtGain(eff[i].csr, 2)});
+    }
+    et.print(std::cout);
+
+    auto max_gain = [](const std::vector<csr::CsrPoint> &s) {
+        double best = 0.0;
+        for (const auto &p : s)
+            best = std::max(best, p.rel_gain);
+        return best;
+    };
+    std::cout << "\nEndpoints: perf " << fmtGain(max_gain(perf), 1)
+              << ", eff " << fmtGain(max_gain(eff), 1) << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 8", "FPGA CNN implementations (AlexNet and "
+                              "VGG-16)");
+    bench::note("AlexNet improved ~24x (perf) / ~14x (eff); VGG-16 ~9x "
+                "/ ~7x; CSR improved by up to ~6x (emerging domain) but "
+                "not between the best designs; 20nm parts beat 28nm.");
+
+    potential::PotentialModel model;
+    printModel("AlexNet", model);
+    printModel("VGG-16", model);
+    return 0;
+}

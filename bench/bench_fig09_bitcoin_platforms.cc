@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 9: Bitcoin mining across CPU/GPU/FPGA/ASIC platforms — per
+ * area performance (9a) and energy efficiency (9b) with CSR, versus the
+ * Athlon 64 CPU miner.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "csr/csr.hh"
+#include "plot/ascii_chart.hh"
+#include "potential/model.hh"
+#include "studies/bitcoin.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+void
+printSeries(bool efficiency, const potential::PotentialModel &model)
+{
+    auto chips = studies::miningChips();
+    auto series = csr::csrSeries(
+        studies::miningChipGains(chips, efficiency), model,
+        efficiency ? csr::Metric::EnergyEfficiency
+                   : csr::Metric::AreaThroughput);
+
+    Table t({"Chip", "Platform", "Node",
+             efficiency ? "GH/J" : "GH/s/mm2", "Gain", "Physical",
+             "CSR"});
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const auto &c = chips[i];
+        double value = efficiency ? c.ghs / c.watts
+                                  : c.ghs / c.area_mm2;
+        t.addRow({c.label, chipdb::platformName(c.platform),
+                  fmtNode(c.node_nm), fmtFixed(value, 5),
+                  fmtGain(series[i].rel_gain, 1),
+                  fmtGain(series[i].rel_phy, 1),
+                  fmtGain(series[i].csr, 1)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9", "Bitcoin mining across CPU/GPU/FPGA/ASIC "
+                              "platforms");
+    bench::note("ASIC gains beat CPUs by orders of magnitude via a "
+                "non-recurring platform-transition CSR boost "
+                "(~600,000x total perf/area, ~600x across ASICs); "
+                "efficiency CSR shows two improvement regions split by "
+                "the 110nm -> 28nm jump.");
+
+    potential::PotentialModel model;
+
+    std::cout << "(a) Performance per area\n";
+    printSeries(false, model);
+
+    std::cout << "\n(b) Energy efficiency\n";
+    printSeries(true, model);
+
+    // The figure: relative gain and CSR per chip, log scale, one
+    // marker per platform.
+    std::cout << '\n';
+    auto chips = studies::miningChips();
+    auto series = csr::csrSeries(
+        studies::miningChipGains(chips, false), model,
+        csr::Metric::AreaThroughput);
+    plot::ChartConfig cfg;
+    cfg.width = 68;
+    cfg.height = 18;
+    cfg.y_scale = plot::Scale::Log10;
+    cfg.x_plain_ticks = true;
+    cfg.title = "Per-area mining gain vs date (C/G/F/A = platform; "
+                "c = CSR)";
+    plot::AsciiChart chart(cfg);
+    plot::Series csr_series{"CSR", 'c', {}, {}};
+    const struct { chipdb::Platform p; char marker; } plats[] = {
+        { chipdb::Platform::CPU, 'C' },
+        { chipdb::Platform::GPU, 'G' },
+        { chipdb::Platform::FPGA, 'F' },
+        { chipdb::Platform::ASIC, 'A' },
+    };
+    for (const auto &ps : plats) {
+        plot::Series s{chipdb::platformName(ps.p), ps.marker, {}, {}};
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            if (chips[i].platform != ps.p)
+                continue;
+            s.xs.push_back(chips[i].year);
+            s.ys.push_back(series[i].rel_gain);
+            csr_series.xs.push_back(chips[i].year);
+            csr_series.ys.push_back(series[i].csr);
+        }
+        chart.addSeries(std::move(s));
+    }
+    chart.addSeries(std::move(csr_series));
+    chart.print(std::cout);
+    return 0;
+}

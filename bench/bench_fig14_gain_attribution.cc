@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 14: specialization and CMOS accelerator gains — per kernel,
+ * the optimal design's gain over the plain 45nm baseline decomposed
+ * into CMOS saving / heterogeneity / simplification / partitioning,
+ * with the relative gain and CSR, for both performance (14a) and
+ * energy efficiency (14b).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "aladdin/attribution.hh"
+#include "aladdin/simulator.hh"
+#include "bench_common.hh"
+#include "kernels/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using aladdin::Attribution;
+using aladdin::SweepConfig;
+using aladdin::Target;
+
+namespace
+{
+
+void
+printTarget(Target target)
+{
+    Table t({"App", "%CMOS", "%Het", "%Simp", "%Part", "Gain", "CSR",
+             "Best point"});
+    double log_gain_sum = 0.0, log_csr_sum = 0.0;
+    double frac_sums[4] = {0, 0, 0, 0};
+    int n = 0;
+
+    for (const auto &info : kernels::kernelTable()) {
+        aladdin::Simulator sim(kernels::makeKernel(info.abbrev));
+        Attribution a =
+            aladdin::attribute(sim, SweepConfig::paper(), target);
+        t.addRow({info.abbrev, fmtPercent(a.frac_cmos),
+                  fmtPercent(a.frac_heterogeneity),
+                  fmtPercent(a.frac_simplification),
+                  fmtPercent(a.frac_partitioning),
+                  fmtGain(a.total_gain, 1), fmtGain(a.csr, 2),
+                  a.best.str()});
+        log_gain_sum += std::log(a.total_gain);
+        log_csr_sum += std::log(a.csr);
+        frac_sums[0] += a.frac_cmos;
+        frac_sums[1] += a.frac_heterogeneity;
+        frac_sums[2] += a.frac_simplification;
+        frac_sums[3] += a.frac_partitioning;
+        ++n;
+    }
+    t.addRow({"AVG", fmtPercent(frac_sums[0] / n),
+              fmtPercent(frac_sums[1] / n), fmtPercent(frac_sums[2] / n),
+              fmtPercent(frac_sums[3] / n),
+              fmtGain(std::exp(log_gain_sum / n), 1),
+              fmtGain(std::exp(log_csr_sum / n), 2), "-"});
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 14", "Specialization and CMOS accelerator "
+                               "gains per kernel");
+    bench::note("partitioning is the primary performance source; CMOS "
+                "saving dominates energy efficiency; simplification "
+                "saves energy but not runtime; CSR is low because "
+                "CMOS saving and partitioning are CMOS-dependent.");
+
+    std::cout << "(a) Performance\n";
+    printTarget(Target::Performance);
+
+    std::cout << "\n(b) Energy efficiency\n";
+    printTarget(Target::EnergyEfficiency);
+    return 0;
+}

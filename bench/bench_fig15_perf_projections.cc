@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Figure 15: accelerator performance projections — for each domain, the
+ * Pareto frontier of (physical potential, gain) points, the linear and
+ * logarithmic projection fits, and the projected wall at the 5nm limit
+ * chip implied by Table V.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "plot/ascii_chart.hh"
+#include "projection/domains.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using projection::Domain;
+using projection::DomainStudy;
+using projection::projectDomain;
+
+namespace
+{
+
+void
+printDomain(Domain domain, const char *paper_limits)
+{
+    DomainStudy study = projectDomain(domain, false);
+    const auto &p = study.projection;
+
+    std::cout << "--- " << study.params.name << " ("
+              << study.params.platform << ", "
+              << study.params.perf_units << ") ---\n";
+    std::cout << "points: " << study.points.size() << ", frontier: "
+              << p.frontier.size() << "\n";
+    std::cout << "linear fit: gain = " << fmtFixed(p.linear.slope, 3)
+              << "*phy + " << fmtFixed(p.linear.intercept, 2)
+              << " (R^2 " << fmtFixed(p.linear.r2, 3) << ")\n";
+    std::cout << "log fit:    gain = " << fmtFixed(p.log.a, 2)
+              << "*ln(phy) + " << fmtFixed(p.log.b, 2) << " (R^2 "
+              << fmtFixed(p.log.r2, 3) << ")\n";
+    std::cout << "CMOS limit at phy = " << fmtGain(p.phy_limit, 1)
+              << ": log " << fmtSi(p.log_limit, 1) << ", linear "
+              << fmtSi(p.linear_limit, 1) << ' '
+              << study.params.perf_units << "\n";
+    std::cout << "headroom over best chip: log "
+              << fmtGain(p.log_headroom, 1) << ", linear "
+              << fmtGain(p.linear_headroom, 1) << "\n";
+    auto boot = projection::bootstrapProjection(study.points,
+                                                 p.phy_limit);
+    std::cout << "bootstrap 10-90% bands (" << boot.usable
+              << " resamples): linear [" << fmtSi(boot.linear_limit.lo, 1)
+              << ", " << fmtSi(boot.linear_limit.hi, 1) << "], log ["
+              << fmtSi(boot.log_limit.lo, 1) << ", "
+              << fmtSi(boot.log_limit.hi, 1) << "]\n";
+    std::cout << "paper: " << paper_limits << "\n\n";
+
+    // Render the figure panel: observed chips, their Pareto frontier,
+    // and both projections sampled out to the CMOS limit.
+    plot::ChartConfig cfg;
+    cfg.width = 68;
+    cfg.height = 16;
+    cfg.x_scale = plot::Scale::Log10;
+    cfg.y_scale = plot::Scale::Log10;
+    cfg.title = study.params.name + " (x: physical potential, y: " +
+                study.params.perf_units + ")";
+    plot::AsciiChart chart(cfg);
+
+    plot::Series chips{"chips", 'o', {}, {}};
+    for (const auto &pt : study.points) {
+        chips.xs.push_back(pt.x);
+        chips.ys.push_back(pt.y);
+    }
+    plot::Series lin{"linear projection", 'L', {}, {}};
+    plot::Series log_s{"log projection", 'G', {}, {}};
+    for (double x = 1.0; x <= p.phy_limit; x *= 1.8) {
+        // Skip the fits' non-physical negative region near x=1: a log
+        // axis would stretch the whole chart around the clamp.
+        if (p.linear(x) > 0.0) {
+            lin.xs.push_back(x);
+            lin.ys.push_back(p.linear(x));
+        }
+        if (p.log(x) > 0.0) {
+            log_s.xs.push_back(x);
+            log_s.ys.push_back(p.log(x));
+        }
+    }
+    plot::Series wall{"CMOS limit", 'W', {p.phy_limit, p.phy_limit},
+                      {p.log_limit, p.linear_limit}};
+    chart.addSeries(std::move(lin));
+    chart.addSeries(std::move(log_s));
+    chart.addSeries(std::move(chips));
+    chart.addSeries(std::move(wall));
+    chart.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 15", "Accelerator performance projections to "
+                               "the 5nm wall");
+    bench::note("Table V physical parameters; largest dies for "
+                "performance. The linear model generally fits the "
+                "performance spaces.");
+
+    printDomain(Domain::VideoDecoding,
+                "16.1K (log) / 408.7K (linear) MPixels/s; further "
+                "gains 3-130x");
+    printDomain(Domain::GpuGraphics,
+                "1.6K (log) / 2.7K (linear) MPixels/s; further gains "
+                "1.4-2.5x");
+    printDomain(Domain::FpgaCnn,
+                "3K (log) / 4.6K (linear) GOP/s; further gains "
+                "2.1-3.4x");
+    printDomain(Domain::BitcoinMining,
+                "20.2 (log) / 177.7 (linear) GHash/s/mm2; further "
+                "gains 2-20x");
+
+    // Table V itself.
+    std::cout << "Table V: accelerator-wall physical parameters\n";
+    Table t({"Domain", "Platform", "Die [mm2]", "TDP [W]",
+             "Freq [MHz]"});
+    for (const auto &row : projection::domainTable()) {
+        t.addRow({row.name, row.platform,
+                  fmtFixed(row.min_die_mm2, 2) + " / " +
+                      fmtFixed(row.max_die_mm2, 0),
+                  fmtFixed(row.tdp_w, 0), fmtFixed(row.freq_mhz, 0)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 16: accelerator energy-efficiency projections — the Figure 15
+ * analysis with efficiency gains, smallest Table V dies, and the
+ * logarithmic model as the better fit.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "plot/ascii_chart.hh"
+#include "projection/domains.hh"
+#include "util/format.hh"
+
+using namespace accelwall;
+using projection::Domain;
+using projection::DomainStudy;
+using projection::projectDomain;
+
+namespace
+{
+
+void
+printDomain(Domain domain, const char *paper_limits)
+{
+    DomainStudy study = projectDomain(domain, true);
+    const auto &p = study.projection;
+
+    std::cout << "--- " << study.params.name << " ("
+              << study.params.platform << ", " << study.params.eff_units
+              << ") ---\n";
+    std::cout << "points: " << study.points.size() << ", frontier: "
+              << p.frontier.size() << "\n";
+    std::cout << "linear fit: gain = " << fmtFixed(p.linear.slope, 3)
+              << "*phy + " << fmtFixed(p.linear.intercept, 2)
+              << " (R^2 " << fmtFixed(p.linear.r2, 3) << ")\n";
+    std::cout << "log fit:    gain = " << fmtFixed(p.log.a, 2)
+              << "*ln(phy) + " << fmtFixed(p.log.b, 2) << " (R^2 "
+              << fmtFixed(p.log.r2, 3) << ")\n";
+    std::cout << "CMOS limit at phy = " << fmtGain(p.phy_limit, 1)
+              << ": log " << fmtSi(p.log_limit, 1) << ", linear "
+              << fmtSi(p.linear_limit, 1) << ' '
+              << study.params.eff_units << "\n";
+    std::cout << "headroom over best chip: log "
+              << fmtGain(p.log_headroom, 1) << ", linear "
+              << fmtGain(p.linear_headroom, 1) << "\n";
+    auto boot = projection::bootstrapProjection(study.points,
+                                                 p.phy_limit);
+    std::cout << "bootstrap 10-90% bands (" << boot.usable
+              << " resamples): linear [" << fmtSi(boot.linear_limit.lo, 1)
+              << ", " << fmtSi(boot.linear_limit.hi, 1) << "], log ["
+              << fmtSi(boot.log_limit.lo, 1) << ", "
+              << fmtSi(boot.log_limit.hi, 1) << "]\n";
+    std::cout << "paper: " << paper_limits << "\n\n";
+
+    plot::ChartConfig cfg;
+    cfg.width = 68;
+    cfg.height = 16;
+    cfg.x_scale = plot::Scale::Log10;
+    cfg.y_scale = plot::Scale::Log10;
+    cfg.title = study.params.name + " (x: physical potential, y: " +
+                study.params.eff_units + ")";
+    plot::AsciiChart chart(cfg);
+
+    plot::Series chips{"chips", 'o', {}, {}};
+    for (const auto &pt : study.points) {
+        chips.xs.push_back(pt.x);
+        chips.ys.push_back(pt.y);
+    }
+    plot::Series lin{"linear projection", 'L', {}, {}};
+    plot::Series log_s{"log projection", 'G', {}, {}};
+    for (double x = 1.0; x <= p.phy_limit; x *= 1.8) {
+        // Skip the fits' non-physical negative region near x=1: a log
+        // axis would stretch the whole chart around the clamp.
+        if (p.linear(x) > 0.0) {
+            lin.xs.push_back(x);
+            lin.ys.push_back(p.linear(x));
+        }
+        if (p.log(x) > 0.0) {
+            log_s.xs.push_back(x);
+            log_s.ys.push_back(p.log(x));
+        }
+    }
+    plot::Series wall{"CMOS limit", 'W', {p.phy_limit, p.phy_limit},
+                      {p.log_limit, p.linear_limit}};
+    chart.addSeries(std::move(lin));
+    chart.addSeries(std::move(log_s));
+    chart.addSeries(std::move(chips));
+    chart.addSeries(std::move(wall));
+    chart.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 16", "Accelerator energy-efficiency "
+                               "projections to the 5nm wall");
+    bench::note("smallest Table V dies for efficiency; the logarithmic "
+                "model generally fits the efficiency spaces; "
+                "efficiency is not projected to improve at "
+                "performance's rate.");
+
+    printDomain(Domain::VideoDecoding,
+                "8.9 (log) / 30.3 (linear) MPixels/J; further gains "
+                "1.2-14x");
+    printDomain(Domain::GpuGraphics,
+                "5.9 (log) / 7.3 (linear) Pixels/J; further gains "
+                "1.4-1.7x");
+    printDomain(Domain::FpgaCnn,
+                "85.5 (log) / 111.6 (linear) GOP/J; further gains "
+                "2.7-3.5x");
+    printDomain(Domain::BitcoinMining,
+                "24.4 (log) / 82.1 (linear) GHash/J; further gains "
+                "1.4-5x");
+    return 0;
+}

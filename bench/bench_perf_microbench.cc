@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: DFG
+ * scheduling across design points, corpus generation + regression, and
+ * CSR pipelines. These guard the wall-clock budget of the Figure 13/14
+ * sweeps (1820 design points x 16 kernels).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "aladdin/simulator.hh"
+#include "chipdb/budget.hh"
+#include "chipdb/synth.hh"
+#include "crypto/sha256.hh"
+#include "csr/csr.hh"
+#include "kernels/kernels.hh"
+#include "potential/model.hh"
+#include "studies/video.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+void
+BM_ScheduleS3d(benchmark::State &state)
+{
+    aladdin::Simulator sim(kernels::makeS3d());
+    aladdin::DesignPoint dp;
+    dp.node_nm = 5.0;
+    dp.partition = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(dp));
+    state.SetItemsProcessed(state.iterations() *
+                            sim.graph().numNodes());
+}
+BENCHMARK(BM_ScheduleS3d)->Arg(1)->Arg(64)->Arg(4096);
+
+void
+BM_ScheduleBtcChained(benchmark::State &state)
+{
+    aladdin::Simulator sim(kernels::makeKernel("BTC"));
+    aladdin::DesignPoint dp;
+    dp.node_nm = 5.0;
+    dp.partition = 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(dp));
+    state.SetItemsProcessed(state.iterations() *
+                            sim.graph().numNodes());
+}
+BENCHMARK(BM_ScheduleBtcChained);
+
+void
+BM_KernelGeneration(benchmark::State &state)
+{
+    const auto &table = kernels::kernelTable();
+    for (auto _ : state) {
+        for (const auto &info : table)
+            benchmark::DoNotOptimize(kernels::makeKernel(info.abbrev));
+    }
+}
+BENCHMARK(BM_KernelGeneration);
+
+void
+BM_CorpusAndFit(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto corpus = chipdb::makeSynthCorpus();
+        benchmark::DoNotOptimize(chipdb::fitAreaModel(corpus));
+    }
+}
+BENCHMARK(BM_CorpusAndFit);
+
+void
+BM_CsrSeries(benchmark::State &state)
+{
+    potential::PotentialModel model;
+    auto chips = studies::videoChipGains(false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            csr::csrSeries(chips, model, csr::Metric::Throughput));
+    }
+}
+BENCHMARK(BM_CsrSeries);
+
+void
+BM_Sha256Block(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(8192, 0xAB);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crypto::Sha256::hash(data.data(), data.size()));
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Sha256Block);
+
+} // namespace
+
+BENCHMARK_MAIN();

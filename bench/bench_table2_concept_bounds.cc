@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table II: time and space complexity limits of the chip specialization
+ * concepts, evaluated symbolically and numerically on the Figure 11
+ * example DFG and on representative Table IV kernels.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "concepts/bounds.hh"
+#include "dfg/analysis.hh"
+#include "kernels/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+using concepts::bound;
+using concepts::Component;
+using concepts::SpecConcept;
+
+namespace
+{
+
+const Component kComponents[] = {Component::Memory,
+                                 Component::Communication,
+                                 Component::Computation};
+const SpecConcept kConcepts[] = {SpecConcept::Simplification,
+                                 SpecConcept::Heterogeneity,
+                                 SpecConcept::Partitioning};
+
+void
+printBounds(const std::string &name, const dfg::Analysis &a)
+{
+    std::cout << "--- " << name << ": |V|=" << a.num_nodes
+              << " |E|=" << a.num_edges << " D=" << a.depth
+              << " max|WS|=" << a.max_working_set
+              << " |V_IN|=" << a.num_inputs
+              << " |V_OUT|=" << a.num_outputs << " ---\n";
+    Table t({"Component", "Concept", "Time bound", "Time value",
+             "Space bound", "Space value (log2)"});
+    for (Component comp : kComponents) {
+        for (SpecConcept con : kConcepts) {
+            auto b = bound(a, comp, con);
+            t.addRow({componentName(comp), conceptName(con),
+                      b.time_expr, fmtSi(b.time, 1), b.space_expr,
+                      fmtFixed(b.log2_space, 1)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table II", "Complexity limits of chip specialization "
+                              "concepts");
+    bench::note("heterogeneity buys depth-bounded time at edge-bounded "
+                "(or exponential, for computation LUTs) space; "
+                "partitioning is bounded by the largest working set; "
+                "simplification minimizes space at serial time.");
+
+    {
+        dfg::Graph g = dfg::makeFigure11Example();
+        printBounds("Figure 11 example", dfg::analyze(g));
+    }
+    for (const char *abbrev : {"RED", "NWN", "GMM", "S3D"}) {
+        dfg::Graph g = kernels::makeKernel(abbrev);
+        printBounds(abbrev, dfg::analyze(g));
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scenario: before committing to a specialization strategy, check what
+ * Section V's theory allows for your workload. Builds a kernel's DFG,
+ * evaluates the Table II bounds for every (component, concept) pair,
+ * and contrasts the theoretical partitioning limit with what the
+ * simulator actually saturates at.
+ *
+ * Build & run:  ./build/examples/concept_limits [KERNEL]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "aladdin/simulator.hh"
+#include "concepts/bounds.hh"
+#include "dfg/analysis.hh"
+#include "kernels/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel = argc > 1 ? argv[1] : "FFT";
+    dfg::Graph g = kernels::makeKernel(kernel);
+    dfg::Analysis a = dfg::analyze(g);
+
+    std::cout << "Kernel " << kernel << ": |V|=" << a.num_nodes
+              << " |E|=" << a.num_edges << " D=" << a.depth
+              << " max|WS|=" << a.max_working_set << "\n\n";
+
+    std::cout << "Table II bounds:\n";
+    Table t({"Component", "Concept", "Time", "Space (log2)"});
+    for (auto comp : {concepts::Component::Memory,
+                      concepts::Component::Communication,
+                      concepts::Component::Computation}) {
+        for (auto con : {concepts::SpecConcept::Simplification,
+                         concepts::SpecConcept::Heterogeneity,
+                         concepts::SpecConcept::Partitioning}) {
+            auto b = concepts::bound(a, comp, con);
+            t.addRow({concepts::componentName(comp),
+                      concepts::conceptName(con),
+                      b.time_expr + " = " + fmtSi(b.time, 1),
+                      b.space_expr + " = " +
+                          fmtFixed(b.log2_space, 1)});
+        }
+    }
+    t.print(std::cout);
+
+    // Theory says partitioning beyond max|WS| is wasted. Demonstrate:
+    // runtime stops improving once lanes exceed the largest working
+    // set.
+    aladdin::Simulator sim(kernels::makeKernel(kernel));
+    std::cout << "\nPartitioning saturation (theory: max|WS| = "
+              << a.max_working_set << "):\n";
+    Table s({"Lanes", "Runtime [us]", "Speedup"});
+    double base = 0.0;
+    for (int p = 1; p <= 1 << 14; p *= 4) {
+        aladdin::DesignPoint dp;
+        dp.partition = p;
+        double rt = sim.run(dp).runtime_ns;
+        if (base == 0.0)
+            base = rt;
+        s.addRow({std::to_string(p), fmtFixed(rt / 1e3, 3),
+                  fmtGain(base / rt, 1)});
+    }
+    s.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scenario: explore the accelerator design space for one of the
+ * Table IV kernels (Section VI's flow). Sweeps the Table III grid,
+ * prints the runtime-power Pareto frontier, the best-performance and
+ * best-efficiency designs, and the Figure 14 gain attribution.
+ *
+ * Build & run:  ./build/examples/design_space_exploration [KERNEL]
+ * where KERNEL is a Table IV abbreviation (default S3D).
+ */
+
+#include <iostream>
+#include <string>
+
+#include "aladdin/attribution.hh"
+#include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
+#include "kernels/kernels.hh"
+#include "stats/pareto.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main(int argc, char **argv)
+{
+    std::string kernel = argc > 1 ? argv[1] : "S3D";
+    dfg::Graph g = kernels::makeKernel(kernel);
+    std::cout << "Kernel " << kernel << ": " << g.numNodes()
+              << " nodes, " << g.numEdges() << " edges\n\n";
+
+    aladdin::Simulator sim(std::move(g));
+    auto points = aladdin::runSweep(sim, aladdin::SweepConfig::paper());
+
+    // Runtime-power Pareto frontier (Figure 13's plane): minimize both.
+    std::vector<stats::Point2> rp;
+    for (const auto &p : points)
+        rp.push_back({p.res.runtime_ns, -p.res.power_mw});
+    auto frontier = stats::paretoFrontier(rp);
+
+    std::cout << "Runtime-power Pareto frontier (" << frontier.size()
+              << " of " << points.size() << " design points):\n";
+    Table t({"Runtime [us]", "Power [mW]"});
+    for (const auto &p : frontier)
+        t.addRow({fmtFixed(p.x / 1e3, 3), fmtFixed(-p.y, 2)});
+    t.print(std::cout);
+
+    auto report = [&](const char *what, std::size_t idx) {
+        const auto &p = points[idx];
+        std::cout << what << ": " << p.dp.str() << " — "
+                  << fmtFixed(p.res.runtime_ns / 1e3, 3) << "us, "
+                  << fmtFixed(p.res.power_mw, 2) << "mW, "
+                  << fmtSi(p.res.efficiency_opj, 2) << " OP/J, "
+                  << p.res.fused_ops << " fused ops\n";
+    };
+    std::cout << '\n';
+    report("Best performance", aladdin::bestPerformance(points));
+    report("Best efficiency ", aladdin::bestEfficiency(points));
+
+    std::cout << "\nGain attribution (Figure 14):\n";
+    Table at({"Target", "%CMOS", "%Het", "%Simp", "%Part", "Gain",
+              "CSR"});
+    for (auto target : {aladdin::Target::Performance,
+                        aladdin::Target::EnergyEfficiency}) {
+        auto a = aladdin::attribute(sim, aladdin::SweepConfig::paper(),
+                                    target);
+        at.addRow({aladdin::targetName(target),
+                   fmtPercent(a.frac_cmos),
+                   fmtPercent(a.frac_heterogeneity),
+                   fmtPercent(a.frac_simplification),
+                   fmtPercent(a.frac_partitioning),
+                   fmtGain(a.total_gain, 1), fmtGain(a.csr, 2)});
+    }
+    at.print(std::cout);
+    return 0;
+}

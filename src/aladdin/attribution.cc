@@ -1,0 +1,102 @@
+#include "aladdin/attribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall::aladdin
+{
+
+namespace
+{
+
+/** The target metric, oriented so larger is better. */
+double
+metric(const SimResult &res, Target target)
+{
+    switch (target) {
+      case Target::Performance:
+        return 1.0 / res.runtime_ns;
+      case Target::EnergyEfficiency:
+        return res.efficiency_opj;
+    }
+    panic("attribute: unknown target");
+}
+
+} // namespace
+
+const char *
+targetName(Target target)
+{
+    switch (target) {
+      case Target::Performance: return "performance";
+      case Target::EnergyEfficiency: return "energy efficiency";
+    }
+    return "?";
+}
+
+Attribution
+attribute(const Simulator &sim, const SweepConfig &cfg, Target target)
+{
+    auto points = runSweep(sim, cfg);
+    std::size_t best_idx = (target == Target::Performance)
+                               ? bestPerformance(points)
+                               : bestEfficiency(points);
+    const DesignPoint &best = points[best_idx].dp;
+
+    // Walk baseline -> optimum one knob at a time. Each intermediate
+    // point is simulated directly; the walk order front-loads the
+    // CMOS-dependent contributions.
+    DesignPoint step;
+    step.node_nm = 45.0;
+    step.partition = 1;
+    step.simplification = 1;
+    step.chaining = false;
+    step.clock_ghz = cfg.clock_ghz;
+
+    double m0 = metric(sim.run(step), target);
+    if (m0 <= 0.0)
+        panic("attribute: non-positive baseline metric");
+
+    auto advance = [&](auto apply) {
+        double before = metric(sim.run(step), target);
+        apply(step);
+        double after = metric(sim.run(step), target);
+        // Scheduling is greedy, so a knob can in rare corner cases be
+        // fractionally counter-productive mid-walk; clamp those steps
+        // to zero contribution.
+        return std::max(0.0, std::log(after / before));
+    };
+
+    double log_cmos = advance([&](DesignPoint &p) {
+        p.node_nm = best.node_nm;
+    });
+    double log_het = advance([&](DesignPoint &p) {
+        p.chaining = best.chaining;
+    });
+    double log_part = advance([&](DesignPoint &p) {
+        p.partition = best.partition;
+    });
+    double log_simp = advance([&](DesignPoint &p) {
+        p.simplification = best.simplification;
+    });
+
+    Attribution out;
+    out.target = target;
+    out.best = best;
+    double m_best = metric(points[best_idx].res, target);
+    out.total_gain = m_best / m0;
+    out.csr = std::exp(log_het + log_simp);
+
+    double log_total = log_cmos + log_het + log_part + log_simp;
+    if (log_total > 0.0) {
+        out.frac_cmos = log_cmos / log_total;
+        out.frac_heterogeneity = log_het / log_total;
+        out.frac_partitioning = log_part / log_total;
+        out.frac_simplification = log_simp / log_total;
+    }
+    return out;
+}
+
+} // namespace accelwall::aladdin

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Gain attribution (Section VI, Figure 14).
+ *
+ * For each kernel the paper reports the optimal accelerator's gain over
+ * a plain 45nm baseline and splits it between CMOS saving,
+ * heterogeneity, simplification, and partitioning; CSR is then the part
+ * of the gain that is *not* CMOS-driven — heterogeneity and
+ * simplification — since "both CMOS saving and partitioning (i.e.,
+ * using more transistors for parallelization) are inherently CMOS
+ * dependent".
+ *
+ * We attribute by walking the knobs from the baseline
+ * (45nm, partition 1, simplification 1, no chaining) to the optimum in
+ * a fixed order — CMOS node, heterogeneity, partitioning,
+ * simplification — and measuring each step's marginal share of the
+ * total log-gain.
+ */
+
+#ifndef ACCELWALL_ALADDIN_ATTRIBUTION_HH
+#define ACCELWALL_ALADDIN_ATTRIBUTION_HH
+
+#include "aladdin/design_point.hh"
+#include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
+
+namespace accelwall::aladdin
+{
+
+/** Which gain Figure 14 plots. */
+enum class Target
+{
+    Performance,
+    EnergyEfficiency,
+};
+
+/** Human-readable target name. */
+const char *targetName(Target target);
+
+/** The Figure 14 decomposition for one kernel. */
+struct Attribution
+{
+    Target target = Target::Performance;
+    /** The optimal design point found by the sweep. */
+    DesignPoint best;
+    /** Gain of the optimum over the plain 45nm baseline. */
+    double total_gain = 1.0;
+    /**
+     * Chip specialization return: the CMOS-independent share,
+     * exp(log-gain of heterogeneity + simplification).
+     */
+    double csr = 1.0;
+    /** Fractions of the total log-gain, each in [0,1], summing to 1. */
+    double frac_cmos = 0.0;
+    double frac_heterogeneity = 0.0;
+    double frac_partitioning = 0.0;
+    double frac_simplification = 0.0;
+};
+
+/**
+ * Sweep the grid for @p target, locate the optimum, and decompose its
+ * gain. The baseline is (45nm, partition 1, simplification 1, no
+ * chaining) at the sweep's clock.
+ */
+Attribution attribute(const Simulator &sim, const SweepConfig &cfg,
+                      Target target);
+
+} // namespace accelwall::aladdin
+
+#endif // ACCELWALL_ALADDIN_ATTRIBUTION_HH

@@ -1,0 +1,68 @@
+#include "aladdin/design_point.hh"
+
+#include <sstream>
+
+#include "util/format.hh"
+
+namespace accelwall::aladdin
+{
+
+const char *
+memoryModeName(MemoryMode mode)
+{
+    switch (mode) {
+      case MemoryMode::Simple: return "simple";
+      case MemoryMode::Banked: return "banked";
+      case MemoryMode::Heterogeneous: return "heterogeneous";
+    }
+    return "?";
+}
+
+const char *
+commModeName(CommMode mode)
+{
+    switch (mode) {
+      case CommMode::Fifo: return "fifo";
+      case CommMode::Concurrent: return "concurrent";
+      case CommMode::Dma: return "dma";
+    }
+    return "?";
+}
+
+std::string
+DesignPoint::str() const
+{
+    std::ostringstream oss;
+    oss << fmtNode(node_nm) << "/P" << partition << "/S" << simplification
+        << (chaining ? "/het" : "/nohet");
+    // Only non-default memory/communication modes are spelled out.
+    if (memory != MemoryMode::Heterogeneous)
+        oss << "/mem:" << memoryModeName(memory);
+    if (comm != CommMode::Concurrent)
+        oss << "/comm:" << commModeName(comm);
+    return oss.str();
+}
+
+SweepConfig
+SweepConfig::paper()
+{
+    SweepConfig cfg;
+    cfg.nodes = { 45.0, 32.0, 22.0, 14.0, 10.0, 7.0, 5.0 };
+    for (int p = 1; p <= 524288; p *= 2)
+        cfg.partitions.push_back(p);
+    for (int s = 1; s <= 13; ++s)
+        cfg.simplifications.push_back(s);
+    return cfg;
+}
+
+SweepConfig
+SweepConfig::quick()
+{
+    SweepConfig cfg;
+    cfg.nodes = { 45.0, 14.0, 5.0 };
+    cfg.partitions = { 1, 4, 16, 64, 256 };
+    cfg.simplifications = { 1, 5, 9, 13 };
+    return cfg;
+}
+
+} // namespace accelwall::aladdin

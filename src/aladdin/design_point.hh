@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Accelerator design-space coordinates (Section VI, Table III).
+ */
+
+#ifndef ACCELWALL_ALADDIN_DESIGN_POINT_HH
+#define ACCELWALL_ALADDIN_DESIGN_POINT_HH
+
+#include <string>
+#include <vector>
+
+namespace accelwall::aladdin
+{
+
+/**
+ * Memory-hierarchy specialization (Table I rows 1-3, Table II's MEM
+ * column).
+ */
+enum class MemoryMode
+{
+    /**
+     * Simplification: one plain port regardless of lane count — the
+     * minimal-space, serial-access end of Table II.
+     */
+    Simple,
+    /**
+     * Partitioning: one bank per lane, addresses striped across banks;
+     * same-bank accesses in a cycle conflict and serialize.
+     */
+    Banked,
+    /**
+     * Heterogeneity: a problem-specific layout that serves every
+     * lane's access pattern conflict-free, at extra hierarchy cost.
+     */
+    Heterogeneous,
+};
+
+/**
+ * Communication-fabric specialization (Table I rows 4-6).
+ */
+enum class CommMode
+{
+    /**
+     * Simplification: results forwarded through a shared FIFO — one
+     * extra cycle of latency, no combinational chaining across units.
+     */
+    Fifo,
+    /**
+     * Partitioning: concurrent per-lane forwarding (the default
+     * fabric; no extra latency).
+     */
+    Concurrent,
+    /**
+     * Heterogeneity: a software-defined DMA engine streams root loads
+     * ahead of compute, doubling effective input bandwidth at a fixed
+     * engine cost.
+     */
+    Dma,
+};
+
+/** Short mode names for display. */
+const char *memoryModeName(MemoryMode mode);
+const char *commModeName(CommMode mode);
+
+/**
+ * One accelerator design alternative.
+ *
+ * The knobs map to the paper's specialization concepts:
+ *  - partition: replicated lanes and memory ports (partitioning);
+ *  - simplification: datapath narrowing + FU/register pipelining
+ *    (simplification);
+ *  - chaining: fusing dependent operations into one clock cycle when
+ *    their combined combinational delay fits the period (computation
+ *    heterogeneity — newer nodes fit more logic per cycle);
+ *  - node_nm: the CMOS process (the physical layer).
+ */
+struct DesignPoint
+{
+    /** CMOS node in nm (Table III: 45, 32, 22, 14, 10, 7, 5). */
+    double node_nm = 45.0;
+    /** Partitioning factor (Table III: 1, 2, 4, ..., 524288). */
+    int partition = 1;
+    /** Simplification degree (Table III: 1..13). */
+    int simplification = 1;
+    /** Operation chaining (computation heterogeneity). */
+    bool chaining = true;
+    /** Memory-hierarchy concept (default: the Table III behavior). */
+    MemoryMode memory = MemoryMode::Heterogeneous;
+    /** Communication-fabric concept. */
+    CommMode comm = CommMode::Concurrent;
+    /** Accelerator clock; the paper's gain model fixes 1 GHz. */
+    double clock_ghz = 1.0;
+
+    /** Compact display string, e.g. "45nm/P4/S2/het". */
+    std::string str() const;
+};
+
+/** The swept parameter grid (Table III). */
+struct SweepConfig
+{
+    std::vector<double> nodes;
+    std::vector<int> partitions;
+    std::vector<int> simplifications;
+    double clock_ghz = 1.0;
+    bool chaining = true;
+
+    /**
+     * The paper's Table III grid: partitioning 1..524288 (powers of
+     * two), simplification 1..13, nodes {45,32,22,14,10,7,5}.
+     */
+    static SweepConfig paper();
+
+    /** A smaller grid for unit tests. */
+    static SweepConfig quick();
+};
+
+} // namespace accelwall::aladdin
+
+#endif // ACCELWALL_ALADDIN_DESIGN_POINT_HH

@@ -1,0 +1,74 @@
+#include "aladdin/fu_library.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace accelwall::aladdin
+{
+
+namespace
+{
+
+// 45nm / 32-bit characterization. Integer adder-class values follow
+// standard-cell digests; FP values follow Galal & Horowitz-style FPU
+// surveys; memory-port values assume a small banked scratchpad. Energy
+// values are per operation including operand registers.
+//
+//                        delay   energy  leak    area    quad
+//                        [ns]    [pJ]    [uW]    [um²]   width
+const OpParams kParams[dfg::kNumOpTypes] = {
+    /* Input  */        { 0.00,   0.00,    0.0,      0.0, false },
+    /* Output */        { 0.00,   0.00,    0.0,      0.0, false },
+    /* Add    */        { 0.60,   0.50,    4.0,    300.0, false },
+    /* Sub    */        { 0.60,   0.50,    4.0,    300.0, false },
+    /* Mul    */        { 2.50,   3.10,   30.0,   2500.0, true },
+    /* Div    */        { 12.0,   8.00,   40.0,   3000.0, true },
+    /* Cmp    */        { 0.40,   0.20,    2.0,    150.0, false },
+    /* And    */        { 0.25,   0.10,    1.0,    100.0, false },
+    /* Or     */        { 0.25,   0.10,    1.0,    100.0, false },
+    /* Xor    */        { 0.28,   0.12,    1.0,    110.0, false },
+    /* Shift  */        { 0.40,   0.15,    2.0,    200.0, false },
+    /* Select */        { 0.30,   0.15,    2.0,    150.0, false },
+    /* Max    */        { 0.60,   0.40,    3.0,    250.0, false },
+    /* Min    */        { 0.60,   0.40,    3.0,    250.0, false },
+    /* FAdd   */        { 3.00,   0.90,   20.0,   1500.0, false },
+    /* FSub   */        { 3.00,   0.90,   20.0,   1500.0, false },
+    /* FMul   */        { 3.50,   3.70,   40.0,   3000.0, true },
+    /* FDiv   */        { 15.0,   15.0,   60.0,   5000.0, true },
+    /* Sqrt   */        { 15.0,   15.0,   60.0,   5000.0, true },
+    /* Exp    */        { 20.0,   25.0,   80.0,   8000.0, true },
+    /* Load   */        { 1.00,   2.00,    5.0,    400.0, false },
+    /* Store  */        { 1.00,   2.50,    5.0,    400.0, false },
+    /* Lut    */        { 0.80,   0.80,    6.0,    500.0, false },
+};
+
+} // namespace
+
+const OpParams &
+opParams(dfg::OpType op)
+{
+    int idx = static_cast<int>(op);
+    if (idx < 0 || idx >= dfg::kNumOpTypes)
+        panic("opParams: bad op type ", idx);
+    return kParams[idx];
+}
+
+int
+simplifiedWidth(int simplification_degree)
+{
+    if (simplification_degree < 1)
+        fatal("simplification degree must be >= 1, got ",
+              simplification_degree);
+    return std::max(8, 32 - 2 * (simplification_degree - 1));
+}
+
+double
+widthScale(dfg::OpType op, int simplification_degree)
+{
+    double w = static_cast<double>(simplifiedWidth(simplification_degree));
+    double lin = w / 32.0;
+    return opParams(op).quadratic_width ? lin * lin : lin;
+}
+
+} // namespace accelwall::aladdin

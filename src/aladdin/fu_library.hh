@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Functional-unit characterization library.
+ *
+ * Our pre-RTL accelerator model (the Aladdin substitution, Section VI)
+ * costs each DFG operation with a 45nm/32-bit characterization tuple —
+ * combinational delay, switching energy, leakage power, and area — in the
+ * spirit of Aladdin's FU tables and Galal & Horowitz's FPU data. The
+ * simulator scales these by CMOS node (cmos::ScalingTable) and by the
+ * simplification degree (datapath width).
+ */
+
+#ifndef ACCELWALL_ALADDIN_FU_LIBRARY_HH
+#define ACCELWALL_ALADDIN_FU_LIBRARY_HH
+
+#include "dfg/op_type.hh"
+
+namespace accelwall::aladdin
+{
+
+/** 45nm, 32-bit characterization of one operation class. */
+struct OpParams
+{
+    /** Combinational delay in ns (chains must fit the clock period). */
+    double delay_ns = 0.0;
+    /** Switching energy per operation in pJ. */
+    double energy_pj = 0.0;
+    /** Leakage power per functional-unit instance in uW. */
+    double leak_uw = 0.0;
+    /** Area per functional-unit instance in um². */
+    double area_um2 = 0.0;
+    /**
+     * True for array-style units (multipliers, dividers, transcendental
+     * units) whose energy/area scale quadratically with datapath width;
+     * adders, logic and memory scale linearly.
+     */
+    bool quadratic_width = false;
+};
+
+/** Characterization for @p op at 45nm / 32-bit. */
+const OpParams &opParams(dfg::OpType op);
+
+/**
+ * Datapath width (bits) at a given simplification degree: degree 1 is
+ * the full 32-bit path, each degree narrows by 2 bits down to the 8-bit
+ * floor (Table III sweeps degrees 1..13).
+ */
+int simplifiedWidth(int simplification_degree);
+
+/**
+ * Energy/area/leakage multiplier for an op at a simplification degree:
+ * (w/32) for linear units, (w/32)² for quadratic ones.
+ */
+double widthScale(dfg::OpType op, int simplification_degree);
+
+} // namespace accelwall::aladdin
+
+#endif // ACCELWALL_ALADDIN_FU_LIBRARY_HH

@@ -1,0 +1,445 @@
+#include "aladdin/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "aladdin/fu_library.hh"
+#include "cmos/scaling.hh"
+#include "util/logging.hh"
+
+namespace accelwall::aladdin
+{
+
+namespace
+{
+
+using dfg::NodeId;
+using dfg::OpType;
+
+/** Per-run, per-op-class derived costs. */
+struct OpCosts
+{
+    double delay_ns = 0.0;   // combinational delay at this node/width
+    int latency_cycles = 1;  // issue-to-finish cycles (pipelined)
+    double energy_pj = 0.0;  // switching energy per op
+    double reg_energy_pj = 0.0; // register energy when not chained
+    bool chainable = false;  // may fuse into the producer's cycle
+};
+
+/** Fixed costs of the optional DMA engine (45nm values). */
+constexpr double kDmaAreaUm2 = 3000.0;
+constexpr double kDmaLeakUw = 20.0;
+
+/** Fixed costs of the shared-FIFO fabric (45nm values). */
+constexpr double kFifoAreaUm2 = 200.0;
+constexpr double kFifoLeakUw = 1.0;
+
+} // namespace
+
+Simulator::Simulator(dfg::Graph graph)
+    : graph_(std::move(graph)), analysis_(dfg::analyze(graph_)),
+      topo_(graph_.topoOrder())
+{
+}
+
+SimResult
+Simulator::run(const DesignPoint &dp) const
+{
+    if (dp.partition < 1)
+        fatal("Simulator: partition factor must be >= 1");
+    if (dp.clock_ghz <= 0.0)
+        fatal("Simulator: clock must be positive");
+
+    const auto &scaling = cmos::ScalingTable::instance();
+    const double period = 1.0 / dp.clock_ghz; // ns
+    const double delay_rel = scaling.gateDelayRel(dp.node_nm);
+    const double dyn_rel = scaling.dynamicEnergy(dp.node_nm);
+    const double leak_rel = scaling.leakagePower(dp.node_nm);
+    const double density = scaling.densityGain(dp.node_nm);
+    const int extra_pipe =
+        std::max(0, dp.simplification - kDeepPipelineDegree);
+
+    // Communication-fabric effects: a shared FIFO adds a forwarding
+    // cycle and forbids combinational chaining across units; a DMA
+    // engine streams root loads at double bandwidth.
+    const bool fifo = dp.comm == CommMode::Fifo;
+    const bool dma = dp.comm == CommMode::Dma;
+    const int comm_latency = fifo ? 1 : 0;
+
+    // Memory-hierarchy effects.
+    const int mem_ports =
+        dp.memory == MemoryMode::Simple ? 1 : dp.partition;
+    const bool bank_conflicts = dp.memory == MemoryMode::Banked;
+
+    // Derive per-op-class costs once.
+    std::array<OpCosts, dfg::kNumOpTypes> costs;
+    for (int i = 0; i < dfg::kNumOpTypes; ++i) {
+        OpType op = static_cast<OpType>(i);
+        const OpParams &p = opParams(op);
+        OpCosts &c = costs[i];
+        c.delay_ns = p.delay_ns * delay_rel;
+        double ws = widthScale(op, dp.simplification);
+        c.energy_pj = p.energy_pj * ws * dyn_rel;
+        double lin_ws =
+            static_cast<double>(simplifiedWidth(dp.simplification)) / 32.0;
+        c.reg_energy_pj = kRegisterEnergyPj * lin_ws * dyn_rel *
+                          (1.0 + extra_pipe);
+        if (fifo)
+            c.reg_energy_pj *= 0.85; // narrow shared bus
+        if (dfg::isVariable(op)) {
+            c.latency_cycles = 0;
+            c.chainable = false;
+        } else {
+            c.latency_cycles = std::max(
+                1, static_cast<int>(std::ceil(c.delay_ns / period -
+                                              1e-12)));
+            if (dfg::isCompute(op))
+                c.latency_cycles += extra_pipe;
+            c.latency_cycles += comm_latency;
+            // Deep-pipelined units register their outputs; memory
+            // ports are always registered; a FIFO fabric cannot
+            // forward combinationally.
+            c.chainable = dp.chaining && !fifo && dfg::isCompute(op) &&
+                          extra_pipe == 0 && c.delay_ns < period;
+        }
+    }
+
+    // --- Schedule ---------------------------------------------------
+    const std::size_t n = graph_.numNodes();
+    std::vector<std::uint32_t> unresolved(n);
+    std::vector<double> ready_ns(n, 0.0);
+    std::vector<double> finish_ns(n, 0.0);
+
+    // Nodes that became ready, keyed by the cycle containing their
+    // ready time. Resource-starved nodes wait in FIFO queues: one for
+    // compute, one for streaming (DMA) loads, and either a single
+    // memory queue or per-bank queues under banked memory.
+    std::map<std::int64_t, std::vector<NodeId>> buckets;
+    std::deque<NodeId> wait_compute, wait_memory, wait_dma;
+    std::unordered_map<int, std::deque<NodeId>> wait_banks;
+    std::deque<int> banks_waiting; // FIFO of bank ids with waiters
+
+    auto bank_of = [&](NodeId id) {
+        return static_cast<int>(id % static_cast<NodeId>(dp.partition));
+    };
+    auto is_root_load = [&](NodeId id) {
+        return graph_.op(id) == OpType::Load && graph_.preds(id).empty();
+    };
+
+    for (NodeId id = 0; id < n; ++id) {
+        unresolved[id] = static_cast<std::uint32_t>(graph_.preds(id).size());
+        if (unresolved[id] == 0)
+            buckets[0].push_back(id);
+    }
+
+    SimResult res;
+    double makespan = 0.0;
+
+    // Propagate a completion to successors; newly-ready successors land
+    // in the bucket of the cycle containing their ready time (possibly
+    // the current one, enabling cascaded chaining).
+    std::vector<NodeId> *current_list = nullptr;
+    std::int64_t current_cycle = 0;
+    auto propagate = [&](NodeId id, double finish) {
+        finish_ns[id] = finish;
+        makespan = std::max(makespan, finish);
+        for (NodeId succ : graph_.succs(id)) {
+            ready_ns[succ] = std::max(ready_ns[succ], finish);
+            if (--unresolved[succ] == 0) {
+                std::int64_t c = static_cast<std::int64_t>(
+                    std::floor(ready_ns[succ] / period + 1e-9));
+                if (c == current_cycle && current_list != nullptr)
+                    current_list->push_back(succ);
+                else
+                    buckets[std::max(c, current_cycle)].push_back(succ);
+            }
+        }
+    };
+
+    auto any_waiting = [&]() {
+        return !wait_compute.empty() || !wait_memory.empty() ||
+               !wait_dma.empty() || !banks_waiting.empty();
+    };
+
+    while (!buckets.empty() || any_waiting()) {
+        // Pick the next cycle to simulate: the earliest bucket, or the
+        // very next cycle when starved work is waiting on slots.
+        std::int64_t cycle;
+        if (any_waiting()) {
+            cycle = current_cycle + 1;
+            if (!buckets.empty())
+                cycle = std::min(cycle, buckets.begin()->first);
+        } else {
+            cycle = buckets.begin()->first;
+        }
+        current_cycle = std::max(cycle, current_cycle);
+
+        std::vector<NodeId> list;
+        auto it = buckets.find(current_cycle);
+        if (it != buckets.end()) {
+            list = std::move(it->second);
+            buckets.erase(it);
+        }
+        current_list = &list;
+
+        int compute_slots = dp.partition;
+        int memory_slots = mem_ports;
+        // DMA streams root loads at double the port bandwidth without
+        // competing with indirect accesses.
+        int dma_slots = dma ? 2 * mem_ports : 0;
+        double boundary = static_cast<double>(current_cycle) * period;
+
+        auto issue = [&](NodeId id) {
+            const OpCosts &c = costs[static_cast<int>(graph_.op(id))];
+            ++res.ops;
+            double energy = c.energy_pj + c.reg_energy_pj;
+            if (dma && is_root_load(id))
+                energy *= 0.8; // burst amortization
+            res.dynamic_energy_pj += energy;
+            propagate(id, boundary + c.latency_cycles * period);
+        };
+
+        // Banks that already served an access this cycle.
+        std::unordered_map<int, bool> bank_used;
+
+        // First serve work that was starved in earlier cycles.
+        while (!wait_compute.empty() && compute_slots > 0) {
+            NodeId id = wait_compute.front();
+            wait_compute.pop_front();
+            --compute_slots;
+            issue(id);
+        }
+        while (!wait_dma.empty() && dma_slots > 0) {
+            NodeId id = wait_dma.front();
+            wait_dma.pop_front();
+            --dma_slots;
+            issue(id);
+        }
+        if (bank_conflicts) {
+            // Each bank serves one access per cycle, within the port
+            // budget. Banks queue round-robin.
+            std::size_t banks_today = banks_waiting.size();
+            for (std::size_t i = 0;
+                 i < banks_today && memory_slots > 0; ++i) {
+                int bank = banks_waiting.front();
+                banks_waiting.pop_front();
+                auto &queue = wait_banks[bank];
+                NodeId id = queue.front();
+                queue.pop_front();
+                --memory_slots;
+                bank_used[bank] = true;
+                issue(id);
+                if (!queue.empty())
+                    banks_waiting.push_back(bank);
+                else
+                    wait_banks.erase(bank);
+            }
+        } else {
+            while (!wait_memory.empty() && memory_slots > 0) {
+                NodeId id = wait_memory.front();
+                wait_memory.pop_front();
+                --memory_slots;
+                issue(id);
+            }
+        }
+        // Then the nodes whose inputs became available this cycle. The
+        // list may grow as chained ops finish mid-cycle.
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            NodeId id = list[i];
+            OpType op = graph_.op(id);
+            const OpCosts &c = costs[static_cast<int>(op)];
+
+            if (dfg::isVariable(op)) {
+                // Pseudo nodes are free and instantaneous.
+                propagate(id, ready_ns[id]);
+                continue;
+            }
+
+            double ready = ready_ns[id];
+            if (c.chainable && ready >= boundary &&
+                (ready - boundary) + c.delay_ns <= period + 1e-12) {
+                // Fuse into the producer's cycle: no issue slot, no
+                // pipeline-register write.
+                ++res.fused_ops;
+                ++res.ops;
+                res.dynamic_energy_pj += c.energy_pj;
+                propagate(id, ready + c.delay_ns);
+                continue;
+            }
+
+            if (ready > boundary + 1e-12) {
+                // Mid-cycle ready but unchainable: wait for the next
+                // boundary.
+                buckets[current_cycle + 1].push_back(id);
+                continue;
+            }
+
+            bool is_mem = dfg::isMemory(op);
+            if (!is_mem) {
+                if (compute_slots > 0) {
+                    --compute_slots;
+                    issue(id);
+                } else {
+                    wait_compute.push_back(id);
+                }
+                continue;
+            }
+
+            // Memory access routing.
+            if (dma && is_root_load(id)) {
+                if (dma_slots > 0) {
+                    --dma_slots;
+                    issue(id);
+                } else {
+                    wait_dma.push_back(id);
+                }
+                continue;
+            }
+            if (bank_conflicts) {
+                int bank = bank_of(id);
+                bool queued = wait_banks.count(bank) > 0;
+                if (!queued && !bank_used[bank] && memory_slots > 0) {
+                    --memory_slots;
+                    bank_used[bank] = true;
+                    issue(id);
+                } else {
+                    if (!queued)
+                        banks_waiting.push_back(bank);
+                    wait_banks[bank].push_back(id);
+                }
+                continue;
+            }
+            if (memory_slots > 0) {
+                --memory_slots;
+                issue(id);
+            } else {
+                wait_memory.push_back(id);
+            }
+        }
+        current_list = nullptr;
+    }
+
+    // --- Account area, leakage, energy, derived metrics --------------
+    // Functional units: one per lane and op class, but never more units
+    // than the kernel has operations of that class.
+    std::array<std::uint64_t, dfg::kNumOpTypes> op_count{};
+    for (NodeId id = 0; id < n; ++id)
+        ++op_count[static_cast<int>(graph_.op(id))];
+
+    double fu_leak_uw = 0.0, fu_area_um2 = 0.0;
+    for (int i = 0; i < dfg::kNumOpTypes; ++i) {
+        OpType op = static_cast<OpType>(i);
+        if (op_count[i] == 0 || dfg::isVariable(op))
+            continue;
+        double instances = static_cast<double>(
+            std::min<std::uint64_t>(op_count[i],
+                                    static_cast<std::uint64_t>(
+                                        dp.partition)));
+        const OpParams &p = opParams(op);
+        double ws = widthScale(op, dp.simplification);
+        fu_leak_uw += instances * p.leak_uw * ws;
+        fu_area_um2 += instances * p.area_um2 * ws;
+    }
+
+    // Scratchpad sized for the largest working set, provisioned per
+    // memory mode: a simple hierarchy has one bank; striped banking
+    // pays per-port overhead; a problem-specific (heterogeneous)
+    // layout pays the same ports plus richer interconnect.
+    double word_bytes =
+        static_cast<double>(simplifiedWidth(dp.simplification)) / 8.0;
+    double sram_bytes =
+        static_cast<double>(analysis_.max_working_set) * word_bytes;
+    double bank_count;
+    switch (dp.memory) {
+      case MemoryMode::Simple:
+        bank_count = 1.0;
+        break;
+      case MemoryMode::Banked:
+        bank_count = 0.75 * dp.partition; // plain stripes
+        break;
+      case MemoryMode::Heterogeneous:
+      default:
+        bank_count = static_cast<double>(dp.partition);
+        break;
+    }
+    double mem_leak_uw = sram_bytes * kSramLeakUwPerByte +
+                         bank_count * kBankLeakUw;
+    double mem_area_um2 = sram_bytes * kSramAreaUm2PerByte +
+                          bank_count * kBankAreaUm2;
+
+    double fabric_leak_uw = 0.0, fabric_area_um2 = 0.0;
+    if (fifo) {
+        fabric_leak_uw += kFifoLeakUw;
+        fabric_area_um2 += kFifoAreaUm2;
+    }
+    if (dma) {
+        fabric_leak_uw += kDmaLeakUw;
+        fabric_area_um2 += kDmaAreaUm2;
+    }
+
+    res.leakage_power_uw =
+        (fu_leak_uw + mem_leak_uw + fabric_leak_uw) * leak_rel;
+    res.area_um2 =
+        (fu_area_um2 + mem_area_um2 + fabric_area_um2) / density;
+
+    res.runtime_ns = std::max(makespan, period);
+    res.cycles = static_cast<std::uint64_t>(
+        std::ceil(res.runtime_ns / period - 1e-9));
+
+    res.lane_utilization =
+        static_cast<double>(res.ops - res.fused_ops) /
+        (static_cast<double>(res.cycles) * 2.0 * dp.partition);
+
+    // Steady-state initiation interval: the DFG is acyclic, so
+    // back-to-back invocations are bounded by resource occupancy
+    // alone — issue slots for non-fused compute, ports (or the single
+    // simple port, or the busiest bank) for memory.
+    std::uint64_t compute_issues =
+        res.ops - res.fused_ops; // memory included; split below
+    std::uint64_t mem_ops = 0;
+    std::uint64_t busiest_bank = 0;
+    if (bank_conflicts) {
+        std::unordered_map<int, std::uint64_t> per_bank;
+        for (NodeId id = 0; id < n; ++id) {
+            if (dfg::isMemory(graph_.op(id))) {
+                ++mem_ops;
+                busiest_bank =
+                    std::max(busiest_bank, ++per_bank[bank_of(id)]);
+            }
+        }
+    } else {
+        for (NodeId id = 0; id < n; ++id) {
+            if (dfg::isMemory(graph_.op(id)))
+                ++mem_ops;
+        }
+    }
+    compute_issues -= std::min(compute_issues, mem_ops);
+    std::uint64_t ii_compute =
+        (compute_issues + dp.partition - 1) / dp.partition;
+    std::uint64_t ii_mem =
+        (mem_ops + mem_ports - 1) / std::max(mem_ports, 1);
+    if (bank_conflicts)
+        ii_mem = std::max(ii_mem, busiest_bank);
+    res.initiation_interval = std::max<std::uint64_t>(
+        {1, ii_compute, ii_mem});
+    res.pipelined_throughput_ops =
+        static_cast<double>(res.ops) /
+        (static_cast<double>(res.initiation_interval) * period * 1e-9);
+
+    // 1 uW * 1 ns = 1e-3 pJ.
+    double leak_energy_pj =
+        res.leakage_power_uw * res.runtime_ns * 1e-3;
+    res.energy_pj = res.dynamic_energy_pj + leak_energy_pj;
+    // 1 pJ / 1 ns = 1 mW.
+    res.power_mw = res.energy_pj / res.runtime_ns;
+    res.throughput_ops =
+        static_cast<double>(res.ops) / (res.runtime_ns * 1e-9);
+    res.efficiency_opj =
+        static_cast<double>(res.ops) / (res.energy_pj * 1e-12);
+    return res;
+}
+
+} // namespace accelwall::aladdin

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pre-RTL accelerator model (the paper's Aladdin-based flow, Section VI).
+ *
+ * The simulator schedules a kernel's DFG onto an accelerator described by
+ * a DesignPoint and reports runtime, energy, power, and area:
+ *
+ *  - Partitioning provisions `partition` parallel issue slots for compute
+ *    operations and `partition` memory ports per cycle (replicated lanes
+ *    and banked scratchpads).
+ *  - Computation heterogeneity is operation chaining: a dependent op may
+ *    execute combinationally within its producer's clock cycle when the
+ *    accumulated delay fits the period. Faster CMOS nodes fit more logic
+ *    levels per (fixed 1 GHz) cycle, reproducing the paper's observation
+ *    that fusion gains compound with process advances.
+ *  - Simplification narrows datapaths (energy/area/leakage savings,
+ *    linear for adder-class units and quadratic for multiplier-class
+ *    ones) and, at extreme degrees, deep-pipelines units — adding
+ *    latency and registering outputs (which forbids chaining), the
+ *    diminishing-returns regime of Figure 13.
+ *  - The CMOS node scales delay, switching energy, leakage, and area via
+ *    cmos::ScalingTable.
+ *  - Memory and communication specialization (Table I rows 1-6) are
+ *    selectable: MemoryMode picks a single simple port, striped banks
+ *    with conflict serialization, or a conflict-free heterogeneous
+ *    layout; CommMode picks a shared FIFO (+1 forwarding cycle, no
+ *    chaining), concurrent per-lane forwarding, or a DMA engine that
+ *    streams root loads at double bandwidth.
+ */
+
+#ifndef ACCELWALL_ALADDIN_SIMULATOR_HH
+#define ACCELWALL_ALADDIN_SIMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "aladdin/design_point.hh"
+#include "dfg/analysis.hh"
+#include "dfg/graph.hh"
+
+namespace accelwall::aladdin
+{
+
+/** Measured outcome of one design point. */
+struct SimResult
+{
+    /** Clock cycles to drain the DFG. */
+    std::uint64_t cycles = 0;
+    /** Wall-clock makespan in ns. */
+    double runtime_ns = 0.0;
+    /** Switching energy in pJ. */
+    double dynamic_energy_pj = 0.0;
+    /** Leakage (static) power in uW. */
+    double leakage_power_uw = 0.0;
+    /** Total energy (switching + leakage * runtime) in pJ. */
+    double energy_pj = 0.0;
+    /** Average power in mW. */
+    double power_mw = 0.0;
+    /** Accelerator area in um². */
+    double area_um2 = 0.0;
+    /** Executed operations (compute + memory; pseudo nodes excluded). */
+    std::uint64_t ops = 0;
+    /** Operations chained into a producer's cycle (fused). */
+    std::uint64_t fused_ops = 0;
+    /** Throughput in operations per second (single invocation). */
+    double throughput_ops = 0.0;
+    /** Energy efficiency in operations per joule. */
+    double efficiency_opj = 0.0;
+    /**
+     * Mean issue-lane occupancy: non-fused operations issued divided
+     * by cycles x (compute + memory lanes). Falls toward zero once
+     * partitioning outruns the kernel's parallelism — Figure 13's
+     * "underutilized partitioned resources".
+     */
+    double lane_utilization = 0.0;
+    /**
+     * Initiation interval in cycles when invocations stream
+     * back-to-back through the (acyclic) datapath: the binding
+     * resource class's occupancy, not the latency.
+     */
+    std::uint64_t initiation_interval = 0;
+    /** Steady-state pipelined throughput in operations per second. */
+    double pipelined_throughput_ops = 0.0;
+};
+
+/**
+ * Schedules one DFG across design points. Construction precomputes the
+ * topological order and structural analysis; run() is const and
+ * reusable across the sweep.
+ */
+class Simulator
+{
+  public:
+    /** Capture (copy) the kernel DFG and precompute its analysis. */
+    explicit Simulator(dfg::Graph graph);
+
+    /** Evaluate one design point. */
+    SimResult run(const DesignPoint &dp) const;
+
+    /** The kernel DFG. */
+    const dfg::Graph &graph() const { return graph_; }
+
+    /** Structural analysis of the kernel. */
+    const dfg::Analysis &analysis() const { return analysis_; }
+
+    /** Register energy charged per non-chained op at 45nm/32-bit, pJ. */
+    static constexpr double kRegisterEnergyPj = 0.10;
+
+    /** Scratchpad leakage per byte at 45nm, uW. */
+    static constexpr double kSramLeakUwPerByte = 0.05;
+
+    /** Scratchpad area per byte at 45nm, um². */
+    static constexpr double kSramAreaUm2PerByte = 1.5;
+
+    /** Per-bank (port) overhead: leakage uW and area um² at 45nm. */
+    static constexpr double kBankLeakUw = 2.0;
+    static constexpr double kBankAreaUm2 = 500.0;
+
+    /**
+     * Simplification degrees above this deep-pipeline the units: each
+     * further degree adds one cycle of latency and registers outputs
+     * (disabling chaining through them).
+     */
+    static constexpr int kDeepPipelineDegree = 10;
+
+  private:
+    dfg::Graph graph_;
+    dfg::Analysis analysis_;
+    std::vector<dfg::NodeId> topo_;
+};
+
+} // namespace accelwall::aladdin
+
+#endif // ACCELWALL_ALADDIN_SIMULATOR_HH

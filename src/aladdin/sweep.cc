@@ -1,0 +1,159 @@
+#include "aladdin/sweep.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall::aladdin
+{
+
+namespace
+{
+
+bool
+closeRel(double a, double b, double tol = 1e-3)
+{
+    return std::fabs(a - b) <= tol * std::max(std::fabs(a),
+                                              std::fabs(b));
+}
+
+} // namespace
+
+std::vector<SweepPoint>
+runSweep(const Simulator &sim, const SweepConfig &cfg)
+{
+    if (cfg.nodes.empty() || cfg.partitions.empty() ||
+        cfg.simplifications.empty())
+        fatal("runSweep: empty sweep dimension");
+
+    std::vector<SweepPoint> out;
+    out.reserve(cfg.nodes.size() * cfg.partitions.size() *
+                cfg.simplifications.size());
+
+    for (double node : cfg.nodes) {
+        for (int simp : cfg.simplifications) {
+            bool plateaued = false;
+            SimResult plateau;
+            int stable = 0;
+            for (std::size_t pi = 0; pi < cfg.partitions.size(); ++pi) {
+                DesignPoint dp;
+                dp.node_nm = node;
+                dp.partition = cfg.partitions[pi];
+                dp.simplification = simp;
+                dp.chaining = cfg.chaining;
+                dp.clock_ghz = cfg.clock_ghz;
+
+                SimResult res;
+                if (plateaued) {
+                    res = plateau;
+                } else {
+                    res = sim.run(dp);
+                    if (pi > 0 &&
+                        closeRel(res.runtime_ns, plateau.runtime_ns) &&
+                        closeRel(res.energy_pj, plateau.energy_pj)) {
+                        if (++stable >= 2)
+                            plateaued = true;
+                    } else {
+                        stable = 0;
+                    }
+                    plateau = res;
+                }
+                out.push_back({dp, res});
+            }
+        }
+    }
+    return out;
+}
+
+std::size_t
+bestPerformance(const std::vector<SweepPoint> &points)
+{
+    if (points.empty())
+        fatal("bestPerformance: empty sweep");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].res.runtime_ns < points[best].res.runtime_ns)
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+bestEfficiency(const std::vector<SweepPoint> &points)
+{
+    if (points.empty())
+        fatal("bestEfficiency: empty sweep");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].res.efficiency_opj > points[best].res.efficiency_opj)
+            best = i;
+    }
+    return best;
+}
+
+namespace
+{
+
+/** Best index by `better` among points passing `fits`. */
+template <typename Fits, typename Better>
+std::size_t
+bestUnder(const std::vector<SweepPoint> &points, Fits fits,
+          Better better, const char *what)
+{
+    bool found = false;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!fits(points[i].res))
+            continue;
+        if (!found || better(points[i].res, points[best].res)) {
+            best = i;
+            found = true;
+        }
+    }
+    if (!found)
+        fatal(what, ": no design point fits the budget");
+    return best;
+}
+
+} // namespace
+
+std::size_t
+bestPerformanceUnderArea(const std::vector<SweepPoint> &points,
+                         double area_um2)
+{
+    return bestUnder(
+        points,
+        [=](const SimResult &r) { return r.area_um2 <= area_um2; },
+        [](const SimResult &a, const SimResult &b) {
+            return a.runtime_ns < b.runtime_ns;
+        },
+        "bestPerformanceUnderArea");
+}
+
+std::size_t
+bestEfficiencyUnderArea(const std::vector<SweepPoint> &points,
+                        double area_um2)
+{
+    return bestUnder(
+        points,
+        [=](const SimResult &r) { return r.area_um2 <= area_um2; },
+        [](const SimResult &a, const SimResult &b) {
+            return a.efficiency_opj > b.efficiency_opj;
+        },
+        "bestEfficiencyUnderArea");
+}
+
+std::size_t
+bestPerformanceUnderPower(const std::vector<SweepPoint> &points,
+                          double power_mw)
+{
+    return bestUnder(
+        points,
+        [=](const SimResult &r) { return r.power_mw <= power_mw; },
+        [](const SimResult &a, const SimResult &b) {
+            return a.runtime_ns < b.runtime_ns;
+        },
+        "bestPerformanceUnderPower");
+}
+
+} // namespace accelwall::aladdin

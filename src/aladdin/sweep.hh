@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Design-space sweep driver (Section VI, Figure 13/14 inputs).
+ */
+
+#ifndef ACCELWALL_ALADDIN_SWEEP_HH
+#define ACCELWALL_ALADDIN_SWEEP_HH
+
+#include <vector>
+
+#include "aladdin/design_point.hh"
+#include "aladdin/simulator.hh"
+
+namespace accelwall::aladdin
+{
+
+/** One evaluated design alternative. */
+struct SweepPoint
+{
+    DesignPoint dp;
+    SimResult res;
+};
+
+/**
+ * Evaluate the full (node x partition x simplification) grid.
+ *
+ * Partitioning saturates once the factor exceeds the kernel's available
+ * parallelism; after two consecutive factors produce identical runtime
+ * and energy (within 0.1%), the remaining factors reuse the plateau
+ * result instead of re-simulating — the Table III grid reaches 2^19,
+ * far beyond any kernel's max working set.
+ */
+std::vector<SweepPoint> runSweep(const Simulator &sim,
+                                 const SweepConfig &cfg);
+
+/** Index of the minimum-runtime point; fatal() on empty input. */
+std::size_t bestPerformance(const std::vector<SweepPoint> &points);
+
+/** Index of the maximum ops/J point; fatal() on empty input. */
+std::size_t bestEfficiency(const std::vector<SweepPoint> &points);
+
+/**
+ * Fixed-budget selectors — the paper's premise is optimization "subject
+ * to a given budget of power, area, and cost". These return the best
+ * point whose area (um²) or power (mW) fits the budget; fatal() when
+ * nothing fits.
+ */
+std::size_t bestPerformanceUnderArea(const std::vector<SweepPoint> &points,
+                                     double area_um2);
+std::size_t bestEfficiencyUnderArea(const std::vector<SweepPoint> &points,
+                                    double area_um2);
+std::size_t bestPerformanceUnderPower(
+    const std::vector<SweepPoint> &points, double power_mw);
+
+} // namespace accelwall::aladdin
+
+#endif // ACCELWALL_ALADDIN_SWEEP_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Transistor-budget models (Section III, Figures 3b and 3c).
+ *
+ * Two independent caps on the number of usable transistors:
+ *
+ *  1. Area budget (Fig. 3b): the datasheet fit
+ *         TC(D) = 4.99e9 * D^0.877,  D = area / node²  [mm²/nm²]
+ *     Sub-linear in D because large chips are harder to fully utilize.
+ *
+ *  2. Power budget (Fig. 3c): per node-group fits of
+ *         transistors[1e9] * freq[GHz] = k * TDP^e
+ *     Post-Dennard power density limits the fraction of transistors that
+ *     can switch within a TDP envelope; newer groups have larger k
+ *     (more devices per watt) but smaller e (the envelope saturates
+ *     faster).
+ *
+ * Both canonical parameter sets are the paper's published fits; the same
+ * regressions can be re-derived from a corpus via fitAreaModel() /
+ * fitTdpModel() (exercised on the synthetic corpus, see synth.hh).
+ */
+
+#ifndef ACCELWALL_CHIPDB_BUDGET_HH
+#define ACCELWALL_CHIPDB_BUDGET_HH
+
+#include <string>
+#include <vector>
+
+#include "chipdb/record.hh"
+#include "stats/fits.hh"
+
+namespace accelwall::chipdb
+{
+
+/** One TDP-envelope node group of Figure 3c. */
+struct TdpGroup
+{
+    /** Inclusive node range covered, in nm (newest..oldest). */
+    double min_node_nm = 0.0;
+    double max_node_nm = 0.0;
+    /** Fit: transistors[1e9] * freq[GHz] = coeff * TDP^exponent. */
+    double coeff = 0.0;
+    double exponent = 0.0;
+    /** Display label, e.g. "10nm-5nm". */
+    std::string label;
+};
+
+/**
+ * The combined transistor-budget model.
+ */
+class BudgetModel
+{
+  public:
+    /** Construct with the paper's canonical fit parameters. */
+    BudgetModel();
+
+    /** Construct with explicit area-fit parameters (e.g. re-fit). */
+    BudgetModel(double area_coeff, double area_exponent);
+
+    /** Density factor D = area/node² in mm²/nm². */
+    static double densityFactor(double area_mm2, double node_nm);
+
+    /**
+     * Area-budget transistor count for a die of @p area_mm2 at
+     * @p node_nm (Fig. 3b curve).
+     */
+    double areaTransistors(double area_mm2, double node_nm) const;
+
+    /**
+     * Invert the area budget: die area needed to hold @p transistors at
+     * @p node_nm.
+     */
+    double areaForTransistors(double transistors, double node_nm) const;
+
+    /**
+     * Power-budget transistor-gigahertz product (in absolute
+     * transistors * GHz) for @p tdp_w at @p node_nm (Fig. 3c curves).
+     */
+    double tdpTransistorGhz(double tdp_w, double node_nm) const;
+
+    /**
+     * Power-budget active transistor count at @p freq_ghz.
+     */
+    double tdpTransistors(double tdp_w, double node_nm,
+                          double freq_ghz) const;
+
+    /** The node group covering @p node_nm (nearest when outside). */
+    const TdpGroup &groupFor(double node_nm) const;
+
+    /** All node groups, newest first. */
+    const std::vector<TdpGroup> &groups() const { return groups_; }
+
+    /** Area-fit coefficient (canonically 4.99e9). */
+    double areaCoeff() const { return area_coeff_; }
+
+    /** Area-fit exponent (canonically 0.877). */
+    double areaExponent() const { return area_exponent_; }
+
+  private:
+    double area_coeff_;
+    double area_exponent_;
+    std::vector<TdpGroup> groups_;
+};
+
+/**
+ * Re-derive the Figure 3b regression from a corpus: power-law fit of
+ * transistor count against density factor. Records lacking a disclosed
+ * transistor count are skipped.
+ */
+stats::PowerLawFit fitAreaModel(const std::vector<ChipRecord> &corpus);
+
+/**
+ * Re-derive one Figure 3c regression from a corpus: power-law fit of
+ * transistors[1e9]*freq[GHz] against TDP over records whose node falls in
+ * [min_node_nm, max_node_nm].
+ */
+stats::PowerLawFit fitTdpModel(const std::vector<ChipRecord> &corpus,
+                               double min_node_nm, double max_node_nm);
+
+} // namespace accelwall::chipdb
+
+#endif // ACCELWALL_CHIPDB_BUDGET_HH

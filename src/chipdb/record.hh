@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Datasheet record types. The paper's CMOS potential model is constructed
+ * from datasheets of 1612 CPUs and 1001 GPUs (CPU DB / TechPowerUp); this
+ * struct holds the fields those fits consume.
+ */
+
+#ifndef ACCELWALL_CHIPDB_RECORD_HH
+#define ACCELWALL_CHIPDB_RECORD_HH
+
+#include <string>
+
+namespace accelwall::chipdb
+{
+
+/** Broad platform classes used across the paper's case studies. */
+enum class Platform
+{
+    CPU,
+    GPU,
+    FPGA,
+    ASIC,
+};
+
+/** Human-readable platform name ("CPU", "GPU", ...). */
+const char *platformName(Platform platform);
+
+/** One chip datasheet entry. */
+struct ChipRecord
+{
+    std::string name;
+    Platform platform = Platform::CPU;
+    /** Introduction year (fractional years encode quarters). */
+    double year = 0.0;
+    /** CMOS feature size in nanometres. */
+    double node_nm = 0.0;
+    /** Die area in mm². */
+    double area_mm2 = 0.0;
+    /** Transistor count (0 when the datasheet does not disclose it). */
+    double transistors = 0.0;
+    /** Nominal clock in MHz. */
+    double freq_mhz = 0.0;
+    /** Thermal design power in watts. */
+    double tdp_w = 0.0;
+};
+
+} // namespace accelwall::chipdb
+
+#endif // ACCELWALL_CHIPDB_RECORD_HH

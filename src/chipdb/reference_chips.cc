@@ -1,0 +1,59 @@
+#include "chipdb/reference_chips.hh"
+
+namespace accelwall::chipdb
+{
+
+const std::vector<ChipRecord> &
+referenceChips()
+{
+    // name                plat             year    node   mm²    transistors freq[MHz] TDP[W]
+    static const std::vector<ChipRecord> chips = {
+        // CPUs.
+        { "Pentium 4 Northwood", Platform::CPU, 2002.0, 130.0, 146.0,
+          5.5e7, 2400.0, 58.0 },
+        { "Athlon 64",           Platform::CPU, 2003.7, 130.0, 193.0,
+          1.06e8, 2000.0, 89.0 },
+        { "Core 2 Duo E6600",    Platform::CPU, 2006.6, 65.0, 143.0,
+          2.91e8, 2400.0, 65.0 },
+        { "Core i7-920",         Platform::CPU, 2008.9, 45.0, 263.0,
+          7.31e8, 2660.0, 130.0 },
+        { "Core i7-2600K",       Platform::CPU, 2011.0, 32.0, 216.0,
+          1.16e9, 3400.0, 95.0 },
+        { "Core i7-4770K",       Platform::CPU, 2013.4, 22.0, 177.0,
+          1.4e9, 3500.0, 84.0 },
+        { "Core i7-6700K",       Platform::CPU, 2015.6, 14.0, 122.0,
+          1.75e9, 4000.0, 91.0 },
+        { "Ryzen 7 1800X",       Platform::CPU, 2017.2, 14.0, 213.0,
+          4.8e9, 3600.0, 95.0 },
+        // GPUs.
+        { "GeForce 8800 GTX",    Platform::GPU, 2006.9, 90.0, 484.0,
+          6.81e8, 575.0, 145.0 },
+        { "GTX 280",             Platform::GPU, 2008.4, 65.0, 576.0,
+          1.4e9, 602.0, 236.0 },
+        { "HD 5870",             Platform::GPU, 2009.8, 40.0, 334.0,
+          2.15e9, 850.0, 188.0 },
+        { "GTX 480",             Platform::GPU, 2010.2, 40.0, 529.0,
+          3.0e9, 701.0, 250.0 },
+        { "GTX 680",             Platform::GPU, 2012.2, 28.0, 294.0,
+          3.54e9, 1006.0, 195.0 },
+        { "HD 7970",             Platform::GPU, 2012.0, 28.0, 352.0,
+          4.31e9, 925.0, 250.0 },
+        { "R9 290X",             Platform::GPU, 2013.8, 28.0, 438.0,
+          6.2e9, 1000.0, 290.0 },
+        { "GTX 980",             Platform::GPU, 2014.7, 28.0, 398.0,
+          5.2e9, 1126.0, 165.0 },
+        { "GTX 980 Ti",          Platform::GPU, 2015.4, 28.0, 601.0,
+          8.0e9, 1000.0, 250.0 },
+        { "GTX 1080",            Platform::GPU, 2016.4, 16.0, 314.0,
+          7.2e9, 1607.0, 180.0 },
+        { "GTX 1080 Ti",         Platform::GPU, 2017.2, 16.0, 471.0,
+          1.2e10, 1480.0, 250.0 },
+        { "Titan V",             Platform::GPU, 2017.9, 12.0, 815.0,
+          2.11e10, 1200.0, 250.0 },
+        { "Vega 64",             Platform::GPU, 2017.6, 14.0, 495.0,
+          1.25e10, 1247.0, 295.0 },
+    };
+    return chips;
+}
+
+} // namespace accelwall::chipdb

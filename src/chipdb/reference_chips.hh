@@ -1,0 +1,32 @@
+/**
+ * @file
+ * A validation set of real, publicly documented chips.
+ *
+ * The synthetic corpus (synth.hh) is *drawn from* the paper's budget
+ * laws, so recovering them there validates the regression machinery
+ * but not the laws. This table holds well-known commercial parts with
+ * published die sizes and transistor counts so tests can check the
+ * Figure 3b law against actual silicon: the law should predict every
+ * entry's transistor count within a small factor across 130nm..12nm.
+ */
+
+#ifndef ACCELWALL_CHIPDB_REFERENCE_CHIPS_HH
+#define ACCELWALL_CHIPDB_REFERENCE_CHIPS_HH
+
+#include <vector>
+
+#include "chipdb/record.hh"
+
+namespace accelwall::chipdb
+{
+
+/**
+ * Real chips with public die size and transistor count (vendor
+ * disclosures / die analyses). Frequencies are nominal; TDPs are the
+ * official board/package ratings.
+ */
+const std::vector<ChipRecord> &referenceChips();
+
+} // namespace accelwall::chipdb
+
+#endif // ACCELWALL_CHIPDB_REFERENCE_CHIPS_HH

@@ -1,0 +1,116 @@
+#include "chipdb/synth.hh"
+
+#include <cmath>
+#include <string>
+
+#include "chipdb/budget.hh"
+#include "util/rng.hh"
+
+namespace accelwall::chipdb
+{
+
+namespace
+{
+
+/** Per-node sampling ranges for one platform class. */
+struct NodeProfile
+{
+    double node_nm;
+    double first_year;
+    double last_year;
+    double min_area_mm2;
+    double max_area_mm2;
+    double min_tdp_w;
+    double max_tdp_w;
+};
+
+const NodeProfile kCpuProfiles[] = {
+    { 180.0, 1999.0, 2003.0, 80.0, 220.0, 20.0, 90.0 },
+    { 130.0, 2001.0, 2005.0, 80.0, 250.0, 25.0, 110.0 },
+    {  90.0, 2004.0, 2007.0, 90.0, 300.0, 30.0, 130.0 },
+    {  65.0, 2006.0, 2009.0, 100.0, 300.0, 30.0, 150.0 },
+    {  45.0, 2008.0, 2011.0, 100.0, 350.0, 25.0, 140.0 },
+    {  32.0, 2010.0, 2012.0, 120.0, 450.0, 25.0, 150.0 },
+    {  22.0, 2012.0, 2015.0, 120.0, 500.0, 25.0, 165.0 },
+    {  14.0, 2015.0, 2018.0, 120.0, 600.0, 30.0, 220.0 },
+    {  10.0, 2017.0, 2019.0, 120.0, 650.0, 35.0, 280.0 },
+};
+
+const NodeProfile kGpuProfiles[] = {
+    { 180.0, 2000.0, 2002.0, 80.0, 200.0, 15.0, 60.0 },
+    { 130.0, 2002.0, 2004.0, 100.0, 220.0, 20.0, 75.0 },
+    { 110.0, 2004.0, 2006.0, 100.0, 280.0, 25.0, 90.0 },
+    {  90.0, 2005.0, 2007.0, 120.0, 350.0, 30.0, 130.0 },
+    {  65.0, 2007.0, 2009.0, 120.0, 580.0, 40.0, 200.0 },
+    {  55.0, 2008.0, 2010.0, 120.0, 580.0, 40.0, 230.0 },
+    {  40.0, 2010.0, 2012.0, 120.0, 530.0, 50.0, 260.0 },
+    {  28.0, 2012.0, 2016.0, 120.0, 600.0, 50.0, 300.0 },
+    {  20.0, 2014.0, 2016.0, 150.0, 600.0, 60.0, 300.0 },
+    {  16.0, 2016.0, 2018.0, 150.0, 815.0, 75.0, 350.0 },
+    {  12.0, 2017.0, 2019.0, 150.0, 815.0, 75.0, 350.0 },
+};
+
+void
+emit(std::vector<ChipRecord> &out, const NodeProfile *profiles,
+     std::size_t num_profiles, int count, Platform platform,
+     const char *prefix, const SynthConfig &config, Rng &rng,
+     const BudgetModel &budget)
+{
+    for (int i = 0; i < count; ++i) {
+        const NodeProfile &prof = profiles[i % num_profiles];
+
+        ChipRecord rec;
+        rec.platform = platform;
+        rec.name = std::string(prefix) + "-" + std::to_string(i);
+        rec.node_nm = prof.node_nm;
+        rec.year = rng.uniform(prof.first_year, prof.last_year);
+        rec.area_mm2 = rng.uniform(prof.min_area_mm2, prof.max_area_mm2);
+
+        // Transistor count follows the area law (Fig. 3b) with noise.
+        rec.transistors =
+            budget.areaTransistors(rec.area_mm2, rec.node_nm) *
+            rng.lognoise(config.tc_noise);
+
+        // TDP is sampled log-uniformly in the node's commercial range;
+        // the shipping frequency is then what the power law of the
+        // chip's node group (Fig. 3c) affords for this many transistors
+        // within that envelope: freq = k * TDP^e / TC. Real products
+        // land near this frontier because vendors clock up to the
+        // envelope.
+        rec.tdp_w = std::exp(rng.uniform(std::log(prof.min_tdp_w),
+                                         std::log(prof.max_tdp_w)));
+        double tghz = budget.tdpTransistorGhz(rec.tdp_w, rec.node_nm);
+        double freq_ghz = tghz / rec.transistors *
+                          rng.lognoise(config.tdp_noise);
+        rec.freq_mhz = freq_ghz * 1e3;
+
+        // Real databases omit transistor counts for a fraction of chips;
+        // keep ~10% undisclosed so fits must tolerate gaps.
+        if (rng.uniform() < 0.10)
+            rec.transistors = 0.0;
+
+        out.push_back(std::move(rec));
+    }
+}
+
+} // namespace
+
+std::vector<ChipRecord>
+makeSynthCorpus(const SynthConfig &config)
+{
+    Rng rng(config.seed);
+    BudgetModel budget;
+
+    std::vector<ChipRecord> corpus;
+    corpus.reserve(static_cast<std::size_t>(config.num_cpus) +
+                   static_cast<std::size_t>(config.num_gpus));
+
+    emit(corpus, kCpuProfiles, std::size(kCpuProfiles), config.num_cpus,
+         Platform::CPU, "cpu", config, rng, budget);
+    emit(corpus, kGpuProfiles, std::size(kGpuProfiles), config.num_gpus,
+         Platform::GPU, "gpu", config, rng, budget);
+
+    return corpus;
+}
+
+} // namespace accelwall::chipdb

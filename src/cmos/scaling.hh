@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CMOS device-scaling model (Section III, Figure 3a).
+ *
+ * The paper digests the Stillmaker & Baas scaling equations (180nm..7nm)
+ * and the IRDS 2017 5nm projections into per-node device factors. We encode
+ * the same digest as a static table spanning 250nm..5nm. All relative
+ * quantities are normalized to the 45nm node, matching the paper's
+ * normalization in Figure 3a and the 45nm baseline of Section VI.
+ *
+ * Values are approximations reconstructed from the published curves (see
+ * DESIGN.md, substitutions table); what matters downstream is the relative
+ * progression between nodes, not the absolute third digit.
+ */
+
+#ifndef ACCELWALL_CMOS_SCALING_HH
+#define ACCELWALL_CMOS_SCALING_HH
+
+#include <vector>
+
+namespace accelwall::cmos
+{
+
+/** Device-level parameters for one CMOS node. */
+struct NodeParams
+{
+    /** Feature size in nanometres (e.g. 45). */
+    double node_nm = 0.0;
+    /** Nominal supply voltage in volts. */
+    double vdd = 0.0;
+    /** Gate delay relative to 45nm (smaller is faster). */
+    double gate_delay = 0.0;
+    /** Switched capacitance per gate relative to 45nm. */
+    double capacitance = 0.0;
+    /** Static (leakage) power per transistor relative to 45nm. */
+    double leakage = 0.0;
+};
+
+/**
+ * The scaling table: per-node device factors plus derived relative
+ * quantities. A process-wide singleton; nodes not in the table are
+ * resolved to the nearest tabulated node by nearest().
+ */
+class ScalingTable
+{
+  public:
+    /** The singleton instance holding the built-in table. */
+    static const ScalingTable &instance();
+
+    /** True when @p node_nm is tabulated exactly. */
+    bool has(double node_nm) const;
+
+    /** Parameters for an exactly tabulated node; fatal() otherwise. */
+    const NodeParams &at(double node_nm) const;
+
+    /** Parameters for the tabulated node closest to @p node_nm. */
+    const NodeParams &nearest(double node_nm) const;
+
+    /** All tabulated nodes, descending feature size (oldest first). */
+    std::vector<double> nodes() const;
+
+    /**
+     * Maximum-frequency gain relative to 45nm: the inverse of relative
+     * gate delay.
+     */
+    double frequencyGain(double node_nm) const;
+
+    /**
+     * Dynamic switching energy per operation relative to 45nm:
+     * C * VDD^2 with both factors taken relative to the 45nm node.
+     */
+    double dynamicEnergy(double node_nm) const;
+
+    /**
+     * Dynamic power per transistor relative to 45nm at a fixed absolute
+     * clock: equals dynamicEnergy() since power = energy * frequency.
+     */
+    double dynamicPower(double node_nm) const;
+
+    /** Leakage power per transistor relative to 45nm. */
+    double leakagePower(double node_nm) const;
+
+    /** Supply voltage relative to 45nm. */
+    double vddRel(double node_nm) const;
+
+    /** Switched capacitance per gate relative to 45nm. */
+    double capacitanceRel(double node_nm) const;
+
+    /** Relative gate delay (45nm == 1.0). */
+    double gateDelayRel(double node_nm) const;
+
+    /**
+     * Ideal areal transistor-density gain relative to 45nm: (45/N)^2.
+     * The empirically achievable budget is modeled separately in chipdb
+     * (Figure 3b's sub-linear utilization fit).
+     */
+    double densityGain(double node_nm) const;
+
+  private:
+    ScalingTable();
+
+    std::vector<NodeParams> params_;
+};
+
+} // namespace accelwall::cmos
+
+#endif // ACCELWALL_CMOS_SCALING_HH

@@ -1,0 +1,149 @@
+#include "concepts/bounds.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall::concepts
+{
+
+namespace
+{
+
+/** log2 guarded for the degenerate max|WS| == 1 case. */
+double
+log2Of(double x)
+{
+    return x <= 2.0 ? 1.0 : std::log2(x);
+}
+
+} // namespace
+
+const char *
+componentName(Component component)
+{
+    switch (component) {
+      case Component::Memory: return "memory";
+      case Component::Communication: return "communication";
+      case Component::Computation: return "computation";
+    }
+    return "?";
+}
+
+const char *
+conceptName(SpecConcept spec_concept)
+{
+    switch (spec_concept) {
+      case SpecConcept::Simplification: return "simplification";
+      case SpecConcept::Partitioning: return "partitioning";
+      case SpecConcept::Heterogeneity: return "heterogeneity";
+    }
+    return "?";
+}
+
+Bound
+bound(const dfg::Analysis &a, Component component, SpecConcept spec_concept)
+{
+    double v = static_cast<double>(a.num_nodes);
+    double e = static_cast<double>(a.num_edges);
+    double d = static_cast<double>(a.depth);
+    double ws = static_cast<double>(a.max_working_set);
+    double vin = static_cast<double>(a.num_inputs);
+    double vout = static_cast<double>(a.num_outputs);
+
+    Bound b;
+    switch (component) {
+      case Component::Memory:
+        switch (spec_concept) {
+          case SpecConcept::Simplification:
+            // Single simple module; every node performs a sequential
+            // lookup bounded by the naming space.
+            b.time = v * log2Of(ws);
+            b.space = ws;
+            b.log2_space = std::log2(std::max(ws, 1.0));
+            b.time_expr = "|V|*log(max|WS|)";
+            b.space_expr = "max|WS|";
+            return b;
+          case SpecConcept::Heterogeneity:
+            // A banked hierarchy mirroring all DFG edges serves each
+            // stage in parallel at O(1) per access.
+            b.time = d;
+            b.space = e;
+            b.log2_space = std::log2(std::max(e, 1.0));
+            b.time_expr = "D";
+            b.space_expr = "|E|";
+            return b;
+          case SpecConcept::Partitioning:
+            // max|WS| banks; lookups proceed per stage.
+            b.time = d * log2Of(ws);
+            b.space = ws;
+            b.log2_space = std::log2(std::max(ws, 1.0));
+            b.time_expr = "D*log(max|WS|)";
+            b.space_expr = "max|WS|";
+            return b;
+        }
+        break;
+
+      case Component::Communication:
+        switch (spec_concept) {
+          case SpecConcept::Simplification:
+            // Minimal spanning tree: |V| wires, data traverses all
+            // dependence edges serially.
+            b.time = e;
+            b.space = v;
+            b.log2_space = std::log2(std::max(v, 1.0));
+            b.time_expr = "|E|";
+            b.space_expr = "|V|";
+            return b;
+          case SpecConcept::Heterogeneity:
+            // Topology mirrors the DFG: wiring |E|, delay = depth.
+            b.time = d;
+            b.space = e;
+            b.log2_space = std::log2(std::max(e, 1.0));
+            b.time_expr = "D";
+            b.space_expr = "|E|";
+            return b;
+          case SpecConcept::Partitioning:
+            b.time = d;
+            b.space = ws;
+            b.log2_space = std::log2(std::max(ws, 1.0));
+            b.time_expr = "D";
+            b.space_expr = "max|WS|";
+            return b;
+        }
+        break;
+
+      case Component::Computation:
+        switch (spec_concept) {
+          case SpecConcept::Simplification:
+            // Nodes reduced to Θ(1) gates computing bit-serially.
+            b.time = e;
+            b.space = 1.0;
+            b.log2_space = 0.0;
+            b.time_expr = "|E|";
+            b.space_expr = "1";
+            return b;
+          case SpecConcept::Heterogeneity:
+            // The extreme fusion case: one lookup table over all input
+            // bits. Space 2^|V_IN| * |V_OUT| overflows quickly; report
+            // log2 alongside.
+            b.time = vin;
+            b.log2_space = vin + std::log2(std::max(vout, 1.0));
+            b.space = std::exp2(vin) * vout;
+            b.time_expr = "|V_IN|";
+            b.space_expr = "2^|V_IN|*|V_OUT|";
+            return b;
+          case SpecConcept::Partitioning:
+            b.time = d;
+            b.space = ws;
+            b.log2_space = std::log2(std::max(ws, 1.0));
+            b.time_expr = "D";
+            b.space_expr = "max|WS|";
+            return b;
+        }
+        break;
+    }
+    panic("concepts::bound: unhandled component/concept combination");
+}
+
+} // namespace accelwall::concepts

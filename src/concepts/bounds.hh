@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Theoretical limits of chip specialization concepts (Section V-B,
+ * Table II).
+ *
+ * The paper identifies three specialization concepts — simplification,
+ * partitioning, heterogeneity — each applicable to the three processing
+ * components — memory, communication, computation — and derives Θ-bounds
+ * on time and space for each combination in terms of DFG quantities:
+ *
+ *                Simplification           Heterogeneity          Partitioning
+ *  MEM.  Time    Θ(|V|·log(max|WS|))      Θ(D)                   Θ(D·log(max|WS|))
+ *        Space   Θ(max|WS|)               Θ(|E|)                 Θ(max|WS|)
+ *  COMM. Time    Θ(|E|)                   Θ(D)                   Θ(D)
+ *        Space   Θ(|V|)                   Θ(|E|)                 Θ(max|WS|)
+ *  COMP. Time    Θ(|E|)                   Θ(|V_IN|)              Θ(D)
+ *        Space   Θ(1)                     Θ(2^|V_IN|·|V_OUT|)    Θ(max|WS|)
+ *
+ * This module evaluates those bounds numerically for a concrete DFG.
+ */
+
+#ifndef ACCELWALL_CONCEPTS_BOUNDS_HH
+#define ACCELWALL_CONCEPTS_BOUNDS_HH
+
+#include <string>
+
+#include "dfg/analysis.hh"
+
+namespace accelwall::concepts
+{
+
+/** The three processing components of Section V-A. */
+enum class Component
+{
+    Memory,
+    Communication,
+    Computation,
+};
+
+/** The three chip-specialization concepts of Section V-A. */
+enum class SpecConcept
+{
+    Simplification,
+    Partitioning,
+    Heterogeneity,
+};
+
+/** Human-readable names. */
+const char *componentName(Component component);
+const char *conceptName(SpecConcept spec_concept);
+
+/** One Table II cell evaluated against a concrete DFG. */
+struct Bound
+{
+    /** Evaluated time bound (Θ-argument, not wall clock). */
+    double time = 0.0;
+    /**
+     * Evaluated space bound. May be +inf when 2^|V_IN| overflows a
+     * double; log2_space is always finite.
+     */
+    double space = 0.0;
+    /** log2 of the space bound (finite even when space overflows). */
+    double log2_space = 0.0;
+    /** The symbolic Θ-expression for time, e.g. "|V|*log(max|WS|)". */
+    std::string time_expr;
+    /** The symbolic Θ-expression for space. */
+    std::string space_expr;
+};
+
+/**
+ * Evaluate the Table II bound for (component, concept) on an analyzed
+ * DFG.
+ */
+Bound bound(const dfg::Analysis &analysis, Component component,
+            SpecConcept spec_concept);
+
+} // namespace accelwall::concepts
+
+#endif // ACCELWALL_CONCEPTS_BOUNDS_HH

@@ -1,0 +1,138 @@
+#include "crypto/aes.hh"
+
+namespace accelwall::crypto
+{
+
+namespace
+{
+
+/** Build the AES S-box from the GF(2^8) inverse + affine transform. */
+std::array<std::uint8_t, 256>
+buildSbox()
+{
+    // Generate via the standard 3-based log/antilog tables.
+    std::uint8_t log_table[256] = {};
+    std::uint8_t alog[256] = {};
+    std::uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+        alog[i] = x;
+        log_table[x] = static_cast<std::uint8_t>(i);
+        // multiply by 3 = x * 2 ^ x
+        std::uint8_t x2 = static_cast<std::uint8_t>(
+            (x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+        x = static_cast<std::uint8_t>(x2 ^ x);
+    }
+
+    std::array<std::uint8_t, 256> sbox{};
+    for (int i = 0; i < 256; ++i) {
+        // alog has period 255: inverse(x) = alog[(255 - log x) mod 255].
+        std::uint8_t inv =
+            (i == 0) ? 0 : alog[(255 - log_table[i]) % 255];
+        std::uint8_t s = inv;
+        std::uint8_t result = inv;
+        for (int b = 0; b < 4; ++b) {
+            s = static_cast<std::uint8_t>((s << 1) | (s >> 7));
+            result ^= s;
+        }
+        sbox[i] = static_cast<std::uint8_t>(result ^ 0x63);
+    }
+    return sbox;
+}
+
+} // namespace
+
+const std::array<std::uint8_t, 256> &
+Aes128::sbox()
+{
+    static const std::array<std::uint8_t, 256> table = buildSbox();
+    return table;
+}
+
+std::uint8_t
+Aes128::xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^
+                                     ((x & 0x80) ? 0x1b : 0x00));
+}
+
+Aes128::Aes128(const AesBlock &key)
+{
+    const auto &s = sbox();
+    round_keys_[0] = key;
+
+    std::uint8_t rcon = 0x01;
+    for (int r = 1; r <= kRounds; ++r) {
+        const AesBlock &prev = round_keys_[r - 1];
+        AesBlock &rk = round_keys_[r];
+
+        // RotWord + SubWord + Rcon on the previous last word.
+        std::uint8_t t0 = static_cast<std::uint8_t>(s[prev[13]] ^ rcon);
+        std::uint8_t t1 = s[prev[14]];
+        std::uint8_t t2 = s[prev[15]];
+        std::uint8_t t3 = s[prev[12]];
+        rcon = xtime(rcon);
+
+        rk[0] = static_cast<std::uint8_t>(prev[0] ^ t0);
+        rk[1] = static_cast<std::uint8_t>(prev[1] ^ t1);
+        rk[2] = static_cast<std::uint8_t>(prev[2] ^ t2);
+        rk[3] = static_cast<std::uint8_t>(prev[3] ^ t3);
+        for (int i = 4; i < 16; ++i)
+            rk[i] = static_cast<std::uint8_t>(prev[i] ^ rk[i - 4]);
+    }
+}
+
+AesBlock
+Aes128::encrypt(const AesBlock &plaintext) const
+{
+    const auto &s = sbox();
+    AesBlock state = plaintext;
+
+    auto add_round_key = [&](int r) {
+        for (int i = 0; i < 16; ++i)
+            state[i] ^= round_keys_[r][i];
+    };
+
+    auto sub_bytes = [&]() {
+        for (auto &b : state)
+            b = s[b];
+    };
+
+    auto shift_rows = [&]() {
+        AesBlock out;
+        for (int row = 0; row < 4; ++row) {
+            for (int col = 0; col < 4; ++col)
+                out[row + 4 * col] =
+                    state[row + 4 * ((col + row) % 4)];
+        }
+        state = out;
+    };
+
+    auto mix_columns = [&]() {
+        for (int col = 0; col < 4; ++col) {
+            std::uint8_t *c = &state[4 * col];
+            std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+            c[0] = static_cast<std::uint8_t>(xtime(a0) ^ xtime(a1) ^
+                                             a1 ^ a2 ^ a3);
+            c[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^
+                                             xtime(a2) ^ a2 ^ a3);
+            c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^
+                                             xtime(a3) ^ a3);
+            c[3] = static_cast<std::uint8_t>(xtime(a0) ^ a0 ^ a1 ^
+                                             a2 ^ xtime(a3));
+        }
+    };
+
+    add_round_key(0);
+    for (int r = 1; r < kRounds; ++r) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(r);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(kRounds);
+    return state;
+}
+
+} // namespace accelwall::crypto

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AES-128 block encryption (FIPS 197).
+ *
+ * Table IV's AES entry models an encryption accelerator; we implement
+ * the real cipher so the kernel DFG's operation mix (S-box lookups, GF
+ * doubles, XOR folds per round) is grounded in the actual algorithm
+ * and so tests can validate against the FIPS-197 vectors.
+ */
+
+#ifndef ACCELWALL_CRYPTO_AES_HH
+#define ACCELWALL_CRYPTO_AES_HH
+
+#include <array>
+#include <cstdint>
+
+namespace accelwall::crypto
+{
+
+/** A 16-byte AES block or round key. */
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/**
+ * AES-128 encryptor: key expansion at construction, then per-block
+ * encryption.
+ */
+class Aes128
+{
+  public:
+    /** Expand the 128-bit key into 11 round keys. */
+    explicit Aes128(const AesBlock &key);
+
+    /** Encrypt one 16-byte block. */
+    AesBlock encrypt(const AesBlock &plaintext) const;
+
+    /** Number of rounds for a 128-bit key. */
+    static constexpr int kRounds = 10;
+
+    /** The forward S-box (exposed for the kernel generator's LUTs). */
+    static const std::array<std::uint8_t, 256> &sbox();
+
+    /** GF(2^8) doubling (xtime), the MixColumns primitive. */
+    static std::uint8_t xtime(std::uint8_t x);
+
+  private:
+    std::array<AesBlock, kRounds + 1> round_keys_;
+};
+
+} // namespace accelwall::crypto
+
+#endif // ACCELWALL_CRYPTO_AES_HH

@@ -1,0 +1,218 @@
+#include "crypto/sha256.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace accelwall::crypto
+{
+
+namespace
+{
+
+constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+constexpr std::uint32_t kRoundConst[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+std::uint32_t
+rotr(std::uint32_t x, int n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+} // namespace
+
+Sha256::Sha256()
+{
+    std::memcpy(state_.data(), kInit, sizeof(kInit));
+}
+
+void
+Sha256::compress(const std::uint8_t block[64])
+{
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t(block[4 * i]) << 24) |
+               (std::uint32_t(block[4 * i + 1]) << 16) |
+               (std::uint32_t(block[4 * i + 2]) << 8) |
+               std::uint32_t(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                           (w[i - 15] >> 3);
+        std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                           (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2],
+                  d = state_[3], e = state_[4], f = state_[5],
+                  g = state_[6], h = state_[7];
+
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        std::uint32_t ch = (e & f) ^ (~e & g);
+        std::uint32_t temp1 = h + s1 + ch + kRoundConst[i] + w[i];
+        std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        std::uint32_t temp2 = s0 + maj;
+
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+void
+Sha256::update(const std::uint8_t *data, std::size_t len)
+{
+    if (finished_)
+        fatal("Sha256: update after finish");
+    total_bytes_ += len;
+    while (len > 0) {
+        std::size_t take = std::min(len, 64 - buffered_);
+        std::memcpy(buffer_.data() + buffered_, data, take);
+        buffered_ += take;
+        data += take;
+        len -= take;
+        if (buffered_ == 64) {
+            compress(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+}
+
+void
+Sha256::update(const std::vector<std::uint8_t> &data)
+{
+    update(data.data(), data.size());
+}
+
+Sha256Digest
+Sha256::finish()
+{
+    if (finished_)
+        fatal("Sha256: finish called twice");
+    finished_ = true;
+
+    std::uint64_t bit_len = total_bytes_ * 8;
+    std::uint8_t pad = 0x80;
+    // Temporarily clear finished_ so the padding updates are legal.
+    finished_ = false;
+    update(&pad, 1);
+    std::uint8_t zero = 0x00;
+    while (buffered_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    update(len_be, 8);
+    finished_ = true;
+
+    Sha256Digest out;
+    for (int i = 0; i < 8; ++i)
+        out[i] = state_[i];
+    return out;
+}
+
+Sha256Digest
+Sha256::hash(const std::uint8_t *data, std::size_t len)
+{
+    Sha256 h;
+    h.update(data, len);
+    return h.finish();
+}
+
+Sha256Digest
+Sha256::hash(const std::string &text)
+{
+    return hash(reinterpret_cast<const std::uint8_t *>(text.data()),
+                text.size());
+}
+
+Sha256Digest
+Sha256::doubleHash(const std::uint8_t *data, std::size_t len)
+{
+    Sha256Digest first = hash(data, len);
+    std::uint8_t bytes[32];
+    for (int i = 0; i < 8; ++i) {
+        bytes[4 * i] = static_cast<std::uint8_t>(first[i] >> 24);
+        bytes[4 * i + 1] = static_cast<std::uint8_t>(first[i] >> 16);
+        bytes[4 * i + 2] = static_cast<std::uint8_t>(first[i] >> 8);
+        bytes[4 * i + 3] = static_cast<std::uint8_t>(first[i]);
+    }
+    return hash(bytes, 32);
+}
+
+std::string
+toHex(const Sha256Digest &digest)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(64);
+    for (std::uint32_t word : digest) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            out += digits[(word >> shift) & 0xF];
+    }
+    return out;
+}
+
+int
+mineLeadingZeroBits(std::array<std::uint8_t, 80> header,
+                    std::uint32_t nonce)
+{
+    // Bitcoin headers carry the nonce little-endian in bytes 76..79.
+    header[76] = static_cast<std::uint8_t>(nonce);
+    header[77] = static_cast<std::uint8_t>(nonce >> 8);
+    header[78] = static_cast<std::uint8_t>(nonce >> 16);
+    header[79] = static_cast<std::uint8_t>(nonce >> 24);
+
+    Sha256Digest digest = Sha256::doubleHash(header.data(),
+                                             header.size());
+    int zeros = 0;
+    for (std::uint32_t word : digest) {
+        if (word == 0) {
+            zeros += 32;
+            continue;
+        }
+        for (int shift = 31; shift >= 0; --shift) {
+            if ((word >> shift) & 1u)
+                return zeros;
+            ++zeros;
+        }
+    }
+    return zeros;
+}
+
+} // namespace accelwall::crypto

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4).
+ *
+ * The Bitcoin case study (Section IV-D) rests on the fixed SHA-256
+ * hash: "the growing energy costs and the fact that mining computation
+ * relies on a fixed SHA-256 hash function incentivized hardware
+ * specialization". We implement the full function so the mining kernel
+ * DFG (kernels::makeBtc) is derived from the real round structure and
+ * the mining workload generator produces bit-accurate hashes.
+ */
+
+#ifndef ACCELWALL_CRYPTO_SHA256_HH
+#define ACCELWALL_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accelwall::crypto
+{
+
+/** A 256-bit digest as eight big-endian words. */
+using Sha256Digest = std::array<std::uint32_t, 8>;
+
+/**
+ * Incremental SHA-256 (FIPS 180-4).
+ */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p len bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Convenience overload for byte vectors. */
+    void update(const std::vector<std::uint8_t> &data);
+
+    /** Finalize (pad + length) and return the digest. */
+    Sha256Digest finish();
+
+    /** One-shot hash of a byte buffer. */
+    static Sha256Digest hash(const std::uint8_t *data, std::size_t len);
+
+    /** One-shot hash of a string's bytes. */
+    static Sha256Digest hash(const std::string &text);
+
+    /**
+     * Bitcoin's double hash: SHA256(SHA256(data)).
+     */
+    static Sha256Digest doubleHash(const std::uint8_t *data,
+                                   std::size_t len);
+
+    /** Number of compression rounds (the mining DFG's row count). */
+    static constexpr int kRounds = 64;
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t total_bytes_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    bool finished_ = false;
+};
+
+/** Render a digest as lowercase hex (for tests and tools). */
+std::string toHex(const Sha256Digest &digest);
+
+/**
+ * Evaluate a Bitcoin-style proof-of-work: double-SHA256 an 80-byte
+ * header with the given nonce patched into bytes 76..79 (little
+ * endian) and count the leading zero bits of the digest.
+ */
+int mineLeadingZeroBits(std::array<std::uint8_t, 80> header,
+                        std::uint32_t nonce);
+
+} // namespace accelwall::crypto
+
+#endif // ACCELWALL_CRYPTO_SHA256_HH

@@ -1,0 +1,160 @@
+#include "csr/arch_gains.hh"
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace accelwall::csr
+{
+
+ArchGainSolver::ArchGainSolver(int min_shared_apps)
+    : min_shared_apps_(min_shared_apps)
+{
+    if (min_shared_apps_ < 1)
+        fatal("ArchGainSolver: min_shared_apps must be >= 1");
+}
+
+int
+ArchGainSolver::indexOf(const std::string &arch) const
+{
+    auto it = arch_index_.find(arch);
+    if (it == arch_index_.end())
+        fatal("ArchGainSolver: unknown architecture '", arch, "'");
+    return it->second;
+}
+
+int
+ArchGainSolver::addArch(const std::string &arch)
+{
+    auto it = arch_index_.find(arch);
+    if (it != arch_index_.end())
+        return it->second;
+    int idx = static_cast<int>(archs_.size());
+    archs_.push_back(arch);
+    arch_index_[arch] = idx;
+    observations_.emplace_back();
+    return idx;
+}
+
+void
+ArchGainSolver::addObservation(const std::string &arch,
+                               const std::string &app, double gain)
+{
+    if (solved_)
+        fatal("ArchGainSolver: addObservation after solve()");
+    if (gain <= 0.0)
+        fatal("ArchGainSolver: gains must be positive");
+    observations_[addArch(arch)][app].push_back(gain);
+}
+
+void
+ArchGainSolver::solve()
+{
+    if (solved_)
+        fatal("ArchGainSolver: solve() called twice");
+    solved_ = true;
+
+    std::size_t n = archs_.size();
+    gains_.assign(n, std::vector<double>(n, 1.0));
+    known_.assign(n, std::vector<bool>(n, false));
+    direct_.assign(n, std::vector<bool>(n, false));
+
+    // Collapse duplicate samples of the same (arch, app) to their
+    // geometric mean: the same architecture appears in multiple chips.
+    std::vector<std::map<std::string, double>> app_gain(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const auto &[app, samples] : observations_[i])
+            app_gain[i][app] = stats::geomean(samples);
+    }
+
+    // Direct relations (Eq. 3): geometric mean of shared-app ratios for
+    // pairs with at least min_shared_apps_ shared applications.
+    for (std::size_t x = 0; x < n; ++x) {
+        known_[x][x] = true;
+        for (std::size_t y = 0; y < n; ++y) {
+            if (x == y)
+                continue;
+            std::vector<double> ratios;
+            for (const auto &[app, gx] : app_gain[x]) {
+                auto it = app_gain[y].find(app);
+                if (it != app_gain[y].end())
+                    ratios.push_back(gx / it->second);
+            }
+            if (static_cast<int>(ratios.size()) >= min_shared_apps_) {
+                gains_[x][y] = stats::geomean(ratios);
+                known_[x][y] = true;
+                direct_[x][y] = true;
+            }
+        }
+    }
+
+    // Transitive completion (Eq. 4): for each unknown pair, take the
+    // geometric mean of products through all intermediaries with known
+    // relations on both legs. Iterate until no pair is added.
+    bool added = true;
+    while (added) {
+        added = false;
+        for (std::size_t x = 0; x < n; ++x) {
+            for (std::size_t y = 0; y < n; ++y) {
+                if (x == y || known_[x][y])
+                    continue;
+                std::vector<double> products;
+                for (std::size_t mid = 0; mid < n; ++mid) {
+                    if (mid == x || mid == y)
+                        continue;
+                    if (known_[x][mid] && known_[mid][y])
+                        products.push_back(gains_[x][mid] *
+                                           gains_[mid][y]);
+                }
+                if (!products.empty()) {
+                    gains_[x][y] = stats::geomean(products);
+                    known_[x][y] = true;
+                    added = true;
+                }
+            }
+        }
+    }
+}
+
+bool
+ArchGainSolver::hasGain(const std::string &x, const std::string &y) const
+{
+    if (!solved_)
+        fatal("ArchGainSolver: hasGain before solve()");
+    return known_[indexOf(x)][indexOf(y)];
+}
+
+double
+ArchGainSolver::gain(const std::string &x, const std::string &y) const
+{
+    if (!solved_)
+        fatal("ArchGainSolver: gain before solve()");
+    int xi = indexOf(x), yi = indexOf(y);
+    if (!known_[xi][yi])
+        fatal("ArchGainSolver: no relation between '", x, "' and '", y,
+              "'");
+    return gains_[xi][yi];
+}
+
+int
+ArchGainSolver::sharedApps(const std::string &x, const std::string &y) const
+{
+    int xi = indexOf(x), yi = indexOf(y);
+    int shared = 0;
+    for (const auto &[app, samples] : observations_[xi]) {
+        if (observations_[yi].count(app))
+            ++shared;
+    }
+    return shared;
+}
+
+bool
+ArchGainSolver::isDirect(const std::string &x, const std::string &y) const
+{
+    if (!solved_)
+        fatal("ArchGainSolver: isDirect before solve()");
+    return direct_[indexOf(x)][indexOf(y)];
+}
+
+} // namespace accelwall::csr

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cross-architecture relative gains (Section IV-B, Equations 3-4).
+ *
+ * The paper compares GPU architecture generations by the geometric mean of
+ * per-application gain ratios over applications both architectures ran
+ * (Eq. 3), requiring at least five shared applications; pairs with fewer
+ * shared applications are filled in transitively through intermediary
+ * architectures (Eq. 4), iterating until the relations matrix stops
+ * growing.
+ */
+
+#ifndef ACCELWALL_CSR_ARCH_GAINS_HH
+#define ACCELWALL_CSR_ARCH_GAINS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace accelwall::csr
+{
+
+/**
+ * Builds and solves the architecture relative-gain relations matrix.
+ *
+ * Usage: addObservation() per (architecture, application, gain) sample,
+ * then solve(), then query gain().
+ */
+class ArchGainSolver
+{
+  public:
+    /**
+     * @param min_shared_apps Minimum shared applications for a direct
+     *        Eq. 3 relation (the paper uses 5).
+     */
+    explicit ArchGainSolver(int min_shared_apps = 5);
+
+    /** Record one benchmark result for an architecture. */
+    void addObservation(const std::string &arch, const std::string &app,
+                        double gain);
+
+    /**
+     * Build the direct relations (Eq. 3) and iterate the transitive
+     * completion (Eq. 4) to fixpoint. Call after all observations.
+     */
+    void solve();
+
+    /** All architectures seen, in first-observation order. */
+    const std::vector<std::string> &archs() const { return archs_; }
+
+    /** True when a (possibly transitive) relation exists for (x, y). */
+    bool hasGain(const std::string &x, const std::string &y) const;
+
+    /**
+     * Relative gain Gain(X -> Y): how much better X is than Y, as the
+     * geometric mean of shared-app ratios or its transitive completion.
+     * fatal() when no relation exists (disconnected components).
+     */
+    double gain(const std::string &x, const std::string &y) const;
+
+    /** Number of applications shared by two architectures. */
+    int sharedApps(const std::string &x, const std::string &y) const;
+
+    /** True when the direct (Eq. 3) relation was available for (x, y). */
+    bool isDirect(const std::string &x, const std::string &y) const;
+
+  private:
+    int indexOf(const std::string &arch) const;
+    int addArch(const std::string &arch);
+
+    int min_shared_apps_;
+    bool solved_ = false;
+
+    std::vector<std::string> archs_;
+    std::map<std::string, int> arch_index_;
+    /** Per architecture: app name -> mean gain (duplicates averaged). */
+    std::vector<std::map<std::string, std::vector<double>>> observations_;
+
+    /** Solved relations: gains_[x][y] set when known_[x][y]. */
+    std::vector<std::vector<double>> gains_;
+    std::vector<std::vector<bool>> known_;
+    std::vector<std::vector<bool>> direct_;
+};
+
+} // namespace accelwall::csr
+
+#endif // ACCELWALL_CSR_ARCH_GAINS_HH

@@ -1,0 +1,111 @@
+#include "csr/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/fits.hh"
+#include "util/logging.hh"
+
+namespace accelwall::csr
+{
+
+namespace
+{
+
+double
+potentialOf(const potential::PotentialModel &model,
+            const potential::ChipSpec &spec, Metric metric)
+{
+    switch (metric) {
+      case Metric::Throughput:
+        return model.throughput(spec);
+      case Metric::EnergyEfficiency:
+        return model.energyEfficiency(spec);
+      case Metric::AreaThroughput:
+        return model.areaThroughput(spec);
+    }
+    panic("unknown CSR metric");
+}
+
+} // namespace
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Throughput: return "throughput";
+      case Metric::EnergyEfficiency: return "energy efficiency";
+      case Metric::AreaThroughput: return "throughput/area";
+    }
+    return "?";
+}
+
+std::vector<CsrPoint>
+csrSeries(const std::vector<ChipGain> &chips,
+          const potential::PotentialModel &model, Metric metric,
+          std::size_t baseline)
+{
+    if (chips.empty())
+        fatal("csrSeries: empty chip series");
+    if (baseline >= chips.size())
+        fatal("csrSeries: baseline index ", baseline, " out of range");
+
+    const ChipGain &base = chips[baseline];
+    if (base.gain <= 0.0)
+        fatal("csrSeries: baseline chip '", base.name,
+              "' has non-positive gain");
+    double base_phy = potentialOf(model, base.spec, metric);
+
+    std::vector<CsrPoint> out;
+    out.reserve(chips.size());
+    for (const auto &chip : chips) {
+        if (chip.gain <= 0.0)
+            fatal("csrSeries: chip '", chip.name,
+                  "' has non-positive gain");
+        CsrPoint pt;
+        pt.name = chip.name;
+        pt.year = chip.year;
+        pt.rel_gain = chip.gain / base.gain;
+        pt.rel_phy = potentialOf(model, chip.spec, metric) / base_phy;
+        pt.csr = pt.rel_gain / pt.rel_phy;
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+double
+csrAnnualGrowth(const std::vector<CsrPoint> &series, double window_years)
+{
+    if (window_years <= 0.0)
+        fatal("csrAnnualGrowth: window must be positive");
+    double end = -1e300;
+    for (const auto &pt : series)
+        end = std::max(end, pt.year);
+
+    std::vector<double> years, log_csr;
+    for (const auto &pt : series) {
+        if (pt.year >= end - window_years) {
+            years.push_back(pt.year);
+            log_csr.push_back(std::log(pt.csr));
+        }
+    }
+    if (years.size() < 2)
+        fatal("csrAnnualGrowth: fewer than two points in the window");
+
+    auto fit = stats::fitLinear(years, log_csr);
+    return std::exp(fit.slope);
+}
+
+double
+csrRatio(const ChipGain &chip, const ChipGain &ref,
+         const potential::PotentialModel &model, Metric metric)
+{
+    if (chip.gain <= 0.0 || ref.gain <= 0.0)
+        fatal("csrRatio: gains must be positive");
+    double gain_ratio = chip.gain / ref.gain;
+    double phy_ratio = potentialOf(model, chip.spec, metric) /
+                       potentialOf(model, ref.spec, metric);
+    return gain_ratio / phy_ratio;
+}
+
+} // namespace accelwall::csr

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Chip Specialization Return (Section II, Equations 1-2).
+ *
+ * CSR decouples a chip's end-to-end gain from the gain explained by its
+ * physical (CMOS) potential:
+ *
+ *   CSR(Alg,Fwk,Plt,Eng) = Gain(Alg,Fwk,Plt,Eng,Phy) / Gain(Phy)   (Eq. 1)
+ *
+ * Comparatively, between two chips A and B (Eq. 2):
+ *
+ *   Gain_A/Gain_B = [CSR_A/CSR_B] * [Gain(Phy_A)/Gain(Phy_B)]
+ *
+ * Given a series of chips with reported gains and a potential model, this
+ * module produces the normalized (relative gain, relative physical
+ * potential, CSR) triples that Figures 1, 4, 5, 8 and 9 plot.
+ */
+
+#ifndef ACCELWALL_CSR_CSR_HH
+#define ACCELWALL_CSR_CSR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "potential/chip_spec.hh"
+#include "potential/model.hh"
+
+namespace accelwall::csr
+{
+
+/** Which physical-potential target function divides the reported gain. */
+enum class Metric
+{
+    /** Throughput potential (OP/s): transistors x frequency. */
+    Throughput,
+    /** Energy-efficiency potential (OP/J): throughput / power. */
+    EnergyEfficiency,
+    /**
+     * Throughput potential per die area (OP/s/mm²): the paper's metric
+     * for Bitcoin miners, whose products vary wildly in chip count.
+     */
+    AreaThroughput,
+};
+
+/** Human-readable metric name. */
+const char *metricName(Metric metric);
+
+/** One chip with its reported (measured) gain value. */
+struct ChipGain
+{
+    /** Display label, e.g. "ISSCC2006" or "GTX 1080". */
+    std::string name;
+    /** Physical description fed to the potential model. */
+    potential::ChipSpec spec;
+    /**
+     * Absolute reported gain in domain units (MPixels/s, GOPS/J, ...).
+     * Only ratios of this value are ever used.
+     */
+    double gain = 0.0;
+    /** Introduction date (fractional years); used for ordering only. */
+    double year = 0.0;
+};
+
+/** One row of a CSR trend: everything normalized to the baseline chip. */
+struct CsrPoint
+{
+    std::string name;
+    double year = 0.0;
+    /** Reported gain relative to the baseline chip. */
+    double rel_gain = 1.0;
+    /** Physical potential relative to the baseline chip. */
+    double rel_phy = 1.0;
+    /** Chip specialization return: rel_gain / rel_phy (Eq. 2). */
+    double csr = 1.0;
+};
+
+/**
+ * Compute the CSR trend for a chip series.
+ *
+ * @param chips The series; must be non-empty with positive gains.
+ * @param model The physical potential model.
+ * @param metric Which potential target function to use.
+ * @param baseline The index of the normalization chip (paper: the least
+ *                 performing / oldest chip).
+ */
+std::vector<CsrPoint> csrSeries(const std::vector<ChipGain> &chips,
+                                const potential::PotentialModel &model,
+                                Metric metric, std::size_t baseline = 0);
+
+/**
+ * Single-pair CSR ratio (Eq. 2 rearranged): how much of chip/ref's gain
+ * ratio is *not* explained by physics.
+ */
+double csrRatio(const ChipGain &chip, const ChipGain &ref,
+                const potential::PotentialModel &model, Metric metric);
+
+/**
+ * Annualized CSR growth over a trailing window — the statistic behind
+ * claims like Figure 1's "CSR did not improve in the last two years".
+ *
+ * Fits log(CSR) against year over the points whose year falls within
+ * [end - window_years, end] (end = the latest year in the series) and
+ * returns exp(slope): 1.0 means flat CSR, 1.10 means CSR compounds 10%
+ * per year. fatal() when fewer than two points fall in the window or
+ * the window has no year spread.
+ */
+double csrAnnualGrowth(const std::vector<CsrPoint> &series,
+                       double window_years);
+
+} // namespace accelwall::csr
+
+#endif // ACCELWALL_CSR_CSR_HH

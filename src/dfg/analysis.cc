@@ -1,0 +1,69 @@
+#include "dfg/analysis.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace accelwall::dfg
+{
+
+Analysis
+analyze(const Graph &graph)
+{
+    Analysis out;
+    out.num_nodes = graph.numNodes();
+    out.num_edges = graph.numEdges();
+    if (out.num_nodes == 0)
+        fatal("analyze: empty DFG '", graph.name(), "'");
+
+    std::vector<NodeId> order = graph.topoOrder();
+
+    out.stage.assign(out.num_nodes, 0);
+    std::vector<double> paths_to(out.num_nodes, 0.0);
+
+    for (NodeId id : order) {
+        const auto &preds = graph.preds(id);
+        if (preds.empty()) {
+            ++out.num_inputs;
+            out.stage[id] = 0;
+            paths_to[id] = 1.0;
+        } else {
+            std::size_t max_stage = 0;
+            double paths = 0.0;
+            for (NodeId p : preds) {
+                max_stage = std::max(max_stage, out.stage[p] + 1);
+                paths += paths_to[p];
+            }
+            out.stage[id] = max_stage;
+            paths_to[id] = paths;
+        }
+    }
+
+    for (NodeId id = 0; id < out.num_nodes; ++id) {
+        if (graph.succs(id).empty()) {
+            ++out.num_outputs;
+            out.num_paths += paths_to[id];
+        }
+        // V_CMP per the paper: vertices with both incoming and outgoing
+        // edges. (An isolated vertex counts as input *and* output, so
+        // |V| - |V_IN| - |V_OUT| would be wrong in that degenerate case.)
+        if (!graph.preds(id).empty() && !graph.succs(id).empty())
+            ++out.num_compute;
+    }
+
+    std::size_t max_stage = 0;
+    for (NodeId id = 0; id < out.num_nodes; ++id)
+        max_stage = std::max(max_stage, out.stage[id]);
+    // Depth counts vertices along the longest path, not edges.
+    out.depth = max_stage + 1;
+
+    out.stage_sizes.assign(max_stage + 1, 0);
+    for (NodeId id = 0; id < out.num_nodes; ++id)
+        ++out.stage_sizes[out.stage[id]];
+    out.max_working_set =
+        *std::max_element(out.stage_sizes.begin(), out.stage_sizes.end());
+
+    return out;
+}
+
+} // namespace accelwall::dfg

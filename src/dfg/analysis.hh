@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Structural DFG analysis implementing Section V-B's definitions:
+ * input/output/computation node sets, computation paths, DFG depth D, and
+ * per-stage working sets WS_s. These quantities parameterize the concept
+ * complexity bounds of Table II.
+ */
+
+#ifndef ACCELWALL_DFG_ANALYSIS_HH
+#define ACCELWALL_DFG_ANALYSIS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace accelwall::dfg
+{
+
+/** Computed structural properties of a DFG. */
+struct Analysis
+{
+    /** |V|. */
+    std::size_t num_nodes = 0;
+    /** |E|. */
+    std::size_t num_edges = 0;
+    /** |V_IN|: vertices with no incoming edges. */
+    std::size_t num_inputs = 0;
+    /** |V_OUT|: vertices with no outgoing edges. */
+    std::size_t num_outputs = 0;
+    /** |V_CMP|: vertices that are neither inputs nor outputs. */
+    std::size_t num_compute = 0;
+
+    /**
+     * DFG depth D: the length (in vertices) of the longest computation
+     * path from an input to an output.
+     */
+    std::size_t depth = 0;
+
+    /**
+     * Per-node ASAP stage: the 0-based position of the node along its
+     * longest incoming path. Inputs occupy stage 0.
+     */
+    std::vector<std::size_t> stage;
+
+    /** Number of variables computed in each stage (|WS_s|). */
+    std::vector<std::size_t> stage_sizes;
+
+    /** max_s |WS_s|: the largest working set, bounding partitioning. */
+    std::size_t max_working_set = 0;
+
+    /**
+     * Number of computation paths |P| (input-to-output routes), computed
+     * by DP in double precision since path counts grow combinatorially.
+     */
+    double num_paths = 0.0;
+};
+
+/**
+ * Analyze @p graph. fatal() on a cyclic graph.
+ */
+Analysis analyze(const Graph &graph);
+
+} // namespace accelwall::dfg
+
+#endif // ACCELWALL_DFG_ANALYSIS_HH

@@ -1,0 +1,87 @@
+#include "dfg/dot.hh"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "dfg/analysis.hh"
+
+namespace accelwall::dfg
+{
+
+namespace
+{
+
+const char *
+shapeOf(OpType op)
+{
+    if (isMemory(op))
+        return "box";
+    if (isVariable(op))
+        return "plaintext";
+    return "ellipse";
+}
+
+} // namespace
+
+void
+writeDot(std::ostream &os, const Graph &graph, const DotOptions &options)
+{
+    os << "digraph \"" << graph.name() << "\" {\n";
+    os << "  rankdir=TB;\n";
+    os << "  label=\"" << graph.name() << ": |V|=" << graph.numNodes()
+       << " |E|=" << graph.numEdges() << "\";\n";
+
+    if (graph.numNodes() > options.max_nodes) {
+        // Stage-level summary: one record per ASAP stage with its
+        // population, edges between consecutive stages.
+        Analysis a = analyze(graph);
+        std::map<std::size_t, std::map<std::string, std::size_t>> mix;
+        for (NodeId id = 0; id < graph.numNodes(); ++id)
+            ++mix[a.stage[id]][opName(graph.op(id))];
+        for (std::size_t s = 0; s < a.stage_sizes.size(); ++s) {
+            os << "  stage" << s << " [shape=record,label=\"stage " << s
+               << " | " << a.stage_sizes[s] << " nodes";
+            for (const auto &[op, count] : mix[s])
+                os << " | " << op << ": " << count;
+            os << "\"];\n";
+        }
+        for (std::size_t s = 0; s + 1 < a.stage_sizes.size(); ++s)
+            os << "  stage" << s << " -> stage" << s + 1 << ";\n";
+        os << "}\n";
+        return;
+    }
+
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        os << "  n" << id << " [label=\"" << opName(graph.op(id)) << " #"
+           << id << "\",shape=" << shapeOf(graph.op(id)) << "];\n";
+    }
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        for (NodeId succ : graph.succs(id))
+            os << "  n" << id << " -> n" << succ << ";\n";
+    }
+
+    if (options.rank_by_stage) {
+        Analysis a = analyze(graph);
+        std::map<std::size_t, std::vector<NodeId>> by_stage;
+        for (NodeId id = 0; id < graph.numNodes(); ++id)
+            by_stage[a.stage[id]].push_back(id);
+        for (const auto &[stage, nodes] : by_stage) {
+            os << "  { rank=same;";
+            for (NodeId id : nodes)
+                os << " n" << id << ";";
+            os << " }\n";
+        }
+    }
+    os << "}\n";
+}
+
+std::string
+toDot(const Graph &graph, const DotOptions &options)
+{
+    std::ostringstream oss;
+    writeDot(oss, graph, options);
+    return oss.str();
+}
+
+} // namespace accelwall::dfg

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Graphviz DOT export for DFGs — the standard way to eyeball a kernel
+ * generator's output or a dfgopt rewrite.
+ */
+
+#ifndef ACCELWALL_DFG_DOT_HH
+#define ACCELWALL_DFG_DOT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "dfg/graph.hh"
+
+namespace accelwall::dfg
+{
+
+/** DOT rendering options. */
+struct DotOptions
+{
+    /** Rank nodes by ASAP stage (left-to-right dataflow). */
+    bool rank_by_stage = true;
+    /**
+     * Graphs above this size render as a stage-level summary instead
+     * of one node per vertex (Graphviz chokes on multi-thousand-node
+     * digraphs).
+     */
+    std::size_t max_nodes = 400;
+};
+
+/** Render @p graph as DOT text. */
+std::string toDot(const Graph &graph, const DotOptions &options = {});
+
+/** Render to a stream. */
+void writeDot(std::ostream &os, const Graph &graph,
+              const DotOptions &options = {});
+
+} // namespace accelwall::dfg
+
+#endif // ACCELWALL_DFG_DOT_HH

@@ -1,0 +1,147 @@
+#include "dfg/graph.hh"
+
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace accelwall::dfg
+{
+
+Graph::Graph(std::string name)
+    : name_(std::move(name))
+{
+}
+
+NodeId
+Graph::addNode(OpType op)
+{
+    NodeId id = static_cast<NodeId>(ops_.size());
+    ops_.push_back(op);
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return id;
+}
+
+void
+Graph::checkId(NodeId id) const
+{
+    if (id >= ops_.size())
+        fatal("DFG '", name_, "': node id ", id, " out of range");
+}
+
+void
+Graph::addEdge(NodeId from, NodeId to)
+{
+    checkId(from);
+    checkId(to);
+    if (from == to)
+        fatal("DFG '", name_, "': self edge on node ", from);
+    succs_[from].push_back(to);
+    preds_[to].push_back(from);
+    ++num_edges_;
+}
+
+OpType
+Graph::op(NodeId id) const
+{
+    checkId(id);
+    return ops_[id];
+}
+
+const std::vector<NodeId> &
+Graph::preds(NodeId id) const
+{
+    checkId(id);
+    return preds_[id];
+}
+
+const std::vector<NodeId> &
+Graph::succs(NodeId id) const
+{
+    checkId(id);
+    return succs_[id];
+}
+
+std::vector<NodeId>
+Graph::sources() const
+{
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < ops_.size(); ++id) {
+        if (preds_[id].empty())
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Graph::sinks() const
+{
+    std::vector<NodeId> out;
+    for (NodeId id = 0; id < ops_.size(); ++id) {
+        if (succs_[id].empty())
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    std::vector<std::size_t> in_degree(ops_.size());
+    for (NodeId id = 0; id < ops_.size(); ++id)
+        in_degree[id] = preds_[id].size();
+
+    std::queue<NodeId> ready;
+    for (NodeId id = 0; id < ops_.size(); ++id) {
+        if (in_degree[id] == 0)
+            ready.push(id);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(ops_.size());
+    while (!ready.empty()) {
+        NodeId id = ready.front();
+        ready.pop();
+        order.push_back(id);
+        for (NodeId succ : succs_[id]) {
+            if (--in_degree[succ] == 0)
+                ready.push(succ);
+        }
+    }
+
+    if (order.size() != ops_.size())
+        fatal("DFG '", name_, "' contains a cycle");
+    return order;
+}
+
+Graph
+makeFigure11Example()
+{
+    // Figure 11: D_IN1..3 feed a (+) and a (/) in stage 1; stage 2 holds
+    // a (+) and a (-) producing D_OUT1..2. The red example computation
+    // path is D_IN1 -> (+) -> (-) -> D_OUT2.
+    Graph g("figure11");
+    NodeId in1 = g.addNode(OpType::Input);
+    NodeId in2 = g.addNode(OpType::Input);
+    NodeId in3 = g.addNode(OpType::Input);
+    NodeId add1 = g.addNode(OpType::Add);
+    NodeId div1 = g.addNode(OpType::Div);
+    NodeId add2 = g.addNode(OpType::Add);
+    NodeId sub2 = g.addNode(OpType::Sub);
+    NodeId out1 = g.addNode(OpType::Output);
+    NodeId out2 = g.addNode(OpType::Output);
+
+    g.addEdge(in1, add1);
+    g.addEdge(in2, add1);
+    g.addEdge(in2, div1);
+    g.addEdge(in3, div1);
+    g.addEdge(add1, add2);
+    g.addEdge(div1, add2);
+    g.addEdge(add1, sub2);
+    g.addEdge(div1, sub2);
+    g.addEdge(add2, out1);
+    g.addEdge(sub2, out2);
+    return g;
+}
+
+} // namespace accelwall::dfg

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dataflow graph (Section V-B, Figure 11).
+ *
+ * "The DFG is a directed-acyclic graph G(V,E) ... a concise representation
+ * of computation problems, limited solely by inherent computation
+ * restrictions (e.g., data dependencies), and not by implementation
+ * mediums."
+ */
+
+#ifndef ACCELWALL_DFG_GRAPH_HH
+#define ACCELWALL_DFG_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/op_type.hh"
+
+namespace accelwall::dfg
+{
+
+/** Dense node identifier within one Graph. */
+using NodeId = std::uint32_t;
+
+/**
+ * A directed acyclic dataflow graph. Nodes are appended and edges added
+ * between existing nodes; topoOrder() verifies acyclicity.
+ */
+class Graph
+{
+  public:
+    /** Construct an empty graph with a display name. */
+    explicit Graph(std::string name);
+
+    /** Append a node of the given operation type; returns its id. */
+    NodeId addNode(OpType op);
+
+    /**
+     * Add a dependence edge from producer @p from to consumer @p to.
+     * Self-edges are rejected; duplicate edges are allowed by the
+     * representation but kernels avoid them.
+     */
+    void addEdge(NodeId from, NodeId to);
+
+    /** Number of vertices |V|. */
+    std::size_t numNodes() const { return ops_.size(); }
+
+    /** Number of edges |E|. */
+    std::size_t numEdges() const { return num_edges_; }
+
+    /** Operation type of @p id. */
+    OpType op(NodeId id) const;
+
+    /** Producers feeding @p id. */
+    const std::vector<NodeId> &preds(NodeId id) const;
+
+    /** Consumers of @p id. */
+    const std::vector<NodeId> &succs(NodeId id) const;
+
+    /** Vertices with no incoming edges (V_IN, including Load roots). */
+    std::vector<NodeId> sources() const;
+
+    /** Vertices with no outgoing edges (V_OUT, including Store sinks). */
+    std::vector<NodeId> sinks() const;
+
+    /**
+     * A topological ordering of all nodes; fatal() if the graph contains
+     * a cycle (i.e. is not a valid DFG).
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Count nodes matching a predicate over OpType. */
+    template <typename Pred>
+    std::size_t
+    countIf(Pred pred) const
+    {
+        std::size_t n = 0;
+        for (OpType op : ops_) {
+            if (pred(op))
+                ++n;
+        }
+        return n;
+    }
+
+    /** Display name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    void checkId(NodeId id) const;
+
+    std::string name_;
+    std::vector<OpType> ops_;
+    std::vector<std::vector<NodeId>> preds_;
+    std::vector<std::vector<NodeId>> succs_;
+    std::size_t num_edges_ = 0;
+};
+
+/**
+ * Build the paper's Figure 11 example DFG: three inputs, two computation
+ * stages (+, /, then +, -), two outputs.
+ */
+Graph makeFigure11Example();
+
+} // namespace accelwall::dfg
+
+#endif // ACCELWALL_DFG_GRAPH_HH

@@ -1,0 +1,55 @@
+#include "dfg/op_type.hh"
+
+namespace accelwall::dfg
+{
+
+const char *
+opName(OpType op)
+{
+    switch (op) {
+      case OpType::Input: return "input";
+      case OpType::Output: return "output";
+      case OpType::Add: return "add";
+      case OpType::Sub: return "sub";
+      case OpType::Mul: return "mul";
+      case OpType::Div: return "div";
+      case OpType::Cmp: return "cmp";
+      case OpType::And: return "and";
+      case OpType::Or: return "or";
+      case OpType::Xor: return "xor";
+      case OpType::Shift: return "shift";
+      case OpType::Select: return "select";
+      case OpType::Max: return "max";
+      case OpType::Min: return "min";
+      case OpType::FAdd: return "fadd";
+      case OpType::FSub: return "fsub";
+      case OpType::FMul: return "fmul";
+      case OpType::FDiv: return "fdiv";
+      case OpType::Sqrt: return "sqrt";
+      case OpType::Exp: return "exp";
+      case OpType::Load: return "load";
+      case OpType::Store: return "store";
+      case OpType::Lut: return "lut";
+    }
+    return "?";
+}
+
+bool
+isMemory(OpType op)
+{
+    return op == OpType::Load || op == OpType::Store;
+}
+
+bool
+isVariable(OpType op)
+{
+    return op == OpType::Input || op == OpType::Output;
+}
+
+bool
+isCompute(OpType op)
+{
+    return !isMemory(op) && !isVariable(op);
+}
+
+} // namespace accelwall::dfg

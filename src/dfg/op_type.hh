@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Operation vocabulary for DFG nodes.
+ *
+ * The paper's DFG formalism (Section V-B) distinguishes input variables,
+ * output variables, and computation nodes; our accelerator model further
+ * needs each computation node's operation class to cost it (Section VI).
+ */
+
+#ifndef ACCELWALL_DFG_OP_TYPE_HH
+#define ACCELWALL_DFG_OP_TYPE_HH
+
+namespace accelwall::dfg
+{
+
+/** Operation performed by a DFG node. */
+enum class OpType
+{
+    /** Input variable (V_IN): no incoming edges. */
+    Input,
+    /** Output variable (V_OUT): no outgoing edges. */
+    Output,
+
+    // Integer / logic compute nodes.
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Cmp,
+    And,
+    Or,
+    Xor,
+    Shift,
+    Select,
+    Max,
+    Min,
+
+    // Floating-point compute nodes.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    Sqrt,
+    Exp,
+
+    // Memory access nodes.
+    Load,
+    Store,
+
+    /** Table lookup (e.g. AES S-box). */
+    Lut,
+};
+
+/** Total number of OpType values (for dense per-op tables). */
+inline constexpr int kNumOpTypes = static_cast<int>(OpType::Lut) + 1;
+
+/** Short mnemonic, e.g. "fmul". */
+const char *opName(OpType op);
+
+/** True for Load/Store. */
+bool isMemory(OpType op);
+
+/** True for Input/Output pseudo-nodes. */
+bool isVariable(OpType op);
+
+/** True for genuine computation nodes (neither variable nor memory). */
+bool isCompute(OpType op);
+
+} // namespace accelwall::dfg
+
+#endif // ACCELWALL_DFG_OP_TYPE_HH

@@ -1,0 +1,151 @@
+#include "dfgopt/rewrites.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "dfg/analysis.hh"
+
+namespace accelwall::dfgopt
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+namespace
+{
+
+/** Operations whose operand order is semantically irrelevant. */
+bool
+isCommutative(OpType op)
+{
+    switch (op) {
+      case OpType::Add:
+      case OpType::Mul:
+      case OpType::And:
+      case OpType::Or:
+      case OpType::Xor:
+      case OpType::Max:
+      case OpType::Min:
+      case OpType::FAdd:
+      case OpType::FMul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Graph
+eliminateCommonSubexpressions(const Graph &graph, RewriteStats *stats)
+{
+    Graph out(graph.name() + "+cse");
+
+    // Value numbering in topological order: a node's key is its op and
+    // its operands' value numbers.
+    std::vector<NodeId> remap(graph.numNodes());
+    std::map<std::pair<OpType, std::vector<NodeId>>, NodeId> table;
+    std::size_t merged = 0;
+
+    for (NodeId id : graph.topoOrder()) {
+        OpType op = graph.op(id);
+        std::vector<NodeId> preds;
+        preds.reserve(graph.preds(id).size());
+        for (NodeId p : graph.preds(id))
+            preds.push_back(remap[p]);
+
+        // Mergeable: genuine compute with at least two operands — a
+        // unary arithmetic node carries a folded constant the DFG does
+        // not represent, so two of them may differ semantically.
+        bool mergeable = dfg::isCompute(op) && preds.size() >= 2;
+        if (mergeable) {
+            std::vector<NodeId> key_preds = preds;
+            if (isCommutative(op))
+                std::sort(key_preds.begin(), key_preds.end());
+            auto key = std::make_pair(op, std::move(key_preds));
+            auto it = table.find(key);
+            if (it != table.end()) {
+                remap[id] = it->second;
+                ++merged;
+                continue;
+            }
+            NodeId fresh = out.addNode(op);
+            for (NodeId p : preds)
+                out.addEdge(p, fresh);
+            table.emplace(std::move(key), fresh);
+            remap[id] = fresh;
+            continue;
+        }
+
+        NodeId fresh = out.addNode(op);
+        for (NodeId p : preds)
+            out.addEdge(p, fresh);
+        remap[id] = fresh;
+    }
+
+    if (stats != nullptr) {
+        stats->nodes_before = graph.numNodes();
+        stats->nodes_after = out.numNodes();
+        stats->rewritten = merged;
+    }
+    return out;
+}
+
+Graph
+reduceStrength(const Graph &graph, RewriteStats *stats)
+{
+    Graph out(graph.name() + "+sr");
+
+    std::vector<NodeId> remap(graph.numNodes());
+    std::size_t rewritten = 0;
+
+    for (NodeId id : graph.topoOrder()) {
+        OpType op = graph.op(id);
+        const auto &preds = graph.preds(id);
+
+        if (op == OpType::Mul && preds.size() == 1) {
+            // Constant multiply: canonical signed-digit form with two
+            // terms, (x << a) +/- (x << b).
+            NodeId src = remap[preds[0]];
+            NodeId sh1 = out.addNode(OpType::Shift);
+            out.addEdge(src, sh1);
+            NodeId sh2 = out.addNode(OpType::Shift);
+            out.addEdge(src, sh2);
+            NodeId sum = out.addNode(OpType::Add);
+            out.addEdge(sh1, sum);
+            out.addEdge(sh2, sum);
+            remap[id] = sum;
+            ++rewritten;
+            continue;
+        }
+
+        NodeId fresh = out.addNode(op);
+        for (NodeId p : preds)
+            out.addEdge(remap[p], fresh);
+        remap[id] = fresh;
+    }
+
+    if (stats != nullptr) {
+        stats->nodes_before = graph.numNodes();
+        stats->nodes_after = out.numNodes();
+        stats->rewritten = rewritten;
+    }
+    return out;
+}
+
+ParallelismProfile
+parallelismProfile(const Graph &graph)
+{
+    dfg::Analysis a = dfg::analyze(graph);
+    ParallelismProfile out;
+    out.stage_sizes = a.stage_sizes;
+    out.peak = a.max_working_set;
+    double sum = 0.0;
+    for (std::size_t s : a.stage_sizes)
+        sum += static_cast<double>(s);
+    out.average = sum / static_cast<double>(a.stage_sizes.size());
+    return out;
+}
+
+} // namespace accelwall::dfgopt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DFG rewrites modeling algorithm-layer specialization.
+ *
+ * The specialization stack's top mutable layer is the algorithm
+ * (Figure 2); the paper's emerging-domain study (Section IV-C) and the
+ * ASICBoost discussion (IV-E) show CSR gains coming from exactly such
+ * rewrites. This module implements mechanical ones — common-
+ * subexpression elimination and multiplier strength reduction — so the
+ * Section VI flow can quantify algorithm-layer CSR on any kernel.
+ */
+
+#ifndef ACCELWALL_DFGOPT_REWRITES_HH
+#define ACCELWALL_DFGOPT_REWRITES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace accelwall::dfgopt
+{
+
+/** Before/after accounting for one rewrite. */
+struct RewriteStats
+{
+    std::size_t nodes_before = 0;
+    std::size_t nodes_after = 0;
+    /** Nodes merged away (CSE) or replaced (strength reduction). */
+    std::size_t rewritten = 0;
+};
+
+/**
+ * Common-subexpression elimination: structurally identical compute
+ * nodes — same operation, same (for commutative ops, unordered)
+ * operand set, at least two operands — are merged. Memory accesses,
+ * variables, and constant-folded unary arithmetic (whose immediate is
+ * not represented in the DFG) are conservatively never merged.
+ */
+dfg::Graph eliminateCommonSubexpressions(const dfg::Graph &graph,
+                                         RewriteStats *stats = nullptr);
+
+/**
+ * Strength reduction: each constant multiply (a unary Mul, whose
+ * immediate was folded at construction) is re-expressed as a canonical
+ * signed-digit shift-add pair — two cheap nodes replacing one array
+ * multiplier, trading a node for ~5x less switching energy and ~2.5x
+ * less delay.
+ */
+dfg::Graph reduceStrength(const dfg::Graph &graph,
+                          RewriteStats *stats = nullptr);
+
+/** Stage-by-stage parallelism summary. */
+struct ParallelismProfile
+{
+    std::vector<std::size_t> stage_sizes;
+    double average = 0.0;
+    std::size_t peak = 0;
+};
+
+/** Profile a DFG's per-stage parallelism (ASAP stages). */
+ParallelismProfile parallelismProfile(const dfg::Graph &graph);
+
+} // namespace accelwall::dfgopt
+
+#endif // ACCELWALL_DFGOPT_REWRITES_HH

@@ -1,0 +1,79 @@
+#include "economics/mining_market.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace accelwall::economics
+{
+
+ChipEconomics
+evaluateChip(const studies::MiningChip &chip, double usd_per_ghs_day,
+             const MarketConfig &config)
+{
+    ChipEconomics out;
+    out.chip = chip.label;
+    out.platform = chip.platform;
+
+    double revenue = chip.ghs * usd_per_ghs_day;
+    double electricity =
+        chip.watts / 1e3 * 24.0 * config.usd_per_kwh; // kWh/day cost
+    out.margin_usd_per_day = revenue - electricity;
+    out.energy_cost_share = revenue > 0.0 ? electricity / revenue
+                                          : std::numeric_limits<
+                                                double>::infinity();
+
+    double capex = chip.area_mm2 * config.usd_per_mm2;
+    out.payback_days = out.margin_usd_per_day > 0.0
+                           ? capex / out.margin_usd_per_day
+                           : std::numeric_limits<double>::infinity();
+    return out;
+}
+
+std::vector<Epoch>
+simulateMarket(const MarketConfig &config)
+{
+    if (config.step_years <= 0.0 || config.end_year <= config.start_year)
+        fatal("simulateMarket: bad time range");
+    if (config.initial_network_ghs <= 0.0 ||
+        config.growth_per_year <= 1.0)
+        fatal("simulateMarket: network must start positive and grow");
+
+    const auto &chips = studies::miningChips();
+
+    std::vector<Epoch> out;
+    for (double year = config.start_year; year <= config.end_year + 1e-9;
+         year += config.step_years) {
+        Epoch epoch;
+        epoch.year = year;
+        epoch.network_ghs =
+            config.initial_network_ghs *
+            std::pow(config.growth_per_year, year - config.start_year);
+        epoch.usd_per_ghs_day =
+            config.network_revenue_usd_per_day / epoch.network_ghs;
+
+        std::set<chipdb::Platform> profitable;
+        bool found = false;
+        for (const auto &chip : chips) {
+            if (chip.year > year)
+                continue; // not introduced yet
+            ChipEconomics econ =
+                evaluateChip(chip, epoch.usd_per_ghs_day, config);
+            if (econ.margin_usd_per_day > 0.0)
+                profitable.insert(chip.platform);
+            if (!found || econ.payback_days < epoch.best.payback_days) {
+                epoch.best = econ;
+                found = true;
+            }
+        }
+        epoch.profitable_platforms.assign(profitable.begin(),
+                                          profitable.end());
+        out.push_back(std::move(epoch));
+    }
+    return out;
+}
+
+} // namespace accelwall::economics

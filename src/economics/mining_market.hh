@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Mining-market economics (Section IV-D's narrative, made mechanical).
+ *
+ * "Initially, inexpensive platforms were used, but following the
+ * increase in difficulty, miners moved to expensive ASICs with new
+ * energy efficiency CMOS nodes, since the energy spent became the
+ * dominating factor for mining revenues."
+ *
+ * This module simulates that market: network hashrate grows, the
+ * revenue per GH/s falls accordingly, and at each epoch every chip in
+ * the studies::miningChips() dataset (those already introduced) is
+ * evaluated for operating margin and capital payback. The platform
+ * transitions — CPU to GPU to FPGA to ASIC — emerge endogenously.
+ */
+
+#ifndef ACCELWALL_ECONOMICS_MINING_MARKET_HH
+#define ACCELWALL_ECONOMICS_MINING_MARKET_HH
+
+#include <string>
+#include <vector>
+
+#include "studies/bitcoin.hh"
+
+namespace accelwall::economics
+{
+
+/** Market assumptions. */
+struct MarketConfig
+{
+    double start_year = 2009.5;
+    double end_year = 2016.75;
+    double step_years = 0.25;
+    /** Electricity price. */
+    double usd_per_kwh = 0.10;
+    /** Network-wide mining revenue per day, in USD. */
+    double network_revenue_usd_per_day = 1.0e6;
+    /** Network hashrate at start_year, in GH/s. */
+    double initial_network_ghs = 0.05;
+    /** Multiplicative network-hashrate growth per year. */
+    double growth_per_year = 18.0;
+    /** Hardware price per mm² of silicon, in USD (capex model). */
+    double usd_per_mm2 = 2.0;
+};
+
+/** One chip's economics at one epoch. */
+struct ChipEconomics
+{
+    std::string chip;
+    chipdb::Platform platform = chipdb::Platform::CPU;
+    /** Revenue minus electricity, USD/day (may be negative). */
+    double margin_usd_per_day = 0.0;
+    /** Electricity share of revenue (the paper's dominating factor). */
+    double energy_cost_share = 0.0;
+    /** Days to recoup the silicon capex; +inf when unprofitable. */
+    double payback_days = 0.0;
+};
+
+/** The market state at one epoch. */
+struct Epoch
+{
+    double year = 0.0;
+    double network_ghs = 0.0;
+    /** Revenue per GH/s per day at this difficulty. */
+    double usd_per_ghs_day = 0.0;
+    /** The best-payback chip among those already introduced. */
+    ChipEconomics best;
+    /** Platforms with at least one profitable chip. */
+    std::vector<chipdb::Platform> profitable_platforms;
+};
+
+/** Evaluate one chip at a given revenue density. */
+ChipEconomics evaluateChip(const studies::MiningChip &chip,
+                           double usd_per_ghs_day,
+                           const MarketConfig &config);
+
+/** Run the market simulation over the dataset. */
+std::vector<Epoch> simulateMarket(const MarketConfig &config = {});
+
+} // namespace accelwall::economics
+
+#endif // ACCELWALL_ECONOMICS_MINING_MARKET_HH

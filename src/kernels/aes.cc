@@ -1,0 +1,88 @@
+/**
+ * @file
+ * AES encryption DFG: `rounds` rounds over a 16-byte state. Each round
+ * applies SubBytes (S-box lookups), ShiftRows (pure wiring — a
+ * permutation, no nodes), MixColumns (GF(2^8) multiplies + XOR folds;
+ * skipped in the final round per the standard), and AddRoundKey.
+ */
+
+#include "kernels/kernels.hh"
+
+#include <array>
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeAes(int rounds)
+{
+    if (rounds < 1)
+        fatal("makeAes: rounds must be >= 1");
+
+    Graph g("AES");
+    std::vector<NodeId> state = loadArray(g, 16);
+
+    // Initial AddRoundKey.
+    std::vector<NodeId> key0 = loadArray(g, 16);
+    for (int i = 0; i < 16; ++i)
+        state[i] = binary(g, OpType::Xor, state[i], key0[i]);
+
+    for (int r = 1; r <= rounds; ++r) {
+        // SubBytes: one table lookup per byte.
+        for (int i = 0; i < 16; ++i)
+            state[i] = unary(g, OpType::Lut, state[i]);
+
+        // ShiftRows: cyclic row rotations, wiring only.
+        std::array<NodeId, 16> shifted;
+        for (int row = 0; row < 4; ++row) {
+            for (int col = 0; col < 4; ++col)
+                shifted[row + 4 * col] =
+                    state[row + 4 * ((col + row) % 4)];
+        }
+        for (int i = 0; i < 16; ++i)
+            state[i] = shifted[i];
+
+        // MixColumns (all but the last round): per output byte,
+        // b'_i = 2*a_i ^ 3*a_{i+1} ^ a_{i+2} ^ a_{i+3}; the GF doubles
+        // are Mul nodes, the folds XOR trees.
+        if (r != rounds) {
+            std::array<NodeId, 16> mixed;
+            for (int col = 0; col < 4; ++col) {
+                std::array<NodeId, 4> a;
+                for (int i = 0; i < 4; ++i)
+                    a[i] = state[4 * col + i];
+                for (int i = 0; i < 4; ++i) {
+                    NodeId two =
+                        unary(g, OpType::Mul, a[i]); // xtime(a_i)
+                    NodeId three = binary(
+                        g, OpType::Xor,
+                        unary(g, OpType::Mul, a[(i + 1) % 4]),
+                        a[(i + 1) % 4]); // 3*x = 2*x ^ x
+                    NodeId acc = binary(g, OpType::Xor, two, three);
+                    acc = binary(g, OpType::Xor, acc, a[(i + 2) % 4]);
+                    acc = binary(g, OpType::Xor, acc, a[(i + 3) % 4]);
+                    mixed[4 * col + i] = acc;
+                }
+            }
+            for (int i = 0; i < 16; ++i)
+                state[i] = mixed[i];
+        }
+
+        // AddRoundKey with this round's expanded key bytes.
+        std::vector<NodeId> key = loadArray(g, 16);
+        for (int i = 0; i < 16; ++i)
+            state[i] = binary(g, OpType::Xor, state[i], key[i]);
+    }
+
+    storeAll(g, state);
+    return g;
+}
+
+} // namespace accelwall::kernels

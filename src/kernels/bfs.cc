@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Level-synchronous BFS DFG. Each level expands the frontier: per
+ * frontier vertex a neighbor-list load, then per neighbor a visited-flag
+ * load, a comparison, and a conditional update. The frontier grows by
+ * the branching factor, capped so the graph stays tractable.
+ */
+
+#include "kernels/kernels.hh"
+
+#include <algorithm>
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeBfs(int levels, int branch, int frontier0)
+{
+    if (levels < 1 || branch < 1 || frontier0 < 1)
+        fatal("makeBfs: levels, branch, frontier0 must be >= 1");
+
+    Graph g("BFS");
+    constexpr int kMaxFrontier = 256;
+
+    // The initial frontier: vertex-id loads.
+    std::vector<NodeId> frontier = loadArray(g, frontier0);
+    std::vector<NodeId> depth_updates;
+
+    for (int lvl = 0; lvl < levels; ++lvl) {
+        std::vector<NodeId> next;
+        for (NodeId v : frontier) {
+            // Fetch the adjacency-list offset, dependent on the vertex.
+            NodeId offs = unary(g, OpType::Load, v);
+            for (int b = 0; b < branch; ++b) {
+                if (static_cast<int>(next.size()) >= kMaxFrontier)
+                    break;
+                // Neighbor id load (indirect off the offset), visited
+                // check, and conditional depth write.
+                NodeId nbr = unary(g, OpType::Load, offs);
+                NodeId visited = unary(g, OpType::Load, nbr);
+                NodeId is_new = binary(g, OpType::Cmp, visited, nbr);
+                NodeId upd = binary(g, OpType::Select, is_new, nbr);
+                depth_updates.push_back(upd);
+                next.push_back(upd);
+            }
+        }
+        if (next.empty())
+            break;
+        frontier = std::move(next);
+    }
+
+    storeAll(g, depth_updates);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,132 @@
+#include "kernels/btc.hh"
+
+#include <array>
+#include <vector>
+
+#include "kernels/builder.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+namespace
+{
+
+/** sigma/Sigma mixing: three rotate/shift taps XOR-folded. */
+NodeId
+mix3(Graph &g, NodeId x)
+{
+    NodeId t0 = unary(g, OpType::Shift, x);
+    NodeId t1 = unary(g, OpType::Shift, x);
+    NodeId t2 = unary(g, OpType::Shift, x);
+    return binary(g, OpType::Xor, binary(g, OpType::Xor, t0, t1), t2);
+}
+
+/**
+ * One SHA-256 compression over a 16-word input schedule.
+ *
+ * @param w The 16 input words (already DFG nodes).
+ * @param shared_schedule When true the message-schedule expansion
+ *        (w[16..63]) arrives precomputed: ASICBoost shares the second
+ *        chunk's expansion across works whose merkle-root tails
+ *        collide, so its per-nonce cost amortizes away.
+ * @param state In/out: the eight working variables.
+ */
+void
+compress(Graph &g, std::vector<NodeId> w, bool shared_schedule,
+         std::array<NodeId, 8> &state)
+{
+    // Message-schedule expansion: w[i] = w[i-16] + s0(w[i-15]) +
+    // w[i-7] + s1(w[i-2]).
+    w.resize(64);
+    for (int i = 16; i < 64; ++i) {
+        if (shared_schedule) {
+            w[i] = g.addNode(OpType::Input);
+            continue;
+        }
+        NodeId s0 = mix3(g, w[i - 15]);
+        NodeId s1 = mix3(g, w[i - 2]);
+        w[i] = binary(g, OpType::Add,
+                      binary(g, OpType::Add, w[i - 16], s0),
+                      binary(g, OpType::Add, w[i - 7], s1));
+    }
+
+    // Round function: the strictly serial working-variable recurrence.
+    for (int r = 0; r < 64; ++r) {
+        NodeId s1 = mix3(g, state[4]);
+        // ch(e,f,g) = (e AND f) XOR (NOT e AND g); the complement is
+        // free in hardware, so the cost model is two ANDs + one XOR.
+        NodeId ch = binary(g, OpType::Xor,
+                           binary(g, OpType::And, state[4], state[5]),
+                           binary(g, OpType::And, state[4], state[6]));
+        // temp1 = h + S1 + ch + K[r] + w[r] (K folded into an add).
+        NodeId temp1 = binary(
+            g, OpType::Add,
+            binary(g, OpType::Add, state[7], s1),
+            binary(g, OpType::Add, ch, unary(g, OpType::Add, w[r])));
+        NodeId s0 = mix3(g, state[0]);
+        NodeId maj = binary(
+            g, OpType::Xor,
+            binary(g, OpType::Xor,
+                   binary(g, OpType::And, state[0], state[1]),
+                   binary(g, OpType::And, state[0], state[2])),
+            binary(g, OpType::And, state[1], state[2]));
+        NodeId temp2 = binary(g, OpType::Add, s0, maj);
+
+        state = {binary(g, OpType::Add, temp1, temp2),
+                 state[0],
+                 state[1],
+                 state[2],
+                 binary(g, OpType::Add, state[3], temp1),
+                 state[4],
+                 state[5],
+                 state[6]};
+    }
+}
+
+} // namespace
+
+Graph
+makeBtc(bool asicboost)
+{
+    Graph g(asicboost ? "BTC-asicboost" : "BTC");
+
+    // Midstate after the header's first chunk: always precomputed
+    // (both plain miners and ASICBoost share it), so inputs.
+    std::array<NodeId, 8> state;
+    for (auto &v : state)
+        v = g.addNode(OpType::Load);
+
+    // Second chunk: merkle tail / time / bits, the nonce, and fixed
+    // padding. ASICBoost mines several works whose merkle tails
+    // collide, sharing this chunk's schedule expansion across them.
+    std::vector<NodeId> w(16);
+    for (int i = 0; i < 16; ++i)
+        w[i] = g.addNode(OpType::Load);
+    compress(g, w, /*shared_schedule=*/asicboost, state);
+
+    // Second hash: compress the padded 32-byte digest. Every input
+    // word depends on the nonce, so nothing is shareable.
+    std::vector<NodeId> w2(16);
+    for (int i = 0; i < 8; ++i)
+        w2[i] = state[i];
+    for (int i = 8; i < 16; ++i)
+        w2[i] = g.addNode(OpType::Load); // padding/length constants
+
+    std::array<NodeId, 8> state2;
+    for (auto &v : state2)
+        v = g.addNode(OpType::Load); // the fixed IV
+    compress(g, w2, /*shared_schedule=*/false, state2);
+
+    // Difficulty check: compare the leading digest words to the
+    // target.
+    NodeId target = g.addNode(OpType::Load);
+    NodeId ok = binary(g, OpType::Cmp, state2[0], target);
+    storeAll(g, {ok});
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Bitcoin mining kernel (extension beyond Table IV).
+ *
+ * Section IV-D/IV-E: mining is double-SHA256 over an 80-byte header —
+ * a *confined* computation whose only known algorithmic win was
+ * ASICBoost's one-time ~20% saving from sharing nonce-independent
+ * work. The DFG here is derived from the real FIPS 180-4 round
+ * structure (crypto::Sha256): one compression of the header's second
+ * chunk (which carries the nonce) followed by one compression of the
+ * padded digest.
+ */
+
+#ifndef ACCELWALL_KERNELS_BTC_HH
+#define ACCELWALL_KERNELS_BTC_HH
+
+#include "dfg/graph.hh"
+
+namespace accelwall::kernels
+{
+
+/**
+ * Build the per-nonce mining DFG.
+ *
+ * @param asicboost When true, work that does not depend on the nonce —
+ *        the first rounds of the second-chunk compression and the
+ *        nonce-independent message-schedule elements — is treated as
+ *        precomputed (Input nodes) and shared across nonces, modeling
+ *        the ASICBoost optimization; the compute-node count drops by
+ *        roughly the paper's "one-time 20%".
+ */
+dfg::Graph makeBtc(bool asicboost = false);
+
+} // namespace accelwall::kernels
+
+#endif // ACCELWALL_KERNELS_BTC_HH

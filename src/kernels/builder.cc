@@ -1,0 +1,65 @@
+#include "kernels/builder.hh"
+
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+std::vector<NodeId>
+loadArray(Graph &g, std::size_t n)
+{
+    std::vector<NodeId> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(g.addNode(OpType::Load));
+    return out;
+}
+
+void
+storeAll(Graph &g, const std::vector<NodeId> &values)
+{
+    for (NodeId v : values) {
+        NodeId st = g.addNode(OpType::Store);
+        g.addEdge(v, st);
+    }
+}
+
+NodeId
+reduceTree(Graph &g, std::vector<NodeId> values, OpType op)
+{
+    if (values.empty())
+        fatal("reduceTree: empty value list");
+    while (values.size() > 1) {
+        std::vector<NodeId> next;
+        next.reserve((values.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < values.size(); i += 2)
+            next.push_back(binary(g, op, values[i], values[i + 1]));
+        if (values.size() % 2 == 1)
+            next.push_back(values.back());
+        values = std::move(next);
+    }
+    return values[0];
+}
+
+NodeId
+binary(Graph &g, OpType op, NodeId a, NodeId b)
+{
+    NodeId n = g.addNode(op);
+    g.addEdge(a, n);
+    g.addEdge(b, n);
+    return n;
+}
+
+NodeId
+unary(Graph &g, OpType op, NodeId a)
+{
+    NodeId n = g.addNode(op);
+    g.addEdge(a, n);
+    return n;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the kernel DFG generators.
+ */
+
+#ifndef ACCELWALL_KERNELS_BUILDER_HH
+#define ACCELWALL_KERNELS_BUILDER_HH
+
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace accelwall::kernels
+{
+
+/** Append @p n Load roots modelling a streamed input array. */
+std::vector<dfg::NodeId> loadArray(dfg::Graph &g, std::size_t n);
+
+/** Append a Store sink for each value in @p values. */
+void storeAll(dfg::Graph &g, const std::vector<dfg::NodeId> &values);
+
+/**
+ * Reduce @p values to one node with a balanced binary tree of @p op
+ * (e.g. FAdd for sums, Min for minima). Returns the root; @p values
+ * must be non-empty. A single value is returned unchanged.
+ */
+dfg::NodeId reduceTree(dfg::Graph &g, std::vector<dfg::NodeId> values,
+                       dfg::OpType op);
+
+/** Append a binary op fed by @p a and @p b. */
+dfg::NodeId binary(dfg::Graph &g, dfg::OpType op, dfg::NodeId a,
+                   dfg::NodeId b);
+
+/** Append a unary op fed by @p a. */
+dfg::NodeId unary(dfg::Graph &g, dfg::OpType op, dfg::NodeId a);
+
+} // namespace accelwall::kernels
+
+#endif // ACCELWALL_KERNELS_BUILDER_HH

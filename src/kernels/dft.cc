@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Naive dense DFT DFG (extension kernel "DFT"): every output bin is a
+ * full inner product with constant twiddles — O(n²) multiplies against
+ * the FFT's O(n log n). The pair quantifies algorithm-layer CSR: same
+ * problem, same physical budget, different algorithm.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeDftNaive(int n)
+{
+    if (n < 2)
+        fatal("makeDftNaive: n must be >= 2");
+
+    Graph g("DFT");
+    std::vector<NodeId> re = loadArray(g, n);
+    std::vector<NodeId> im = loadArray(g, n);
+
+    std::vector<NodeId> outputs;
+    for (int k = 0; k < n; ++k) {
+        std::vector<NodeId> re_terms, im_terms;
+        re_terms.reserve(n);
+        im_terms.reserve(n);
+        for (int t = 0; t < n; ++t) {
+            // (re + j*im) * (c - j*s) with the twiddle folded into
+            // unary multiplies.
+            NodeId rc = unary(g, OpType::FMul, re[t]);
+            NodeId is = unary(g, OpType::FMul, im[t]);
+            NodeId rs = unary(g, OpType::FMul, re[t]);
+            NodeId ic = unary(g, OpType::FMul, im[t]);
+            re_terms.push_back(binary(g, OpType::FAdd, rc, is));
+            im_terms.push_back(binary(g, OpType::FSub, ic, rs));
+        }
+        outputs.push_back(
+            reduceTree(g, std::move(re_terms), OpType::FAdd));
+        outputs.push_back(
+            reduceTree(g, std::move(im_terms), OpType::FAdd));
+    }
+
+    storeAll(g, outputs);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Radix-2 decimation-in-time FFT DFG over `n` complex points: log2(n)
+ * stages of n/2 butterflies. Each butterfly performs a complex twiddle
+ * multiply (4 FMul, 2 FAdd/FSub) and a complex add/subtract pair.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+namespace
+{
+
+/** A complex value: (real node, imaginary node). */
+struct Cx
+{
+    NodeId re;
+    NodeId im;
+};
+
+} // namespace
+
+Graph
+makeFft(int n)
+{
+    if (n < 2 || (n & (n - 1)) != 0)
+        fatal("makeFft: n must be a power of two >= 2, got ", n);
+
+    Graph g("FFT");
+    std::vector<Cx> data(n);
+    for (int i = 0; i < n; ++i)
+        data[i] = {g.addNode(OpType::Load), g.addNode(OpType::Load)};
+
+    for (int half = 1; half < n; half *= 2) {
+        std::vector<Cx> next(n);
+        for (int group = 0; group < n; group += 2 * half) {
+            for (int k = 0; k < half; ++k) {
+                Cx a = data[group + k];
+                Cx b = data[group + k + half];
+
+                // Twiddle factors are constants folded into the
+                // multiplier inputs: t = w * b (complex multiply).
+                NodeId t_re = binary(g, OpType::FSub,
+                                     unary(g, OpType::FMul, b.re),
+                                     unary(g, OpType::FMul, b.im));
+                NodeId t_im = binary(g, OpType::FAdd,
+                                     unary(g, OpType::FMul, b.re),
+                                     unary(g, OpType::FMul, b.im));
+
+                next[group + k] = {binary(g, OpType::FAdd, a.re, t_re),
+                                   binary(g, OpType::FAdd, a.im, t_im)};
+                next[group + k + half] = {
+                    binary(g, OpType::FSub, a.re, t_re),
+                    binary(g, OpType::FSub, a.im, t_im)};
+            }
+        }
+        data = std::move(next);
+    }
+
+    std::vector<NodeId> flat;
+    flat.reserve(2 * n);
+    for (const Cx &c : data) {
+        flat.push_back(c.re);
+        flat.push_back(c.im);
+    }
+    storeAll(g, flat);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dense matrix-matrix multiply DFG: C = A * B with n x n operands. Each
+ * output element is n FMuls folded by a balanced FAdd tree — the
+ * canonical high-parallelism, high-reuse accelerator kernel.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeGmm(int n)
+{
+    if (n < 1)
+        fatal("makeGmm: n must be >= 1");
+
+    Graph g("GMM");
+    std::vector<NodeId> a = loadArray(g, static_cast<std::size_t>(n) * n);
+    std::vector<NodeId> b = loadArray(g, static_cast<std::size_t>(n) * n);
+
+    std::vector<NodeId> c;
+    c.reserve(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            std::vector<NodeId> prods;
+            prods.reserve(n);
+            for (int k = 0; k < n; ++k)
+                prods.push_back(binary(g, OpType::FMul, a[i * n + k],
+                                       b[k * n + j]));
+            c.push_back(reduceTree(g, std::move(prods), OpType::FAdd));
+        }
+    }
+
+    storeAll(g, c);
+    return g;
+}
+
+} // namespace accelwall::kernels

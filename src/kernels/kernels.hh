@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The 16 evaluated applications (Section VI, Table IV).
+ *
+ * Each generator emits a DFG with the dependence structure of the
+ * corresponding MachSuite / SHOC / CortexSuite / PARSEC kernel at a
+ * reduced (but parameterizable) problem size. The sweep of Section VI
+ * depends on the DFG *shape* — available parallelism, working sets,
+ * depth, operation mix — which these generators preserve.
+ */
+
+#ifndef ACCELWALL_KERNELS_KERNELS_HH
+#define ACCELWALL_KERNELS_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace accelwall::kernels
+{
+
+/** One Table IV row. */
+struct KernelInfo
+{
+    std::string abbrev;
+    std::string name;
+    std::string domain;
+};
+
+/** Table IV in presentation order. */
+const std::vector<KernelInfo> &kernelTable();
+
+/** Build a kernel by its Table IV abbreviation; fatal() on unknown. */
+dfg::Graph makeKernel(const std::string &abbrev);
+
+/** AES encryption rounds over a 16-byte state (Cryptography). */
+dfg::Graph makeAes(int rounds = 10);
+
+/** Level-synchronous breadth-first search (Graph Processing). */
+dfg::Graph makeBfs(int levels = 6, int branch = 3, int frontier0 = 4);
+
+/** Radix-2 decimation-in-time FFT (Signal Processing). */
+dfg::Graph makeFft(int n = 64);
+
+/** Dense matrix-matrix multiply (Linear Algebra). */
+dfg::Graph makeGmm(int n = 10);
+
+/** Pairwise-force molecular dynamics step (Molecular Dynamics). */
+dfg::Graph makeMdy(int particles = 16, int neighbors = 8);
+
+/** K-nearest-neighbors distance + reduction (Data Mining). */
+dfg::Graph makeKnn(int points = 48, int dims = 8);
+
+/** Needleman-Wunsch wavefront alignment (Bioinformatics). */
+dfg::Graph makeNwn(int n = 20);
+
+/** Restricted Boltzmann machine layer (Machine Learning). */
+dfg::Graph makeRbm(int visible = 24, int hidden = 24);
+
+/** Tree reduction (Microbenchmarking). */
+dfg::Graph makeRed(int n = 2048);
+
+/** Sum of absolute differences block matching (Video Processing). */
+dfg::Graph makeSad(int block = 8, int candidates = 8);
+
+/** Bitonic sorting network (Algorithms). */
+dfg::Graph makeSrt(int n = 64);
+
+/** Sparse matrix-vector multiply, CSR-style (Linear Algebra). */
+dfg::Graph makeSmv(int rows = 48, int nnz_per_row = 8);
+
+/** Bellman-Ford single-source shortest path (Graph Processing). */
+dfg::Graph makeSsp(int vertices = 32, int edges = 128, int iters = 6);
+
+/** 2-D 3x3 stencil (Image Processing). */
+dfg::Graph makeS2d(int rows = 16, int cols = 16);
+
+/** 3-D 7-point stencil, the Figure 12/13 kernel (Image Processing). */
+dfg::Graph makeS3d(int nx = 8, int ny = 8, int nz = 8);
+
+/** STREAM-style triad a = b + s*c (Microbenchmarking). */
+dfg::Graph makeTrd(int n = 512);
+
+/**
+ * Naive dense DFT (extension kernel "DFT"): the O(n^2) algorithm the
+ * FFT replaces; paired with makeFft() to quantify algorithm-layer CSR.
+ */
+dfg::Graph makeDftNaive(int n = 16);
+
+} // namespace accelwall::kernels
+
+#endif // ACCELWALL_KERNELS_KERNELS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * K-nearest-neighbors DFG: squared Euclidean distance from one query to
+ * `points` reference points in `dims` dimensions, followed by a global
+ * minimum-reduction (the nearest neighbor).
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeKnn(int points, int dims)
+{
+    if (points < 2 || dims < 1)
+        fatal("makeKnn: need >= 2 points and >= 1 dimension");
+
+    Graph g("KNN");
+    std::vector<NodeId> query = loadArray(g, dims);
+
+    std::vector<NodeId> dists;
+    dists.reserve(points);
+    for (int p = 0; p < points; ++p) {
+        std::vector<NodeId> ref = loadArray(g, dims);
+        std::vector<NodeId> sq;
+        sq.reserve(dims);
+        for (int d = 0; d < dims; ++d) {
+            NodeId diff = binary(g, OpType::FSub, query[d], ref[d]);
+            sq.push_back(binary(g, OpType::FMul, diff, diff));
+        }
+        dists.push_back(reduceTree(g, std::move(sq), OpType::FAdd));
+    }
+
+    NodeId nearest = reduceTree(g, std::move(dists), OpType::Min);
+    storeAll(g, {nearest});
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Molecular-dynamics force DFG (SHOC MD-style): per particle, a fixed
+ * neighbor list; per pair, the 3-D distance, a Lennard-Jones-style force
+ * magnitude (one divide), per-axis force components, and per-particle
+ * accumulation trees.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeMdy(int particles, int neighbors)
+{
+    if (particles < 2 || neighbors < 1)
+        fatal("makeMdy: need >= 2 particles and >= 1 neighbor");
+
+    Graph g("MDY");
+
+    // Particle positions: x/y/z arrays.
+    std::vector<NodeId> px = loadArray(g, particles);
+    std::vector<NodeId> py = loadArray(g, particles);
+    std::vector<NodeId> pz = loadArray(g, particles);
+
+    std::vector<NodeId> forces;
+    for (int i = 0; i < particles; ++i) {
+        std::vector<NodeId> fx, fy, fz;
+        for (int k = 1; k <= neighbors; ++k) {
+            int j = (i + k) % particles;
+
+            NodeId dx = binary(g, OpType::FSub, px[i], px[j]);
+            NodeId dy = binary(g, OpType::FSub, py[i], py[j]);
+            NodeId dz = binary(g, OpType::FSub, pz[i], pz[j]);
+
+            NodeId r2 = binary(
+                g, OpType::FAdd,
+                binary(g, OpType::FAdd,
+                       binary(g, OpType::FMul, dx, dx),
+                       binary(g, OpType::FMul, dy, dy)),
+                binary(g, OpType::FMul, dz, dz));
+
+            // Force magnitude: inverse-power law needs one divide and
+            // two multiplies (1/r2, then (1/r2)^3-ish shaping).
+            NodeId inv = unary(g, OpType::FDiv, r2);
+            NodeId inv3 = binary(g, OpType::FMul,
+                                 binary(g, OpType::FMul, inv, inv), inv);
+
+            fx.push_back(binary(g, OpType::FMul, inv3, dx));
+            fy.push_back(binary(g, OpType::FMul, inv3, dy));
+            fz.push_back(binary(g, OpType::FMul, inv3, dz));
+        }
+        forces.push_back(reduceTree(g, std::move(fx), OpType::FAdd));
+        forces.push_back(reduceTree(g, std::move(fy), OpType::FAdd));
+        forces.push_back(reduceTree(g, std::move(fz), OpType::FAdd));
+    }
+
+    storeAll(g, forces);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Needleman-Wunsch DFG: the n x n dynamic-programming table whose cell
+ * (i,j) depends on (i-1,j-1), (i-1,j) and (i,j-1). The wavefront
+ * dependence makes this the paper's canonical limited-parallelism
+ * kernel: depth grows with 2n while the working set peaks at the
+ * anti-diagonal.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeNwn(int n)
+{
+    if (n < 2)
+        fatal("makeNwn: n must be >= 2");
+
+    Graph g("NWN");
+
+    // The two sequences are loaded once and reused by every cell.
+    std::vector<NodeId> seq_a = loadArray(g, n);
+    std::vector<NodeId> seq_b = loadArray(g, n);
+
+    // Boundary rows/columns are gap-penalty loads.
+    std::vector<std::vector<NodeId>> cell(
+        n, std::vector<NodeId>(n));
+    for (int i = 0; i < n; ++i) {
+        cell[i][0] = g.addNode(OpType::Load);
+        cell[0][i] = g.addNode(OpType::Load);
+    }
+
+    for (int i = 1; i < n; ++i) {
+        for (int j = 1; j < n; ++j) {
+            // Substitution score for (a_i, b_j): a table lookup.
+            NodeId score = binary(g, OpType::Lut, seq_a[i], seq_b[j]);
+
+            NodeId diag =
+                binary(g, OpType::Add, cell[i - 1][j - 1], score);
+            NodeId up = unary(g, OpType::Add, cell[i - 1][j]);
+            NodeId left = unary(g, OpType::Add, cell[i][j - 1]);
+            cell[i][j] = binary(g, OpType::Max,
+                                binary(g, OpType::Max, diag, up), left);
+        }
+    }
+
+    storeAll(g, {cell[n - 1][n - 1]});
+    return g;
+}
+
+} // namespace accelwall::kernels

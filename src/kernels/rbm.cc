@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Restricted Boltzmann machine layer DFG: hidden activations
+ * h_j = sigmoid(sum_i v_i * w_ij + b_j). The sigmoid expands to an
+ * exponential, an add, and a divide — the kernel that motivates
+ * algorithm-specific (transcendental) functional units.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeRbm(int visible, int hidden)
+{
+    if (visible < 1 || hidden < 1)
+        fatal("makeRbm: layer sizes must be >= 1");
+
+    Graph g("RBM");
+    std::vector<NodeId> v = loadArray(g, visible);
+
+    std::vector<NodeId> h;
+    h.reserve(hidden);
+    for (int j = 0; j < hidden; ++j) {
+        std::vector<NodeId> w = loadArray(g, visible);
+        std::vector<NodeId> prods;
+        prods.reserve(visible);
+        for (int i = 0; i < visible; ++i)
+            prods.push_back(binary(g, OpType::FMul, v[i], w[i]));
+        NodeId acc = reduceTree(g, std::move(prods), OpType::FAdd);
+
+        NodeId bias = g.addNode(OpType::Load);
+        NodeId pre = binary(g, OpType::FAdd, acc, bias);
+
+        // sigmoid(x) = 1 / (1 + exp(-x)).
+        NodeId ex = unary(g, OpType::Exp, pre);
+        NodeId denom = unary(g, OpType::FAdd, ex);
+        h.push_back(unary(g, OpType::FDiv, denom));
+    }
+
+    storeAll(g, h);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reduction microbenchmark DFG: a balanced add tree over n inputs —
+ * maximal parallelism at the leaves, logarithmic depth.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::OpType;
+
+Graph
+makeRed(int n)
+{
+    if (n < 2)
+        fatal("makeRed: n must be >= 2");
+
+    Graph g("RED");
+    auto values = loadArray(g, n);
+    auto sum = reduceTree(g, std::move(values), OpType::Add);
+    storeAll(g, {sum});
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,64 @@
+#include "kernels/kernels.hh"
+
+#include "kernels/btc.hh"
+#include "kernels/video_ext.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+const std::vector<KernelInfo> &
+kernelTable()
+{
+    // Table IV: evaluated applications and domains, in the paper's
+    // order.
+    static const std::vector<KernelInfo> table = {
+        { "AES", "Advanced Encryption Standard", "Cryptography" },
+        { "BFS", "Breadth-First Search", "Graph Processing" },
+        { "FFT", "Fast Fourier Transform", "Signal Processing" },
+        { "GMM", "General Matrix Multiplication", "Linear Algebra" },
+        { "MDY", "Molecular Dynamics", "Molecular Dynamics" },
+        { "KNN", "K-Nearest Neighbors", "Data Mining" },
+        { "NWN", "Needleman-Wunsch", "Bioinformatics" },
+        { "RBM", "Restricted Boltzmann Machine", "Machine Learning" },
+        { "RED", "Reduction", "Microbenchmarking" },
+        { "SAD", "Sum of Absolute Differences", "Video Processing" },
+        { "SRT", "Merge Sort", "Algorithms" },
+        { "SMV", "Sparse Matrix-Vector Multiply", "Linear Algebra" },
+        { "SSP", "Single Source, Shortest Path", "Graph Processing" },
+        { "S2D", "2D Stencil", "Image Processing" },
+        { "S3D", "3D Stencil", "Image Processing" },
+        { "TRD", "Triad", "Microbenchmarking" },
+    };
+    return table;
+}
+
+dfg::Graph
+makeKernel(const std::string &abbrev)
+{
+    if (abbrev == "AES") return makeAes();
+    if (abbrev == "BFS") return makeBfs();
+    if (abbrev == "FFT") return makeFft();
+    if (abbrev == "GMM") return makeGmm();
+    if (abbrev == "MDY") return makeMdy();
+    if (abbrev == "KNN") return makeKnn();
+    if (abbrev == "NWN") return makeNwn();
+    if (abbrev == "RBM") return makeRbm();
+    if (abbrev == "RED") return makeRed();
+    if (abbrev == "SAD") return makeSad();
+    if (abbrev == "SRT") return makeSrt();
+    if (abbrev == "SMV") return makeSmv();
+    if (abbrev == "SSP") return makeSsp();
+    if (abbrev == "S2D") return makeS2d();
+    if (abbrev == "S3D") return makeS3d();
+    if (abbrev == "TRD") return makeTrd();
+    // Extension kernels beyond Table IV.
+    if (abbrev == "BTC") return makeBtc(false);
+    if (abbrev == "BTC-AB") return makeBtc(true);
+    if (abbrev == "IDCT") return makeIdct();
+    if (abbrev == "ENT") return makeEnt();
+    if (abbrev == "DFT") return makeDftNaive();
+    fatal("unknown kernel abbreviation '", abbrev, "'");
+}
+
+} // namespace accelwall::kernels

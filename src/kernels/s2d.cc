@@ -1,0 +1,50 @@
+/**
+ * @file
+ * 2-D 3x3 stencil DFG: each interior output point is a weighted sum of
+ * its 9-neighborhood (9 FMul + an FAdd tree).
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeS2d(int rows, int cols)
+{
+    if (rows < 3 || cols < 3)
+        fatal("makeS2d: grid must be at least 3x3");
+
+    Graph g("S2D");
+    std::vector<NodeId> in =
+        loadArray(g, static_cast<std::size_t>(rows) * cols);
+
+    std::vector<NodeId> out;
+    for (int i = 1; i < rows - 1; ++i) {
+        for (int j = 1; j < cols - 1; ++j) {
+            std::vector<NodeId> terms;
+            terms.reserve(9);
+            for (int di = -1; di <= 1; ++di) {
+                for (int dj = -1; dj <= 1; ++dj) {
+                    NodeId px = in[(i + di) * cols + (j + dj)];
+                    // Filter coefficients are constants folded into the
+                    // multiplier.
+                    terms.push_back(unary(g, OpType::FMul, px));
+                }
+            }
+            out.push_back(reduceTree(g, std::move(terms), OpType::FAdd));
+        }
+    }
+
+    storeAll(g, out);
+    return g;
+}
+
+} // namespace accelwall::kernels

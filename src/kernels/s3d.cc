@@ -1,0 +1,57 @@
+/**
+ * @file
+ * 3-D 7-point stencil DFG — the Figure 12/13 case-study kernel. Each
+ * interior lattice point of the `Orig` volume produces a `Solution`
+ * point from its 7-point neighborhood (center + 6 face neighbors);
+ * filtering is applied concurrently across the lattice.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeS3d(int nx, int ny, int nz)
+{
+    if (nx < 3 || ny < 3 || nz < 3)
+        fatal("makeS3d: volume must be at least 3x3x3");
+
+    Graph g("S3D");
+    std::vector<NodeId> in = loadArray(
+        g, static_cast<std::size_t>(nx) * ny * nz);
+    auto at = [&](int x, int y, int z) {
+        return in[(static_cast<std::size_t>(z) * ny + y) * nx + x];
+    };
+
+    std::vector<NodeId> out;
+    for (int z = 1; z < nz - 1; ++z) {
+        for (int y = 1; y < ny - 1; ++y) {
+            for (int x = 1; x < nx - 1; ++x) {
+                std::vector<NodeId> terms;
+                terms.reserve(7);
+                terms.push_back(unary(g, OpType::FMul, at(x, y, z)));
+                terms.push_back(unary(g, OpType::FMul, at(x - 1, y, z)));
+                terms.push_back(unary(g, OpType::FMul, at(x + 1, y, z)));
+                terms.push_back(unary(g, OpType::FMul, at(x, y - 1, z)));
+                terms.push_back(unary(g, OpType::FMul, at(x, y + 1, z)));
+                terms.push_back(unary(g, OpType::FMul, at(x, y, z - 1)));
+                terms.push_back(unary(g, OpType::FMul, at(x, y, z + 1)));
+                out.push_back(
+                    reduceTree(g, std::move(terms), OpType::FAdd));
+            }
+        }
+    }
+
+    storeAll(g, out);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sum-of-absolute-differences DFG (PARSEC x264 motion-estimation
+ * pattern): one reference block matched against `candidates` candidate
+ * blocks; per pair an absolute difference, per candidate an add tree,
+ * then a global minimum (the best match).
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeSad(int block, int candidates)
+{
+    if (block < 1 || candidates < 1)
+        fatal("makeSad: block and candidates must be >= 1");
+
+    Graph g("SAD");
+    int pixels = block * block;
+    std::vector<NodeId> ref = loadArray(g, pixels);
+
+    std::vector<NodeId> sads;
+    sads.reserve(candidates);
+    for (int c = 0; c < candidates; ++c) {
+        std::vector<NodeId> cand = loadArray(g, pixels);
+        std::vector<NodeId> diffs;
+        diffs.reserve(pixels);
+        for (int p = 0; p < pixels; ++p) {
+            NodeId d = binary(g, OpType::Sub, ref[p], cand[p]);
+            // |d| as a max against its negation (one extra node).
+            diffs.push_back(binary(g, OpType::Max, d,
+                                   unary(g, OpType::Sub, d)));
+        }
+        sads.push_back(reduceTree(g, std::move(diffs), OpType::Add));
+    }
+
+    NodeId best = reduceTree(g, std::move(sads), OpType::Min);
+    storeAll(g, {best});
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sparse matrix-vector multiply DFG (CSR layout): per row, per nonzero,
+ * a value load, a column-index load, an *indirect* x-vector load that
+ * depends on the index load, and a multiply; a per-row add tree folds
+ * the products. The indirect loads give the kernel its irregular memory
+ * signature.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeSmv(int rows, int nnz_per_row)
+{
+    if (rows < 1 || nnz_per_row < 1)
+        fatal("makeSmv: rows and nnz_per_row must be >= 1");
+
+    Graph g("SMV");
+    std::vector<NodeId> y;
+    y.reserve(rows);
+    for (int r = 0; r < rows; ++r) {
+        std::vector<NodeId> prods;
+        prods.reserve(nnz_per_row);
+        for (int k = 0; k < nnz_per_row; ++k) {
+            NodeId val = g.addNode(OpType::Load);
+            NodeId col = g.addNode(OpType::Load);
+            // x[col]: the address depends on the column-index load.
+            NodeId x = unary(g, OpType::Load, col);
+            prods.push_back(binary(g, OpType::FMul, val, x));
+        }
+        y.push_back(reduceTree(g, std::move(prods), OpType::FAdd));
+    }
+
+    storeAll(g, y);
+    return g;
+}
+
+} // namespace accelwall::kernels

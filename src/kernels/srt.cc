@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sorting-network DFG (the Table IV "Merge Sort" entry): a bitonic
+ * network over n elements. Each compare-exchange is a Min/Max node
+ * pair; the hardware-natural formulation of merge sort.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeSrt(int n)
+{
+    if (n < 2 || (n & (n - 1)) != 0)
+        fatal("makeSrt: n must be a power of two >= 2, got ", n);
+
+    Graph g("SRT");
+    std::vector<NodeId> data = loadArray(g, n);
+
+    // Batcher's bitonic sorting network.
+    for (int k = 2; k <= n; k *= 2) {
+        for (int j = k / 2; j >= 1; j /= 2) {
+            std::vector<NodeId> next = data;
+            for (int i = 0; i < n; ++i) {
+                int partner = i ^ j;
+                if (partner <= i)
+                    continue;
+                bool ascending = (i & k) == 0;
+                NodeId lo = binary(g, OpType::Min, data[i],
+                                   data[partner]);
+                NodeId hi = binary(g, OpType::Max, data[i],
+                                   data[partner]);
+                next[i] = ascending ? lo : hi;
+                next[partner] = ascending ? hi : lo;
+            }
+            data = std::move(next);
+        }
+    }
+
+    storeAll(g, data);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bellman-Ford single-source shortest-path DFG: `iters` relaxation
+ * sweeps over a fixed edge list. Distances flow between iterations as
+ * dataflow values; each vertex folds its incoming relaxations with a
+ * Min tree. Sequential sweeps bound the parallelism — the graph is wide
+ * within an iteration but deep across iterations.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeSsp(int vertices, int edges, int iters)
+{
+    if (vertices < 2 || edges < 1 || iters < 1)
+        fatal("makeSsp: need >= 2 vertices, >= 1 edge, >= 1 iteration");
+
+    Graph g("SSP");
+
+    // Initial distances.
+    std::vector<NodeId> dist = loadArray(g, vertices);
+
+    // A fixed synthetic edge list (u, v): deterministic stride pattern
+    // touching every vertex.
+    std::vector<std::pair<int, int>> edge_list;
+    edge_list.reserve(edges);
+    for (int e = 0; e < edges; ++e) {
+        int u = (e * 7 + 1) % vertices;
+        int v = (e * 13 + 3) % vertices;
+        if (u == v)
+            v = (v + 1) % vertices;
+        edge_list.emplace_back(u, v);
+    }
+
+    for (int it = 0; it < iters; ++it) {
+        std::vector<std::vector<NodeId>> candidates(vertices);
+        for (int v = 0; v < vertices; ++v)
+            candidates[v].push_back(dist[v]);
+
+        for (const auto &[u, v] : edge_list) {
+            NodeId w = g.addNode(OpType::Load);
+            candidates[v].push_back(
+                binary(g, OpType::Add, dist[u], w));
+        }
+
+        for (int v = 0; v < vertices; ++v)
+            dist[v] = reduceTree(g, std::move(candidates[v]),
+                                 OpType::Min);
+    }
+
+    storeAll(g, dist);
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * STREAM-style triad DFG: a[i] = b[i] + s * c[i]. Two loads, one
+ * multiply, one add, one store per element; zero reuse, fully
+ * memory-bound and embarrassingly parallel.
+ */
+
+#include "kernels/kernels.hh"
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+Graph
+makeTrd(int n)
+{
+    if (n < 1)
+        fatal("makeTrd: n must be >= 1");
+
+    Graph g("TRD");
+    NodeId s = g.addNode(OpType::Load);
+
+    std::vector<NodeId> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        NodeId b = g.addNode(OpType::Load);
+        NodeId c = g.addNode(OpType::Load);
+        NodeId sc = binary(g, OpType::FMul, s, c);
+        out.push_back(binary(g, OpType::FAdd, b, sc));
+    }
+
+    storeAll(g, out);
+    return g;
+}
+
+} // namespace accelwall::kernels

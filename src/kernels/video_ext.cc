@@ -1,0 +1,128 @@
+#include "kernels/video_ext.hh"
+
+#include <array>
+
+#include "kernels/builder.hh"
+#include "util/logging.hh"
+
+namespace accelwall::kernels
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+namespace
+{
+
+/**
+ * Fast 8-point 1-D IDCT butterfly (AAN-style structure): three
+ * add/subtract levels with a handful of rotation multiplies, rather
+ * than the dense 8x8 matrix product.
+ */
+std::array<NodeId, 8>
+idct8(Graph &g, const std::array<NodeId, 8> &in)
+{
+    // Even part: butterflies over (0,4) and rotated (2,6).
+    NodeId e0 = binary(g, OpType::Add, in[0], in[4]);
+    NodeId e1 = binary(g, OpType::Sub, in[0], in[4]);
+    NodeId r2 = unary(g, OpType::Mul, in[2]);
+    NodeId r6 = unary(g, OpType::Mul, in[6]);
+    NodeId e2 = binary(g, OpType::Sub, r2, r6);
+    NodeId e3 = binary(g, OpType::Add, r2, r6);
+
+    NodeId t0 = binary(g, OpType::Add, e0, e3);
+    NodeId t3 = binary(g, OpType::Sub, e0, e3);
+    NodeId t1 = binary(g, OpType::Add, e1, e2);
+    NodeId t2 = binary(g, OpType::Sub, e1, e2);
+
+    // Odd part: rotations on 1/7 and 3/5, then a butterfly level.
+    NodeId r1 = unary(g, OpType::Mul, in[1]);
+    NodeId r7 = unary(g, OpType::Mul, in[7]);
+    NodeId r3 = unary(g, OpType::Mul, in[3]);
+    NodeId r5 = unary(g, OpType::Mul, in[5]);
+    NodeId o0 = binary(g, OpType::Add, r1, r7);
+    NodeId o1 = binary(g, OpType::Sub, r1, r7);
+    NodeId o2 = binary(g, OpType::Add, r3, r5);
+    NodeId o3 = binary(g, OpType::Sub, r3, r5);
+    NodeId u0 = binary(g, OpType::Add, o0, o2);
+    NodeId u1 = binary(g, OpType::Add, o1, o3);
+    NodeId u2 = binary(g, OpType::Sub, o0, o2);
+    NodeId u3 = binary(g, OpType::Sub, o1, o3);
+
+    return {binary(g, OpType::Add, t0, u0),
+            binary(g, OpType::Add, t1, u1),
+            binary(g, OpType::Add, t2, u2),
+            binary(g, OpType::Add, t3, u3),
+            binary(g, OpType::Sub, t3, u3),
+            binary(g, OpType::Sub, t2, u2),
+            binary(g, OpType::Sub, t1, u1),
+            binary(g, OpType::Sub, t0, u0)};
+}
+
+} // namespace
+
+Graph
+makeIdct(int blocks)
+{
+    if (blocks < 1)
+        fatal("makeIdct: blocks must be >= 1");
+
+    Graph g("IDCT");
+    for (int b = 0; b < blocks; ++b) {
+        // Load one 8x8 coefficient block.
+        std::array<std::array<NodeId, 8>, 8> block;
+        for (auto &row : block) {
+            for (auto &coef : row)
+                coef = g.addNode(OpType::Load);
+        }
+        // Rows, then columns.
+        for (int r = 0; r < 8; ++r)
+            block[r] = idct8(g, block[r]);
+        for (int c = 0; c < 8; ++c) {
+            std::array<NodeId, 8> col;
+            for (int r = 0; r < 8; ++r)
+                col[r] = block[r][c];
+            col = idct8(g, col);
+            for (int r = 0; r < 8; ++r)
+                block[r][c] = col[r];
+        }
+        // Store the pixel block.
+        for (const auto &row : block) {
+            for (NodeId px : row) {
+                NodeId st = g.addNode(OpType::Store);
+                g.addEdge(px, st);
+            }
+        }
+    }
+    return g;
+}
+
+Graph
+makeEnt(int bits)
+{
+    if (bits < 1)
+        fatal("makeEnt: bits must be >= 1");
+
+    Graph g("ENT");
+    // The bit window; every symbol shifts it by the decoded length.
+    NodeId window = g.addNode(OpType::Load);
+
+    for (int i = 0; i < bits; ++i) {
+        // Refill one bit (independent load), splice into the window.
+        NodeId bit = g.addNode(OpType::Load);
+        NodeId spliced = binary(g, OpType::Or, window, bit);
+        // Match the prefix code and decode symbol + length.
+        NodeId match = unary(g, OpType::Cmp, spliced);
+        NodeId symbol = binary(g, OpType::Lut, spliced, match);
+        NodeId length = unary(g, OpType::Lut, symbol);
+        // Emit the symbol; consume `length` bits — the serial
+        // dependence that caps parallelism.
+        NodeId st = g.addNode(OpType::Store);
+        g.addEdge(symbol, st);
+        window = binary(g, OpType::Shift, spliced, length);
+    }
+    return g;
+}
+
+} // namespace accelwall::kernels

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Video-decoder extension kernels (beyond Table IV).
+ *
+ * Section IV-A studies decoder ASICs as datasheet points; these
+ * kernels model their two extreme pipeline stages so the Section VI
+ * flow can explore the domain: the embarrassingly parallel inverse
+ * DCT, and the strictly serial entropy (bitstream) decode that caps
+ * every decoder's specialization headroom.
+ */
+
+#ifndef ACCELWALL_KERNELS_VIDEO_EXT_HH
+#define ACCELWALL_KERNELS_VIDEO_EXT_HH
+
+#include "dfg/graph.hh"
+
+namespace accelwall::kernels
+{
+
+/**
+ * 2-D 8x8 inverse DCT over @p blocks independent blocks, as separable
+ * fast (butterfly) 1-D transforms over rows then columns.
+ */
+dfg::Graph makeIdct(int blocks = 8);
+
+/**
+ * Entropy (variable-length) decode of @p bits bitstream bits: each
+ * symbol's code match, table lookup, and window shift depend on the
+ * previous symbol's length — an inherently serial chain, the
+ * limited-parallelism extreme of the decoder pipeline.
+ */
+dfg::Graph makeEnt(int bits = 256);
+
+} // namespace accelwall::kernels
+
+#endif // ACCELWALL_KERNELS_VIDEO_EXT_HH

@@ -1,0 +1,196 @@
+#include "nn/conv_dfg.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.hh"
+
+namespace accelwall::nn
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+
+namespace
+{
+
+NodeId
+binary(Graph &g, OpType op, NodeId a, NodeId b)
+{
+    NodeId n = g.addNode(op);
+    g.addEdge(a, n);
+    g.addEdge(b, n);
+    return n;
+}
+
+NodeId
+unary(Graph &g, OpType op, NodeId a)
+{
+    NodeId n = g.addNode(op);
+    g.addEdge(a, n);
+    return n;
+}
+
+NodeId
+reduce(Graph &g, std::vector<NodeId> values, OpType op)
+{
+    if (values.empty())
+        fatal("makeLayerDfg: empty reduction");
+    while (values.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < values.size(); i += 2)
+            next.push_back(binary(g, op, values[i], values[i + 1]));
+        if (values.size() % 2 == 1)
+            next.push_back(values.back());
+        values = std::move(next);
+    }
+    return values[0];
+}
+
+} // namespace
+
+Graph
+makeLayerDfg(const Layer &layer, int tile_w, int tile_h, int tile_c)
+{
+    if (tile_w < 1 || tile_h < 1 || tile_c < 1)
+        fatal("makeLayerDfg: tile dimensions must be >= 1");
+
+    Graph g("layer:" + layer.name);
+    LayerCost cost = layerCost(layer);
+
+    switch (layer.kind) {
+      case LayerKind::Conv: {
+        int tw = std::min(tile_w, cost.out_w);
+        int th = std::min(tile_h, cost.out_h);
+        int tc = std::min(tile_c, layer.out_c);
+        // Receptive-field depth per output, capped for tractability.
+        int rf = std::min<int>(layer.kernel * layer.kernel *
+                                   layer.in_c / layer.groups,
+                               256);
+        for (int c = 0; c < tc; ++c) {
+            for (int y = 0; y < th; ++y) {
+                for (int x = 0; x < tw; ++x) {
+                    std::vector<NodeId> prods;
+                    prods.reserve(rf);
+                    for (int k = 0; k < rf; ++k) {
+                        NodeId act = g.addNode(OpType::Load);
+                        NodeId wgt = g.addNode(OpType::Load);
+                        prods.push_back(
+                            binary(g, OpType::FMul, act, wgt));
+                    }
+                    NodeId acc = reduce(g, std::move(prods),
+                                        OpType::FAdd);
+                    // Bias + ReLU (Max with the zero constant).
+                    NodeId bias = g.addNode(OpType::Load);
+                    NodeId pre = binary(g, OpType::FAdd, acc, bias);
+                    NodeId relu = g.addNode(OpType::Max);
+                    g.addEdge(pre, relu);
+                    NodeId st = g.addNode(OpType::Store);
+                    g.addEdge(relu, st);
+                }
+            }
+        }
+        return g;
+      }
+      case LayerKind::FullyConnected: {
+        int tc = std::min(tile_c, layer.out_c);
+        int inputs = std::min(layer.in_w * layer.in_h * layer.in_c,
+                              256);
+        std::vector<NodeId> acts;
+        for (int i = 0; i < inputs; ++i)
+            acts.push_back(g.addNode(OpType::Load));
+        for (int c = 0; c < tc; ++c) {
+            std::vector<NodeId> prods;
+            prods.reserve(inputs);
+            for (int i = 0; i < inputs; ++i) {
+                NodeId wgt = g.addNode(OpType::Load);
+                prods.push_back(binary(g, OpType::FMul, acts[i], wgt));
+            }
+            NodeId acc = reduce(g, std::move(prods), OpType::FAdd);
+            NodeId st = g.addNode(OpType::Store);
+            g.addEdge(acc, st);
+        }
+        return g;
+      }
+      case LayerKind::Pool: {
+        int tw = std::min(tile_w, cost.out_w);
+        int th = std::min(tile_h, cost.out_h);
+        int tc = std::min(tile_c, layer.in_c);
+        for (int c = 0; c < tc; ++c) {
+            for (int y = 0; y < th; ++y) {
+                for (int x = 0; x < tw; ++x) {
+                    std::vector<NodeId> window;
+                    for (int k = 0; k < layer.kernel * layer.kernel;
+                         ++k)
+                        window.push_back(g.addNode(OpType::Load));
+                    NodeId mx = reduce(g, std::move(window),
+                                       OpType::Max);
+                    NodeId st = g.addNode(OpType::Store);
+                    g.addEdge(mx, st);
+                }
+            }
+        }
+        return g;
+      }
+    }
+    panic("makeLayerDfg: unknown layer kind");
+}
+
+dfg::Graph
+makeWinogradConvDfg(const Layer &layer, int tile_c, int max_in_c)
+{
+    if (layer.kind != LayerKind::Conv || layer.kernel != 3 ||
+        layer.stride != 1)
+        fatal("makeWinogradConvDfg: needs a 3x3 stride-1 Conv layer");
+    if (tile_c < 1 || max_in_c < 1)
+        fatal("makeWinogradConvDfg: tile parameters must be >= 1");
+
+    Graph g("winograd:" + layer.name);
+    int in_c = std::min(layer.in_c / layer.groups, max_in_c);
+    int out_c = std::min(tile_c, layer.out_c);
+
+    // Per input channel: load the 4x4 input tile and apply the
+    // B^T d B transform. Each transformed element is a +/- combination
+    // of four tile elements: modeled as a 3-add fold.
+    std::vector<std::array<NodeId, 16>> transformed(in_c);
+    for (int c = 0; c < in_c; ++c) {
+        std::array<NodeId, 16> d;
+        for (auto &px : d)
+            px = g.addNode(OpType::Load);
+        for (int e = 0; e < 16; ++e) {
+            NodeId a0 = binary(g, OpType::FAdd, d[e],
+                               d[(e + 5) % 16]);
+            NodeId a1 = binary(g, OpType::FAdd, d[(e + 2) % 16],
+                               d[(e + 7) % 16]);
+            transformed[c][e] = binary(g, OpType::FSub, a0, a1);
+        }
+    }
+
+    for (int oc = 0; oc < out_c; ++oc) {
+        // Elementwise product with the (pre-transformed, folded)
+        // weights: 16 multiplies per input channel.
+        std::array<std::vector<NodeId>, 16> accum;
+        for (int c = 0; c < in_c; ++c) {
+            for (int e = 0; e < 16; ++e)
+                accum[e].push_back(
+                    unary(g, OpType::FMul, transformed[c][e]));
+        }
+        // Channel accumulation per element, then the A^T m A output
+        // transform: each of the 4 outputs folds 9 elements (8 adds).
+        std::array<NodeId, 16> m;
+        for (int e = 0; e < 16; ++e)
+            m[e] = reduce(g, std::move(accum[e]), OpType::FAdd);
+        for (int o = 0; o < 4; ++o) {
+            std::vector<NodeId> terms;
+            for (int e = 0; e < 9; ++e)
+                terms.push_back(m[(o * 2 + e) % 16]);
+            NodeId px = reduce(g, std::move(terms), OpType::FAdd);
+            NodeId st = g.addNode(OpType::Store);
+            g.addEdge(px, st);
+        }
+    }
+    return g;
+}
+
+} // namespace accelwall::nn

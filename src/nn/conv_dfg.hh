@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Convolution-layer DFG generator: turns an nn::Layer into a dataflow
+ * graph the pre-RTL simulator can schedule, at a reduced tile size.
+ * This connects the real network topologies to the Section VI flow
+ * (and to the TPU model's workloads).
+ */
+
+#ifndef ACCELWALL_NN_CONV_DFG_HH
+#define ACCELWALL_NN_CONV_DFG_HH
+
+#include "dfg/graph.hh"
+#include "nn/layers.hh"
+
+namespace accelwall::nn
+{
+
+/**
+ * Build the DFG of one output tile of a layer.
+ *
+ * For Conv layers, a @p tile_w x @p tile_h x @p tile_c output tile is
+ * generated with the layer's true receptive field per output (kernel²
+ * x in_c/groups multiplies folded by an add tree). For FC layers, the
+ * tile covers @p tile_c output neurons over a capped input slice. Pool
+ * layers emit Max trees.
+ *
+ * Tiles are capped so the graph stays tractable; the structure (depth,
+ * working set, operation mix) is what the simulator consumes.
+ */
+dfg::Graph makeLayerDfg(const Layer &layer, int tile_w = 4,
+                        int tile_h = 4, int tile_c = 8);
+
+/**
+ * Winograd F(2x2, 3x3) convolution tile (the algorithmic optimization
+ * the paper's FPGA2017* design used: "applied the Winograd transform
+ * ... to improve throughput by minimizing the complexity of
+ * convolutional operations").
+ *
+ * Produces one 2x2 output tile per output channel: per input channel a
+ * 4x4 input transform (additions), a 16-multiply elementwise product
+ * (vs 36 multiplies direct), channel accumulation, and a 4-point
+ * output transform. Only valid for 3x3 stride-1 convolutions.
+ *
+ * @param layer A Conv layer with kernel 3 and stride 1.
+ * @param tile_c Output channels in the tile.
+ * @param max_in_c Receptive-depth cap matching makeLayerDfg's.
+ */
+dfg::Graph makeWinogradConvDfg(const Layer &layer, int tile_c = 8,
+                               int max_in_c = 28);
+
+} // namespace accelwall::nn
+
+#endif // ACCELWALL_NN_CONV_DFG_HH

@@ -1,0 +1,127 @@
+#include "nn/layers.hh"
+
+#include "util/logging.hh"
+
+namespace accelwall::nn
+{
+
+LayerCost
+layerCost(const Layer &layer)
+{
+    if (layer.in_w <= 0 || layer.in_h <= 0 || layer.in_c <= 0)
+        fatal("layerCost: bad input geometry for '", layer.name, "'");
+    if (layer.groups <= 0 || layer.in_c % layer.groups != 0)
+        fatal("layerCost: bad group count for '", layer.name, "'");
+
+    LayerCost cost;
+    switch (layer.kind) {
+      case LayerKind::Conv: {
+        cost.out_w =
+            (layer.in_w + 2 * layer.pad - layer.kernel) / layer.stride +
+            1;
+        cost.out_h =
+            (layer.in_h + 2 * layer.pad - layer.kernel) / layer.stride +
+            1;
+        if (cost.out_w <= 0 || cost.out_h <= 0)
+            fatal("layerCost: kernel larger than padded input in '",
+                  layer.name, "'");
+        double in_c_per_group =
+            static_cast<double>(layer.in_c) / layer.groups;
+        double per_output = layer.kernel * layer.kernel * in_c_per_group;
+        double outputs = static_cast<double>(cost.out_w) * cost.out_h *
+                         layer.out_c;
+        cost.macs = outputs * per_output;
+        cost.params =
+            per_output * layer.out_c + layer.out_c; // weights + bias
+        cost.activations = outputs;
+        return cost;
+      }
+      case LayerKind::FullyConnected: {
+        cost.out_w = 1;
+        cost.out_h = 1;
+        double inputs = static_cast<double>(layer.in_w) * layer.in_h *
+                        layer.in_c;
+        cost.macs = inputs * layer.out_c;
+        cost.params = inputs * layer.out_c + layer.out_c;
+        cost.activations = layer.out_c;
+        return cost;
+      }
+      case LayerKind::Pool: {
+        cost.out_w = (layer.in_w - layer.kernel) / layer.stride + 1;
+        cost.out_h = (layer.in_h - layer.kernel) / layer.stride + 1;
+        cost.macs = 0.0; // comparisons only
+        cost.params = 0.0;
+        cost.activations = static_cast<double>(cost.out_w) * cost.out_h *
+                           layer.in_c;
+        return cost;
+      }
+    }
+    panic("layerCost: unknown layer kind");
+}
+
+ModelCost
+modelCost(const std::vector<Layer> &layers)
+{
+    ModelCost total;
+    for (const auto &layer : layers) {
+        LayerCost c = layerCost(layer);
+        total.total_macs += c.macs;
+        total.total_params += c.params;
+        total.total_activations += c.activations;
+    }
+    total.gops_per_image = total.total_macs * 2.0 / 1e9;
+    return total;
+}
+
+const std::vector<Layer> &
+alexnetLayers()
+{
+    // Krizhevsky et al. 2012 geometry (227x227 input convention).
+    //   name    kind                    in_w in_h in_c out_c  k  s  p  g
+    static const std::vector<Layer> layers = {
+        { "conv1", LayerKind::Conv,           227, 227, 3,   96, 11, 4, 0, 1 },
+        { "pool1", LayerKind::Pool,           55, 55, 96,    96, 3, 2, 0, 1 },
+        { "conv2", LayerKind::Conv,           27, 27, 96,   256, 5, 1, 2, 2 },
+        { "pool2", LayerKind::Pool,           27, 27, 256, 256, 3, 2, 0, 1 },
+        { "conv3", LayerKind::Conv,           13, 13, 256, 384, 3, 1, 1, 1 },
+        { "conv4", LayerKind::Conv,           13, 13, 384, 384, 3, 1, 1, 2 },
+        { "conv5", LayerKind::Conv,           13, 13, 384, 256, 3, 1, 1, 2 },
+        { "pool5", LayerKind::Pool,           13, 13, 256, 256, 3, 2, 0, 1 },
+        { "fc6", LayerKind::FullyConnected,   6, 6, 256,   4096, 1, 1, 0, 1 },
+        { "fc7", LayerKind::FullyConnected,   1, 1, 4096, 4096, 1, 1, 0, 1 },
+        { "fc8", LayerKind::FullyConnected,   1, 1, 4096, 1000, 1, 1, 0, 1 },
+    };
+    return layers;
+}
+
+const std::vector<Layer> &
+vgg16Layers()
+{
+    //   name     kind                   in_w in_h in_c  out_c k  s  p  g
+    static const std::vector<Layer> layers = {
+        { "conv1_1", LayerKind::Conv,         224, 224, 3,    64, 3, 1, 1, 1 },
+        { "conv1_2", LayerKind::Conv,         224, 224, 64,   64, 3, 1, 1, 1 },
+        { "pool1", LayerKind::Pool,           224, 224, 64,   64, 2, 2, 0, 1 },
+        { "conv2_1", LayerKind::Conv,         112, 112, 64,  128, 3, 1, 1, 1 },
+        { "conv2_2", LayerKind::Conv,         112, 112, 128, 128, 3, 1, 1, 1 },
+        { "pool2", LayerKind::Pool,           112, 112, 128, 128, 2, 2, 0, 1 },
+        { "conv3_1", LayerKind::Conv,         56, 56, 128,   256, 3, 1, 1, 1 },
+        { "conv3_2", LayerKind::Conv,         56, 56, 256,   256, 3, 1, 1, 1 },
+        { "conv3_3", LayerKind::Conv,         56, 56, 256,   256, 3, 1, 1, 1 },
+        { "pool3", LayerKind::Pool,           56, 56, 256,   256, 2, 2, 0, 1 },
+        { "conv4_1", LayerKind::Conv,         28, 28, 256,   512, 3, 1, 1, 1 },
+        { "conv4_2", LayerKind::Conv,         28, 28, 512,   512, 3, 1, 1, 1 },
+        { "conv4_3", LayerKind::Conv,         28, 28, 512,   512, 3, 1, 1, 1 },
+        { "pool4", LayerKind::Pool,           28, 28, 512,   512, 2, 2, 0, 1 },
+        { "conv5_1", LayerKind::Conv,         14, 14, 512,   512, 3, 1, 1, 1 },
+        { "conv5_2", LayerKind::Conv,         14, 14, 512,   512, 3, 1, 1, 1 },
+        { "conv5_3", LayerKind::Conv,         14, 14, 512,   512, 3, 1, 1, 1 },
+        { "pool5", LayerKind::Pool,           14, 14, 512,   512, 2, 2, 0, 1 },
+        { "fc6", LayerKind::FullyConnected,   7, 7, 512,    4096, 1, 1, 0, 1 },
+        { "fc7", LayerKind::FullyConnected,   1, 1, 4096,   4096, 1, 1, 0, 1 },
+        { "fc8", LayerKind::FullyConnected,   1, 1, 4096,   1000, 1, 1, 0, 1 },
+    };
+    return layers;
+}
+
+} // namespace accelwall::nn

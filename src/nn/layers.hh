@@ -1,0 +1,87 @@
+/**
+ * @file
+ * CNN layer shapes and costs for AlexNet and VGG-16.
+ *
+ * The FPGA case study (Section IV-C) explains AlexNet's larger gains
+ * by model size: "The amount of data needed to represent VGG-16 is
+ * three times the amount of data for AlexNet, and the amount of
+ * operations per image is about 20x." This module encodes both
+ * networks layer by layer and computes MACs, parameters, and
+ * activation footprints so that claim — and the workloads the TPU
+ * model (Section V) runs — is grounded in the real topologies.
+ */
+
+#ifndef ACCELWALL_NN_LAYERS_HH
+#define ACCELWALL_NN_LAYERS_HH
+
+#include <string>
+#include <vector>
+
+namespace accelwall::nn
+{
+
+/** Layer species. */
+enum class LayerKind
+{
+    Conv,
+    FullyConnected,
+    Pool,
+};
+
+/** One network layer. */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    /** Input feature map: width, height, channels. */
+    int in_w = 0;
+    int in_h = 0;
+    int in_c = 0;
+    /** Output channels (Conv/FC) — FC treats in/out as 1x1 maps. */
+    int out_c = 0;
+    /** Square kernel size, stride, padding, and channel groups. */
+    int kernel = 1;
+    int stride = 1;
+    int pad = 0;
+    int groups = 1;
+};
+
+/** Derived per-layer costs. */
+struct LayerCost
+{
+    /** Output feature-map width/height. */
+    int out_w = 0;
+    int out_h = 0;
+    /** Multiply-accumulates per inference. */
+    double macs = 0.0;
+    /** Weight (+bias) parameters. */
+    double params = 0.0;
+    /** Output activations. */
+    double activations = 0.0;
+};
+
+/** Whole-network roll-up. */
+struct ModelCost
+{
+    double total_macs = 0.0;
+    double total_params = 0.0;
+    double total_activations = 0.0;
+    /** Operations per image in GOP, counting a MAC as two ops. */
+    double gops_per_image = 0.0;
+};
+
+/** Compute one layer's costs; fatal() on inconsistent geometry. */
+LayerCost layerCost(const Layer &layer);
+
+/** Roll up a network. */
+ModelCost modelCost(const std::vector<Layer> &layers);
+
+/** AlexNet (Krizhevsky et al., 2012): 5 conv + 3 FC, ~61M params. */
+const std::vector<Layer> &alexnetLayers();
+
+/** VGG-16 (Simonyan & Zisserman, 2014): 13 conv + 3 FC, ~138M. */
+const std::vector<Layer> &vgg16Layers();
+
+} // namespace accelwall::nn
+
+#endif // ACCELWALL_NN_LAYERS_HH

@@ -1,0 +1,179 @@
+#include "plot/ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace accelwall::plot
+{
+
+namespace
+{
+
+/** Apply an axis transform; NaN for invalid log inputs. */
+double
+transform(double v, Scale scale)
+{
+    if (scale == Scale::Log10)
+        return v > 0.0 ? std::log10(v) : std::nan("");
+    return v;
+}
+
+/** Invert an axis transform (for tick labels). */
+double
+untransform(double t, Scale scale)
+{
+    if (scale == Scale::Log10)
+        return std::pow(10.0, t);
+    return t;
+}
+
+} // namespace
+
+AsciiChart::AsciiChart(ChartConfig config)
+    : config_(std::move(config))
+{
+    if (config_.width < 16 || config_.height < 4)
+        fatal("AsciiChart: plot area must be at least 16x4");
+}
+
+void
+AsciiChart::addSeries(Series series)
+{
+    if (series.xs.size() != series.ys.size())
+        fatal("AsciiChart: series '", series.label,
+              "' has mismatched x/y lengths");
+    series_.push_back(std::move(series));
+}
+
+void
+AsciiChart::print(std::ostream &os) const
+{
+    // Collect transformed extents.
+    double min_x = 1e300, max_x = -1e300;
+    double min_y = 1e300, max_y = -1e300;
+    int skipped = 0;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            double tx = transform(s.xs[i], config_.x_scale);
+            double ty = transform(s.ys[i], config_.y_scale);
+            if (std::isnan(tx) || std::isnan(ty)) {
+                ++skipped;
+                continue;
+            }
+            min_x = std::min(min_x, tx);
+            max_x = std::max(max_x, tx);
+            min_y = std::min(min_y, ty);
+            max_y = std::max(max_y, ty);
+        }
+    }
+
+    if (!config_.title.empty())
+        os << config_.title << '\n';
+
+    if (min_x > max_x) {
+        os << "(no plottable points)\n";
+        return;
+    }
+    // Degenerate extents get a symmetric margin.
+    if (max_x == min_x) {
+        max_x += 1.0;
+        min_x -= 1.0;
+    }
+    if (max_y == min_y) {
+        max_y += 1.0;
+        min_y -= 1.0;
+    }
+
+    const int w = config_.width, h = config_.height;
+    std::vector<std::string> grid(h, std::string(w, ' '));
+    int plotted = 0;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            double tx = transform(s.xs[i], config_.x_scale);
+            double ty = transform(s.ys[i], config_.y_scale);
+            if (std::isnan(tx) || std::isnan(ty))
+                continue;
+            int col = static_cast<int>(std::lround(
+                (tx - min_x) / (max_x - min_x) * (w - 1)));
+            int row = static_cast<int>(std::lround(
+                (ty - min_y) / (max_y - min_y) * (h - 1)));
+            grid[h - 1 - row][col] = s.marker;
+            ++plotted;
+        }
+    }
+
+    auto fmt_tick = [](double v, bool plain) {
+        return plain ? fmtFixed(v, 1) : fmtSi(v, 1);
+    };
+
+    // Y axis: label the top, middle, and bottom rows.
+    auto y_tick = [&](int row) {
+        double t = min_y + (max_y - min_y) *
+                              static_cast<double>(h - 1 - row) / (h - 1);
+        return fmt_tick(untransform(t, config_.y_scale),
+                        config_.y_plain_ticks);
+    };
+    std::size_t label_w = 0;
+    for (int row : {0, h / 2, h - 1})
+        label_w = std::max(label_w, y_tick(row).size());
+
+    for (int row = 0; row < h; ++row) {
+        std::string label;
+        if (row == 0 || row == h / 2 || row == h - 1)
+            label = y_tick(row);
+        os << padLeft(label, label_w) << " |" << grid[row] << '\n';
+    }
+    os << std::string(label_w + 1, ' ') << '+'
+       << std::string(w, '-') << '\n';
+
+    // X axis: min, mid, max ticks.
+    std::string x_min = fmt_tick(untransform(min_x, config_.x_scale),
+                                 config_.x_plain_ticks);
+    std::string x_mid =
+        fmt_tick(untransform(0.5 * (min_x + max_x), config_.x_scale),
+                 config_.x_plain_ticks);
+    std::string x_max = fmt_tick(untransform(max_x, config_.x_scale),
+                                 config_.x_plain_ticks);
+    std::string axis(w, ' ');
+    axis.replace(0, x_min.size(), x_min);
+    if (w / 2 + static_cast<int>(x_mid.size()) < w)
+        axis.replace(w / 2, x_mid.size(), x_mid);
+    if (static_cast<int>(x_max.size()) <= w)
+        axis.replace(w - x_max.size(), x_max.size(), x_max);
+    os << std::string(label_w + 2, ' ') << axis << '\n';
+
+    if (!config_.x_label.empty() || !config_.y_label.empty()) {
+        os << std::string(label_w + 2, ' ') << config_.x_label;
+        if (!config_.y_label.empty())
+            os << "   (y: " << config_.y_label << ")";
+        os << '\n';
+    }
+
+    // Legend.
+    os << "legend:";
+    for (const auto &s : series_) {
+        if (!s.xs.empty())
+            os << "  " << s.marker << " = " << s.label;
+    }
+    os << '\n';
+    if (skipped > 0)
+        os << "(" << skipped << " points outside the log domain "
+           << "skipped)\n";
+    if (plotted == 0)
+        os << "(no plottable points)\n";
+}
+
+std::string
+AsciiChart::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace accelwall::plot

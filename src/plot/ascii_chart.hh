@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Terminal scatter/series charts.
+ *
+ * There is no plotting stack in this environment, so the
+ * figure-regeneration benches render their series directly as ASCII
+ * charts: log- or linear-axis scatter plots with multiple labeled
+ * series, mirroring what the paper's figures plot.
+ */
+
+#ifndef ACCELWALL_PLOT_ASCII_CHART_HH
+#define ACCELWALL_PLOT_ASCII_CHART_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace accelwall::plot
+{
+
+/** Axis transform. */
+enum class Scale
+{
+    Linear,
+    Log10,
+};
+
+/** One labeled point series. */
+struct Series
+{
+    std::string label;
+    /** Marker drawn for this series' points (e.g. 'o', '*', '+'). */
+    char marker = 'o';
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/** Chart configuration. */
+struct ChartConfig
+{
+    /** Plot-area size in character cells. */
+    int width = 64;
+    int height = 20;
+    Scale x_scale = Scale::Linear;
+    Scale y_scale = Scale::Linear;
+    /**
+     * Print axis ticks as plain fixed-point numbers instead of
+     * SI-suffixed ones (useful for year axes, where "2.0K" misleads).
+     */
+    bool x_plain_ticks = false;
+    bool y_plain_ticks = false;
+    std::string x_label;
+    std::string y_label;
+    std::string title;
+};
+
+/**
+ * Render-only chart: collect series, then print.
+ *
+ * Points sharing a cell are drawn with the marker of the last series
+ * added; out-of-range or non-positive values on log axes are skipped
+ * with a warning count in the footer.
+ */
+class AsciiChart
+{
+  public:
+    explicit AsciiChart(ChartConfig config);
+
+    /** Add a series; empty series are allowed and skipped. */
+    void addSeries(Series series);
+
+    /** Render the chart, axes, and legend to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (for tests). */
+    std::string str() const;
+
+  private:
+    ChartConfig config_;
+    std::vector<Series> series_;
+};
+
+} // namespace accelwall::plot
+
+#endif // ACCELWALL_PLOT_ASCII_CHART_HH

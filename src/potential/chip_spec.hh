@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The four physical inputs of the CMOS potential model (Section III):
+ * node, die size, frequency, and TDP.
+ */
+
+#ifndef ACCELWALL_POTENTIAL_CHIP_SPEC_HH
+#define ACCELWALL_POTENTIAL_CHIP_SPEC_HH
+
+namespace accelwall::potential
+{
+
+/**
+ * Physical description of a chip, the model's input tuple. "The model
+ * receives as input: (i) CMOS node, (ii) die size or transistor count,
+ * (iii) chip operation frequency, and (iv) TDP."
+ */
+struct ChipSpec
+{
+    /** CMOS feature size in nanometres. */
+    double node_nm = 45.0;
+    /** Die area in mm². */
+    double area_mm2 = 25.0;
+    /** Operating frequency in GHz. */
+    double freq_ghz = 1.0;
+    /**
+     * Thermal design power in watts. Use kUncapped when modeling a chip
+     * with no meaningful power envelope.
+     */
+    double tdp_w = 1e9;
+};
+
+/** Sentinel: effectively no TDP constraint. */
+inline constexpr double kUncappedTdp = 1e9;
+
+} // namespace accelwall::potential
+
+#endif // ACCELWALL_POTENTIAL_CHIP_SPEC_HH

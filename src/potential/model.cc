@@ -1,0 +1,134 @@
+#include "potential/model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace accelwall::potential
+{
+
+PotentialModel::PotentialModel()
+    : budget_(), calibration_()
+{
+}
+
+PotentialModel::PotentialModel(chipdb::BudgetModel budget)
+    : budget_(std::move(budget)), calibration_()
+{
+}
+
+PotentialModel::PotentialModel(chipdb::BudgetModel budget,
+                               Calibration calibration)
+    : budget_(std::move(budget)), calibration_(calibration)
+{
+    if (calibration_.dyn_w_per_tx_ghz <= 0.0 ||
+        calibration_.leak_w_per_tx <= 0.0)
+        fatal("PotentialModel: calibration constants must be positive");
+}
+
+double
+PotentialModel::areaTransistors(const ChipSpec &spec) const
+{
+    return budget_.areaTransistors(spec.area_mm2, spec.node_nm);
+}
+
+double
+PotentialModel::tdpTransistors(const ChipSpec &spec) const
+{
+    if (spec.freq_ghz <= 0.0)
+        fatal("PotentialModel: frequency must be positive");
+    return budget_.tdpTransistors(spec.tdp_w, spec.node_nm, spec.freq_ghz);
+}
+
+double
+PotentialModel::activeTransistors(const ChipSpec &spec) const
+{
+    const auto &scaling = cmos::ScalingTable::instance();
+
+    // Bottom-up thermal cap: all fabricated transistors leak whether or
+    // not they switch, so the envelope left for switching is
+    // TDP - leakage(all). This is what makes old nodes more appealing
+    // for very large dies under a restricted TDP (Section III).
+    double leak_all = areaTransistors(spec) *
+                      calibration_.leak_w_per_tx *
+                      scaling.leakagePower(spec.node_nm);
+    double dyn_per_tx = calibration_.dyn_w_per_tx_ghz *
+                        scaling.dynamicEnergy(spec.node_nm) *
+                        spec.freq_ghz;
+    double thermal = std::max(0.0, spec.tdp_w - leak_all) / dyn_per_tx;
+
+    return std::min({areaTransistors(spec), tdpTransistors(spec),
+                     thermal});
+}
+
+double
+PotentialModel::throughput(const ChipSpec &spec) const
+{
+    return activeTransistors(spec) * spec.freq_ghz;
+}
+
+double
+PotentialModel::power(const ChipSpec &spec) const
+{
+    const auto &scaling = cmos::ScalingTable::instance();
+    double active = activeTransistors(spec);
+    double dynamic = active * calibration_.dyn_w_per_tx_ghz *
+                     scaling.dynamicEnergy(spec.node_nm) * spec.freq_ghz;
+    // All fabricated transistors leak whether or not they may switch
+    // within the envelope; this is the dark-silicon tax.
+    double leakage = areaTransistors(spec) *
+                     calibration_.leak_w_per_tx *
+                     scaling.leakagePower(spec.node_nm);
+    return std::min(spec.tdp_w, dynamic + leakage);
+}
+
+double
+PotentialModel::energyEfficiency(const ChipSpec &spec) const
+{
+    return throughput(spec) / power(spec);
+}
+
+double
+PotentialModel::areaThroughput(const ChipSpec &spec) const
+{
+    return throughput(spec) / spec.area_mm2;
+}
+
+double
+PotentialModel::throughputGain(const ChipSpec &spec,
+                               const ChipSpec &ref) const
+{
+    return throughput(spec) / throughput(ref);
+}
+
+double
+PotentialModel::efficiencyGain(const ChipSpec &spec,
+                               const ChipSpec &ref) const
+{
+    return energyEfficiency(spec) / energyEfficiency(ref);
+}
+
+double
+PotentialModel::areaThroughputGain(const ChipSpec &spec,
+                                   const ChipSpec &ref) const
+{
+    return areaThroughput(spec) / areaThroughput(ref);
+}
+
+double
+PotentialModel::optimalFrequency(double node_nm, double area_mm2,
+                                 double tdp_w) const
+{
+    double best_freq = 0.05, best_thr = 0.0;
+    for (double f = 0.05; f <= 5.0 + 1e-9; f *= 1.05) {
+        ChipSpec spec{node_nm, area_mm2, f, tdp_w};
+        double thr = throughput(spec);
+        if (thr > best_thr) {
+            best_thr = thr;
+            best_freq = f;
+        }
+    }
+    return best_freq;
+}
+
+} // namespace accelwall::potential

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The CMOS potential model (Section III, Figure 3d).
+ *
+ * An application-independent estimate of the CMOS-driven capabilities of a
+ * chip given its physical properties. Combines the device-scaling table
+ * (cmos::ScalingTable) with the transistor-budget models
+ * (chipdb::BudgetModel):
+ *
+ *   activeTransistors = min( TC_area(area, node),
+ *                            TC_tdp(TDP, node) / freq )
+ *   throughput        ~ activeTransistors * freq
+ *   power             = min( TDP, dynamic(active) + leakage(all) )
+ *   energy efficiency = throughput / power
+ *
+ * The model reproduces the paper's Figure 3d anchor: an 800mm² 5nm chip
+ * at 1GHz is ~1000x a 25mm² 45nm chip unconstrained, dropping ~70% to
+ * ~300x under an 800W envelope.
+ */
+
+#ifndef ACCELWALL_POTENTIAL_MODEL_HH
+#define ACCELWALL_POTENTIAL_MODEL_HH
+
+#include "chipdb/budget.hh"
+#include "cmos/scaling.hh"
+#include "potential/chip_spec.hh"
+
+namespace accelwall::potential
+{
+
+/**
+ * Absolute power calibration of the potential model. The defaults pin
+ * a 1e9-transistor 45nm chip at 1 GHz to ~100W (80W dynamic + 20W
+ * leakage), in line with contemporaneous GPUs; the sensitivity
+ * ablation perturbs these to show the CSR conclusions are
+ * calibration-robust (ratios cancel most of the absolute scale).
+ */
+struct Calibration
+{
+    /** Dynamic power per transistor at 45nm and 1 GHz, watts. */
+    double dyn_w_per_tx_ghz = 8e-8;
+    /** Leakage power per transistor at 45nm, watts. */
+    double leak_w_per_tx = 2e-8;
+};
+
+/**
+ * Application-independent physical chip-gains model.
+ *
+ * Throughput is reported in transistor-GHz (an arbitrary unit: the model
+ * is only ever used through gain *ratios* between two specs, per Eq. 2).
+ */
+class PotentialModel
+{
+  public:
+    /** Build with the canonical budget fits and scaling table. */
+    PotentialModel();
+
+    /** Build with an explicit (e.g. re-fit) budget model. */
+    explicit PotentialModel(chipdb::BudgetModel budget);
+
+    /** Build with explicit budget and power calibration. */
+    PotentialModel(chipdb::BudgetModel budget, Calibration calibration);
+
+    /** Area-budget transistor count (Fig. 3b law). */
+    double areaTransistors(const ChipSpec &spec) const;
+
+    /** Power-budget active transistor count (Fig. 3c law). */
+    double tdpTransistors(const ChipSpec &spec) const;
+
+    /**
+     * Usable transistors: the minimum of the area budget, the empirical
+     * power-envelope budget, and the bottom-up thermal budget
+     * (TDP minus the leakage of every fabricated transistor, divided by
+     * per-transistor switching power). The last term models why, for
+     * large dies under a restricted TDP, "the high transistor count and
+     * static power of new CMOS nodes make old nodes more appealing".
+     */
+    double activeTransistors(const ChipSpec &spec) const;
+
+    /** CMOS-driven throughput potential, in transistor-GHz. */
+    double throughput(const ChipSpec &spec) const;
+
+    /** Modeled dissipation in watts, capped at the spec's TDP. */
+    double power(const ChipSpec &spec) const;
+
+    /** CMOS-driven energy-efficiency potential (throughput per watt). */
+    double energyEfficiency(const ChipSpec &spec) const;
+
+    /** Throughput potential per mm² of die (area-normalized metrics). */
+    double areaThroughput(const ChipSpec &spec) const;
+
+    /** Ratio of throughput potentials spec/ref (Eq. 2 denominator). */
+    double throughputGain(const ChipSpec &spec, const ChipSpec &ref) const;
+
+    /** Ratio of efficiency potentials spec/ref. */
+    double efficiencyGain(const ChipSpec &spec, const ChipSpec &ref) const;
+
+    /** Ratio of per-area throughput potentials spec/ref. */
+    double areaThroughputGain(const ChipSpec &spec,
+                              const ChipSpec &ref) const;
+
+    /**
+     * Frequency that maximizes throughput for a given node, die, and
+     * envelope. Below the optimum the chip is area-bound (more clock
+     * helps); above it the envelope caps transistor-GHz and extra
+     * clock only darkens silicon. Searched over a log grid in
+     * [0.05, 5] GHz.
+     */
+    double optimalFrequency(double node_nm, double area_mm2,
+                            double tdp_w) const;
+
+    /** The budget model in use. */
+    const chipdb::BudgetModel &budget() const { return budget_; }
+
+    /** The power calibration in use. */
+    const Calibration &calibration() const { return calibration_; }
+
+    /** Default dynamic power per transistor at 45nm/1GHz, watts. */
+    static constexpr double kDynWattsPerTransistorGhz = 8e-8;
+
+    /** Default leakage power per transistor at 45nm, watts. */
+    static constexpr double kLeakWattsPerTransistor = 2e-8;
+
+  private:
+    chipdb::BudgetModel budget_;
+    Calibration calibration_;
+};
+
+} // namespace accelwall::potential
+
+#endif // ACCELWALL_POTENTIAL_MODEL_HH

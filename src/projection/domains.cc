@@ -1,0 +1,167 @@
+#include "projection/domains.hh"
+
+#include <string>
+
+#include "csr/csr.hh"
+#include "potential/model.hh"
+#include "studies/bitcoin.hh"
+#include "studies/fpga.hh"
+#include "studies/gpu.hh"
+#include "studies/video.hh"
+#include "util/logging.hh"
+
+namespace accelwall::projection
+{
+
+namespace
+{
+
+using csr::ChipGain;
+using csr::Metric;
+using potential::ChipSpec;
+using potential::PotentialModel;
+
+double
+potentialOf(const PotentialModel &model, const ChipSpec &spec,
+            Metric metric)
+{
+    switch (metric) {
+      case Metric::Throughput:
+        return model.throughput(spec);
+      case Metric::EnergyEfficiency:
+        return model.energyEfficiency(spec);
+      case Metric::AreaThroughput:
+        return model.areaThroughput(spec);
+    }
+    panic("projection: unknown metric");
+}
+
+/**
+ * Build (relative phy, absolute gain) points from a chip series,
+ * normalized to the first chip's potential, plus the limit chip's
+ * relative potential.
+ */
+DomainStudy
+assemble(const DomainParams &params, const std::vector<ChipGain> &chips,
+         Metric metric, bool use_efficiency)
+{
+    if (chips.empty())
+        fatal("projectDomain: empty chip series for ", params.name);
+
+    PotentialModel model;
+    double base = potentialOf(model, chips.front().spec, metric);
+
+    DomainStudy study;
+    study.params = params;
+    for (const auto &chip : chips) {
+        study.points.push_back(
+            {potentialOf(model, chip.spec, metric) / base, chip.gain});
+    }
+
+    // The wall chip: final CMOS node with Table V's physical envelope.
+    // Largest die for performance, smallest for efficiency.
+    ChipSpec limit;
+    limit.node_nm = 5.0;
+    limit.area_mm2 =
+        use_efficiency ? params.min_die_mm2 : params.max_die_mm2;
+    limit.freq_ghz = params.freq_mhz / 1e3;
+    limit.tdp_w = params.tdp_w;
+    double phy_limit = potentialOf(model, limit, metric) / base;
+
+    study.projection = projectFrontier(study.points, phy_limit);
+    return study;
+}
+
+/** Frame rate to pixel rate: FHD = 2.0736 MPix, QHD = 3.6864 MPix. */
+double
+pixelsPerFrame(const std::string &app)
+{
+    if (app.find("QHD") != std::string::npos)
+        return 3.6864;
+    return 2.0736;
+}
+
+} // namespace
+
+const std::vector<DomainParams> &
+domainTable()
+{
+    // Table V: accelerator-wall physical parameters.
+    static const std::vector<DomainParams> table = {
+        { Domain::VideoDecoding, "Video Decoding", "ASIC", "MPixels/s",
+          "MPixels/J", 1.68, 16.0, 7.0, 400.0 },
+        { Domain::GpuGraphics, "Gaming/Graphics", "GPU", "MPixels/s",
+          "MPixels/J", 40.0, 815.0, 345.0, 1500.0 },
+        { Domain::FpgaCnn, "Convolutional NN", "FPGA", "GOP/s", "GOP/J",
+          100.0, 572.0, 150.0, 400.0 },
+        { Domain::BitcoinMining, "Bitcoin Mining", "ASIC",
+          "GHash/s/mm2", "GHash/J", 11.1, 504.0, 500.0, 1400.0 },
+    };
+    return table;
+}
+
+const DomainParams &
+domainParams(Domain domain)
+{
+    for (const auto &row : domainTable()) {
+        if (row.domain == domain)
+            return row;
+    }
+    panic("domainParams: unknown domain");
+}
+
+DomainStudy
+projectDomain(Domain domain, bool use_efficiency)
+{
+    const DomainParams &params = domainParams(domain);
+    Metric metric = use_efficiency ? Metric::EnergyEfficiency
+                                   : Metric::Throughput;
+
+    switch (domain) {
+      case Domain::VideoDecoding:
+        return assemble(params, studies::videoChipGains(use_efficiency),
+                        metric, use_efficiency);
+
+      case Domain::GpuGraphics: {
+        // Every benchmark result is a point; frame gains are converted
+        // to pixel rates so resolutions share one axis.
+        std::vector<ChipGain> chips;
+        for (const auto &app : studies::gameApps()) {
+            auto series =
+                studies::gpuAppSeries(app.name, use_efficiency);
+            double px = pixelsPerFrame(app.name);
+            for (auto &chip : series) {
+                chip.gain *= px;
+                chips.push_back(std::move(chip));
+            }
+        }
+        return assemble(params, chips, metric, use_efficiency);
+      }
+
+      case Domain::FpgaCnn: {
+        // AlexNet and VGG-16 designs share the GOP/s axis (Fig. 15c
+        // plots "AlexNet+VGG-16").
+        std::vector<ChipGain> chips;
+        for (const auto &model : {"AlexNet", "VGG-16"}) {
+            for (auto &chip : studies::fpgaChipGains(
+                     studies::fpgaDesignsFor(model), use_efficiency))
+                chips.push_back(std::move(chip));
+        }
+        return assemble(params, chips, metric, use_efficiency);
+      }
+
+      case Domain::BitcoinMining: {
+        // ASICs only: CPU/GPU/FPGA points sit far below the frontier
+        // and the per-area axis is normalized to the first ASIC.
+        Metric btc_metric = use_efficiency ? Metric::EnergyEfficiency
+                                           : Metric::AreaThroughput;
+        return assemble(params,
+                        studies::miningChipGains(studies::miningAsics(),
+                                                 use_efficiency),
+                        btc_metric, use_efficiency);
+      }
+    }
+    panic("projectDomain: unknown domain");
+}
+
+} // namespace accelwall::projection

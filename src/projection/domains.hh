@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-domain accelerator-wall assembly (Section VII, Table V,
+ * Figures 15-16): turns each case study's chip set into (physical
+ * potential, gain) points, computes the 5nm limit chip's potential from
+ * Table V's physical parameters, and runs both projection models.
+ */
+
+#ifndef ACCELWALL_PROJECTION_DOMAINS_HH
+#define ACCELWALL_PROJECTION_DOMAINS_HH
+
+#include <string>
+#include <vector>
+
+#include "projection/projection.hh"
+
+namespace accelwall::projection
+{
+
+/** The four projected computation domains. */
+enum class Domain
+{
+    VideoDecoding,
+    GpuGraphics,
+    FpgaCnn,
+    BitcoinMining,
+};
+
+/** One Table V row plus presentation metadata. */
+struct DomainParams
+{
+    Domain domain;
+    std::string name;
+    std::string platform;
+    /** Gain units for the two metrics. */
+    std::string perf_units;
+    std::string eff_units;
+    /** Table V physical parameters. */
+    double min_die_mm2 = 0.0;
+    double max_die_mm2 = 0.0;
+    double tdp_w = 0.0;
+    double freq_mhz = 0.0;
+};
+
+/** Table V, in the paper's row order. */
+const std::vector<DomainParams> &domainTable();
+
+/** Lookup one row. */
+const DomainParams &domainParams(Domain domain);
+
+/** A fully assembled domain projection. */
+struct DomainStudy
+{
+    DomainParams params;
+    /** Observed (relative physical potential, absolute gain) points. */
+    std::vector<stats::Point2> points;
+    /** The projection over the Pareto frontier of those points. */
+    ProjectionResult projection;
+};
+
+/**
+ * Assemble and project one domain.
+ *
+ * @param domain Which case study.
+ * @param use_efficiency False: the Figure 15 performance projection
+ *        (largest Table V die). True: the Figure 16 energy-efficiency
+ *        projection (smallest die — "we use largest dies for
+ *        performance, and smallest dies for energy efficiency").
+ */
+DomainStudy projectDomain(Domain domain, bool use_efficiency);
+
+} // namespace accelwall::projection
+
+#endif // ACCELWALL_PROJECTION_DOMAINS_HH

@@ -1,0 +1,106 @@
+#include "projection/projection.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace accelwall::projection
+{
+
+ProjectionResult
+projectFrontier(const std::vector<stats::Point2> &points, double phy_limit)
+{
+    if (phy_limit <= 0.0)
+        fatal("projectFrontier: non-positive physical limit");
+
+    ProjectionResult out;
+    out.frontier = stats::paretoFrontier(points);
+    if (out.frontier.size() < 2)
+        fatal("projectFrontier: need at least two frontier points, got ",
+              out.frontier.size());
+
+    std::vector<double> xs, ys;
+    for (const auto &p : out.frontier) {
+        xs.push_back(p.x);
+        ys.push_back(p.y);
+    }
+
+    out.linear = stats::fitLinear(xs, ys);
+    out.log = stats::fitLog(xs, ys);
+    out.phy_limit = phy_limit;
+
+    out.best_observed = 0.0;
+    for (const auto &p : out.frontier)
+        out.best_observed = std::max(out.best_observed, p.y);
+
+    out.linear_limit = std::max(out.linear(phy_limit), out.best_observed);
+    out.log_limit = std::max(out.log(phy_limit), out.best_observed);
+    out.linear_headroom = out.linear_limit / out.best_observed;
+    out.log_headroom = out.log_limit / out.best_observed;
+    return out;
+}
+
+BootstrapResult
+bootstrapProjection(const std::vector<stats::Point2> &points,
+                    double phy_limit, int resamples, std::uint64_t seed)
+{
+    if (points.size() < 2)
+        fatal("bootstrapProjection: need at least two points");
+    if (resamples < 10)
+        fatal("bootstrapProjection: need at least 10 resamples");
+
+    Rng rng(seed);
+    std::vector<double> linear_limits, log_limits;
+
+    for (int r = 0; r < resamples; ++r) {
+        std::vector<stats::Point2> sample;
+        sample.reserve(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            int pick = rng.uniformInt(
+                0, static_cast<int>(points.size()) - 1);
+            sample.push_back(points[static_cast<std::size_t>(pick)]);
+        }
+        auto frontier = stats::paretoFrontier(sample);
+        // Skip degenerate resamples: the fits need at least two
+        // distinct abscissae.
+        if (frontier.size() < 2 ||
+            frontier.front().x == frontier.back().x)
+            continue;
+
+        std::vector<double> xs, ys;
+        double best = 0.0;
+        for (const auto &p : frontier) {
+            xs.push_back(p.x);
+            ys.push_back(p.y);
+            best = std::max(best, p.y);
+        }
+        auto lin = stats::fitLinear(xs, ys);
+        auto lg = stats::fitLog(xs, ys);
+        linear_limits.push_back(std::max(lin(phy_limit), best));
+        log_limits.push_back(std::max(lg(phy_limit), best));
+    }
+
+    if (linear_limits.size() < 10)
+        fatal("bootstrapProjection: too few usable resamples (",
+              linear_limits.size(), ")");
+
+    auto percentile_band = [](std::vector<double> values) {
+        std::sort(values.begin(), values.end());
+        auto at = [&](double q) {
+            std::size_t idx = static_cast<std::size_t>(
+                q * static_cast<double>(values.size() - 1));
+            return values[idx];
+        };
+        return Interval{at(0.10), at(0.90)};
+    };
+
+    BootstrapResult out;
+    out.linear_limit = percentile_band(linear_limits);
+    out.log_limit = percentile_band(log_limits);
+    out.usable = static_cast<int>(linear_limits.size());
+    return out;
+}
+
+} // namespace accelwall::projection

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Accelerator-wall projection models (Section VII, Equations 5-6,
+ * Figures 15-16).
+ *
+ * For each domain the paper plots reported gains against CMOS-driven
+ * physical potential, extracts the Pareto frontier, and fits two
+ * projections:
+ *
+ *   Linear:      gain = alpha * phy + beta          (Eq. 5)
+ *   Logarithmic: gain = alpha * ln(phy) + beta      (Eq. 6)
+ *
+ * evaluated at the physical potential a final-CMOS-node (5nm) chip with
+ * the domain's Table V parameters could reach — the accelerator wall.
+ */
+
+#ifndef ACCELWALL_PROJECTION_PROJECTION_HH
+#define ACCELWALL_PROJECTION_PROJECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/fits.hh"
+#include "stats/pareto.hh"
+
+namespace accelwall::projection
+{
+
+/** Result of projecting one domain/metric to the CMOS limit. */
+struct ProjectionResult
+{
+    /** Pareto frontier of the observed (phy, gain) points. */
+    std::vector<stats::Point2> frontier;
+    /** Eq. 5 fit over the frontier. */
+    stats::LinearFit linear;
+    /** Eq. 6 fit over the frontier. */
+    stats::LogFit log;
+    /** Physical potential of the 5nm limit chip (same x units). */
+    double phy_limit = 0.0;
+    /** Projected gain at the wall under each model (same y units). */
+    double linear_limit = 0.0;
+    double log_limit = 0.0;
+    /** Best gain observed so far (max frontier y). */
+    double best_observed = 0.0;
+    /** Remaining headroom: projected limit / best observed. */
+    double linear_headroom = 0.0;
+    double log_headroom = 0.0;
+};
+
+/**
+ * Fit both projection models to the Pareto frontier of @p points
+ * (x = relative physical potential, y = gain in domain units) and
+ * evaluate them at @p phy_limit.
+ *
+ * Projections are clamped below at the best observed gain: the wall
+ * cannot be lower than an already-manufactured chip.
+ *
+ * @pre at least two frontier points with distinct x.
+ */
+ProjectionResult projectFrontier(const std::vector<stats::Point2> &points,
+                                 double phy_limit);
+
+/** A percentile interval over bootstrap resamples. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Bootstrap uncertainty of the projected wall. */
+struct BootstrapResult
+{
+    /** 10th-90th percentile bands of the projected limits. */
+    Interval linear_limit;
+    Interval log_limit;
+    /** Resamples that produced a usable frontier. */
+    int usable = 0;
+};
+
+/**
+ * Bootstrap the projection: resample the observed points with
+ * replacement, re-extract the frontier, refit, and re-evaluate at
+ * @p phy_limit. Degenerate resamples (frontiers with fewer than two
+ * distinct x) are skipped. Deterministic for a given seed.
+ */
+BootstrapResult bootstrapProjection(
+    const std::vector<stats::Point2> &points, double phy_limit,
+    int resamples = 200, std::uint64_t seed = 0xB007);
+
+} // namespace accelwall::projection
+
+#endif // ACCELWALL_PROJECTION_PROJECTION_HH

@@ -1,0 +1,83 @@
+#include "roofline/roofline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace accelwall::roofline
+{
+
+double
+Roofline::attainable(double intensity_op_per_byte) const
+{
+    if (intensity_op_per_byte <= 0.0)
+        fatal("Roofline: operational intensity must be positive");
+    double memory_roof =
+        intensity_op_per_byte * bandwidth_gbs / 1e3; // GB/s*op/B -> TOPS
+    return std::min(peak_tops, memory_roof);
+}
+
+Roofline
+machineRoofline(const tpu::TpuConfig &config)
+{
+    tpu::TpuModel model(config);
+    Roofline roof;
+    roof.peak_tops = model.peakTops();
+    roof.bandwidth_gbs = config.weight_bw_gbs;
+    // Ridge: peak[TOPS] = I * BW[GB/s] / 1e3.
+    roof.ridge_intensity = roof.peak_tops * 1e3 / roof.bandwidth_gbs;
+    return roof;
+}
+
+Placement
+placeLayer(const Roofline &roof, const nn::Layer &layer,
+           int operand_bits)
+{
+    nn::LayerCost cost = nn::layerCost(layer);
+    Placement out;
+    out.name = layer.name;
+    double ops = cost.macs * 2.0;
+    double bytes =
+        std::max(cost.params * operand_bits / 8.0, 1.0);
+    out.intensity = ops / bytes;
+    if (ops <= 0.0) {
+        // Pooling: no MACs; pin to the memory roof's origin.
+        out.intensity = 1.0;
+        out.attainable_tops = roof.attainable(1.0);
+        out.regime = Regime::MemoryBound;
+        out.peak_fraction = out.attainable_tops / roof.peak_tops;
+        return out;
+    }
+    out.attainable_tops = roof.attainable(out.intensity);
+    out.regime = out.intensity >= roof.ridge_intensity
+                     ? Regime::ComputeBound
+                     : Regime::MemoryBound;
+    out.peak_fraction = out.attainable_tops / roof.peak_tops;
+    return out;
+}
+
+Placement
+placeModel(const Roofline &roof, const std::string &name,
+           const std::vector<nn::Layer> &layers, int operand_bits)
+{
+    double ops = 0.0, bytes = 0.0;
+    for (const auto &layer : layers) {
+        nn::LayerCost cost = nn::layerCost(layer);
+        ops += cost.macs * 2.0;
+        bytes += cost.params * operand_bits / 8.0;
+    }
+    if (bytes <= 0.0)
+        fatal("placeModel: network has no parameters");
+
+    Placement out;
+    out.name = name;
+    out.intensity = ops / bytes;
+    out.attainable_tops = roof.attainable(out.intensity);
+    out.regime = out.intensity >= roof.ridge_intensity
+                     ? Regime::ComputeBound
+                     : Regime::MemoryBound;
+    out.peak_fraction = out.attainable_tops / roof.peak_tops;
+    return out;
+}
+
+} // namespace accelwall::roofline

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Roofline analysis for the TPU-style accelerator model.
+ *
+ * The TPU paper (the Section V case study's source) analyzes its
+ * workloads on a roofline: attainable throughput is the minimum of the
+ * compute peak and operational intensity x memory bandwidth. This
+ * module derives the roofline of a tpu::TpuConfig and places nn::
+ * layers and networks on it — the quantitative backdrop for Table I's
+ * memory-vs-compute specialization concepts.
+ */
+
+#ifndef ACCELWALL_ROOFLINE_ROOFLINE_HH
+#define ACCELWALL_ROOFLINE_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "tpu/tpu_model.hh"
+
+namespace accelwall::roofline
+{
+
+/** The two roofline regimes. */
+enum class Regime
+{
+    MemoryBound,
+    ComputeBound,
+};
+
+/** One workload placed on a roofline. */
+struct Placement
+{
+    std::string name;
+    /** Operations per byte of off-chip (weight) traffic. */
+    double intensity = 0.0;
+    /** Attainable throughput at that intensity, in TOPS. */
+    double attainable_tops = 0.0;
+    /** Which side of the ridge the workload sits on. */
+    Regime regime = Regime::MemoryBound;
+    /** Fraction of the compute peak attained. */
+    double peak_fraction = 0.0;
+};
+
+/** A machine roofline. */
+struct Roofline
+{
+    /** Compute peak in TOPS. */
+    double peak_tops = 0.0;
+    /** Off-chip bandwidth in GB/s. */
+    double bandwidth_gbs = 0.0;
+    /** Ridge point: the intensity where the roof flattens [op/B]. */
+    double ridge_intensity = 0.0;
+
+    /** Attainable TOPS at a given operational intensity. */
+    double attainable(double intensity_op_per_byte) const;
+};
+
+/** Derive the roofline of a TPU configuration. */
+Roofline machineRoofline(const tpu::TpuConfig &config);
+
+/**
+ * Place one layer on a roofline: intensity = 2*MACs / weight bytes
+ * (activations stay on chip in the unified buffer).
+ */
+Placement placeLayer(const Roofline &roof, const nn::Layer &layer,
+                     int operand_bits);
+
+/** Place a whole network (aggregate intensity). */
+Placement placeModel(const Roofline &roof, const std::string &name,
+                     const std::vector<nn::Layer> &layers,
+                     int operand_bits);
+
+} // namespace accelwall::roofline
+
+#endif // ACCELWALL_ROOFLINE_ROOFLINE_HH

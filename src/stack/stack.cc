@@ -1,0 +1,71 @@
+#include "stack/stack.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall::stack
+{
+
+const char *
+layerName(Layer layer)
+{
+    switch (layer) {
+      case Layer::Algorithm: return "algorithm";
+      case Layer::Framework: return "framework";
+      case Layer::Platform: return "platform";
+      case Layer::Engineering: return "engineering";
+      case Layer::Physical: return "physical";
+    }
+    return "?";
+}
+
+Breakdown
+attributeStack(const std::vector<Step> &steps,
+               const potential::PotentialModel &model,
+               csr::Metric metric)
+{
+    if (steps.size() < 2)
+        fatal("attributeStack: need at least two steps");
+
+    Breakdown out;
+    std::map<Layer, double> log_share;
+
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+        const auto &prev = steps[i - 1].chip;
+        const auto &cur = steps[i].chip;
+        if (prev.gain <= 0.0 || cur.gain <= 0.0)
+            fatal("attributeStack: gains must be positive");
+
+        double log_gain = std::log(cur.gain / prev.gain);
+        double csr_ratio = csr::csrRatio(cur, prev, model, metric);
+        double log_csr = std::log(csr_ratio);
+        double log_phy = log_gain - log_csr;
+
+        log_share[Layer::Physical] += log_phy;
+
+        const auto &changed = steps[i].changed;
+        for (Layer layer : changed) {
+            if (layer == Layer::Physical)
+                fatal("attributeStack: Physical is derived, not "
+                      "annotated");
+        }
+        if (changed.empty()) {
+            log_share[Layer::Engineering] += log_csr;
+        } else {
+            double split = log_csr / static_cast<double>(changed.size());
+            for (Layer layer : changed)
+                log_share[layer] += split;
+        }
+    }
+
+    out.total_gain = steps.back().chip.gain / steps.front().chip.gain;
+    double log_total = std::log(out.total_gain);
+    for (auto &[layer, value] : log_share) {
+        out.share[layer] =
+            log_total != 0.0 ? value / log_total : 0.0;
+    }
+    return out;
+}
+
+} // namespace accelwall::stack

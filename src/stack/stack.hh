@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The specialization stack (Section II, Figure 2).
+ *
+ * "The gain ... depends on the layers that are not fixed, i.e.,
+ * Algorithm (Alg), Framework (Fwk), Platform (Plt), Engineering (Eng),
+ * and Physical (Phy)."
+ *
+ * Given a chip series where each generational step is annotated with
+ * the stack layers that changed (a new platform, a new compiler, an
+ * algorithmic rewrite...), this module splits the series' cumulative
+ * log-gain between the physical layer (via the potential model) and
+ * the annotated specialization layers — turning Figure 2 from a
+ * taxonomy into an attribution.
+ */
+
+#ifndef ACCELWALL_STACK_STACK_HH
+#define ACCELWALL_STACK_STACK_HH
+
+#include <map>
+#include <vector>
+
+#include "csr/csr.hh"
+#include "potential/model.hh"
+
+namespace accelwall::stack
+{
+
+/** The mutable layers of Figure 2's accelerator-centric column. */
+enum class Layer
+{
+    Algorithm,
+    Framework,
+    Platform,
+    Engineering,
+    Physical,
+};
+
+/** Human-readable layer name. */
+const char *layerName(Layer layer);
+
+/**
+ * One generational step: the chip and the non-physical layers that
+ * changed since the previous chip. An empty list attributes the step's
+ * CSR delta to Engineering (the residual design-quality layer).
+ */
+struct Step
+{
+    csr::ChipGain chip;
+    std::vector<Layer> changed;
+};
+
+/** The attribution result. */
+struct Breakdown
+{
+    /** End-to-end gain of the last chip over the first. */
+    double total_gain = 1.0;
+    /**
+     * Share of the total log-gain attributed to each layer. Shares
+     * are signed (a layer can regress) and sum to 1 when total_gain
+     * exceeds 1.
+     */
+    std::map<Layer, double> share;
+};
+
+/**
+ * Attribute a series' gains across the stack. Each step's log-gain is
+ * decomposed via Eq. 2 into a physical part (the potential ratio,
+ * attributed to Layer::Physical) and a CSR part, split equally among
+ * the step's changed layers.
+ *
+ * @pre at least two steps, positive gains; Layer::Physical must not
+ *      appear in any step's changed list (it is derived).
+ */
+Breakdown attributeStack(const std::vector<Step> &steps,
+                         const potential::PotentialModel &model,
+                         csr::Metric metric);
+
+} // namespace accelwall::stack
+
+#endif // ACCELWALL_STACK_STACK_HH

@@ -1,0 +1,92 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall::stats
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("mean of an empty sample");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("geomean of an empty sample");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geomean requires positive samples, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        fatal("median of an empty sample");
+    std::sort(xs.begin(), xs.end());
+    std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("min of an empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("max of an empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+meanSquaredError(const std::vector<double> &actual,
+                 const std::vector<double> &predicted)
+{
+    if (actual.size() != predicted.size())
+        fatal("MSE requires equal-length series");
+    if (actual.empty())
+        fatal("MSE of empty series");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        double d = actual[i] - predicted[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(actual.size());
+}
+
+} // namespace accelwall::stats

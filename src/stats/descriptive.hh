@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the CSR pipelines: arithmetic and
+ * geometric means, standard deviation, and residual-error summaries.
+ */
+
+#ifndef ACCELWALL_STATS_DESCRIPTIVE_HH
+#define ACCELWALL_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace accelwall::stats
+{
+
+/** Arithmetic mean; fatal() on an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean; all samples must be positive. Used for Eq. 3's
+ * cross-application gain aggregation.
+ */
+double geomean(const std::vector<double> &xs);
+
+/** Sample standard deviation (N-1 denominator); 0 for N < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (average of middle two for even N). */
+double median(std::vector<double> xs);
+
+/** Minimum; fatal() on an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; fatal() on an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/** Mean squared error between two equal-length series. */
+double meanSquaredError(const std::vector<double> &actual,
+                        const std::vector<double> &predicted);
+
+} // namespace accelwall::stats
+
+#endif // ACCELWALL_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,189 @@
+#include "stats/fits.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall::stats
+{
+
+namespace
+{
+
+/** R² of predictions against observations. */
+double
+rSquared(const std::vector<double> &ys, const std::vector<double> &preds)
+{
+    double mean = 0.0;
+    for (double y : ys)
+        mean += y;
+    mean /= static_cast<double>(ys.size());
+
+    double ss_tot = 0.0, ss_res = 0.0;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        ss_tot += (ys[i] - mean) * (ys[i] - mean);
+        ss_res += (ys[i] - preds[i]) * (ys[i] - preds[i]);
+    }
+    if (ss_tot == 0.0)
+        return 1.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+void
+checkSizes(const std::vector<double> &xs, const std::vector<double> &ys,
+           std::size_t min_points, const char *what)
+{
+    if (xs.size() != ys.size())
+        fatal(what, ": xs and ys must be the same length");
+    if (xs.size() < min_points)
+        fatal(what, ": needs at least ", min_points, " points, got ",
+              xs.size());
+}
+
+} // namespace
+
+double
+PowerLawFit::operator()(double x) const
+{
+    if (x <= 0.0)
+        fatal("PowerLawFit evaluated at non-positive x=", x);
+    return coeff * std::pow(x, exponent);
+}
+
+double
+LogFit::operator()(double x) const
+{
+    if (x <= 0.0)
+        fatal("LogFit evaluated at non-positive x=", x);
+    return a * std::log(x) + b;
+}
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    checkSizes(xs, ys, 2, "fitLinear");
+    double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    if (denom == 0.0)
+        fatal("fitLinear: degenerate x values (all identical)");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    std::vector<double> preds(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        preds[i] = fit(xs[i]);
+    fit.r2 = rSquared(ys, preds);
+    return fit;
+}
+
+PowerLawFit
+fitPowerLaw(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    checkSizes(xs, ys, 2, "fitPowerLaw");
+    std::vector<double> lx(xs.size()), ly(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] <= 0.0 || ys[i] <= 0.0)
+            fatal("fitPowerLaw requires positive samples");
+        lx[i] = std::log(xs[i]);
+        ly[i] = std::log(ys[i]);
+    }
+    LinearFit lin = fitLinear(lx, ly);
+
+    PowerLawFit fit;
+    fit.exponent = lin.slope;
+    fit.coeff = std::exp(lin.intercept);
+    fit.r2 = lin.r2;
+    return fit;
+}
+
+LogFit
+fitLog(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    checkSizes(xs, ys, 2, "fitLog");
+    std::vector<double> lx(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] <= 0.0)
+            fatal("fitLog requires positive x samples");
+        lx[i] = std::log(xs[i]);
+    }
+    LinearFit lin = fitLinear(lx, ys);
+
+    LogFit fit;
+    fit.a = lin.slope;
+    fit.b = lin.intercept;
+    fit.r2 = lin.r2;
+    return fit;
+}
+
+QuadraticFit
+fitQuadratic(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    checkSizes(xs, ys, 3, "fitQuadratic");
+
+    // Centre x to keep the normal equations well conditioned: with raw
+    // abscissae like calendar years (~2e3) the x^4 moments overwhelm
+    // double precision. Fit in u = x - mean(x), expand back below.
+    double mean_x = 0.0;
+    for (double x : xs)
+        mean_x += x;
+    mean_x /= static_cast<double>(xs.size());
+
+    // Normal equations for [a b c] with basis [u^2, u, 1].
+    double s0 = static_cast<double>(xs.size());
+    double s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+    double t0 = 0, t1 = 0, t2 = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double x = xs[i] - mean_x, y = ys[i];
+        double x2 = x * x;
+        s1 += x;
+        s2 += x2;
+        s3 += x2 * x;
+        s4 += x2 * x2;
+        t0 += y;
+        t1 += x * y;
+        t2 += x2 * y;
+    }
+
+    // Solve the 3x3 system via Cramer's rule.
+    //  [s4 s3 s2] [a]   [t2]
+    //  [s3 s2 s1] [b] = [t1]
+    //  [s2 s1 s0] [c]   [t0]
+    auto det3 = [](double a11, double a12, double a13, double a21,
+                   double a22, double a23, double a31, double a32,
+                   double a33) {
+        return a11 * (a22 * a33 - a23 * a32) -
+               a12 * (a21 * a33 - a23 * a31) +
+               a13 * (a21 * a32 - a22 * a31);
+    };
+
+    double det = det3(s4, s3, s2, s3, s2, s1, s2, s1, s0);
+    if (std::fabs(det) < 1e-12)
+        fatal("fitQuadratic: singular system (x values not distinct?)");
+
+    double ua = det3(t2, s3, s2, t1, s2, s1, t0, s1, s0) / det;
+    double ub = det3(s4, t2, s2, s3, t1, s1, s2, t0, s0) / det;
+    double uc = det3(s4, s3, t2, s3, s2, t1, s2, s1, t0) / det;
+
+    // Expand y = ua*u^2 + ub*u + uc with u = x - m back to x.
+    QuadraticFit fit;
+    fit.a = ua;
+    fit.b = ub - 2.0 * ua * mean_x;
+    fit.c = ua * mean_x * mean_x - ub * mean_x + uc;
+
+    std::vector<double> preds(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        preds[i] = fit(xs[i]);
+    fit.r2 = rSquared(ys, preds);
+    return fit;
+}
+
+} // namespace accelwall::stats

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Least-squares curve fits.
+ *
+ * The paper uses four fit families:
+ *  - linear        y = a*x + b            (Eq. 5, Pareto projections)
+ *  - logarithmic   y = a*ln(x) + b        (Eq. 6, Pareto projections)
+ *  - power law     y = c*x^alpha          (Fig. 3b/3c budget models,
+ *                                          "logarithmic regression with
+ *                                          least mean square errors")
+ *  - quadratic     y = a*x^2 + b*x + c    (Fig. 5 frame-rate trend curves)
+ */
+
+#ifndef ACCELWALL_STATS_FITS_HH
+#define ACCELWALL_STATS_FITS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace accelwall::stats
+{
+
+/** Result of a straight-line fit y = slope*x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination on the fitted space. */
+    double r2 = 0.0;
+
+    /** Evaluate the fitted line at @p x. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/** Result of a power-law fit y = coeff * x^exponent. */
+struct PowerLawFit
+{
+    double coeff = 1.0;
+    double exponent = 0.0;
+    /** R² measured in log-log space, where the fit is linear. */
+    double r2 = 0.0;
+
+    /** Evaluate the fitted curve at @p x (x must be positive). */
+    double operator()(double x) const;
+};
+
+/** Result of a logarithmic fit y = a*ln(x) + b. */
+struct LogFit
+{
+    double a = 0.0;
+    double b = 0.0;
+    double r2 = 0.0;
+
+    /** Evaluate the fitted curve at @p x (x must be positive). */
+    double operator()(double x) const;
+};
+
+/** Result of a quadratic fit y = a*x² + b*x + c. */
+struct QuadraticFit
+{
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    double r2 = 0.0;
+
+    /** Evaluate the fitted parabola at @p x. */
+    double operator()(double x) const { return (a * x + b) * x + c; }
+};
+
+/**
+ * Ordinary least squares line through (xs, ys).
+ *
+ * @pre xs.size() == ys.size() and at least two points.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Power-law fit via linear least squares in log-log space, matching the
+ * paper's "logarithmic regression with least mean square errors".
+ *
+ * @pre all xs and ys strictly positive.
+ */
+PowerLawFit fitPowerLaw(const std::vector<double> &xs,
+                        const std::vector<double> &ys);
+
+/**
+ * Logarithmic fit y = a*ln(x)+b via least squares on (ln x, y).
+ *
+ * @pre all xs strictly positive.
+ */
+LogFit fitLog(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Quadratic fit via the 3x3 normal equations.
+ *
+ * @pre at least three points with distinct x.
+ */
+QuadraticFit fitQuadratic(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+} // namespace accelwall::stats
+
+#endif // ACCELWALL_STATS_FITS_HH

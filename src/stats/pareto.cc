@@ -1,0 +1,40 @@
+#include "stats/pareto.hh"
+
+#include <algorithm>
+
+namespace accelwall::stats
+{
+
+bool
+dominates(const Point2 &a, const Point2 &b)
+{
+    bool no_worse = a.x <= b.x && a.y >= b.y;
+    bool strictly_better = a.x < b.x || a.y > b.y;
+    return no_worse && strictly_better;
+}
+
+std::vector<Point2>
+paretoFrontier(std::vector<Point2> points)
+{
+    if (points.empty())
+        return {};
+
+    std::sort(points.begin(), points.end(),
+              [](const Point2 &a, const Point2 &b) {
+                  if (a.x != b.x)
+                      return a.x < b.x;
+                  return a.y > b.y;
+              });
+
+    std::vector<Point2> frontier;
+    double best_y = -1e300;
+    for (const auto &p : points) {
+        if (p.y > best_y) {
+            frontier.push_back(p);
+            best_y = p.y;
+        }
+    }
+    return frontier;
+}
+
+} // namespace accelwall::stats

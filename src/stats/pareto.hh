@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pareto-frontier extraction. Section VII fits its projection models to the
+ * Pareto frontier of (physical potential, reported gain) points: only chips
+ * that are not dominated by another chip (>= on x with > on y) shape the
+ * accelerator-wall projection.
+ */
+
+#ifndef ACCELWALL_STATS_PARETO_HH
+#define ACCELWALL_STATS_PARETO_HH
+
+#include <vector>
+
+namespace accelwall::stats
+{
+
+/** A 2-D sample used in frontier extraction. */
+struct Point2
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * Extract the upper Pareto frontier of @p points: a point survives when no
+ * other point has x <= its x and y >= its y (with at least one strict).
+ * In other words, each surviving point offers the best y seen at or below
+ * its x budget. The result is sorted by ascending x and has strictly
+ * increasing y.
+ */
+std::vector<Point2> paretoFrontier(std::vector<Point2> points);
+
+/**
+ * True when @p a dominates @p b in the maximize-y / minimize-x sense used
+ * by paretoFrontier().
+ */
+bool dominates(const Point2 &a, const Point2 &b);
+
+} // namespace accelwall::stats
+
+#endif // ACCELWALL_STATS_PARETO_HH

@@ -1,0 +1,80 @@
+#include "studies/bitcoin.hh"
+
+#include "potential/chip_spec.hh"
+
+namespace accelwall::studies
+{
+
+using chipdb::Platform;
+
+const std::vector<MiningChip> &
+miningChips()
+{
+    // label                 plat            year    node   mm²    MHz    W      GH/s
+    static const std::vector<MiningChip> chips = {
+        // First-generation software miners.
+        { "Athlon64-CPU",     Platform::CPU,  2009.2,  90.0, 190.0, 2400.0, 89.0, 0.0014 },
+        { "Core-i5-CPU",      Platform::CPU,  2010.0,  45.0, 296.0, 2660.0, 95.0, 0.0060 },
+        { "Xeon-CPU",         Platform::CPU,  2010.5,  32.0, 240.0, 2930.0, 95.0, 0.0066 },
+        // GPU era.
+        { "HD5870-GPU",       Platform::GPU,  2010.3,  40.0, 334.0,  850.0, 188.0, 0.39 },
+        { "HD6990-GPU",       Platform::GPU,  2011.2,  40.0, 389.0,  830.0, 375.0, 0.76 },
+        { "GTX580-GPU",       Platform::GPU,  2011.0,  40.0, 520.0,  772.0, 244.0, 0.14 },
+        // FPGA boards.
+        { "Spartan6-FPGA",    Platform::FPGA, 2011.5,  45.0, 220.0,  100.0, 10.0, 0.10 },
+        { "LX150-quad-FPGA",  Platform::FPGA, 2011.8,  45.0, 220.0,  100.0, 9.0, 0.22 },
+        { "Stratix4-FPGA",    Platform::FPGA, 2012.0,  40.0, 300.0,  120.0, 14.0, 0.26 },
+        // ASIC era (Figure 1's series): per-chip numbers.
+        { "Avalon1-ASIC",     Platform::ASIC, 2012.9, 130.0,  40.0,  100.0,  2.6, 0.28 },
+        { "ASICMiner-ASIC",   Platform::ASIC, 2013.1, 130.0,  36.0,  110.0,  2.4, 0.30 },
+        { "Bitfury1-ASIC",    Platform::ASIC, 2013.4, 110.0,  14.0,  180.0,  1.1, 0.29 },
+        { "Avalon2-ASIC",     Platform::ASIC, 2013.7, 110.0,  20.0,  200.0,  1.5, 0.50 },
+        { "Avalon3-ASIC",     Platform::ASIC, 2014.0,  55.0,  25.0,  300.0,  3.0, 1.50 },
+        { "BM1382-ASIC",      Platform::ASIC, 2014.3,  55.0,  22.0,  350.0,  2.8, 1.70 },
+        { "SP-Tech-ASIC",     Platform::ASIC, 2014.5,  28.0,  30.0,  500.0,  4.5, 5.50 },
+        { "BM1384-ASIC",      Platform::ASIC, 2014.9,  28.0,  24.0,  550.0,  3.6, 5.80 },
+        { "A3222-ASIC",       Platform::ASIC, 2015.3,  28.0,  20.0,  600.0,  3.0, 5.50 },
+        { "BM1385-ASIC",      Platform::ASIC, 2015.7,  28.0,  21.0,  600.0,  2.7, 6.30 },
+        { "A3212-16nm-ASIC",  Platform::ASIC, 2016.1,  16.0,  16.0,  650.0,  4.2, 40.0 },
+        { "BM1387-ASIC",      Platform::ASIC, 2016.5,  16.0,  18.0,  700.0,  6.3, 64.0 },
+    };
+    return chips;
+}
+
+std::vector<MiningChip>
+miningAsics()
+{
+    std::vector<MiningChip> out;
+    for (const auto &chip : miningChips()) {
+        if (chip.platform == Platform::ASIC)
+            out.push_back(chip);
+    }
+    return out;
+}
+
+csr::ChipGain
+miningChipGain(const MiningChip &chip, bool use_efficiency)
+{
+    csr::ChipGain out;
+    out.name = chip.label;
+    out.year = chip.year;
+    out.spec.node_nm = chip.node_nm;
+    out.spec.area_mm2 = chip.area_mm2;
+    out.spec.freq_ghz = chip.freq_mhz / 1e3;
+    out.spec.tdp_w = potential::kUncappedTdp;
+    out.gain = use_efficiency ? chip.ghs / chip.watts
+                              : chip.ghs / chip.area_mm2;
+    return out;
+}
+
+std::vector<csr::ChipGain>
+miningChipGains(const std::vector<MiningChip> &chips, bool use_efficiency)
+{
+    std::vector<csr::ChipGain> out;
+    out.reserve(chips.size());
+    for (const auto &chip : chips)
+        out.push_back(miningChipGain(chip, use_efficiency));
+    return out;
+}
+
+} // namespace accelwall::studies

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bitcoin mining case study (Section IV-D, Figures 1 and 9).
+ *
+ * SHA-256 mining hardware across all four platform classes. Values are
+ * reconstructed from the paper's figures, the Bitcoin wiki hardware
+ * tables, and product datasheets (DESIGN.md substitutions). Because
+ * mining products integrate wildly different chip counts, the paper's
+ * performance metric is throughput per chip area (GHash/s/mm²);
+ * efficiency is GHash/J.
+ *
+ * Headline shapes preserved: ASIC perf/area improves ~500-600x across
+ * ASIC generations (~600,000x over the CPU baseline) while the physical
+ * potential improves ~300x, leaving CSR ~1.7-2x; energy-efficiency CSR
+ * shows two improvement regions (130/110nm, then 28/16nm) separated by
+ * the abrupt 110nm -> 28nm node jump.
+ */
+
+#ifndef ACCELWALL_STUDIES_BITCOIN_HH
+#define ACCELWALL_STUDIES_BITCOIN_HH
+
+#include <string>
+#include <vector>
+
+#include "chipdb/record.hh"
+#include "csr/csr.hh"
+
+namespace accelwall::studies
+{
+
+/** One mining chip (per-chip figures, not whole-product). */
+struct MiningChip
+{
+    std::string label;
+    chipdb::Platform platform = chipdb::Platform::ASIC;
+    /** Introduction date in fractional years (Fig. 1 x-axis). */
+    double year = 0.0;
+    double node_nm = 0.0;
+    /** Die area in mm². */
+    double area_mm2 = 0.0;
+    /** Core clock in MHz. */
+    double freq_mhz = 0.0;
+    /** Per-chip power in watts. */
+    double watts = 0.0;
+    /** Per-chip hash rate in GHash/s. */
+    double ghs = 0.0;
+};
+
+/** The full Figure 9 chip set (CPU, GPU, FPGA, ASIC), by date. */
+const std::vector<MiningChip> &miningChips();
+
+/** Only the ASIC entries (Figure 1's series). */
+std::vector<MiningChip> miningAsics();
+
+/**
+ * Convert to a csr::ChipGain.
+ *
+ * @param use_efficiency False: gain is GHash/s/mm² (Figs. 1, 9a) and
+ *        the matching CSR metric is csr::Metric::AreaThroughput. True:
+ *        gain is GHash/J (Fig. 9b) with Metric::EnergyEfficiency.
+ */
+csr::ChipGain miningChipGain(const MiningChip &chip, bool use_efficiency);
+
+/** Convert a whole set. */
+std::vector<csr::ChipGain>
+miningChipGains(const std::vector<MiningChip> &chips, bool use_efficiency);
+
+} // namespace accelwall::studies
+
+#endif // ACCELWALL_STUDIES_BITCOIN_HH

@@ -1,0 +1,99 @@
+#include "studies/fpga.hh"
+
+#include "potential/chip_spec.hh"
+#include "util/logging.hh"
+
+namespace accelwall::studies
+{
+
+const std::vector<FpgaCnnDesign> &
+fpgaCnnDesigns()
+{
+    // label       model     year    node  mm²    MHz    W     GOPS   LUT% DSP% BRAM%
+    static const std::vector<FpgaCnnDesign> designs = {
+        // --- AlexNet ---
+        { "FPGA2015",   "AlexNet", 2015.1, 28.0, 600.0, 100.0, 21.0,
+          61.6, 61.0, 80.0, 50.0 },
+        { "FPGA2016",   "AlexNet", 2016.1, 28.0, 600.0, 120.0, 25.8,
+          136.5, 46.0, 37.0, 52.0 },
+        { "FPGA2016+",  "AlexNet", 2016.1, 28.0, 350.0, 150.0, 9.6,
+          187.8, 84.0, 89.0, 87.0 },
+        { "FPL2016",    "AlexNet", 2016.6, 20.0, 560.0, 180.0, 26.0,
+          390.0, 60.0, 55.0, 58.0 },
+        { "ICCAD2016",  "AlexNet", 2016.8, 20.0, 560.0, 200.0, 28.0,
+          445.0, 55.0, 68.0, 62.0 },
+        { "ISCA2017",   "AlexNet", 2017.5, 28.0, 600.0, 150.0, 25.0,
+          320.0, 70.0, 60.0, 70.0 },
+        { "ISCA2017+",  "AlexNet", 2017.5, 28.0, 600.0, 170.0, 26.0,
+          360.0, 72.0, 65.0, 75.0 },
+        { "ISCA2017*",  "AlexNet", 2017.5, 20.0, 560.0, 200.0, 30.0,
+          460.0, 65.0, 70.0, 60.0 },
+        { "FPGA2017",   "AlexNet", 2017.1, 20.0, 560.0, 231.0, 35.0,
+          866.0, 68.0, 80.0, 72.0 },
+        { "FPGA2017+",  "AlexNet", 2017.1, 20.0, 560.0, 303.0, 45.0,
+          1382.0, 75.0, 92.0, 80.0 },
+        { "FPGA2017*",  "AlexNet", 2017.1, 20.0, 560.0, 290.0, 33.0,
+          1460.0, 78.0, 90.0, 85.0 },
+        // --- VGG-16 ---
+        { "FPGA2016",   "VGG-16", 2016.1, 28.0, 600.0, 120.0, 25.0,
+          117.8, 50.0, 40.0, 55.0 },
+        { "FPGA2016+",  "VGG-16", 2016.1, 28.0, 350.0, 150.0, 9.6,
+          137.0, 84.0, 89.0, 87.0 },
+        { "FPGA2016*",  "VGG-16", 2016.6, 28.0, 600.0, 150.0, 24.0,
+          348.0, 70.0, 80.0, 70.0 },
+        { "ICCAD2016",  "VGG-16", 2016.8, 20.0, 560.0, 200.0, 28.0,
+          460.0, 60.0, 65.0, 62.0 },
+        { "FCCM2017",   "VGG-16", 2017.3, 20.0, 560.0, 200.0, 30.0,
+          645.0, 65.0, 72.0, 68.0 },
+        { "FPGA2017",   "VGG-16", 2017.1, 20.0, 560.0, 231.0, 35.0,
+          866.0, 68.0, 80.0, 72.0 },
+        { "FPGA2017+",  "VGG-16", 2017.1, 20.0, 560.0, 240.0, 36.0,
+          920.0, 72.0, 82.0, 75.0 },
+        { "FPGA2017*",  "VGG-16", 2017.1, 20.0, 560.0, 180.0, 30.0,
+          720.0, 66.0, 75.0, 70.0 },
+        { "FPGA2018",   "VGG-16", 2018.1, 20.0, 560.0, 200.0, 32.0,
+          1068.0, 76.0, 85.0, 80.0 },
+    };
+    return designs;
+}
+
+std::vector<FpgaCnnDesign>
+fpgaDesignsFor(const std::string &model)
+{
+    std::vector<FpgaCnnDesign> out;
+    for (const auto &d : fpgaCnnDesigns()) {
+        if (d.model == model)
+            out.push_back(d);
+    }
+    if (out.empty())
+        fatal("fpgaDesignsFor: no designs for model '", model, "'");
+    return out;
+}
+
+csr::ChipGain
+fpgaChipGain(const FpgaCnnDesign &design, bool use_efficiency)
+{
+    csr::ChipGain out;
+    out.name = design.label;
+    out.year = design.year;
+    out.spec.node_nm = design.node_nm;
+    out.spec.area_mm2 = design.area_mm2;
+    out.spec.freq_ghz = design.freq_mhz / 1e3;
+    out.spec.tdp_w = potential::kUncappedTdp;
+    out.gain = use_efficiency ? design.gops / design.tdp_w // GOPS/J
+                              : design.gops;
+    return out;
+}
+
+std::vector<csr::ChipGain>
+fpgaChipGains(const std::vector<FpgaCnnDesign> &designs,
+              bool use_efficiency)
+{
+    std::vector<csr::ChipGain> out;
+    out.reserve(designs.size());
+    for (const auto &d : designs)
+        out.push_back(fpgaChipGain(d, use_efficiency));
+    return out;
+}
+
+} // namespace accelwall::studies

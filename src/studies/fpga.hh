@@ -1,0 +1,73 @@
+/**
+ * @file
+ * FPGA convolutional-neural-network case study (Section IV-C,
+ * Figure 8).
+ *
+ * Published FPGA implementations of AlexNet and VGG-16 on 28nm and 20nm
+ * parts, reconstructed from the paper's figure and its cited
+ * FPGA/FPL/ICCAD/FCCM/ISCA publications (DESIGN.md substitutions).
+ *
+ * Headline shapes preserved: AlexNet throughput improves ~24x and
+ * efficiency ~14x (VGG-16: ~9x and ~7x); most 20nm parts beat the 28nm
+ * parts; CSR improves by up to ~6x across designs — the emerging-domain
+ * counterexample to the mature-domain studies — but stalls between the
+ * best designs.
+ */
+
+#ifndef ACCELWALL_STUDIES_FPGA_HH
+#define ACCELWALL_STUDIES_FPGA_HH
+
+#include <string>
+#include <vector>
+
+#include "csr/csr.hh"
+
+namespace accelwall::studies
+{
+
+/** One published FPGA CNN implementation. */
+struct FpgaCnnDesign
+{
+    std::string label;
+    /** "AlexNet" or "VGG-16". */
+    std::string model;
+    double year = 0.0;
+    /** FPGA fabric node in nm (28 or 20). */
+    double node_nm = 0.0;
+    /** FPGA die area in mm². */
+    double area_mm2 = 0.0;
+    /** Achieved design clock in MHz (Fig. 8b). */
+    double freq_mhz = 0.0;
+    /** Board power in W. */
+    double tdp_w = 0.0;
+    /** Throughput in GOPS (Fig. 8a). */
+    double gops = 0.0;
+    /** Resource utilization percentages (Fig. 8b). */
+    double lut_pct = 0.0;
+    double dsp_pct = 0.0;
+    double bram_pct = 0.0;
+};
+
+/** All designs, AlexNet first then VGG-16, each by year. */
+const std::vector<FpgaCnnDesign> &fpgaCnnDesigns();
+
+/** Only the designs for one model ("AlexNet" or "VGG-16"). */
+std::vector<FpgaCnnDesign> fpgaDesignsFor(const std::string &model);
+
+/**
+ * Convert to a csr::ChipGain: gain is GOPS (Fig. 8a) or GOPS/J
+ * (Fig. 8c); the physical spec uses the fabric node, die area, and the
+ * *achieved design clock* — utilization of the fabric is part of the
+ * specialization return, not the physical potential.
+ */
+csr::ChipGain fpgaChipGain(const FpgaCnnDesign &design,
+                           bool use_efficiency);
+
+/** Convert a whole set. */
+std::vector<csr::ChipGain>
+fpgaChipGains(const std::vector<FpgaCnnDesign> &designs,
+              bool use_efficiency);
+
+} // namespace accelwall::studies
+
+#endif // ACCELWALL_STUDIES_FPGA_HH

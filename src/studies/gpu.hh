@@ -1,0 +1,120 @@
+/**
+ * @file
+ * GPU graphics-rendering case study (Section IV-B, Figures 5-7).
+ *
+ * The paper joins an AnandTech results database (24 game benchmarks,
+ * 20+ GPUs per game) with GPU datasheets. We reconstruct the datasheet
+ * side from public specifications and *synthesize* the frame-rate side
+ * (DESIGN.md substitutions): each GPU's frame rate on a game is its
+ * physical throughput potential times an architecture-quality factor
+ * times small log-normal noise. The quality factors are the ground
+ * truth the CSR pipeline must recover — they encode the paper's
+ * findings (first architecture on a new node underperforms, e.g. Fermi;
+ * quality matures as the node stabilizes; overall CSR stays within
+ * ~0.95-1.5x while absolute gains grow by an order of magnitude more).
+ *
+ * Each game is only benchmarked on GPUs of its own era, so some
+ * architecture pairs share fewer than five games and Figure 6/7's
+ * transitive completion (Eq. 4) genuinely engages.
+ */
+
+#ifndef ACCELWALL_STUDIES_GPU_HH
+#define ACCELWALL_STUDIES_GPU_HH
+
+#include <string>
+#include <vector>
+
+#include "csr/csr.hh"
+#include "potential/chip_spec.hh"
+
+namespace accelwall::studies
+{
+
+/** One GPU micro-architecture generation. */
+struct GpuArch
+{
+    std::string name;
+    /** First product year. */
+    double year = 0.0;
+    /** Launch CMOS node in nm. */
+    double node_nm = 0.0;
+    /**
+     * Architecture quality: the CMOS-independent factor (ground truth
+     * CSR) the synthetic frame rates embed.
+     */
+    double quality = 1.0;
+};
+
+/** One GPU product. */
+struct GpuChip
+{
+    std::string name;
+    std::string arch;
+    double year = 0.0;
+    double node_nm = 0.0;
+    double area_mm2 = 0.0;
+    double freq_mhz = 0.0;
+    double tdp_w = 0.0;
+    /** Paper's opaque (high-performance) vs translucent markers. */
+    bool high_end = true;
+};
+
+/** One game benchmark. */
+struct GameApp
+{
+    std::string name;
+    /** Release year: GPUs are tested on games of their era. */
+    double year = 0.0;
+    /** Frame rate of the reference GPU at reference potential. */
+    double base_fps = 0.0;
+};
+
+/** One synthesized benchmark result. */
+struct GpuResult
+{
+    std::string gpu;
+    std::string arch;
+    std::string app;
+    double year = 0.0; // GPU year
+    double fps = 0.0;
+    double frames_per_joule = 0.0;
+    bool high_end = true;
+};
+
+/** The architecture generations of Figures 6-7, by year. */
+const std::vector<GpuArch> &gpuArchs();
+
+/** The GPU corpus (25 products, 2008-2017). */
+const std::vector<GpuChip> &gpuChips();
+
+/** The 24 game benchmarks. */
+const std::vector<GameApp> &gameApps();
+
+/** The five applications Figure 5 plots. */
+const std::vector<std::string> &headlineApps();
+
+/** Architecture-quality lookup; fatal() on unknown. */
+double archQuality(const std::string &arch);
+
+/** Physical spec for the potential model. */
+potential::ChipSpec gpuSpec(const GpuChip &chip);
+
+/**
+ * Synthesize the full benchmark table (deterministic): every (GPU,
+ * game) pair whose eras overlap, with fps and frames/J.
+ */
+const std::vector<GpuResult> &gpuBenchmarks();
+
+/**
+ * The Figure 5 series for one app: ChipGains (gain = fps or frames/J)
+ * over the GPUs that ran it, ordered by GPU year. The paper's headline
+ * trend curves follow the high-performance (opaque-marker) GPUs; pass
+ * @p high_end_only to match.
+ */
+std::vector<csr::ChipGain> gpuAppSeries(const std::string &app,
+                                        bool use_efficiency,
+                                        bool high_end_only = false);
+
+} // namespace accelwall::studies
+
+#endif // ACCELWALL_STUDIES_GPU_HH

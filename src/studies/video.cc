@@ -1,0 +1,68 @@
+#include "studies/video.hh"
+
+#include "chipdb/budget.hh"
+#include "potential/chip_spec.hh"
+
+namespace accelwall::studies
+{
+
+const std::vector<VideoChip> &
+videoDecoderChips()
+{
+    // label          year    node  kgate  KB     MHz    mW     MPix/s
+    static const std::vector<VideoChip> chips = {
+        { "ISSCC2006",   2006.0, 180.0,  160.0,   4.5, 120.0, 240.0,   62.0 },
+        { "ISSCC2007",   2007.0, 130.0,  252.0,   9.0, 135.0, 209.0,  124.0 },
+        { "VLSI2009",    2009.5,  90.0,  414.0,  16.0, 150.0, 160.0,  186.0 },
+        { "ISSCC2010",   2010.0,  90.0,  662.0,  40.0, 166.0, 278.0,  373.0 },
+        { "ISSCC2011",   2011.0,  65.0,  924.0, 100.0, 280.0, 428.0, 1062.0 },
+        { "JSSC2011",    2011.5,  65.0, 1157.0, 124.0, 330.0, 460.0, 1328.0 },
+        { "ISSCC2012",   2012.0,  65.0, 2100.0, 220.0, 330.0, 668.0, 2000.0 },
+        { "ISSCC2013",   2013.0,  40.0,  446.0,  27.0, 200.0, 164.0,  498.0 },
+        { "ESSCIRC2014", 2014.5,  28.0, 1400.0, 150.0, 350.0, 356.0, 2490.0 },
+        { "JSSC2016",    2016.0,  28.0,  820.0,  56.0, 300.0, 161.0,  996.0 },
+        { "ESSCIRC2016", 2016.5,  28.0, 1820.0, 164.0, 380.0, 284.0, 2490.0 },
+        { "JSSC2017",    2017.0,  40.0, 3630.0, 364.0, 400.0, 683.0, 3968.0 },
+    };
+    return chips;
+}
+
+double
+videoTransistors(const VideoChip &chip)
+{
+    double logic = chip.kgates * 1e3 * 4.0;
+    double sram_bits = chip.sram_kb * 1024.0 * 8.0;
+    return logic + sram_bits * 6.0;
+}
+
+csr::ChipGain
+videoChipGain(const VideoChip &chip, bool use_efficiency)
+{
+    chipdb::BudgetModel budget;
+    potential::ChipSpec spec;
+    spec.node_nm = chip.node_nm;
+    spec.area_mm2 =
+        budget.areaForTransistors(videoTransistors(chip), chip.node_nm);
+    spec.freq_ghz = chip.freq_mhz / 1e3;
+    spec.tdp_w = potential::kUncappedTdp;
+
+    csr::ChipGain out;
+    out.name = chip.label;
+    out.year = chip.year;
+    out.spec = spec;
+    out.gain = use_efficiency
+                   ? chip.mpix_s / (chip.power_mw / 1e3) // MPixels/J
+                   : chip.mpix_s;                        // MPixels/s
+    return out;
+}
+
+std::vector<csr::ChipGain>
+videoChipGains(bool use_efficiency)
+{
+    std::vector<csr::ChipGain> out;
+    for (const auto &chip : videoDecoderChips())
+        out.push_back(videoChipGain(chip, use_efficiency));
+    return out;
+}
+
+} // namespace accelwall::studies

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Video decoder ASIC case study (Section IV-A, Figure 4).
+ *
+ * Twelve fabricated decoder ASICs spanning ISSCC2006 (180nm, HD) to
+ * JSSC2017 (40nm, 8K). The dataset is reconstructed from the paper's
+ * figures and its cited ISSCC/JSSC/VLSI/ESSCIRC publications (see
+ * DESIGN.md substitutions): gate counts and SRAM capacities drive the
+ * transistor estimate the paper describes for Figure 4b ("estimations of
+ * the number of transistors given the number of NAND logic gates, and
+ * the number of SRAM bits").
+ *
+ * Headline shapes preserved: throughput up to ~64x and energy
+ * efficiency up to ~34x over the 2006 baseline, a ~36x transistor-count
+ * spread, and CSR that fails to improve (dips below 1) for the
+ * best-performing parts.
+ */
+
+#ifndef ACCELWALL_STUDIES_VIDEO_HH
+#define ACCELWALL_STUDIES_VIDEO_HH
+
+#include <string>
+#include <vector>
+
+#include "csr/csr.hh"
+
+namespace accelwall::studies
+{
+
+/** One published decoder ASIC. */
+struct VideoChip
+{
+    std::string label;
+    /** Publication year (x-axis of Figure 4). */
+    double year = 0.0;
+    /** CMOS node in nm. */
+    double node_nm = 0.0;
+    /** Core logic complexity in kilo NAND-gates. */
+    double kgates = 0.0;
+    /** On-chip SRAM in kilobytes. */
+    double sram_kb = 0.0;
+    /** Clock in MHz. */
+    double freq_mhz = 0.0;
+    /** Measured decoding power in mW. */
+    double power_mw = 0.0;
+    /** Decoding throughput in MPixels/s. */
+    double mpix_s = 0.0;
+};
+
+/** The Figure 4 chip set, in publication order. */
+const std::vector<VideoChip> &videoDecoderChips();
+
+/**
+ * Transistor estimate per the paper's method: 4 transistors per NAND
+ * gate of core logic plus 6 per SRAM bit.
+ */
+double videoTransistors(const VideoChip &chip);
+
+/**
+ * Convert to a csr::ChipGain. The physical spec derives die area from
+ * the transistor estimate (inverting the Figure 3b law) so the
+ * potential model sees exactly the disclosed budget; TDP is uncapped —
+ * these sub-watt parts are never envelope-limited.
+ *
+ * @param chip The decoder.
+ * @param use_efficiency False: gain is MPixels/s (Fig. 4a). True: gain
+ *        is MPixels/J (Fig. 4c).
+ */
+csr::ChipGain videoChipGain(const VideoChip &chip, bool use_efficiency);
+
+/** All chips as ChipGains, same order as videoDecoderChips(). */
+std::vector<csr::ChipGain> videoChipGains(bool use_efficiency);
+
+} // namespace accelwall::studies
+
+#endif // ACCELWALL_STUDIES_VIDEO_HH

@@ -1,0 +1,165 @@
+#include "tpu/tpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cmos/scaling.hh"
+#include "util/logging.hh"
+
+namespace accelwall::tpu
+{
+
+namespace
+{
+
+/**
+ * Energy per 8-bit MAC at 28nm including local (systolic) operand
+ * movement, in pJ. Scales with operand width (quadratically, array
+ * multiplier) and CMOS node.
+ */
+constexpr double kMacEnergy8b28nmPj = 0.25;
+
+/** Unified-buffer access energy per byte at 28nm, pJ. */
+constexpr double kSramEnergyPjPerByte = 1.2;
+
+/** Off-chip (DDR3 weight FIFO) energy per byte, pJ. */
+constexpr double kDramEnergyPjPerByte = 60.0;
+
+} // namespace
+
+TpuConfig
+TpuConfig::tpuV1()
+{
+    return TpuConfig{};
+}
+
+TpuModel::TpuModel(TpuConfig config)
+    : config_(std::move(config))
+{
+    if (config_.array_dim < 1)
+        fatal("TpuModel: array dimension must be >= 1");
+    if (config_.operand_bits < 1 || config_.operand_bits > 32)
+        fatal("TpuModel: operand width must be 1..32 bits");
+}
+
+double
+TpuModel::peakTops() const
+{
+    double macs_per_cycle = static_cast<double>(config_.array_dim) *
+                            config_.array_dim;
+    return macs_per_cycle * 2.0 * config_.clock_ghz / 1e3;
+}
+
+LayerResult
+TpuModel::runLayer(const nn::Layer &layer) const
+{
+    const auto &scaling = cmos::ScalingTable::instance();
+    nn::LayerCost cost = nn::layerCost(layer);
+
+    LayerResult out;
+    if (cost.macs == 0.0) {
+        // Pooling: streamed through the heterogeneous pooling unit (or
+        // the host when absent); negligible next to conv/FC layers.
+        double bytes = cost.activations * config_.operand_bits / 8.0;
+        double bw = config_.activation_unit
+                        ? config_.weight_bw_gbs * 4.0 // on-chip stream
+                        : config_.host_bw_gbs;
+        out.time_ms = bytes / (bw * 1e9) * 1e3;
+        out.cycles = out.time_ms * 1e-3 * config_.clock_ghz * 1e9;
+        out.energy_mj = bytes * kSramEnergyPjPerByte * 1e-9 +
+                        config_.idle_power_w * out.time_ms * 1e-3 * 1e3;
+        return out;
+    }
+
+    // --- Compute time: the systolic array runs matrix tiles. -------
+    // Utilization is capped by how well the layer's dimensions fill
+    // the array: output channels map to columns, the receptive field
+    // (or FC inputs) to rows.
+    double rows = (layer.kind == nn::LayerKind::Conv)
+                      ? static_cast<double>(layer.kernel) *
+                            layer.kernel * layer.in_c / layer.groups
+                      : static_cast<double>(layer.in_w) * layer.in_h *
+                            layer.in_c;
+    double cols = layer.out_c;
+    double fill_rows =
+        std::min(1.0, rows / static_cast<double>(config_.array_dim));
+    double fill_cols =
+        std::min(1.0, cols / static_cast<double>(config_.array_dim));
+    out.utilization = fill_rows * fill_cols;
+
+    double peak_macs_per_s = static_cast<double>(config_.array_dim) *
+                             config_.array_dim * config_.clock_ghz *
+                             1e9;
+    double compute_s = cost.macs / (peak_macs_per_s * out.utilization);
+
+    // --- Weight time: parameters stream through the weight FIFO. ---
+    double weight_bytes = cost.params * config_.operand_bits / 8.0;
+    double weight_s = weight_bytes / (config_.weight_bw_gbs * 1e9);
+
+    // --- Activation round trip without the on-chip unit. -----------
+    double act_s = 0.0;
+    if (!config_.activation_unit) {
+        double act_bytes = cost.activations * 2.0 * 4.0; // FP32 both ways
+        act_s = act_bytes / (config_.host_bw_gbs * 1e9);
+    }
+
+    double time_s = std::max(compute_s, weight_s) + act_s;
+    out.memory_bound = weight_s > compute_s;
+    out.time_ms = time_s * 1e3;
+    out.cycles = time_s * config_.clock_ghz * 1e9;
+
+    // --- Energy. ----------------------------------------------------
+    double width = static_cast<double>(config_.operand_bits) / 8.0;
+    double mac_pj = kMacEnergy8b28nmPj * width * width *
+                    scaling.dynamicEnergy(config_.node_nm) /
+                    scaling.dynamicEnergy(28.0);
+    double act_bytes_local =
+        cost.activations * config_.operand_bits / 8.0;
+    double energy_pj = cost.macs * mac_pj +
+                       act_bytes_local * kSramEnergyPjPerByte +
+                       weight_bytes * kDramEnergyPjPerByte;
+    if (!config_.activation_unit)
+        energy_pj += cost.activations * 8.0 * kDramEnergyPjPerByte;
+    out.energy_mj = energy_pj * 1e-9 +
+                    config_.idle_power_w * time_s * 1e3;
+    return out;
+}
+
+ModelResult
+TpuModel::runModel(const std::vector<nn::Layer> &layers) const
+{
+    ModelResult total;
+    double total_ops = 0.0;
+    for (const auto &layer : layers) {
+        LayerResult r = runLayer(layer);
+        total.time_ms += r.time_ms;
+        total.energy_mj += r.energy_mj;
+        total_ops += nn::layerCost(layer).macs * 2.0;
+    }
+    total.tops = total_ops / (total.time_ms * 1e-3) / 1e12;
+    total.tops_per_w = total_ops / (total.energy_mj * 1e-3) / 1e12;
+    return total;
+}
+
+ModelResult
+runCpuBaseline(const std::vector<nn::Layer> &layers,
+               const CpuConfig &config)
+{
+    double total_macs = 0.0;
+    for (const auto &layer : layers)
+        total_macs += nn::layerCost(layer).macs;
+
+    double macs_per_s =
+        config.clock_ghz * 1e9 * config.macs_per_cycle;
+
+    ModelResult out;
+    double time_s = total_macs / macs_per_s;
+    out.time_ms = time_s * 1e3;
+    out.energy_mj = total_macs * config.energy_per_mac_pj * 1e-9;
+    double ops = total_macs * 2.0;
+    out.tops = ops / time_s / 1e12;
+    out.tops_per_w = ops / (out.energy_mj * 1e-3) / 1e12;
+    return out;
+}
+
+} // namespace accelwall::tpu

@@ -1,0 +1,132 @@
+#include "util/csv.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace accelwall
+{
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        fatal("CsvWriter requires at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        fatal("CSV row arity ", row.size(), " does not match header ",
+              header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::write(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << escape(row[c]);
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream oss;
+    write(oss);
+    return oss.str();
+}
+
+std::vector<std::vector<std::string>>
+parseCsv(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+
+    auto end_field = [&]() {
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = false;
+    };
+    auto end_row = [&]() {
+        end_field();
+        rows.push_back(std::move(row));
+        row.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char ch = text[i];
+        if (in_quotes) {
+            if (ch == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += ch;
+            }
+            continue;
+        }
+        switch (ch) {
+          case '"':
+            in_quotes = true;
+            field_started = true;
+            break;
+          case ',':
+            end_field();
+            field_started = true; // next field exists even if empty
+            break;
+          case '\r':
+            break; // swallow CR of CRLF
+          case '\n':
+            if (!field.empty() || field_started || !row.empty())
+                end_row();
+            break;
+          default:
+            field += ch;
+            field_started = true;
+            break;
+        }
+    }
+    if (in_quotes)
+        fatal("parseCsv: unterminated quoted field");
+    if (!field.empty() || field_started || !row.empty())
+        end_row();
+    return rows;
+}
+
+} // namespace accelwall

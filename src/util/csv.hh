@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal CSV writer. Benches optionally dump machine-readable series so a
+ * downstream plotting stack can regenerate the paper's figures.
+ */
+
+#ifndef ACCELWALL_UTIL_CSV_HH
+#define ACCELWALL_UTIL_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace accelwall
+{
+
+/**
+ * Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+ * commas, quotes, or newlines).
+ */
+class CsvWriter
+{
+  public:
+    /** Construct with the header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append one data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Serialize header + rows to @p os. */
+    void write(std::ostream &os) const;
+
+    /** Serialize to a string. */
+    std::string str() const;
+
+    /** Escape a single field per CSV quoting rules. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Parse CSV text into rows of fields. Handles quoted fields with
+ * embedded commas, escaped quotes (""), and both LF and CRLF line
+ * endings; a trailing newline does not produce an empty row.
+ * fatal() on an unterminated quoted field.
+ */
+std::vector<std::vector<std::string>> parseCsv(const std::string &text);
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_CSV_HH

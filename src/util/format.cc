@@ -1,0 +1,71 @@
+#include "util/format.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace accelwall
+{
+
+std::string
+fmtFixed(double value, int digits)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << value;
+    return oss.str();
+}
+
+std::string
+fmtSi(double value, int digits)
+{
+    static const struct { double scale; const char *suffix; } bands[] = {
+        { 1e12, "T" }, { 1e9, "G" }, { 1e6, "M" }, { 1e3, "K" },
+    };
+    double mag = std::fabs(value);
+    for (const auto &band : bands) {
+        if (mag >= band.scale)
+            return fmtFixed(value / band.scale, digits) + band.suffix;
+    }
+    return fmtFixed(value, digits);
+}
+
+std::string
+fmtGain(double value, int digits)
+{
+    return fmtFixed(value, digits) + "x";
+}
+
+std::string
+fmtNode(double node_nm)
+{
+    // Nodes are integral nanometre labels (e.g. 45nm); print without a
+    // fractional part unless one is genuinely present.
+    if (node_nm == std::floor(node_nm))
+        return fmtFixed(node_nm, 0) + "nm";
+    return fmtFixed(node_nm, 1) + "nm";
+}
+
+std::string
+fmtPercent(double fraction)
+{
+    return fmtFixed(fraction * 100.0, 1) + "%";
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace accelwall

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small string-formatting helpers used by the table/CSV writers and the
+ * figure-regeneration benches.
+ */
+
+#ifndef ACCELWALL_UTIL_FORMAT_HH
+#define ACCELWALL_UTIL_FORMAT_HH
+
+#include <string>
+
+namespace accelwall
+{
+
+/**
+ * Format a double with a fixed number of fractional digits.
+ *
+ * @param value The number to format.
+ * @param digits Fractional digits to keep.
+ * @return The formatted string, e.g. fmtFixed(3.14159, 2) == "3.14".
+ */
+std::string fmtFixed(double value, int digits = 2);
+
+/**
+ * Format a double in engineering style with an SI suffix, e.g. 1.62K,
+ * 3.4M, 12.1G. Values below 1000 are printed plainly.
+ */
+std::string fmtSi(double value, int digits = 1);
+
+/**
+ * Format a relative gain as the paper's figures label them, e.g. "307.4x".
+ */
+std::string fmtGain(double value, int digits = 1);
+
+/**
+ * Format a CMOS node, e.g. fmtNode(45) == "45nm".
+ */
+std::string fmtNode(double node_nm);
+
+/**
+ * Format a percentage with one fractional digit, e.g. "42.0%".
+ */
+std::string fmtPercent(double fraction);
+
+/**
+ * Left-pad @p s with spaces to at least @p width characters.
+ */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/**
+ * Right-pad @p s with spaces to at least @p width characters.
+ */
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_FORMAT_HH

@@ -1,0 +1,46 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace accelwall
+{
+namespace detail
+{
+
+namespace
+{
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Fatal: return "fatal: ";
+      case LogLevel::Panic: return "panic: ";
+    }
+    return "?: ";
+}
+
+} // namespace
+
+void
+log(LogLevel level, const std::string &msg)
+{
+    std::ostream &os =
+        (level == LogLevel::Inform) ? std::cout : std::cerr;
+    os << prefix(level) << msg << '\n';
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg)
+{
+    std::cerr << prefix(level) << msg << std::endl;
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace accelwall

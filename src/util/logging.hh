@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: inform() for benign status, warn() for
+ * conditions that might indicate a problem, fatal() for user errors that
+ * prevent continuing (exits with code 1), and panic() for internal
+ * invariant violations (aborts).
+ */
+
+#ifndef ACCELWALL_UTIL_LOGGING_HH
+#define ACCELWALL_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace accelwall
+{
+
+/** Destinations understood by the logging backend. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit one formatted log line; terminates for Fatal/Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg);
+
+/** Emit one formatted log line for non-terminating levels. */
+void log(LogLevel level, const std::string &msg);
+
+/** Concatenate all arguments through an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a normal operating message to the user.
+ */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::log(LogLevel::Inform,
+                detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a suspicious-but-survivable condition.
+ */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::log(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate due to a user-correctable error (bad input or configuration).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::logAndDie(LogLevel::Fatal,
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate due to an internal invariant violation (a library bug).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::logAndDie(LogLevel::Panic,
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_LOGGING_HH

@@ -1,0 +1,73 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace accelwall
+{
+
+std::uint64_t
+Rng::nextU64()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return (nextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    if (hi < lo)
+        panic("Rng::uniform: hi < lo");
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    if (hi < lo)
+        panic("Rng::uniformInt: hi < lo");
+    std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+    return lo + static_cast<int>(nextU64() % span);
+}
+
+double
+Rng::normal()
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognoise(double sigma)
+{
+    return std::exp(normal(0.0, sigma));
+}
+
+} // namespace accelwall

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic random number generation for the synthetic datasheet
+ * corpus. We avoid std::mt19937 + std::normal_distribution because their
+ * exact output is implementation-defined for distributions; SplitMix64 plus
+ * a Box-Muller transform is reproducible across standard libraries.
+ */
+
+#ifndef ACCELWALL_UTIL_RNG_HH
+#define ACCELWALL_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace accelwall
+{
+
+/**
+ * SplitMix64 pseudo-random generator (Steele et al.), with convenience
+ * draws for the distributions the corpus generator needs.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same sequence. */
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** Standard normal draw via Box-Muller. */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal multiplicative noise: exp(N(0, sigma)). Used to perturb
+     * power-law datasheet quantities, which are naturally multiplicative.
+     */
+    double lognoise(double sigma);
+
+  private:
+    std::uint64_t state_;
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_RNG_HH

@@ -1,0 +1,67 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace accelwall
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    if (header_.empty())
+        fatal("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header_.size()) {
+        fatal("Table row arity ", row.size(), " does not match header ",
+              header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << padRight(row[c], widths[c]);
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace accelwall

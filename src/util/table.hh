@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table builder. The figure-regeneration benches print the same
+ * rows/series the paper's figures plot; this class renders them aligned.
+ */
+
+#ifndef ACCELWALL_UTIL_TABLE_HH
+#define ACCELWALL_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace accelwall
+{
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Chip", "Node", "Gain"});
+ *   t.addRow({"ISSCC2006", "180nm", "1.0x"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Number of columns (header arity). */
+    std::size_t numCols() const { return header_.size(); }
+
+    /** Render the table to @p os with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string (mainly for tests). */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_TABLE_HH

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for the chipdb module: budget models (Fig. 3b/3c) and the
+ * synthetic corpus generator, including end-to-end regression recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chipdb/budget.hh"
+#include "chipdb/record.hh"
+#include "chipdb/reference_chips.hh"
+#include "chipdb/synth.hh"
+
+namespace accelwall::chipdb
+{
+namespace
+{
+
+TEST(Budget, DensityFactorMatchesPaperExamples)
+{
+    // 800mm² at 5nm -> D = 32 (the Fig. 3b "large 5nm chips, D <= 30"
+    // region); 25mm² at 45nm -> D ~ 0.0123.
+    EXPECT_DOUBLE_EQ(BudgetModel::densityFactor(800.0, 5.0), 32.0);
+    EXPECT_NEAR(BudgetModel::densityFactor(25.0, 45.0), 0.012346, 1e-5);
+}
+
+TEST(Budget, AreaLawAnchor)
+{
+    BudgetModel m;
+    // TC(D=1) = 4.99e9 by construction.
+    EXPECT_NEAR(m.areaTransistors(25.0, 5.0) / 4.99e9, 1.0, 1e-12);
+    // Large 5nm chips approach 1e11 transistors (paper text).
+    double large = m.areaTransistors(800.0, 5.0);
+    EXPECT_GT(large, 8e10);
+    EXPECT_LT(large, 1.5e11);
+}
+
+TEST(Budget, AreaLawSubLinear)
+{
+    BudgetModel m;
+    // Doubling area must less-than-double transistors (utilization).
+    double one = m.areaTransistors(100.0, 16.0);
+    double two = m.areaTransistors(200.0, 16.0);
+    EXPECT_GT(two, one);
+    EXPECT_LT(two, 2.0 * one);
+}
+
+TEST(Budget, AreaInversionRoundTrips)
+{
+    BudgetModel m;
+    for (double area : {10.0, 50.0, 300.0, 800.0}) {
+        double tc = m.areaTransistors(area, 14.0);
+        EXPECT_NEAR(m.areaForTransistors(tc, 14.0), area, 1e-6 * area);
+    }
+}
+
+TEST(Budget, GroupLookup)
+{
+    BudgetModel m;
+    EXPECT_EQ(m.groupFor(5.0).label, "10nm-5nm");
+    EXPECT_EQ(m.groupFor(7.0).label, "10nm-5nm");
+    EXPECT_EQ(m.groupFor(16.0).label, "22nm-12nm");
+    EXPECT_EQ(m.groupFor(28.0).label, "32nm-28nm");
+    EXPECT_EQ(m.groupFor(45.0).label, "55nm-40nm");
+    EXPECT_EQ(m.groupFor(90.0).label, "250nm-65nm (extrapolated)");
+    // Gap nodes resolve to the nearest group in log space.
+    EXPECT_EQ(m.groupFor(25.0).label, "32nm-28nm");
+}
+
+TEST(Budget, TdpLawMatchesPaperFigure3c)
+{
+    BudgetModel m;
+    // Fig. 3d anchor: at 800W and 5nm, 2.15 * 800^0.402 ~ 31.6 B*GHz.
+    double tghz = m.tdpTransistorGhz(800.0, 5.0);
+    EXPECT_NEAR(tghz / 1e9, 31.6, 0.5);
+    // At 1 GHz the whole product is transistors.
+    EXPECT_NEAR(m.tdpTransistors(800.0, 5.0, 1.0), tghz, 1e-3);
+    // At 2 GHz only half switch.
+    EXPECT_NEAR(m.tdpTransistors(800.0, 5.0, 2.0), tghz / 2.0, 1e-3);
+}
+
+TEST(Budget, NewerGroupsYieldMoreAtSameTdp)
+{
+    BudgetModel m;
+    double w = 150.0;
+    EXPECT_GT(m.tdpTransistorGhz(w, 7.0), m.tdpTransistorGhz(w, 16.0));
+    EXPECT_GT(m.tdpTransistorGhz(w, 16.0), m.tdpTransistorGhz(w, 28.0));
+    EXPECT_GT(m.tdpTransistorGhz(w, 28.0), m.tdpTransistorGhz(w, 45.0));
+    EXPECT_GT(m.tdpTransistorGhz(w, 45.0), m.tdpTransistorGhz(w, 90.0));
+}
+
+TEST(Budget, PlatformNames)
+{
+    EXPECT_STREQ(platformName(Platform::CPU), "CPU");
+    EXPECT_STREQ(platformName(Platform::ASIC), "ASIC");
+}
+
+TEST(Synth, CorpusSizeMatchesPaper)
+{
+    auto corpus = makeSynthCorpus();
+    EXPECT_EQ(corpus.size(), 1612u + 1001u);
+    int cpus = 0, gpus = 0;
+    for (const auto &rec : corpus) {
+        if (rec.platform == Platform::CPU)
+            ++cpus;
+        else if (rec.platform == Platform::GPU)
+            ++gpus;
+    }
+    EXPECT_EQ(cpus, 1612);
+    EXPECT_EQ(gpus, 1001);
+}
+
+TEST(Synth, Deterministic)
+{
+    auto a = makeSynthCorpus();
+    auto b = makeSynthCorpus();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_DOUBLE_EQ(a[i].transistors, b[i].transistors);
+        EXPECT_DOUBLE_EQ(a[i].tdp_w, b[i].tdp_w);
+    }
+}
+
+TEST(Synth, FieldsPlausible)
+{
+    for (const auto &rec : makeSynthCorpus()) {
+        EXPECT_GT(rec.node_nm, 4.0);
+        EXPECT_LT(rec.node_nm, 260.0);
+        EXPECT_GT(rec.area_mm2, 10.0);
+        EXPECT_LT(rec.area_mm2, 900.0);
+        EXPECT_GE(rec.tdp_w, 5.0);
+        EXPECT_LE(rec.tdp_w, 900.0);
+        EXPECT_GT(rec.freq_mhz, 100.0);
+        EXPECT_GE(rec.transistors, 0.0);
+    }
+}
+
+TEST(Synth, SomeTransistorCountsUndisclosed)
+{
+    int undisclosed = 0;
+    auto corpus = makeSynthCorpus();
+    for (const auto &rec : corpus) {
+        if (rec.transistors == 0.0)
+            ++undisclosed;
+    }
+    double frac =
+        static_cast<double>(undisclosed) / static_cast<double>(corpus.size());
+    EXPECT_GT(frac, 0.05);
+    EXPECT_LT(frac, 0.15);
+}
+
+/**
+ * End-to-end: the regression machinery recovers the paper's published
+ * area law from the noisy synthetic corpus (the Fig. 3b experiment).
+ */
+TEST(Synth, AreaFitRecoversPaperLaw)
+{
+    auto corpus = makeSynthCorpus();
+    auto fit = fitAreaModel(corpus);
+    EXPECT_NEAR(fit.exponent, 0.877, 0.02);
+    EXPECT_NEAR(std::log10(fit.coeff), std::log10(4.99e9), 0.1);
+    EXPECT_GT(fit.r2, 0.95);
+}
+
+/**
+ * End-to-end: per-group TDP fits recover the Fig. 3c parameters.
+ */
+struct TdpCase
+{
+    double min_node, max_node, coeff, exponent;
+};
+
+class SynthTdpFit : public ::testing::TestWithParam<TdpCase>
+{
+};
+
+TEST_P(SynthTdpFit, RecoversGroupLaw)
+{
+    const TdpCase &c = GetParam();
+    auto corpus = makeSynthCorpus();
+    auto fit = fitTdpModel(corpus, c.min_node, c.max_node);
+    EXPECT_NEAR(fit.exponent, c.exponent, 0.08);
+    EXPECT_NEAR(std::log10(fit.coeff), std::log10(c.coeff), 0.18);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGroups, SynthTdpFit,
+    ::testing::Values(TdpCase{5.0, 10.0, 2.15, 0.402},
+                      TdpCase{12.0, 22.0, 0.49, 0.557},
+                      TdpCase{28.0, 32.0, 0.11, 0.729},
+                      TdpCase{40.0, 55.0, 0.02, 0.869}));
+
+/**
+ * Seed sweep: the regression recovery must be stable across corpus
+ * seeds — the conclusions cannot depend on one lucky draw.
+ */
+class SynthSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SynthSeeds, AreaFitStableAcrossSeeds)
+{
+    SynthConfig config;
+    config.seed = GetParam();
+    auto corpus = makeSynthCorpus(config);
+    auto fit = fitAreaModel(corpus);
+    EXPECT_NEAR(fit.exponent, 0.877, 0.03);
+    EXPECT_GT(fit.r2, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthSeeds,
+                         ::testing::Values(1ull, 7ull, 1234ull,
+                                           0xDEADBEEFull));
+
+TEST(Synth, NoiseKnobsWiden)
+{
+    // More transistor-count noise must lower the fit's R².
+    SynthConfig tight;
+    tight.tc_noise = 0.05;
+    SynthConfig loose;
+    loose.tc_noise = 0.5;
+    double r2_tight = fitAreaModel(makeSynthCorpus(tight)).r2;
+    double r2_loose = fitAreaModel(makeSynthCorpus(loose)).r2;
+    EXPECT_GT(r2_tight, r2_loose);
+}
+
+/**
+ * Validate the Fig. 3b law against real silicon: the canonical area
+ * fit must predict every reference chip's published transistor count
+ * within a factor of ~2.5 — remarkable given it spans 130nm..12nm and
+ * two vendors' CPUs and GPUs.
+ */
+TEST(Reference, AreaLawPredictsRealChips)
+{
+    BudgetModel m;
+    for (const auto &chip : referenceChips()) {
+        double predicted = m.areaTransistors(chip.area_mm2,
+                                             chip.node_nm);
+        double ratio = predicted / chip.transistors;
+        EXPECT_GT(ratio, 0.4) << chip.name;
+        EXPECT_LT(ratio, 2.5) << chip.name;
+    }
+}
+
+TEST(Reference, GeomeanPredictionNearUnity)
+{
+    // Systematic bias check: the geometric-mean prediction ratio over
+    // the validation set stays within ~30% of 1.
+    BudgetModel m;
+    double log_sum = 0.0;
+    int n = 0;
+    for (const auto &chip : referenceChips()) {
+        log_sum += std::log(m.areaTransistors(chip.area_mm2,
+                                              chip.node_nm) /
+                            chip.transistors);
+        ++n;
+    }
+    double geo = std::exp(log_sum / n);
+    EXPECT_GT(geo, 0.7);
+    EXPECT_LT(geo, 1.4);
+}
+
+TEST(Reference, DatasetSane)
+{
+    const auto &chips = referenceChips();
+    EXPECT_GE(chips.size(), 20u);
+    for (const auto &c : chips) {
+        EXPECT_GT(c.transistors, 1e7) << c.name;
+        EXPECT_GT(c.area_mm2, 50.0) << c.name;
+        EXPECT_GT(c.tdp_w, 10.0) << c.name;
+    }
+}
+
+TEST(Synth, FitTdpModelEmptyRangeDies)
+{
+    auto corpus = makeSynthCorpus();
+    EXPECT_EXIT(fitTdpModel(corpus, 1.0, 2.0),
+                ::testing::ExitedWithCode(1), "fewer than two records");
+}
+
+} // namespace
+} // namespace accelwall::chipdb

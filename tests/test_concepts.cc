@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the Table II specialization-concept bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aladdin/simulator.hh"
+#include "concepts/bounds.hh"
+#include "dfg/graph.hh"
+#include "kernels/kernels.hh"
+
+namespace accelwall::concepts
+{
+namespace
+{
+
+using dfg::Analysis;
+using dfg::analyze;
+using dfg::Graph;
+using dfg::makeFigure11Example;
+
+Analysis
+fig11()
+{
+    Graph g = makeFigure11Example();
+    return analyze(g);
+}
+
+TEST(Bounds, Names)
+{
+    EXPECT_STREQ(componentName(Component::Memory), "memory");
+    EXPECT_STREQ(conceptName(SpecConcept::Partitioning), "partitioning");
+}
+
+TEST(Bounds, MemorySimplification)
+{
+    Analysis a = fig11();
+    Bound b = bound(a, Component::Memory, SpecConcept::Simplification);
+    // |V| * log(max|WS|) = 9 * log2(3); space = max|WS| = 3.
+    EXPECT_NEAR(b.time, 9.0 * std::log2(3.0), 1e-9);
+    EXPECT_DOUBLE_EQ(b.space, 3.0);
+    EXPECT_EQ(b.time_expr, "|V|*log(max|WS|)");
+}
+
+TEST(Bounds, MemoryHeterogeneity)
+{
+    Analysis a = fig11();
+    Bound b = bound(a, Component::Memory, SpecConcept::Heterogeneity);
+    EXPECT_DOUBLE_EQ(b.time, 4.0);  // D
+    EXPECT_DOUBLE_EQ(b.space, 10.0); // |E|
+}
+
+TEST(Bounds, MemoryPartitioning)
+{
+    Analysis a = fig11();
+    Bound b = bound(a, Component::Memory, SpecConcept::Partitioning);
+    EXPECT_NEAR(b.time, 4.0 * std::log2(3.0), 1e-9);
+    EXPECT_DOUBLE_EQ(b.space, 3.0);
+}
+
+TEST(Bounds, CommunicationRow)
+{
+    Analysis a = fig11();
+    Bound simp =
+        bound(a, Component::Communication, SpecConcept::Simplification);
+    EXPECT_DOUBLE_EQ(simp.time, 10.0); // |E|
+    EXPECT_DOUBLE_EQ(simp.space, 9.0); // |V|
+
+    Bound het =
+        bound(a, Component::Communication, SpecConcept::Heterogeneity);
+    EXPECT_DOUBLE_EQ(het.time, 4.0);   // D
+    EXPECT_DOUBLE_EQ(het.space, 10.0); // |E|
+
+    Bound part =
+        bound(a, Component::Communication, SpecConcept::Partitioning);
+    EXPECT_DOUBLE_EQ(part.time, 4.0); // D
+    EXPECT_DOUBLE_EQ(part.space, 3.0); // max|WS|
+}
+
+TEST(Bounds, ComputationRow)
+{
+    Analysis a = fig11();
+    Bound simp =
+        bound(a, Component::Computation, SpecConcept::Simplification);
+    EXPECT_DOUBLE_EQ(simp.time, 10.0); // |E|
+    EXPECT_DOUBLE_EQ(simp.space, 1.0);
+
+    Bound het =
+        bound(a, Component::Computation, SpecConcept::Heterogeneity);
+    EXPECT_DOUBLE_EQ(het.time, 3.0); // |V_IN|
+    // 2^3 inputs * 2 outputs = 16 table entries.
+    EXPECT_DOUBLE_EQ(het.space, 16.0);
+    EXPECT_NEAR(het.log2_space, 4.0, 1e-9);
+
+    Bound part =
+        bound(a, Component::Computation, SpecConcept::Partitioning);
+    EXPECT_DOUBLE_EQ(part.time, 4.0);
+    EXPECT_DOUBLE_EQ(part.space, 3.0);
+}
+
+TEST(Bounds, LutSpaceOverflowStaysFiniteInLog)
+{
+    // 2048 inputs: 2^2048 overflows a double, log2_space must not.
+    Graph g("huge");
+    std::vector<dfg::NodeId> ins;
+    for (int i = 0; i < 2048; ++i)
+        ins.push_back(g.addNode(dfg::OpType::Input));
+    dfg::NodeId op = g.addNode(dfg::OpType::Add);
+    for (auto in : ins)
+        g.addEdge(in, op);
+    dfg::NodeId out = g.addNode(dfg::OpType::Output);
+    g.addEdge(op, out);
+
+    Bound het =
+        bound(analyze(g), Component::Computation,
+              SpecConcept::Heterogeneity);
+    EXPECT_TRUE(std::isinf(het.space));
+    EXPECT_NEAR(het.log2_space, 2048.0, 1.0);
+}
+
+/**
+ * Property: heterogeneity always achieves the minimal time (depth) among
+ * memory concepts, but at superior-or-equal space cost to partitioning.
+ * This is the Table II tradeoff in one assertion.
+ */
+class BoundsTradeoff : public ::testing::TestWithParam<int>
+{
+  protected:
+    /** A random-ish layered DAG parameterized by seed. */
+    static Analysis
+    makeLayered(int seed)
+    {
+        Graph g("layered");
+        int width = 3 + seed % 5;
+        int depth = 2 + seed % 7;
+        std::vector<dfg::NodeId> prev;
+        for (int i = 0; i < width; ++i)
+            prev.push_back(g.addNode(dfg::OpType::Input));
+        for (int d = 0; d < depth; ++d) {
+            std::vector<dfg::NodeId> cur;
+            for (int i = 0; i < width; ++i) {
+                dfg::NodeId n = g.addNode(dfg::OpType::FAdd);
+                g.addEdge(prev[i], n);
+                g.addEdge(prev[(i + 1 + d) % width], n);
+                cur.push_back(n);
+            }
+            prev = cur;
+        }
+        for (auto n : prev) {
+            dfg::NodeId out = g.addNode(dfg::OpType::Output);
+            g.addEdge(n, out);
+        }
+        return analyze(g);
+    }
+};
+
+TEST_P(BoundsTradeoff, HeterogeneityFastestMemoryConcept)
+{
+    Analysis a = makeLayered(GetParam());
+    Bound het = bound(a, Component::Memory, SpecConcept::Heterogeneity);
+    Bound simp = bound(a, Component::Memory, SpecConcept::Simplification);
+    Bound part = bound(a, Component::Memory, SpecConcept::Partitioning);
+
+    EXPECT_LE(het.time, simp.time);
+    EXPECT_LE(het.time, part.time);
+    // Heterogeneity pays for speed in space: |E| >= max|WS| here since
+    // every non-input node has >= 2 in-edges.
+    EXPECT_GE(het.space, part.space);
+}
+
+TEST_P(BoundsTradeoff, PartitioningNeverSlowerThanSimplification)
+{
+    Analysis a = makeLayered(GetParam());
+    for (Component comp : {Component::Memory, Component::Communication,
+                           Component::Computation}) {
+        Bound part = bound(a, comp, SpecConcept::Partitioning);
+        Bound simp = bound(a, comp, SpecConcept::Simplification);
+        EXPECT_LE(part.time, simp.time)
+            << "component " << componentName(comp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsTradeoff, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Theory vs simulator: the Table II asymptotics must show up in the
+// scheduler's actual cycle counts.
+// ---------------------------------------------------------------------
+
+/**
+ * Partitioning time bound Θ(D): with effectively unlimited lanes and
+ * 1-cycle ops, the schedule collapses to within a small constant of
+ * the DFG depth.
+ */
+class TheoryVsSim : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TheoryVsSim, UnlimitedPartitioningApproachesDepth)
+{
+    dfg::Graph g = kernels::makeKernel(GetParam());
+    dfg::Analysis a = dfg::analyze(g);
+    aladdin::Simulator sim(std::move(g));
+
+    aladdin::DesignPoint dp;
+    dp.partition = 1 << 20;
+    dp.chaining = false;
+    auto res = sim.run(dp);
+
+    // 45nm latencies reach 15 cycles (FDiv), so allow that constant.
+    EXPECT_GE(res.cycles, a.depth - 2);
+    EXPECT_LE(res.cycles, 16 * a.depth);
+}
+
+TEST_P(TheoryVsSim, SinglePortApproachesSerialTime)
+{
+    // Memory simplification Θ(|V|)-flavor: one port and one lane put
+    // the schedule within a small constant of the op count.
+    dfg::Graph g = kernels::makeKernel(GetParam());
+    std::size_t ops = g.numNodes() - g.countIf(dfg::isVariable);
+    aladdin::Simulator sim(std::move(g));
+
+    aladdin::DesignPoint dp;
+    dp.partition = 1;
+    dp.memory = aladdin::MemoryMode::Simple;
+    dp.chaining = false;
+    auto res = sim.run(dp);
+
+    EXPECT_GE(res.cycles + 1, ops / 2); // issue-bound
+    EXPECT_LE(res.cycles, 20 * ops);    // within the latency constant
+}
+
+TEST_P(TheoryVsSim, SpeedupBoundedByMaxWorkingSet)
+{
+    // Partitioning beyond max|WS| is theoretically wasted: measured
+    // speedup from lanes alone must not exceed the bound by more than
+    // the latency constant.
+    dfg::Graph g = kernels::makeKernel(GetParam());
+    dfg::Analysis a = dfg::analyze(g);
+    aladdin::Simulator sim(std::move(g));
+
+    aladdin::DesignPoint dp;
+    dp.chaining = false;
+    dp.partition = 1;
+    double serial = sim.run(dp).runtime_ns;
+    dp.partition = 1 << 20;
+    double parallel = sim.run(dp).runtime_ns;
+
+    double speedup = serial / parallel;
+    EXPECT_LE(speedup,
+              static_cast<double>(a.max_working_set) * 1.05 + 1.0)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, TheoryVsSim,
+                         ::testing::Values("RED", "FFT", "NWN", "GMM",
+                                           "ENT"));
+
+} // namespace
+} // namespace accelwall::concepts

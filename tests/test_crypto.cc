@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the crypto substrate: SHA-256 against FIPS 180-4 / NIST
+ * vectors, AES-128 against FIPS 197, and the mining-DFG structure
+ * (including the ASICBoost saving).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+#include "crypto/sha256.hh"
+#include "dfg/analysis.hh"
+#include "kernels/btc.hh"
+#include "kernels/kernels.hh"
+
+namespace accelwall::crypto
+{
+namespace
+{
+
+TEST(Sha256Test, EmptyString)
+{
+    EXPECT_EQ(toHex(Sha256::hash("")),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc)
+{
+    EXPECT_EQ(toHex(Sha256::hash("abc")),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage)
+{
+    // NIST vector spanning a block boundary.
+    EXPECT_EQ(toHex(Sha256::hash(
+                  "abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs)
+{
+    Sha256 h;
+    std::vector<std::uint8_t> chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(toHex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot)
+{
+    std::string msg = "The quick brown fox jumps over the lazy dog";
+    Sha256 h;
+    for (char c : msg)
+        h.update(reinterpret_cast<const std::uint8_t *>(&c), 1);
+    EXPECT_EQ(toHex(h.finish()), toHex(Sha256::hash(msg)));
+}
+
+TEST(Sha256Test, DoubleHash)
+{
+    // SHA256d("") = SHA256(SHA256("")).
+    Sha256Digest inner = Sha256::hash("");
+    std::uint8_t bytes[32];
+    for (int i = 0; i < 8; ++i) {
+        bytes[4 * i] = static_cast<std::uint8_t>(inner[i] >> 24);
+        bytes[4 * i + 1] = static_cast<std::uint8_t>(inner[i] >> 16);
+        bytes[4 * i + 2] = static_cast<std::uint8_t>(inner[i] >> 8);
+        bytes[4 * i + 3] = static_cast<std::uint8_t>(inner[i]);
+    }
+    EXPECT_EQ(toHex(Sha256::doubleHash(nullptr, 0)),
+              toHex(Sha256::hash(bytes, 32)));
+}
+
+TEST(Sha256Test, FinishTwiceDies)
+{
+    Sha256 h;
+    h.finish();
+    EXPECT_EXIT(h.finish(), ::testing::ExitedWithCode(1), "twice");
+}
+
+TEST(Sha256Test, MiningCountsLeadingZeros)
+{
+    std::array<std::uint8_t, 80> header{};
+    // Different nonces give different difficulty; all are >= 0 and
+    // deterministic.
+    int z1 = mineLeadingZeroBits(header, 0);
+    int z2 = mineLeadingZeroBits(header, 1);
+    EXPECT_GE(z1, 0);
+    EXPECT_GE(z2, 0);
+    EXPECT_EQ(z1, mineLeadingZeroBits(header, 0));
+    // Scanning a small nonce range finds some easy (>= 8-bit) share.
+    int best = 0;
+    for (std::uint32_t n = 0; n < 512; ++n)
+        best = std::max(best, mineLeadingZeroBits(header, n));
+    EXPECT_GE(best, 8);
+}
+
+TEST(Aes128Test, Fips197Vector)
+{
+    // FIPS-197 Appendix C.1 / B example.
+    AesBlock key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    AesBlock plain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                      0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+    AesBlock expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                         0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+    Aes128 aes(key);
+    EXPECT_EQ(aes.encrypt(plain), expected);
+}
+
+TEST(Aes128Test, AllZeroVector)
+{
+    // NIST AESAVS known-answer: key=0, plaintext=0.
+    AesBlock zero{};
+    Aes128 aes(zero);
+    AesBlock expected = {0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b,
+                         0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34, 0x2b, 0x2e};
+    EXPECT_EQ(aes.encrypt(zero), expected);
+}
+
+TEST(Aes128Test, SboxKnownEntries)
+{
+    const auto &s = Aes128::sbox();
+    EXPECT_EQ(s[0x00], 0x63);
+    EXPECT_EQ(s[0x01], 0x7c);
+    EXPECT_EQ(s[0x53], 0xed);
+    EXPECT_EQ(s[0xff], 0x16);
+}
+
+TEST(Aes128Test, XtimeMatchesGf256)
+{
+    EXPECT_EQ(Aes128::xtime(0x57), 0xae);
+    EXPECT_EQ(Aes128::xtime(0xae), 0x47);
+    EXPECT_EQ(Aes128::xtime(0x80), 0x1b);
+}
+
+TEST(BtcKernel, StructureFollowsSha256)
+{
+    dfg::Graph g = kernels::makeBtc(false);
+    dfg::Analysis a = dfg::analyze(g);
+    // Two compressions x 64 serial rounds: depth dominated by the
+    // working-variable recurrence.
+    EXPECT_GT(a.depth, 2u * 64u);
+    // Each compression has 48 schedule expansions + 64 rounds of ~20
+    // ops: thousands of nodes.
+    EXPECT_GT(a.num_nodes, 4000u);
+}
+
+TEST(BtcKernel, AsicBoostSavesAboutTwentyPercent)
+{
+    // Section IV-E: "ASICBoost delivered a one-time 20% improvement".
+    dfg::Graph plain = kernels::makeBtc(false);
+    dfg::Graph boosted = kernels::makeBtc(true);
+    auto compute = [](const dfg::Graph &g) {
+        return static_cast<double>(g.countIf(dfg::isCompute));
+    };
+    double saving = 1.0 - compute(boosted) / compute(plain);
+    EXPECT_GT(saving, 0.08);
+    EXPECT_LT(saving, 0.30);
+}
+
+TEST(BtcKernel, RegistryExposesExtensions)
+{
+    EXPECT_GT(kernels::makeKernel("BTC").numNodes(), 4000u);
+    EXPECT_LT(kernels::makeKernel("BTC-AB").countIf(dfg::isCompute),
+              kernels::makeKernel("BTC").countIf(dfg::isCompute));
+}
+
+} // namespace
+} // namespace accelwall::crypto

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the CSR metric (Eq. 1-2) and the architecture
+ * relative-gain solver (Eq. 3-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "csr/arch_gains.hh"
+#include "csr/csr.hh"
+
+namespace accelwall::csr
+{
+namespace
+{
+
+using potential::ChipSpec;
+using potential::kUncappedTdp;
+using potential::PotentialModel;
+
+ChipGain
+chip(const std::string &name, double node, double area, double freq_ghz,
+     double gain, double year = 2010.0)
+{
+    return ChipGain{name, ChipSpec{node, area, freq_ghz, kUncappedTdp},
+                    gain, year};
+}
+
+TEST(Csr, BaselineRowIsAllOnes)
+{
+    PotentialModel m;
+    auto series = csrSeries({chip("a", 45.0, 25.0, 1.0, 10.0),
+                             chip("b", 28.0, 50.0, 1.2, 55.0)},
+                            m, Metric::Throughput);
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0].rel_gain, 1.0);
+    EXPECT_DOUBLE_EQ(series[0].rel_phy, 1.0);
+    EXPECT_DOUBLE_EQ(series[0].csr, 1.0);
+}
+
+TEST(Csr, DecompositionIsExact)
+{
+    // Eq. 2: rel_gain == csr * rel_phy for every row, by construction.
+    PotentialModel m;
+    auto series = csrSeries({chip("a", 45.0, 25.0, 1.0, 10.0),
+                             chip("b", 28.0, 50.0, 1.2, 55.0),
+                             chip("c", 16.0, 100.0, 1.5, 300.0)},
+                            m, Metric::Throughput);
+    for (const auto &pt : series)
+        EXPECT_NEAR(pt.rel_gain, pt.csr * pt.rel_phy, 1e-9 * pt.rel_gain);
+}
+
+TEST(Csr, PurePhysicalScalingHasUnitCsr)
+{
+    // A chip whose reported gain exactly tracks its physical potential
+    // must have CSR == 1: all gain is CMOS-driven.
+    PotentialModel m;
+    ChipSpec a{45.0, 25.0, 1.0, kUncappedTdp};
+    ChipSpec b{16.0, 100.0, 1.4, kUncappedTdp};
+    double phy_ratio = m.throughput(b) / m.throughput(a);
+
+    auto series = csrSeries(
+        {ChipGain{"a", a, 100.0, 2008}, ChipGain{"b", b, 100.0 * phy_ratio,
+                                                 2016}},
+        m, Metric::Throughput);
+    EXPECT_NEAR(series[1].csr, 1.0, 1e-9);
+}
+
+TEST(Csr, SpecializationShowsUpAsCsr)
+{
+    // Same physical chip, 3x the reported gain -> CSR == 3.
+    PotentialModel m;
+    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    auto series =
+        csrSeries({ChipGain{"v1", spec, 10.0, 2014},
+                   ChipGain{"v2", spec, 30.0, 2016}},
+                  m, Metric::EnergyEfficiency);
+    EXPECT_NEAR(series[1].csr, 3.0, 1e-9);
+    EXPECT_NEAR(series[1].rel_phy, 1.0, 1e-9);
+}
+
+TEST(Csr, NonDefaultBaseline)
+{
+    PotentialModel m;
+    auto chips = std::vector<ChipGain>{chip("a", 45.0, 25.0, 1.0, 10.0),
+                                       chip("b", 28.0, 50.0, 1.2, 55.0)};
+    auto series = csrSeries(chips, m, Metric::Throughput, 1);
+    EXPECT_DOUBLE_EQ(series[1].rel_gain, 1.0);
+    EXPECT_DOUBLE_EQ(series[1].csr, 1.0);
+    EXPECT_LT(series[0].rel_gain, 1.0);
+}
+
+TEST(Csr, CsrRatioConsistentWithSeries)
+{
+    PotentialModel m;
+    auto a = chip("a", 45.0, 25.0, 1.0, 10.0);
+    auto b = chip("b", 28.0, 50.0, 1.2, 55.0);
+    auto series = csrSeries({a, b}, m, Metric::Throughput);
+    EXPECT_NEAR(csrRatio(b, a, m, Metric::Throughput), series[1].csr,
+                1e-12);
+}
+
+TEST(Csr, MetricNames)
+{
+    EXPECT_STREQ(metricName(Metric::Throughput), "throughput");
+    EXPECT_STREQ(metricName(Metric::AreaThroughput), "throughput/area");
+}
+
+TEST(Csr, EmptySeriesDies)
+{
+    PotentialModel m;
+    EXPECT_EXIT(csrSeries({}, m, Metric::Throughput),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Csr, AnnualGrowthFlatSeries)
+{
+    // Constant CSR: growth exactly 1.0/year.
+    std::vector<CsrPoint> series;
+    for (double year = 2012.0; year <= 2016.0; year += 0.5)
+        series.push_back({"c", year, 2.0, 1.0, 2.0});
+    EXPECT_NEAR(csrAnnualGrowth(series, 10.0), 1.0, 1e-9);
+}
+
+TEST(Csr, AnnualGrowthCompounding)
+{
+    // CSR doubling every year -> growth 2.0.
+    std::vector<CsrPoint> series;
+    for (int i = 0; i <= 4; ++i) {
+        double year = 2012.0 + i;
+        series.push_back({"c", year, 1.0, 1.0, std::pow(2.0, i)});
+    }
+    EXPECT_NEAR(csrAnnualGrowth(series, 10.0), 2.0, 1e-9);
+}
+
+TEST(Csr, AnnualGrowthWindowSelects)
+{
+    // Growth in the first years, flat in the last two: a 2-year
+    // window reports flat.
+    std::vector<CsrPoint> series = {
+        {"a", 2012.0, 1.0, 1.0, 1.0}, {"b", 2013.0, 1.0, 1.0, 2.0},
+        {"c", 2014.0, 1.0, 1.0, 4.0}, {"d", 2015.0, 1.0, 1.0, 4.0},
+        {"e", 2016.0, 1.0, 1.0, 4.0},
+    };
+    EXPECT_NEAR(csrAnnualGrowth(series, 2.0), 1.0, 1e-9);
+    EXPECT_GT(csrAnnualGrowth(series, 10.0), 1.3);
+}
+
+TEST(Csr, AnnualGrowthOnReconstructedSeries)
+{
+    // A realistic (Fig. 1-shaped) tail: the statistic stays finite and
+    // in a sane band even across the 28nm -> 16nm CSR jump.
+    std::vector<CsrPoint> series = {
+        {"28a", 2014.9, 34.5, 86.5, 0.40}, {"28b", 2015.3, 39.3, 96.5, 0.41},
+        {"28c", 2015.7, 42.9, 96.0, 0.45}, {"16a", 2016.1, 357.1, 286.9, 1.24},
+        {"16b", 2016.5, 507.9, 304.5, 1.67},
+    };
+    double growth = csrAnnualGrowth(series, 2.0);
+    EXPECT_GT(growth, 0.5);
+    EXPECT_LT(growth, 3.0);
+}
+
+TEST(Csr, AnnualGrowthRejectsDegenerate)
+{
+    std::vector<CsrPoint> one = {{"a", 2012.0, 1.0, 1.0, 1.0}};
+    EXPECT_EXIT(csrAnnualGrowth(one, 2.0),
+                ::testing::ExitedWithCode(1), "fewer than two");
+    EXPECT_EXIT(csrAnnualGrowth(one, -1.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(ArchGains, DirectRelationGeomean)
+{
+    ArchGainSolver s(2);
+    s.addObservation("X", "app1", 4.0);
+    s.addObservation("X", "app2", 9.0);
+    s.addObservation("Y", "app1", 1.0);
+    s.addObservation("Y", "app2", 1.0);
+    s.solve();
+    ASSERT_TRUE(s.hasGain("X", "Y"));
+    EXPECT_TRUE(s.isDirect("X", "Y"));
+    EXPECT_NEAR(s.gain("X", "Y"), 6.0, 1e-12); // geomean(4, 9)
+    EXPECT_NEAR(s.gain("Y", "X"), 1.0 / 6.0, 1e-12);
+}
+
+TEST(ArchGains, MinSharedAppsEnforced)
+{
+    ArchGainSolver s(5);
+    for (int i = 0; i < 4; ++i) {
+        s.addObservation("X", "app" + std::to_string(i), 2.0);
+        s.addObservation("Y", "app" + std::to_string(i), 1.0);
+    }
+    s.solve();
+    EXPECT_EQ(s.sharedApps("X", "Y"), 4);
+    EXPECT_FALSE(s.hasGain("X", "Y"));
+}
+
+TEST(ArchGains, TransitiveCompletion)
+{
+    // X and Z share no apps, but both share >= 2 apps with Y:
+    // Gain(X->Z) must come out as Gain(X->Y) * Gain(Y->Z).
+    ArchGainSolver s(2);
+    s.addObservation("X", "a", 8.0);
+    s.addObservation("X", "b", 8.0);
+    s.addObservation("Y", "a", 4.0);
+    s.addObservation("Y", "b", 4.0);
+    s.addObservation("Y", "c", 4.0);
+    s.addObservation("Y", "d", 4.0);
+    s.addObservation("Z", "c", 1.0);
+    s.addObservation("Z", "d", 1.0);
+    s.solve();
+    ASSERT_TRUE(s.hasGain("X", "Z"));
+    EXPECT_FALSE(s.isDirect("X", "Z"));
+    EXPECT_NEAR(s.gain("X", "Z"), 8.0, 1e-12);
+}
+
+TEST(ArchGains, TwoHopChain)
+{
+    // A - B - C - D: completion must reach A->D (needs iteration).
+    ArchGainSolver s(1);
+    s.addObservation("A", "p", 8.0);
+    s.addObservation("B", "p", 4.0);
+    s.addObservation("B", "q", 4.0);
+    s.addObservation("C", "q", 2.0);
+    s.addObservation("C", "r", 2.0);
+    s.addObservation("D", "r", 1.0);
+    s.solve();
+    ASSERT_TRUE(s.hasGain("A", "D"));
+    EXPECT_NEAR(s.gain("A", "D"), 8.0, 1e-9);
+}
+
+TEST(ArchGains, DisconnectedStaysUnknown)
+{
+    ArchGainSolver s(1);
+    s.addObservation("X", "a", 2.0);
+    s.addObservation("Y", "b", 3.0);
+    s.solve();
+    EXPECT_FALSE(s.hasGain("X", "Y"));
+    EXPECT_EXIT(s.gain("X", "Y"), ::testing::ExitedWithCode(1),
+                "no relation");
+}
+
+TEST(ArchGains, DuplicateSamplesAveraged)
+{
+    // Two chips of the same architecture on one app: geomean(2, 8) = 4.
+    ArchGainSolver s(1);
+    s.addObservation("X", "a", 2.0);
+    s.addObservation("X", "a", 8.0);
+    s.addObservation("Y", "a", 1.0);
+    s.solve();
+    EXPECT_NEAR(s.gain("X", "Y"), 4.0, 1e-12);
+}
+
+TEST(ArchGains, SelfGainUnity)
+{
+    ArchGainSolver s(1);
+    s.addObservation("X", "a", 2.0);
+    s.solve();
+    EXPECT_TRUE(s.hasGain("X", "X"));
+    EXPECT_DOUBLE_EQ(s.gain("X", "X"), 1.0);
+}
+
+TEST(ArchGains, RejectsNonPositiveGain)
+{
+    ArchGainSolver s(1);
+    EXPECT_EXIT(s.addObservation("X", "a", 0.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace accelwall::csr

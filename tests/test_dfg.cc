@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for the DFG graph and structural analysis (Section V-B,
+ * Figure 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "dfg/analysis.hh"
+#include "dfg/dot.hh"
+#include "dfg/graph.hh"
+#include "dfg/op_type.hh"
+
+namespace accelwall::dfg
+{
+namespace
+{
+
+TEST(OpType, Classification)
+{
+    EXPECT_TRUE(isVariable(OpType::Input));
+    EXPECT_TRUE(isVariable(OpType::Output));
+    EXPECT_TRUE(isMemory(OpType::Load));
+    EXPECT_TRUE(isMemory(OpType::Store));
+    EXPECT_TRUE(isCompute(OpType::FMul));
+    EXPECT_TRUE(isCompute(OpType::Lut));
+    EXPECT_FALSE(isCompute(OpType::Load));
+    EXPECT_FALSE(isMemory(OpType::Add));
+}
+
+TEST(OpType, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumOpTypes; ++i)
+        names.insert(opName(static_cast<OpType>(i)));
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumOpTypes));
+}
+
+TEST(Graph, BuildAndQuery)
+{
+    Graph g("t");
+    NodeId a = g.addNode(OpType::Input);
+    NodeId b = g.addNode(OpType::Add);
+    NodeId c = g.addNode(OpType::Output);
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.op(b), OpType::Add);
+    ASSERT_EQ(g.preds(b).size(), 1u);
+    EXPECT_EQ(g.preds(b)[0], a);
+    ASSERT_EQ(g.succs(b).size(), 1u);
+    EXPECT_EQ(g.succs(b)[0], c);
+    EXPECT_EQ(g.sources(), std::vector<NodeId>{a});
+    EXPECT_EQ(g.sinks(), std::vector<NodeId>{c});
+}
+
+TEST(Graph, SelfEdgeDies)
+{
+    Graph g("t");
+    NodeId a = g.addNode(OpType::Add);
+    EXPECT_EXIT(g.addEdge(a, a), ::testing::ExitedWithCode(1),
+                "self edge");
+}
+
+TEST(Graph, OutOfRangeDies)
+{
+    Graph g("t");
+    g.addNode(OpType::Add);
+    EXPECT_EXIT(g.addEdge(0, 5), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(Graph, TopoOrderRespectsEdges)
+{
+    Graph g("t");
+    NodeId a = g.addNode(OpType::Input);
+    NodeId b = g.addNode(OpType::Add);
+    NodeId c = g.addNode(OpType::Mul);
+    NodeId d = g.addNode(OpType::Output);
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<std::size_t> pos(4);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    EXPECT_LT(pos[a], pos[b]);
+    EXPECT_LT(pos[a], pos[c]);
+    EXPECT_LT(pos[b], pos[d]);
+    EXPECT_LT(pos[c], pos[d]);
+}
+
+TEST(Graph, CycleDetected)
+{
+    Graph g("t");
+    NodeId a = g.addNode(OpType::Add);
+    NodeId b = g.addNode(OpType::Add);
+    NodeId c = g.addNode(OpType::Add);
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.addEdge(c, a);
+    EXPECT_EXIT(g.topoOrder(), ::testing::ExitedWithCode(1), "cycle");
+}
+
+TEST(Analysis, Figure11Example)
+{
+    // Paper Figure 11: 3 inputs, 2 computation stages, 2 outputs.
+    Graph g = makeFigure11Example();
+    Analysis a = analyze(g);
+
+    EXPECT_EQ(a.num_nodes, 9u);
+    EXPECT_EQ(a.num_edges, 10u);
+    EXPECT_EQ(a.num_inputs, 3u);
+    EXPECT_EQ(a.num_outputs, 2u);
+    EXPECT_EQ(a.num_compute, 4u);
+
+    // Longest computation path: in -> stage1 -> stage2 -> out.
+    EXPECT_EQ(a.depth, 4u);
+
+    // Stage working sets: 3 inputs, 2 stage-1 ops, 2 stage-2 ops, 2 outs.
+    ASSERT_EQ(a.stage_sizes.size(), 4u);
+    EXPECT_EQ(a.stage_sizes[0], 3u);
+    EXPECT_EQ(a.stage_sizes[1], 2u);
+    EXPECT_EQ(a.stage_sizes[2], 2u);
+    EXPECT_EQ(a.stage_sizes[3], 2u);
+    EXPECT_EQ(a.max_working_set, 3u);
+
+    // Paths: in1 reaches both outs via add1 (2); in2 via add1 and div1
+    // (4); in3 via div1 (2) -> 8 input-to-output routes.
+    EXPECT_DOUBLE_EQ(a.num_paths, 8.0);
+}
+
+TEST(Analysis, ChainDepth)
+{
+    // A linear chain of n nodes has depth n, working set 1.
+    Graph g("chain");
+    NodeId prev = g.addNode(OpType::Input);
+    for (int i = 0; i < 5; ++i) {
+        NodeId next = g.addNode(OpType::Add);
+        g.addEdge(prev, next);
+        prev = next;
+    }
+    NodeId out = g.addNode(OpType::Output);
+    g.addEdge(prev, out);
+
+    Analysis a = analyze(g);
+    EXPECT_EQ(a.depth, 7u);
+    EXPECT_EQ(a.max_working_set, 1u);
+    EXPECT_DOUBLE_EQ(a.num_paths, 1.0);
+}
+
+TEST(Analysis, WideParallelGraph)
+{
+    // n independent input->op->output triples: depth 3, WS max = n.
+    Graph g("wide");
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+        NodeId in = g.addNode(OpType::Input);
+        NodeId op = g.addNode(OpType::FMul);
+        NodeId out = g.addNode(OpType::Output);
+        g.addEdge(in, op);
+        g.addEdge(op, out);
+    }
+    Analysis a = analyze(g);
+    EXPECT_EQ(a.depth, 3u);
+    EXPECT_EQ(a.max_working_set, static_cast<std::size_t>(n));
+    EXPECT_DOUBLE_EQ(a.num_paths, static_cast<double>(n));
+}
+
+TEST(Analysis, ReductionTree)
+{
+    // Balanced binary reduction over 8 inputs: depth = 3 levels + in/out.
+    Graph g("tree");
+    std::vector<NodeId> level;
+    for (int i = 0; i < 8; ++i)
+        level.push_back(g.addNode(OpType::Input));
+    while (level.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            NodeId add = g.addNode(OpType::Add);
+            g.addEdge(level[i], add);
+            g.addEdge(level[i + 1], add);
+            next.push_back(add);
+        }
+        level = next;
+    }
+    NodeId out = g.addNode(OpType::Output);
+    g.addEdge(level[0], out);
+
+    Analysis a = analyze(g);
+    EXPECT_EQ(a.num_nodes, 8u + 7u + 1u);
+    EXPECT_EQ(a.depth, 5u); // inputs, 3 add levels, output
+    EXPECT_EQ(a.max_working_set, 8u);
+    EXPECT_DOUBLE_EQ(a.num_paths, 8.0);
+}
+
+TEST(Analysis, EmptyGraphDies)
+{
+    Graph g("empty");
+    EXPECT_EXIT(analyze(g), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Dot, RendersSmallGraph)
+{
+    Graph g = makeFigure11Example();
+    std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph \"figure11\""), std::string::npos);
+    // Every node and edge appears.
+    EXPECT_NE(dot.find("n0 ["), std::string::npos);
+    EXPECT_NE(dot.find("n8 ["), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    // Stage ranking emitted.
+    EXPECT_NE(dot.find("rank=same"), std::string::npos);
+    // Edge count: 10 "->" edge lines.
+    std::size_t edges = 0, pos = 0;
+    while ((pos = dot.find(" -> n", pos)) != std::string::npos) {
+        ++edges;
+        ++pos;
+    }
+    EXPECT_EQ(edges, 10u);
+}
+
+TEST(Dot, SummarizesLargeGraph)
+{
+    // Above max_nodes the export collapses to a stage summary.
+    Graph g("big");
+    std::vector<NodeId> prev;
+    for (int i = 0; i < 600; ++i)
+        prev.push_back(g.addNode(OpType::Load));
+    for (NodeId id : prev) {
+        NodeId add = g.addNode(OpType::Add);
+        g.addEdge(id, add);
+    }
+    std::string dot = toDot(g);
+    EXPECT_NE(dot.find("stage0"), std::string::npos);
+    EXPECT_NE(dot.find("600 nodes"), std::string::npos);
+    EXPECT_EQ(dot.find("n0 ["), std::string::npos);
+}
+
+TEST(Analysis, PathCountMatchesBruteForce)
+{
+    // Cross-check the DP path count against explicit enumeration on a
+    // small random-ish layered DAG.
+    Graph g("paths");
+    std::vector<NodeId> prev = {g.addNode(OpType::Input),
+                                g.addNode(OpType::Input)};
+    for (int level = 0; level < 4; ++level) {
+        std::vector<NodeId> cur;
+        for (int i = 0; i < 3; ++i) {
+            NodeId n = g.addNode(OpType::Add);
+            g.addEdge(prev[i % prev.size()], n);
+            g.addEdge(prev[(i + 1) % prev.size()], n);
+            cur.push_back(n);
+        }
+        prev = cur;
+    }
+    for (NodeId n : prev) {
+        NodeId out = g.addNode(OpType::Output);
+        g.addEdge(n, out);
+    }
+
+    // Brute force: DFS counting source-to-sink routes.
+    std::function<double(NodeId)> count = [&](NodeId id) -> double {
+        if (g.succs(id).empty())
+            return 1.0;
+        double total = 0.0;
+        for (NodeId s : g.succs(id))
+            total += count(s);
+        return total;
+    };
+    double brute = 0.0;
+    for (NodeId src : g.sources())
+        brute += count(src);
+
+    Analysis a = analyze(g);
+    EXPECT_DOUBLE_EQ(a.num_paths, brute);
+}
+
+TEST(Analysis, StageIsLongestPathPosition)
+{
+    // Diamond with one long side: stage of the join reflects the longer
+    // path (ASAP by longest incoming path).
+    Graph g("diamond");
+    NodeId in = g.addNode(OpType::Input);
+    NodeId short_op = g.addNode(OpType::Add);
+    NodeId long1 = g.addNode(OpType::Mul);
+    NodeId long2 = g.addNode(OpType::Mul);
+    NodeId join = g.addNode(OpType::Add);
+    NodeId out = g.addNode(OpType::Output);
+    g.addEdge(in, short_op);
+    g.addEdge(in, long1);
+    g.addEdge(long1, long2);
+    g.addEdge(short_op, join);
+    g.addEdge(long2, join);
+    g.addEdge(join, out);
+
+    Analysis a = analyze(g);
+    EXPECT_EQ(a.stage[join], 3u);
+    EXPECT_EQ(a.depth, 5u);
+}
+
+} // namespace
+} // namespace accelwall::dfg

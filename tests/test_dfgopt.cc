@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the algorithm-layer DFG rewrites: common-subexpression
+ * elimination, strength reduction, and the parallelism profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "dfgopt/rewrites.hh"
+#include "kernels/builder.hh"
+#include "kernels/kernels.hh"
+
+namespace accelwall::dfgopt
+{
+namespace
+{
+
+using dfg::Graph;
+using dfg::NodeId;
+using dfg::OpType;
+using kernels::binary;
+using kernels::loadArray;
+using kernels::storeAll;
+
+/** (a+b)*(a+b) with the common Add duplicated. */
+Graph
+redundantSquare()
+{
+    Graph g("square");
+    auto in = loadArray(g, 2);
+    NodeId s1 = binary(g, OpType::Add, in[0], in[1]);
+    NodeId s2 = binary(g, OpType::Add, in[0], in[1]);
+    NodeId prod = binary(g, OpType::FMul, s1, s2);
+    storeAll(g, {prod});
+    return g;
+}
+
+TEST(Cse, MergesStructuralDuplicates)
+{
+    Graph g = redundantSquare();
+    RewriteStats stats;
+    Graph opt = eliminateCommonSubexpressions(g, &stats);
+
+    EXPECT_EQ(stats.nodes_before, 6u);
+    EXPECT_EQ(stats.rewritten, 1u);
+    EXPECT_EQ(opt.numNodes(), 5u);
+    dfg::analyze(opt); // still a valid DAG
+    // The multiply now has the merged Add twice as operand.
+    std::size_t adds = opt.countIf(
+        [](OpType op) { return op == OpType::Add; });
+    EXPECT_EQ(adds, 1u);
+}
+
+TEST(Cse, CommutativityNormalized)
+{
+    // Add(a,b) and Add(b,a) merge; Sub(a,b) and Sub(b,a) must not.
+    Graph g("comm");
+    auto in = loadArray(g, 2);
+    NodeId ab = binary(g, OpType::Add, in[0], in[1]);
+    NodeId ba = binary(g, OpType::Add, in[1], in[0]);
+    NodeId sab = binary(g, OpType::Sub, in[0], in[1]);
+    NodeId sba = binary(g, OpType::Sub, in[1], in[0]);
+    storeAll(g, {ab, ba, sab, sba});
+
+    RewriteStats stats;
+    Graph opt = eliminateCommonSubexpressions(g, &stats);
+    EXPECT_EQ(stats.rewritten, 1u);
+    EXPECT_EQ(opt.countIf([](OpType op) { return op == OpType::Add; }),
+              1u);
+    EXPECT_EQ(opt.countIf([](OpType op) { return op == OpType::Sub; }),
+              2u);
+}
+
+TEST(Cse, NeverMergesLoadsOrUnaryConstOps)
+{
+    // Two Loads are distinct addresses; two unary Muls carry distinct
+    // folded constants.
+    Graph g("loads");
+    NodeId a = g.addNode(OpType::Load);
+    NodeId b = g.addNode(OpType::Load);
+    NodeId m1 = g.addNode(OpType::Mul);
+    g.addEdge(a, m1);
+    NodeId m2 = g.addNode(OpType::Mul);
+    g.addEdge(a, m2);
+    NodeId sum = binary(g, OpType::Add, m1, m2);
+    NodeId sum2 = binary(g, OpType::Add, b, sum);
+    storeAll(g, {sum2});
+
+    RewriteStats stats;
+    Graph opt = eliminateCommonSubexpressions(g, &stats);
+    EXPECT_EQ(stats.rewritten, 0u);
+    EXPECT_EQ(opt.numNodes(), g.numNodes());
+}
+
+TEST(Cse, CascadesThroughLevels)
+{
+    // Duplicate subtrees merge bottom-up: ((a+b)+c) twice collapses to
+    // one chain.
+    Graph g("cascade");
+    auto in = loadArray(g, 3);
+    NodeId x1 = binary(g, OpType::Add, in[0], in[1]);
+    NodeId y1 = binary(g, OpType::Add, x1, in[2]);
+    NodeId x2 = binary(g, OpType::Add, in[0], in[1]);
+    NodeId y2 = binary(g, OpType::Add, x2, in[2]);
+    NodeId top = binary(g, OpType::FMul, y1, y2);
+    storeAll(g, {top});
+
+    RewriteStats stats;
+    eliminateCommonSubexpressions(g, &stats);
+    EXPECT_EQ(stats.rewritten, 2u);
+}
+
+TEST(Cse, IdempotentOnKernels)
+{
+    // Our kernel generators emit clean graphs; CSE must be a no-op on
+    // structure (it may renumber) — duplicate work would be a
+    // generator bug.
+    for (const char *abbrev : {"GMM", "FFT", "S3D"}) {
+        RewriteStats stats;
+        Graph opt = eliminateCommonSubexpressions(
+            kernels::makeKernel(abbrev), &stats);
+        EXPECT_EQ(stats.rewritten, 0u) << abbrev;
+    }
+}
+
+TEST(StrengthReduction, RewritesConstMultiplies)
+{
+    Graph g = kernels::makeKernel("IDCT");
+    std::size_t muls = g.countIf(
+        [](OpType op) { return op == OpType::Mul; });
+    ASSERT_GT(muls, 0u);
+
+    RewriteStats stats;
+    Graph opt = reduceStrength(g, &stats);
+    EXPECT_EQ(stats.rewritten, muls);
+    EXPECT_EQ(opt.countIf([](OpType op) { return op == OpType::Mul; }),
+              0u);
+    // Each Mul became Shift+Shift+Add.
+    EXPECT_EQ(opt.numNodes(), g.numNodes() + 2 * muls);
+    dfg::analyze(opt);
+}
+
+TEST(StrengthReduction, LeavesBinaryMultipliesAlone)
+{
+    Graph g = kernels::makeGmm(4); // binary FMul only
+    RewriteStats stats;
+    Graph opt = reduceStrength(g, &stats);
+    EXPECT_EQ(stats.rewritten, 0u);
+    EXPECT_EQ(opt.numNodes(), g.numNodes());
+}
+
+TEST(Profile, MatchesAnalysis)
+{
+    Graph g = kernels::makeRed(64);
+    ParallelismProfile profile = parallelismProfile(g);
+    dfg::Analysis a = dfg::analyze(g);
+    EXPECT_EQ(profile.peak, a.max_working_set);
+    EXPECT_EQ(profile.stage_sizes, a.stage_sizes);
+    EXPECT_GT(profile.average, 1.0);
+}
+
+} // namespace
+} // namespace accelwall::dfgopt

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the mining-market economics simulator: the Section IV-D
+ * platform transitions must emerge endogenously.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "economics/mining_market.hh"
+
+namespace accelwall::economics
+{
+namespace
+{
+
+using chipdb::Platform;
+
+bool
+contains(const std::vector<Platform> &v, Platform p)
+{
+    for (Platform x : v) {
+        if (x == p)
+            return true;
+    }
+    return false;
+}
+
+TEST(Market, ChipEvaluationArithmetic)
+{
+    studies::MiningChip chip;
+    chip.label = "t";
+    chip.platform = Platform::ASIC;
+    chip.ghs = 10.0;
+    chip.watts = 100.0;
+    chip.area_mm2 = 50.0;
+
+    MarketConfig cfg;
+    cfg.usd_per_kwh = 0.10;
+    cfg.usd_per_mm2 = 2.0;
+    ChipEconomics econ = evaluateChip(chip, 1.0, cfg);
+    // Revenue 10 USD/day, electricity 0.1kW*24h*0.1 = 0.24 USD/day.
+    EXPECT_NEAR(econ.margin_usd_per_day, 9.76, 1e-9);
+    EXPECT_NEAR(econ.energy_cost_share, 0.024, 1e-9);
+    EXPECT_NEAR(econ.payback_days, 100.0 / 9.76, 1e-9);
+}
+
+TEST(Market, UnprofitableChipNeverPaysBack)
+{
+    studies::MiningChip chip;
+    chip.ghs = 0.001;
+    chip.watts = 100.0;
+    chip.area_mm2 = 200.0;
+    ChipEconomics econ = evaluateChip(chip, 1.0, MarketConfig{});
+    EXPECT_LT(econ.margin_usd_per_day, 0.0);
+    EXPECT_TRUE(std::isinf(econ.payback_days));
+}
+
+TEST(Market, NetworkGrowsAndRevenueDensityFalls)
+{
+    auto epochs = simulateMarket();
+    ASSERT_GE(epochs.size(), 10u);
+    for (std::size_t i = 1; i < epochs.size(); ++i) {
+        EXPECT_GT(epochs[i].network_ghs, epochs[i - 1].network_ghs);
+        EXPECT_LT(epochs[i].usd_per_ghs_day,
+                  epochs[i - 1].usd_per_ghs_day);
+    }
+}
+
+TEST(Market, PlatformTransitionsEmerge)
+{
+    auto epochs = simulateMarket();
+
+    // Early: CPUs are profitable (network is tiny).
+    const Epoch &first = epochs.front();
+    EXPECT_TRUE(contains(first.profitable_platforms, Platform::CPU));
+
+    // Late: CPUs and GPUs have been squeezed out; ASICs remain.
+    const Epoch &last = epochs.back();
+    EXPECT_FALSE(contains(last.profitable_platforms, Platform::CPU));
+    EXPECT_FALSE(contains(last.profitable_platforms, Platform::GPU));
+    EXPECT_TRUE(contains(last.profitable_platforms, Platform::ASIC));
+
+    // The best chip's platform never regresses along CPU->GPU/FPGA->
+    // ASIC once ASICs arrive.
+    bool seen_asic = false;
+    for (const auto &epoch : epochs) {
+        if (epoch.best.platform == Platform::ASIC)
+            seen_asic = true;
+        if (seen_asic) {
+            EXPECT_EQ(epoch.best.platform, Platform::ASIC)
+                << "year " << epoch.year;
+        }
+    }
+    EXPECT_TRUE(seen_asic);
+}
+
+TEST(Market, EnergyShareBecomesDominant)
+{
+    // "the energy spent became the dominating factor": the best chip's
+    // electricity share of revenue rises over the simulation.
+    auto epochs = simulateMarket();
+    double early = epochs.front().best.energy_cost_share;
+    double late = epochs.back().best.energy_cost_share;
+    EXPECT_LT(early, 0.05);
+    EXPECT_GT(late, 5.0 * early);
+}
+
+TEST(Market, RejectsBadConfig)
+{
+    MarketConfig cfg;
+    cfg.step_years = 0.0;
+    EXPECT_EXIT(simulateMarket(cfg), ::testing::ExitedWithCode(1),
+                "time range");
+    cfg = MarketConfig{};
+    cfg.growth_per_year = 0.5;
+    EXPECT_EXIT(simulateMarket(cfg), ::testing::ExitedWithCode(1),
+                "grow");
+}
+
+} // namespace
+} // namespace accelwall::economics

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Unit tests for the 16 kernel DFG generators (Table IV): structural
+ * validity, expected shapes, and the properties the Section VI sweep
+ * depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "kernels/builder.hh"
+#include "kernels/kernels.hh"
+
+namespace accelwall::kernels
+{
+namespace
+{
+
+using dfg::Analysis;
+using dfg::analyze;
+using dfg::Graph;
+using dfg::OpType;
+
+TEST(Registry, TableHas16Kernels)
+{
+    const auto &table = kernelTable();
+    ASSERT_EQ(table.size(), 16u);
+    EXPECT_EQ(table.front().abbrev, "AES");
+    EXPECT_EQ(table.back().abbrev, "TRD");
+}
+
+TEST(Registry, UnknownKernelDies)
+{
+    EXPECT_EXIT(makeKernel("NOPE"), ::testing::ExitedWithCode(1),
+                "unknown kernel");
+}
+
+/**
+ * Every kernel must produce a valid DAG with inputs, outputs, compute
+ * work, and a sane analysis. Parameterized over all Table IV entries.
+ */
+class AllKernels : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllKernels, BuildsValidDag)
+{
+    Graph g = makeKernel(GetParam());
+    Analysis a = analyze(g); // fatal()s on a cycle
+    EXPECT_GT(a.num_nodes, 50u) << GetParam();
+    EXPECT_GT(a.num_edges, 50u) << GetParam();
+    EXPECT_GT(a.num_inputs, 0u);
+    EXPECT_GT(a.num_outputs, 0u);
+    EXPECT_GE(a.depth, 3u);
+    EXPECT_GE(a.max_working_set, 1u);
+}
+
+TEST_P(AllKernels, HasComputeWork)
+{
+    Graph g = makeKernel(GetParam());
+    std::size_t compute = g.countIf(dfg::isCompute);
+    std::size_t memory = g.countIf(dfg::isMemory);
+    EXPECT_GT(compute, 0u) << GetParam();
+    EXPECT_GT(memory, 0u) << GetParam();
+}
+
+TEST_P(AllKernels, Deterministic)
+{
+    Graph a = makeKernel(GetParam());
+    Graph b = makeKernel(GetParam());
+    ASSERT_EQ(a.numNodes(), b.numNodes());
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (dfg::NodeId id = 0; id < a.numNodes(); ++id) {
+        EXPECT_EQ(a.op(id), b.op(id));
+        EXPECT_EQ(a.preds(id), b.preds(id));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIV, AllKernels,
+    ::testing::Values("AES", "BFS", "FFT", "GMM", "MDY", "KNN", "NWN",
+                      "RBM", "RED", "SAD", "SRT", "SMV", "SSP", "S2D",
+                      "S3D", "TRD"));
+
+TEST(Kernels, RedShape)
+{
+    // n loads, n-1 adds, 1 store.
+    Graph g = makeRed(64);
+    EXPECT_EQ(g.numNodes(), 64u + 63u + 1u);
+    Analysis a = analyze(g);
+    // loads (1) + 6 add levels + store = 8 vertices on the critical path.
+    EXPECT_EQ(a.depth, 8u);
+    EXPECT_EQ(a.max_working_set, 64u);
+}
+
+TEST(Kernels, TrdShape)
+{
+    Graph g = makeTrd(16);
+    // 1 scalar + 32 loads + 16 FMul + 16 FAdd + 16 stores.
+    EXPECT_EQ(g.numNodes(), 1u + 32u + 16u + 16u + 16u);
+    Analysis a = analyze(g);
+    EXPECT_EQ(a.depth, 4u);
+}
+
+TEST(Kernels, GmmOpMix)
+{
+    Graph g = makeGmm(6);
+    std::size_t fmul = g.countIf(
+        [](OpType op) { return op == OpType::FMul; });
+    std::size_t fadd = g.countIf(
+        [](OpType op) { return op == OpType::FAdd; });
+    EXPECT_EQ(fmul, 6u * 6u * 6u);
+    EXPECT_EQ(fadd, 6u * 6u * 5u);
+}
+
+TEST(Kernels, NwnIsDeepAndNarrow)
+{
+    // The wavefront kernel: depth scales with 2n, parallelism with the
+    // anti-diagonal — the limited-parallelism end of the spectrum.
+    Analysis a = analyze(makeNwn(16));
+    Analysis red = analyze(makeRed(1024));
+    EXPECT_GT(a.depth, 2u * 16u);
+    EXPECT_LT(a.max_working_set, 300u);
+    // RED is shallower yet far wider: the depth-to-width ratio tells
+    // the two kernel classes apart.
+    EXPECT_LT(red.depth, a.depth);
+    EXPECT_GT(red.max_working_set, a.max_working_set);
+    double nwn_ratio = static_cast<double>(a.depth) / a.max_working_set;
+    double red_ratio =
+        static_cast<double>(red.depth) / red.max_working_set;
+    EXPECT_GT(nwn_ratio, 10.0 * red_ratio);
+}
+
+TEST(Kernels, FftDepthIsLogarithmic)
+{
+    Analysis a = analyze(makeFft(64));
+    // 6 butterfly stages, each a handful of vertices deep.
+    EXPECT_GE(a.depth, 6u);
+    EXPECT_LE(a.depth, 40u);
+    EXPECT_GE(a.max_working_set, 64u);
+}
+
+TEST(Kernels, SrtRejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT(makeSrt(48), ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(makeFft(10), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(Kernels, SmvHasIndirectLoads)
+{
+    // CSR x[col] loads depend on index loads: some Load nodes must have
+    // a Load predecessor.
+    Graph g = makeSmv(8, 4);
+    bool found = false;
+    for (dfg::NodeId id = 0; id < g.numNodes(); ++id) {
+        if (g.op(id) != OpType::Load)
+            continue;
+        for (dfg::NodeId p : g.preds(id)) {
+            if (g.op(p) == OpType::Load)
+                found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Kernels, RbmUsesTranscendentals)
+{
+    Graph g = makeRbm(8, 8);
+    EXPECT_EQ(g.countIf([](OpType op) { return op == OpType::Exp; }),
+              8u);
+    EXPECT_EQ(g.countIf([](OpType op) { return op == OpType::FDiv; }),
+              8u);
+}
+
+TEST(Kernels, AesUsesLutsAndXors)
+{
+    Graph g = makeAes(10);
+    // SubBytes: 16 luts x 10 rounds.
+    EXPECT_EQ(g.countIf([](OpType op) { return op == OpType::Lut; }),
+              160u);
+    EXPECT_GT(g.countIf([](OpType op) { return op == OpType::Xor; }),
+              400u);
+}
+
+TEST(Kernels, S3dInteriorPointCount)
+{
+    Graph g = makeS3d(8, 8, 8);
+    std::size_t stores = g.countIf(
+        [](OpType op) { return op == OpType::Store; });
+    EXPECT_EQ(stores, 6u * 6u * 6u);
+}
+
+TEST(VideoExt, IdctStructure)
+{
+    Graph g = makeKernel("IDCT");
+    Analysis a = analyze(g);
+    // 8 blocks x (64 loads + 16 1-D transforms + 64 stores).
+    std::size_t loads = g.countIf(
+        [](OpType op) { return op == OpType::Load; });
+    EXPECT_EQ(loads, 8u * 64u);
+    // The fast butterfly uses far fewer multiplies than the dense
+    // matrix product (6 per 1-D transform vs 64).
+    std::size_t muls = g.countIf(
+        [](OpType op) { return op == OpType::Mul; });
+    EXPECT_EQ(muls, 8u * 16u * 6u);
+    // Blocks are independent: working set spans all of them.
+    EXPECT_GE(a.max_working_set, 8u * 64u);
+    EXPECT_LT(a.depth, 25u);
+}
+
+TEST(VideoExt, EntIsSerial)
+{
+    Graph g = makeKernel("ENT");
+    Analysis a = analyze(g);
+    // Each decoded symbol depends on the previous window shift: depth
+    // grows linearly with the bit count.
+    EXPECT_GT(a.depth, 256u * 3u);
+    // Tiny working set: the serial extreme of the kernel spectrum.
+    EXPECT_LT(a.max_working_set, 600u);
+    double ratio = static_cast<double>(a.depth) / a.max_working_set;
+    Analysis idct = analyze(makeKernel("IDCT"));
+    double idct_ratio =
+        static_cast<double>(idct.depth) / idct.max_working_set;
+    EXPECT_GT(ratio, 50.0 * idct_ratio);
+}
+
+/**
+ * Generator size sweep: every parameterized generator must stay a
+ * valid DAG across its size range, with node counts growing
+ * monotonically.
+ */
+class KernelSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelSizes, GeneratorsScale)
+{
+    int s = GetParam();
+    std::vector<Graph> graphs;
+    graphs.push_back(makeGmm(2 + s));
+    graphs.push_back(makeRed(2 << s));
+    graphs.push_back(makeTrd(8 << s));
+    graphs.push_back(makeNwn(4 + 2 * s));
+    graphs.push_back(makeFft(8 << s));
+    graphs.push_back(makeSrt(8 << s));
+    graphs.push_back(makeKnn(8 + 4 * s, 2 + s));
+    graphs.push_back(makeMdy(4 + 2 * s, 2 + s));
+    graphs.push_back(makeRbm(4 + 2 * s, 4 + 2 * s));
+    graphs.push_back(makeSad(2 + s, 2 + s));
+    graphs.push_back(makeSmv(4 + 2 * s, 2 + s));
+    graphs.push_back(makeSsp(8 + 4 * s, 16 + 8 * s, 1 + s));
+    graphs.push_back(makeS2d(3 + s, 3 + s));
+    graphs.push_back(makeS3d(3 + s, 3 + s, 3 + s));
+    graphs.push_back(makeAes(1 + s));
+    graphs.push_back(makeBfs(1 + s, 2, 2));
+    graphs.push_back(makeDftNaive(4 << s));
+    for (auto &g : graphs) {
+        Analysis a = analyze(g); // validates acyclicity
+        EXPECT_GT(a.num_nodes, 0u) << g.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelSizes, ::testing::Range(0, 4));
+
+TEST(KernelSizes, NodeCountsGrowWithSize)
+{
+    EXPECT_GT(makeGmm(8).numNodes(), makeGmm(4).numNodes());
+    EXPECT_GT(makeFft(64).numNodes(), makeFft(16).numNodes());
+    EXPECT_GT(makeNwn(24).numNodes(), makeNwn(12).numNodes());
+    EXPECT_GT(makeAes(10).numNodes(), makeAes(5).numNodes());
+}
+
+TEST(KernelSizes, DegenerateSizesDie)
+{
+    EXPECT_EXIT(makeGmm(0), ::testing::ExitedWithCode(1), ">= 1");
+    EXPECT_EXIT(makeRed(1), ::testing::ExitedWithCode(1), ">= 2");
+    EXPECT_EXIT(makeNwn(1), ::testing::ExitedWithCode(1), ">= 2");
+    EXPECT_EXIT(makeS2d(2, 5), ::testing::ExitedWithCode(1), "3x3");
+    EXPECT_EXIT(makeS3d(8, 8, 2), ::testing::ExitedWithCode(1),
+                "3x3x3");
+}
+
+TEST(Builder, ReduceTreeSingleValue)
+{
+    Graph g("t");
+    auto v = loadArray(g, 1);
+    EXPECT_EQ(reduceTree(g, v, OpType::Add), v[0]);
+    EXPECT_EQ(g.numNodes(), 1u);
+}
+
+TEST(Builder, ReduceTreeOddCount)
+{
+    Graph g("t");
+    auto v = loadArray(g, 5);
+    reduceTree(g, v, OpType::Add);
+    // 5 leaves need exactly 4 binary adds.
+    EXPECT_EQ(g.numNodes(), 5u + 4u);
+    analyze(g); // acyclic
+}
+
+TEST(Builder, ReduceTreeEmptyDies)
+{
+    Graph g("t");
+    EXPECT_EXIT(reduceTree(g, {}, OpType::Add),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace accelwall::kernels

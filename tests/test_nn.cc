@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the CNN layer-shape module: canonical AlexNet / VGG-16
+ * costs and the layer-DFG generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hh"
+#include "nn/conv_dfg.hh"
+#include "nn/layers.hh"
+
+namespace accelwall::nn
+{
+namespace
+{
+
+TEST(Layers, Conv1AlexNetGeometry)
+{
+    const Layer &conv1 = alexnetLayers().front();
+    LayerCost c = layerCost(conv1);
+    EXPECT_EQ(c.out_w, 55);
+    EXPECT_EQ(c.out_h, 55);
+    // 55*55*96 outputs x 11*11*3 MACs each.
+    EXPECT_NEAR(c.macs, 105.4e6, 0.5e6);
+    EXPECT_NEAR(c.params, 34.9e3, 0.5e3);
+}
+
+TEST(Layers, AlexNetTotals)
+{
+    ModelCost cost = modelCost(alexnetLayers());
+    // ~724M MACs (1.45 GOP/image), ~61M parameters.
+    EXPECT_NEAR(cost.total_macs / 1e6, 724.0, 30.0);
+    EXPECT_NEAR(cost.total_params / 1e6, 61.0, 3.0);
+    EXPECT_NEAR(cost.gops_per_image, 1.45, 0.1);
+}
+
+TEST(Layers, Vgg16Totals)
+{
+    ModelCost cost = modelCost(vgg16Layers());
+    // ~15.5G MACs (31 GOP/image), ~138M parameters.
+    EXPECT_NEAR(cost.total_macs / 1e9, 15.47, 0.5);
+    EXPECT_NEAR(cost.total_params / 1e6, 138.0, 5.0);
+}
+
+TEST(Layers, PaperModelSizeClaims)
+{
+    // Section IV-C: "the amount of data needed to represent VGG-16 is
+    // three times the amount of data for AlexNet, and the amount of
+    // operations per image is about 20x".
+    ModelCost alex = modelCost(alexnetLayers());
+    ModelCost vgg = modelCost(vgg16Layers());
+    double ops_ratio = vgg.total_macs / alex.total_macs;
+    double param_ratio = vgg.total_params / alex.total_params;
+    EXPECT_GT(ops_ratio, 15.0);
+    EXPECT_LT(ops_ratio, 25.0);
+    EXPECT_GT(param_ratio, 2.0);
+    EXPECT_LT(param_ratio, 3.5);
+}
+
+TEST(Layers, PoolLayersCostNoMacs)
+{
+    for (const auto &layer : vgg16Layers()) {
+        if (layer.kind == LayerKind::Pool) {
+            LayerCost c = layerCost(layer);
+            EXPECT_EQ(c.macs, 0.0);
+            EXPECT_EQ(c.params, 0.0);
+            EXPECT_GT(c.activations, 0.0);
+        }
+    }
+}
+
+TEST(Layers, BadGeometryDies)
+{
+    Layer bad;
+    bad.name = "bad";
+    bad.in_w = 0;
+    EXPECT_EXIT(layerCost(bad), ::testing::ExitedWithCode(1),
+                "geometry");
+}
+
+TEST(ConvDfg, ConvTileStructure)
+{
+    const Layer &conv3 = alexnetLayers()[4]; // 3x3x256 receptive field
+    dfg::Graph g = makeLayerDfg(conv3, 2, 2, 4);
+    dfg::Analysis a = dfg::analyze(g);
+    // 16 outputs x (capped 256-deep receptive field): thousands of
+    // nodes, log-depth reductions.
+    EXPECT_GT(a.num_nodes, 5000u);
+    EXPECT_LT(a.depth, 30u);
+    std::size_t stores = g.countIf(
+        [](dfg::OpType op) { return op == dfg::OpType::Store; });
+    EXPECT_EQ(stores, 2u * 2u * 4u);
+}
+
+TEST(ConvDfg, FcTileStructure)
+{
+    const Layer &fc7 = alexnetLayers()[9];
+    dfg::Graph g = makeLayerDfg(fc7, 1, 1, 8);
+    dfg::Analysis a = dfg::analyze(g);
+    std::size_t fmuls = g.countIf(
+        [](dfg::OpType op) { return op == dfg::OpType::FMul; });
+    EXPECT_EQ(fmuls, 8u * 256u); // 8 neurons x capped 256 inputs
+    EXPECT_GT(a.max_working_set, 100u);
+}
+
+TEST(ConvDfg, PoolTileUsesMaxTrees)
+{
+    Layer pool = vgg16Layers()[2];
+    dfg::Graph g = makeLayerDfg(pool, 2, 2, 2);
+    std::size_t maxes = g.countIf(
+        [](dfg::OpType op) { return op == dfg::OpType::Max; });
+    // 8 outputs x (2x2 window -> 3 Max nodes each).
+    EXPECT_EQ(maxes, 8u * 3u);
+}
+
+TEST(ConvDfg, SchedulableByAladdin)
+{
+    // The generated tiles must be valid DAGs for the simulator: no
+    // cycles, positive work.
+    for (const auto &layer : alexnetLayers()) {
+        dfg::Graph g = makeLayerDfg(layer, 2, 2, 2);
+        dfg::Analysis a = dfg::analyze(g);
+        EXPECT_GT(a.num_nodes, 0u) << layer.name;
+    }
+}
+
+} // namespace
+} // namespace accelwall::nn

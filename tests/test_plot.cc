@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the ASCII chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "plot/ascii_chart.hh"
+
+namespace accelwall::plot
+{
+namespace
+{
+
+ChartConfig
+smallConfig()
+{
+    ChartConfig cfg;
+    cfg.width = 24;
+    cfg.height = 8;
+    return cfg;
+}
+
+TEST(AsciiChart, RendersMarkers)
+{
+    AsciiChart chart(smallConfig());
+    chart.addSeries({"data", '*', {0.0, 1.0, 2.0}, {0.0, 1.0, 2.0}});
+    std::string out = chart.str();
+    // Three distinct cells on the rising diagonal (count the plot
+    // area only; the legend also prints the marker).
+    std::string area = out.substr(0, out.find("legend:"));
+    EXPECT_EQ(std::count(area.begin(), area.end(), '*'), 3);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("* = data"), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChart)
+{
+    AsciiChart chart(smallConfig());
+    chart.addSeries({"none", 'o', {}, {}});
+    EXPECT_NE(chart.str().find("no plottable points"),
+              std::string::npos);
+}
+
+TEST(AsciiChart, LogAxisSkipsNonPositive)
+{
+    ChartConfig cfg = smallConfig();
+    cfg.x_scale = Scale::Log10;
+    AsciiChart chart(cfg);
+    chart.addSeries({"s", 'x', {-1.0, 1.0, 10.0}, {1.0, 2.0, 3.0}});
+    std::string out = chart.str();
+    std::string area = out.substr(0, out.find("legend:"));
+    EXPECT_EQ(std::count(area.begin(), area.end(), 'x'), 2);
+    EXPECT_NE(out.find("1 points outside the log domain"),
+              std::string::npos);
+}
+
+TEST(AsciiChart, LogTicksShowDecades)
+{
+    ChartConfig cfg = smallConfig();
+    cfg.y_scale = Scale::Log10;
+    AsciiChart chart(cfg);
+    chart.addSeries({"s", 'o', {0.0, 1.0}, {1.0, 1000.0}});
+    std::string out = chart.str();
+    // The top tick is the max y (1000 -> "1.0K").
+    EXPECT_NE(out.find("1.0K"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesInLegend)
+{
+    AsciiChart chart(smallConfig());
+    chart.addSeries({"alpha", 'a', {0.0}, {0.0}});
+    chart.addSeries({"beta", 'b', {1.0}, {1.0}});
+    std::string out = chart.str();
+    EXPECT_NE(out.find("a = alpha"), std::string::npos);
+    EXPECT_NE(out.find("b = beta"), std::string::npos);
+}
+
+TEST(AsciiChart, DegeneratePointStillRenders)
+{
+    AsciiChart chart(smallConfig());
+    chart.addSeries({"dot", '#', {5.0}, {7.0}});
+    std::string out = chart.str();
+    std::string area = out.substr(0, out.find("legend:"));
+    EXPECT_EQ(std::count(area.begin(), area.end(), '#'), 1);
+}
+
+TEST(AsciiChart, MismatchedSeriesDies)
+{
+    AsciiChart chart(smallConfig());
+    EXPECT_EXIT(chart.addSeries({"bad", 'o', {1.0, 2.0}, {1.0}}),
+                ::testing::ExitedWithCode(1), "mismatched");
+}
+
+TEST(AsciiChart, TinyPlotAreaDies)
+{
+    ChartConfig cfg;
+    cfg.width = 4;
+    cfg.height = 2;
+    EXPECT_EXIT(AsciiChart{cfg}, ::testing::ExitedWithCode(1),
+                "at least");
+}
+
+TEST(AsciiChart, TitleAndLabelsAppear)
+{
+    ChartConfig cfg = smallConfig();
+    cfg.title = "Figure 15a";
+    cfg.x_label = "physical performance";
+    cfg.y_label = "MPixels/s";
+    AsciiChart chart(cfg);
+    chart.addSeries({"chips", 'o', {1.0, 2.0}, {1.0, 2.0}});
+    std::string out = chart.str();
+    EXPECT_NE(out.find("Figure 15a"), std::string::npos);
+    EXPECT_NE(out.find("physical performance"), std::string::npos);
+    EXPECT_NE(out.find("MPixels/s"), std::string::npos);
+}
+
+} // namespace
+} // namespace accelwall::plot

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the CMOS potential model (Section III, Figure 3d),
+ * including the paper's headline anchors and monotonicity properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "potential/chip_spec.hh"
+#include "potential/model.hh"
+
+namespace accelwall::potential
+{
+namespace
+{
+
+/** The paper's Fig. 3d normalization chip: 25mm², 45nm, 1GHz. */
+ChipSpec
+baseline()
+{
+    return ChipSpec{45.0, 25.0, 1.0, kUncappedTdp};
+}
+
+TEST(Potential, SelfGainIsUnity)
+{
+    PotentialModel m;
+    ChipSpec ref = baseline();
+    EXPECT_DOUBLE_EQ(m.throughputGain(ref, ref), 1.0);
+    EXPECT_DOUBLE_EQ(m.efficiencyGain(ref, ref), 1.0);
+    EXPECT_DOUBLE_EQ(m.areaThroughputGain(ref, ref), 1.0);
+}
+
+TEST(Potential, Figure3dUncappedAnchor)
+{
+    // 800mm² 5nm at 1GHz, unconstrained: ~1000x the baseline.
+    PotentialModel m;
+    ChipSpec big{5.0, 800.0, 1.0, kUncappedTdp};
+    double gain = m.throughputGain(big, baseline());
+    EXPECT_GT(gain, 900.0);
+    EXPECT_LT(gain, 1100.0);
+}
+
+TEST(Potential, Figure3dTdpCapAnchor)
+{
+    // Same chip under an 800W envelope: drops by ~70% to ~300x.
+    PotentialModel m;
+    ChipSpec capped{5.0, 800.0, 1.0, 800.0};
+    ChipSpec uncapped{5.0, 800.0, 1.0, kUncappedTdp};
+    double gain = m.throughputGain(capped, baseline());
+    EXPECT_GT(gain, 250.0);
+    EXPECT_LT(gain, 350.0);
+
+    double drop = 1.0 - m.throughput(capped) / m.throughput(uncapped);
+    EXPECT_NEAR(drop, 0.70, 0.05);
+}
+
+TEST(Potential, ActiveTransistorsIsMinOfBudgets)
+{
+    PotentialModel m;
+    ChipSpec spec{5.0, 800.0, 1.0, 800.0};
+    EXPECT_DOUBLE_EQ(m.activeTransistors(spec),
+                     std::min(m.areaTransistors(spec),
+                              m.tdpTransistors(spec)));
+    EXPECT_LT(m.tdpTransistors(spec), m.areaTransistors(spec));
+}
+
+TEST(Potential, PowerCappedAtTdp)
+{
+    PotentialModel m;
+    ChipSpec spec{5.0, 800.0, 1.0, 800.0};
+    EXPECT_LE(m.power(spec), 800.0 + 1e-9);
+
+    // A small unconstrained chip dissipates below any sane envelope.
+    ChipSpec small = baseline();
+    EXPECT_LT(m.power(small), 50.0);
+    EXPECT_GT(m.power(small), 1.0);
+}
+
+TEST(Potential, SmallChipsFavorEfficiency)
+{
+    // Paper: "As expected, small chips are favorable for energy
+    // efficiency." Under the same power envelope, a large die pays the
+    // leakage of all its transistors while only a fraction may switch.
+    PotentialModel m;
+    ChipSpec small{5.0, 25.0, 1.0, 150.0};
+    ChipSpec large{5.0, 800.0, 1.0, 150.0};
+    EXPECT_GT(m.energyEfficiency(small), m.energyEfficiency(large));
+}
+
+TEST(Potential, LeakageCanConsumeEntireEnvelope)
+{
+    // An 800mm² 5nm die leaks more than 100W: under a 100W envelope no
+    // switching budget remains and throughput collapses to zero.
+    PotentialModel m;
+    ChipSpec starved{5.0, 800.0, 1.0, 100.0};
+    EXPECT_DOUBLE_EQ(m.activeTransistors(starved), 0.0);
+    EXPECT_DOUBLE_EQ(m.throughput(starved), 0.0);
+    EXPECT_GT(m.power(starved), 0.0); // it still leaks
+}
+
+TEST(Potential, EfficiencyImprovesWithNode)
+{
+    PotentialModel m;
+    ChipSpec ref = baseline();
+    double prev = m.energyEfficiency(ref);
+    for (double node : {32.0, 22.0, 14.0, 10.0, 7.0, 5.0}) {
+        ChipSpec spec{node, 25.0, 1.0, kUncappedTdp};
+        double eff = m.energyEfficiency(spec);
+        EXPECT_GT(eff, prev) << "at " << node << "nm";
+        prev = eff;
+    }
+}
+
+/** Monotonicity sweep over die areas: more area, more throughput. */
+class PotentialAreaMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PotentialAreaMonotone, ThroughputRisesWithArea)
+{
+    PotentialModel m;
+    double node = GetParam();
+    double prev = 0.0;
+    for (double area : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+        ChipSpec spec{node, area, 1.0, kUncappedTdp};
+        double thr = m.throughput(spec);
+        EXPECT_GT(thr, prev) << "at area " << area;
+        prev = thr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperNodes, PotentialAreaMonotone,
+                         ::testing::Values(45.0, 28.0, 16.0, 10.0, 7.0,
+                                           5.0));
+
+/** Monotonicity sweep over TDP: a looser envelope never hurts. */
+class PotentialTdpMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PotentialTdpMonotone, ThroughputRisesWithTdp)
+{
+    PotentialModel m;
+    double node = GetParam();
+    double prev = 0.0;
+    for (double tdp : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
+        ChipSpec spec{node, 800.0, 1.0, tdp};
+        double thr = m.throughput(spec);
+        EXPECT_GE(thr, prev) << "at TDP " << tdp;
+        prev = thr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperNodes, PotentialTdpMonotone,
+                         ::testing::Values(45.0, 28.0, 16.0, 10.0, 7.0,
+                                           5.0));
+
+TEST(Potential, OldNodesAppealUnderTightTdpForLargeChips)
+{
+    // Paper: "As chips get larger, the high transistor count and static
+    // power of new CMOS nodes make old nodes more appealing under a
+    // restricted TDP" — in efficiency terms. Under a tight envelope the
+    // efficiency advantage of 5nm over 16nm shrinks versus unconstrained.
+    PotentialModel m;
+    ChipSpec new_unc{5.0, 800.0, 1.0, kUncappedTdp};
+    ChipSpec old_unc{16.0, 800.0, 1.0, kUncappedTdp};
+    ChipSpec new_cap{5.0, 800.0, 1.0, 200.0};
+    ChipSpec old_cap{16.0, 800.0, 1.0, 200.0};
+    double adv_unc =
+        m.energyEfficiency(new_unc) / m.energyEfficiency(old_unc);
+    double adv_cap =
+        m.energyEfficiency(new_cap) / m.energyEfficiency(old_cap);
+    EXPECT_LT(adv_cap, adv_unc);
+}
+
+TEST(Potential, AreaThroughputNormalizes)
+{
+    PotentialModel m;
+    ChipSpec spec{16.0, 100.0, 1.0, kUncappedTdp};
+    EXPECT_DOUBLE_EQ(m.areaThroughput(spec),
+                     m.throughput(spec) / 100.0);
+}
+
+TEST(Potential, RejectsNonPositiveFrequency)
+{
+    PotentialModel m;
+    ChipSpec bad{45.0, 25.0, 0.0, 100.0};
+    EXPECT_EXIT(m.tdpTransistors(bad), ::testing::ExitedWithCode(1),
+                "frequency");
+}
+
+} // namespace
+} // namespace accelwall::potential

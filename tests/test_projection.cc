@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the accelerator-wall projection machinery (Section VII):
+ * the generic frontier projections and the four assembled domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "projection/domains.hh"
+#include "projection/projection.hh"
+#include "util/rng.hh"
+
+namespace accelwall::projection
+{
+namespace
+{
+
+TEST(Projection, ExactLinearData)
+{
+    // gain = 2*phy + 1 exactly: the linear model must extrapolate it.
+    std::vector<stats::Point2> pts;
+    for (double x = 1.0; x <= 10.0; x += 1.0)
+        pts.push_back({x, 2.0 * x + 1.0});
+    ProjectionResult r = projectFrontier(pts, 100.0);
+    EXPECT_NEAR(r.linear_limit, 201.0, 1e-6);
+    EXPECT_NEAR(r.linear.r2, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(r.best_observed, 21.0);
+    EXPECT_NEAR(r.linear_headroom, 201.0 / 21.0, 1e-6);
+}
+
+TEST(Projection, ExactLogData)
+{
+    std::vector<stats::Point2> pts;
+    for (double x = 1.0; x <= 64.0; x *= 2.0)
+        pts.push_back({x, 5.0 * std::log(x) + 2.0});
+    ProjectionResult r = projectFrontier(pts, 1024.0);
+    EXPECT_NEAR(r.log_limit, 5.0 * std::log(1024.0) + 2.0, 1e-6);
+    EXPECT_NEAR(r.log.r2, 1.0, 1e-9);
+}
+
+TEST(Projection, LogIsMorePessimisticThanLinear)
+{
+    // On the same growing frontier, the sub-linear model always
+    // projects a lower wall.
+    std::vector<stats::Point2> pts;
+    for (double x = 1.0; x <= 32.0; x *= 2.0)
+        pts.push_back({x, 3.0 * x});
+    ProjectionResult r = projectFrontier(pts, 1000.0);
+    EXPECT_LT(r.log_limit, r.linear_limit);
+}
+
+TEST(Projection, DominatedPointsIgnored)
+{
+    std::vector<stats::Point2> pts = {
+        {1.0, 1.0}, {2.0, 3.0}, {2.0, 0.5} /* dominated */, {4.0, 7.0},
+    };
+    ProjectionResult r = projectFrontier(pts, 10.0);
+    EXPECT_EQ(r.frontier.size(), 3u);
+}
+
+TEST(Projection, LimitNeverBelowObserved)
+{
+    // A declining tail cannot project a wall below what already exists.
+    std::vector<stats::Point2> pts = {
+        {1.0, 10.0}, {2.0, 10.5}, {3.0, 10.6},
+    };
+    ProjectionResult r = projectFrontier(pts, 3.5);
+    EXPECT_GE(r.log_limit, 10.6);
+    EXPECT_GE(r.linear_limit, 10.6);
+}
+
+TEST(Projection, RejectsDegenerateInput)
+{
+    EXPECT_EXIT(projectFrontier({{1.0, 1.0}}, 10.0),
+                ::testing::ExitedWithCode(1), "frontier");
+    EXPECT_EXIT(projectFrontier({{1.0, 1.0}, {2.0, 2.0}}, -1.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(Bootstrap, TightDataGivesTightBands)
+{
+    // Near-exact linear data: the bootstrap band hugs the point
+    // estimate.
+    std::vector<stats::Point2> pts;
+    for (double x = 1.0; x <= 20.0; x += 1.0)
+        pts.push_back({x, 3.0 * x + 0.001 * x * x});
+    ProjectionResult point = projectFrontier(pts, 100.0);
+    BootstrapResult boot = bootstrapProjection(pts, 100.0);
+
+    EXPECT_GE(boot.usable, 150);
+    EXPECT_LE(boot.linear_limit.lo, point.linear_limit);
+    EXPECT_GE(boot.linear_limit.hi, point.linear_limit * 0.98);
+    double band = boot.linear_limit.hi - boot.linear_limit.lo;
+    EXPECT_LT(band, 0.2 * point.linear_limit);
+}
+
+TEST(Bootstrap, NoisyDataGivesWiderBands)
+{
+    std::vector<stats::Point2> tight, noisy;
+    accelwall::Rng rng(5);
+    for (double x = 1.0; x <= 20.0; x += 1.0) {
+        tight.push_back({x, 3.0 * x});
+        noisy.push_back({x, 3.0 * x * rng.lognoise(0.4)});
+    }
+    auto bt = bootstrapProjection(tight, 100.0);
+    auto bn = bootstrapProjection(noisy, 100.0);
+    double tight_band = bt.linear_limit.hi - bt.linear_limit.lo;
+    double noisy_band = bn.linear_limit.hi - bn.linear_limit.lo;
+    EXPECT_GT(noisy_band, 2.0 * tight_band);
+}
+
+TEST(Bootstrap, Deterministic)
+{
+    std::vector<stats::Point2> pts;
+    for (double x = 1.0; x <= 12.0; x += 1.0)
+        pts.push_back({x, 2.0 * x + 1.0});
+    auto a = bootstrapProjection(pts, 50.0, 100, 42);
+    auto b = bootstrapProjection(pts, 50.0, 100, 42);
+    EXPECT_DOUBLE_EQ(a.linear_limit.lo, b.linear_limit.lo);
+    EXPECT_DOUBLE_EQ(a.log_limit.hi, b.log_limit.hi);
+}
+
+TEST(Bootstrap, RejectsDegenerateInput)
+{
+    EXPECT_EXIT(bootstrapProjection({{1.0, 1.0}}, 10.0),
+                ::testing::ExitedWithCode(1), "two points");
+    std::vector<stats::Point2> pts = {{1.0, 1.0}, {2.0, 2.0}};
+    EXPECT_EXIT(bootstrapProjection(pts, 10.0, 5),
+                ::testing::ExitedWithCode(1), "resamples");
+}
+
+TEST(Domains, TableVParameters)
+{
+    const auto &table = domainTable();
+    ASSERT_EQ(table.size(), 4u);
+    const auto &video = domainParams(Domain::VideoDecoding);
+    EXPECT_EQ(video.platform, "ASIC");
+    EXPECT_DOUBLE_EQ(video.min_die_mm2, 1.68);
+    EXPECT_DOUBLE_EQ(video.max_die_mm2, 16.0);
+    EXPECT_DOUBLE_EQ(video.tdp_w, 7.0);
+    EXPECT_DOUBLE_EQ(video.freq_mhz, 400.0);
+
+    const auto &gpu = domainParams(Domain::GpuGraphics);
+    EXPECT_DOUBLE_EQ(gpu.max_die_mm2, 815.0);
+    EXPECT_DOUBLE_EQ(gpu.tdp_w, 345.0);
+
+    const auto &fpga = domainParams(Domain::FpgaCnn);
+    EXPECT_DOUBLE_EQ(fpga.tdp_w, 150.0);
+
+    const auto &btc = domainParams(Domain::BitcoinMining);
+    EXPECT_DOUBLE_EQ(btc.min_die_mm2, 11.1);
+    EXPECT_DOUBLE_EQ(btc.freq_mhz, 1400.0);
+}
+
+/** Every domain/metric combination must assemble and project. */
+class AllDomains : public ::testing::TestWithParam<
+                       std::tuple<Domain, bool>>
+{
+};
+
+TEST_P(AllDomains, AssemblesAndProjects)
+{
+    auto [domain, eff] = GetParam();
+    DomainStudy study = projectDomain(domain, eff);
+    EXPECT_GE(study.points.size(), 9u);
+    EXPECT_GE(study.projection.frontier.size(), 2u);
+    // The wall lies beyond every observed chip's potential.
+    for (const auto &p : study.points)
+        EXPECT_GT(study.projection.phy_limit, p.x);
+    EXPECT_GT(study.projection.linear_limit, 0.0);
+    EXPECT_GT(study.projection.log_limit, 0.0);
+    EXPECT_GE(study.projection.linear_headroom, 1.0);
+    EXPECT_GE(study.projection.log_headroom, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig15And16, AllDomains,
+    ::testing::Combine(::testing::Values(Domain::VideoDecoding,
+                                         Domain::GpuGraphics,
+                                         Domain::FpgaCnn,
+                                         Domain::BitcoinMining),
+                       ::testing::Bool()));
+
+TEST(Domains, PerformanceWallUsesLargestDie)
+{
+    // A larger die can only raise the throughput wall, so the
+    // performance projection's physical limit must exceed what the
+    // efficiency (smallest-die) spec would reach in throughput terms.
+    DomainStudy perf = projectDomain(Domain::FpgaCnn, false);
+    DomainStudy eff = projectDomain(Domain::FpgaCnn, true);
+    EXPECT_GT(perf.projection.phy_limit, 1.0);
+    EXPECT_GT(eff.projection.phy_limit, 1.0);
+}
+
+TEST(Domains, BitcoinHeadroomMatchesPaperBand)
+{
+    // Paper: "we project further improvements of 2-20x ... in
+    // performance" for Bitcoin ASICs.
+    DomainStudy perf = projectDomain(Domain::BitcoinMining, false);
+    EXPECT_GT(perf.projection.linear_headroom, 2.0);
+    EXPECT_LT(perf.projection.linear_headroom, 40.0);
+    EXPECT_LT(perf.projection.log_headroom,
+              perf.projection.linear_headroom);
+}
+
+TEST(Domains, EfficiencyHeadroomSmallerThanPerformance)
+{
+    // Section VII: "while performance has a promising trajectory for
+    // most domains, energy efficiency is not projected to improve at
+    // the same rate." The paper pairs the models with the spaces they
+    // fit — "generally, the linear model fits the performance spaces,
+    // and the logarithmic model fits the energy efficiency spaces" —
+    // so the representative wall is linear for performance and log for
+    // efficiency.
+    for (Domain d : {Domain::VideoDecoding, Domain::GpuGraphics,
+                     Domain::BitcoinMining}) {
+        DomainStudy perf = projectDomain(d, false);
+        DomainStudy eff = projectDomain(d, true);
+        EXPECT_LT(eff.projection.log_headroom,
+                  perf.projection.linear_headroom)
+            << domainParams(d).name;
+    }
+}
+
+} // namespace
+} // namespace accelwall::projection

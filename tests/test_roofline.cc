@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the roofline module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "roofline/roofline.hh"
+
+namespace accelwall::roofline
+{
+namespace
+{
+
+Roofline
+v1()
+{
+    return machineRoofline(tpu::TpuConfig::tpuV1());
+}
+
+TEST(Roofline, MachineParameters)
+{
+    Roofline roof = v1();
+    EXPECT_NEAR(roof.peak_tops, 91.75, 0.5);
+    EXPECT_DOUBLE_EQ(roof.bandwidth_gbs, 30.0);
+    // Ridge: ~92 TOPS needs ~3058 op/B at 30 GB/s.
+    EXPECT_NEAR(roof.ridge_intensity, 3058.0, 50.0);
+}
+
+TEST(Roofline, AttainableShape)
+{
+    Roofline roof = v1();
+    // Memory-bound slope: attainable = I * BW.
+    EXPECT_NEAR(roof.attainable(100.0), 100.0 * 30.0 / 1e3, 1e-9);
+    // Past the ridge the roof is flat.
+    EXPECT_NEAR(roof.attainable(1e6), roof.peak_tops, 1e-9);
+    EXPECT_NEAR(roof.attainable(roof.ridge_intensity), roof.peak_tops,
+                1e-6);
+}
+
+TEST(Roofline, RejectsBadIntensity)
+{
+    EXPECT_EXIT(v1().attainable(0.0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(Roofline, FcLayersMemoryBoundConvHighReuseNot)
+{
+    Roofline roof = v1();
+    // FC: each weight used once -> intensity = 2 ops / byte.
+    const nn::Layer &fc7 = nn::alexnetLayers()[9];
+    Placement fc = placeLayer(roof, fc7, 8);
+    EXPECT_EQ(fc.regime, Regime::MemoryBound);
+    EXPECT_NEAR(fc.intensity, 2.0, 0.1);
+    EXPECT_LT(fc.peak_fraction, 0.01);
+
+    // VGG conv2_2: each weight reused 112x112 times.
+    const nn::Layer &conv = nn::vgg16Layers()[4];
+    Placement cv = placeLayer(roof, conv, 8);
+    EXPECT_EQ(cv.regime, Regime::ComputeBound);
+    EXPECT_NEAR(cv.peak_fraction, 1.0, 1e-9);
+}
+
+TEST(Roofline, VggMoreIntenseThanAlexNet)
+{
+    // VGG has ~20x the ops on ~2.3x the weights: higher aggregate
+    // intensity, hence the better TPU utilization seen in Table I's
+    // bench.
+    Roofline roof = v1();
+    Placement alex =
+        placeModel(roof, "AlexNet", nn::alexnetLayers(), 8);
+    Placement vgg = placeModel(roof, "VGG-16", nn::vgg16Layers(), 8);
+    EXPECT_GT(vgg.intensity, 5.0 * alex.intensity);
+    EXPECT_GT(vgg.attainable_tops, alex.attainable_tops);
+}
+
+TEST(Roofline, WiderOperandsLowerIntensity)
+{
+    Roofline roof = v1();
+    Placement narrow =
+        placeModel(roof, "a8", nn::alexnetLayers(), 8);
+    Placement wide =
+        placeModel(roof, "a32", nn::alexnetLayers(), 32);
+    EXPECT_NEAR(narrow.intensity / wide.intensity, 4.0, 1e-6);
+}
+
+} // namespace
+} // namespace accelwall::roofline

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the specialization-stack attribution (Figure 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "potential/model.hh"
+#include "stack/stack.hh"
+#include "studies/bitcoin.hh"
+
+namespace accelwall::stack
+{
+namespace
+{
+
+using csr::ChipGain;
+using csr::Metric;
+using potential::ChipSpec;
+using potential::kUncappedTdp;
+using potential::PotentialModel;
+
+ChipGain
+chip(double node, double area, double freq, double gain)
+{
+    return ChipGain{"c", ChipSpec{node, area, freq, kUncappedTdp},
+                    gain, 2015.0};
+}
+
+TEST(Stack, LayerNames)
+{
+    EXPECT_STREQ(layerName(Layer::Algorithm), "algorithm");
+    EXPECT_STREQ(layerName(Layer::Physical), "physical");
+}
+
+TEST(Stack, PurePhysicalSeries)
+{
+    // Gains exactly track potential: everything lands on Physical.
+    PotentialModel model;
+    ChipSpec a{45.0, 100.0, 1.0, kUncappedTdp};
+    ChipSpec b{16.0, 100.0, 1.0, kUncappedTdp};
+    double ratio = model.throughput(b) / model.throughput(a);
+
+    std::vector<Step> steps = {
+        {ChipGain{"a", a, 10.0, 2010}, {}},
+        {ChipGain{"b", b, 10.0 * ratio, 2016}, {}},
+    };
+    Breakdown bd = attributeStack(steps, model, Metric::Throughput);
+    EXPECT_NEAR(bd.share[Layer::Physical], 1.0, 1e-9);
+    EXPECT_NEAR(bd.share[Layer::Engineering], 0.0, 1e-9);
+}
+
+TEST(Stack, AnnotatedCsrSplitsAcrossLayers)
+{
+    // Same physical chip, 4x the gain, annotated as algorithm +
+    // framework: CSR splits equally between the two.
+    PotentialModel model;
+    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    std::vector<Step> steps = {
+        {ChipGain{"v1", spec, 10.0, 2014}, {}},
+        {ChipGain{"v2", spec, 40.0, 2016},
+         {Layer::Algorithm, Layer::Framework}},
+    };
+    Breakdown bd = attributeStack(steps, model, Metric::Throughput);
+    EXPECT_NEAR(bd.share[Layer::Algorithm], 0.5, 1e-9);
+    EXPECT_NEAR(bd.share[Layer::Framework], 0.5, 1e-9);
+    EXPECT_NEAR(bd.share[Layer::Physical], 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(bd.total_gain, 4.0);
+}
+
+TEST(Stack, UnannotatedCsrGoesToEngineering)
+{
+    PotentialModel model;
+    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    std::vector<Step> steps = {
+        {ChipGain{"v1", spec, 10.0, 2014}, {}},
+        {ChipGain{"v2", spec, 20.0, 2016}, {}},
+    };
+    Breakdown bd = attributeStack(steps, model, Metric::Throughput);
+    EXPECT_NEAR(bd.share[Layer::Engineering], 1.0, 1e-9);
+}
+
+TEST(Stack, SharesSumToOne)
+{
+    PotentialModel model;
+    std::vector<Step> steps = {
+        {chip(90.0, 190.0, 2.4, 1.0), {}},
+        {chip(40.0, 334.0, 0.85, 250.0), {Layer::Platform}},
+        {chip(45.0, 220.0, 0.1, 700.0), {Layer::Platform}},
+        {chip(130.0, 40.0, 0.1, 5000.0),
+         {Layer::Platform, Layer::Engineering}},
+        {chip(16.0, 18.0, 0.7, 2500000.0), {Layer::Engineering}},
+    };
+    Breakdown bd = attributeStack(steps, model, Metric::Throughput);
+    double sum = 0.0;
+    for (const auto &[layer, share] : bd.share)
+        sum += share;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Stack, BitcoinPlatformDominatesSpecializationShare)
+{
+    // Annotate the full mining series: platform changes at the
+    // CPU->GPU, GPU->FPGA, FPGA->ASIC boundaries; everything else is
+    // engineering. The platform layer must carry most of the
+    // non-physical gain (Section IV-E's "non-recurring boost").
+    PotentialModel model;
+    auto chips = studies::miningChipGains(studies::miningChips(),
+                                          false);
+    const auto &raw = studies::miningChips();
+
+    std::vector<Step> steps;
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        Step step;
+        step.chip = chips[i];
+        if (i > 0 && raw[i].platform != raw[i - 1].platform)
+            step.changed.push_back(Layer::Platform);
+        steps.push_back(std::move(step));
+    }
+    Breakdown bd =
+        attributeStack(steps, model, Metric::AreaThroughput);
+    // Across the platform jumps, the platform layer carries the bulk
+    // of the 500,000x (the paper's non-recurring boost); physics
+    // explains the rest; residual engineering is comparatively small.
+    EXPECT_GT(bd.share[Layer::Platform], 0.5);
+    EXPECT_GT(bd.share[Layer::Physical], 0.05);
+    EXPECT_LT(bd.share[Layer::Physical], 0.5);
+    EXPECT_GT(bd.share[Layer::Platform],
+              3.0 * std::abs(bd.share[Layer::Engineering]));
+}
+
+TEST(Stack, RejectsBadInput)
+{
+    PotentialModel model;
+    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    std::vector<Step> one = {{ChipGain{"v1", spec, 10.0, 2014}, {}}};
+    EXPECT_EXIT(attributeStack(one, model, Metric::Throughput),
+                ::testing::ExitedWithCode(1), "two steps");
+
+    std::vector<Step> bad = {
+        {ChipGain{"v1", spec, 10.0, 2014}, {}},
+        {ChipGain{"v2", spec, 20.0, 2016}, {Layer::Physical}},
+    };
+    EXPECT_EXIT(attributeStack(bad, model, Metric::Throughput),
+                ::testing::ExitedWithCode(1), "derived");
+}
+
+} // namespace
+} // namespace accelwall::stack

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the stats module: descriptive stats, curve fits, Pareto
+ * frontier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hh"
+#include "stats/fits.hh"
+#include "stats/pareto.hh"
+#include "util/rng.hh"
+
+namespace accelwall::stats
+{
+namespace
+{
+
+TEST(Descriptive, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Descriptive, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Descriptive, GeomeanRejectsNonPositive)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+TEST(Descriptive, Stddev)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.13809, 1e-4);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Descriptive, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Descriptive, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, 1.0, 2.0}), 3.0);
+}
+
+TEST(Descriptive, Mse)
+{
+    EXPECT_DOUBLE_EQ(meanSquaredError({1.0, 2.0}, {1.0, 4.0}), 2.0);
+}
+
+TEST(Fits, LinearExact)
+{
+    LinearFit fit = fitLinear({0.0, 1.0, 2.0}, {1.0, 3.0, 5.0});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit(10.0), 21.0, 1e-12);
+}
+
+TEST(Fits, LinearNoisy)
+{
+    Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        double x = rng.uniform(0.0, 10.0);
+        xs.push_back(x);
+        ys.push_back(3.0 * x - 2.0 + rng.normal(0.0, 0.1));
+    }
+    LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 0.02);
+    EXPECT_NEAR(fit.intercept, -2.0, 0.05);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Fits, LinearDegenerateDies)
+{
+    EXPECT_EXIT(fitLinear({1.0, 1.0}, {1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "degenerate");
+}
+
+TEST(Fits, PowerLawRecoversPaperAreaModel)
+{
+    // Sample the paper's Fig. 3b law and recover its parameters.
+    std::vector<double> d, tc;
+    for (double x = 0.01; x < 100.0; x *= 1.5) {
+        d.push_back(x);
+        tc.push_back(4.99e9 * std::pow(x, 0.877));
+    }
+    PowerLawFit fit = fitPowerLaw(d, tc);
+    EXPECT_NEAR(fit.exponent, 0.877, 1e-9);
+    EXPECT_NEAR(fit.coeff / 4.99e9, 1.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Fits, PowerLawRejectsNonPositive)
+{
+    EXPECT_EXIT(fitPowerLaw({1.0, -2.0}, {1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(Fits, LogExact)
+{
+    std::vector<double> xs, ys;
+    for (double x = 1.0; x < 1000.0; x *= 2.0) {
+        xs.push_back(x);
+        ys.push_back(4.0 * std::log(x) + 7.0);
+    }
+    LogFit fit = fitLog(xs, ys);
+    EXPECT_NEAR(fit.a, 4.0, 1e-9);
+    EXPECT_NEAR(fit.b, 7.0, 1e-9);
+    EXPECT_NEAR(fit(std::exp(1.0)), 11.0, 1e-9);
+}
+
+TEST(Fits, QuadraticExact)
+{
+    std::vector<double> xs = {-2.0, -1.0, 0.0, 1.0, 2.0};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.0 * x * x - 3.0 * x + 5.0);
+    QuadraticFit fit = fitQuadratic(xs, ys);
+    EXPECT_NEAR(fit.a, 2.0, 1e-9);
+    EXPECT_NEAR(fit.b, -3.0, 1e-9);
+    EXPECT_NEAR(fit.c, 5.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Fits, QuadraticWellConditionedForYearAbscissae)
+{
+    // Regression: raw calendar-year x values (~2e3) drove the normal
+    // equations past double precision before centring was added.
+    std::vector<double> xs, ys;
+    for (double year = 2011.0; year <= 2017.0; year += 0.5) {
+        xs.push_back(year);
+        ys.push_back(0.2 * (year - 2011.0) * (year - 2011.0) + 1.0);
+    }
+    QuadraticFit fit = fitQuadratic(xs, ys);
+    EXPECT_NEAR(fit(2017.0), 8.2, 1e-6);
+    EXPECT_NEAR(fit(2011.0), 1.0, 1e-6);
+    EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Pareto, Dominance)
+{
+    // Smaller x (cost) and larger y (gain) dominates.
+    EXPECT_TRUE(dominates({1.0, 5.0}, {2.0, 4.0}));
+    EXPECT_TRUE(dominates({1.0, 5.0}, {1.0, 4.0}));
+    EXPECT_FALSE(dominates({1.0, 5.0}, {1.0, 5.0}));
+    EXPECT_FALSE(dominates({2.0, 6.0}, {1.0, 5.0}));
+}
+
+TEST(Pareto, ExtractsFrontier)
+{
+    std::vector<Point2> pts = {
+        {1.0, 1.0}, {2.0, 3.0}, {2.0, 2.0}, {3.0, 2.5}, {4.0, 5.0},
+    };
+    auto front = paretoFrontier(pts);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_DOUBLE_EQ(front[0].x, 1.0);
+    EXPECT_DOUBLE_EQ(front[1].x, 2.0);
+    EXPECT_DOUBLE_EQ(front[1].y, 3.0);
+    EXPECT_DOUBLE_EQ(front[2].x, 4.0);
+    EXPECT_DOUBLE_EQ(front[2].y, 5.0);
+}
+
+TEST(Pareto, FrontierIsMonotone)
+{
+    Rng rng(11);
+    std::vector<Point2> pts;
+    for (int i = 0; i < 500; ++i)
+        pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    auto front = paretoFrontier(pts);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_GT(front[i].x, front[i - 1].x);
+        EXPECT_GT(front[i].y, front[i - 1].y);
+    }
+    // No frontier point may be dominated by any sample.
+    for (const auto &f : front) {
+        for (const auto &p : pts)
+            EXPECT_FALSE(dominates(p, f));
+    }
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+} // namespace
+} // namespace accelwall::stats

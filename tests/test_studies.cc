@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Tests for the four case studies (Section IV): dataset sanity and the
+ * paper's headline shapes — who wins, by roughly what factor, and how
+ * CSR behaves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "csr/arch_gains.hh"
+#include "csr/csr.hh"
+#include "potential/model.hh"
+#include "studies/bitcoin.hh"
+#include "studies/fpga.hh"
+#include "studies/gpu.hh"
+#include "studies/video.hh"
+
+namespace accelwall::studies
+{
+namespace
+{
+
+using csr::csrSeries;
+using csr::Metric;
+using potential::PotentialModel;
+
+double
+maxRelGain(const std::vector<csr::CsrPoint> &series)
+{
+    double best = 0.0;
+    for (const auto &pt : series)
+        best = std::max(best, pt.rel_gain);
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// Video decoder ASICs (Figure 4).
+// ---------------------------------------------------------------------
+
+TEST(Video, DatasetShape)
+{
+    const auto &chips = videoDecoderChips();
+    ASSERT_EQ(chips.size(), 12u);
+    EXPECT_EQ(chips.front().label, "ISSCC2006");
+    EXPECT_EQ(chips.back().label, "JSSC2017");
+    for (const auto &c : chips) {
+        EXPECT_GT(c.mpix_s, 0.0);
+        EXPECT_GT(c.power_mw, 0.0);
+        EXPECT_GT(c.kgates, 0.0);
+    }
+}
+
+TEST(Video, TransistorEstimateMethod)
+{
+    // 4 transistors per NAND gate + 6 per SRAM bit.
+    VideoChip chip;
+    chip.kgates = 100.0;
+    chip.sram_kb = 1.0;
+    EXPECT_DOUBLE_EQ(videoTransistors(chip),
+                     100e3 * 4.0 + 1024.0 * 8.0 * 6.0);
+}
+
+TEST(Video, TransistorSpreadMatchesPaper)
+{
+    // JSSC2017 has ~36x the transistors of ISSCC2006.
+    const auto &chips = videoDecoderChips();
+    double ratio = videoTransistors(chips.back()) /
+                   videoTransistors(chips.front());
+    EXPECT_GT(ratio, 25.0);
+    EXPECT_LT(ratio, 50.0);
+}
+
+TEST(Video, PerformanceImproves64x)
+{
+    PotentialModel m;
+    auto series = csrSeries(videoChipGains(false), m,
+                            Metric::Throughput);
+    EXPECT_NEAR(maxRelGain(series), 64.0, 6.0);
+}
+
+TEST(Video, EfficiencyImproves34x)
+{
+    PotentialModel m;
+    auto series = csrSeries(videoChipGains(true), m,
+                            Metric::EnergyEfficiency);
+    EXPECT_NEAR(maxRelGain(series), 34.0, 8.0);
+    // Figure 4c's CSR band: specialization return hovers near 1 and
+    // never exceeds ~1.5 in this mature domain.
+    for (const auto &pt : series) {
+        EXPECT_GT(pt.csr, 0.5) << pt.name;
+        EXPECT_LT(pt.csr, 1.6) << pt.name;
+    }
+}
+
+TEST(Video, BestPerformerCsrBelowOne)
+{
+    // "for the best performing ASICs, chip specialization did not
+    // improve, and even got worse since CSR was less than one."
+    PotentialModel m;
+    auto series = csrSeries(videoChipGains(false), m,
+                            Metric::Throughput);
+    const auto &best = *std::max_element(
+        series.begin(), series.end(),
+        [](const auto &a, const auto &b) {
+            return a.rel_gain < b.rel_gain;
+        });
+    EXPECT_LT(best.csr, 1.0);
+    // CSR across the study never strays far above 1.5x.
+    for (const auto &pt : series)
+        EXPECT_LT(pt.csr, 1.8);
+}
+
+// ---------------------------------------------------------------------
+// GPU gaming (Figures 5-7).
+// ---------------------------------------------------------------------
+
+TEST(Gpu, DatasetShape)
+{
+    EXPECT_EQ(gpuArchs().size(), 10u);
+    EXPECT_GE(gpuChips().size(), 25u);
+    EXPECT_EQ(gameApps().size(), 24u);
+    EXPECT_EQ(headlineApps().size(), 5u);
+}
+
+TEST(Gpu, BenchmarksDeterministic)
+{
+    const auto &a = gpuBenchmarks();
+    const auto &b = gpuBenchmarks();
+    EXPECT_EQ(&a, &b); // memoized
+    ASSERT_FALSE(a.empty());
+}
+
+TEST(Gpu, EveryAppTestedOnManyGpus)
+{
+    // Paper: "Each of the presented applications was tested on over 20
+    // different GPUs" — our eras give each headline app a broad set.
+    for (const auto &app : headlineApps()) {
+        auto series = gpuAppSeries(app, false);
+        EXPECT_GE(series.size(), 10u) << app;
+    }
+}
+
+TEST(Gpu, HeadlineAppGainsInPaperBand)
+{
+    // Frame-rate gains grow several-fold over each app's GPU span while
+    // CSR stays within ~0.9-1.6 (Fig. 5's annotations: gains 4.2-5.9x,
+    // CSR 0.95-1.47x). Our synthetic potential axis is stretched vs the
+    // paper's, so we assert the CSR band tightly and the gain loosely.
+    PotentialModel m;
+    for (const auto &app : headlineApps()) {
+        auto series = csrSeries(gpuAppSeries(app, false), m,
+                                Metric::Throughput);
+        EXPECT_GT(maxRelGain(series), 3.0) << app;
+        for (const auto &pt : series) {
+            EXPECT_GT(pt.csr, 0.7) << app << " " << pt.name;
+            EXPECT_LT(pt.csr, 1.8) << app << " " << pt.name;
+        }
+    }
+}
+
+TEST(Gpu, FirstArchOnNewNodeUnderperforms)
+{
+    // Fermi was the first 40nm architecture and regressed vs the
+    // mature 55nm Tesla 2; Pascal (first 16nm) sits below Maxwell 2.
+    EXPECT_LT(archQuality("Fermi"), archQuality("Tesla 2"));
+    EXPECT_LT(archQuality("Pascal"), archQuality("Maxwell 2"));
+    // Within a node, quality matures: Fermi 2 > Fermi.
+    EXPECT_GT(archQuality("Fermi 2"), archQuality("Fermi"));
+}
+
+TEST(Gpu, ArchSolverRecoversQualityRatios)
+{
+    // End-to-end Figures 6-7 machinery: relative arch gains over shared
+    // apps, divided by relative physical potential, must recover the
+    // embedded quality factors within noise.
+    csr::ArchGainSolver solver(5);
+    for (const auto &r : gpuBenchmarks())
+        solver.addObservation(r.arch, r.app, r.fps);
+    solver.solve();
+
+    // Physical potential per arch: geomean over its chips.
+    PotentialModel m;
+    std::map<std::string, std::vector<double>> pots;
+    for (const auto &gpu : gpuChips())
+        pots[gpu.arch].push_back(m.throughput(gpuSpec(gpu)));
+
+    auto geo = [](const std::vector<double> &v) {
+        double s = 0.0;
+        for (double x : v)
+            s += std::log(x);
+        return std::exp(s / static_cast<double>(v.size()));
+    };
+
+    ASSERT_TRUE(solver.hasGain("Maxwell 2", "Tesla"));
+    double gain = solver.gain("Maxwell 2", "Tesla");
+    double phy = geo(pots["Maxwell 2"]) / geo(pots["Tesla"]);
+    double csr = gain / phy;
+    double truth = archQuality("Maxwell 2") / archQuality("Tesla");
+    EXPECT_NEAR(csr, truth, 0.25 * truth);
+}
+
+TEST(Gpu, TransitivityEngages)
+{
+    // Tesla-era and Pascal-era games do not overlap directly: fewer
+    // than 5 shared apps forces the Eq. 4 path.
+    csr::ArchGainSolver solver(5);
+    for (const auto &r : gpuBenchmarks())
+        solver.addObservation(r.arch, r.app, r.fps);
+    EXPECT_LT(solver.sharedApps("Tesla", "Pascal"), 5);
+    solver.solve();
+    EXPECT_TRUE(solver.hasGain("Tesla", "Pascal"));
+    EXPECT_FALSE(solver.isDirect("Tesla", "Pascal"));
+}
+
+// ---------------------------------------------------------------------
+// FPGA CNNs (Figure 8).
+// ---------------------------------------------------------------------
+
+TEST(Fpga, DatasetShape)
+{
+    EXPECT_EQ(fpgaDesignsFor("AlexNet").size(), 11u);
+    EXPECT_EQ(fpgaDesignsFor("VGG-16").size(), 9u);
+    for (const auto &d : fpgaCnnDesigns()) {
+        EXPECT_TRUE(d.node_nm == 28.0 || d.node_nm == 20.0) << d.label;
+        EXPECT_GT(d.gops, 0.0);
+        EXPECT_LE(d.lut_pct, 100.0);
+        EXPECT_LE(d.dsp_pct, 100.0);
+        EXPECT_LE(d.bram_pct, 100.0);
+    }
+    EXPECT_EXIT(fpgaDesignsFor("LeNet"), ::testing::ExitedWithCode(1),
+                "no designs");
+}
+
+TEST(Fpga, AlexNetGains)
+{
+    PotentialModel m;
+    auto perf = csrSeries(
+        fpgaChipGains(fpgaDesignsFor("AlexNet"), false), m,
+        Metric::Throughput);
+    EXPECT_NEAR(maxRelGain(perf), 24.0, 4.0);
+
+    auto eff = csrSeries(fpgaChipGains(fpgaDesignsFor("AlexNet"), true),
+                         m, Metric::EnergyEfficiency);
+    EXPECT_NEAR(maxRelGain(eff), 14.0, 4.0);
+}
+
+TEST(Fpga, VggGainsSmallerThanAlexNet)
+{
+    // The 3x larger model stresses resources: VGG-16 improved ~9x
+    // (perf) and ~7x (efficiency), both well below AlexNet.
+    PotentialModel m;
+    auto perf = csrSeries(fpgaChipGains(fpgaDesignsFor("VGG-16"), false),
+                          m, Metric::Throughput);
+    EXPECT_NEAR(maxRelGain(perf), 9.0, 2.0);
+    auto eff = csrSeries(fpgaChipGains(fpgaDesignsFor("VGG-16"), true),
+                         m, Metric::EnergyEfficiency);
+    EXPECT_NEAR(maxRelGain(eff), 7.0, 2.0);
+}
+
+TEST(Fpga, CsrImprovesInEmergingDomain)
+{
+    // Unlike the mature domains, CNN CSR improved by up to ~6x.
+    PotentialModel m;
+    auto series = csrSeries(
+        fpgaChipGains(fpgaDesignsFor("AlexNet"), false), m,
+        Metric::Throughput);
+    double best_csr = 0.0;
+    for (const auto &pt : series)
+        best_csr = std::max(best_csr, pt.csr);
+    EXPECT_GT(best_csr, 3.0);
+    EXPECT_LT(best_csr, 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Bitcoin mining (Figures 1 and 9).
+// ---------------------------------------------------------------------
+
+TEST(Bitcoin, DatasetShape)
+{
+    const auto &chips = miningChips();
+    ASSERT_GE(chips.size(), 20u);
+    std::set<chipdb::Platform> platforms;
+    for (const auto &c : chips)
+        platforms.insert(c.platform);
+    EXPECT_EQ(platforms.size(), 4u); // CPU, GPU, FPGA, ASIC
+    EXPECT_EQ(miningAsics().size(), 12u);
+    // Dates span the Figure 1 axis (12-2012 .. 06-2016) for ASICs.
+    EXPECT_NEAR(miningAsics().front().year, 2012.9, 0.2);
+    EXPECT_NEAR(miningAsics().back().year, 2016.5, 0.2);
+}
+
+TEST(Bitcoin, Figure1Anchors)
+{
+    // ASIC per-area performance ~510x; physical potential ~307x; CSR
+    // flat around ~1.7x.
+    PotentialModel m;
+    auto series = csrSeries(miningChipGains(miningAsics(), false), m,
+                            Metric::AreaThroughput);
+    const auto &last = series.back();
+    EXPECT_NEAR(last.rel_gain, 510.0, 120.0);
+    EXPECT_NEAR(last.rel_phy, 307.0, 90.0);
+    EXPECT_NEAR(last.csr, 1.66, 0.5);
+}
+
+TEST(Bitcoin, AsicsBeatCpusBySixOrders)
+{
+    // Perf/area: best ASIC vs the CPU baseline ~600,000x.
+    PotentialModel m;
+    auto series = csrSeries(miningChipGains(miningChips(), false), m,
+                            Metric::AreaThroughput);
+    double best = maxRelGain(series);
+    EXPECT_GT(best, 2e5);
+    EXPECT_LT(best, 2e6);
+}
+
+TEST(Bitcoin, PlatformTransitionBoostsCsr)
+{
+    // "most CSR gains were obtained by the transition to a new
+    // platform": the first ASIC's CSR dwarfs every pre-ASIC CSR.
+    PotentialModel m;
+    auto chips = miningChipGains(miningChips(), false);
+    auto series = csrSeries(chips, m, Metric::AreaThroughput);
+    double first_asic_csr = 0.0;
+    double best_pre_asic = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        bool is_asic = miningChips()[i].platform ==
+                       chipdb::Platform::ASIC;
+        if (is_asic && first_asic_csr == 0.0)
+            first_asic_csr = series[i].csr;
+        if (!is_asic)
+            best_pre_asic = std::max(best_pre_asic, series[i].csr);
+    }
+    EXPECT_GT(first_asic_csr, 20.0 * best_pre_asic);
+}
+
+TEST(Bitcoin, EfficiencyCsrDipsAtNodeJump)
+{
+    // Fig. 9b regions: CSR improves within the early (130/110nm) ASICs,
+    // dips across the abrupt 110nm -> 28nm transition, then improves
+    // again in the modern (28/16nm) region.
+    PotentialModel m;
+    auto asics = miningAsics();
+    auto series = csrSeries(miningChipGains(asics, true), m,
+                            Metric::EnergyEfficiency);
+
+    double best_early = 0.0, first_modern = 0.0, best_modern = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (asics[i].node_nm >= 110.0) {
+            best_early = std::max(best_early, series[i].csr);
+        } else if (asics[i].node_nm <= 28.0) {
+            if (first_modern == 0.0)
+                first_modern = series[i].csr;
+            best_modern = std::max(best_modern, series[i].csr);
+        }
+    }
+    EXPECT_LT(first_modern, best_early);   // the dip
+    EXPECT_GT(best_modern, first_modern);  // region-2 recovery
+}
+
+} // namespace
+} // namespace accelwall::studies

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the TPU systolic-array model (Section V's Figure 10 /
+ * Table I case study): peak throughput, layer behavior, the three
+ * specialization concepts, and the ~80x CPU comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hh"
+#include "tpu/tpu_model.hh"
+
+namespace accelwall::tpu
+{
+namespace
+{
+
+TEST(Tpu, PeakTopsMatchesTpuV1)
+{
+    // 256x256 MACs at 700 MHz: 92 TOPS (the TPU v1 headline).
+    TpuModel tpu(TpuConfig::tpuV1());
+    EXPECT_NEAR(tpu.peakTops(), 91.75, 0.5);
+}
+
+TEST(Tpu, HighReuseConvLayersComputeBound)
+{
+    // Convolutions reuse each weight across the feature map. Layers
+    // with large maps (high reuse) are compute bound; the late,
+    // weight-heavy small-map layers fall off the roofline into the
+    // bandwidth-bound regime — just like the TPU paper's own roofline.
+    TpuModel tpu(TpuConfig::tpuV1());
+    bool saw_memory_bound_conv = false;
+    for (const auto &layer : nn::vgg16Layers()) {
+        if (layer.kind != nn::LayerKind::Conv)
+            continue;
+        LayerResult r = tpu.runLayer(layer);
+        nn::LayerCost c = nn::layerCost(layer);
+        double reuse = static_cast<double>(c.out_w) * c.out_h;
+        if (reuse >= 3000.0) {
+            EXPECT_FALSE(r.memory_bound) << layer.name;
+        }
+        saw_memory_bound_conv |= r.memory_bound;
+        EXPECT_GT(r.utilization, 0.0);
+        EXPECT_LE(r.utilization, 1.0);
+    }
+    EXPECT_TRUE(saw_memory_bound_conv);
+}
+
+TEST(Tpu, FcLayersMemoryBound)
+{
+    // FC layers touch each weight once: the DDR3 weight FIFO limits
+    // them (the TPU paper's own observation).
+    TpuModel tpu(TpuConfig::tpuV1());
+    for (const auto &layer : nn::alexnetLayers()) {
+        if (layer.kind != nn::LayerKind::FullyConnected)
+            continue;
+        LayerResult r = tpu.runLayer(layer);
+        EXPECT_TRUE(r.memory_bound) << layer.name;
+    }
+}
+
+TEST(Tpu, SmallerArrayIsSlower)
+{
+    TpuConfig small = TpuConfig::tpuV1();
+    small.array_dim = 64;
+    TpuModel big(TpuConfig::tpuV1()), little(small);
+    ModelResult rb = big.runModel(nn::vgg16Layers());
+    ModelResult rl = little.runModel(nn::vgg16Layers());
+    EXPECT_LT(rb.time_ms, rl.time_ms);
+}
+
+TEST(Tpu, SimplificationConcept)
+{
+    // Widening the 8-bit datapath to 32 bits costs quadratic MAC
+    // energy and 4x the weight traffic: efficiency collapses.
+    TpuConfig wide = TpuConfig::tpuV1();
+    wide.operand_bits = 32;
+    TpuModel narrow(TpuConfig::tpuV1()), fat(wide);
+    ModelResult rn = narrow.runModel(nn::alexnetLayers());
+    ModelResult rf = fat.runModel(nn::alexnetLayers());
+    EXPECT_GT(rn.tops_per_w, 3.0 * rf.tops_per_w);
+}
+
+TEST(Tpu, HeterogeneityConcept)
+{
+    // Without the on-chip activation unit every layer round-trips
+    // activations over host I/O: slower and less efficient.
+    TpuConfig no_act = TpuConfig::tpuV1();
+    no_act.activation_unit = false;
+    TpuModel with(TpuConfig::tpuV1()), without(no_act);
+    ModelResult rw = with.runModel(nn::alexnetLayers());
+    ModelResult ro = without.runModel(nn::alexnetLayers());
+    EXPECT_LT(rw.time_ms, ro.time_ms);
+    EXPECT_GT(rw.tops_per_w, ro.tops_per_w);
+}
+
+TEST(Tpu, EightyTimesCpuEfficiency)
+{
+    // Section V: "They demonstrated how TPUs improve the
+    // energy-efficiency of deep neural network workloads by 80x
+    // compared to CPUs."
+    TpuModel tpu(TpuConfig::tpuV1());
+    ModelResult t = tpu.runModel(nn::alexnetLayers());
+    ModelResult c = runCpuBaseline(nn::alexnetLayers());
+    double ratio = t.tops_per_w / c.tops_per_w;
+    EXPECT_GT(ratio, 40.0);
+    EXPECT_LT(ratio, 160.0);
+}
+
+TEST(Tpu, CpuBaselineThroughputSane)
+{
+    ModelResult c = runCpuBaseline(nn::alexnetLayers());
+    // 2.6 GHz x 16 MAC/cycle = 41.6 GMAC/s = 0.083 TOPS.
+    EXPECT_NEAR(c.tops, 0.0832, 0.001);
+}
+
+TEST(Tpu, RejectsBadConfig)
+{
+    TpuConfig bad = TpuConfig::tpuV1();
+    bad.array_dim = 0;
+    EXPECT_EXIT(TpuModel{bad}, ::testing::ExitedWithCode(1),
+                "dimension");
+    bad = TpuConfig::tpuV1();
+    bad.operand_bits = 64;
+    EXPECT_EXIT(TpuModel{bad}, ::testing::ExitedWithCode(1), "width");
+}
+
+} // namespace
+} // namespace accelwall::tpu

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the util module: formatting, tables, CSV, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.hh"
+#include "util/format.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace accelwall
+{
+namespace
+{
+
+TEST(Format, FixedDigits)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtFixed(3.14159, 0), "3");
+    EXPECT_EQ(fmtFixed(-1.5, 1), "-1.5");
+}
+
+TEST(Format, SiSuffixes)
+{
+    EXPECT_EQ(fmtSi(950.0), "950.0");
+    EXPECT_EQ(fmtSi(16100.0), "16.1K");
+    EXPECT_EQ(fmtSi(3.4e6), "3.4M");
+    EXPECT_EQ(fmtSi(2.5e9), "2.5G");
+    EXPECT_EQ(fmtSi(1.2e12), "1.2T");
+}
+
+TEST(Format, SiNegative)
+{
+    EXPECT_EQ(fmtSi(-16100.0), "-16.1K");
+}
+
+TEST(Format, Gain)
+{
+    EXPECT_EQ(fmtGain(307.42), "307.4x");
+    EXPECT_EQ(fmtGain(1.0, 2), "1.00x");
+}
+
+TEST(Format, Node)
+{
+    EXPECT_EQ(fmtNode(45.0), "45nm");
+    EXPECT_EQ(fmtNode(5.0), "5nm");
+    EXPECT_EQ(fmtNode(6.5), "6.5nm");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.42), "42.0%");
+    EXPECT_EQ(fmtPercent(1.0), "100.0%");
+}
+
+TEST(Format, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcde", 4), "abcde");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"Chip", "Gain"});
+    t.addRow({"ISSCC2006", "1.0x"});
+    t.addRow({"A", "64.0x"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("ISSCC2006  1.0x"), std::string::npos);
+    EXPECT_NE(s.find("A          64.0x"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(Table, RowArityMismatchDies)
+{
+    Table t({"a", "b"});
+    EXPECT_EXIT(t.addRow({"only-one"}), ::testing::ExitedWithCode(1),
+                "arity");
+}
+
+TEST(Csv, PlainRoundTrip)
+{
+    CsvWriter w({"x", "y"});
+    w.addRow({"1", "2"});
+    EXPECT_EQ(w.str(), "x,y\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecials)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(Csv, ParsePlain)
+{
+    auto rows = parseCsv("a,b,c\n1,2,3\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, ParseQuotedCommasAndQuotes)
+{
+    auto rows = parseCsv("x,\"a,b\",\"say \"\"hi\"\"\"\n");
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].size(), 3u);
+    EXPECT_EQ(rows[0][1], "a,b");
+    EXPECT_EQ(rows[0][2], "say \"hi\"");
+}
+
+TEST(Csv, ParseCrlfAndNoTrailingNewline)
+{
+    auto rows = parseCsv("a,b\r\n1,2");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(Csv, ParseEmptyFields)
+{
+    auto rows = parseCsv("a,,c\n,,\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][1], "");
+    EXPECT_EQ(rows[1].size(), 3u);
+}
+
+TEST(Csv, ParseRoundTripsWriter)
+{
+    CsvWriter w({"name", "note"});
+    w.addRow({"chip,1", "said \"fast\""});
+    auto rows = parseCsv(w.str());
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][0], "chip,1");
+    EXPECT_EQ(rows[1][1], "said \"fast\"");
+}
+
+TEST(Csv, ParseUnterminatedQuoteDies)
+{
+    EXPECT_EXIT(parseCsv("a,\"oops\n"), ::testing::ExitedWithCode(1),
+                "unterminated");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(9);
+    std::set<int> seen;
+    for (int i = 0; i < 500; ++i) {
+        int v = rng.uniformInt(0, 4);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 4);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, LognoiseCentredMultiplicatively)
+{
+    Rng rng(17);
+    double log_sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        log_sum += std::log(rng.lognoise(0.2));
+    EXPECT_NEAR(log_sum / n, 0.0, 0.01);
+}
+
+} // namespace
+} // namespace accelwall

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * accelwall_csr: compute a CSR trend for your own chip series.
+ *
+ * Usage:
+ *   accelwall_csr <chips.csv> [--metric throughput|efficiency|area]
+ *
+ * The CSV needs a header row with the columns
+ *   name,node_nm,area_mm2,freq_mhz,tdp_w,gain[,year]
+ * where `gain` is the reported metric value in any consistent unit
+ * (images/s, GH/s/mm2, frames/J, ...). Rows are normalized to the
+ * first row; the output is the Figure 1/4-style table of relative
+ * gain, CMOS-driven potential, and CSR.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "csr/csr.hh"
+#include "potential/model.hh"
+#include "util/csv.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+csr::Metric
+parseMetric(const std::string &name)
+{
+    if (name == "throughput")
+        return csr::Metric::Throughput;
+    if (name == "efficiency")
+        return csr::Metric::EnergyEfficiency;
+    if (name == "area")
+        return csr::Metric::AreaThroughput;
+    fatal("unknown metric '", name,
+          "' (expected throughput|efficiency|area)");
+}
+
+double
+toDouble(const std::string &field, const std::string &what)
+{
+    std::istringstream iss(field);
+    double value = 0.0;
+    if (!(iss >> value))
+        fatal("could not parse ", what, " from '", field, "'");
+    return value;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: accelwall_csr <chips.csv> "
+                     "[--metric throughput|efficiency|area]\n";
+        return 1;
+    }
+    std::string path = argv[1];
+    csr::Metric metric = csr::Metric::Throughput;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--metric" && i + 1 < argc)
+            metric = parseMetric(argv[++i]);
+        else
+            fatal("unknown argument '", arg, "'");
+    }
+
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto rows = parseCsv(buffer.str());
+    if (rows.size() < 3)
+        fatal("need a header plus at least two chip rows");
+
+    // Column lookup from the header row.
+    std::map<std::string, std::size_t> cols;
+    for (std::size_t c = 0; c < rows[0].size(); ++c)
+        cols[rows[0][c]] = c;
+    for (const char *required :
+         {"name", "node_nm", "area_mm2", "freq_mhz", "tdp_w", "gain"}) {
+        if (!cols.count(required))
+            fatal("missing required column '", required, "'");
+    }
+
+    std::vector<csr::ChipGain> chips;
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        if (row.size() < rows[0].size())
+            fatal("row ", r, " has ", row.size(), " fields, expected ",
+                  rows[0].size());
+        csr::ChipGain chip;
+        chip.name = row[cols["name"]];
+        chip.spec.node_nm = toDouble(row[cols["node_nm"]], "node_nm");
+        chip.spec.area_mm2 = toDouble(row[cols["area_mm2"]],
+                                      "area_mm2");
+        chip.spec.freq_ghz =
+            toDouble(row[cols["freq_mhz"]], "freq_mhz") / 1e3;
+        chip.spec.tdp_w = toDouble(row[cols["tdp_w"]], "tdp_w");
+        chip.gain = toDouble(row[cols["gain"]], "gain");
+        if (cols.count("year"))
+            chip.year = toDouble(row[cols["year"]], "year");
+        chips.push_back(std::move(chip));
+    }
+
+    potential::PotentialModel model;
+    auto series = csr::csrSeries(chips, model, metric);
+
+    std::cout << "CSR analysis (" << csr::metricName(metric)
+              << "), normalized to " << chips.front().name << ":\n";
+    Table t({"Chip", "Gain", "CMOS-driven", "CSR"});
+    for (const auto &pt : series) {
+        t.addRow({pt.name, fmtGain(pt.rel_gain, 2),
+                  fmtGain(pt.rel_phy, 2), fmtGain(pt.csr, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * accelwall-dot: export a kernel's DFG as Graphviz DOT.
+ *
+ * Usage: accelwall-dot KERNEL [output.dot]
+ * KERNEL is a Table IV abbreviation or an extension kernel (BTC,
+ * BTC-AB, IDCT, ENT, DFT). Without an output path the DOT text goes to
+ * stdout. Large graphs render as stage summaries.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "dfg/dot.hh"
+#include "kernels/kernels.hh"
+#include "util/logging.hh"
+
+using namespace accelwall;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: accelwall-dot KERNEL [output.dot]\n";
+        return 1;
+    }
+
+    dfg::Graph g = kernels::makeKernel(argv[1]);
+    if (argc >= 3) {
+        std::ofstream out(argv[2]);
+        if (!out)
+            fatal("cannot write '", argv[2], "'");
+        dfg::writeDot(out, g);
+        std::cout << "wrote " << argv[2] << " (" << g.numNodes()
+                  << " nodes)\n";
+    } else {
+        dfg::writeDot(std::cout, g);
+    }
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * accelwall_export: dump every figure's data series as CSV so an
+ * external plotting stack can regenerate the paper's plots.
+ *
+ * Usage: accelwall_export [output_dir]   (default: export/)
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cmos/scaling.hh"
+#include "csr/csr.hh"
+#include "potential/model.hh"
+#include "projection/domains.hh"
+#include "studies/bitcoin.hh"
+#include "studies/fpga.hh"
+#include "studies/gpu.hh"
+#include "studies/video.hh"
+#include "util/csv.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+void
+writeFile(const std::filesystem::path &dir, const std::string &name,
+          const CsvWriter &csv)
+{
+    std::filesystem::path path = dir / name;
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '", path.string(), "'");
+    csv.write(out);
+    std::cout << "wrote " << path.string() << '\n';
+}
+
+std::string
+num(double v)
+{
+    return fmtFixed(v, 6);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::filesystem::path dir = argc > 1 ? argv[1] : "export";
+    std::filesystem::create_directories(dir);
+
+    potential::PotentialModel model;
+
+    // Figure 1 / 9: Bitcoin series.
+    for (bool eff : {false, true}) {
+        CsvWriter csv({"chip", "platform", "year", "node_nm", "value",
+                       "rel_gain", "rel_phy", "csr"});
+        auto chips = studies::miningChips();
+        auto series = csr::csrSeries(
+            studies::miningChipGains(chips, eff), model,
+            eff ? csr::Metric::EnergyEfficiency
+                : csr::Metric::AreaThroughput);
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            const auto &c = chips[i];
+            double value =
+                eff ? c.ghs / c.watts : c.ghs / c.area_mm2;
+            csv.addRow({c.label, chipdb::platformName(c.platform),
+                        num(c.year), num(c.node_nm), num(value),
+                        num(series[i].rel_gain),
+                        num(series[i].rel_phy), num(series[i].csr)});
+        }
+        writeFile(dir, eff ? "fig09_bitcoin_eff.csv"
+                           : "fig01_fig09_bitcoin_perf.csv",
+                  csv);
+    }
+
+    // Figure 3a: scaling table.
+    {
+        const auto &scaling = cmos::ScalingTable::instance();
+        CsvWriter csv({"node_nm", "vdd", "gate_delay", "capacitance",
+                       "leakage", "dynamic_energy", "frequency_gain"});
+        for (double node : scaling.nodes()) {
+            const auto &p = scaling.at(node);
+            csv.addRow({num(node), num(p.vdd), num(p.gate_delay),
+                        num(p.capacitance), num(p.leakage),
+                        num(scaling.dynamicEnergy(node)),
+                        num(scaling.frequencyGain(node))});
+        }
+        writeFile(dir, "fig03a_scaling.csv", csv);
+    }
+
+    // Figure 4: video decoders.
+    for (bool eff : {false, true}) {
+        CsvWriter csv({"chip", "year", "node_nm", "value", "rel_gain",
+                       "rel_phy", "csr"});
+        auto chips = studies::videoDecoderChips();
+        auto series = csr::csrSeries(
+            studies::videoChipGains(eff), model,
+            eff ? csr::Metric::EnergyEfficiency
+                : csr::Metric::Throughput);
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            double value = eff ? chips[i].mpix_s /
+                                     (chips[i].power_mw / 1e3)
+                               : chips[i].mpix_s;
+            csv.addRow({chips[i].label, num(chips[i].year),
+                        num(chips[i].node_nm), num(value),
+                        num(series[i].rel_gain),
+                        num(series[i].rel_phy), num(series[i].csr)});
+        }
+        writeFile(dir,
+                  eff ? "fig04c_video_eff.csv" : "fig04a_video_perf.csv",
+                  csv);
+    }
+
+    // Figure 5: GPU benchmarks (all results, both metrics).
+    {
+        CsvWriter csv({"gpu", "arch", "app", "year", "fps",
+                       "frames_per_joule", "high_end"});
+        for (const auto &r : studies::gpuBenchmarks()) {
+            csv.addRow({r.gpu, r.arch, r.app, num(r.year), num(r.fps),
+                        num(r.frames_per_joule),
+                        r.high_end ? "1" : "0"});
+        }
+        writeFile(dir, "fig05_gpu_benchmarks.csv", csv);
+    }
+
+    // Figure 8: FPGA CNN designs.
+    {
+        CsvWriter csv({"design", "model", "year", "node_nm", "gops",
+                       "gops_per_w", "lut_pct", "dsp_pct", "bram_pct",
+                       "freq_mhz"});
+        for (const auto &d : studies::fpgaCnnDesigns()) {
+            csv.addRow({d.label, d.model, num(d.year), num(d.node_nm),
+                        num(d.gops), num(d.gops / d.tdp_w),
+                        num(d.lut_pct), num(d.dsp_pct),
+                        num(d.bram_pct), num(d.freq_mhz)});
+        }
+        writeFile(dir, "fig08_fpga_cnn.csv", csv);
+    }
+
+    // Figures 15/16: projection frontiers per domain.
+    for (bool eff : {false, true}) {
+        CsvWriter csv({"domain", "phy", "gain", "on_frontier"});
+        for (auto domain : {projection::Domain::VideoDecoding,
+                            projection::Domain::GpuGraphics,
+                            projection::Domain::FpgaCnn,
+                            projection::Domain::BitcoinMining}) {
+            auto study = projection::projectDomain(domain, eff);
+            for (const auto &p : study.points) {
+                bool on = false;
+                for (const auto &f : study.projection.frontier)
+                    on |= (f.x == p.x && f.y == p.y);
+                csv.addRow({study.params.name, num(p.x), num(p.y),
+                            on ? "1" : "0"});
+            }
+        }
+        writeFile(dir, eff ? "fig16_eff_projection.csv"
+                           : "fig15_perf_projection.csv",
+                  csv);
+    }
+
+    std::cout << "done.\n";
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * accelwall-sweep: run the Table III design-space sweep on a kernel
+ * from the command line.
+ *
+ * Usage:
+ *   accelwall-sweep KERNEL [--target perf|eff] [--area-um2 BUDGET]
+ *                   [--power-mw BUDGET] [--csv]
+ *
+ * Prints the optimum (optionally under an area/power budget), the
+ * Figure 14 gain attribution, and with --csv the full sweep as CSV on
+ * stdout.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "aladdin/attribution.hh"
+#include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
+#include "kernels/kernels.hh"
+#include "util/csv.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace accelwall;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: accelwall-sweep KERNEL [--target perf|eff]"
+                     " [--area-um2 N] [--power-mw N] [--csv]\n";
+        return 1;
+    }
+    std::string kernel = argv[1];
+    bool eff_target = false;
+    bool csv = false;
+    double area_budget = 0.0, power_budget = 0.0;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--target" && i + 1 < argc) {
+            std::string t = argv[++i];
+            if (t == "eff")
+                eff_target = true;
+            else if (t != "perf")
+                fatal("unknown target '", t, "'");
+        } else if (arg == "--area-um2" && i + 1 < argc) {
+            area_budget = std::atof(argv[++i]);
+        } else if (arg == "--power-mw" && i + 1 < argc) {
+            power_budget = std::atof(argv[++i]);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            fatal("unknown argument '", arg, "'");
+        }
+    }
+
+    aladdin::Simulator sim(kernels::makeKernel(kernel));
+    auto cfg = aladdin::SweepConfig::paper();
+    auto points = aladdin::runSweep(sim, cfg);
+
+    if (csv) {
+        CsvWriter out({"node_nm", "partition", "simplification",
+                       "runtime_ns", "energy_pj", "power_mw",
+                       "area_um2", "efficiency_opj",
+                       "lane_utilization"});
+        for (const auto &p : points) {
+            out.addRow({fmtFixed(p.dp.node_nm, 0),
+                        std::to_string(p.dp.partition),
+                        std::to_string(p.dp.simplification),
+                        fmtFixed(p.res.runtime_ns, 3),
+                        fmtFixed(p.res.energy_pj, 3),
+                        fmtFixed(p.res.power_mw, 4),
+                        fmtFixed(p.res.area_um2, 1),
+                        fmtFixed(p.res.efficiency_opj, 0),
+                        fmtFixed(p.res.lane_utilization, 4)});
+        }
+        out.write(std::cout);
+        return 0;
+    }
+
+    std::size_t best;
+    if (area_budget > 0.0) {
+        best = eff_target
+                   ? aladdin::bestEfficiencyUnderArea(points,
+                                                      area_budget)
+                   : aladdin::bestPerformanceUnderArea(points,
+                                                       area_budget);
+    } else if (power_budget > 0.0) {
+        best = aladdin::bestPerformanceUnderPower(points, power_budget);
+    } else {
+        best = eff_target ? aladdin::bestEfficiency(points)
+                          : aladdin::bestPerformance(points);
+    }
+    const auto &bp = points[best];
+
+    std::cout << "kernel " << kernel << ": "
+              << sim.graph().numNodes() << " nodes, "
+              << points.size() << " design points\n";
+    std::cout << "optimum: " << bp.dp.str() << "\n";
+    Table t({"Runtime [us]", "Energy [nJ]", "Power [mW]",
+             "Area [um2]", "OP/J", "Lane util"});
+    t.addRow({fmtFixed(bp.res.runtime_ns / 1e3, 3),
+              fmtFixed(bp.res.energy_pj / 1e3, 3),
+              fmtFixed(bp.res.power_mw, 2),
+              fmtSi(bp.res.area_um2, 1),
+              fmtSi(bp.res.efficiency_opj, 2),
+              fmtPercent(bp.res.lane_utilization)});
+    t.print(std::cout);
+
+    auto attribution = aladdin::attribute(
+        sim, cfg,
+        eff_target ? aladdin::Target::EnergyEfficiency
+                   : aladdin::Target::Performance);
+    std::cout << "\nattribution: gain "
+              << fmtGain(attribution.total_gain, 1) << " = CMOS "
+              << fmtPercent(attribution.frac_cmos) << " + het "
+              << fmtPercent(attribution.frac_heterogeneity)
+              << " + simp "
+              << fmtPercent(attribution.frac_simplification)
+              << " + part "
+              << fmtPercent(attribution.frac_partitioning)
+              << "; CSR " << fmtGain(attribution.csr, 2) << "\n";
+    return 0;
+}
