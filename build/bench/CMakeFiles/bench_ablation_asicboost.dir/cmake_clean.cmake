@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_asicboost.dir/bench_ablation_asicboost.cc.o"
+  "CMakeFiles/bench_ablation_asicboost.dir/bench_ablation_asicboost.cc.o.d"
+  "bench_ablation_asicboost"
+  "bench_ablation_asicboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_asicboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memory_comm.dir/bench_ablation_memory_comm.cc.o"
+  "CMakeFiles/bench_ablation_memory_comm.dir/bench_ablation_memory_comm.cc.o.d"
+  "bench_ablation_memory_comm"
+  "bench_ablation_memory_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memory_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mining_market.dir/bench_ablation_mining_market.cc.o"
+  "CMakeFiles/bench_ablation_mining_market.dir/bench_ablation_mining_market.cc.o.d"
+  "bench_ablation_mining_market"
+  "bench_ablation_mining_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mining_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_roofline.dir/bench_ablation_roofline.cc.o"
+  "CMakeFiles/bench_ablation_roofline.dir/bench_ablation_roofline.cc.o.d"
+  "bench_ablation_roofline"
+  "bench_ablation_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

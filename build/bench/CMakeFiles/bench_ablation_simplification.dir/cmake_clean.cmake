@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simplification.dir/bench_ablation_simplification.cc.o"
+  "CMakeFiles/bench_ablation_simplification.dir/bench_ablation_simplification.cc.o.d"
+  "bench_ablation_simplification"
+  "bench_ablation_simplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

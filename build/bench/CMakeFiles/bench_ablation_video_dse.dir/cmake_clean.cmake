@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_video_dse.dir/bench_ablation_video_dse.cc.o"
+  "CMakeFiles/bench_ablation_video_dse.dir/bench_ablation_video_dse.cc.o.d"
+  "bench_ablation_video_dse"
+  "bench_ablation_video_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_video_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_bitcoin_evolution.dir/bench_fig01_bitcoin_evolution.cc.o"
+  "CMakeFiles/bench_fig01_bitcoin_evolution.dir/bench_fig01_bitcoin_evolution.cc.o.d"
+  "bench_fig01_bitcoin_evolution"
+  "bench_fig01_bitcoin_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_bitcoin_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_specialization_stack.dir/bench_fig02_specialization_stack.cc.o"
+  "CMakeFiles/bench_fig02_specialization_stack.dir/bench_fig02_specialization_stack.cc.o.d"
+  "bench_fig02_specialization_stack"
+  "bench_fig02_specialization_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_specialization_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03b_transistor_density_fit.dir/bench_fig03b_transistor_density_fit.cc.o"
+  "CMakeFiles/bench_fig03b_transistor_density_fit.dir/bench_fig03b_transistor_density_fit.cc.o.d"
+  "bench_fig03b_transistor_density_fit"
+  "bench_fig03b_transistor_density_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03b_transistor_density_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

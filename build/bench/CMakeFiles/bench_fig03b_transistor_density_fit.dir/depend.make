@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03b_transistor_density_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03c_tdp_budget_fit.
+# This may be replaced when dependencies are built.

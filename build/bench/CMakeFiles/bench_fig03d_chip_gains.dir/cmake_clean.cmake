@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03d_chip_gains.dir/bench_fig03d_chip_gains.cc.o"
+  "CMakeFiles/bench_fig03d_chip_gains.dir/bench_fig03d_chip_gains.cc.o.d"
+  "bench_fig03d_chip_gains"
+  "bench_fig03d_chip_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03d_chip_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03d_chip_gains.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_video_decoders.dir/bench_fig04_video_decoders.cc.o"
+  "CMakeFiles/bench_fig04_video_decoders.dir/bench_fig04_video_decoders.cc.o.d"
+  "bench_fig04_video_decoders"
+  "bench_fig04_video_decoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_video_decoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_video_decoders.
+# This may be replaced when dependencies are built.

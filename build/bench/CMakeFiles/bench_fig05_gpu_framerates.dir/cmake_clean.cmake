@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_gpu_framerates.dir/bench_fig05_gpu_framerates.cc.o"
+  "CMakeFiles/bench_fig05_gpu_framerates.dir/bench_fig05_gpu_framerates.cc.o.d"
+  "bench_fig05_gpu_framerates"
+  "bench_fig05_gpu_framerates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_gpu_framerates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

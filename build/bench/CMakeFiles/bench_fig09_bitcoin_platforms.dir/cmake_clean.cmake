@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_bitcoin_platforms.dir/bench_fig09_bitcoin_platforms.cc.o"
+  "CMakeFiles/bench_fig09_bitcoin_platforms.dir/bench_fig09_bitcoin_platforms.cc.o.d"
+  "bench_fig09_bitcoin_platforms"
+  "bench_fig09_bitcoin_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_bitcoin_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

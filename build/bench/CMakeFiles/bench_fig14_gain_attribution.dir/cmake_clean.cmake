@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_gain_attribution.dir/bench_fig14_gain_attribution.cc.o"
+  "CMakeFiles/bench_fig14_gain_attribution.dir/bench_fig14_gain_attribution.cc.o.d"
+  "bench_fig14_gain_attribution"
+  "bench_fig14_gain_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gain_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

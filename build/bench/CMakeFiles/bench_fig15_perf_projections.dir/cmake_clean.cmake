@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_perf_projections.dir/bench_fig15_perf_projections.cc.o"
+  "CMakeFiles/bench_fig15_perf_projections.dir/bench_fig15_perf_projections.cc.o.d"
+  "bench_fig15_perf_projections"
+  "bench_fig15_perf_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_perf_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

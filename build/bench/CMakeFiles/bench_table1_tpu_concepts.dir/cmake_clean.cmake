@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tpu_concepts.dir/bench_table1_tpu_concepts.cc.o"
+  "CMakeFiles/bench_table1_tpu_concepts.dir/bench_table1_tpu_concepts.cc.o.d"
+  "bench_table1_tpu_concepts"
+  "bench_table1_tpu_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tpu_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_roadmap_audit.dir/asic_roadmap_audit.cpp.o"
+  "CMakeFiles/asic_roadmap_audit.dir/asic_roadmap_audit.cpp.o.d"
+  "asic_roadmap_audit"
+  "asic_roadmap_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_roadmap_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

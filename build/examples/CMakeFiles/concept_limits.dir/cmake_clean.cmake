@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concept_limits.dir/concept_limits.cpp.o"
+  "CMakeFiles/concept_limits.dir/concept_limits.cpp.o.d"
+  "concept_limits"
+  "concept_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concept_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_eras.dir/mining_eras.cpp.o"
+  "CMakeFiles/mining_eras.dir/mining_eras.cpp.o.d"
+  "mining_eras"
+  "mining_eras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_eras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

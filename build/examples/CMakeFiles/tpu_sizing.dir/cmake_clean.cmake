@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpu_sizing.dir/tpu_sizing.cpp.o"
+  "CMakeFiles/tpu_sizing.dir/tpu_sizing.cpp.o.d"
+  "tpu_sizing"
+  "tpu_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpu_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

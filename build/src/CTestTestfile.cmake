@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("cmos")
+subdirs("chipdb")
+subdirs("potential")
+subdirs("csr")
+subdirs("dfg")
+subdirs("concepts")
+subdirs("aladdin")
+subdirs("kernels")
+subdirs("studies")
+subdirs("projection")
+subdirs("plot")
+subdirs("roofline")
+subdirs("dfgopt")
+subdirs("economics")
+subdirs("stack")
+subdirs("crypto")
+subdirs("nn")
+subdirs("tpu")

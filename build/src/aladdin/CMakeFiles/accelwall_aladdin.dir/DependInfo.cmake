@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aladdin/attribution.cc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/attribution.cc.o" "gcc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/attribution.cc.o.d"
+  "/root/repo/src/aladdin/design_point.cc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/design_point.cc.o" "gcc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/design_point.cc.o.d"
+  "/root/repo/src/aladdin/fu_library.cc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/fu_library.cc.o" "gcc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/fu_library.cc.o.d"
+  "/root/repo/src/aladdin/simulator.cc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/simulator.cc.o" "gcc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/simulator.cc.o.d"
+  "/root/repo/src/aladdin/sweep.cc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/sweep.cc.o" "gcc" "src/aladdin/CMakeFiles/accelwall_aladdin.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/accelwall_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmos/CMakeFiles/accelwall_cmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/accelwall_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/accelwall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

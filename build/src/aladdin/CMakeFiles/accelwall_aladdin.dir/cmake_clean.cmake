@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_aladdin.dir/attribution.cc.o"
+  "CMakeFiles/accelwall_aladdin.dir/attribution.cc.o.d"
+  "CMakeFiles/accelwall_aladdin.dir/design_point.cc.o"
+  "CMakeFiles/accelwall_aladdin.dir/design_point.cc.o.d"
+  "CMakeFiles/accelwall_aladdin.dir/fu_library.cc.o"
+  "CMakeFiles/accelwall_aladdin.dir/fu_library.cc.o.d"
+  "CMakeFiles/accelwall_aladdin.dir/simulator.cc.o"
+  "CMakeFiles/accelwall_aladdin.dir/simulator.cc.o.d"
+  "CMakeFiles/accelwall_aladdin.dir/sweep.cc.o"
+  "CMakeFiles/accelwall_aladdin.dir/sweep.cc.o.d"
+  "libaccelwall_aladdin.a"
+  "libaccelwall_aladdin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_aladdin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_chipdb.dir/budget.cc.o"
+  "CMakeFiles/accelwall_chipdb.dir/budget.cc.o.d"
+  "CMakeFiles/accelwall_chipdb.dir/reference_chips.cc.o"
+  "CMakeFiles/accelwall_chipdb.dir/reference_chips.cc.o.d"
+  "CMakeFiles/accelwall_chipdb.dir/synth.cc.o"
+  "CMakeFiles/accelwall_chipdb.dir/synth.cc.o.d"
+  "libaccelwall_chipdb.a"
+  "libaccelwall_chipdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_chipdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

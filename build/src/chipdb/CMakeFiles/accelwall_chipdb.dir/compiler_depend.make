@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for accelwall_chipdb.
+# This may be replaced when dependencies are built.

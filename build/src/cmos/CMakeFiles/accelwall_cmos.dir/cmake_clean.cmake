@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_cmos.dir/scaling.cc.o"
+  "CMakeFiles/accelwall_cmos.dir/scaling.cc.o.d"
+  "libaccelwall_cmos.a"
+  "libaccelwall_cmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

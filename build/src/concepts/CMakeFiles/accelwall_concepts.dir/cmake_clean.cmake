@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_concepts.dir/bounds.cc.o"
+  "CMakeFiles/accelwall_concepts.dir/bounds.cc.o.d"
+  "libaccelwall_concepts.a"
+  "libaccelwall_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

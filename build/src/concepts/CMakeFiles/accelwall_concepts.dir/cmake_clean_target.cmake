@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaccelwall_concepts.a"
+)

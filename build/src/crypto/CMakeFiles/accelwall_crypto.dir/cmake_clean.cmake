@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_crypto.dir/aes.cc.o"
+  "CMakeFiles/accelwall_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/accelwall_crypto.dir/sha256.cc.o"
+  "CMakeFiles/accelwall_crypto.dir/sha256.cc.o.d"
+  "libaccelwall_crypto.a"
+  "libaccelwall_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_csr.dir/arch_gains.cc.o"
+  "CMakeFiles/accelwall_csr.dir/arch_gains.cc.o.d"
+  "CMakeFiles/accelwall_csr.dir/csr.cc.o"
+  "CMakeFiles/accelwall_csr.dir/csr.cc.o.d"
+  "libaccelwall_csr.a"
+  "libaccelwall_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

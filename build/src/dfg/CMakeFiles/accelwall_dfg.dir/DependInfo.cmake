@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/analysis.cc" "src/dfg/CMakeFiles/accelwall_dfg.dir/analysis.cc.o" "gcc" "src/dfg/CMakeFiles/accelwall_dfg.dir/analysis.cc.o.d"
+  "/root/repo/src/dfg/dot.cc" "src/dfg/CMakeFiles/accelwall_dfg.dir/dot.cc.o" "gcc" "src/dfg/CMakeFiles/accelwall_dfg.dir/dot.cc.o.d"
+  "/root/repo/src/dfg/graph.cc" "src/dfg/CMakeFiles/accelwall_dfg.dir/graph.cc.o" "gcc" "src/dfg/CMakeFiles/accelwall_dfg.dir/graph.cc.o.d"
+  "/root/repo/src/dfg/op_type.cc" "src/dfg/CMakeFiles/accelwall_dfg.dir/op_type.cc.o" "gcc" "src/dfg/CMakeFiles/accelwall_dfg.dir/op_type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/accelwall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_dfg.dir/analysis.cc.o"
+  "CMakeFiles/accelwall_dfg.dir/analysis.cc.o.d"
+  "CMakeFiles/accelwall_dfg.dir/dot.cc.o"
+  "CMakeFiles/accelwall_dfg.dir/dot.cc.o.d"
+  "CMakeFiles/accelwall_dfg.dir/graph.cc.o"
+  "CMakeFiles/accelwall_dfg.dir/graph.cc.o.d"
+  "CMakeFiles/accelwall_dfg.dir/op_type.cc.o"
+  "CMakeFiles/accelwall_dfg.dir/op_type.cc.o.d"
+  "libaccelwall_dfg.a"
+  "libaccelwall_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

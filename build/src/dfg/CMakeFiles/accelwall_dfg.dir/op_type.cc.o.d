@@ -1,0 +1,3 @@
+src/dfg/CMakeFiles/accelwall_dfg.dir/op_type.cc.o: \
+ /root/repo/src/dfg/op_type.cc /usr/include/stdc-predef.h \
+ /root/repo/src/dfg/op_type.hh

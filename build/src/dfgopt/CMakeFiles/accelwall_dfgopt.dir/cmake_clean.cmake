@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_dfgopt.dir/rewrites.cc.o"
+  "CMakeFiles/accelwall_dfgopt.dir/rewrites.cc.o.d"
+  "libaccelwall_dfgopt.a"
+  "libaccelwall_dfgopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_dfgopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

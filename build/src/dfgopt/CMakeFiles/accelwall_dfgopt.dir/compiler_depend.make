@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for accelwall_dfgopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/economics/mining_market.cc" "src/economics/CMakeFiles/accelwall_economics.dir/mining_market.cc.o" "gcc" "src/economics/CMakeFiles/accelwall_economics.dir/mining_market.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/studies/CMakeFiles/accelwall_studies.dir/DependInfo.cmake"
+  "/root/repo/build/src/csr/CMakeFiles/accelwall_csr.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/accelwall_potential.dir/DependInfo.cmake"
+  "/root/repo/build/src/chipdb/CMakeFiles/accelwall_chipdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/accelwall_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmos/CMakeFiles/accelwall_cmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/accelwall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

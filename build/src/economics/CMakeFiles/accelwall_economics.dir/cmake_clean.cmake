@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_economics.dir/mining_market.cc.o"
+  "CMakeFiles/accelwall_economics.dir/mining_market.cc.o.d"
+  "libaccelwall_economics.a"
+  "libaccelwall_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

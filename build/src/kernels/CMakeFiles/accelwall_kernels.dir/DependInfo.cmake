@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/aes.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/aes.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/aes.cc.o.d"
+  "/root/repo/src/kernels/bfs.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/bfs.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/bfs.cc.o.d"
+  "/root/repo/src/kernels/btc.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/btc.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/btc.cc.o.d"
+  "/root/repo/src/kernels/builder.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/builder.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/builder.cc.o.d"
+  "/root/repo/src/kernels/dft.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/dft.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/dft.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/fft.cc.o.d"
+  "/root/repo/src/kernels/gmm.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/gmm.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/gmm.cc.o.d"
+  "/root/repo/src/kernels/knn.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/knn.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/knn.cc.o.d"
+  "/root/repo/src/kernels/mdy.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/mdy.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/mdy.cc.o.d"
+  "/root/repo/src/kernels/nwn.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/nwn.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/nwn.cc.o.d"
+  "/root/repo/src/kernels/rbm.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/rbm.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/rbm.cc.o.d"
+  "/root/repo/src/kernels/red.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/red.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/red.cc.o.d"
+  "/root/repo/src/kernels/registry.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/registry.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/registry.cc.o.d"
+  "/root/repo/src/kernels/s2d.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/s2d.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/s2d.cc.o.d"
+  "/root/repo/src/kernels/s3d.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/s3d.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/s3d.cc.o.d"
+  "/root/repo/src/kernels/sad.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/sad.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/sad.cc.o.d"
+  "/root/repo/src/kernels/smv.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/smv.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/smv.cc.o.d"
+  "/root/repo/src/kernels/srt.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/srt.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/srt.cc.o.d"
+  "/root/repo/src/kernels/ssp.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/ssp.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/ssp.cc.o.d"
+  "/root/repo/src/kernels/trd.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/trd.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/trd.cc.o.d"
+  "/root/repo/src/kernels/video_ext.cc" "src/kernels/CMakeFiles/accelwall_kernels.dir/video_ext.cc.o" "gcc" "src/kernels/CMakeFiles/accelwall_kernels.dir/video_ext.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dfg/CMakeFiles/accelwall_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/accelwall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_nn.dir/conv_dfg.cc.o"
+  "CMakeFiles/accelwall_nn.dir/conv_dfg.cc.o.d"
+  "CMakeFiles/accelwall_nn.dir/layers.cc.o"
+  "CMakeFiles/accelwall_nn.dir/layers.cc.o.d"
+  "libaccelwall_nn.a"
+  "libaccelwall_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

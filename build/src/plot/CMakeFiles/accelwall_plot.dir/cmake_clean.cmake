@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_plot.dir/ascii_chart.cc.o"
+  "CMakeFiles/accelwall_plot.dir/ascii_chart.cc.o.d"
+  "libaccelwall_plot.a"
+  "libaccelwall_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

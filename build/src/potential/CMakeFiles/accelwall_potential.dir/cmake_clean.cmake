@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_potential.dir/model.cc.o"
+  "CMakeFiles/accelwall_potential.dir/model.cc.o.d"
+  "libaccelwall_potential.a"
+  "libaccelwall_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

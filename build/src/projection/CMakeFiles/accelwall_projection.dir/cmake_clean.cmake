@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_projection.dir/domains.cc.o"
+  "CMakeFiles/accelwall_projection.dir/domains.cc.o.d"
+  "CMakeFiles/accelwall_projection.dir/projection.cc.o"
+  "CMakeFiles/accelwall_projection.dir/projection.cc.o.d"
+  "libaccelwall_projection.a"
+  "libaccelwall_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

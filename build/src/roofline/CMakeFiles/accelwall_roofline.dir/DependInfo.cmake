@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roofline/roofline.cc" "src/roofline/CMakeFiles/accelwall_roofline.dir/roofline.cc.o" "gcc" "src/roofline/CMakeFiles/accelwall_roofline.dir/roofline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/accelwall_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/accelwall_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/accelwall_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/accelwall_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmos/CMakeFiles/accelwall_cmos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_roofline.dir/roofline.cc.o"
+  "CMakeFiles/accelwall_roofline.dir/roofline.cc.o.d"
+  "libaccelwall_roofline.a"
+  "libaccelwall_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_stack.dir/stack.cc.o"
+  "CMakeFiles/accelwall_stack.dir/stack.cc.o.d"
+  "libaccelwall_stack.a"
+  "libaccelwall_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_stats.dir/descriptive.cc.o"
+  "CMakeFiles/accelwall_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/accelwall_stats.dir/fits.cc.o"
+  "CMakeFiles/accelwall_stats.dir/fits.cc.o.d"
+  "CMakeFiles/accelwall_stats.dir/pareto.cc.o"
+  "CMakeFiles/accelwall_stats.dir/pareto.cc.o.d"
+  "libaccelwall_stats.a"
+  "libaccelwall_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

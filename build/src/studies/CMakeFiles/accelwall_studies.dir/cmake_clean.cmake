@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_studies.dir/bitcoin.cc.o"
+  "CMakeFiles/accelwall_studies.dir/bitcoin.cc.o.d"
+  "CMakeFiles/accelwall_studies.dir/fpga.cc.o"
+  "CMakeFiles/accelwall_studies.dir/fpga.cc.o.d"
+  "CMakeFiles/accelwall_studies.dir/gpu.cc.o"
+  "CMakeFiles/accelwall_studies.dir/gpu.cc.o.d"
+  "CMakeFiles/accelwall_studies.dir/video.cc.o"
+  "CMakeFiles/accelwall_studies.dir/video.cc.o.d"
+  "libaccelwall_studies.a"
+  "libaccelwall_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

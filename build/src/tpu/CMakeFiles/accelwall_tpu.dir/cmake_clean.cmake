@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_tpu.dir/tpu_model.cc.o"
+  "CMakeFiles/accelwall_tpu.dir/tpu_model.cc.o.d"
+  "libaccelwall_tpu.a"
+  "libaccelwall_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

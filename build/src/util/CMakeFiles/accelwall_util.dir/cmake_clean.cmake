@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall_util.dir/csv.cc.o"
+  "CMakeFiles/accelwall_util.dir/csv.cc.o.d"
+  "CMakeFiles/accelwall_util.dir/format.cc.o"
+  "CMakeFiles/accelwall_util.dir/format.cc.o.d"
+  "CMakeFiles/accelwall_util.dir/logging.cc.o"
+  "CMakeFiles/accelwall_util.dir/logging.cc.o.d"
+  "CMakeFiles/accelwall_util.dir/rng.cc.o"
+  "CMakeFiles/accelwall_util.dir/rng.cc.o.d"
+  "CMakeFiles/accelwall_util.dir/table.cc.o"
+  "CMakeFiles/accelwall_util.dir/table.cc.o.d"
+  "libaccelwall_util.a"
+  "libaccelwall_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aladdin.dir/test_aladdin.cc.o"
+  "CMakeFiles/test_aladdin.dir/test_aladdin.cc.o.d"
+  "test_aladdin"
+  "test_aladdin.pdb"
+  "test_aladdin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aladdin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chipdb.dir/test_chipdb.cc.o"
+  "CMakeFiles/test_chipdb.dir/test_chipdb.cc.o.d"
+  "test_chipdb"
+  "test_chipdb.pdb"
+  "test_chipdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chipdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfgopt.dir/test_dfgopt.cc.o"
+  "CMakeFiles/test_dfgopt.dir/test_dfgopt.cc.o.d"
+  "test_dfgopt"
+  "test_dfgopt.pdb"
+  "test_dfgopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfgopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

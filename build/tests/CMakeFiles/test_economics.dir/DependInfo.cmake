@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_economics.cc" "tests/CMakeFiles/test_economics.dir/test_economics.cc.o" "gcc" "tests/CMakeFiles/test_economics.dir/test_economics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/concepts/CMakeFiles/accelwall_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/aladdin/CMakeFiles/accelwall_aladdin.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/accelwall_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/projection/CMakeFiles/accelwall_projection.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/accelwall_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/plot/CMakeFiles/accelwall_plot.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/accelwall_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/accelwall_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/accelwall_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfgopt/CMakeFiles/accelwall_dfgopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/accelwall_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/economics/CMakeFiles/accelwall_economics.dir/DependInfo.cmake"
+  "/root/repo/build/src/studies/CMakeFiles/accelwall_studies.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/accelwall_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/csr/CMakeFiles/accelwall_csr.dir/DependInfo.cmake"
+  "/root/repo/build/src/potential/CMakeFiles/accelwall_potential.dir/DependInfo.cmake"
+  "/root/repo/build/src/chipdb/CMakeFiles/accelwall_chipdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/accelwall_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmos/CMakeFiles/accelwall_cmos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/accelwall_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpu.dir/test_tpu.cc.o"
+  "CMakeFiles/test_tpu.dir/test_tpu.cc.o.d"
+  "test_tpu"
+  "test_tpu.pdb"
+  "test_tpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

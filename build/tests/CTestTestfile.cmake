@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_cmos[1]_include.cmake")
+include("/root/repo/build/tests/test_chipdb[1]_include.cmake")
+include("/root/repo/build/tests/test_potential[1]_include.cmake")
+include("/root/repo/build/tests/test_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_dfg[1]_include.cmake")
+include("/root/repo/build/tests/test_concepts[1]_include.cmake")
+include("/root/repo/build/tests/test_aladdin[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_studies[1]_include.cmake")
+include("/root/repo/build/tests/test_projection[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_tpu[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_plot[1]_include.cmake")
+include("/root/repo/build/tests/test_roofline[1]_include.cmake")
+include("/root/repo/build/tests/test_dfgopt[1]_include.cmake")
+include("/root/repo/build/tests/test_economics[1]_include.cmake")
+include("/root/repo/build/tests/test_stack[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall-csr.dir/accelwall_csr.cc.o"
+  "CMakeFiles/accelwall-csr.dir/accelwall_csr.cc.o.d"
+  "accelwall-csr"
+  "accelwall-csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall-csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

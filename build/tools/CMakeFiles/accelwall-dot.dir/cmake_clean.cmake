@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall-dot.dir/accelwall_dot.cc.o"
+  "CMakeFiles/accelwall-dot.dir/accelwall_dot.cc.o.d"
+  "accelwall-dot"
+  "accelwall-dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall-dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

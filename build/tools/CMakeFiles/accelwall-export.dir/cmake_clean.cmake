@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall-export.dir/accelwall_export.cc.o"
+  "CMakeFiles/accelwall-export.dir/accelwall_export.cc.o.d"
+  "accelwall-export"
+  "accelwall-export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall-export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

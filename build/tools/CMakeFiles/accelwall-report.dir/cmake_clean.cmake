@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall-report.dir/accelwall_report.cc.o"
+  "CMakeFiles/accelwall-report.dir/accelwall_report.cc.o.d"
+  "accelwall-report"
+  "accelwall-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

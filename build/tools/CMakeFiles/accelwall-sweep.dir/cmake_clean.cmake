@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelwall-sweep.dir/accelwall_sweep.cc.o"
+  "CMakeFiles/accelwall-sweep.dir/accelwall_sweep.cc.o.d"
+  "accelwall-sweep"
+  "accelwall-sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelwall-sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
