@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
 #include "chipdb/budget.hh"
 #include "chipdb/synth.hh"
 #include "crypto/sha256.hh"
@@ -49,6 +50,31 @@ BM_ScheduleBtcChained(benchmark::State &state)
                             sim.graph().numNodes());
 }
 BENCHMARK(BM_ScheduleBtcChained);
+
+/**
+ * The full Table III sweep grid at a given thread count. Arg(1) is the
+ * serial baseline; Arg(8) records the parallel speedup of the repo's
+ * hottest path (wall-clock time, hence UseRealTime). The determinism
+ * test in test_aladdin.cc proves both produce identical output.
+ */
+void
+BM_SweepPaperGrid(benchmark::State &state)
+{
+    aladdin::Simulator sim(kernels::makeKernel("FFT"));
+    auto cfg = aladdin::SweepConfig::paper();
+    int jobs = static_cast<int>(state.range(0));
+    std::size_t grid = cfg.nodes.size() * cfg.partitions.size() *
+                       cfg.simplifications.size();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aladdin::runSweep(sim, cfg, jobs));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(grid));
+}
+BENCHMARK(BM_SweepPaperGrid)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_KernelGeneration(benchmark::State &state)

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace accelwall::aladdin
 {
@@ -20,22 +21,33 @@ closeRel(double a, double b, double tol = 1e-3)
 } // namespace
 
 std::vector<SweepPoint>
-runSweep(const Simulator &sim, const SweepConfig &cfg)
+runSweep(const Simulator &sim, const SweepConfig &cfg, int jobs)
 {
     if (cfg.nodes.empty() || cfg.partitions.empty() ||
         cfg.simplifications.empty())
         fatal("runSweep: empty sweep dimension");
 
-    std::vector<SweepPoint> out;
-    out.reserve(cfg.nodes.size() * cfg.partitions.size() *
-                cfg.simplifications.size());
+    // Each (node, simplification) pair owns one serial partition chain
+    // so the plateau short-circuit still sees ascending factors; the
+    // chains are independent and fan out across threads. Chain c
+    // writes points [c * |partitions|, (c+1) * |partitions|), which is
+    // exactly the serial node-major emission order.
+    const std::size_t n_simp = cfg.simplifications.size();
+    const std::size_t n_part = cfg.partitions.size();
+    const std::size_t chains = cfg.nodes.size() * n_simp;
 
-    for (double node : cfg.nodes) {
-        for (int simp : cfg.simplifications) {
+    std::vector<SweepPoint> out(chains * n_part);
+    util::parallelFor(
+        chains,
+        [&](std::size_t c) {
+            double node = cfg.nodes[c / n_simp];
+            int simp = cfg.simplifications[c % n_simp];
+            SweepPoint *chain_out = out.data() + c * n_part;
+
             bool plateaued = false;
             SimResult plateau;
             int stable = 0;
-            for (std::size_t pi = 0; pi < cfg.partitions.size(); ++pi) {
+            for (std::size_t pi = 0; pi < n_part; ++pi) {
                 DesignPoint dp;
                 dp.node_nm = node;
                 dp.partition = cfg.partitions[pi];
@@ -58,10 +70,10 @@ runSweep(const Simulator &sim, const SweepConfig &cfg)
                     }
                     plateau = res;
                 }
-                out.push_back({dp, res});
+                chain_out[pi] = {dp, res};
             }
-        }
-    }
+        },
+        jobs);
     return out;
 }
 

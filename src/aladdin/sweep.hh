@@ -29,9 +29,15 @@ struct SweepPoint
  * and energy (within 0.1%), the remaining factors reuse the plateau
  * result instead of re-simulating — the Table III grid reaches 2^19,
  * far beyond any kernel's max working set.
+ *
+ * The (node, simplification) chains are independent and evaluated on
+ * @p jobs threads (0 = util::defaultJobs()); the partition loop inside
+ * each chain stays serial so the plateau short-circuit sees factors in
+ * ascending order. Output is bit-identical for every job count, in the
+ * serial node-major / simplification / partition order.
  */
 std::vector<SweepPoint> runSweep(const Simulator &sim,
-                                 const SweepConfig &cfg);
+                                 const SweepConfig &cfg, int jobs = 0);
 
 /** Index of the minimum-runtime point; fatal() on empty input. */
 std::size_t bestPerformance(const std::vector<SweepPoint> &points);

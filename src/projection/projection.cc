@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace accelwall::projection
@@ -51,35 +52,58 @@ bootstrapProjection(const std::vector<stats::Point2> &points,
     if (resamples < 10)
         fatal("bootstrapProjection: need at least 10 resamples");
 
-    Rng rng(seed);
+    // Each resample draws from its own generator, seeded from a serial
+    // master stream, so the result is identical for every job count.
+    Rng seeder(seed);
+    std::vector<std::uint64_t> seeds(
+        static_cast<std::size_t>(resamples));
+    for (auto &s : seeds)
+        s = seeder.nextU64();
+
+    struct ResampleLimit
+    {
+        bool usable = false;
+        double linear = 0.0;
+        double log = 0.0;
+    };
+
+    auto resample_limits = util::parallelMap(
+        seeds, [&](std::uint64_t resample_seed) {
+            Rng rng(resample_seed);
+            std::vector<stats::Point2> sample;
+            sample.reserve(points.size());
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                int pick = rng.uniformInt(
+                    0, static_cast<int>(points.size()) - 1);
+                sample.push_back(points[static_cast<std::size_t>(pick)]);
+            }
+            auto frontier = stats::paretoFrontier(sample);
+            // Skip degenerate resamples: the fits need at least two
+            // distinct abscissae.
+            if (frontier.size() < 2 ||
+                frontier.front().x == frontier.back().x)
+                return ResampleLimit{};
+
+            std::vector<double> xs, ys;
+            double best = 0.0;
+            for (const auto &p : frontier) {
+                xs.push_back(p.x);
+                ys.push_back(p.y);
+                best = std::max(best, p.y);
+            }
+            auto lin = stats::fitLinear(xs, ys);
+            auto lg = stats::fitLog(xs, ys);
+            return ResampleLimit{true,
+                                 std::max(lin(phy_limit), best),
+                                 std::max(lg(phy_limit), best)};
+        });
+
     std::vector<double> linear_limits, log_limits;
-
-    for (int r = 0; r < resamples; ++r) {
-        std::vector<stats::Point2> sample;
-        sample.reserve(points.size());
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            int pick = rng.uniformInt(
-                0, static_cast<int>(points.size()) - 1);
-            sample.push_back(points[static_cast<std::size_t>(pick)]);
-        }
-        auto frontier = stats::paretoFrontier(sample);
-        // Skip degenerate resamples: the fits need at least two
-        // distinct abscissae.
-        if (frontier.size() < 2 ||
-            frontier.front().x == frontier.back().x)
+    for (const auto &rl : resample_limits) {
+        if (!rl.usable)
             continue;
-
-        std::vector<double> xs, ys;
-        double best = 0.0;
-        for (const auto &p : frontier) {
-            xs.push_back(p.x);
-            ys.push_back(p.y);
-            best = std::max(best, p.y);
-        }
-        auto lin = stats::fitLinear(xs, ys);
-        auto lg = stats::fitLog(xs, ys);
-        linear_limits.push_back(std::max(lin(phy_limit), best));
-        log_limits.push_back(std::max(lg(phy_limit), best));
+        linear_limits.push_back(rl.linear);
+        log_limits.push_back(rl.log);
     }
 
     if (linear_limits.size() < 10)

@@ -81,7 +81,10 @@ struct BootstrapResult
  * Bootstrap the projection: resample the observed points with
  * replacement, re-extract the frontier, refit, and re-evaluate at
  * @p phy_limit. Degenerate resamples (frontiers with fewer than two
- * distinct x) are skipped. Deterministic for a given seed.
+ * distinct x) are skipped. Resamples are evaluated in parallel
+ * (util::defaultJobs() threads) with per-resample generators seeded
+ * from a serial master stream: deterministic for a given seed and
+ * independent of the job count.
  */
 BootstrapResult bootstrapProjection(
     const std::vector<stats::Point2> &points, double phy_limit,

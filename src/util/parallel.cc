@@ -1,0 +1,185 @@
+#include "util/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace accelwall::util
+{
+
+namespace
+{
+
+/** The setDefaultJobs() override; 0 means unset. */
+std::atomic<int> g_default_jobs{0};
+
+/** Parse ACCELWALL_JOBS; 0 when absent or not a positive integer. */
+int
+envJobs()
+{
+    const char *env = std::getenv("ACCELWALL_JOBS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == nullptr || *end != '\0' || v <= 0) {
+        warn("ignoring ACCELWALL_JOBS='", env,
+             "': expected a positive integer");
+        return 0;
+    }
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+int
+hardwareJobs()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int
+defaultJobs()
+{
+    int set = g_default_jobs.load(std::memory_order_relaxed);
+    if (set > 0)
+        return set;
+    int env = envJobs();
+    if (env > 0)
+        return env;
+    return hardwareJobs();
+}
+
+void
+setDefaultJobs(int jobs)
+{
+    g_default_jobs.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int workers)
+{
+    ensureWorkers(workers > 0 ? workers : hardwareJobs());
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_)
+            panic("ThreadPool::post: pool is shutting down");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::ensureWorkers(int n)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(threads_.size()) < n)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+int
+ThreadPool::workers() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // Leaked on purpose: worker threads may outlive static destructors
+    // in exotic exit paths, and the OS reclaims everything anyway.
+    static ThreadPool *pool = new ThreadPool(hardwareJobs());
+    return *pool;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+namespace detail
+{
+
+void
+runChunked(std::size_t n, int jobs,
+           const std::function<void(std::size_t, std::size_t)> &chunk)
+{
+    std::size_t chunks =
+        std::min(static_cast<std::size_t>(jobs), n);
+
+    ThreadPool &pool = ThreadPool::global();
+    // Grow toward the requested width so an explicit jobs > hardware
+    // request still gets real concurrency (useful under TSan).
+    pool.ensureWorkers(static_cast<int>(chunks) - 1);
+
+    std::vector<std::exception_ptr> errors(chunks);
+    std::size_t pending = chunks - 1; // guarded by done_mu
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    auto run_chunk = [&](std::size_t c) {
+        std::size_t begin = n * c / chunks;
+        std::size_t end = n * (c + 1) / chunks;
+        try {
+            chunk(begin, end);
+        } catch (...) {
+            errors[c] = std::current_exception();
+        }
+    };
+
+    // Chunks 1..N-1 go to the pool; the caller runs chunk 0 itself so
+    // a one-thread pool still makes progress while the caller waits.
+    for (std::size_t c = 1; c < chunks; ++c) {
+        pool.post([&, c] {
+            run_chunk(c);
+            std::lock_guard<std::mutex> lock(done_mu);
+            if (--pending == 0)
+                done_cv.notify_one();
+        });
+    }
+    run_chunk(0);
+
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+    lock.unlock();
+
+    for (auto &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+}
+
+} // namespace detail
+
+} // namespace accelwall::util

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic parallelism primitives: a ThreadPool plus
+ * parallelFor/parallelMap helpers with static chunking.
+ *
+ * Design rules, in order of importance:
+ *
+ *  1. **Determinism.** Work is split into contiguous index chunks that
+ *     depend only on (n, jobs), never on scheduling. Each index writes
+ *     its own output slot, so parallel results are bit-identical to a
+ *     serial run — the sweep/projection callers rely on this.
+ *  2. **Serial fallback.** jobs <= 1 runs inline on the caller's thread
+ *     with no pool, no locks, and no allocation beyond the output.
+ *  3. **Exception safety.** The first exception in chunk order is
+ *     rethrown on the caller's thread after all chunks finish; which
+ *     exception propagates is therefore also deterministic.
+ *
+ * The job count is resolved from, in precedence order: an explicit
+ * `jobs` argument > setDefaultJobs() (the tools' --jobs flag) > the
+ * ACCELWALL_JOBS environment variable > std::thread::hardware_concurrency.
+ */
+
+#ifndef ACCELWALL_UTIL_PARALLEL_HH
+#define ACCELWALL_UTIL_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace accelwall::util
+{
+
+/** max(1, std::thread::hardware_concurrency). */
+int hardwareJobs();
+
+/**
+ * The job count used when callers pass jobs = 0: the setDefaultJobs()
+ * override if set, else ACCELWALL_JOBS (ignored unless a positive
+ * integer), else hardwareJobs().
+ */
+int defaultJobs();
+
+/** Set (or with jobs <= 0 clear) the process-wide job-count override. */
+void setDefaultJobs(int jobs);
+
+/**
+ * A fixed set of worker threads draining a shared FIFO task queue.
+ *
+ * Tasks must not throw — wrap bodies that can (parallelFor does).
+ * Use global() for the shared process pool; standalone instances are
+ * mainly for tests.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (workers <= 0 means hardwareJobs()). */
+    explicit ThreadPool(int workers = 0);
+
+    /** Drains nothing: outstanding tasks are abandoned unexecuted. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void post(std::function<void()> task);
+
+    /** Grow the pool to at least @p n workers (never shrinks). */
+    void ensureWorkers(int n);
+
+    /** Current worker-thread count. */
+    int workers() const;
+
+    /** The shared process-wide pool, created on first use. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+};
+
+namespace detail
+{
+
+/**
+ * Split [0, n) into at most @p jobs contiguous chunks and run
+ * @p chunk(begin, end) for each on the global pool; the caller's
+ * thread executes the first chunk. Rethrows the first (in chunk
+ * order) captured exception.
+ */
+void runChunked(std::size_t n, int jobs,
+                const std::function<void(std::size_t, std::size_t)> &chunk);
+
+} // namespace detail
+
+/**
+ * Call body(i) for every i in [0, n), split across @p jobs threads
+ * with static chunking (jobs = 0 means defaultJobs()).
+ *
+ * body must be safe to call concurrently for distinct indices; writes
+ * to index-disjoint data need no synchronization.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t n, const Body &body, int jobs = 0)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultJobs();
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    detail::runChunked(n, jobs,
+                       [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i)
+                               body(i);
+                       });
+}
+
+/**
+ * Map fn over items with parallelFor; result i lands at output index
+ * i, so ordering matches the input regardless of jobs. The result type
+ * must be default-constructible and movable.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, const Fn &fn, int jobs = 0)
+    -> std::vector<decltype(fn(items[0]))>
+{
+    std::vector<decltype(fn(items[0]))> out(items.size());
+    parallelFor(
+        items.size(), [&](std::size_t i) { out[i] = fn(items[i]); },
+        jobs);
+    return out;
+}
+
+} // namespace accelwall::util
+
+#endif // ACCELWALL_UTIL_PARALLEL_HH

@@ -1,0 +1,23 @@
+# Run accelwall-sweep on the quick grid and diff its CSV against the
+# checked-in golden file. Invoked by the golden_sweep_csv ctest entry
+# with -DTOOL=<binary> -DKERNEL=<abbrev> -DGOLDEN=<ref> -DOUT=<scratch>.
+#
+# --jobs 4 makes the run exercise the parallel sweep path: the output
+# must still match a golden file generated at any other job count.
+execute_process(
+    COMMAND ${TOOL} ${KERNEL} --grid quick --csv --jobs 4
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} ${KERNEL} failed with status ${rc}")
+endif ()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if (NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "CSV output ${OUT} differs from golden file ${GOLDEN}; if the "
+        "change is intentional, regenerate the golden file (see "
+        "tests/CMakeLists.txt)")
+endif ()

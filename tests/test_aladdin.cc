@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "aladdin/attribution.hh"
 #include "aladdin/fu_library.hh"
@@ -299,6 +301,97 @@ TEST(Sweep, BestSelectors)
         EXPECT_LE(points[perf].res.runtime_ns, p.res.runtime_ns);
         EXPECT_GE(points[eff].res.efficiency_opj, p.res.efficiency_opj);
     }
+}
+
+TEST(Sweep, ParallelMatchesSerialBitExact)
+{
+    // The determinism guarantee: runSweep at any job count returns the
+    // same bytes as the serial run. Partition factors extend far past
+    // every kernel's available parallelism so the per-chain plateau
+    // short-circuit triggers and must behave identically in parallel.
+    SweepConfig cfg = SweepConfig::quick();
+    cfg.partitions = {1, 4, 16, 64, 256, 1024, 4096, 16384};
+
+    for (const char *abbrev : {"RED", "FFT", "SMV"}) {
+        Simulator sim(kernels::makeKernel(abbrev));
+        auto serial = runSweep(sim, cfg, 1);
+        auto parallel = runSweep(sim, cfg, 8);
+
+        ASSERT_EQ(serial.size(), parallel.size()) << abbrev;
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            const SweepPoint &s = serial[i];
+            const SweepPoint &p = parallel[i];
+            EXPECT_EQ(s.dp.str(), p.dp.str()) << abbrev << " #" << i;
+            EXPECT_EQ(s.res.cycles, p.res.cycles) << abbrev;
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(s.res.runtime_ns),
+                      std::bit_cast<std::uint64_t>(p.res.runtime_ns))
+                << abbrev << " #" << i;
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(s.res.energy_pj),
+                      std::bit_cast<std::uint64_t>(p.res.energy_pj))
+                << abbrev << " #" << i;
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(s.res.power_mw),
+                      std::bit_cast<std::uint64_t>(p.res.power_mw));
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(s.res.area_um2),
+                      std::bit_cast<std::uint64_t>(p.res.area_um2));
+            EXPECT_EQ(
+                std::bit_cast<std::uint64_t>(s.res.efficiency_opj),
+                std::bit_cast<std::uint64_t>(p.res.efficiency_opj));
+            EXPECT_EQ(
+                std::bit_cast<std::uint64_t>(s.res.lane_utilization),
+                std::bit_cast<std::uint64_t>(p.res.lane_utilization));
+            EXPECT_EQ(s.res.ops, p.res.ops);
+            EXPECT_EQ(s.res.fused_ops, p.res.fused_ops);
+            EXPECT_EQ(s.res.initiation_interval,
+                      p.res.initiation_interval);
+        }
+
+        // The extended grid must actually exercise the plateau: the
+        // last factors of some chain repeat the plateau result.
+        const auto &tail = serial[serial.size() - 1].res;
+        const auto &prev = serial[serial.size() - 2].res;
+        EXPECT_DOUBLE_EQ(tail.runtime_ns, prev.runtime_ns) << abbrev;
+    }
+}
+
+TEST(Sweep, RejectsEmptyDimensions)
+{
+    Simulator sim(kernels::makeRed(64));
+    SweepConfig cfg = SweepConfig::quick();
+    cfg.partitions.clear();
+    EXPECT_EXIT(runSweep(sim, cfg), ::testing::ExitedWithCode(1),
+                "empty sweep dimension");
+}
+
+TEST(Sweep, SelectorsDieOnEmptyInput)
+{
+    std::vector<SweepPoint> empty;
+    EXPECT_EXIT(bestPerformance(empty), ::testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT(bestEfficiency(empty), ::testing::ExitedWithCode(1),
+                "empty");
+    // The budget selectors report an empty set as "nothing fits".
+    EXPECT_EXIT(bestPerformanceUnderArea(empty, 1e12),
+                ::testing::ExitedWithCode(1), "budget");
+    EXPECT_EXIT(bestEfficiencyUnderArea(empty, 1e12),
+                ::testing::ExitedWithCode(1), "budget");
+    EXPECT_EXIT(bestPerformanceUnderPower(empty, 1e12),
+                ::testing::ExitedWithCode(1), "budget");
+}
+
+TEST(Sweep, BudgetSelectorsDieWhenNoPointFits)
+{
+    Simulator sim(kernels::makeRed(64));
+    auto points = runSweep(sim, SweepConfig::quick(), 1);
+    // Budgets below any achievable area/power leave nothing to pick.
+    EXPECT_EXIT(bestPerformanceUnderArea(points, 1e-3),
+                ::testing::ExitedWithCode(1),
+                "bestPerformanceUnderArea.*budget");
+    EXPECT_EXIT(bestEfficiencyUnderArea(points, 1e-3),
+                ::testing::ExitedWithCode(1),
+                "bestEfficiencyUnderArea.*budget");
+    EXPECT_EXIT(bestPerformanceUnderPower(points, 1e-9),
+                ::testing::ExitedWithCode(1),
+                "bestPerformanceUnderPower.*budget");
 }
 
 TEST(Sweep, BudgetConstrainedSelectors)

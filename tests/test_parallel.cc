@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the deterministic parallelism primitives in
+ * util/parallel.hh: ThreadPool, parallelFor, parallelMap, and the
+ * job-count configuration. These carry the ctest label "parallel" so
+ * they can be run in isolation under ThreadSanitizer
+ * (-DACCELWALL_TSAN=ON, ctest -L parallel).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hh"
+
+namespace accelwall::util
+{
+namespace
+{
+
+TEST(ThreadPool, RunsPostedTasks)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workers(), 3);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    int done = 0; // guarded by mu
+    constexpr int kTasks = 64;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.post([&] {
+            std::lock_guard<std::mutex> lock(mu);
+            if (++done == kTasks)
+                cv.notify_one();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == kTasks; });
+    EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks)
+{
+    ThreadPool pool(2);
+    pool.ensureWorkers(5);
+    EXPECT_EQ(pool.workers(), 5);
+    pool.ensureWorkers(1);
+    EXPECT_EQ(pool.workers(), 5);
+}
+
+TEST(ParallelFor, OrderingIsStableAcrossJobCounts)
+{
+    constexpr std::size_t kN = 1000;
+    std::vector<std::size_t> serial(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        serial[i] = i * i + 7;
+
+    for (int jobs : {1, 2, 3, 8, 17}) {
+        std::vector<std::size_t> out(kN, 0);
+        parallelFor(
+            kN, [&](std::size_t i) { out[i] = i * i + 7; }, jobs);
+        EXPECT_EQ(out, serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 777;
+    std::vector<std::atomic<int>> hits(kN);
+    parallelFor(
+        kN, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, JobsOneRunsInlineOnCallerThread)
+{
+    auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ids(16);
+    parallelFor(
+        ids.size(),
+        [&](std::size_t i) { ids[i] = std::this_thread::get_id(); }, 1);
+    for (const auto &id : ids)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp)
+{
+    std::atomic<int> calls{0};
+    parallelFor(0, [&](std::size_t) { calls.fetch_add(1); }, 4);
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleItemRunsOnce)
+{
+    std::atomic<int> calls{0};
+    std::size_t seen = 99;
+    parallelFor(
+        1,
+        [&](std::size_t i) {
+            calls.fetch_add(1);
+            seen = i;
+        },
+        8);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelFor, MoreJobsThanItems)
+{
+    std::vector<int> out(3, 0);
+    parallelFor(
+        out.size(), [&](std::size_t i) { out[i] = 1; }, 64);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 3);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    EXPECT_THROW(
+        parallelFor(
+            100,
+            [](std::size_t i) {
+                if (i == 37)
+                    throw std::runtime_error("boom at 37");
+            },
+            4),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, FirstChunkExceptionWinsDeterministically)
+{
+    // Both chunks throw; the rethrown exception must come from the
+    // lowest chunk index no matter which thread finishes first.
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        try {
+            parallelFor(
+                100,
+                [](std::size_t i) {
+                    if (i == 0)
+                        throw std::runtime_error("low");
+                    if (i == 99)
+                        throw std::runtime_error("high");
+                },
+                2);
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "low");
+        }
+    }
+}
+
+TEST(ParallelFor, SerialFallbackPropagatesExceptions)
+{
+    EXPECT_THROW(
+        parallelFor(
+            10,
+            [](std::size_t i) {
+                if (i == 5)
+                    throw std::logic_error("serial boom");
+            },
+            1),
+        std::logic_error);
+}
+
+TEST(ParallelMap, ResultsLandAtInputIndex)
+{
+    std::vector<int> in(257);
+    std::iota(in.begin(), in.end(), -57);
+    for (int jobs : {1, 8}) {
+        auto out = parallelMap(
+            in, [](int v) { return 3 * v - 1; }, jobs);
+        ASSERT_EQ(out.size(), in.size());
+        for (std::size_t i = 0; i < in.size(); ++i)
+            EXPECT_EQ(out[i], 3 * in[i] - 1);
+    }
+}
+
+TEST(ParallelMap, EmptyInputGivesEmptyOutput)
+{
+    std::vector<int> in;
+    auto out = parallelMap(in, [](int v) { return v; }, 8);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(JobsConfig, HardwareJobsIsPositive)
+{
+    EXPECT_GE(hardwareJobs(), 1);
+}
+
+TEST(JobsConfig, SetDefaultJobsOverridesEverything)
+{
+    setDefaultJobs(5);
+    EXPECT_EQ(defaultJobs(), 5);
+    setDefaultJobs(0); // clear
+}
+
+TEST(JobsConfig, EnvVariableIsHonored)
+{
+    setDefaultJobs(0);
+    ASSERT_EQ(setenv("ACCELWALL_JOBS", "3", 1), 0);
+    EXPECT_EQ(defaultJobs(), 3);
+
+    // setDefaultJobs (the --jobs flag) outranks the environment.
+    setDefaultJobs(2);
+    EXPECT_EQ(defaultJobs(), 2);
+    setDefaultJobs(0);
+
+    // Garbage and non-positive values fall back to the hardware.
+    ASSERT_EQ(setenv("ACCELWALL_JOBS", "banana", 1), 0);
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+    ASSERT_EQ(setenv("ACCELWALL_JOBS", "-4", 1), 0);
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+    ASSERT_EQ(unsetenv("ACCELWALL_JOBS"), 0);
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+}
+
+} // namespace
+} // namespace accelwall::util

@@ -5,11 +5,16 @@
  *
  * Usage:
  *   accelwall-sweep KERNEL [--target perf|eff] [--area-um2 BUDGET]
- *                   [--power-mw BUDGET] [--csv]
+ *                   [--power-mw BUDGET] [--csv] [--grid paper|quick]
+ *                   [--jobs N]
  *
  * Prints the optimum (optionally under an area/power budget), the
  * Figure 14 gain attribution, and with --csv the full sweep as CSV on
  * stdout.
+ *
+ * --jobs N (or the ACCELWALL_JOBS environment variable) sets the
+ * sweep's thread count; the default is the hardware concurrency, and
+ * the output is identical for every value.
  */
 
 #include <cstdlib>
@@ -23,6 +28,7 @@
 #include "util/csv.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 
 using namespace accelwall;
@@ -32,12 +38,14 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: accelwall-sweep KERNEL [--target perf|eff]"
-                     " [--area-um2 N] [--power-mw N] [--csv]\n";
+                     " [--area-um2 N] [--power-mw N] [--csv]"
+                     " [--grid paper|quick] [--jobs N]\n";
         return 1;
     }
     std::string kernel = argv[1];
     bool eff_target = false;
     bool csv = false;
+    bool quick_grid = false;
     double area_budget = 0.0, power_budget = 0.0;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -53,13 +61,25 @@ main(int argc, char **argv)
             power_budget = std::atof(argv[++i]);
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--grid" && i + 1 < argc) {
+            std::string g = argv[++i];
+            if (g == "quick")
+                quick_grid = true;
+            else if (g != "paper")
+                fatal("unknown grid '", g, "'");
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            int jobs = std::atoi(argv[++i]);
+            if (jobs < 1)
+                fatal("--jobs wants a positive integer");
+            util::setDefaultJobs(jobs);
         } else {
             fatal("unknown argument '", arg, "'");
         }
     }
 
     aladdin::Simulator sim(kernels::makeKernel(kernel));
-    auto cfg = aladdin::SweepConfig::paper();
+    auto cfg = quick_grid ? aladdin::SweepConfig::quick()
+                          : aladdin::SweepConfig::paper();
     auto points = aladdin::runSweep(sim, cfg);
 
     if (csv) {
