@@ -8,6 +8,7 @@
 
 #include "aladdin/fu_library.hh"
 #include "cmos/scaling.hh"
+#include "dfg/verify.hh"
 #include "util/logging.hh"
 
 namespace accelwall::aladdin
@@ -43,6 +44,9 @@ Simulator::Simulator(dfg::Graph graph)
     : graph_(std::move(graph)), analysis_(dfg::analyze(graph_)),
       topo_(graph_.topoOrder())
 {
+    // Fail fast on malformed kernels before their numbers reach a
+    // sweep; no-op unless ACCELWALL_VERIFY (or a debug build) asks.
+    dfg::verify::debugVerify(graph_, "aladdin::Simulator");
 }
 
 SimResult

@@ -15,11 +15,38 @@ Graph::Graph(std::string name)
 NodeId
 Graph::addNode(OpType op)
 {
+    return addNode(op, kDefaultWidth);
+}
+
+NodeId
+Graph::addNode(OpType op, int width_bits)
+{
+    if (width_bits < 1)
+        fatal("DFG '", name_, "': node width must be >= 1 bit, got ",
+              width_bits);
     NodeId id = static_cast<NodeId>(ops_.size());
     ops_.push_back(op);
+    widths_.push_back(width_bits);
     preds_.emplace_back();
     succs_.emplace_back();
     return id;
+}
+
+void
+Graph::setWidth(NodeId id, int width_bits)
+{
+    checkId(id);
+    if (width_bits < 1)
+        fatal("DFG '", name_, "': node width must be >= 1 bit, got ",
+              width_bits);
+    widths_[id] = width_bits;
+}
+
+int
+Graph::width(NodeId id) const
+{
+    checkId(id);
+    return widths_[id];
 }
 
 void

@@ -23,6 +23,9 @@ namespace accelwall::dfg
 /** Dense node identifier within one Graph. */
 using NodeId = std::uint32_t;
 
+/** Datapath width assumed when a node does not declare one, bits. */
+inline constexpr int kDefaultWidth = 32;
+
 /**
  * A directed acyclic dataflow graph. Nodes are appended and edges added
  * between existing nodes; topoOrder() verifies acyclicity.
@@ -35,6 +38,15 @@ class Graph
 
     /** Append a node of the given operation type; returns its id. */
     NodeId addNode(OpType op);
+
+    /** Append a node with an explicit value width in bits. */
+    NodeId addNode(OpType op, int width_bits);
+
+    /** Declare the value width of @p id in bits. */
+    void setWidth(NodeId id, int width_bits);
+
+    /** Value width of @p id in bits (kDefaultWidth unless declared). */
+    int width(NodeId id) const;
 
     /**
      * Add a dependence edge from producer @p from to consumer @p to.
@@ -91,6 +103,7 @@ class Graph
 
     std::string name_;
     std::vector<OpType> ops_;
+    std::vector<int> widths_;
     std::vector<std::vector<NodeId>> preds_;
     std::vector<std::vector<NodeId>> succs_;
     std::size_t num_edges_ = 0;

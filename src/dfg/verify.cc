@@ -1,0 +1,908 @@
+#include "dfg/verify.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "concepts/bounds.hh"
+#include "dfg/analysis.hh"
+#include "util/logging.hh"
+
+namespace accelwall::dfg::verify
+{
+
+namespace
+{
+
+/** Widths above this are assumed to be corrupted metadata, not data. */
+constexpr int kMaxWidth = 1024;
+
+struct RuleInfo
+{
+    const char *code;
+    const char *name;
+    Severity severity;
+};
+
+const RuleInfo &
+ruleInfo(RuleId rule)
+{
+    static const RuleInfo table[kNumRules] = {
+        { "V001", "empty-graph", Severity::Error },
+        { "V002", "cycle", Severity::Error },
+        { "V003", "dangling-edge", Severity::Error },
+        { "V004", "edge-mirror", Severity::Error },
+        { "V005", "duplicate-edge", Severity::Note },
+        { "V006", "arity-mismatch", Severity::Error },
+        { "V007", "variable-placement", Severity::Error },
+        { "V008", "type-mismatch", Severity::Error },
+        { "V009", "width-narrowing", Severity::Error },
+        { "V010", "width-imbalance", Severity::Warning },
+        { "V011", "memory-addressing", Severity::Error },
+        { "V012", "unreachable-node", Severity::Error },
+        { "V013", "dead-node", Severity::Warning },
+        { "V014", "bound-consistency", Severity::Error },
+        { "R001", "rewrite-inputs", Severity::Error },
+        { "R002", "rewrite-sinks", Severity::Error },
+        { "R003", "rewrite-depth", Severity::Error },
+        { "R004", "rewrite-accounting", Severity::Error },
+    };
+    return table[static_cast<std::size_t>(rule)];
+}
+
+/** Value domain an operation produces and consumes. */
+enum class Domain
+{
+    Neutral, ///< variables, memory, lookups, comparisons, selections
+    Int,
+    Float,
+};
+
+Domain
+domainOf(OpType op)
+{
+    switch (op) {
+      case OpType::Add:
+      case OpType::Sub:
+      case OpType::Mul:
+      case OpType::Div:
+      case OpType::And:
+      case OpType::Or:
+      case OpType::Xor:
+      case OpType::Shift:
+        return Domain::Int;
+      case OpType::FAdd:
+      case OpType::FSub:
+      case OpType::FMul:
+      case OpType::FDiv:
+      case OpType::Sqrt:
+      case OpType::Exp:
+        return Domain::Float;
+      default:
+        return Domain::Neutral;
+    }
+}
+
+/** Allowed operand-count range per operation. */
+struct Arity
+{
+    std::size_t min;
+    std::size_t max;
+};
+
+Arity
+arityOf(OpType op)
+{
+    switch (op) {
+      case OpType::Input:
+        return { 0, 0 };
+      case OpType::Output:
+        return { 1, 1 };
+      case OpType::Load:
+        // Root load (streamed array element) or one address operand.
+        return { 0, 1 };
+      case OpType::Store:
+        // Stored value, optionally plus a computed address.
+        return { 1, 2 };
+      case OpType::Lut:
+        return { 1, 2 };
+      case OpType::Select:
+        return { 2, 3 };
+      case OpType::Cmp:
+        // Unary form compares against a folded immediate.
+        return { 1, 2 };
+      case OpType::Sqrt:
+      case OpType::Exp:
+        return { 1, 1 };
+      default:
+        // Binary arithmetic/logic; the unary form carries a folded
+        // constant operand the DFG does not represent.
+        return { 1, 2 };
+    }
+}
+
+/**
+ * Operations whose operands and result must agree in width: implicit
+ * truncation inside e.g. an adder is a modeling error. Shift, Cmp,
+ * Select, and Lut legitimately mix widths (shift amounts, 1-bit
+ * predicates, table indices).
+ */
+bool
+isWidthStrict(OpType op)
+{
+    switch (op) {
+      case OpType::Add:
+      case OpType::Sub:
+      case OpType::Mul:
+      case OpType::Div:
+      case OpType::And:
+      case OpType::Or:
+      case OpType::Xor:
+      case OpType::Max:
+      case OpType::Min:
+      case OpType::FAdd:
+      case OpType::FSub:
+      case OpType::FMul:
+      case OpType::FDiv:
+      case OpType::Sqrt:
+      case OpType::Exp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Accumulates diagnostics into a Report, honoring the cap. */
+class Emitter
+{
+  public:
+    Emitter(Report &report, const Options &options, std::string graph)
+        : report_(report), options_(options), graph_(std::move(graph))
+    {
+    }
+
+    void
+    emit(RuleId rule, std::optional<NodeId> node,
+         std::optional<std::pair<NodeId, NodeId>> edge, std::string msg,
+         std::optional<Severity> severity_override = std::nullopt)
+    {
+        Severity sev = severity_override.value_or(defaultSeverity(rule));
+        if (sev == Severity::Warning && options_.warnings_as_errors)
+            sev = Severity::Error;
+        switch (sev) {
+          case Severity::Error: ++report_.num_errors; break;
+          case Severity::Warning: ++report_.num_warnings; break;
+          case Severity::Note: ++report_.num_notes; break;
+        }
+        if (report_.diagnostics.size() >= options_.max_diagnostics) {
+            ++report_.suppressed;
+            return;
+        }
+        Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.graph = graph_;
+        d.node = node;
+        d.edge = edge;
+        d.message = std::move(msg);
+        report_.diagnostics.push_back(std::move(d));
+    }
+
+    void
+    node(RuleId rule, NodeId id, std::string msg,
+         std::optional<Severity> severity_override = std::nullopt)
+    {
+        emit(rule, id, std::nullopt, std::move(msg), severity_override);
+    }
+
+    void
+    edge(RuleId rule, NodeId from, NodeId to, std::string msg,
+         std::optional<Severity> severity_override = std::nullopt)
+    {
+        emit(rule, std::nullopt, std::make_pair(from, to), std::move(msg),
+             severity_override);
+    }
+
+    void
+    graph(RuleId rule, std::string msg)
+    {
+        emit(rule, std::nullopt, std::nullopt, std::move(msg));
+    }
+
+  private:
+    Report &report_;
+    const Options &options_;
+    std::string graph_;
+};
+
+/** "add" or "add node 17" style labels for messages. */
+std::string
+nodeLabel(const RawGraph &g, NodeId id)
+{
+    std::ostringstream oss;
+    oss << opName(g.ops[id]) << " node " << id;
+    return oss.str();
+}
+
+int
+widthOf(const RawGraph &g, NodeId id)
+{
+    return g.widths.empty() ? kDefaultWidth : g.widths[id];
+}
+
+/**
+ * The structural quantities the Table II cross-check reads, computed
+ * straight from the validated adjacency (mirrors dfg::analyze, which
+ * requires a Graph and fatals on cycles — by this point both rule sets
+ * have already run).
+ */
+Analysis
+analyzeRaw(const RawGraph &g,
+           const std::vector<std::vector<NodeId>> &preds,
+           const std::vector<std::vector<NodeId>> &succs,
+           const std::vector<NodeId> &topo)
+{
+    Analysis a;
+    a.num_nodes = g.ops.size();
+    a.num_edges = g.edges.size();
+    a.stage.assign(a.num_nodes, 0);
+    for (NodeId id : topo) {
+        if (preds[id].empty()) {
+            ++a.num_inputs;
+            continue;
+        }
+        std::size_t max_stage = 0;
+        for (NodeId p : preds[id])
+            max_stage = std::max(max_stage, a.stage[p] + 1);
+        a.stage[id] = max_stage;
+    }
+    std::size_t max_stage = 0;
+    for (NodeId id = 0; id < a.num_nodes; ++id) {
+        if (succs[id].empty())
+            ++a.num_outputs;
+        max_stage = std::max(max_stage, a.stage[id]);
+    }
+    a.depth = max_stage + 1;
+    a.stage_sizes.assign(max_stage + 1, 0);
+    for (NodeId id = 0; id < a.num_nodes; ++id)
+        ++a.stage_sizes[a.stage[id]];
+    a.max_working_set =
+        *std::max_element(a.stage_sizes.begin(), a.stage_sizes.end());
+    return a;
+}
+
+/**
+ * V014: the evaluated Table II cells must stay consistent with the
+ * structural analysis they were derived from — the dimensional floors
+ * a well-formed DFG cannot beat.
+ */
+void
+checkBounds(const Analysis &a, Emitter &out)
+{
+    auto fail = [&](const std::string &what) {
+        out.graph(RuleId::BoundConsistency, what);
+    };
+
+    std::ostringstream oss;
+    if (a.depth > a.num_nodes)
+        fail("depth exceeds |V|");
+    std::size_t staged = 0;
+    for (std::size_t s : a.stage_sizes)
+        staged += s;
+    if (staged != a.num_nodes)
+        fail("stage sizes do not partition |V|");
+    if (a.max_working_set > a.num_nodes)
+        fail("max|WS| exceeds |V|");
+    // Every non-source node has at least one incoming edge, and the
+    // critical path alone needs D-1 of them: |E| floors.
+    if (a.num_edges + a.num_inputs < a.num_nodes) {
+        oss.str("");
+        oss << "|E|=" << a.num_edges << " beats the connectivity floor |V|-"
+            << "|V_IN|=" << (a.num_nodes - a.num_inputs);
+        fail(oss.str());
+    }
+    if (a.num_edges + 1 < a.depth) {
+        oss.str("");
+        oss << "|E|=" << a.num_edges << " beats the critical-path floor D-1="
+            << (a.depth - 1);
+        fail(oss.str());
+    }
+
+    // The Θ-cells that evaluate to bare structural quantities must
+    // reproduce them exactly; drift means bounds.hh and the analysis
+    // disagree about the graph.
+    using concepts::Component;
+    using concepts::SpecConcept;
+    auto expectTime = [&](Component c, SpecConcept s, std::size_t want,
+                          const char *what) {
+        concepts::Bound b = concepts::bound(a, c, s);
+        if (b.time != static_cast<double>(want)) {
+            oss.str("");
+            oss << "Table II " << concepts::componentName(c) << "/"
+                << concepts::conceptName(s) << " time Θ(" << b.time_expr
+                << ")=" << b.time << " disagrees with " << what << "="
+                << want;
+            fail(oss.str());
+        }
+    };
+    expectTime(Component::Communication, SpecConcept::Heterogeneity,
+               a.depth, "D");
+    expectTime(Component::Computation, SpecConcept::Simplification,
+               a.num_edges, "|E|");
+    expectTime(Component::Computation, SpecConcept::Heterogeneity,
+               a.num_inputs, "|V_IN|");
+
+    // Every cell must evaluate to a finite, non-negative log2 space.
+    for (Component c : { Component::Memory, Component::Communication,
+                         Component::Computation }) {
+        for (SpecConcept s : { SpecConcept::Simplification,
+                               SpecConcept::Partitioning,
+                               SpecConcept::Heterogeneity }) {
+            concepts::Bound b = concepts::bound(a, c, s);
+            if (!std::isfinite(b.log2_space) || b.log2_space < 0.0 ||
+                b.time < 0.0) {
+                oss.str("");
+                oss << "Table II " << concepts::componentName(c) << "/"
+                    << concepts::conceptName(s)
+                    << " evaluates out of range (time=" << b.time
+                    << ", log2 space=" << b.log2_space << ")";
+                fail(oss.str());
+            }
+        }
+    }
+}
+
+} // namespace
+
+const char *
+ruleCode(RuleId rule)
+{
+    return ruleInfo(rule).code;
+}
+
+const char *
+ruleName(RuleId rule)
+{
+    return ruleInfo(rule).name;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+Severity
+defaultSeverity(RuleId rule)
+{
+    return ruleInfo(rule).severity;
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << graph << ": " << severityName(severity) << " " << ruleCode(rule)
+        << " " << ruleName(rule);
+    if (node)
+        oss << " (node " << *node << ")";
+    if (edge)
+        oss << " (edge " << edge->first << "->" << edge->second << ")";
+    oss << ": " << message;
+    return oss.str();
+}
+
+bool
+Report::fired(RuleId rule) const
+{
+    return std::any_of(diagnostics.begin(), diagnostics.end(),
+                       [rule](const Diagnostic &d) {
+                           return d.rule == rule;
+                       });
+}
+
+std::string
+Report::summary() const
+{
+    std::ostringstream oss;
+    oss << num_errors << (num_errors == 1 ? " error, " : " errors, ")
+        << num_warnings << (num_warnings == 1 ? " warning, " : " warnings, ")
+        << num_notes << (num_notes == 1 ? " note" : " notes");
+    if (suppressed > 0)
+        oss << " (" << suppressed << " diagnostics suppressed)";
+    return oss.str();
+}
+
+void
+Report::merge(const Report &other)
+{
+    diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                       other.diagnostics.end());
+    num_errors += other.num_errors;
+    num_warnings += other.num_warnings;
+    num_notes += other.num_notes;
+    suppressed += other.suppressed;
+}
+
+RawGraph
+rawFrom(const Graph &graph)
+{
+    RawGraph raw;
+    raw.name = graph.name();
+    std::size_t n = graph.numNodes();
+    raw.ops.reserve(n);
+    raw.widths.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+        raw.ops.push_back(graph.op(id));
+        raw.widths.push_back(graph.width(id));
+        for (NodeId succ : graph.succs(id))
+            raw.edges.emplace_back(id, succ);
+    }
+    return raw;
+}
+
+Report
+verify(const RawGraph &g, const Options &options)
+{
+    Report report;
+    Emitter out(report, options, g.name);
+
+    if (g.ops.empty()) {
+        out.graph(RuleId::EmptyGraph, "graph has no nodes");
+        return report;
+    }
+    if (!g.widths.empty() && g.widths.size() != g.ops.size())
+        panic("verify: '", g.name, "' has ", g.widths.size(),
+              " widths for ", g.ops.size(), " nodes");
+
+    const std::size_t n = g.ops.size();
+
+    // Declared widths must be physical before any propagation check.
+    for (NodeId id = 0; id < n; ++id) {
+        int w = widthOf(g, id);
+        if (w < 1 || w > kMaxWidth) {
+            std::ostringstream oss;
+            oss << nodeLabel(g, id) << " declares width " << w
+                << " bits, outside [1, " << kMaxWidth << "]";
+            out.node(RuleId::WidthImbalance, id, oss.str(),
+                     Severity::Error);
+        }
+    }
+
+    // V003/V002 (structural): edges must join existing, distinct nodes.
+    // Invalid edges are excluded from the adjacency all later rules use.
+    std::vector<std::vector<NodeId>> preds(n), succs(n);
+    std::vector<std::pair<NodeId, NodeId>> valid_edges;
+    valid_edges.reserve(g.edges.size());
+    for (const auto &[from, to] : g.edges) {
+        if (from >= n || to >= n) {
+            std::ostringstream oss;
+            oss << "edge endpoint out of range (graph has " << n
+                << " nodes)";
+            out.edge(RuleId::DanglingEdge, from, to, oss.str());
+            continue;
+        }
+        if (from == to) {
+            out.edge(RuleId::Cycle, from, to,
+                     "self edge (a one-node cycle)");
+            continue;
+        }
+        preds[to].push_back(from);
+        succs[from].push_back(to);
+        valid_edges.emplace_back(from, to);
+    }
+
+    // V005: duplicate edges. Operand repetition (x*x) is legal, so this
+    // is informational by default.
+    {
+        auto sorted = valid_edges;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t i = 0; i + 1 < sorted.size();) {
+            std::size_t run = 1;
+            while (i + run < sorted.size() && sorted[i + run] == sorted[i])
+                ++run;
+            if (run > 1) {
+                std::ostringstream oss;
+                oss << "edge appears " << run
+                    << " times (repeated operand)";
+                out.edge(RuleId::DuplicateEdge, sorted[i].first,
+                         sorted[i].second, oss.str());
+            }
+            i += run;
+        }
+    }
+
+    // V002: Kahn's algorithm; whatever cannot be scheduled is cyclic.
+    std::vector<std::size_t> in_degree(n);
+    for (NodeId id = 0; id < n; ++id)
+        in_degree[id] = preds[id].size();
+    std::queue<NodeId> ready;
+    for (NodeId id = 0; id < n; ++id) {
+        if (in_degree[id] == 0)
+            ready.push(id);
+    }
+    std::vector<NodeId> topo;
+    topo.reserve(n);
+    while (!ready.empty()) {
+        NodeId id = ready.front();
+        ready.pop();
+        topo.push_back(id);
+        for (NodeId succ : succs[id]) {
+            if (--in_degree[succ] == 0)
+                ready.push(succ);
+        }
+    }
+    const bool cyclic = topo.size() != n;
+    if (cyclic) {
+        NodeId sample = 0;
+        for (NodeId id = 0; id < n; ++id) {
+            if (in_degree[id] > 0) {
+                sample = id;
+                break;
+            }
+        }
+        std::ostringstream oss;
+        oss << (n - topo.size()) << " nodes form or feed from a cycle"
+            << " (e.g. " << nodeLabel(g, sample) << ")";
+        out.node(RuleId::Cycle, sample, oss.str());
+    }
+
+    // V006/V007: operand arity and variable placement.
+    for (NodeId id = 0; id < n; ++id) {
+        OpType op = g.ops[id];
+        std::size_t num_preds = preds[id].size();
+        if (op == OpType::Input || op == OpType::Output) {
+            if (op == OpType::Input && num_preds != 0) {
+                std::ostringstream oss;
+                oss << "input variable has " << num_preds
+                    << " incoming edges; V_IN nodes are pure sources";
+                out.node(RuleId::VariablePlacement, id, oss.str());
+            }
+            if (op == OpType::Output) {
+                if (num_preds != 1) {
+                    std::ostringstream oss;
+                    oss << "output variable has " << num_preds
+                        << " producers, expected exactly 1";
+                    out.node(RuleId::VariablePlacement, id, oss.str());
+                }
+                if (!succs[id].empty()) {
+                    std::ostringstream oss;
+                    oss << "output variable feeds " << succs[id].size()
+                        << " consumers; V_OUT nodes are pure sinks";
+                    out.node(RuleId::VariablePlacement, id, oss.str());
+                }
+            }
+            continue;
+        }
+        Arity want = arityOf(op);
+        if (num_preds < want.min || num_preds > want.max) {
+            std::ostringstream oss;
+            oss << nodeLabel(g, id) << " has " << num_preds
+                << " operands, expected " << want.min;
+            if (want.max != want.min)
+                oss << ".." << want.max;
+            out.node(RuleId::ArityMismatch, id, oss.str());
+        }
+    }
+
+    // V008: the vocabulary has no int<->float conversion node, so a
+    // direct edge between the two strict domains is always a modeling
+    // error.
+    for (const auto &[from, to] : valid_edges) {
+        Domain a = domainOf(g.ops[from]);
+        Domain b = domainOf(g.ops[to]);
+        if (a != Domain::Neutral && b != Domain::Neutral && a != b) {
+            std::ostringstream oss;
+            oss << opName(g.ops[from]) << " result consumed by "
+                << opName(g.ops[to]) << " with no conversion node";
+            out.edge(RuleId::TypeMismatch, from, to, oss.str());
+        }
+    }
+
+    // V009/V010: width propagation. A width-strict node must be at
+    // least as wide as its operands (narrowing silently truncates) and
+    // its operands should agree with each other.
+    for (NodeId id = 0; id < n; ++id) {
+        OpType op = g.ops[id];
+        if (preds[id].empty())
+            continue;
+        int w = widthOf(g, id);
+        if (isWidthStrict(op)) {
+            int wmin = kMaxWidth + 1, wmax = 0;
+            for (NodeId p : preds[id]) {
+                wmin = std::min(wmin, widthOf(g, p));
+                wmax = std::max(wmax, widthOf(g, p));
+            }
+            if (w < wmax) {
+                std::ostringstream oss;
+                oss << nodeLabel(g, id) << " is " << w
+                    << " bits but consumes a " << wmax
+                    << "-bit operand (silent truncation)";
+                out.node(RuleId::WidthNarrowing, id, oss.str());
+            }
+            if (preds[id].size() >= 2 && wmin != wmax) {
+                std::ostringstream oss;
+                oss << nodeLabel(g, id) << " mixes operand widths "
+                    << wmin << " and " << wmax << " bits";
+                out.node(RuleId::WidthImbalance, id, oss.str());
+            }
+        } else if (op == OpType::Shift) {
+            // Only the shifted value (operand 0) carries the datapath
+            // width; the shift amount may be narrow.
+            int w0 = widthOf(g, preds[id][0]);
+            if (w < w0) {
+                std::ostringstream oss;
+                oss << nodeLabel(g, id) << " is " << w
+                    << " bits but shifts a " << w0 << "-bit value";
+                out.node(RuleId::WidthNarrowing, id, oss.str());
+            }
+        } else if (op == OpType::Store) {
+            int w0 = widthOf(g, preds[id][0]);
+            if (w < w0) {
+                std::ostringstream oss;
+                oss << nodeLabel(g, id) << " is " << w
+                    << " bits but stores a " << w0 << "-bit value";
+                out.node(RuleId::WidthNarrowing, id, oss.str());
+            }
+        }
+    }
+
+    // V011: memory addressing. Addresses are integral, and a store's
+    // value leaves the datapath — nothing may consume it.
+    for (NodeId id = 0; id < n; ++id) {
+        OpType op = g.ops[id];
+        if (op == OpType::Load && !preds[id].empty()) {
+            NodeId addr = preds[id][0];
+            if (domainOf(g.ops[addr]) == Domain::Float) {
+                std::ostringstream oss;
+                oss << "load address computed by floating-point "
+                    << nodeLabel(g, addr);
+                out.edge(RuleId::MemoryAddressing, addr, id, oss.str());
+            }
+        }
+        if (op == OpType::Store && !succs[id].empty()) {
+            std::ostringstream oss;
+            oss << "store feeds " << succs[id].size()
+                << " consumers; stores are memory sinks";
+            out.node(RuleId::MemoryAddressing, id, oss.str());
+        }
+    }
+
+    // V012: every value must originate from a legitimate source — an
+    // input variable or a root load. (A pred-less compute node already
+    // fails V006; here we flag everything only it can feed.)
+    {
+        std::vector<char> reach(n, 0);
+        std::queue<NodeId> frontier;
+        for (NodeId id = 0; id < n; ++id) {
+            OpType op = g.ops[id];
+            if (preds[id].empty() &&
+                (op == OpType::Input || op == OpType::Load)) {
+                reach[id] = 1;
+                frontier.push(id);
+            }
+        }
+        while (!frontier.empty()) {
+            NodeId id = frontier.front();
+            frontier.pop();
+            for (NodeId succ : succs[id]) {
+                // Only mark a consumer once every producer on some
+                // path is itself sourced; forward reachability from
+                // legit sources is the relaxed version we check.
+                if (!reach[succ]) {
+                    reach[succ] = 1;
+                    frontier.push(succ);
+                }
+            }
+        }
+        for (NodeId id = 0; id < n; ++id) {
+            if (!reach[id] && !preds[id].empty()) {
+                std::ostringstream oss;
+                oss << nodeLabel(g, id)
+                    << " is not reachable from any input or root load";
+                out.node(RuleId::UnreachableNode, id, oss.str());
+            }
+        }
+    }
+
+    // V013: work must be observable. Effectful nodes are outputs,
+    // stores, and loads (memory traffic is architecturally visible);
+    // anything that cannot reach one is wasted datapath.
+    {
+        std::vector<char> live(n, 0);
+        std::queue<NodeId> frontier;
+        for (NodeId id = 0; id < n; ++id) {
+            OpType op = g.ops[id];
+            if (op == OpType::Output || op == OpType::Store ||
+                op == OpType::Load) {
+                live[id] = 1;
+                frontier.push(id);
+            }
+        }
+        while (!frontier.empty()) {
+            NodeId id = frontier.front();
+            frontier.pop();
+            for (NodeId pred : preds[id]) {
+                if (!live[pred]) {
+                    live[pred] = 1;
+                    frontier.push(pred);
+                }
+            }
+        }
+        for (NodeId id = 0; id < n; ++id) {
+            if (!live[id]) {
+                std::ostringstream oss;
+                oss << nodeLabel(g, id)
+                    << " cannot reach any output, store, or load";
+                out.node(RuleId::DeadNode, id, oss.str());
+            }
+        }
+    }
+
+    // V014: cross-check the Table II machinery — only meaningful once
+    // the structure itself is sound.
+    if (options.check_bounds && !cyclic &&
+        !report.fired(RuleId::DanglingEdge)) {
+        Analysis a = analyzeRaw(g, preds, succs, topo);
+        checkBounds(a, out);
+    }
+
+    return report;
+}
+
+Report
+verify(const Graph &graph, const Options &options)
+{
+    Report report;
+    Emitter out(report, options, graph.name());
+
+    // V004: the two adjacency views must describe the same edge
+    // multiset, and their totals must match the edge counter.
+    std::map<std::pair<NodeId, NodeId>, long> balance;
+    std::size_t from_succs = 0, from_preds = 0;
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        for (NodeId succ : graph.succs(id)) {
+            ++balance[{ id, succ }];
+            ++from_succs;
+        }
+        for (NodeId pred : graph.preds(id)) {
+            --balance[{ pred, id }];
+            ++from_preds;
+        }
+    }
+    for (const auto &[e, delta] : balance) {
+        if (delta != 0) {
+            std::ostringstream oss;
+            oss << "edge recorded " << (delta > 0 ? "in succs" : "in preds")
+                << " only (multiplicity skew " << delta << ")";
+            out.edge(RuleId::EdgeMirror, e.first, e.second, oss.str());
+        }
+    }
+    if (from_succs != graph.numEdges() || from_preds != graph.numEdges()) {
+        std::ostringstream oss;
+        oss << "edge counter says " << graph.numEdges() << " but succs hold "
+            << from_succs << " and preds hold " << from_preds;
+        out.graph(RuleId::EdgeMirror, oss.str());
+    }
+
+    Report structural = verify(rawFrom(graph), options);
+    report.merge(structural);
+    return report;
+}
+
+Report
+verifyRewrite(const Graph &before, const Graph &after,
+              const Options &options)
+{
+    // The rewritten graph must itself pass every single-graph rule.
+    Report report = verify(after, options);
+    Emitter out(report, options, after.name());
+
+    // Pair rules need both analyses; skip them if either side is too
+    // broken to analyze (a cyclic graph would fatal in analyze()).
+    Options quiet = options;
+    quiet.check_bounds = false;
+    if (!verify(before, quiet).ok() || !report.ok())
+        return report;
+
+    Analysis a = analyze(before);
+    Analysis b = analyze(after);
+
+    if (a.num_inputs != b.num_inputs) {
+        std::ostringstream oss;
+        oss << "rewrite changed |V_IN| from " << a.num_inputs << " to "
+            << b.num_inputs;
+        out.graph(RuleId::RewriteInputs, oss.str());
+    }
+
+    auto countOp = [](const Graph &g, OpType op) {
+        return g.countIf([op](OpType o) { return o == op; });
+    };
+    for (OpType op : { OpType::Output, OpType::Store, OpType::Load }) {
+        std::size_t na = countOp(before, op);
+        std::size_t nb = countOp(after, op);
+        if (na != nb) {
+            std::ostringstream oss;
+            oss << "rewrite changed " << opName(op) << " population from "
+                << na << " to " << nb
+                << "; effectful nodes must be preserved";
+            out.graph(RuleId::RewriteSinks, oss.str());
+        }
+    }
+
+    if (b.depth < a.depth) {
+        std::ostringstream oss;
+        oss << "rewrite shortened the critical path from D=" << a.depth
+            << " to D=" << b.depth
+            << "; mechanical rewrites may not beat the Θ(D) bound";
+        out.graph(RuleId::RewriteDepth, oss.str());
+    }
+
+    return report;
+}
+
+namespace
+{
+
+bool &
+debugFlag()
+{
+    static bool enabled = [] {
+        if (const char *env = std::getenv("ACCELWALL_VERIFY"))
+            return std::string(env) != "0";
+#ifndef NDEBUG
+        return true;
+#else
+        return false;
+#endif
+    }();
+    return enabled;
+}
+
+} // namespace
+
+bool
+debugVerifyEnabled()
+{
+    return debugFlag();
+}
+
+void
+setDebugVerify(bool enabled)
+{
+    debugFlag() = enabled;
+}
+
+void
+debugVerify(const Graph &graph, const char *where)
+{
+    if (!debugVerifyEnabled())
+        return;
+    Report report = verify(graph);
+    if (report.ok())
+        return;
+    std::ostringstream oss;
+    oss << where << ": DFG '" << graph.name() << "' failed verification ("
+        << report.summary() << ")";
+    std::size_t shown = 0;
+    for (const Diagnostic &d : report.diagnostics) {
+        if (d.severity != Severity::Error)
+            continue;
+        oss << "\n  " << d.str();
+        if (++shown == 10) {
+            oss << "\n  ...";
+            break;
+        }
+    }
+    panic(oss.str());
+}
+
+} // namespace accelwall::dfg::verify

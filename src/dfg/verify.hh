@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Rule-based DFG verifier and model-integrity diagnostics.
+ *
+ * Every Section V/VI result rests on the dataflow graphs being
+ * well-formed: the Table II bounds read |V|, |E|, D, and max|WS| off
+ * the graph, the Aladdin-style simulator schedules it, and the dfgopt
+ * rewrites transform it. A silently malformed DFG — a cycle, a node
+ * with the wrong operand count, a dead subgraph — corrupts every
+ * downstream CSR number without any visible failure. This module
+ * machine-checks those invariants and reports violations as structured
+ * diagnostics (rule ID, severity, offending node/edge, graph
+ * provenance), the same contract a compiler's IR verifier provides.
+ *
+ * Three entry points:
+ *  - verify():        all single-graph rules (V001..V014);
+ *  - verifyRewrite(): before/after semantic-preservation rules for the
+ *                     dfgopt rewrites (R001..R003);
+ *  - debugVerify():   a cheap hook for hot paths — no-op unless the
+ *                     ACCELWALL_VERIFY environment variable is set (or
+ *                     the build is !NDEBUG), panic() on errors.
+ */
+
+#ifndef ACCELWALL_DFG_VERIFY_HH
+#define ACCELWALL_DFG_VERIFY_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dfg/graph.hh"
+
+namespace accelwall::dfg::verify
+{
+
+/** Identity of one verification rule. */
+enum class RuleId
+{
+    // Single-graph structural rules.
+    EmptyGraph,         ///< V001: graph has no nodes
+    Cycle,              ///< V002: not acyclic (includes self edges)
+    DanglingEdge,       ///< V003: edge endpoint is not a node
+    EdgeMirror,         ///< V004: preds/succs adjacency views disagree
+    DuplicateEdge,      ///< V005: same (from,to) edge appears twice
+    ArityMismatch,      ///< V006: operand count outside the op's range
+    VariablePlacement,  ///< V007: Input has preds / Output has succs
+    TypeMismatch,       ///< V008: int-domain op feeds float-domain op
+    WidthNarrowing,     ///< V009: node narrower than its operands
+    WidthImbalance,     ///< V010: width-strict op with unequal operands
+    MemoryAddressing,   ///< V011: Load/Store addressing invariant broken
+    UnreachableNode,    ///< V012: not reachable from any Input/root Load
+    DeadNode,           ///< V013: no effectful sink (Output/Store/Load)
+    BoundConsistency,   ///< V014: Table II bound cross-check failed
+
+    // Rewrite (before/after) semantic-preservation rules.
+    RewriteInputs,      ///< R001: rewrite changed |V_IN|
+    RewriteSinks,       ///< R002: rewrite changed Output/Store/Load count
+    RewriteDepth,       ///< R003: rewrite beat the Θ(D) dependence bound
+    RewriteAccounting,  ///< R004: op-count accounting mismatch
+};
+
+/** Total number of RuleId values (for dense per-rule tables). */
+inline constexpr int kNumRules =
+    static_cast<int>(RuleId::RewriteAccounting) + 1;
+
+/** Diagnostic severity; only Error fails verification. */
+enum class Severity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** Stable short code, e.g. "V006". */
+const char *ruleCode(RuleId rule);
+
+/** Kebab-case rule name, e.g. "arity-mismatch". */
+const char *ruleName(RuleId rule);
+
+/** Lower-case severity name, e.g. "error". */
+const char *severityName(Severity severity);
+
+/** The built-in severity a rule fires at. */
+Severity defaultSeverity(RuleId rule);
+
+/** One rule violation, locatable to a node or edge. */
+struct Diagnostic
+{
+    RuleId rule = RuleId::EmptyGraph;
+    Severity severity = Severity::Error;
+    /** Graph provenance (the kernel or rewrite-output name). */
+    std::string graph;
+    /** Offending node, when the rule localizes to one. */
+    std::optional<NodeId> node;
+    /** Offending edge, when the rule localizes to one. */
+    std::optional<std::pair<NodeId, NodeId>> edge;
+    /** Human-readable explanation with concrete values. */
+    std::string message;
+
+    /** One-line rendering: "GRAPH: error V006 arity-mismatch ...". */
+    std::string str() const;
+};
+
+/** Knobs for one verification run. */
+struct Options
+{
+    /** Cross-check dfg::analyze against concepts/bounds.hh (V014). */
+    bool check_bounds = true;
+    /** Escalate Warning diagnostics to Error. */
+    bool warnings_as_errors = false;
+    /** Keep at most this many diagnostics; the rest are counted. */
+    std::size_t max_diagnostics = 256;
+};
+
+/** Outcome of one verification run. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t num_errors = 0;
+    std::size_t num_warnings = 0;
+    std::size_t num_notes = 0;
+    /** Diagnostics dropped beyond Options::max_diagnostics. */
+    std::size_t suppressed = 0;
+
+    /** True when no Error-severity diagnostics fired. */
+    bool ok() const { return num_errors == 0; }
+
+    /** True when a rule with this id fired (at any severity). */
+    bool fired(RuleId rule) const;
+
+    /** "3 errors, 1 warning, 0 notes". */
+    std::string summary() const;
+
+    /** Append another report's diagnostics and counts. */
+    void merge(const Report &other);
+};
+
+/**
+ * Edge-list form of a graph the verifier can check without the Graph
+ * class's construction-time guards. Tests (and external importers) use
+ * this to seed deliberately broken structures — dangling edges, self
+ * edges — that Graph::addEdge would reject at build time.
+ */
+struct RawGraph
+{
+    std::string name;
+    std::vector<OpType> ops;
+    /** Per-node value width in bits; empty means all kDefaultWidth. */
+    std::vector<int> widths;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/** Snapshot a Graph into the edge-list form. */
+RawGraph rawFrom(const Graph &graph);
+
+/** Run every single-graph rule against an edge-list graph. */
+Report verify(const RawGraph &graph, const Options &options = {});
+
+/**
+ * Run every single-graph rule against @p graph, plus the EdgeMirror
+ * consistency check between its preds/succs adjacency views.
+ */
+Report verify(const Graph &graph, const Options &options = {});
+
+/**
+ * Check that a dfgopt rewrite mapped a verified graph to a verified
+ * graph without changing what the computation reads or writes: same
+ * |V_IN| (R001), same Output/Store/Load populations (R002), and a
+ * critical path no shorter than before (R003) — a mechanical rewrite
+ * that beats the Θ(D) dependence bound of Table II has almost
+ * certainly broken semantics. Runs verify(after) first and folds its
+ * diagnostics into the returned report.
+ */
+Report verifyRewrite(const Graph &before, const Graph &after,
+                     const Options &options = {});
+
+/**
+ * True when debugVerify() actually verifies: set by ACCELWALL_VERIFY
+ * (any value but "0"), by !NDEBUG builds, or by setDebugVerify().
+ */
+bool debugVerifyEnabled();
+
+/** Force the debugVerify() gate on or off (tests and tools). */
+void setDebugVerify(bool enabled);
+
+/**
+ * Fail-fast hook for graph producers and consumers: when enabled,
+ * verify @p graph and panic() listing the diagnostics if any rule
+ * fires at Error severity. @p where names the call site.
+ */
+void debugVerify(const Graph &graph, const char *where);
+
+} // namespace accelwall::dfg::verify
+
+#endif // ACCELWALL_DFG_VERIFY_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 #include "dfg/analysis.hh"
+#include "dfg/verify.hh"
 
 namespace accelwall::dfgopt
 {
@@ -40,12 +42,13 @@ isCommutative(OpType op)
 Graph
 eliminateCommonSubexpressions(const Graph &graph, RewriteStats *stats)
 {
+    dfg::verify::debugVerify(graph, "dfgopt::cse input");
     Graph out(graph.name() + "+cse");
 
-    // Value numbering in topological order: a node's key is its op and
-    // its operands' value numbers.
+    // Value numbering in topological order: a node's key is its op,
+    // its width, and its operands' value numbers.
     std::vector<NodeId> remap(graph.numNodes());
-    std::map<std::pair<OpType, std::vector<NodeId>>, NodeId> table;
+    std::map<std::tuple<OpType, int, std::vector<NodeId>>, NodeId> table;
     std::size_t merged = 0;
 
     for (NodeId id : graph.topoOrder()) {
@@ -63,14 +66,15 @@ eliminateCommonSubexpressions(const Graph &graph, RewriteStats *stats)
             std::vector<NodeId> key_preds = preds;
             if (isCommutative(op))
                 std::sort(key_preds.begin(), key_preds.end());
-            auto key = std::make_pair(op, std::move(key_preds));
+            auto key = std::make_tuple(op, graph.width(id),
+                                       std::move(key_preds));
             auto it = table.find(key);
             if (it != table.end()) {
                 remap[id] = it->second;
                 ++merged;
                 continue;
             }
-            NodeId fresh = out.addNode(op);
+            NodeId fresh = out.addNode(op, graph.width(id));
             for (NodeId p : preds)
                 out.addEdge(p, fresh);
             table.emplace(std::move(key), fresh);
@@ -78,7 +82,7 @@ eliminateCommonSubexpressions(const Graph &graph, RewriteStats *stats)
             continue;
         }
 
-        NodeId fresh = out.addNode(op);
+        NodeId fresh = out.addNode(op, graph.width(id));
         for (NodeId p : preds)
             out.addEdge(p, fresh);
         remap[id] = fresh;
@@ -89,12 +93,14 @@ eliminateCommonSubexpressions(const Graph &graph, RewriteStats *stats)
         stats->nodes_after = out.numNodes();
         stats->rewritten = merged;
     }
+    dfg::verify::debugVerify(out, "dfgopt::cse output");
     return out;
 }
 
 Graph
 reduceStrength(const Graph &graph, RewriteStats *stats)
 {
+    dfg::verify::debugVerify(graph, "dfgopt::sr input");
     Graph out(graph.name() + "+sr");
 
     std::vector<NodeId> remap(graph.numNodes());
@@ -107,12 +113,13 @@ reduceStrength(const Graph &graph, RewriteStats *stats)
         if (op == OpType::Mul && preds.size() == 1) {
             // Constant multiply: canonical signed-digit form with two
             // terms, (x << a) +/- (x << b).
+            int w = graph.width(id);
             NodeId src = remap[preds[0]];
-            NodeId sh1 = out.addNode(OpType::Shift);
+            NodeId sh1 = out.addNode(OpType::Shift, w);
             out.addEdge(src, sh1);
-            NodeId sh2 = out.addNode(OpType::Shift);
+            NodeId sh2 = out.addNode(OpType::Shift, w);
             out.addEdge(src, sh2);
-            NodeId sum = out.addNode(OpType::Add);
+            NodeId sum = out.addNode(OpType::Add, w);
             out.addEdge(sh1, sum);
             out.addEdge(sh2, sum);
             remap[id] = sum;
@@ -120,7 +127,7 @@ reduceStrength(const Graph &graph, RewriteStats *stats)
             continue;
         }
 
-        NodeId fresh = out.addNode(op);
+        NodeId fresh = out.addNode(op, graph.width(id));
         for (NodeId p : preds)
             out.addEdge(remap[p], fresh);
         remap[id] = fresh;
@@ -131,6 +138,7 @@ reduceStrength(const Graph &graph, RewriteStats *stats)
         stats->nodes_after = out.numNodes();
         stats->rewritten = rewritten;
     }
+    dfg::verify::debugVerify(out, "dfgopt::sr output");
     return out;
 }
 

@@ -34,10 +34,14 @@ mix3(Graph &g, NodeId x)
  *        chunk's expansion across works whose merkle-root tails
  *        collide, so its per-nonce cost amortizes away.
  * @param state In/out: the eight working variables.
+ * @param prune_last_round Omit the final round's 'e' adder. Valid only
+ *        when the caller consumes nothing but the digest's leading
+ *        word: mining datapaths do exactly that, and keeping the adder
+ *        leaves a dead node in the DFG (accelwall-lint V013).
  */
 void
 compress(Graph &g, std::vector<NodeId> w, bool shared_schedule,
-         std::array<NodeId, 8> &state)
+         std::array<NodeId, 8> &state, bool prune_last_round = false)
 {
     // Message-schedule expansion: w[i] = w[i-16] + s0(w[i-15]) +
     // w[i-7] + s1(w[i-2]).
@@ -76,11 +80,12 @@ compress(Graph &g, std::vector<NodeId> w, bool shared_schedule,
             binary(g, OpType::And, state[1], state[2]));
         NodeId temp2 = binary(g, OpType::Add, s0, maj);
 
+        bool last = prune_last_round && r == 63;
         state = {binary(g, OpType::Add, temp1, temp2),
                  state[0],
                  state[1],
                  state[2],
-                 binary(g, OpType::Add, state[3], temp1),
+                 last ? temp1 : binary(g, OpType::Add, state[3], temp1),
                  state[4],
                  state[5],
                  state[6]};
@@ -119,7 +124,10 @@ makeBtc(bool asicboost)
     std::array<NodeId, 8> state2;
     for (auto &v : state2)
         v = g.addNode(OpType::Load); // the fixed IV
-    compress(g, w2, /*shared_schedule=*/false, state2);
+    // Only state2[0] survives into the difficulty check, so the second
+    // compression prunes its final-round 'e' adder like real miners do.
+    compress(g, w2, /*shared_schedule=*/false, state2,
+             /*prune_last_round=*/true);
 
     // Difficulty check: compare the leading digest words to the
     // target.

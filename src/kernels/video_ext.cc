@@ -122,6 +122,9 @@ makeEnt(int bits)
         g.addEdge(symbol, st);
         window = binary(g, OpType::Shift, spliced, length);
     }
+    // The final window is decoder state the next block resumes from;
+    // without this store the last shift is dead hardware (V013).
+    storeAll(g, {window});
     return g;
 }
 

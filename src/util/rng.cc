@@ -36,7 +36,10 @@ Rng::uniformInt(int lo, int hi)
 {
     if (hi < lo)
         panic("Rng::uniformInt: hi < lo");
-    std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+    // Widen both ends before subtracting: uint64 - int mixes
+    // signedness and only lands on the right span by modular accident.
+    std::uint64_t span = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo)) + 1;
     return lo + static_cast<int>(nextU64() % span);
 }
 

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * accelwall-lint: static model-integrity checking for every registered
+ * kernel DFG and every dfgopt rewrite.
+ *
+ * Usage: accelwall-lint [options] [KERNEL ...]
+ *
+ *   --format text|json   diagnostic output format (default text)
+ *   --strict             treat warnings as errors for the exit code
+ *   --verbose            also print note-severity diagnostics
+ *   --list-rules         print the rule table and exit
+ *   --demo-broken        lint intentionally broken graphs instead of
+ *                        the registry (exits nonzero; used by ctest)
+ *
+ * Without kernel arguments the whole registry is linted: the 16 Table
+ * IV kernels, the extension kernels (BTC, BTC-AB, IDCT, ENT, DFT), and
+ * the Figure 11 example. Each kernel is verified as built, then pushed
+ * through every dfgopt rewrite in before/after mode: the rewrite must
+ * map a verified graph to a verified graph, preserve inputs and
+ * effectful sinks, and its RewriteStats op-count accounting must match
+ * the actual node delta. Exits 1 if any rule fires at error severity.
+ */
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hh"
+#include "dfg/verify.hh"
+#include "dfgopt/rewrites.hh"
+#include "kernels/kernels.hh"
+
+using namespace accelwall;
+using dfg::verify::Diagnostic;
+using dfg::verify::Options;
+using dfg::verify::Report;
+using dfg::verify::RuleId;
+using dfg::verify::Severity;
+
+namespace
+{
+
+struct LintConfig
+{
+    bool json = false;
+    bool strict = false;
+    bool verbose = false;
+};
+
+/** One verified graph (a kernel, or one rewrite's output). */
+struct GraphResult
+{
+    std::string name;
+    std::string phase; // "kernel", "cse", "sr"
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    Report report;
+};
+
+/** The registry the linter walks by default. */
+std::vector<std::string>
+allKernelNames()
+{
+    std::vector<std::string> names;
+    for (const kernels::KernelInfo &info : kernels::kernelTable())
+        names.push_back(info.abbrev);
+    for (const char *ext : { "BTC", "BTC-AB", "IDCT", "ENT", "DFT" })
+        names.emplace_back(ext);
+    return names;
+}
+
+/** Append an R004 diagnostic when RewriteStats don't add up. */
+void
+checkAccounting(const std::string &graph, const char *rewrite,
+                const dfgopt::RewriteStats &stats,
+                std::size_t expected_after, Report &report)
+{
+    if (stats.nodes_after == expected_after)
+        return;
+    Diagnostic d;
+    d.rule = RuleId::RewriteAccounting;
+    d.severity = Severity::Error;
+    d.graph = graph;
+    std::ostringstream oss;
+    oss << rewrite << " reported " << stats.rewritten << " rewrites on "
+        << stats.nodes_before << " nodes, which predicts "
+        << expected_after << " nodes, but produced " << stats.nodes_after;
+    d.message = oss.str();
+    report.diagnostics.push_back(std::move(d));
+    ++report.num_errors;
+}
+
+/** Verify one kernel and both rewrites of it. */
+std::vector<GraphResult>
+lintGraph(const dfg::Graph &g, const Options &options)
+{
+    std::vector<GraphResult> results;
+
+    GraphResult base;
+    base.name = g.name();
+    base.phase = "kernel";
+    base.nodes = g.numNodes();
+    base.edges = g.numEdges();
+    base.report = dfg::verify::verify(g, options);
+    results.push_back(std::move(base));
+
+    struct RewriteCase
+    {
+        const char *phase;
+        std::function<dfg::Graph(const dfg::Graph &,
+                                 dfgopt::RewriteStats *)> run;
+        std::function<std::size_t(const dfgopt::RewriteStats &)> predict;
+    };
+    const RewriteCase cases[] = {
+        { "cse", dfgopt::eliminateCommonSubexpressions,
+          // CSE deletes each merged node.
+          [](const dfgopt::RewriteStats &s) {
+              return s.nodes_before - s.rewritten;
+          } },
+        { "sr", dfgopt::reduceStrength,
+          // Strength reduction replaces one multiplier with three
+          // cheap nodes: net +2 per rewrite.
+          [](const dfgopt::RewriteStats &s) {
+              return s.nodes_before + 2 * s.rewritten;
+          } },
+    };
+
+    for (const RewriteCase &rc : cases) {
+        dfgopt::RewriteStats stats;
+        dfg::Graph after = rc.run(g, &stats);
+        GraphResult res;
+        res.name = after.name();
+        res.phase = rc.phase;
+        res.nodes = after.numNodes();
+        res.edges = after.numEdges();
+        res.report = dfg::verify::verifyRewrite(g, after, options);
+        checkAccounting(after.name(), rc.phase, stats, rc.predict(stats),
+                        res.report);
+        results.push_back(std::move(res));
+    }
+    return results;
+}
+
+/**
+ * Intentionally malformed graphs: proof the rules catch what they
+ * claim to, and a seeded failure for the `lint_broken` ctest.
+ */
+std::vector<GraphResult>
+brokenShowcase(const Options &options)
+{
+    std::vector<GraphResult> results;
+    auto add = [&](const char *phase, const std::string &name,
+                   Report report, std::size_t nodes, std::size_t edges) {
+        GraphResult res;
+        res.name = name;
+        res.phase = phase;
+        res.nodes = nodes;
+        res.edges = edges;
+        res.report = std::move(report);
+        results.push_back(std::move(res));
+    };
+
+    {
+        // A two-node cycle: the graph is not a DFG at all.
+        dfg::Graph g("demo-cycle");
+        dfg::NodeId a = g.addNode(dfg::OpType::Add);
+        dfg::NodeId b = g.addNode(dfg::OpType::Sub);
+        g.addEdge(a, b);
+        g.addEdge(b, a);
+        add("broken", g.name(), dfg::verify::verify(g, options),
+            g.numNodes(), g.numEdges());
+    }
+    {
+        // An 8-bit adder silently truncating 32-bit loads, and a
+        // division with three operands.
+        dfg::Graph g("demo-width-arity");
+        dfg::NodeId l1 = g.addNode(dfg::OpType::Load);
+        dfg::NodeId l2 = g.addNode(dfg::OpType::Load);
+        dfg::NodeId l3 = g.addNode(dfg::OpType::Load);
+        dfg::NodeId sum = g.addNode(dfg::OpType::Add, 8);
+        dfg::NodeId div = g.addNode(dfg::OpType::Div);
+        g.addEdge(l1, sum);
+        g.addEdge(l2, sum);
+        g.addEdge(l1, div);
+        g.addEdge(l2, div);
+        g.addEdge(l3, div);
+        dfg::NodeId st = g.addNode(dfg::OpType::Store);
+        g.addEdge(sum, st);
+        dfg::NodeId st2 = g.addNode(dfg::OpType::Store);
+        g.addEdge(div, st2);
+        add("broken", g.name(), dfg::verify::verify(g, options),
+            g.numNodes(), g.numEdges());
+    }
+    {
+        // A dangling edge, expressible only in the raw edge-list form
+        // (Graph::addEdge refuses it at construction time).
+        dfg::verify::RawGraph raw;
+        raw.name = "demo-dangling";
+        raw.ops = { dfg::OpType::Load, dfg::OpType::Store };
+        raw.edges = { { 0, 1 }, { 0, 7 } };
+        add("broken", raw.name, dfg::verify::verify(raw, options),
+            raw.ops.size(), raw.edges.size());
+    }
+    {
+        // Dead compute: a multiply whose value no output ever sees.
+        dfg::Graph g("demo-dead");
+        dfg::NodeId l1 = g.addNode(dfg::OpType::Load);
+        dfg::NodeId l2 = g.addNode(dfg::OpType::Load);
+        dfg::NodeId mul = g.addNode(dfg::OpType::Mul);
+        g.addEdge(l1, mul);
+        g.addEdge(l2, mul);
+        dfg::NodeId sum = g.addNode(dfg::OpType::Add);
+        g.addEdge(l1, sum);
+        g.addEdge(l2, sum);
+        dfg::NodeId st = g.addNode(dfg::OpType::Store);
+        g.addEdge(sum, st);
+        add("broken", g.name(), dfg::verify::verify(g, options),
+            g.numNodes(), g.numEdges());
+    }
+    return results;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += ch; break;
+        }
+    }
+    return out;
+}
+
+void
+printJson(const std::vector<GraphResult> &results, std::ostream &os)
+{
+    std::size_t errors = 0, warnings = 0, notes = 0;
+    os << "{\n  \"graphs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const GraphResult &res = results[i];
+        errors += res.report.num_errors;
+        warnings += res.report.num_warnings;
+        notes += res.report.num_notes;
+        os << "    {\"name\": \"" << jsonEscape(res.name)
+           << "\", \"phase\": \"" << res.phase
+           << "\", \"nodes\": " << res.nodes
+           << ", \"edges\": " << res.edges
+           << ", \"errors\": " << res.report.num_errors
+           << ", \"warnings\": " << res.report.num_warnings
+           << ", \"notes\": " << res.report.num_notes
+           << ", \"diagnostics\": [";
+        for (std::size_t d = 0; d < res.report.diagnostics.size(); ++d) {
+            const Diagnostic &diag = res.report.diagnostics[d];
+            os << (d == 0 ? "\n" : ",\n") << "      {\"rule\": \""
+               << dfg::verify::ruleCode(diag.rule) << "\", \"name\": \""
+               << dfg::verify::ruleName(diag.rule)
+               << "\", \"severity\": \""
+               << dfg::verify::severityName(diag.severity) << "\"";
+            if (diag.node)
+                os << ", \"node\": " << *diag.node;
+            if (diag.edge) {
+                os << ", \"edge\": [" << diag.edge->first << ", "
+                   << diag.edge->second << "]";
+            }
+            os << ", \"message\": \"" << jsonEscape(diag.message)
+               << "\"}";
+        }
+        os << (res.report.diagnostics.empty() ? "]" : "\n    ]")
+           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"summary\": {\"graphs\": " << results.size()
+       << ", \"errors\": " << errors << ", \"warnings\": " << warnings
+       << ", \"notes\": " << notes << "}\n}\n";
+}
+
+void
+printText(const std::vector<GraphResult> &results, const LintConfig &cfg,
+          std::ostream &os)
+{
+    std::size_t errors = 0, warnings = 0, notes = 0;
+    for (const GraphResult &res : results) {
+        errors += res.report.num_errors;
+        warnings += res.report.num_warnings;
+        notes += res.report.num_notes;
+        os << res.name << " [" << res.phase << "]: " << res.nodes
+           << " nodes, " << res.edges << " edges: "
+           << (res.report.ok() ? "OK" : "FAIL");
+        if (res.report.num_errors + res.report.num_warnings +
+                res.report.num_notes > 0) {
+            os << " (" << res.report.summary() << ")";
+        }
+        os << "\n";
+        for (const Diagnostic &d : res.report.diagnostics) {
+            if (d.severity == Severity::Note && !cfg.verbose)
+                continue;
+            os << "  " << d.str() << "\n";
+        }
+    }
+    os << results.size() << " graphs linted: " << errors << " errors, "
+       << warnings << " warnings, " << notes << " notes\n";
+}
+
+void
+listRules(std::ostream &os)
+{
+    os << "rule  name                severity  scope\n";
+    for (int i = 0; i < dfg::verify::kNumRules; ++i) {
+        auto rule = static_cast<RuleId>(i);
+        std::string code = dfg::verify::ruleCode(rule);
+        std::string name = dfg::verify::ruleName(rule);
+        name.resize(19, ' ');
+        os << code << "  " << name << " "
+           << dfg::verify::severityName(dfg::verify::defaultSeverity(rule))
+           << (code[0] == 'R' ? "   rewrite pair" : "   single graph")
+           << "\n";
+    }
+}
+
+int
+usage()
+{
+    std::cerr << "usage: accelwall-lint [--format text|json] [--strict]\n"
+              << "                      [--verbose] [--list-rules]\n"
+              << "                      [--demo-broken] [KERNEL ...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintConfig cfg;
+    bool demo_broken = false;
+    std::vector<std::string> kernels;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--format") {
+            if (i + 1 >= argc)
+                return usage();
+            std::string fmt = argv[++i];
+            if (fmt == "json") {
+                cfg.json = true;
+            } else if (fmt != "text") {
+                return usage();
+            }
+        } else if (arg == "--strict") {
+            cfg.strict = true;
+        } else if (arg == "--verbose") {
+            cfg.verbose = true;
+        } else if (arg == "--list-rules") {
+            listRules(std::cout);
+            return 0;
+        } else if (arg == "--demo-broken") {
+            demo_broken = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            kernels.push_back(arg);
+        }
+    }
+
+    Options options;
+    options.warnings_as_errors = cfg.strict;
+
+    std::vector<GraphResult> results;
+    if (demo_broken) {
+        results = brokenShowcase(options);
+    } else {
+        bool whole_registry = kernels.empty();
+        if (whole_registry)
+            kernels = allKernelNames();
+        for (const std::string &name : kernels) {
+            auto linted = lintGraph(kernels::makeKernel(name), options);
+            results.insert(results.end(), linted.begin(), linted.end());
+        }
+        if (whole_registry) {
+            auto fig = lintGraph(dfg::makeFigure11Example(), options);
+            results.insert(results.end(), fig.begin(), fig.end());
+        }
+    }
+
+    if (cfg.json)
+        printJson(results, std::cout);
+    else
+        printText(results, cfg, std::cout);
+
+    for (const GraphResult &res : results) {
+        if (!res.report.ok())
+            return 1;
+    }
+    return 0;
+}

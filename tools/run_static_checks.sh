@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the full static-analysis battery:
+#
+#   1. A plain build with the tier-1 test suite (includes the `lint`
+#      and `lint_broken` ctest entries driving accelwall-lint).
+#   2. An AddressSanitizer build + full ctest.
+#   3. An UndefinedBehaviorSanitizer build + full ctest.
+#   4. clang-tidy over src/ (skipped with a notice when clang-tidy is
+#      not installed — the container ships gcc only).
+#
+# Usage: tools/run_static_checks.sh [build-dir-prefix]
+#
+# Build trees land in <prefix>, <prefix>-asan, <prefix>-ubsan
+# (default prefix: build-checks). Exits nonzero on the first failure.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-checks}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+    local dir="$1"
+    shift
+    echo "=== configure ${dir} ($*) ==="
+    cmake -B "${dir}" -S . "$@" >/dev/null
+    echo "=== build ${dir} ==="
+    cmake --build "${dir}" -j "${jobs}"
+    echo "=== ctest ${dir} ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite "${prefix}"
+run_suite "${prefix}-asan" -DACCELWALL_ASAN=ON
+run_suite "${prefix}-ubsan" -DACCELWALL_UBSAN=ON
+
+echo "=== lint (strict) ==="
+"${prefix}/tools/accelwall-lint" --strict
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== clang-tidy ==="
+    cmake -B "${prefix}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cc' -print0 |
+        xargs -0 -P "${jobs}" -n 1 clang-tidy -p "${prefix}" --quiet
+else
+    echo "=== clang-tidy not installed; skipping (config: .clang-tidy) ==="
+fi
+
+echo "All static checks passed."
