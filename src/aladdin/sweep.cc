@@ -1,7 +1,16 @@
 #include "aladdin/sweep.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
 
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
@@ -18,63 +27,446 @@ closeRel(double a, double b, double tol = 1e-3)
                                               std::fabs(b));
 }
 
+/**
+ * %.17g round-trips IEEE binary64 exactly, so checkpointed cells
+ * restore to bit-identical doubles — the resume bit-identity guarantee
+ * rests on this.
+ */
+std::string
+fmtExact(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char ch : s) {
+        h ^= ch;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Identifies the (kernel, grid) a checkpoint belongs to: resuming with
+ * a different kernel or sweep configuration must be rejected, not
+ * silently mixed.
+ */
+std::string
+configFingerprint(const Simulator &sim, const SweepConfig &cfg)
+{
+    std::ostringstream key;
+    key << sim.graph().name() << '|' << sim.graph().numNodes() << '|'
+        << sim.graph().numEdges() << '|';
+    for (double n : cfg.nodes)
+        key << fmtExact(n) << ',';
+    key << '|';
+    for (int p : cfg.partitions)
+        key << p << ',';
+    key << '|';
+    for (int s : cfg.simplifications)
+        key << s << ',';
+    key << '|' << cfg.chaining << '|' << fmtExact(cfg.clock_ghz);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(key.str())));
+    return buf;
+}
+
+std::string
+serializeCell(const SimResult &r)
+{
+    std::ostringstream oss;
+    oss << r.cycles << ' ' << fmtExact(r.runtime_ns) << ' '
+        << fmtExact(r.dynamic_energy_pj) << ' '
+        << fmtExact(r.leakage_power_uw) << ' ' << fmtExact(r.energy_pj)
+        << ' ' << fmtExact(r.power_mw) << ' ' << fmtExact(r.area_um2)
+        << ' ' << r.ops << ' ' << r.fused_ops << ' '
+        << fmtExact(r.throughput_ops) << ' '
+        << fmtExact(r.efficiency_opj) << ' '
+        << fmtExact(r.lane_utilization) << ' ' << r.initiation_interval
+        << ' ' << fmtExact(r.pipelined_throughput_ops);
+    return oss.str();
+}
+
+bool
+parseCell(const std::string &text, SimResult &r)
+{
+    std::istringstream iss(text);
+    iss >> r.cycles >> r.runtime_ns >> r.dynamic_energy_pj >>
+        r.leakage_power_uw >> r.energy_pj >> r.power_mw >> r.area_um2 >>
+        r.ops >> r.fused_ops >> r.throughput_ops >> r.efficiency_opj >>
+        r.lane_utilization >> r.initiation_interval >>
+        r.pipelined_throughput_ops;
+    return !iss.fail();
+}
+
+std::string
+oneLine(std::string s)
+{
+    std::replace(s.begin(), s.end(), '\n', ' ');
+    std::replace(s.begin(), s.end(), '\r', ' ');
+    return s;
+}
+
+/** Set every cell of chain @p c to its grid coordinates + zero result. */
+void
+fillChainDp(const SweepConfig &cfg, std::size_t c, SweepPoint *chain_out)
+{
+    const std::size_t n_simp = cfg.simplifications.size();
+    double node = cfg.nodes[c / n_simp];
+    int simp = cfg.simplifications[c % n_simp];
+    for (std::size_t pi = 0; pi < cfg.partitions.size(); ++pi) {
+        SweepPoint &cell = chain_out[pi];
+        cell = SweepPoint{};
+        cell.dp.node_nm = node;
+        cell.dp.partition = cfg.partitions[pi];
+        cell.dp.simplification = simp;
+        cell.dp.chaining = cfg.chaining;
+        cell.dp.clock_ghz = cfg.clock_ghz;
+    }
+}
+
+/** Serial partition chain with the plateau short-circuit; may throw. */
+void
+evalChain(const Simulator &sim, const SweepConfig &cfg, std::size_t c,
+          SweepPoint *chain_out)
+{
+    fillChainDp(cfg, c, chain_out);
+    bool plateaued = false;
+    SimResult plateau;
+    int stable = 0;
+    for (std::size_t pi = 0; pi < cfg.partitions.size(); ++pi) {
+        SimResult res;
+        if (plateaued) {
+            res = plateau;
+        } else {
+            res = sim.run(chain_out[pi].dp);
+            if (pi > 0 && closeRel(res.runtime_ns, plateau.runtime_ns) &&
+                closeRel(res.energy_pj, plateau.energy_pj)) {
+                if (++stable >= 2)
+                    plateaued = true;
+            } else {
+                stable = 0;
+            }
+            plateau = res;
+        }
+        chain_out[pi].res = res;
+    }
+}
+
+/** One chain restored from a checkpoint file. */
+struct RestoredChain
+{
+    bool ok = true;
+    int code = 0;
+    std::string message;
+    std::vector<SimResult> cells;
+};
+
+/**
+ * Parse a checkpoint file. Blocks are appended atomically (under a
+ * mutex, flushed per block), so any anomaly after a valid header is
+ * treated as a torn tail from the interrupted run: parsing stops there
+ * and the remaining chains are simply re-evaluated. Header problems —
+ * wrong magic, or a fingerprint/shape that does not match this sweep —
+ * are hard errors.
+ */
+Result<std::map<std::size_t, RestoredChain>>
+loadCheckpoint(const std::string &path, const std::string &fingerprint,
+               std::size_t chains, std::size_t n_part)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return makeError(ErrorCode::CheckpointIo, "cannot open '", path,
+                         "' for resume");
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+        return makeError(ErrorCode::CheckpointCorrupt,
+                         "checkpoint '", path, "' is empty");
+    }
+    std::istringstream header(line);
+    std::string magic, fp;
+    int version = 0;
+    unsigned long long h_chains = 0, h_part = 0;
+    header >> magic >> version >> fp >> h_chains >> h_part;
+    if (header.fail() || magic != "accelwall-ckpt" || version != 1) {
+        return makeError(ErrorCode::CheckpointCorrupt, "'", path,
+                         "' is not an accelwall checkpoint");
+    }
+    if (fp != fingerprint || h_chains != chains || h_part != n_part) {
+        return makeError(
+            ErrorCode::CheckpointMismatch, "checkpoint '", path,
+            "' was written for a different kernel or sweep grid; "
+            "delete it or drop --resume to start fresh");
+    }
+
+    std::map<std::size_t, RestoredChain> done;
+    while (std::getline(in, line)) {
+        std::istringstream head(line);
+        std::string tag, status;
+        unsigned long long c = 0;
+        head >> tag >> c >> status;
+        if (head.fail() || tag != "chain" || c >= chains)
+            break; // torn tail
+        RestoredChain rec;
+        if (status == "ok") {
+            bool good = true;
+            for (std::size_t pi = 0; pi < n_part && good; ++pi) {
+                if (!std::getline(in, line) ||
+                    line.rfind("cell ", 0) != 0) {
+                    good = false;
+                    break;
+                }
+                SimResult res;
+                if (!parseCell(line.substr(5), res)) {
+                    good = false;
+                    break;
+                }
+                rec.cells.push_back(res);
+            }
+            if (!good)
+                break;
+        } else if (status == "fail") {
+            rec.ok = false;
+            std::string rest;
+            std::getline(head, rest);
+            std::istringstream tail(rest);
+            tail >> rec.code;
+            if (tail.fail())
+                break;
+            std::getline(tail, rec.message);
+            if (!rec.message.empty() && rec.message.front() == ' ')
+                rec.message.erase(0, 1);
+        } else {
+            break;
+        }
+        if (!std::getline(in, line))
+            break;
+        std::istringstream endl_(line);
+        std::string end_tag;
+        unsigned long long end_c = 0;
+        endl_ >> end_tag >> end_c;
+        if (endl_.fail() || end_tag != "end" || end_c != c)
+            break;
+        done[static_cast<std::size_t>(c)] = std::move(rec);
+    }
+    return done;
+}
+
+void
+writeChainBlock(std::ostream &os, std::size_t c, const SweepPoint *cells,
+                std::size_t n_part, bool failed, ErrorCode code,
+                const std::string &message)
+{
+    if (failed) {
+        os << "chain " << c << " fail " << static_cast<int>(code) << ' '
+           << oneLine(message) << '\n';
+    } else {
+        os << "chain " << c << " ok\n";
+        for (std::size_t pi = 0; pi < n_part; ++pi)
+            os << "cell " << serializeCell(cells[pi].res) << '\n';
+    }
+    os << "end " << c << '\n';
+    os.flush();
+}
+
 } // namespace
+
+std::string
+SweepReport::summary() const
+{
+    std::ostringstream oss;
+    oss << chains << " chains: " << (chains - failed) << " ok, "
+        << failed << " failed";
+    if (failed > 0) {
+        std::map<int, std::size_t> by_code;
+        for (const ChainFailure &f : failures)
+            ++by_code[static_cast<int>(f.code)];
+        oss << " (";
+        bool first = true;
+        for (const auto &[code, count] : by_code) {
+            if (!first)
+                oss << ", ";
+            first = false;
+            oss << 'E' << code << " x " << count;
+        }
+        oss << ')';
+    }
+    if (restored > 0)
+        oss << ", " << restored << " restored from checkpoint";
+    return oss.str();
+}
+
+Result<SweepOutcome>
+runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
+                const SweepOptions &opts)
+{
+    if (cfg.nodes.empty() || cfg.partitions.empty() ||
+        cfg.simplifications.empty()) {
+        return makeError(ErrorCode::SweepEmptyDimension,
+                         "runSweep: empty sweep dimension");
+    }
+
+    const std::size_t n_simp = cfg.simplifications.size();
+    const std::size_t n_part = cfg.partitions.size();
+    const std::size_t chains = cfg.nodes.size() * n_simp;
+    const std::string fingerprint = configFingerprint(sim, cfg);
+
+    // Chain c writes points [c * n_part, (c+1) * n_part), which is
+    // exactly the serial node-major emission order.
+    std::vector<SweepPoint> out(chains * n_part);
+    std::vector<char> done(chains, 0);
+
+    SweepReport report;
+    report.chains = chains;
+    std::vector<ChainFailure> failures;
+
+    if (opts.resume) {
+        if (opts.checkpoint_path.empty()) {
+            return makeError(ErrorCode::CheckpointIo,
+                             "resume requested without a checkpoint "
+                             "path");
+        }
+        auto loaded = loadCheckpoint(opts.checkpoint_path, fingerprint,
+                                     chains, n_part);
+        if (!loaded.ok())
+            return loaded.error();
+        for (auto &[c, rec] : loaded.value()) {
+            done[c] = 1;
+            ++report.restored;
+            SweepPoint *chain_out = out.data() + c * n_part;
+            fillChainDp(cfg, c, chain_out);
+            if (rec.ok) {
+                for (std::size_t pi = 0; pi < n_part; ++pi)
+                    chain_out[pi].res = rec.cells[pi];
+            } else {
+                auto code = static_cast<ErrorCode>(rec.code);
+                for (std::size_t pi = 0; pi < n_part; ++pi) {
+                    chain_out[pi].ok = false;
+                    chain_out[pi].error_code = code;
+                    chain_out[pi].error = rec.message;
+                }
+                failures.push_back({c, chain_out[0].dp.node_nm,
+                                    chain_out[0].dp.simplification, code,
+                                    rec.message});
+            }
+        }
+    }
+
+    std::ofstream ckpt;
+    std::mutex mu;
+    if (!opts.checkpoint_path.empty()) {
+        ckpt.open(opts.checkpoint_path,
+                  opts.resume ? std::ios::app : std::ios::trunc);
+        if (!ckpt) {
+            return makeError(ErrorCode::CheckpointIo, "cannot write "
+                             "checkpoint '",
+                             opts.checkpoint_path, "'");
+        }
+        if (!opts.resume) {
+            ckpt << "accelwall-ckpt 1 " << fingerprint << ' ' << chains
+                 << ' ' << n_part << '\n';
+            ckpt.flush();
+        }
+    }
+
+    auto &faults = util::FaultPlan::global();
+    util::parallelFor(
+        chains,
+        [&](std::size_t c) {
+            if (done[c])
+                return;
+            SweepPoint *chain_out = out.data() + c * n_part;
+
+            // Error boundary: nothing a single chain does — including
+            // an injected fault — may take down the sweep.
+            bool failed = false;
+            Error err;
+            if (faults.shouldFail("chain", c)) {
+                failed = true;
+                err = util::injectedFault("chain", c);
+            } else {
+                try {
+                    evalChain(sim, cfg, c, chain_out);
+                } catch (const ErrorException &e) {
+                    failed = true;
+                    err = e.error();
+                } catch (const std::exception &e) {
+                    failed = true;
+                    err = makeError(ErrorCode::SweepChainFailed,
+                                    e.what());
+                } catch (...) {
+                    failed = true;
+                    err = makeError(ErrorCode::SweepChainFailed,
+                                    "unknown exception");
+                }
+            }
+
+            std::string display;
+            if (failed) {
+                fillChainDp(cfg, c, chain_out);
+                display = err.str();
+                for (std::size_t pi = 0; pi < n_part; ++pi) {
+                    chain_out[pi].ok = false;
+                    chain_out[pi].error_code = err.code();
+                    chain_out[pi].error = display;
+                }
+            }
+
+            std::lock_guard<std::mutex> lock(mu);
+            ++report.evaluated;
+            if (failed) {
+                failures.push_back({c, chain_out[0].dp.node_nm,
+                                    chain_out[0].dp.simplification,
+                                    err.code(), display});
+            }
+            if (ckpt.is_open()) {
+                writeChainBlock(ckpt, c, chain_out, n_part, failed,
+                                err.code(), display);
+            }
+            // Simulated crash for checkpoint/resume testing. Checked
+            // under the mutex so the file never holds a torn block
+            // from another writer.
+            if (faults.shouldFailCounted("sweep-kill")) {
+                ckpt.flush();
+                std::_Exit(util::kFaultKillExitCode);
+            }
+        },
+        opts.jobs);
+
+    std::sort(failures.begin(), failures.end(),
+              [](const ChainFailure &a, const ChainFailure &b) {
+                  return a.chain < b.chain;
+              });
+    report.failed = failures.size();
+    report.failures = std::move(failures);
+
+    if (opts.on_error == OnError::Abort && report.failed > 0) {
+        const ChainFailure &f = report.failures.front();
+        return makeError(ErrorCode::SweepChainFailed, "chain ", f.chain,
+                         " (node ", f.node_nm, " nm, simplification ",
+                         f.simplification, ") failed: ", f.message,
+                         "; use --on-error skip to degrade instead of "
+                         "aborting");
+    }
+    return SweepOutcome{std::move(out), std::move(report)};
+}
 
 std::vector<SweepPoint>
 runSweep(const Simulator &sim, const SweepConfig &cfg, int jobs)
 {
-    if (cfg.nodes.empty() || cfg.partitions.empty() ||
-        cfg.simplifications.empty())
-        fatal("runSweep: empty sweep dimension");
-
-    // Each (node, simplification) pair owns one serial partition chain
-    // so the plateau short-circuit still sees ascending factors; the
-    // chains are independent and fan out across threads. Chain c
-    // writes points [c * |partitions|, (c+1) * |partitions|), which is
-    // exactly the serial node-major emission order.
-    const std::size_t n_simp = cfg.simplifications.size();
-    const std::size_t n_part = cfg.partitions.size();
-    const std::size_t chains = cfg.nodes.size() * n_simp;
-
-    std::vector<SweepPoint> out(chains * n_part);
-    util::parallelFor(
-        chains,
-        [&](std::size_t c) {
-            double node = cfg.nodes[c / n_simp];
-            int simp = cfg.simplifications[c % n_simp];
-            SweepPoint *chain_out = out.data() + c * n_part;
-
-            bool plateaued = false;
-            SimResult plateau;
-            int stable = 0;
-            for (std::size_t pi = 0; pi < n_part; ++pi) {
-                DesignPoint dp;
-                dp.node_nm = node;
-                dp.partition = cfg.partitions[pi];
-                dp.simplification = simp;
-                dp.chaining = cfg.chaining;
-                dp.clock_ghz = cfg.clock_ghz;
-
-                SimResult res;
-                if (plateaued) {
-                    res = plateau;
-                } else {
-                    res = sim.run(dp);
-                    if (pi > 0 &&
-                        closeRel(res.runtime_ns, plateau.runtime_ns) &&
-                        closeRel(res.energy_pj, plateau.energy_pj)) {
-                        if (++stable >= 2)
-                            plateaued = true;
-                    } else {
-                        stable = 0;
-                    }
-                    plateau = res;
-                }
-                chain_out[pi] = {dp, res};
-            }
-        },
-        jobs);
-    return out;
+    SweepOptions opts;
+    opts.jobs = jobs;
+    auto outcome = runSweepChecked(sim, cfg, opts);
+    if (!outcome.ok())
+        fatal(outcome.error().str());
+    return std::move(outcome.value().points);
 }
 
 std::size_t
@@ -82,11 +474,18 @@ bestPerformance(const std::vector<SweepPoint> &points)
 {
     if (points.empty())
         fatal("bestPerformance: empty sweep");
+    bool found = false;
     std::size_t best = 0;
-    for (std::size_t i = 1; i < points.size(); ++i) {
-        if (points[i].res.runtime_ns < points[best].res.runtime_ns)
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].ok)
+            continue;
+        if (!found || points[i].res.runtime_ns < points[best].res.runtime_ns) {
             best = i;
+            found = true;
+        }
     }
+    if (!found)
+        fatal("bestPerformance: every design point failed");
     return best;
 }
 
@@ -95,18 +494,26 @@ bestEfficiency(const std::vector<SweepPoint> &points)
 {
     if (points.empty())
         fatal("bestEfficiency: empty sweep");
+    bool found = false;
     std::size_t best = 0;
-    for (std::size_t i = 1; i < points.size(); ++i) {
-        if (points[i].res.efficiency_opj > points[best].res.efficiency_opj)
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!points[i].ok)
+            continue;
+        if (!found ||
+            points[i].res.efficiency_opj > points[best].res.efficiency_opj) {
             best = i;
+            found = true;
+        }
     }
+    if (!found)
+        fatal("bestEfficiency: every design point failed");
     return best;
 }
 
 namespace
 {
 
-/** Best index by `better` among points passing `fits`. */
+/** Best surviving index by `better` among points passing `fits`. */
 template <typename Fits, typename Better>
 std::size_t
 bestUnder(const std::vector<SweepPoint> &points, Fits fits,
@@ -115,7 +522,7 @@ bestUnder(const std::vector<SweepPoint> &points, Fits fits,
     bool found = false;
     std::size_t best = 0;
     for (std::size_t i = 0; i < points.size(); ++i) {
-        if (!fits(points[i].res))
+        if (!points[i].ok || !fits(points[i].res))
             continue;
         if (!found || better(points[i].res, points[best].res)) {
             best = i;

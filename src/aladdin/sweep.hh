@@ -1,15 +1,27 @@
 /**
  * @file
  * Design-space sweep driver (Section VI, Figure 13/14 inputs).
+ *
+ * Fault tolerance: each (node, simplification) chain runs behind an
+ * error boundary, so one pathological design point cannot abort a
+ * campaign. Failed chains become explicit failed cells (the grid stays
+ * complete), an OnError policy picks between aborting and degrading,
+ * and periodic checkpointing makes interrupted sweeps resumable with
+ * bit-identical results. The `chain` and `sweep-kill` fault-injection
+ * sites (util/faultinject.hh) are compiled into the driver so tests
+ * can kill arbitrary chain subsets or the whole process mid-run.
  */
 
 #ifndef ACCELWALL_ALADDIN_SWEEP_HH
 #define ACCELWALL_ALADDIN_SWEEP_HH
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "aladdin/design_point.hh"
 #include "aladdin/simulator.hh"
+#include "util/error.hh"
 
 namespace accelwall::aladdin
 {
@@ -19,6 +31,79 @@ struct SweepPoint
 {
     DesignPoint dp;
     SimResult res;
+    /** False for cells of a failed chain; res is then all-zero. */
+    bool ok = true;
+    /** Failure code/display string when !ok (deterministic). */
+    ErrorCode error_code = ErrorCode::None;
+    std::string error;
+};
+
+/** What to do when a chain fails. */
+enum class OnError
+{
+    /** Stop the sweep and surface the first failure (default). */
+    Abort,
+    /** Keep going; failed chains become failed cells in the output. */
+    Skip,
+};
+
+/** Knobs for runSweepChecked(). */
+struct SweepOptions
+{
+    OnError on_error = OnError::Abort;
+    /**
+     * When non-empty, completed chains are appended to this file as
+     * they finish (each block fsync-ordered behind a mutex), so a
+     * killed run can be continued with resume.
+     */
+    std::string checkpoint_path;
+    /**
+     * Restore completed chains from checkpoint_path before sweeping;
+     * only the missing chains are evaluated. The final output is
+     * bit-identical to an uninterrupted run.
+     */
+    bool resume = false;
+    /** Worker threads (0 = util::defaultJobs()). */
+    int jobs = 0;
+};
+
+/** One failed (node, simplification) chain. */
+struct ChainFailure
+{
+    /** Chain index in node-major order. */
+    std::size_t chain = 0;
+    double node_nm = 0.0;
+    int simplification = 0;
+    ErrorCode code = ErrorCode::None;
+    /** Full display string, e.g. "E9001 fault-injected: ...". */
+    std::string message;
+};
+
+/** Degradation summary of one sweep run. */
+struct SweepReport
+{
+    /** Total (node, simplification) chains in the grid. */
+    std::size_t chains = 0;
+    /** Chains evaluated by this invocation. */
+    std::size_t evaluated = 0;
+    /** Chains restored from the checkpoint file. */
+    std::size_t restored = 0;
+    /** Chains that failed (evaluated + restored failures). */
+    std::size_t failed = 0;
+    /** All failures, sorted by chain index. */
+    std::vector<ChainFailure> failures;
+
+    bool degraded() const { return failed > 0; }
+
+    /** One-line digest for logs and the sweep report. */
+    std::string summary() const;
+};
+
+/** Full outcome: the (complete) grid plus the degradation report. */
+struct SweepOutcome
+{
+    std::vector<SweepPoint> points;
+    SweepReport report;
 };
 
 /**
@@ -31,25 +116,42 @@ struct SweepPoint
  * far beyond any kernel's max working set.
  *
  * The (node, simplification) chains are independent and evaluated on
- * @p jobs threads (0 = util::defaultJobs()); the partition loop inside
- * each chain stays serial so the plateau short-circuit sees factors in
- * ascending order. Output is bit-identical for every job count, in the
- * serial node-major / simplification / partition order.
+ * opts.jobs threads; the partition loop inside each chain stays serial
+ * so the plateau short-circuit sees factors in ascending order. Output
+ * is bit-identical for every job count, in the serial node-major /
+ * simplification / partition order, and — for the surviving cells —
+ * bit-identical regardless of which chains failed or were resumed.
+ *
+ * Recoverable failures (empty grid dimensions, unusable checkpoint,
+ * or a chain failure under OnError::Abort) come back as an Error;
+ * under OnError::Skip chain failures degrade into failed cells and the
+ * sweep still succeeds.
+ */
+Result<SweepOutcome> runSweepChecked(const Simulator &sim,
+                                     const SweepConfig &cfg,
+                                     const SweepOptions &opts = {});
+
+/**
+ * Boundary adaptor: abort-on-error sweep returning the bare grid;
+ * fatal() on any recoverable failure.
  */
 std::vector<SweepPoint> runSweep(const Simulator &sim,
                                  const SweepConfig &cfg, int jobs = 0);
 
-/** Index of the minimum-runtime point; fatal() on empty input. */
+/**
+ * Index of the minimum-runtime point; failed cells are ignored.
+ * fatal() on empty input or when every cell failed.
+ */
 std::size_t bestPerformance(const std::vector<SweepPoint> &points);
 
-/** Index of the maximum ops/J point; fatal() on empty input. */
+/** Index of the maximum ops/J point; same contract. */
 std::size_t bestEfficiency(const std::vector<SweepPoint> &points);
 
 /**
  * Fixed-budget selectors — the paper's premise is optimization "subject
  * to a given budget of power, area, and cost". These return the best
- * point whose area (um²) or power (mW) fits the budget; fatal() when
- * nothing fits.
+ * surviving point whose area (um²) or power (mW) fits the budget;
+ * fatal() when nothing fits.
  */
 std::size_t bestPerformanceUnderArea(const std::vector<SweepPoint> &points,
                                      double area_um2);

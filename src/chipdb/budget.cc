@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace accelwall::chipdb
@@ -110,9 +111,11 @@ BudgetModel::tdpTransistors(double tdp_w, double node_nm,
     return tdpTransistorGhz(tdp_w, node_nm) / freq_ghz;
 }
 
-stats::PowerLawFit
-fitAreaModel(const std::vector<ChipRecord> &corpus)
+Result<stats::PowerLawFit>
+fitAreaModelChecked(const std::vector<ChipRecord> &corpus)
 {
+    if (util::FaultPlan::global().shouldFailCounted("fit"))
+        return util::injectedFault("fit", 0);
     std::vector<double> d, tc;
     for (const auto &rec : corpus) {
         if (rec.transistors <= 0.0)
@@ -120,15 +123,23 @@ fitAreaModel(const std::vector<ChipRecord> &corpus)
         d.push_back(BudgetModel::densityFactor(rec.area_mm2, rec.node_nm));
         tc.push_back(rec.transistors);
     }
-    if (d.size() < 2)
-        fatal("fitAreaModel: corpus has fewer than two usable records");
+    if (d.size() < 2) {
+        return makeError(
+            ErrorCode::FitTooFewRecords,
+            "fitAreaModel: corpus has fewer than two usable records (",
+            d.size(), " of ", corpus.size(),
+            " disclose a transistor count); ingest more records or "
+            "check the quarantine report");
+    }
     return stats::fitPowerLaw(d, tc);
 }
 
-stats::PowerLawFit
-fitTdpModel(const std::vector<ChipRecord> &corpus, double min_node_nm,
-            double max_node_nm)
+Result<stats::PowerLawFit>
+fitTdpModelChecked(const std::vector<ChipRecord> &corpus,
+                   double min_node_nm, double max_node_nm)
 {
+    if (util::FaultPlan::global().shouldFailCounted("fit"))
+        return util::injectedFault("fit", 0);
     std::vector<double> tdp, tghz;
     for (const auto &rec : corpus) {
         if (rec.transistors <= 0.0 || rec.tdp_w <= 0.0)
@@ -139,10 +150,33 @@ fitTdpModel(const std::vector<ChipRecord> &corpus, double min_node_nm,
         tghz.push_back(rec.transistors / 1e9 * rec.freq_mhz / 1e3);
     }
     if (tdp.size() < 2) {
-        fatal("fitTdpModel: fewer than two records in node range [",
-              min_node_nm, ", ", max_node_nm, "]");
+        return makeError(
+            ErrorCode::FitTooFewRecords,
+            "fitTdpModel: fewer than two records in node range [",
+            min_node_nm, ", ", max_node_nm, "] (", tdp.size(), " of ",
+            corpus.size(),
+            " usable); widen the range or ingest more records");
     }
     return stats::fitPowerLaw(tdp, tghz);
+}
+
+stats::PowerLawFit
+fitAreaModel(const std::vector<ChipRecord> &corpus)
+{
+    auto fit = fitAreaModelChecked(corpus);
+    if (!fit.ok())
+        fatal(fit.error().str());
+    return fit.value();
+}
+
+stats::PowerLawFit
+fitTdpModel(const std::vector<ChipRecord> &corpus, double min_node_nm,
+            double max_node_nm)
+{
+    auto fit = fitTdpModelChecked(corpus, min_node_nm, max_node_nm);
+    if (!fit.ok())
+        fatal(fit.error().str());
+    return fit.value();
 }
 
 } // namespace accelwall::chipdb

@@ -28,6 +28,7 @@
 
 #include "chipdb/record.hh"
 #include "stats/fits.hh"
+#include "util/error.hh"
 
 namespace accelwall::chipdb
 {
@@ -105,15 +106,27 @@ class BudgetModel
 /**
  * Re-derive the Figure 3b regression from a corpus: power-law fit of
  * transistor count against density factor. Records lacking a disclosed
- * transistor count are skipped.
+ * transistor count are skipped. Fails recoverably (with an actionable
+ * count summary) when fewer than two usable records remain, or when
+ * the `fit` fault-injection site fires.
  */
-stats::PowerLawFit fitAreaModel(const std::vector<ChipRecord> &corpus);
+Result<stats::PowerLawFit> fitAreaModelChecked(
+    const std::vector<ChipRecord> &corpus);
 
 /**
  * Re-derive one Figure 3c regression from a corpus: power-law fit of
  * transistors[1e9]*freq[GHz] against TDP over records whose node falls in
- * [min_node_nm, max_node_nm].
+ * [min_node_nm, max_node_nm]. Recoverable-failure semantics match
+ * fitAreaModelChecked().
  */
+Result<stats::PowerLawFit> fitTdpModelChecked(
+    const std::vector<ChipRecord> &corpus, double min_node_nm,
+    double max_node_nm);
+
+/** Boundary adaptor for fitAreaModelChecked(): fatal() on error. */
+stats::PowerLawFit fitAreaModel(const std::vector<ChipRecord> &corpus);
+
+/** Boundary adaptor for fitTdpModelChecked(): fatal() on error. */
 stats::PowerLawFit fitTdpModel(const std::vector<ChipRecord> &corpus,
                                double min_node_nm, double max_node_nm);
 

@@ -1,0 +1,247 @@
+#include "chipdb/ingest.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/faultinject.hh"
+
+namespace accelwall::chipdb
+{
+
+namespace
+{
+
+bool
+finite(double v)
+{
+    return std::isfinite(v);
+}
+
+Result<double>
+parseNumber(const std::string &field, const char *what)
+{
+    char *end = nullptr;
+    double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0') {
+        return makeError(ErrorCode::CsvBadNumber, "could not parse ",
+                         what, " from '", field, "'");
+    }
+    return value;
+}
+
+Result<Platform>
+parsePlatform(const std::string &field)
+{
+    if (field == "CPU")
+        return Platform::CPU;
+    if (field == "GPU")
+        return Platform::GPU;
+    if (field == "FPGA")
+        return Platform::FPGA;
+    if (field == "ASIC")
+        return Platform::ASIC;
+    return makeError(ErrorCode::RecordBadPlatform, "unknown platform '",
+                     field, "' (expected CPU|GPU|FPGA|ASIC)");
+}
+
+} // namespace
+
+void
+IngestReport::addIssue(std::size_t row, std::string name, Error error)
+{
+    ++quarantined;
+    ++code_counts[static_cast<int>(error.code())];
+    if (issues.size() < kMaxDetailedIssues)
+        issues.push_back({row, std::move(name), std::move(error)});
+}
+
+std::string
+IngestReport::summary() const
+{
+    std::ostringstream oss;
+    oss << accepted << '/' << total << " records ok, " << quarantined
+        << " quarantined";
+    if (!code_counts.empty()) {
+        oss << " (";
+        bool first = true;
+        for (const auto &[code, count] : code_counts) {
+            if (!first)
+                oss << ", ";
+            first = false;
+            oss << 'E' << code << " x " << count;
+        }
+        oss << ')';
+    }
+    return oss.str();
+}
+
+Result<void>
+validateRecord(const ChipRecord &rec)
+{
+    for (double v : {rec.year, rec.node_nm, rec.area_mm2,
+                     rec.transistors, rec.freq_mhz, rec.tdp_w}) {
+        if (!finite(v)) {
+            return makeError(ErrorCode::RecordNonFinite,
+                             "non-finite numeric field")
+                .in(rec.name);
+        }
+    }
+    if (rec.node_nm <= 0.0) {
+        return makeError(ErrorCode::RecordNonPositiveNode, "node ",
+                         rec.node_nm, " nm must be positive")
+            .in(rec.name);
+    }
+    if (rec.area_mm2 <= 0.0) {
+        return makeError(ErrorCode::RecordNonPositiveArea, "die area ",
+                         rec.area_mm2, " mm^2 must be positive")
+            .in(rec.name);
+    }
+    if (rec.tdp_w <= 0.0) {
+        return makeError(ErrorCode::RecordNonPositiveTdp, "TDP ",
+                         rec.tdp_w, " W must be positive")
+            .in(rec.name);
+    }
+    if (rec.freq_mhz <= 0.0) {
+        return makeError(ErrorCode::RecordNonPositiveFreq, "frequency ",
+                         rec.freq_mhz, " MHz must be positive")
+            .in(rec.name);
+    }
+    // 0 transistors means "undisclosed"; negative is corrupt data.
+    if (rec.transistors < 0.0) {
+        return makeError(ErrorCode::RecordNonFinite,
+                         "negative transistor count ", rec.transistors)
+            .in(rec.name);
+    }
+    if (rec.year < 0.0) {
+        return makeError(ErrorCode::RecordBadYear, "year ", rec.year,
+                         " must be non-negative")
+            .in(rec.name);
+    }
+    return {};
+}
+
+std::vector<ChipRecord>
+quarantineRecords(const std::vector<ChipRecord> &records,
+                  IngestReport &report)
+{
+    auto &faults = util::FaultPlan::global();
+    std::vector<ChipRecord> ok;
+    ok.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const ChipRecord &rec = records[i];
+        ++report.total;
+        if (faults.shouldFail("ingest-record", i)) {
+            report.addIssue(i, rec.name,
+                            util::injectedFault("ingest-record", i));
+            continue;
+        }
+        auto valid = validateRecord(rec);
+        if (!valid.ok()) {
+            report.addIssue(i, rec.name, valid.error());
+            continue;
+        }
+        ++report.accepted;
+        ok.push_back(rec);
+    }
+    return ok;
+}
+
+Result<std::vector<ChipRecord>>
+parseChipCsv(const std::string &text, IngestReport &report)
+{
+    auto parsed = parseCsv(text);
+    if (!parsed.ok())
+        return parsed.error();
+    const CsvRows &rows = parsed.value();
+    if (rows.size() < 2) {
+        return makeError(ErrorCode::CsvNoData,
+                         "need a header row plus at least one record");
+    }
+
+    std::map<std::string, std::size_t> cols;
+    for (std::size_t c = 0; c < rows[0].size(); ++c)
+        cols[rows[0][c]] = c;
+    for (const char *required : {"name", "platform", "year", "node_nm",
+                                 "area_mm2", "freq_mhz", "tdp_w"}) {
+        if (!cols.count(required)) {
+            return makeError(ErrorCode::CsvMissingColumn,
+                             "missing required column '", required, "'");
+        }
+    }
+    bool has_transistors = cols.count("transistors") > 0;
+
+    auto &faults = util::FaultPlan::global();
+    std::vector<ChipRecord> ok;
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        std::size_t idx = r - 1; // 0-based data-row index
+        ++report.total;
+        std::string name =
+            row.size() > cols["name"] ? row[cols["name"]] : "";
+
+        if (row.size() < rows[0].size()) {
+            report.addIssue(
+                idx, name,
+                makeError(ErrorCode::CsvArityMismatch, "row has ",
+                          row.size(), " fields, expected ",
+                          rows[0].size())
+                    .at(r + 1, 1));
+            continue;
+        }
+        if (faults.shouldFail("ingest-record", idx)) {
+            report.addIssue(idx, name,
+                            util::injectedFault("ingest-record", idx));
+            continue;
+        }
+
+        ChipRecord rec;
+        rec.name = name;
+        Error row_error;
+        bool failed = false;
+        auto number = [&](const char *col, double *out) {
+            if (failed)
+                return;
+            auto value = parseNumber(row[cols[col]], col);
+            if (!value.ok()) {
+                row_error = value.error();
+                failed = true;
+                return;
+            }
+            *out = value.value();
+        };
+        auto platform = parsePlatform(row[cols["platform"]]);
+        if (!platform.ok()) {
+            row_error = platform.error();
+            failed = true;
+        } else {
+            rec.platform = platform.value();
+        }
+        number("year", &rec.year);
+        number("node_nm", &rec.node_nm);
+        number("area_mm2", &rec.area_mm2);
+        number("freq_mhz", &rec.freq_mhz);
+        number("tdp_w", &rec.tdp_w);
+        if (!failed && has_transistors &&
+            !row[cols["transistors"]].empty())
+            number("transistors", &rec.transistors);
+
+        if (!failed) {
+            auto valid = validateRecord(rec);
+            if (!valid.ok()) {
+                row_error = valid.error();
+                failed = true;
+            }
+        }
+        if (failed) {
+            report.addIssue(idx, name, std::move(row_error));
+            continue;
+        }
+        ++report.accepted;
+        ok.push_back(std::move(rec));
+    }
+    return ok;
+}
+
+} // namespace accelwall::chipdb

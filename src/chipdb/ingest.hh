@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quarantine-and-continue datasheet ingestion.
+ *
+ * The paper's transistor-budget fits (Section III) run over ~2600
+ * scraped CPU/GPU datasheet records; at that scale a handful of
+ * malformed rows (non-positive area/TDP/node, NaN, arity mismatch,
+ * unparseable numbers) is the norm, and one bad row must not abort the
+ * run. Ingestion therefore diagnoses, counts, and skips bad records —
+ * each quarantined row becomes an IngestIssue in a structured report —
+ * and the downstream fits proceed as long as enough records survive.
+ *
+ * The `ingest-record` fault-injection site (util/faultinject.hh) is
+ * compiled into both entry points, keyed by the record's 0-based
+ * index, so tests can kill arbitrary record subsets and assert the
+ * report stays exact.
+ */
+
+#ifndef ACCELWALL_CHIPDB_INGEST_HH
+#define ACCELWALL_CHIPDB_INGEST_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chipdb/record.hh"
+#include "util/error.hh"
+
+namespace accelwall::chipdb
+{
+
+/** One quarantined record: where it was, what it was, why it failed. */
+struct IngestIssue
+{
+    /** 0-based record index (CSV: data-row index, header excluded). */
+    std::size_t row = 0;
+    /** The record's name field, when one was readable. */
+    std::string name;
+    Error error;
+};
+
+/** Structured outcome of one ingestion pass. */
+struct IngestReport
+{
+    /** Detailed issues are capped; counts are always exact. */
+    static constexpr std::size_t kMaxDetailedIssues = 20;
+
+    std::size_t total = 0;
+    std::size_t accepted = 0;
+    std::size_t quarantined = 0;
+    /** First kMaxDetailedIssues issues, in record order. */
+    std::vector<IngestIssue> issues;
+    /** Exact per-error-code quarantine counts (keyed by code value). */
+    std::map<int, std::size_t> code_counts;
+
+    /** Record one quarantined row. */
+    void addIssue(std::size_t row, std::string name, Error error);
+
+    /** One-line digest, e.g. "2592/2613 records ok, 21 quarantined
+     *  (E2003 x 12, E1003 x 9)". */
+    std::string summary() const;
+};
+
+/**
+ * Validate one datasheet record: finite numbers, positive node/area,
+ * positive TDP and frequency when disclosed, sane year. A transistor
+ * count of 0 means "undisclosed" and is accepted (the fits skip it).
+ */
+Result<void> validateRecord(const ChipRecord &rec);
+
+/**
+ * Filter @p records through validateRecord (plus the `ingest-record`
+ * fault site), appending failures to @p report and returning the
+ * survivors in input order.
+ */
+std::vector<ChipRecord> quarantineRecords(
+    const std::vector<ChipRecord> &records, IngestReport &report);
+
+/**
+ * Parse a datasheet CSV into validated ChipRecords.
+ *
+ * Required header columns: name, platform, year, node_nm, area_mm2,
+ * freq_mhz, tdp_w; `transistors` is optional (absent or empty fields
+ * mean undisclosed). Structural problems with the file itself (CSV
+ * syntax, missing required columns, no data rows) fail the whole
+ * parse; per-row problems (arity mismatch, unparseable numbers,
+ * validation failures) quarantine only that row.
+ */
+Result<std::vector<ChipRecord>> parseChipCsv(const std::string &text,
+                                             IngestReport &report);
+
+} // namespace accelwall::chipdb
+
+#endif // ACCELWALL_CHIPDB_INGEST_HH

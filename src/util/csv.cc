@@ -66,14 +66,18 @@ CsvWriter::str() const
     return oss.str();
 }
 
-std::vector<std::vector<std::string>>
+Result<CsvRows>
 parseCsv(const std::string &text)
 {
-    std::vector<std::vector<std::string>> rows;
+    CsvRows rows;
     std::vector<std::string> row;
     std::string field;
     bool in_quotes = false;
     bool field_started = false;
+    // 1-based position of the current character and of the quote that
+    // opened the active quoted field (for the truncation diagnostic).
+    std::size_t line = 1, column = 0;
+    std::size_t quote_line = 0, quote_column = 0;
 
     auto end_field = [&]() {
         row.push_back(std::move(field));
@@ -88,11 +92,18 @@ parseCsv(const std::string &text)
 
     for (std::size_t i = 0; i < text.size(); ++i) {
         char ch = text[i];
+        if (ch == '\n') {
+            ++line;
+            column = 0;
+        } else {
+            ++column;
+        }
         if (in_quotes) {
             if (ch == '"') {
                 if (i + 1 < text.size() && text[i + 1] == '"') {
                     field += '"';
                     ++i;
+                    ++column;
                 } else {
                     in_quotes = false;
                 }
@@ -105,6 +116,8 @@ parseCsv(const std::string &text)
           case '"':
             in_quotes = true;
             field_started = true;
+            quote_line = line;
+            quote_column = column;
             break;
           case ',':
             end_field();
@@ -122,8 +135,13 @@ parseCsv(const std::string &text)
             break;
         }
     }
-    if (in_quotes)
-        fatal("parseCsv: unterminated quoted field");
+    if (in_quotes) {
+        return makeError(ErrorCode::CsvUnterminatedQuote,
+                         "unterminated quoted field (quote opened at "
+                         "line ",
+                         quote_line, ", column ", quote_column, ")")
+            .at(quote_line, quote_column);
+    }
     if (!field.empty() || field_started || !row.empty())
         end_row();
     return rows;

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hh"
+
 namespace accelwall
 {
 
@@ -41,13 +43,19 @@ class CsvWriter
     std::vector<std::vector<std::string>> rows_;
 };
 
+/** Parsed CSV contents: one vector of fields per row. */
+using CsvRows = std::vector<std::vector<std::string>>;
+
 /**
  * Parse CSV text into rows of fields. Handles quoted fields with
  * embedded commas, escaped quotes (""), and both LF and CRLF line
  * endings; a trailing newline does not produce an empty row.
- * fatal() on an unterminated quoted field.
+ *
+ * An unterminated quoted field (e.g. a truncated file) is a
+ * recoverable error: the Error carries ErrorCode::CsvUnterminatedQuote
+ * and the 1-based line/column of the quote that was never closed.
  */
-std::vector<std::vector<std::string>> parseCsv(const std::string &text);
+Result<CsvRows> parseCsv(const std::string &text);
 
 } // namespace accelwall
 

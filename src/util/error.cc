@@ -1,0 +1,75 @@
+#include "util/error.hh"
+
+#include <cstdio>
+
+namespace accelwall
+{
+
+const char *
+errorCodeLabel(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "none";
+      case ErrorCode::CsvUnterminatedQuote: return "csv-unterminated-quote";
+      case ErrorCode::CsvArityMismatch: return "csv-arity-mismatch";
+      case ErrorCode::CsvBadNumber: return "csv-bad-number";
+      case ErrorCode::CsvMissingColumn: return "csv-missing-column";
+      case ErrorCode::CsvNoData: return "csv-no-data";
+      case ErrorCode::RecordNonPositiveNode:
+        return "record-non-positive-node";
+      case ErrorCode::RecordNonPositiveArea:
+        return "record-non-positive-area";
+      case ErrorCode::RecordNonPositiveTdp:
+        return "record-non-positive-tdp";
+      case ErrorCode::RecordNonFinite: return "record-non-finite";
+      case ErrorCode::RecordBadYear: return "record-bad-year";
+      case ErrorCode::RecordNonPositiveFreq:
+        return "record-non-positive-freq";
+      case ErrorCode::RecordBadPlatform: return "record-bad-platform";
+      case ErrorCode::FitTooFewRecords: return "fit-too-few-records";
+      case ErrorCode::SweepEmptyDimension: return "sweep-empty-dimension";
+      case ErrorCode::SweepChainFailed: return "sweep-chain-failed";
+      case ErrorCode::CheckpointIo: return "checkpoint-io";
+      case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
+      case ErrorCode::CheckpointMismatch: return "checkpoint-mismatch";
+      case ErrorCode::FaultInjected: return "fault-injected";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+errorCodeName(ErrorCode code)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "E%d", static_cast<int>(code));
+    return buf;
+}
+
+std::string
+Error::str() const
+{
+    std::ostringstream oss;
+    oss << errorCodeName(code_) << ' ' << errorCodeLabel(code_) << ": "
+        << message_;
+    if (!context_.empty() || line_ > 0) {
+        oss << " (";
+        if (!context_.empty())
+            oss << context_;
+        if (line_ > 0) {
+            if (!context_.empty())
+                oss << ':';
+            oss << line_ << ':' << column_;
+        }
+        oss << ')';
+    }
+    return oss.str();
+}
+
+void
+throwError(Error error)
+{
+    throw ErrorException(std::move(error));
+}
+
+} // namespace accelwall

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Recoverable-error plumbing: Error, Result<T>, and the exception
+ * bridge used by error boundaries.
+ *
+ * Error-handling policy (see DESIGN.md "Failure domains"):
+ *
+ *  - Input-driven failures (malformed CSV, bad datasheet records,
+ *    under-populated fits, failed sweep chains) are *recoverable*:
+ *    library code returns Result<T> carrying an Error with a stable
+ *    code, and the caller decides whether to skip, degrade, or abort.
+ *  - fatal() is reserved for CLI/adaptor boundaries that have decided
+ *    a recoverable error is terminal for the process.
+ *  - panic() is reserved for internal invariant violations (bugs).
+ *
+ * Error codes are stable integers grouped by failure domain (1xxx
+ * parsing, 2xxx record validation, 3xxx fits, 4xxx sweep/checkpoint,
+ * 9xxx injected/internal) so reports, CSV cells, and tests can match
+ * on them across releases.
+ */
+
+#ifndef ACCELWALL_UTIL_ERROR_HH
+#define ACCELWALL_UTIL_ERROR_HH
+
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace accelwall
+{
+
+/** Stable error codes; the numeric values are part of the interface. */
+enum class ErrorCode
+{
+    None = 0,
+
+    // 1xxx: text-input parsing.
+    CsvUnterminatedQuote = 1001,
+    CsvArityMismatch = 1002,
+    CsvBadNumber = 1003,
+    CsvMissingColumn = 1004,
+    CsvNoData = 1005,
+
+    // 2xxx: chipdb record validation.
+    RecordNonPositiveNode = 2001,
+    RecordNonPositiveArea = 2002,
+    RecordNonPositiveTdp = 2003,
+    RecordNonFinite = 2004,
+    RecordBadYear = 2005,
+    RecordNonPositiveFreq = 2006,
+    RecordBadPlatform = 2007,
+
+    // 3xxx: regression fits.
+    FitTooFewRecords = 3001,
+
+    // 4xxx: design-space sweep and checkpointing.
+    SweepEmptyDimension = 4001,
+    SweepChainFailed = 4002,
+    CheckpointIo = 4101,
+    CheckpointCorrupt = 4102,
+    CheckpointMismatch = 4103,
+
+    // 9xxx: injected faults and internal fallbacks.
+    FaultInjected = 9001,
+    Internal = 9902,
+};
+
+/** Stable kebab-case label, e.g. "csv-unterminated-quote". */
+const char *errorCodeLabel(ErrorCode code);
+
+/** Stable display code, e.g. "E1001". */
+std::string errorCodeName(ErrorCode code);
+
+/**
+ * One recoverable failure: a stable code, a human-readable message,
+ * and optional source context (an input name and/or a line:column
+ * position for text inputs).
+ */
+class Error
+{
+  public:
+    Error() = default;
+
+    Error(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Attach a 1-based line/column position (text inputs). */
+    Error &
+    at(std::size_t line, std::size_t column)
+    {
+        line_ = line;
+        column_ = column;
+        return *this;
+    }
+
+    /** Attach an origin label (a file path, site, or record name). */
+    Error &
+    in(std::string context)
+    {
+        context_ = std::move(context);
+        return *this;
+    }
+
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+    const std::string &context() const { return context_; }
+
+    /** "E1001 csv-unterminated-quote: msg (chips.csv:3:7)". */
+    std::string str() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::None;
+    std::string message_;
+    std::string context_;
+    std::size_t line_ = 0;
+    std::size_t column_ = 0;
+};
+
+/** Build an Error by streaming all message arguments together. */
+template <typename... Args>
+Error
+makeError(ErrorCode code, Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return Error(code, oss.str());
+}
+
+/**
+ * Exception bridge for error boundaries: code deep inside a callback
+ * (e.g. one sweep chain) throws, the boundary catches and converts
+ * back to a Result. Not part of normal control flow elsewhere.
+ */
+class ErrorException : public std::exception
+{
+  public:
+    explicit ErrorException(Error error)
+        : error_(std::move(error)), what_(error_.str())
+    {
+    }
+
+    const Error &error() const { return error_; }
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    Error error_;
+    std::string what_;
+};
+
+/** Throw @p error wrapped in ErrorException. */
+[[noreturn]] void throwError(Error error);
+
+/**
+ * Value-or-Error, the return type of recoverable operations.
+ *
+ * Accessing value() on an error (or error() on a success) is a
+ * programming bug and panics.
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Error error) : error_(std::move(error))
+    {
+        if (error_.code() == ErrorCode::None)
+            panic("Result: error with code None");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        requireOk();
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        requireOk();
+        return *value_;
+    }
+
+    /** Move the value out (use on rvalue results). */
+    T &&
+    value() &&
+    {
+        requireOk();
+        return std::move(*value_);
+    }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Result: error() on a success");
+        return error_;
+    }
+
+  private:
+    void
+    requireOk() const
+    {
+        if (!ok())
+            panic("Result: value() on error: ", error_.str());
+    }
+
+    std::optional<T> value_;
+    Error error_;
+};
+
+/** Success-or-Error for operations without a payload. */
+template <>
+class [[nodiscard]] Result<void>
+{
+  public:
+    Result() = default;
+    Result(Error error) : ok_(false), error_(std::move(error))
+    {
+        if (error_.code() == ErrorCode::None)
+            panic("Result: error with code None");
+    }
+
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    const Error &
+    error() const
+    {
+        if (ok_)
+            panic("Result: error() on a success");
+        return error_;
+    }
+
+  private:
+    bool ok_ = true;
+    Error error_;
+};
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_ERROR_HH

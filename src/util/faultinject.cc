@@ -1,0 +1,105 @@
+#include "util/faultinject.hh"
+
+#include <cstdlib>
+
+namespace accelwall::util
+{
+
+FaultPlan &
+FaultPlan::global()
+{
+    static FaultPlan *plan = [] {
+        auto *p = new FaultPlan;
+        if (const char *env = std::getenv("ACCELWALL_FAULT")) {
+            auto parsed = p->configure(env);
+            if (!parsed.ok()) {
+                warn("ignoring ACCELWALL_FAULT: ",
+                     parsed.error().str());
+            }
+        }
+        return p;
+    }();
+    return *plan;
+}
+
+Result<void>
+FaultPlan::configure(const std::string &spec)
+{
+    clear();
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        std::size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= entry.size()) {
+            clear();
+            return makeError(ErrorCode::Internal,
+                             "fault spec entry '", entry,
+                             "' is not site:period");
+        }
+        std::string site = entry.substr(0, colon);
+        std::string period_str = entry.substr(colon + 1);
+        char *parse_end = nullptr;
+        unsigned long long period =
+            std::strtoull(period_str.c_str(), &parse_end, 10);
+        if (parse_end == period_str.c_str() || *parse_end != '\0' ||
+            period == 0) {
+            clear();
+            return makeError(ErrorCode::Internal, "fault spec '", entry,
+                             "' wants a positive integer period");
+        }
+        auto &slot = sites_[site];
+        slot = std::make_unique<Site>();
+        slot->period = static_cast<std::uint64_t>(period);
+    }
+    return {};
+}
+
+void
+FaultPlan::clear()
+{
+    sites_.clear();
+}
+
+bool
+FaultPlan::armed(const std::string &site) const
+{
+    return sites_.count(site) > 0;
+}
+
+bool
+FaultPlan::shouldFail(const std::string &site, std::uint64_t key) const
+{
+    auto it = sites_.find(site);
+    if (it == sites_.end())
+        return false;
+    return (key + 1) % it->second->period == 0;
+}
+
+bool
+FaultPlan::shouldFailCounted(const std::string &site)
+{
+    auto it = sites_.find(site);
+    if (it == sites_.end())
+        return false;
+    std::uint64_t call =
+        it->second->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    return call % it->second->period == 0;
+}
+
+Error
+injectedFault(const std::string &site, std::uint64_t key)
+{
+    return makeError(ErrorCode::FaultInjected, "injected fault at site '",
+                     site, "' (key ", key, ")")
+        .in(site);
+}
+
+} // namespace accelwall::util

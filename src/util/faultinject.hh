@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * A fault plan is a comma-separated list of `site:period` entries,
+ * e.g. `ACCELWALL_FAULT=chain:3,ingest-record:10`. Each named site is
+ * a check compiled into the production code path; an armed site fails
+ * every period-th check. There are two check styles:
+ *
+ *  - shouldFail(site, key): keyed by a caller-supplied 0-based index
+ *    (a chain index, a record row). Fails when (key + 1) % period == 0,
+ *    so the failure *set* is a pure function of the plan and the input,
+ *    independent of thread scheduling.
+ *  - shouldFailCounted(site): keyed by an internal per-site atomic
+ *    counter, for strictly serial sites (e.g. "kill the process after
+ *    the Nth completed chain checkpoint").
+ *
+ * Compiled-in sites:
+ *
+ *  | site           | style   | effect                                  |
+ *  |----------------|---------|-----------------------------------------|
+ *  | ingest-record  | keyed   | chipdb record quarantined as malformed   |
+ *  | fit            | counted | budget/TDP fit returns an error          |
+ *  | chain          | keyed   | one sweep (node,simp) chain fails        |
+ *  | sweep-kill     | counted | process _Exit(3) after a chain completes |
+ *
+ * An unparseable plan never turns injection on by accident: configure()
+ * returns the error and leaves the plan disarmed.
+ */
+
+#ifndef ACCELWALL_UTIL_FAULTINJECT_HH
+#define ACCELWALL_UTIL_FAULTINJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/error.hh"
+
+namespace accelwall::util
+{
+
+/** Exit code used by the `sweep-kill` site's simulated crash. */
+inline constexpr int kFaultKillExitCode = 3;
+
+/**
+ * The process-wide fault plan. Configuration is not thread-safe and
+ * must happen before the sites are exercised (tests reconfigure
+ * between runs; workers only read).
+ */
+class FaultPlan
+{
+  public:
+    /** The global plan, seeded from ACCELWALL_FAULT on first use. */
+    static FaultPlan &global();
+
+    /**
+     * Replace the plan with @p spec ("site:period[,site:period...]";
+     * empty disarms everything). On a malformed spec the plan is
+     * cleared and the parse error returned.
+     */
+    Result<void> configure(const std::string &spec);
+
+    /** Disarm all sites and reset counters. */
+    void clear();
+
+    /** True when @p site appears in the active plan. */
+    bool armed(const std::string &site) const;
+
+    /**
+     * Keyed check: true when @p site is armed with period n and
+     * (key + 1) % n == 0. Deterministic under any thread schedule.
+     */
+    bool shouldFail(const std::string &site, std::uint64_t key) const;
+
+    /**
+     * Counted check: true on every period-th call for @p site
+     * (1-based). Only meaningful at serialized call sites.
+     */
+    bool shouldFailCounted(const std::string &site);
+
+  private:
+    FaultPlan() = default;
+
+    struct Site
+    {
+        std::uint64_t period = 0;
+        std::atomic<std::uint64_t> calls{0};
+    };
+
+    // node-based map: Site addresses stay stable for the atomics.
+    std::map<std::string, std::unique_ptr<Site>> sites_;
+};
+
+/** The canonical Error raised by a keyed injected fault. */
+Error injectedFault(const std::string &site, std::uint64_t key);
+
+} // namespace accelwall::util
+
+#endif // ACCELWALL_UTIL_FAULTINJECT_HH

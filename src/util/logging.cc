@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace accelwall
 {
@@ -10,6 +11,13 @@ namespace detail
 
 namespace
 {
+
+/**
+ * Serializes whole log lines: ThreadPool workers report progress and
+ * chain failures during sweeps, and without this their messages
+ * interleave mid-line.
+ */
+std::mutex log_mu;
 
 const char *
 prefix(LogLevel level)
@@ -30,13 +38,17 @@ log(LogLevel level, const std::string &msg)
 {
     std::ostream &os =
         (level == LogLevel::Inform) ? std::cout : std::cerr;
+    std::lock_guard<std::mutex> lock(log_mu);
     os << prefix(level) << msg << '\n';
 }
 
 void
 logAndDie(LogLevel level, const std::string &msg)
 {
-    std::cerr << prefix(level) << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(log_mu);
+        std::cerr << prefix(level) << msg << std::endl;
+    }
     if (level == LogLevel::Panic)
         std::abort();
     std::exit(1);

@@ -6,6 +6,11 @@
  * conditions that might indicate a problem, fatal() for user errors that
  * prevent continuing (exits with code 1), and panic() for internal
  * invariant violations (aborts).
+ *
+ * Lines are serialized behind a mutex, so messages emitted from
+ * ThreadPool workers never interleave mid-line. For failures that the
+ * caller can recover from, prefer returning a Result (util/error.hh)
+ * over fatal(); see DESIGN.md "Failure domains".
  */
 
 #ifndef ACCELWALL_UTIL_LOGGING_HH

@@ -1,0 +1,26 @@
+# Usage-contract check for the accelwall_* tools: run one tool with
+# deliberately bad arguments and require the documented behavior —
+# a "usage:" line on stderr and exit code 2 (distinguishable from
+# model/data errors, which exit 1 via fatal()).
+#
+# Invoked by the cli_* ctest entries with
+#   -DTOOL=<binary> "-DARGS=<arg|arg|...>" -P run_cli_case.cmake
+# ARGS uses '|' as the separator so it survives the shell and ctest.
+
+string(REPLACE "|" ";" args "${ARGS}")
+execute_process(
+    COMMAND ${TOOL} ${args}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if (NOT rc EQUAL 2)
+    message(FATAL_ERROR
+        "${TOOL} ${ARGS}: expected usage exit code 2, got '${rc}'\n"
+        "stderr: ${err}")
+endif ()
+if (NOT err MATCHES "usage:")
+    message(FATAL_ERROR
+        "${TOOL} ${ARGS}: exit code 2 but no usage text on stderr\n"
+        "stderr: ${err}")
+endif ()

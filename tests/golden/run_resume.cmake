@@ -1,0 +1,45 @@
+# Checkpoint/resume end-to-end: kill accelwall-sweep mid-run via the
+# sweep-kill fault-injection site, resume from the checkpoint it left
+# behind, and require the resumed CSV to be byte-identical to the
+# golden file of an uninterrupted run. Invoked by the
+# golden_sweep_resume ctest entry with -DTOOL= -DKERNEL= -DGOLDEN=
+# -DOUT= -DCKPT=.
+
+file(REMOVE ${CKPT})
+
+# Phase 1: the sweep-kill site _Exit(3)s the process after the third
+# completed chain hits the checkpoint. --jobs 1 keeps the counted site
+# deterministic about *which* chains made it to disk.
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ACCELWALL_FAULT=sweep-kill:3
+        ${TOOL} ${KERNEL} --grid quick --csv --jobs 1
+        --checkpoint ${CKPT}
+    OUTPUT_QUIET
+    ERROR_QUIET
+    RESULT_VARIABLE rc)
+if (NOT rc EQUAL 3)
+    message(FATAL_ERROR
+        "expected the injected kill to exit with code 3, got '${rc}'")
+endif ()
+if (NOT EXISTS ${CKPT})
+    message(FATAL_ERROR "killed run left no checkpoint at ${CKPT}")
+endif ()
+
+# Phase 2: resume (no fault plan, parallel) and capture the CSV.
+execute_process(
+    COMMAND ${TOOL} ${KERNEL} --grid quick --csv --jobs 4
+        --checkpoint ${CKPT} --resume
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "resume run failed with status ${rc}")
+endif ()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+    RESULT_VARIABLE diff)
+if (NOT diff EQUAL 0)
+    message(FATAL_ERROR
+        "resumed CSV ${OUT} differs from the uninterrupted golden "
+        "${GOLDEN}: checkpoint/resume broke bit-identity")
+endif ()

@@ -1,0 +1,788 @@
+/**
+ * @file
+ * Fault-tolerance tests: Result/Error plumbing, the deterministic
+ * fault-injection harness, quarantine-and-continue ingestion, the
+ * fault-isolated sweep with checkpoint/resume, and thread-safe
+ * logging. Exercises every compiled-in injection site (ingest-record,
+ * fit, chain, sweep-kill).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
+#include "chipdb/budget.hh"
+#include "chipdb/ingest.hh"
+#include "chipdb/synth.hh"
+#include "kernels/kernels.hh"
+#include "util/error.hh"
+#include "util/faultinject.hh"
+#include "util/logging.hh"
+
+namespace accelwall
+{
+namespace
+{
+
+using aladdin::OnError;
+using aladdin::runSweep;
+using aladdin::runSweepChecked;
+using aladdin::Simulator;
+using aladdin::SweepConfig;
+using aladdin::SweepOptions;
+using aladdin::SweepPoint;
+using chipdb::ChipRecord;
+using chipdb::IngestReport;
+using util::FaultPlan;
+
+/** Arms a fault plan for one test and disarms it on scope exit. */
+class FaultGuard
+{
+  public:
+    explicit FaultGuard(const std::string &spec)
+    {
+        auto r = FaultPlan::global().configure(spec);
+        EXPECT_TRUE(r.ok()) << spec;
+    }
+    ~FaultGuard() { FaultPlan::global().clear(); }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "accelwall_" + name;
+}
+
+// ---------------------------------------------------------------------
+// Error / Result plumbing.
+// ---------------------------------------------------------------------
+
+TEST(Error, StrFormatsCodeLabelAndContext)
+{
+    Error e = makeError(ErrorCode::CsvUnterminatedQuote, "boom")
+                  .at(3, 7);
+    e.in("chips.csv");
+    EXPECT_EQ(e.str(),
+              "E1001 csv-unterminated-quote: boom (chips.csv:3:7)");
+    EXPECT_EQ(errorCodeName(ErrorCode::FaultInjected), "E9001");
+}
+
+TEST(Error, ResultVoidDefaultsToOk)
+{
+    Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    Result<void> bad = makeError(ErrorCode::Internal, "x");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code(), ErrorCode::Internal);
+}
+
+TEST(Error, ThrowErrorRoundTripsThroughException)
+{
+    try {
+        throwError(makeError(ErrorCode::SweepChainFailed, "chain died"));
+        FAIL() << "throwError returned";
+    } catch (const ErrorException &e) {
+        EXPECT_EQ(e.error().code(), ErrorCode::SweepChainFailed);
+        EXPECT_NE(std::string(e.what()).find("chain died"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection harness.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesSpecAndArmsSites)
+{
+    FaultGuard guard("chain:3,ingest-record:10");
+    EXPECT_TRUE(FaultPlan::global().armed("chain"));
+    EXPECT_TRUE(FaultPlan::global().armed("ingest-record"));
+    EXPECT_FALSE(FaultPlan::global().armed("fit"));
+}
+
+TEST(FaultPlan, MalformedSpecDisarmsEverything)
+{
+    for (const char *spec : {"chain", "chain:0", "chain:x", ":3"}) {
+        auto r = FaultPlan::global().configure(spec);
+        EXPECT_FALSE(r.ok()) << spec;
+        EXPECT_FALSE(FaultPlan::global().armed("chain")) << spec;
+    }
+    FaultPlan::global().clear();
+}
+
+TEST(FaultPlan, KeyedCheckIsPureFunctionOfKey)
+{
+    FaultGuard guard("chain:3");
+    std::set<std::uint64_t> failed;
+    for (std::uint64_t k = 0; k < 12; ++k) {
+        if (FaultPlan::global().shouldFail("chain", k))
+            failed.insert(k);
+        // Re-checking the same key gives the same answer: no counter.
+        EXPECT_EQ(FaultPlan::global().shouldFail("chain", k),
+                  failed.count(k) == 1);
+    }
+    EXPECT_EQ(failed, (std::set<std::uint64_t>{2, 5, 8, 11}));
+    EXPECT_FALSE(FaultPlan::global().shouldFail("other-site", 2));
+}
+
+TEST(FaultPlan, CountedCheckFiresEveryPeriodThCall)
+{
+    FaultGuard guard("fit:2");
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(FaultPlan::global().shouldFailCounted("fit"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true,
+                                        false, true}));
+}
+
+TEST(FaultPlan, InjectedFaultCarriesSiteAndCode)
+{
+    Error e = util::injectedFault("chain", 5);
+    EXPECT_EQ(e.code(), ErrorCode::FaultInjected);
+    EXPECT_NE(e.str().find("chain"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Record validation and quarantine ingestion.
+// ---------------------------------------------------------------------
+
+ChipRecord
+goodRecord(const std::string &name = "chip")
+{
+    ChipRecord rec;
+    rec.name = name;
+    rec.platform = chipdb::Platform::CPU;
+    rec.year = 2015.0;
+    rec.node_nm = 14.0;
+    rec.area_mm2 = 120.0;
+    rec.transistors = 2e9;
+    rec.freq_mhz = 3000.0;
+    rec.tdp_w = 65.0;
+    return rec;
+}
+
+TEST(Ingest, ValidateRecordReportsStableCodes)
+{
+    EXPECT_TRUE(chipdb::validateRecord(goodRecord()).ok());
+
+    auto code = [](ChipRecord rec) {
+        auto r = chipdb::validateRecord(rec);
+        return r.ok() ? ErrorCode::None : r.error().code();
+    };
+    ChipRecord rec = goodRecord();
+    rec.node_nm = 0.0;
+    EXPECT_EQ(code(rec), ErrorCode::RecordNonPositiveNode);
+    rec = goodRecord();
+    rec.area_mm2 = -3.0;
+    EXPECT_EQ(code(rec), ErrorCode::RecordNonPositiveArea);
+    rec = goodRecord();
+    rec.tdp_w = 0.0;
+    EXPECT_EQ(code(rec), ErrorCode::RecordNonPositiveTdp);
+    rec = goodRecord();
+    rec.freq_mhz = -1.0;
+    EXPECT_EQ(code(rec), ErrorCode::RecordNonPositiveFreq);
+    rec = goodRecord();
+    rec.year = -5.0;
+    EXPECT_EQ(code(rec), ErrorCode::RecordBadYear);
+    rec = goodRecord();
+    rec.area_mm2 = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(code(rec), ErrorCode::RecordNonFinite);
+    rec = goodRecord();
+    rec.transistors = -1.0;
+    EXPECT_EQ(code(rec), ErrorCode::RecordNonFinite);
+
+    // 0 transistors means "undisclosed", not corrupt.
+    rec = goodRecord();
+    rec.transistors = 0.0;
+    EXPECT_TRUE(chipdb::validateRecord(rec).ok());
+}
+
+TEST(Ingest, QuarantineSkipsBadRecordsAndCountsExactly)
+{
+    std::vector<ChipRecord> records;
+    for (int i = 0; i < 10; ++i)
+        records.push_back(goodRecord("chip" + std::to_string(i)));
+    records[3].tdp_w = 0.0;
+    records[7].node_nm = -1.0;
+
+    IngestReport report;
+    auto ok = chipdb::quarantineRecords(records, report);
+    EXPECT_EQ(ok.size(), 8u);
+    EXPECT_EQ(report.total, 10u);
+    EXPECT_EQ(report.accepted, 8u);
+    EXPECT_EQ(report.quarantined, 2u);
+    ASSERT_EQ(report.issues.size(), 2u);
+    EXPECT_EQ(report.issues[0].row, 3u);
+    EXPECT_EQ(report.issues[0].name, "chip3");
+    EXPECT_EQ(report.issues[0].error.code(),
+              ErrorCode::RecordNonPositiveTdp);
+    EXPECT_EQ(report.issues[1].row, 7u);
+    EXPECT_EQ(report.summary(),
+              "8/10 records ok, 2 quarantined (E2001 x 1, E2003 x 1)");
+}
+
+TEST(Ingest, InjectionQuarantinesExactlyTheKeyedRecords)
+{
+    FaultGuard guard("ingest-record:3");
+    std::vector<ChipRecord> records;
+    for (int i = 0; i < 9; ++i)
+        records.push_back(goodRecord("chip" + std::to_string(i)));
+
+    IngestReport report;
+    auto ok = chipdb::quarantineRecords(records, report);
+    EXPECT_EQ(ok.size(), 6u);
+    EXPECT_EQ(report.quarantined, 3u);
+    EXPECT_EQ(report.code_counts.at(9001), 3u);
+    std::set<std::size_t> rows;
+    for (const auto &issue : report.issues)
+        rows.insert(issue.row);
+    EXPECT_EQ(rows, (std::set<std::size_t>{2, 5, 8}));
+}
+
+TEST(Ingest, ParseChipCsvAcceptsCleanFile)
+{
+    IngestReport report;
+    auto recs = chipdb::parseChipCsv(
+        "name,platform,year,node_nm,area_mm2,freq_mhz,tdp_w,transistors\n"
+        "a,CPU,2015,14,120,3000,65,2e9\n"
+        "b,GPU,2017,16,471,1500,250,\n",
+        report);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs.value().size(), 2u);
+    EXPECT_EQ(recs.value()[0].name, "a");
+    EXPECT_DOUBLE_EQ(recs.value()[0].transistors, 2e9);
+    // Empty transistors field = undisclosed.
+    EXPECT_DOUBLE_EQ(recs.value()[1].transistors, 0.0);
+    EXPECT_EQ(recs.value()[1].platform, chipdb::Platform::GPU);
+    EXPECT_EQ(report.accepted, 2u);
+    EXPECT_EQ(report.quarantined, 0u);
+}
+
+TEST(Ingest, ParseChipCsvQuarantinesBadRowsAndContinues)
+{
+    IngestReport report;
+    auto recs = chipdb::parseChipCsv(
+        "name,platform,year,node_nm,area_mm2,freq_mhz,tdp_w\n"
+        "ok1,CPU,2015,14,120,3000,65\n"
+        "short-row,CPU,2015\n"
+        "bad-num,CPU,2015,14,xyz,3000,65\n"
+        "bad-platform,TPU,2015,14,120,3000,65\n"
+        "bad-tdp,CPU,2015,14,120,3000,0\n"
+        "ok2,GPU,2016,16,300,1500,180\n",
+        report);
+    ASSERT_TRUE(recs.ok());
+    ASSERT_EQ(recs.value().size(), 2u);
+    EXPECT_EQ(recs.value()[0].name, "ok1");
+    EXPECT_EQ(recs.value()[1].name, "ok2");
+    EXPECT_EQ(report.total, 6u);
+    EXPECT_EQ(report.quarantined, 4u);
+    EXPECT_EQ(report.code_counts.at(1002), 1u); // arity
+    EXPECT_EQ(report.code_counts.at(1003), 1u); // bad number
+    EXPECT_EQ(report.code_counts.at(2007), 1u); // bad platform
+    EXPECT_EQ(report.code_counts.at(2003), 1u); // bad TDP
+    ASSERT_EQ(report.issues.size(), 4u);
+    EXPECT_EQ(report.issues[0].name, "short-row");
+    EXPECT_EQ(report.issues[0].error.code(),
+              ErrorCode::CsvArityMismatch);
+    // Row positions are 0-based data-row indices.
+    EXPECT_EQ(report.issues[0].row, 1u);
+    EXPECT_EQ(report.issues[3].row, 4u);
+}
+
+TEST(Ingest, FileLevelProblemsFailTheWholeParse)
+{
+    IngestReport report;
+    auto missing = chipdb::parseChipCsv("name,platform\nx,CPU\n", report);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code(), ErrorCode::CsvMissingColumn);
+
+    auto empty = chipdb::parseChipCsv(
+        "name,platform,year,node_nm,area_mm2,freq_mhz,tdp_w\n", report);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.error().code(), ErrorCode::CsvNoData);
+
+    auto broken = chipdb::parseChipCsv("name,\"oops\n", report);
+    ASSERT_FALSE(broken.ok());
+    EXPECT_EQ(broken.error().code(), ErrorCode::CsvUnterminatedQuote);
+}
+
+TEST(Ingest, DetailedIssuesAreCappedButCountsStayExact)
+{
+    std::vector<ChipRecord> records;
+    for (int i = 0; i < 30; ++i) {
+        ChipRecord rec = goodRecord("bad" + std::to_string(i));
+        rec.tdp_w = 0.0;
+        records.push_back(rec);
+    }
+    IngestReport report;
+    auto ok = chipdb::quarantineRecords(records, report);
+    EXPECT_TRUE(ok.empty());
+    EXPECT_EQ(report.quarantined, 30u);
+    EXPECT_EQ(report.issues.size(), IngestReport::kMaxDetailedIssues);
+    EXPECT_EQ(report.code_counts.at(2003), 30u);
+}
+
+// ---------------------------------------------------------------------
+// Fits compose with quarantine; the `fit` site injects.
+// ---------------------------------------------------------------------
+
+TEST(Fits, QuarantineThenFitProceedsWithSurvivors)
+{
+    auto corpus = chipdb::makeSynthCorpus();
+    corpus[1].area_mm2 = -10.0; // corrupt two records
+    corpus[4].tdp_w = std::numeric_limits<double>::infinity();
+
+    IngestReport report;
+    auto clean = chipdb::quarantineRecords(corpus, report);
+    EXPECT_EQ(report.quarantined, 2u);
+    auto fit = chipdb::fitAreaModelChecked(clean);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_NEAR(fit.value().exponent, 0.877, 0.05);
+}
+
+TEST(Fits, TooFewRecordsIsActionable)
+{
+    std::vector<ChipRecord> tiny = {goodRecord("only")};
+    auto fit = chipdb::fitAreaModelChecked(tiny);
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.error().code(), ErrorCode::FitTooFewRecords);
+    EXPECT_NE(fit.error().message().find("fewer than two"),
+              std::string::npos);
+
+    auto tdp = chipdb::fitTdpModelChecked(tiny, 5.0, 10.0);
+    ASSERT_FALSE(tdp.ok());
+    EXPECT_EQ(tdp.error().code(), ErrorCode::FitTooFewRecords);
+}
+
+TEST(Fits, FitSiteInjectsRecoverableError)
+{
+    FaultGuard guard("fit:1");
+    auto corpus = chipdb::makeSynthCorpus();
+    auto fit = chipdb::fitAreaModelChecked(corpus);
+    ASSERT_FALSE(fit.ok());
+    EXPECT_EQ(fit.error().code(), ErrorCode::FaultInjected);
+}
+
+// ---------------------------------------------------------------------
+// Fault-isolated sweep.
+// ---------------------------------------------------------------------
+
+void
+expectSameCell(const SweepPoint &a, const SweepPoint &b)
+{
+    auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error_code, b.error_code);
+    EXPECT_EQ(a.dp.partition, b.dp.partition);
+    EXPECT_EQ(a.dp.simplification, b.dp.simplification);
+    EXPECT_EQ(bits(a.dp.node_nm), bits(b.dp.node_nm));
+    EXPECT_EQ(a.res.cycles, b.res.cycles);
+    EXPECT_EQ(bits(a.res.runtime_ns), bits(b.res.runtime_ns));
+    EXPECT_EQ(bits(a.res.dynamic_energy_pj), bits(b.res.dynamic_energy_pj));
+    EXPECT_EQ(bits(a.res.leakage_power_uw), bits(b.res.leakage_power_uw));
+    EXPECT_EQ(bits(a.res.energy_pj), bits(b.res.energy_pj));
+    EXPECT_EQ(bits(a.res.power_mw), bits(b.res.power_mw));
+    EXPECT_EQ(bits(a.res.area_um2), bits(b.res.area_um2));
+    EXPECT_EQ(a.res.ops, b.res.ops);
+    EXPECT_EQ(a.res.fused_ops, b.res.fused_ops);
+    EXPECT_EQ(bits(a.res.throughput_ops), bits(b.res.throughput_ops));
+    EXPECT_EQ(bits(a.res.efficiency_opj), bits(b.res.efficiency_opj));
+    EXPECT_EQ(bits(a.res.lane_utilization), bits(b.res.lane_utilization));
+    EXPECT_EQ(a.res.initiation_interval, b.res.initiation_interval);
+    EXPECT_EQ(bits(a.res.pipelined_throughput_ops),
+              bits(b.res.pipelined_throughput_ops));
+}
+
+TEST(SweepRobust, CheckedMatchesLegacyBitForBit)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    auto legacy = runSweep(sim, cfg);
+    auto outcome = runSweepChecked(sim, cfg);
+    ASSERT_TRUE(outcome.ok());
+    const auto &points = outcome.value().points;
+    ASSERT_EQ(points.size(), legacy.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expectSameCell(points[i], legacy[i]);
+    EXPECT_FALSE(outcome.value().report.degraded());
+    EXPECT_EQ(outcome.value().report.evaluated,
+              outcome.value().report.chains);
+}
+
+TEST(SweepRobust, EmptyDimensionIsRecoverable)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    cfg.partitions.clear();
+    auto outcome = runSweepChecked(sim, cfg);
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code(), ErrorCode::SweepEmptyDimension);
+}
+
+TEST(SweepRobust, InjectedChainsBecomeFailedCellsUnderSkip)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    auto clean = runSweep(sim, cfg);
+
+    // chain:3 kills chains 2, 5, 8, 11 — 4 of the quick grid's 12
+    // (node, simplification) chains, i.e. a third of the sweep.
+    FaultGuard guard("chain:3");
+    SweepOptions opts;
+    opts.on_error = OnError::Skip;
+    auto outcome = runSweepChecked(sim, cfg, opts);
+    ASSERT_TRUE(outcome.ok());
+    const auto &points = outcome.value().points;
+    const auto &report = outcome.value().report;
+
+    const std::size_t n_part = cfg.partitions.size();
+    const std::set<std::size_t> killed{2, 5, 8, 11};
+    ASSERT_EQ(points.size(), clean.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::size_t chain = i / n_part;
+        if (killed.count(chain)) {
+            EXPECT_FALSE(points[i].ok);
+            EXPECT_EQ(points[i].error_code, ErrorCode::FaultInjected);
+            EXPECT_NE(points[i].error.find("E9001"), std::string::npos);
+            // Failed cells keep their grid coordinates but zero results.
+            EXPECT_EQ(points[i].dp.partition, clean[i].dp.partition);
+            EXPECT_EQ(points[i].res.cycles, 0u);
+        } else {
+            // Survivors are bit-identical to the clean run.
+            expectSameCell(points[i], clean[i]);
+        }
+    }
+
+    EXPECT_TRUE(report.degraded());
+    EXPECT_EQ(report.chains, 12u);
+    EXPECT_EQ(report.failed, 4u);
+    ASSERT_EQ(report.failures.size(), 4u);
+    std::set<std::size_t> reported;
+    for (const auto &f : report.failures) {
+        reported.insert(f.chain);
+        EXPECT_EQ(f.code, ErrorCode::FaultInjected);
+    }
+    EXPECT_EQ(reported, killed);
+    // Failures come sorted by chain index.
+    EXPECT_EQ(report.failures.front().chain, 2u);
+    EXPECT_EQ(report.failures.back().chain, 11u);
+    EXPECT_NE(report.summary().find("4 failed"), std::string::npos);
+    EXPECT_NE(report.summary().find("E9001 x 4"), std::string::npos);
+}
+
+TEST(SweepRobust, AbortPolicySurfacesFirstFailure)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    FaultGuard guard("chain:3");
+    auto outcome = runSweepChecked(sim, SweepConfig::quick());
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.error().code(), ErrorCode::SweepChainFailed);
+    EXPECT_NE(outcome.error().message().find("chain 2"),
+              std::string::npos);
+    EXPECT_NE(outcome.error().message().find("--on-error skip"),
+              std::string::npos);
+}
+
+TEST(SweepRobust, SelectorsSkipFailedCells)
+{
+    // A failed cell has all-zero results; if the selectors didn't skip
+    // it, its runtime 0 would win bestPerformance outright.
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    auto points = runSweep(sim, cfg);
+    std::size_t honest_best = aladdin::bestPerformance(points);
+
+    auto sabotaged = points;
+    sabotaged[0].ok = false;
+    sabotaged[0].res = aladdin::SimResult{};
+    std::size_t best = aladdin::bestPerformance(sabotaged);
+    EXPECT_NE(best, 0u);
+    if (honest_best != 0)
+        EXPECT_EQ(best, honest_best);
+    EXPECT_NE(aladdin::bestEfficiency(sabotaged), 0u);
+}
+
+TEST(SweepRobust, SelectorsDieWhenEveryCellFailed)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    auto points = runSweep(sim, SweepConfig::quick());
+    for (auto &p : points)
+        p.ok = false;
+    EXPECT_EXIT(aladdin::bestPerformance(points),
+                ::testing::ExitedWithCode(1), "every design point");
+    EXPECT_EXIT(aladdin::bestEfficiencyUnderArea(points, 1e18),
+                ::testing::ExitedWithCode(1), "budget");
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume.
+// ---------------------------------------------------------------------
+
+/** Keep the header plus the first @p k complete chain blocks. */
+std::string
+keepBlocks(const std::string &ckpt, std::size_t k)
+{
+    std::istringstream iss(ckpt);
+    std::string line, out;
+    std::size_t ends = 0;
+    while (std::getline(iss, line)) {
+        out += line + "\n";
+        if (line.rfind("end ", 0) == 0 && ++ends == k)
+            break;
+    }
+    return out;
+}
+
+TEST(Checkpoint, FullResumeRestoresEverythingBitIdentical)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    const std::string path = tmpPath("ckpt_full");
+
+    SweepOptions write_opts;
+    write_opts.checkpoint_path = path;
+    auto first = runSweepChecked(sim, cfg, write_opts);
+    ASSERT_TRUE(first.ok());
+
+    SweepOptions resume_opts;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto second = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value().report.restored, 12u);
+    EXPECT_EQ(second.value().report.evaluated, 0u);
+    ASSERT_EQ(second.value().points.size(), first.value().points.size());
+    for (std::size_t i = 0; i < first.value().points.size(); ++i)
+        expectSameCell(second.value().points[i], first.value().points[i]);
+}
+
+TEST(Checkpoint, PartialResumeCompletesBitIdentical)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    auto clean = runSweep(sim, cfg);
+    const std::string path = tmpPath("ckpt_partial");
+
+    SweepOptions write_opts;
+    write_opts.checkpoint_path = path;
+    ASSERT_TRUE(runSweepChecked(sim, cfg, write_opts).ok());
+
+    // Simulate a crash that only got 5 chain blocks onto disk.
+    writeFile(path, keepBlocks(readFile(path), 5));
+
+    SweepOptions resume_opts;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 5u);
+    EXPECT_EQ(resumed.value().report.evaluated, 7u);
+    ASSERT_EQ(resumed.value().points.size(), clean.size());
+    for (std::size_t i = 0; i < clean.size(); ++i)
+        expectSameCell(resumed.value().points[i], clean[i]);
+}
+
+TEST(Checkpoint, TornTrailingBlockIsTolerated)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    auto clean = runSweep(sim, cfg);
+    const std::string path = tmpPath("ckpt_torn");
+
+    SweepOptions write_opts;
+    write_opts.checkpoint_path = path;
+    ASSERT_TRUE(runSweepChecked(sim, cfg, write_opts).ok());
+
+    // A block cut off mid-cell, as a real kill mid-write would leave.
+    writeFile(path, keepBlocks(readFile(path), 3) +
+                        "chain 9 ok\ncell 42 1.5");
+
+    SweepOptions resume_opts;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 3u);
+    for (std::size_t i = 0; i < clean.size(); ++i)
+        expectSameCell(resumed.value().points[i], clean[i]);
+}
+
+TEST(Checkpoint, FailedChainsPersistAcrossResume)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    const std::string path = tmpPath("ckpt_failed");
+
+    {
+        FaultGuard guard("chain:3");
+        SweepOptions opts;
+        opts.on_error = OnError::Skip;
+        opts.checkpoint_path = path;
+        ASSERT_TRUE(runSweepChecked(sim, cfg, opts).ok());
+    }
+
+    // Injection is now disarmed, but the checkpoint remembers which
+    // chains failed: the resume reports them without re-evaluating.
+    SweepOptions resume_opts;
+    resume_opts.on_error = OnError::Skip;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 12u);
+    EXPECT_EQ(resumed.value().report.failed, 4u);
+    EXPECT_EQ(resumed.value().report.failures.front().code,
+              ErrorCode::FaultInjected);
+    const auto &points = resumed.value().points;
+    const std::size_t n_part = cfg.partitions.size();
+    for (std::size_t c : {2u, 5u, 8u, 11u}) {
+        EXPECT_FALSE(points[c * n_part].ok);
+        EXPECT_EQ(points[c * n_part].error_code,
+                  ErrorCode::FaultInjected);
+    }
+}
+
+TEST(Checkpoint, UnusableCheckpointsAreHardErrors)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+
+    SweepOptions opts;
+    opts.resume = true;
+    auto no_path = runSweepChecked(sim, cfg, opts);
+    ASSERT_FALSE(no_path.ok());
+    EXPECT_EQ(no_path.error().code(), ErrorCode::CheckpointIo);
+
+    opts.checkpoint_path = tmpPath("ckpt_missing_nonexistent");
+    auto missing = runSweepChecked(sim, cfg, opts);
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code(), ErrorCode::CheckpointIo);
+
+    opts.checkpoint_path = tmpPath("ckpt_garbage");
+    writeFile(opts.checkpoint_path, "not a checkpoint at all\n");
+    auto garbage = runSweepChecked(sim, cfg, opts);
+    ASSERT_FALSE(garbage.ok());
+    EXPECT_EQ(garbage.error().code(), ErrorCode::CheckpointCorrupt);
+}
+
+TEST(Checkpoint, GridMismatchIsRejected)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    const std::string path = tmpPath("ckpt_mismatch");
+
+    SweepOptions write_opts;
+    write_opts.checkpoint_path = path;
+    ASSERT_TRUE(runSweepChecked(sim, cfg, write_opts).ok());
+
+    SweepConfig other = cfg;
+    other.nodes.push_back(32.0);
+    SweepOptions resume_opts;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto mismatch = runSweepChecked(sim, other, resume_opts);
+    ASSERT_FALSE(mismatch.ok());
+    EXPECT_EQ(mismatch.error().code(), ErrorCode::CheckpointMismatch);
+
+    // Same shape but a different kernel must also be rejected.
+    Simulator other_sim(kernels::makeKernel("ENT"));
+    auto wrong_kernel = runSweepChecked(other_sim, cfg, resume_opts);
+    ASSERT_FALSE(wrong_kernel.ok());
+    EXPECT_EQ(wrong_kernel.error().code(), ErrorCode::CheckpointMismatch);
+}
+
+TEST(Checkpoint, KillSiteExitsWithCode3)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    SweepConfig cfg = SweepConfig::quick();
+    const std::string path = tmpPath("ckpt_kill");
+    EXPECT_EXIT(
+        {
+            auto armed = FaultPlan::global().configure("sweep-kill:3");
+            ASSERT_TRUE(armed.ok());
+            SweepOptions opts;
+            opts.checkpoint_path = path;
+            opts.jobs = 1;
+            runSweepChecked(sim, cfg, opts);
+        },
+        ::testing::ExitedWithCode(util::kFaultKillExitCode), "");
+
+    // The file the killed child left behind resumes cleanly and the
+    // result is bit-identical to an undisturbed run.
+    auto clean = runSweep(sim, cfg);
+    SweepOptions resume_opts;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 3u);
+    ASSERT_EQ(resumed.value().points.size(), clean.size());
+    for (std::size_t i = 0; i < clean.size(); ++i)
+        expectSameCell(resumed.value().points[i], clean[i]);
+}
+
+// ---------------------------------------------------------------------
+// Thread-safe logging.
+// ---------------------------------------------------------------------
+
+TEST(Logging, ConcurrentWarnLinesNeverInterleave)
+{
+    const int threads = 8, lines = 50;
+    ::testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([t] {
+                for (int i = 0; i < lines; ++i)
+                    warn("thread ", t, " line ", i,
+                         " padding-padding-padding");
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+    std::string captured = ::testing::internal::GetCapturedStderr();
+
+    std::istringstream iss(captured);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(iss, line)) {
+        ++count;
+        // Every line is exactly one complete message.
+        EXPECT_TRUE(line.rfind("warn: thread ", 0) == 0) << line;
+        EXPECT_NE(line.find(" padding-padding-padding"),
+                  std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(count, static_cast<std::size_t>(threads * lines));
+}
+
+} // namespace
+} // namespace accelwall

@@ -100,7 +100,7 @@ TEST(Csv, EscapesSpecials)
 
 TEST(Csv, ParsePlain)
 {
-    auto rows = parseCsv("a,b,c\n1,2,3\n");
+    auto rows = parseCsv("a,b,c\n1,2,3\n").value();
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
     EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
@@ -108,7 +108,7 @@ TEST(Csv, ParsePlain)
 
 TEST(Csv, ParseQuotedCommasAndQuotes)
 {
-    auto rows = parseCsv("x,\"a,b\",\"say \"\"hi\"\"\"\n");
+    auto rows = parseCsv("x,\"a,b\",\"say \"\"hi\"\"\"\n").value();
     ASSERT_EQ(rows.size(), 1u);
     ASSERT_EQ(rows[0].size(), 3u);
     EXPECT_EQ(rows[0][1], "a,b");
@@ -117,14 +117,14 @@ TEST(Csv, ParseQuotedCommasAndQuotes)
 
 TEST(Csv, ParseCrlfAndNoTrailingNewline)
 {
-    auto rows = parseCsv("a,b\r\n1,2");
+    auto rows = parseCsv("a,b\r\n1,2").value();
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[1][1], "2");
 }
 
 TEST(Csv, ParseEmptyFields)
 {
-    auto rows = parseCsv("a,,c\n,,\n");
+    auto rows = parseCsv("a,,c\n,,\n").value();
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[0][1], "");
     EXPECT_EQ(rows[1].size(), 3u);
@@ -134,16 +134,33 @@ TEST(Csv, ParseRoundTripsWriter)
 {
     CsvWriter w({"name", "note"});
     w.addRow({"chip,1", "said \"fast\""});
-    auto rows = parseCsv(w.str());
+    auto rows = parseCsv(w.str()).value();
     ASSERT_EQ(rows.size(), 2u);
     EXPECT_EQ(rows[1][0], "chip,1");
     EXPECT_EQ(rows[1][1], "said \"fast\"");
 }
 
-TEST(Csv, ParseUnterminatedQuoteDies)
+TEST(Csv, ParseUnterminatedQuoteIsRecoverable)
 {
-    EXPECT_EXIT(parseCsv("a,\"oops\n"), ::testing::ExitedWithCode(1),
-                "unterminated");
+    auto rows = parseCsv("a,\"oops\n");
+    ASSERT_FALSE(rows.ok());
+    EXPECT_EQ(rows.error().code(), ErrorCode::CsvUnterminatedQuote);
+    EXPECT_NE(rows.error().message().find("unterminated"),
+              std::string::npos);
+    EXPECT_EQ(rows.error().line(), 1u);
+    EXPECT_EQ(rows.error().column(), 3u);
+}
+
+TEST(Csv, ParseTruncatedQuotedFieldReportsOpeningQuote)
+{
+    // The file ends inside a quoted field that opened on line 2,
+    // column 5: the error must point at the opening quote, not EOF.
+    auto rows = parseCsv("a,b\n1,2,\"trunca");
+    ASSERT_FALSE(rows.ok());
+    EXPECT_EQ(rows.error().code(), ErrorCode::CsvUnterminatedQuote);
+    EXPECT_EQ(rows.error().line(), 2u);
+    EXPECT_EQ(rows.error().column(), 5u);
+    EXPECT_NE(rows.error().str().find("E1001"), std::string::npos);
 }
 
 TEST(Rng, Deterministic)

@@ -11,6 +11,11 @@
  * (images/s, GH/s/mm2, frames/J, ...). Rows are normalized to the
  * first row; the output is the Figure 1/4-style table of relative
  * gain, CMOS-driven potential, and CSR.
+ *
+ * Malformed rows are quarantined (diagnosed on stderr and skipped);
+ * the analysis proceeds as long as two chips survive. File-level
+ * problems — unreadable file, broken CSV framing, missing columns —
+ * stay fatal (exit 1). Usage errors exit 2.
  */
 
 #include <fstream>
@@ -19,9 +24,11 @@
 #include <sstream>
 #include <string>
 
+#include "cli_util.hh"
 #include "csr/csr.hh"
 #include "potential/model.hh"
 #include "util/csv.hh"
+#include "util/error.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -31,26 +38,37 @@ using namespace accelwall;
 namespace
 {
 
-csr::Metric
-parseMetric(const std::string &name)
+int
+usage()
 {
-    if (name == "throughput")
-        return csr::Metric::Throughput;
-    if (name == "efficiency")
-        return csr::Metric::EnergyEfficiency;
-    if (name == "area")
-        return csr::Metric::AreaThroughput;
-    fatal("unknown metric '", name,
-          "' (expected throughput|efficiency|area)");
+    std::cerr << "usage: accelwall_csr <chips.csv> "
+                 "[--metric throughput|efficiency|area]\n";
+    return 2;
 }
 
-double
+bool
+parseMetric(const std::string &name, csr::Metric &out)
+{
+    if (name == "throughput")
+        out = csr::Metric::Throughput;
+    else if (name == "efficiency")
+        out = csr::Metric::EnergyEfficiency;
+    else if (name == "area")
+        out = csr::Metric::AreaThroughput;
+    else
+        return false;
+    return true;
+}
+
+/** Parse one field or return a row-quarantining Error. */
+Result<double>
 toDouble(const std::string &field, const std::string &what)
 {
-    std::istringstream iss(field);
     double value = 0.0;
-    if (!(iss >> value))
-        fatal("could not parse ", what, " from '", field, "'");
+    if (!cli::parseDouble(field, value)) {
+        return makeError(ErrorCode::CsvBadNumber, "could not parse ",
+                         what, " from '", field, "'");
+    }
     return value;
 }
 
@@ -59,19 +77,20 @@ toDouble(const std::string &field, const std::string &what)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: accelwall_csr <chips.csv> "
-                     "[--metric throughput|efficiency|area]\n";
-        return 1;
-    }
+    if (argc < 2)
+        return usage();
     std::string path = argv[1];
+    if (!path.empty() && path[0] == '-')
+        return usage();
     csr::Metric metric = csr::Metric::Throughput;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--metric" && i + 1 < argc)
-            metric = parseMetric(argv[++i]);
-        else
-            fatal("unknown argument '", arg, "'");
+        if (arg == "--metric" && i + 1 < argc) {
+            if (!parseMetric(argv[++i], metric))
+                return usage();
+        } else {
+            return usage();
+        }
     }
 
     std::ifstream in(path);
@@ -79,7 +98,12 @@ main(int argc, char **argv)
         fatal("cannot open '", path, "'");
     std::stringstream buffer;
     buffer << in.rdbuf();
-    auto rows = parseCsv(buffer.str());
+    auto parsed = parseCsv(buffer.str());
+    if (!parsed.ok()) {
+        Error err = parsed.error();
+        fatal(err.in(path).str());
+    }
+    const auto &rows = parsed.value();
     if (rows.size() < 3)
         fatal("need a header plus at least two chip rows");
 
@@ -93,25 +117,58 @@ main(int argc, char **argv)
             fatal("missing required column '", required, "'");
     }
 
+    // Quarantine-and-continue: one bad row costs that row, not the run.
     std::vector<csr::ChipGain> chips;
+    std::size_t quarantined = 0;
     for (std::size_t r = 1; r < rows.size(); ++r) {
         const auto &row = rows[r];
-        if (row.size() < rows[0].size())
-            fatal("row ", r, " has ", row.size(), " fields, expected ",
-                  rows[0].size());
+        auto quarantine = [&](const Error &err) {
+            warn("row ", r + 1, " quarantined: ", err.str());
+            ++quarantined;
+        };
+        if (row.size() < rows[0].size()) {
+            quarantine(makeError(ErrorCode::CsvArityMismatch, "has ",
+                                 row.size(), " fields, expected ",
+                                 rows[0].size()));
+            continue;
+        }
         csr::ChipGain chip;
         chip.name = row[cols["name"]];
-        chip.spec.node_nm = toDouble(row[cols["node_nm"]], "node_nm");
-        chip.spec.area_mm2 = toDouble(row[cols["area_mm2"]],
-                                      "area_mm2");
-        chip.spec.freq_ghz =
-            toDouble(row[cols["freq_mhz"]], "freq_mhz") / 1e3;
-        chip.spec.tdp_w = toDouble(row[cols["tdp_w"]], "tdp_w");
-        chip.gain = toDouble(row[cols["gain"]], "gain");
+        bool ok = true;
+        auto field = [&](const char *col, double scale = 1.0) {
+            auto v = toDouble(row[cols[col]], col);
+            if (!v.ok()) {
+                if (ok)
+                    quarantine(v.error());
+                ok = false;
+                return 0.0;
+            }
+            return v.value() * scale;
+        };
+        chip.spec.node_nm = field("node_nm");
+        chip.spec.area_mm2 = field("area_mm2");
+        chip.spec.freq_ghz = field("freq_mhz", 1e-3);
+        chip.spec.tdp_w = field("tdp_w");
+        chip.gain = field("gain");
         if (cols.count("year"))
-            chip.year = toDouble(row[cols["year"]], "year");
+            chip.year = field("year");
+        if (!ok)
+            continue;
+        if (chip.spec.node_nm <= 0.0 || chip.spec.area_mm2 <= 0.0 ||
+            chip.spec.tdp_w <= 0.0 || chip.spec.freq_ghz <= 0.0) {
+            quarantine(makeError(ErrorCode::RecordNonPositiveNode,
+                                 "node/area/freq/tdp must be positive"));
+            continue;
+        }
         chips.push_back(std::move(chip));
     }
+    if (quarantined > 0) {
+        warn(chips.size(), "/", rows.size() - 1, " chip rows ok, ",
+             quarantined, " quarantined");
+    }
+    if (chips.size() < 2)
+        fatal("need at least two valid chip rows (", chips.size(),
+              " survived, ", quarantined, " quarantined)");
 
     potential::PotentialModel model;
     auto series = csr::csrSeries(chips, model, metric);

@@ -6,6 +6,8 @@
  * KERNEL is a Table IV abbreviation or an extension kernel (BTC,
  * BTC-AB, IDCT, ENT, DFT). Without an output path the DOT text goes to
  * stdout. Large graphs render as stage summaries.
+ *
+ * Usage errors exit 2; an unknown kernel is a model error (exit 1).
  */
 
 #include <fstream>
@@ -17,12 +19,24 @@
 
 using namespace accelwall;
 
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: accelwall-dot KERNEL [output.dot]\n";
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: accelwall-dot KERNEL [output.dot]\n";
-        return 1;
+    if (argc < 2 || argc > 3 || argv[1][0] == '-' ||
+        (argc == 3 && argv[2][0] == '-')) {
+        return usage();
     }
 
     dfg::Graph g = kernels::makeKernel(argv[1]);

@@ -4,6 +4,8 @@
  * external plotting stack can regenerate the paper's plots.
  *
  * Usage: accelwall_export [output_dir]   (default: export/)
+ *
+ * Usage errors exit 2; unwritable outputs are model errors (exit 1).
  */
 
 #include <filesystem>
@@ -51,6 +53,10 @@ num(double v)
 int
 main(int argc, char **argv)
 {
+    if (argc > 2 || (argc == 2 && argv[1][0] == '-')) {
+        std::cerr << "usage: accelwall_export [output_dir]\n";
+        return 2;
+    }
     std::filesystem::path dir = argc > 1 ? argv[1] : "export";
     std::filesystem::create_directories(dir);
 

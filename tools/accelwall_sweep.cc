@@ -6,15 +6,26 @@
  * Usage:
  *   accelwall-sweep KERNEL [--target perf|eff] [--area-um2 BUDGET]
  *                   [--power-mw BUDGET] [--csv] [--grid paper|quick]
- *                   [--jobs N]
+ *                   [--jobs N] [--on-error abort|skip]
+ *                   [--checkpoint PATH] [--resume]
  *
  * Prints the optimum (optionally under an area/power budget), the
  * Figure 14 gain attribution, and with --csv the full sweep as CSV on
- * stdout.
+ * stdout (the `status` column is "ok" or the failure code of the
+ * cell's chain).
  *
  * --jobs N (or the ACCELWALL_JOBS environment variable) sets the
  * sweep's thread count; the default is the hardware concurrency, and
  * the output is identical for every value.
+ *
+ * Fault tolerance: --on-error skip keeps sweeping past failed
+ * (node, simplification) chains and prints a degradation summary on
+ * stderr; --checkpoint PATH appends finished chains to PATH so a
+ * killed run can continue with --resume, producing output
+ * bit-identical to an uninterrupted run.
+ *
+ * Exit codes: 0 success, 1 model/data error, 2 usage error, 3 when the
+ * `sweep-kill` fault-injection site fires.
  */
 
 #include <cstdlib>
@@ -24,8 +35,10 @@
 #include "aladdin/attribution.hh"
 #include "aladdin/simulator.hh"
 #include "aladdin/sweep.hh"
+#include "cli_util.hh"
 #include "kernels/kernels.hh"
 #include "util/csv.hh"
+#include "util/error.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -33,20 +46,35 @@
 
 using namespace accelwall;
 
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: accelwall-sweep KERNEL [--target perf|eff]\n"
+                 "           [--area-um2 N] [--power-mw N] [--csv]\n"
+                 "           [--grid paper|quick] [--jobs N]\n"
+                 "           [--on-error abort|skip]\n"
+                 "           [--checkpoint PATH] [--resume]\n";
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: accelwall-sweep KERNEL [--target perf|eff]"
-                     " [--area-um2 N] [--power-mw N] [--csv]"
-                     " [--grid paper|quick] [--jobs N]\n";
-        return 1;
-    }
+    if (argc < 2)
+        return usage();
     std::string kernel = argv[1];
+    if (!kernel.empty() && kernel[0] == '-')
+        return usage();
     bool eff_target = false;
     bool csv = false;
     bool quick_grid = false;
     double area_budget = 0.0, power_budget = 0.0;
+    aladdin::SweepOptions sweep_opts;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--target" && i + 1 < argc) {
@@ -54,11 +82,13 @@ main(int argc, char **argv)
             if (t == "eff")
                 eff_target = true;
             else if (t != "perf")
-                fatal("unknown target '", t, "'");
+                return usage();
         } else if (arg == "--area-um2" && i + 1 < argc) {
-            area_budget = std::atof(argv[++i]);
+            if (!cli::parseDouble(argv[++i], area_budget))
+                return usage();
         } else if (arg == "--power-mw" && i + 1 < argc) {
-            power_budget = std::atof(argv[++i]);
+            if (!cli::parseDouble(argv[++i], power_budget))
+                return usage();
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--grid" && i + 1 < argc) {
@@ -66,27 +96,49 @@ main(int argc, char **argv)
             if (g == "quick")
                 quick_grid = true;
             else if (g != "paper")
-                fatal("unknown grid '", g, "'");
+                return usage();
         } else if (arg == "--jobs" && i + 1 < argc) {
-            int jobs = std::atoi(argv[++i]);
-            if (jobs < 1)
-                fatal("--jobs wants a positive integer");
+            int jobs = 0;
+            if (!cli::parseInt(argv[++i], jobs) || jobs < 1)
+                return usage();
             util::setDefaultJobs(jobs);
+        } else if (arg == "--on-error" && i + 1 < argc) {
+            std::string policy = argv[++i];
+            if (policy == "skip")
+                sweep_opts.on_error = aladdin::OnError::Skip;
+            else if (policy != "abort")
+                return usage();
+        } else if (arg == "--checkpoint" && i + 1 < argc) {
+            sweep_opts.checkpoint_path = argv[++i];
+        } else if (arg == "--resume") {
+            sweep_opts.resume = true;
         } else {
-            fatal("unknown argument '", arg, "'");
+            return usage();
         }
     }
 
     aladdin::Simulator sim(kernels::makeKernel(kernel));
     auto cfg = quick_grid ? aladdin::SweepConfig::quick()
                           : aladdin::SweepConfig::paper();
-    auto points = aladdin::runSweep(sim, cfg);
+    auto outcome = aladdin::runSweepChecked(sim, cfg, sweep_opts);
+    if (!outcome.ok())
+        fatal(outcome.error().str());
+    const auto &points = outcome.value().points;
+    const auto &report = outcome.value().report;
+    if (report.degraded()) {
+        warn("sweep degraded: ", report.summary());
+        for (const auto &f : report.failures) {
+            warn("  chain ", f.chain, " (node ", fmtFixed(f.node_nm, 0),
+                 " nm, simplification ", f.simplification, "): ",
+                 f.message);
+        }
+    }
 
     if (csv) {
         CsvWriter out({"node_nm", "partition", "simplification",
                        "runtime_ns", "energy_pj", "power_mw",
                        "area_um2", "efficiency_opj",
-                       "lane_utilization"});
+                       "lane_utilization", "status"});
         for (const auto &p : points) {
             out.addRow({fmtFixed(p.dp.node_nm, 0),
                         std::to_string(p.dp.partition),
@@ -96,7 +148,8 @@ main(int argc, char **argv)
                         fmtFixed(p.res.power_mw, 4),
                         fmtFixed(p.res.area_um2, 1),
                         fmtFixed(p.res.efficiency_opj, 0),
-                        fmtFixed(p.res.lane_utilization, 4)});
+                        fmtFixed(p.res.lane_utilization, 4),
+                        p.ok ? "ok" : errorCodeName(p.error_code)});
         }
         out.write(std::cout);
         return 0;
@@ -120,6 +173,8 @@ main(int argc, char **argv)
     std::cout << "kernel " << kernel << ": "
               << sim.graph().numNodes() << " nodes, "
               << points.size() << " design points\n";
+    if (report.degraded())
+        std::cout << "degraded: " << report.summary() << "\n";
     std::cout << "optimum: " << bp.dp.str() << "\n";
     Table t({"Runtime [us]", "Energy [nJ]", "Power [mW]",
              "Area [um2]", "OP/J", "Lane util"});

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared argv helpers for the accelwall_* tools.
+ *
+ * Exit-code discipline (see DESIGN.md "Failure domains"):
+ *   2  usage errors — unknown flags, missing flag values, malformed
+ *      numbers. Diagnosed by the tool itself before any model runs.
+ *   1  model/data errors — fatal() inside the library (bad corpus,
+ *      unknown kernel, infeasible budget, ...).
+ *   3  simulated crash from the `sweep-kill` fault-injection site.
+ */
+
+#ifndef ACCELWALL_TOOLS_CLI_UTIL_HH
+#define ACCELWALL_TOOLS_CLI_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+namespace accelwall::cli
+{
+
+/** Strict full-string parse; "12x", "", and "--csv" all fail. */
+inline bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+}
+
+/** Strict full-string base-10 integer parse. */
+inline bool
+parseInt(const std::string &s, int &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size())
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace accelwall::cli
+
+#endif // ACCELWALL_TOOLS_CLI_UTIL_HH

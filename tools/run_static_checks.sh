@@ -5,13 +5,17 @@
 #      and `lint_broken` ctest entries driving accelwall-lint).
 #   2. An AddressSanitizer build + full ctest.
 #   3. An UndefinedBehaviorSanitizer build + full ctest.
-#   4. clang-tidy over src/ (skipped with a notice when clang-tidy is
+#   4. A ThreadSanitizer build running the `parallel` and `robustness`
+#      labels (the concurrent sweep, its error boundary/checkpoint
+#      writes, and the fault-injection suite).
+#   5. clang-tidy over src/ (skipped with a notice when clang-tidy is
 #      not installed — the container ships gcc only).
 #
 # Usage: tools/run_static_checks.sh [build-dir-prefix]
 #
-# Build trees land in <prefix>, <prefix>-asan, <prefix>-ubsan
-# (default prefix: build-checks). Exits nonzero on the first failure.
+# Build trees land in <prefix>, <prefix>-asan, <prefix>-ubsan,
+# <prefix>-tsan (default prefix: build-checks). Exits nonzero on the
+# first failure.
 
 set -euo pipefail
 
@@ -20,19 +24,25 @@ prefix="${1:-build-checks}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_suite() {
-    local dir="$1"
-    shift
+    local dir="$1" labels="$2"
+    shift 2
     echo "=== configure ${dir} ($*) ==="
     cmake -B "${dir}" -S . "$@" >/dev/null
     echo "=== build ${dir} ==="
     cmake --build "${dir}" -j "${jobs}"
     echo "=== ctest ${dir} ==="
-    ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+    if [ -n "${labels}" ]; then
+        ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
+            -L "${labels}"
+    else
+        ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+    fi
 }
 
-run_suite "${prefix}"
-run_suite "${prefix}-asan" -DACCELWALL_ASAN=ON
-run_suite "${prefix}-ubsan" -DACCELWALL_UBSAN=ON
+run_suite "${prefix}" ""
+run_suite "${prefix}-asan" "" -DACCELWALL_ASAN=ON
+run_suite "${prefix}-ubsan" "" -DACCELWALL_UBSAN=ON
+run_suite "${prefix}-tsan" "parallel|robustness" -DACCELWALL_TSAN=ON
 
 echo "=== lint (strict) ==="
 "${prefix}/tools/accelwall-lint" --strict
