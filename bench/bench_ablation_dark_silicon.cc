@@ -16,6 +16,7 @@
 using namespace accelwall;
 using potential::ChipSpec;
 using potential::PotentialModel;
+using namespace accelwall::units::literals;
 
 int
 main()
@@ -34,7 +35,9 @@ main()
         for (double die : {50.0, 200.0, 800.0}) {
             std::vector<std::string> row = {fmtFixed(die, 0) + "mm2"};
             for (double node : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
-                ChipSpec spec{node, die, 1.0, tdp};
+                ChipSpec spec{units::Nanometers{node},
+                              units::SquareMillimeters{die}, 1.0_ghz,
+                              units::Watts{tdp}};
                 double frac = model.activeTransistors(spec) /
                               model.areaTransistors(spec);
                 row.push_back(fmtPercent(frac));
@@ -51,17 +54,21 @@ main()
     Table best({"Die [mm2]", "Best node", "Efficiency vs 45nm"});
     for (double die : {25.0, 100.0, 400.0, 800.0}) {
         double best_eff = 0.0, best_node = 45.0;
-        ChipSpec ref{45.0, die, 1.0, 100.0};
+        ChipSpec ref{45.0_nm, units::SquareMillimeters{die}, 1.0_ghz,
+                     100.0_w};
         for (double node : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
-            ChipSpec spec{node, die, 1.0, 100.0};
-            double eff = model.energyEfficiency(spec);
+            ChipSpec spec{units::Nanometers{node},
+                          units::SquareMillimeters{die}, 1.0_ghz,
+                          100.0_w};
+            double eff = model.energyEfficiency(spec).raw();
             if (eff > best_eff) {
                 best_eff = eff;
                 best_node = node;
             }
         }
         best.addRow({fmtFixed(die, 0), fmtNode(best_node),
-                     fmtGain(best_eff / model.energyEfficiency(ref),
+                     fmtGain(best_eff /
+                                 model.energyEfficiency(ref).raw(),
                              1)});
     }
     best.print(std::cout);

@@ -23,8 +23,9 @@ main()
     const auto &scaling = cmos::ScalingTable::instance();
     Table t({"Node", "Leakage power", "Capacitance", "VDD",
              "Frequency gain", "Dynamic power"});
-    for (double node : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
-        t.addRow({fmtNode(node),
+    for (double nm : {45.0, 28.0, 16.0, 10.0, 7.0, 5.0}) {
+        units::Nanometers node{nm};
+        t.addRow({fmtNode(nm),
                   fmtFixed(scaling.leakagePower(node), 3),
                   fmtFixed(scaling.capacitanceRel(node), 3),
                   fmtFixed(scaling.vddRel(node), 3),
@@ -36,9 +37,9 @@ main()
     std::cout << "\nFull tabulated range (oldest to newest):\n";
     Table full({"Node", "VDD [V]", "Gate delay", "Cap/gate",
                 "Leak/transistor", "Dyn energy/op", "Density gain"});
-    for (double node : scaling.nodes()) {
+    for (units::Nanometers node : scaling.nodes()) {
         const auto &p = scaling.at(node);
-        full.addRow({fmtNode(node), fmtFixed(p.vdd, 2),
+        full.addRow({fmtNode(node.raw()), fmtFixed(p.vdd.raw(), 2),
                      fmtFixed(p.gate_delay, 2),
                      fmtFixed(p.capacitance, 2),
                      fmtFixed(p.leakage, 3),

@@ -60,7 +60,12 @@ main()
     chipdb::BudgetModel paper_law;
     for (double d = 0.01; d <= 100.0; d *= 10.0) {
         t.addRow({fmtFixed(d, 2), fmtSi(fit(d), 2),
-                  fmtSi(paper_law.areaTransistors(d * 25.0, 5.0), 2)});
+                  fmtSi(paper_law
+                            .areaTransistors(
+                                units::SquareMillimeters{d * 25.0},
+                                units::Nanometers{5.0})
+                            .raw(),
+                        2)});
         // note: area = D * node^2 with node=5nm gives D directly.
     }
     t.print(std::cout);

@@ -30,7 +30,7 @@ main()
     Table t({"Node group", "Fitted coeff", "Fitted exp", "Paper coeff",
              "Paper exp", "R^2"});
     for (const auto &group : canonical.groups()) {
-        if (group.min_node_nm > 55.0)
+        if (group.min_node_nm > units::Nanometers{55.0})
             continue; // the paper fits only the four modern groups
         auto fit = chipdb::fitTdpModel(corpus, group.min_node_nm,
                                        group.max_node_nm);
@@ -44,13 +44,15 @@ main()
                  "[B transistors x GHz]:\n";
     Table c({"TDP [W]", "10nm-5nm", "22nm-12nm", "32nm-28nm",
              "55nm-40nm"});
+    using namespace units::literals;
     for (double tdp : {24.0, 60.0, 120.0, 300.0, 600.0}) {
-        c.addRow({fmtFixed(tdp, 0),
-                  fmtFixed(canonical.tdpTransistorGhz(tdp, 7.0) / 1e9, 1),
-                  fmtFixed(canonical.tdpTransistorGhz(tdp, 16.0) / 1e9, 1),
-                  fmtFixed(canonical.tdpTransistorGhz(tdp, 28.0) / 1e9, 1),
-                  fmtFixed(canonical.tdpTransistorGhz(tdp, 45.0) / 1e9,
-                           1)});
+        units::Watts w{tdp};
+        auto bghz = [&](units::Nanometers node) {
+            return canonical.tdpTransistorGhz(w, node).raw() / 1e9;
+        };
+        c.addRow({fmtFixed(tdp, 0), fmtFixed(bghz(7.0_nm), 1),
+                  fmtFixed(bghz(16.0_nm), 1), fmtFixed(bghz(28.0_nm), 1),
+                  fmtFixed(bghz(45.0_nm), 1)});
     }
     c.print(std::cout);
     return 0;

@@ -16,6 +16,7 @@ using namespace accelwall;
 using potential::ChipSpec;
 using potential::kUncappedTdp;
 using potential::PotentialModel;
+using namespace accelwall::units::literals;
 
 namespace
 {
@@ -24,10 +25,10 @@ const double kNodes[] = { 45.0, 28.0, 16.0, 10.0, 7.0, 5.0 };
 const double kDies[] = { 25.0, 50.0, 100.0, 200.0, 400.0, 800.0 };
 
 void
-printGrid(const PotentialModel &model, bool efficiency, double tdp_w,
-          const char *zone)
+printGrid(const PotentialModel &model, bool efficiency,
+          units::Watts tdp_w, const char *zone)
 {
-    ChipSpec ref{45.0, 25.0, 1.0, kUncappedTdp};
+    ChipSpec ref{45.0_nm, 25.0_mm2, 1.0_ghz, kUncappedTdp};
     std::cout << (efficiency ? "Energy efficiency" : "Throughput")
               << " gains, TDP zone: " << zone << "\n";
     Table t({"Die \\ Node", "45nm", "28nm", "16nm", "10nm", "7nm",
@@ -35,7 +36,8 @@ printGrid(const PotentialModel &model, bool efficiency, double tdp_w,
     for (double die : kDies) {
         std::vector<std::string> row = {fmtFixed(die, 0) + "mm2"};
         for (double node : kNodes) {
-            ChipSpec spec{node, die, 1.0, tdp_w};
+            ChipSpec spec{units::Nanometers{node},
+                          units::SquareMillimeters{die}, 1.0_ghz, tdp_w};
             double gain = efficiency ? model.efficiencyGain(spec, ref)
                                      : model.throughputGain(spec, ref);
             row.push_back(fmtGain(gain, 1));
@@ -60,15 +62,15 @@ main()
 
     PotentialModel model;
     printGrid(model, false, kUncappedTdp, "unconstrained");
-    printGrid(model, false, 800.0, "800W");
-    printGrid(model, false, 200.0, "200W");
-    printGrid(model, false, 50.0, "50W");
+    printGrid(model, false, 800.0_w, "800W");
+    printGrid(model, false, 200.0_w, "200W");
+    printGrid(model, false, 50.0_w, "50W");
     printGrid(model, true, kUncappedTdp, "unconstrained");
-    printGrid(model, true, 200.0, "200W");
+    printGrid(model, true, 200.0_w, "200W");
 
-    ChipSpec ref{45.0, 25.0, 1.0, kUncappedTdp};
-    ChipSpec big_unc{5.0, 800.0, 1.0, kUncappedTdp};
-    ChipSpec big_cap{5.0, 800.0, 1.0, 800.0};
+    ChipSpec ref{45.0_nm, 25.0_mm2, 1.0_ghz, kUncappedTdp};
+    ChipSpec big_unc{5.0_nm, 800.0_mm2, 1.0_ghz, kUncappedTdp};
+    ChipSpec big_cap{5.0_nm, 800.0_mm2, 1.0_ghz, 800.0_w};
     double unc = model.throughputGain(big_unc, ref);
     double cap = model.throughputGain(big_cap, ref);
     std::cout << "Anchor check: 800mm2 5nm = " << fmtGain(unc, 0)

@@ -38,7 +38,7 @@ main()
     std::map<std::string, std::pair<double, int>> pots;
     for (const auto &gpu : studies::gpuChips()) {
         auto &[log_sum, n] = pots[gpu.arch];
-        log_sum += std::log(model.throughput(studies::gpuSpec(gpu)));
+        log_sum += std::log(model.throughput(studies::gpuSpec(gpu)).raw());
         ++n;
     }
     auto phy = [&](const std::string &arch) {

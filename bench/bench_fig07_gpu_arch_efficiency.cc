@@ -38,7 +38,8 @@ main()
     for (const auto &gpu : studies::gpuChips()) {
         auto &[log_sum, n] = pots[gpu.arch];
         log_sum +=
-            std::log(model.energyEfficiency(studies::gpuSpec(gpu)));
+            std::log(
+                model.energyEfficiency(studies::gpuSpec(gpu)).raw());
         ++n;
     }
     auto phy = [&](const std::string &arch) {

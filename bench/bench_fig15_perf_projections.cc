@@ -125,9 +125,10 @@ main()
              "Freq [MHz]"});
     for (const auto &row : projection::domainTable()) {
         t.addRow({row.name, row.platform,
-                  fmtFixed(row.min_die_mm2, 2) + " / " +
-                      fmtFixed(row.max_die_mm2, 0),
-                  fmtFixed(row.tdp_w, 0), fmtFixed(row.freq_mhz, 0)});
+                  fmtFixed(row.min_die_mm2.raw(), 2) + " / " +
+                      fmtFixed(row.max_die_mm2.raw(), 0),
+                  fmtFixed(row.tdp_w.raw(), 0),
+                  fmtFixed(row.freq_mhz.raw(), 0)});
     }
     t.print(std::cout);
     return 0;

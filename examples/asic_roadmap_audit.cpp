@@ -20,6 +20,7 @@
 #include "util/table.hh"
 
 using namespace accelwall;
+using namespace accelwall::units::literals;
 
 int
 main()
@@ -29,10 +30,10 @@ main()
     // Four generations of a hypothetical 75W inference ASIC: node, die,
     // clock, TDP, and measured throughput (TOPS).
     std::vector<csr::ChipGain> roadmap = {
-        {"v1", {28.0, 300.0, 0.8, 75.0}, 20.0, 2016},
-        {"v2", {16.0, 330.0, 1.0, 75.0}, 55.0, 2018},
-        {"v3", {10.0, 350.0, 1.1, 75.0}, 110.0, 2020},
-        {"v4", {7.0, 380.0, 1.2, 75.0}, 170.0, 2022},
+        {"v1", {28.0_nm, 300.0_mm2, 0.8_ghz, 75.0_w}, 20.0, 2016},
+        {"v2", {16.0_nm, 330.0_mm2, 1.0_ghz, 75.0_w}, 55.0, 2018},
+        {"v3", {10.0_nm, 350.0_mm2, 1.1_ghz, 75.0_w}, 110.0, 2020},
+        {"v4", {7.0_nm, 380.0_mm2, 1.2_ghz, 75.0_w}, 170.0, 2022},
     };
 
     auto series =
@@ -55,7 +56,8 @@ main()
         points.push_back({series[i].rel_phy, roadmap[i].gain});
 
     auto project = [&](double die_mm2) {
-        potential::ChipSpec wall_chip{5.0, die_mm2, 1.2, 75.0};
+        potential::ChipSpec wall_chip{
+            5.0_nm, units::SquareMillimeters{die_mm2}, 1.2_ghz, 75.0_w};
         double phy_limit = model.throughput(wall_chip) /
                            model.throughput(roadmap.front().spec);
         auto proj = projection::projectFrontier(points, phy_limit);

@@ -26,10 +26,13 @@ main()
 {
     // --- 1. Physical potential -----------------------------------
     // How much faster should a chip be on physics alone? Describe both
-    // generations by node, die size, clock, and TDP.
+    // generations by node, die size, clock, and TDP. The fields are
+    // dimensionally typed: swapping the nm and mm² arguments is a
+    // compile error, not a silently wrong projection.
+    using namespace units::literals;
     potential::PotentialModel model;
-    potential::ChipSpec old_chip{65.0, 100.0, 0.8, 60.0};
-    potential::ChipSpec new_chip{16.0, 100.0, 1.2, 60.0};
+    potential::ChipSpec old_chip{65.0_nm, 100.0_mm2, 0.8_ghz, 60.0_w};
+    potential::ChipSpec new_chip{16.0_nm, 100.0_mm2, 1.2_ghz, 60.0_w};
 
     double phy = model.throughputGain(new_chip, old_chip);
     std::cout << "CMOS-driven throughput potential: " << fmtGain(phy, 1)

@@ -59,10 +59,13 @@ Simulator::run(const DesignPoint &dp) const
 
     const auto &scaling = cmos::ScalingTable::instance();
     const double period = 1.0 / dp.clock_ghz; // ns
-    const double delay_rel = scaling.gateDelayRel(dp.node_nm);
-    const double dyn_rel = scaling.dynamicEnergy(dp.node_nm);
-    const double leak_rel = scaling.leakagePower(dp.node_nm);
-    const double density = scaling.densityGain(dp.node_nm);
+    // DesignPoint is sweep-space input (raw doubles); enter the
+    // dimensional domain here.
+    const units::Nanometers node{dp.node_nm};
+    const double delay_rel = scaling.gateDelayRel(node);
+    const double dyn_rel = scaling.dynamicEnergy(node);
+    const double leak_rel = scaling.leakagePower(node);
+    const double density = scaling.densityGain(node);
     const int extra_pipe =
         std::max(0, dp.simplification - kDeepPipelineDegree);
 

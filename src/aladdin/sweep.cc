@@ -7,12 +7,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "util/faultinject.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/thread_annotations.hh"
 
 namespace accelwall::aladdin
 {
@@ -325,7 +325,19 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
 
     SweepReport report;
     report.chains = chains;
-    std::vector<ChainFailure> failures;
+
+    // Chain-completion state shared between pool workers: the
+    // checkpoint stream, the evaluated counter, and the failure list.
+    // GUARDED_BY lets Clang's thread-safety analysis prove every access
+    // holds mu, so a torn checkpoint block is a compile error, not a
+    // race.
+    struct Collector
+    {
+        util::Mutex mu;
+        std::ofstream ckpt GUARDED_BY(mu);
+        std::size_t evaluated GUARDED_BY(mu) = 0;
+        std::vector<ChainFailure> failures GUARDED_BY(mu);
+    } coll;
 
     if (opts.resume) {
         if (opts.checkpoint_path.empty()) {
@@ -352,27 +364,27 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
                     chain_out[pi].error_code = code;
                     chain_out[pi].error = rec.message;
                 }
-                failures.push_back({c, chain_out[0].dp.node_nm,
-                                    chain_out[0].dp.simplification, code,
-                                    rec.message});
+                util::MutexLock lock(coll.mu);
+                coll.failures.push_back({c, chain_out[0].dp.node_nm,
+                                         chain_out[0].dp.simplification,
+                                         code, rec.message});
             }
         }
     }
 
-    std::ofstream ckpt;
-    std::mutex mu;
     if (!opts.checkpoint_path.empty()) {
-        ckpt.open(opts.checkpoint_path,
-                  opts.resume ? std::ios::app : std::ios::trunc);
-        if (!ckpt) {
+        util::MutexLock lock(coll.mu);
+        coll.ckpt.open(opts.checkpoint_path,
+                       opts.resume ? std::ios::app : std::ios::trunc);
+        if (!coll.ckpt) {
             return makeError(ErrorCode::CheckpointIo, "cannot write "
                              "checkpoint '",
                              opts.checkpoint_path, "'");
         }
         if (!opts.resume) {
-            ckpt << "accelwall-ckpt 1 " << fingerprint << ' ' << chains
-                 << ' ' << n_part << '\n';
-            ckpt.flush();
+            coll.ckpt << "accelwall-ckpt 1 " << fingerprint << ' '
+                      << chains << ' ' << n_part << '\n';
+            coll.ckpt.flush();
         }
     }
 
@@ -419,26 +431,34 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
                 }
             }
 
-            std::lock_guard<std::mutex> lock(mu);
-            ++report.evaluated;
+            util::MutexLock lock(coll.mu);
+            ++coll.evaluated;
             if (failed) {
-                failures.push_back({c, chain_out[0].dp.node_nm,
-                                    chain_out[0].dp.simplification,
-                                    err.code(), display});
+                coll.failures.push_back({c, chain_out[0].dp.node_nm,
+                                         chain_out[0].dp.simplification,
+                                         err.code(), display});
             }
-            if (ckpt.is_open()) {
-                writeChainBlock(ckpt, c, chain_out, n_part, failed,
+            if (coll.ckpt.is_open()) {
+                writeChainBlock(coll.ckpt, c, chain_out, n_part, failed,
                                 err.code(), display);
             }
             // Simulated crash for checkpoint/resume testing. Checked
             // under the mutex so the file never holds a torn block
             // from another writer.
             if (faults.shouldFailCounted("sweep-kill")) {
-                ckpt.flush();
+                coll.ckpt.flush();
                 std::_Exit(util::kFaultKillExitCode);
             }
         },
         opts.jobs);
+
+    // Workers are done; drain the collector back into the report.
+    std::vector<ChainFailure> failures;
+    {
+        util::MutexLock lock(coll.mu);
+        report.evaluated = coll.evaluated;
+        failures = std::move(coll.failures);
+    }
 
     std::sort(failures.begin(), failures.end(),
               [](const ChainFailure &a, const ChainFailure &b) {

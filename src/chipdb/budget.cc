@@ -8,6 +8,14 @@
 namespace accelwall::chipdb
 {
 
+using units::DensityFactor;
+using units::Gigahertz;
+using units::Nanometers;
+using units::SquareMillimeters;
+using units::TransistorCount;
+using units::TransistorGigahertz;
+using units::Watts;
+
 const char *
 platformName(Platform platform)
 {
@@ -25,6 +33,17 @@ BudgetModel::BudgetModel()
 {
 }
 
+BudgetModel::BudgetModel(double area_coeff, double area_exponent,
+                         std::vector<TdpGroup> groups)
+    : area_coeff_(area_coeff), area_exponent_(area_exponent),
+      groups_(std::move(groups))
+{
+    if (area_coeff_ <= 0.0)
+        fatal("BudgetModel: area coefficient must be positive");
+    if (groups_.empty())
+        fatal("BudgetModel: need at least one TDP group");
+}
+
 BudgetModel::BudgetModel(double area_coeff, double area_exponent)
     : area_coeff_(area_coeff), area_exponent_(area_exponent)
 {
@@ -38,43 +57,48 @@ BudgetModel::BudgetModel(double area_coeff, double area_exponent)
     // real datapoints (e.g. a 90nm Athlon 64: ~0.1e9 transistors at
     // 2.4GHz and 89W -> 0.24 B*GHz; the fit gives 0.28).
     groups_ = {
-        { 5.0, 10.0, 2.15, 0.402, "10nm-5nm" },
-        { 12.0, 22.0, 0.49, 0.557, "22nm-12nm" },
-        { 28.0, 32.0, 0.11, 0.729, "32nm-28nm" },
-        { 40.0, 55.0, 0.02, 0.869, "55nm-40nm" },
-        { 65.0, 250.0, 0.004, 0.95, "250nm-65nm (extrapolated)" },
+        { Nanometers{5.0}, Nanometers{10.0}, 2.15, 0.402, "10nm-5nm" },
+        { Nanometers{12.0}, Nanometers{22.0}, 0.49, 0.557, "22nm-12nm" },
+        { Nanometers{28.0}, Nanometers{32.0}, 0.11, 0.729, "32nm-28nm" },
+        { Nanometers{40.0}, Nanometers{55.0}, 0.02, 0.869, "55nm-40nm" },
+        { Nanometers{65.0}, Nanometers{250.0}, 0.004, 0.95,
+          "250nm-65nm (extrapolated)" },
     };
 }
 
-double
-BudgetModel::densityFactor(double area_mm2, double node_nm)
+DensityFactor
+BudgetModel::densityFactor(SquareMillimeters area, Nanometers node)
 {
-    if (area_mm2 <= 0.0 || node_nm <= 0.0)
+    if (area <= SquareMillimeters{0.0} || node <= Nanometers{0.0})
         fatal("densityFactor: area and node must be positive");
-    return area_mm2 / (node_nm * node_nm);
+    return area / (node * node);
 }
 
-double
-BudgetModel::areaTransistors(double area_mm2, double node_nm) const
+TransistorCount
+BudgetModel::areaTransistors(SquareMillimeters area, Nanometers node) const
 {
-    double d = densityFactor(area_mm2, node_nm);
-    return area_coeff_ * std::pow(d, area_exponent_);
+    // Escape hatch: TC(D) = c * D^e is a power-law fit calibrated to D
+    // in mm²/nm²; non-integer exponents have no dimensional algebra.
+    double d = densityFactor(area, node).raw();
+    return TransistorCount{area_coeff_ * std::pow(d, area_exponent_)};
 }
 
-double
-BudgetModel::areaForTransistors(double transistors, double node_nm) const
+SquareMillimeters
+BudgetModel::areaForTransistors(TransistorCount transistors,
+                                Nanometers node) const
 {
-    if (transistors <= 0.0)
+    if (transistors <= TransistorCount{0.0})
         fatal("areaForTransistors: transistor count must be positive");
-    double d = std::pow(transistors / area_coeff_, 1.0 / area_exponent_);
-    return d * node_nm * node_nm;
+    double d = std::pow(transistors.raw() / area_coeff_,
+                        1.0 / area_exponent_);
+    return DensityFactor{d} * (node * node);
 }
 
 const TdpGroup &
-BudgetModel::groupFor(double node_nm) const
+BudgetModel::groupFor(Nanometers node) const
 {
     for (const auto &g : groups_) {
-        if (node_nm >= g.min_node_nm && node_nm <= g.max_node_nm)
+        if (node >= g.min_node_nm && node <= g.max_node_nm)
             return g;
     }
     // Nodes between group boundaries (e.g. 25nm) or beyond the table:
@@ -82,9 +106,9 @@ BudgetModel::groupFor(double node_nm) const
     const TdpGroup *best = &groups_.front();
     double best_dist = 1e300;
     for (const auto &g : groups_) {
-        double centre =
-            0.5 * (std::log(g.min_node_nm) + std::log(g.max_node_nm));
-        double dist = std::fabs(centre - std::log(node_nm));
+        double centre = 0.5 * (std::log(g.min_node_nm.raw()) +
+                               std::log(g.max_node_nm.raw()));
+        double dist = std::fabs(centre - std::log(node.raw()));
         if (dist < best_dist) {
             best_dist = dist;
             best = &g;
@@ -93,22 +117,25 @@ BudgetModel::groupFor(double node_nm) const
     return *best;
 }
 
-double
-BudgetModel::tdpTransistorGhz(double tdp_w, double node_nm) const
+TransistorGigahertz
+BudgetModel::tdpTransistorGhz(Watts tdp, Nanometers node) const
 {
-    if (tdp_w <= 0.0)
+    if (tdp <= Watts{0.0})
         fatal("tdpTransistorGhz: TDP must be positive");
-    const TdpGroup &g = groupFor(node_nm);
-    return g.coeff * std::pow(tdp_w, g.exponent) * 1e9;
+    // Escape hatch: the Fig. 3c fits are power laws of TDP in watts
+    // yielding billions of transistor-GHz.
+    const TdpGroup &g = groupFor(node);
+    return TransistorGigahertz{g.coeff * std::pow(tdp.raw(), g.exponent) *
+                               1e9};
 }
 
-double
-BudgetModel::tdpTransistors(double tdp_w, double node_nm,
-                            double freq_ghz) const
+TransistorCount
+BudgetModel::tdpTransistors(Watts tdp, Nanometers node,
+                            Gigahertz freq) const
 {
-    if (freq_ghz <= 0.0)
+    if (freq <= Gigahertz{0.0})
         fatal("tdpTransistors: frequency must be positive");
-    return tdpTransistorGhz(tdp_w, node_nm) / freq_ghz;
+    return tdpTransistorGhz(tdp, node) / freq;
 }
 
 Result<stats::PowerLawFit>
@@ -116,12 +143,15 @@ fitAreaModelChecked(const std::vector<ChipRecord> &corpus)
 {
     if (util::FaultPlan::global().shouldFailCounted("fit"))
         return util::injectedFault("fit", 0);
+    // Fit boundary: the log-log regression consumes raw magnitudes in
+    // the fit's calibration units (D in mm²/nm², TC in transistors).
     std::vector<double> d, tc;
     for (const auto &rec : corpus) {
         if (rec.transistors <= 0.0)
             continue;
-        d.push_back(BudgetModel::densityFactor(rec.area_mm2, rec.node_nm));
-        tc.push_back(rec.transistors);
+        d.push_back(
+            BudgetModel::densityFactor(rec.area(), rec.node()).raw());
+        tc.push_back(rec.tc().raw());
     }
     if (d.size() < 2) {
         return makeError(
@@ -136,7 +166,7 @@ fitAreaModelChecked(const std::vector<ChipRecord> &corpus)
 
 Result<stats::PowerLawFit>
 fitTdpModelChecked(const std::vector<ChipRecord> &corpus,
-                   double min_node_nm, double max_node_nm)
+                   Nanometers min_node_nm, Nanometers max_node_nm)
 {
     if (util::FaultPlan::global().shouldFailCounted("fit"))
         return util::injectedFault("fit", 0);
@@ -144,10 +174,13 @@ fitTdpModelChecked(const std::vector<ChipRecord> &corpus,
     for (const auto &rec : corpus) {
         if (rec.transistors <= 0.0 || rec.tdp_w <= 0.0)
             continue;
-        if (rec.node_nm < min_node_nm || rec.node_nm > max_node_nm)
+        if (rec.node() < min_node_nm || rec.node() > max_node_nm)
             continue;
-        tdp.push_back(rec.tdp_w);
-        tghz.push_back(rec.transistors / 1e9 * rec.freq_mhz / 1e3);
+        // Fit boundary: y is in billions of transistor-GHz, with the
+        // MHz -> GHz conversion made explicit by the unit types.
+        tdp.push_back(rec.tdp().raw());
+        Gigahertz freq = units::unit_cast<Gigahertz>(rec.freq());
+        tghz.push_back((rec.tc() * freq).raw() / 1e9);
     }
     if (tdp.size() < 2) {
         return makeError(
@@ -170,8 +203,8 @@ fitAreaModel(const std::vector<ChipRecord> &corpus)
 }
 
 stats::PowerLawFit
-fitTdpModel(const std::vector<ChipRecord> &corpus, double min_node_nm,
-            double max_node_nm)
+fitTdpModel(const std::vector<ChipRecord> &corpus, Nanometers min_node_nm,
+            Nanometers max_node_nm)
 {
     auto fit = fitTdpModelChecked(corpus, min_node_nm, max_node_nm);
     if (!fit.ok())

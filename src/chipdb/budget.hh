@@ -29,6 +29,7 @@
 #include "chipdb/record.hh"
 #include "stats/fits.hh"
 #include "util/error.hh"
+#include "util/units.hh"
 
 namespace accelwall::chipdb
 {
@@ -36,9 +37,9 @@ namespace accelwall::chipdb
 /** One TDP-envelope node group of Figure 3c. */
 struct TdpGroup
 {
-    /** Inclusive node range covered, in nm (newest..oldest). */
-    double min_node_nm = 0.0;
-    double max_node_nm = 0.0;
+    /** Inclusive node range covered (newest..oldest). */
+    units::Nanometers min_node_nm{0.0};
+    units::Nanometers max_node_nm{0.0};
     /** Fit: transistors[1e9] * freq[GHz] = coeff * TDP^exponent. */
     double coeff = 0.0;
     double exponent = 0.0;
@@ -58,35 +59,54 @@ class BudgetModel
     /** Construct with explicit area-fit parameters (e.g. re-fit). */
     BudgetModel(double area_coeff, double area_exponent);
 
-    /** Density factor D = area/node² in mm²/nm². */
-    static double densityFactor(double area_mm2, double node_nm);
+    /**
+     * Construct with explicit area-fit parameters and TDP groups. The
+     * model linter's corrupted fixtures use this; it performs no
+     * validation beyond coefficient positivity — validating the groups
+     * is the linter's job (rules M007/M008).
+     */
+    BudgetModel(double area_coeff, double area_exponent,
+                std::vector<TdpGroup> groups);
 
     /**
-     * Area-budget transistor count for a die of @p area_mm2 at
-     * @p node_nm (Fig. 3b curve).
+     * Density factor D = area/node². The result keeps its mm²/nm²
+     * scale in the type: feed it to the Fig. 3b power law only through
+     * .raw() (the fit coefficient 4.99e9 is calibrated to exactly that
+     * unit).
      */
-    double areaTransistors(double area_mm2, double node_nm) const;
+    static units::DensityFactor densityFactor(units::SquareMillimeters area,
+                                              units::Nanometers node);
+
+    /**
+     * Area-budget transistor count for a die of @p area at @p node
+     * (Fig. 3b curve).
+     */
+    units::TransistorCount areaTransistors(units::SquareMillimeters area,
+                                           units::Nanometers node) const;
 
     /**
      * Invert the area budget: die area needed to hold @p transistors at
-     * @p node_nm.
+     * @p node.
      */
-    double areaForTransistors(double transistors, double node_nm) const;
+    units::SquareMillimeters areaForTransistors(
+        units::TransistorCount transistors, units::Nanometers node) const;
 
     /**
-     * Power-budget transistor-gigahertz product (in absolute
-     * transistors * GHz) for @p tdp_w at @p node_nm (Fig. 3c curves).
+     * Power-budget transistor-gigahertz product for @p tdp at @p node
+     * (Fig. 3c curves).
      */
-    double tdpTransistorGhz(double tdp_w, double node_nm) const;
+    units::TransistorGigahertz tdpTransistorGhz(
+        units::Watts tdp, units::Nanometers node) const;
 
     /**
-     * Power-budget active transistor count at @p freq_ghz.
+     * Power-budget active transistor count at @p freq.
      */
-    double tdpTransistors(double tdp_w, double node_nm,
-                          double freq_ghz) const;
+    units::TransistorCount tdpTransistors(units::Watts tdp,
+                                          units::Nanometers node,
+                                          units::Gigahertz freq) const;
 
-    /** The node group covering @p node_nm (nearest when outside). */
-    const TdpGroup &groupFor(double node_nm) const;
+    /** The node group covering @p node (nearest when outside). */
+    const TdpGroup &groupFor(units::Nanometers node) const;
 
     /** All node groups, newest first. */
     const std::vector<TdpGroup> &groups() const { return groups_; }
@@ -120,15 +140,16 @@ Result<stats::PowerLawFit> fitAreaModelChecked(
  * fitAreaModelChecked().
  */
 Result<stats::PowerLawFit> fitTdpModelChecked(
-    const std::vector<ChipRecord> &corpus, double min_node_nm,
-    double max_node_nm);
+    const std::vector<ChipRecord> &corpus, units::Nanometers min_node_nm,
+    units::Nanometers max_node_nm);
 
 /** Boundary adaptor for fitAreaModelChecked(): fatal() on error. */
 stats::PowerLawFit fitAreaModel(const std::vector<ChipRecord> &corpus);
 
 /** Boundary adaptor for fitTdpModelChecked(): fatal() on error. */
 stats::PowerLawFit fitTdpModel(const std::vector<ChipRecord> &corpus,
-                               double min_node_nm, double max_node_nm);
+                               units::Nanometers min_node_nm,
+                               units::Nanometers max_node_nm);
 
 } // namespace accelwall::chipdb
 

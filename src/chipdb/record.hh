@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "util/units.hh"
+
 namespace accelwall::chipdb
 {
 
@@ -25,7 +27,15 @@ enum class Platform
 /** Human-readable platform name ("CPU", "GPU", ...). */
 const char *platformName(Platform platform);
 
-/** One chip datasheet entry. */
+/**
+ * One chip datasheet entry.
+ *
+ * The fields are raw doubles: this struct is the ingest boundary, and
+ * CSV data arrives untyped (parse, then validate, then quarantine).
+ * Everything downstream of validation should enter the dimensional
+ * domain through the typed accessors below rather than reading the
+ * raw fields — the budget fits and model-lint audits do.
+ */
 struct ChipRecord
 {
     std::string name;
@@ -42,6 +52,23 @@ struct ChipRecord
     double freq_mhz = 0.0;
     /** Thermal design power in watts. */
     double tdp_w = 0.0;
+
+    /** Typed view of node_nm. */
+    units::Nanometers node() const { return units::Nanometers{node_nm}; }
+    /** Typed view of area_mm2. */
+    units::SquareMillimeters area() const
+    {
+        return units::SquareMillimeters{area_mm2};
+    }
+    /** Typed view of freq_mhz. */
+    units::Megahertz freq() const { return units::Megahertz{freq_mhz}; }
+    /** Typed view of tdp_w. */
+    units::Watts tdp() const { return units::Watts{tdp_w}; }
+    /** Typed view of transistors. */
+    units::TransistorCount tc() const
+    {
+        return units::TransistorCount{transistors};
+    }
 };
 
 } // namespace accelwall::chipdb

@@ -68,7 +68,7 @@ emit(std::vector<ChipRecord> &out, const NodeProfile *profiles,
 
         // Transistor count follows the area law (Fig. 3b) with noise.
         rec.transistors =
-            budget.areaTransistors(rec.area_mm2, rec.node_nm) *
+            budget.areaTransistors(rec.area(), rec.node()).raw() *
             rng.lognoise(config.tc_noise);
 
         // TDP is sampled log-uniformly in the node's commercial range;
@@ -79,7 +79,7 @@ emit(std::vector<ChipRecord> &out, const NodeProfile *profiles,
         // envelope.
         rec.tdp_w = std::exp(rng.uniform(std::log(prof.min_tdp_w),
                                          std::log(prof.max_tdp_w)));
-        double tghz = budget.tdpTransistorGhz(rec.tdp_w, rec.node_nm);
+        double tghz = budget.tdpTransistorGhz(rec.tdp(), rec.node()).raw();
         double freq_ghz = tghz / rec.transistors *
                           rng.lognoise(config.tdp_noise);
         rec.freq_mhz = freq_ghz * 1e3;

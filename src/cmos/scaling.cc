@@ -1,6 +1,7 @@
 #include "cmos/scaling.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -10,15 +11,18 @@ namespace accelwall::cmos
 namespace
 {
 
+using units::Nanometers;
+using units::Volts;
+
 /** The node used as the normalization baseline throughout the paper. */
-constexpr double kBaselineNode = 45.0;
+constexpr Nanometers kBaselineNode{45.0};
 
 } // namespace
 
 ScalingTable::ScalingTable()
 {
-    // Columns: node[nm], VDD[V], gate delay (rel 45nm), capacitance per
-    // gate (rel 45nm), leakage power per transistor (rel 45nm).
+    // Columns: node, VDD, gate delay (rel 45nm), capacitance per gate
+    // (rel 45nm), leakage power per transistor (rel 45nm).
     //
     // 250..45nm follow classic (near-Dennard) scaling digests; 40..7nm
     // follow Stillmaker & Baas's post-Dennard tables (VDD nearly flat,
@@ -27,26 +31,33 @@ ScalingTable::ScalingTable()
     // device size roughly as (N/45)^1.3: per-area leakage *rises* with
     // density, which is what caps large-chip gains in Figure 3d.
     params_ = {
-        { 250.0, 2.50, 6.00, 5.50, 9.20 },
-        { 180.0, 1.80, 4.20, 4.00, 6.05 },
-        { 130.0, 1.30, 3.00, 2.90, 3.97 },
-        { 110.0, 1.20, 2.50, 2.40, 3.20 },
-        {  90.0, 1.10, 2.00, 2.00, 2.46 },
-        {  65.0, 1.10, 1.40, 1.45, 1.61 },
-        {  55.0, 1.05, 1.20, 1.22, 1.30 },
-        {  45.0, 1.00, 1.00, 1.00, 1.00 },
-        {  40.0, 0.99, 0.94, 0.90, 0.86 },
-        {  32.0, 0.95, 0.82, 0.72, 0.64 },
-        {  28.0, 0.90, 0.76, 0.63, 0.54 },
-        {  22.0, 0.85, 0.67, 0.50, 0.39 },
-        {  20.0, 0.85, 0.63, 0.46, 0.35 },
-        {  16.0, 0.80, 0.55, 0.37, 0.26 },
-        {  14.0, 0.75, 0.52, 0.33, 0.22 },
-        {  12.0, 0.75, 0.49, 0.28, 0.18 },
-        {  10.0, 0.70, 0.45, 0.24, 0.14 },
-        {   7.0, 0.65, 0.40, 0.18, 0.089 },
-        {   5.0, 0.60, 0.37, 0.14, 0.057 },
+        { Nanometers{250.0}, Volts{2.50}, 6.00, 5.50, 9.20 },
+        { Nanometers{180.0}, Volts{1.80}, 4.20, 4.00, 6.05 },
+        { Nanometers{130.0}, Volts{1.30}, 3.00, 2.90, 3.97 },
+        { Nanometers{110.0}, Volts{1.20}, 2.50, 2.40, 3.20 },
+        { Nanometers{ 90.0}, Volts{1.10}, 2.00, 2.00, 2.46 },
+        { Nanometers{ 65.0}, Volts{1.10}, 1.40, 1.45, 1.61 },
+        { Nanometers{ 55.0}, Volts{1.05}, 1.20, 1.22, 1.30 },
+        { Nanometers{ 45.0}, Volts{1.00}, 1.00, 1.00, 1.00 },
+        { Nanometers{ 40.0}, Volts{0.99}, 0.94, 0.90, 0.86 },
+        { Nanometers{ 32.0}, Volts{0.95}, 0.82, 0.72, 0.64 },
+        { Nanometers{ 28.0}, Volts{0.90}, 0.76, 0.63, 0.54 },
+        { Nanometers{ 22.0}, Volts{0.85}, 0.67, 0.50, 0.39 },
+        { Nanometers{ 20.0}, Volts{0.85}, 0.63, 0.46, 0.35 },
+        { Nanometers{ 16.0}, Volts{0.80}, 0.55, 0.37, 0.26 },
+        { Nanometers{ 14.0}, Volts{0.75}, 0.52, 0.33, 0.22 },
+        { Nanometers{ 12.0}, Volts{0.75}, 0.49, 0.28, 0.18 },
+        { Nanometers{ 10.0}, Volts{0.70}, 0.45, 0.24, 0.14 },
+        { Nanometers{  7.0}, Volts{0.65}, 0.40, 0.18, 0.089 },
+        { Nanometers{  5.0}, Volts{0.60}, 0.37, 0.14, 0.057 },
     };
+}
+
+ScalingTable::ScalingTable(std::vector<NodeParams> params)
+    : params_(std::move(params))
+{
+    if (params_.empty())
+        fatal("ScalingTable: explicit table must have at least one row");
 }
 
 const ScalingTable &
@@ -57,36 +68,37 @@ ScalingTable::instance()
 }
 
 bool
-ScalingTable::has(double node_nm) const
+ScalingTable::has(Nanometers node) const
 {
     for (const auto &p : params_) {
-        if (p.node_nm == node_nm)
+        if (p.node_nm == node)
             return true;
     }
     return false;
 }
 
 const NodeParams &
-ScalingTable::at(double node_nm) const
+ScalingTable::at(Nanometers node) const
 {
     for (const auto &p : params_) {
-        if (p.node_nm == node_nm)
+        if (p.node_nm == node)
             return p;
     }
-    fatal("CMOS node ", node_nm, "nm is not tabulated");
+    fatal("CMOS node ", node, "nm is not tabulated");
 }
 
 const NodeParams &
-ScalingTable::nearest(double node_nm) const
+ScalingTable::nearest(Nanometers node) const
 {
-    if (node_nm <= 0.0)
-        fatal("CMOS node must be positive, got ", node_nm);
+    if (node <= Nanometers{0.0})
+        fatal("CMOS node must be positive, got ", node);
     const NodeParams *best = &params_.front();
     double best_dist = 1e300;
     for (const auto &p : params_) {
         // Compare in log space: 7nm should resolve between 5 and 10
         // geometrically, not arithmetically.
-        double dist = std::fabs(std::log(p.node_nm) - std::log(node_nm));
+        double dist =
+            std::fabs(std::log(p.node_nm.raw()) - std::log(node.raw()));
         if (dist < best_dist) {
             best_dist = dist;
             best = &p;
@@ -95,10 +107,10 @@ ScalingTable::nearest(double node_nm) const
     return *best;
 }
 
-std::vector<double>
+std::vector<Nanometers>
 ScalingTable::nodes() const
 {
-    std::vector<double> out;
+    std::vector<Nanometers> out;
     out.reserve(params_.size());
     for (const auto &p : params_)
         out.push_back(p.node_nm);
@@ -106,55 +118,57 @@ ScalingTable::nodes() const
 }
 
 double
-ScalingTable::frequencyGain(double node_nm) const
+ScalingTable::frequencyGain(Nanometers node) const
 {
-    return 1.0 / nearest(node_nm).gate_delay;
+    return 1.0 / nearest(node).gate_delay;
 }
 
 double
-ScalingTable::dynamicEnergy(double node_nm) const
+ScalingTable::dynamicEnergy(Nanometers node) const
 {
-    const NodeParams &p = nearest(node_nm);
+    const NodeParams &p = nearest(node);
     const NodeParams &base = at(kBaselineNode);
     double v_rel = p.vdd / base.vdd;
     return p.capacitance * v_rel * v_rel;
 }
 
 double
-ScalingTable::dynamicPower(double node_nm) const
+ScalingTable::dynamicPower(Nanometers node) const
 {
-    return dynamicEnergy(node_nm);
+    return dynamicEnergy(node);
 }
 
 double
-ScalingTable::leakagePower(double node_nm) const
+ScalingTable::leakagePower(Nanometers node) const
 {
-    return nearest(node_nm).leakage;
+    return nearest(node).leakage;
 }
 
 double
-ScalingTable::vddRel(double node_nm) const
+ScalingTable::vddRel(Nanometers node) const
 {
-    return nearest(node_nm).vdd / at(kBaselineNode).vdd;
+    return nearest(node).vdd / at(kBaselineNode).vdd;
 }
 
 double
-ScalingTable::capacitanceRel(double node_nm) const
+ScalingTable::capacitanceRel(Nanometers node) const
 {
-    return nearest(node_nm).capacitance;
+    return nearest(node).capacitance;
 }
 
 double
-ScalingTable::gateDelayRel(double node_nm) const
+ScalingTable::gateDelayRel(Nanometers node) const
 {
-    return nearest(node_nm).gate_delay;
+    return nearest(node).gate_delay;
 }
 
 double
-ScalingTable::densityGain(double node_nm) const
+ScalingTable::densityGain(Nanometers node) const
 {
-    double n = nearest(node_nm).node_nm;
-    return (kBaselineNode / n) * (kBaselineNode / n);
+    // The true ratio of two same-unit lengths collapses to a plain
+    // double, which is exactly the dimensionless gain Figure 3a plots.
+    double rel = kBaselineNode / nearest(node).node_nm;
+    return rel * rel;
 }
 
 } // namespace accelwall::cmos

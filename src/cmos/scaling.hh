@@ -11,6 +11,11 @@
  * Values are approximations reconstructed from the published curves (see
  * DESIGN.md, substitutions table); what matters downstream is the relative
  * progression between nodes, not the absolute third digit.
+ *
+ * Nodes and supply voltages are dimensional types (util/units.hh):
+ * handing the table a die area or a frequency where a node is expected
+ * fails to compile. The remaining factors are ratios relative to 45nm
+ * and stay plain doubles.
  */
 
 #ifndef ACCELWALL_CMOS_SCALING_HH
@@ -18,16 +23,18 @@
 
 #include <vector>
 
+#include "util/units.hh"
+
 namespace accelwall::cmos
 {
 
 /** Device-level parameters for one CMOS node. */
 struct NodeParams
 {
-    /** Feature size in nanometres (e.g. 45). */
-    double node_nm = 0.0;
-    /** Nominal supply voltage in volts. */
-    double vdd = 0.0;
+    /** Feature size (e.g. 45nm). */
+    units::Nanometers node_nm{0.0};
+    /** Nominal supply voltage. */
+    units::Volts vdd{0.0};
     /** Gate delay relative to 45nm (smaller is faster). */
     double gate_delay = 0.0;
     /** Switched capacitance per gate relative to 45nm. */
@@ -38,8 +45,10 @@ struct NodeParams
 
 /**
  * The scaling table: per-node device factors plus derived relative
- * quantities. A process-wide singleton; nodes not in the table are
- * resolved to the nearest tabulated node by nearest().
+ * quantities. The built-in digest is a process-wide singleton; nodes
+ * not in the table are resolved to the nearest tabulated node by
+ * nearest(). Explicit tables (tests, the model linter's corrupted
+ * fixtures) can be built from a parameter vector.
  */
 class ScalingTable
 {
@@ -47,54 +56,60 @@ class ScalingTable
     /** The singleton instance holding the built-in table. */
     static const ScalingTable &instance();
 
-    /** True when @p node_nm is tabulated exactly. */
-    bool has(double node_nm) const;
+    /** Build a table from explicit rows (model lint / tests). */
+    explicit ScalingTable(std::vector<NodeParams> params);
+
+    /** True when @p node is tabulated exactly. */
+    bool has(units::Nanometers node) const;
 
     /** Parameters for an exactly tabulated node; fatal() otherwise. */
-    const NodeParams &at(double node_nm) const;
+    const NodeParams &at(units::Nanometers node) const;
 
-    /** Parameters for the tabulated node closest to @p node_nm. */
-    const NodeParams &nearest(double node_nm) const;
+    /** Parameters for the tabulated node closest to @p node. */
+    const NodeParams &nearest(units::Nanometers node) const;
 
     /** All tabulated nodes, descending feature size (oldest first). */
-    std::vector<double> nodes() const;
+    std::vector<units::Nanometers> nodes() const;
+
+    /** The raw rows, oldest node first (model lint audits these). */
+    const std::vector<NodeParams> &params() const { return params_; }
 
     /**
      * Maximum-frequency gain relative to 45nm: the inverse of relative
      * gate delay.
      */
-    double frequencyGain(double node_nm) const;
+    double frequencyGain(units::Nanometers node) const;
 
     /**
      * Dynamic switching energy per operation relative to 45nm:
      * C * VDD^2 with both factors taken relative to the 45nm node.
      */
-    double dynamicEnergy(double node_nm) const;
+    double dynamicEnergy(units::Nanometers node) const;
 
     /**
      * Dynamic power per transistor relative to 45nm at a fixed absolute
      * clock: equals dynamicEnergy() since power = energy * frequency.
      */
-    double dynamicPower(double node_nm) const;
+    double dynamicPower(units::Nanometers node) const;
 
     /** Leakage power per transistor relative to 45nm. */
-    double leakagePower(double node_nm) const;
+    double leakagePower(units::Nanometers node) const;
 
     /** Supply voltage relative to 45nm. */
-    double vddRel(double node_nm) const;
+    double vddRel(units::Nanometers node) const;
 
     /** Switched capacitance per gate relative to 45nm. */
-    double capacitanceRel(double node_nm) const;
+    double capacitanceRel(units::Nanometers node) const;
 
     /** Relative gate delay (45nm == 1.0). */
-    double gateDelayRel(double node_nm) const;
+    double gateDelayRel(units::Nanometers node) const;
 
     /**
      * Ideal areal transistor-density gain relative to 45nm: (45/N)^2.
      * The empirically achievable budget is modeled separately in chipdb
      * (Figure 3b's sub-linear utilization fit).
      */
-    double densityGain(double node_nm) const;
+    double densityGain(units::Nanometers node) const;
 
   private:
     ScalingTable();

@@ -16,13 +16,15 @@ double
 potentialOf(const potential::PotentialModel &model,
             const potential::ChipSpec &spec, Metric metric)
 {
+    // CSR consumes potentials only through like-for-like ratios
+    // (Eq. 2), so the shared unit scale cancels; .raw() strips it.
     switch (metric) {
       case Metric::Throughput:
-        return model.throughput(spec);
+        return model.throughput(spec).raw();
       case Metric::EnergyEfficiency:
-        return model.energyEfficiency(spec);
+        return model.energyEfficiency(spec).raw();
       case Metric::AreaThroughput:
-        return model.areaThroughput(spec);
+        return model.areaThroughput(spec).raw();
     }
     panic("unknown CSR metric");
 }

@@ -1,0 +1,590 @@
+#include "modelcheck/check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "chipdb/reference_chips.hh"
+
+namespace accelwall::modelcheck
+{
+
+using chipdb::ChipRecord;
+using chipdb::TdpGroup;
+using cmos::NodeParams;
+using units::Nanometers;
+using units::Volts;
+
+namespace
+{
+
+/** Names and default severities, indexed by RuleId. */
+struct RuleInfo
+{
+    const char *code;
+    const char *name;
+    Severity severity;
+};
+
+constexpr RuleInfo kRules[kNumRules] = {
+    { "M001", "node-order", Severity::Error },
+    { "M002", "vdd-monotonic", Severity::Error },
+    { "M003", "delay-monotonic", Severity::Error },
+    { "M004", "capacitance-monotonic", Severity::Error },
+    { "M005", "leakage-monotonic", Severity::Error },
+    { "M006", "baseline-normalization", Severity::Error },
+    { "M007", "group-coverage", Severity::Error },
+    { "M008", "group-progression", Severity::Error },
+    { "M009", "area-fit-sanity", Severity::Error },
+    { "M010", "corpus-audit", Severity::Error },
+};
+
+/** Collects diagnostics, applying the Options caps and escalation. */
+class Sink
+{
+  public:
+    explicit Sink(const Options &options) : options_(options) {}
+
+    template <typename... Args>
+    void
+    add(RuleId rule, const char *subject,
+        std::optional<std::size_t> row, Args &&...args)
+    {
+        Severity sev = defaultSeverity(rule);
+        if (sev == Severity::Warning && options_.warnings_as_errors)
+            sev = Severity::Error;
+        switch (sev) {
+          case Severity::Error: ++report_.num_errors; break;
+          case Severity::Warning: ++report_.num_warnings; break;
+          case Severity::Note: ++report_.num_notes; break;
+        }
+        if (report_.diagnostics.size() >= options_.max_diagnostics) {
+            ++report_.suppressed;
+            return;
+        }
+        Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.subject = subject;
+        d.row = row;
+        std::ostringstream oss;
+        (oss << ... << args);
+        d.message = oss.str();
+        report_.diagnostics.push_back(std::move(d));
+    }
+
+    template <typename... Args>
+    void
+    warn(RuleId rule, const char *subject,
+         std::optional<std::size_t> row, Args &&...args)
+    {
+        // Same as add() but capped at Warning severity.
+        Severity sev = options_.warnings_as_errors ? Severity::Error
+                                                   : Severity::Warning;
+        if (sev == Severity::Error)
+            ++report_.num_errors;
+        else
+            ++report_.num_warnings;
+        if (report_.diagnostics.size() >= options_.max_diagnostics) {
+            ++report_.suppressed;
+            return;
+        }
+        Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.subject = subject;
+        d.row = row;
+        std::ostringstream oss;
+        (oss << ... << args);
+        d.message = oss.str();
+        report_.diagnostics.push_back(std::move(d));
+    }
+
+    Report take() { return std::move(report_); }
+
+  private:
+    Options options_;
+    Report report_;
+};
+
+/**
+ * M001: the scaling rows must list strictly descending positive
+ * feature sizes — every nearest() lookup and every "newer node" loop
+ * in the studies assumes that order.
+ */
+void
+checkNodeOrder(const std::vector<NodeParams> &scaling, Sink &sink)
+{
+    if (scaling.empty()) {
+        sink.add(RuleId::NodeOrder, "scaling", std::nullopt,
+                 "scaling table is empty");
+        return;
+    }
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        double node = scaling[i].node_nm.raw();
+        if (!(node > 0.0)) {
+            sink.add(RuleId::NodeOrder, "scaling", i, "node ", node,
+                     "nm is not positive");
+        } else if (i > 0 &&
+                   scaling[i].node_nm >= scaling[i - 1].node_nm) {
+            sink.add(RuleId::NodeOrder, "scaling", i, "node ", node,
+                     "nm does not descend from the previous row (",
+                     scaling[i - 1].node_nm.raw(),
+                     "nm); rows must be oldest-first");
+        }
+    }
+}
+
+/**
+ * M002..M005: each per-device quantity must be positive and must never
+ * increase as feature size shrinks. Dennard scaling weakened after
+ * ~65nm, but none of these quantities ever *rose* at a shrink in the
+ * published digests; a bump is a transposed or mistyped row.
+ */
+void
+checkMonotonic(const std::vector<NodeParams> &scaling, RuleId rule,
+               const char *what, double (*get)(const NodeParams &),
+               Sink &sink)
+{
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        double v = get(scaling[i]);
+        if (!(v > 0.0)) {
+            sink.add(rule, "scaling", i, what, " ", v,
+                     " is not positive at node ",
+                     scaling[i].node_nm.raw(), "nm");
+            continue;
+        }
+        if (i == 0)
+            continue;
+        double prev = get(scaling[i - 1]);
+        // Exact non-increase: the digests are coarse enough that any
+        // genuine plateau is encoded as an equal value, not a wiggle.
+        if (v > prev) {
+            sink.add(rule, "scaling", i, what, " rises from ", prev,
+                     " to ", v, " at the shrink to ",
+                     scaling[i].node_nm.raw(), "nm");
+        }
+    }
+}
+
+/**
+ * M006: the 45nm baseline row must exist with all relative factors
+ * exactly 1 — every normalized quantity in Figure 3a divides by it —
+ * and the absolute quantities must stay in physically plausible ranges.
+ */
+void
+checkBaseline(const std::vector<NodeParams> &scaling, Sink &sink)
+{
+    constexpr double kTol = 1e-9;
+    bool found = false;
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        const NodeParams &p = scaling[i];
+        if (p.vdd.raw() > 6.0) {
+            sink.add(RuleId::BaselineNormalization, "scaling", i,
+                     "VDD ", p.vdd.raw(), "V at node ", p.node_nm.raw(),
+                     "nm is outside the plausible (0, 6] volt range");
+        }
+        for (double factor : { p.gate_delay, p.capacitance, p.leakage }) {
+            if (factor > 100.0) {
+                sink.add(RuleId::BaselineNormalization, "scaling", i,
+                         "relative factor ", factor, " at node ",
+                         p.node_nm.raw(),
+                         "nm is outside the plausible (0, 100] range");
+                break;
+            }
+        }
+        if (p.node_nm != Nanometers{45.0})
+            continue;
+        found = true;
+        if (std::fabs(p.gate_delay - 1.0) > kTol ||
+            std::fabs(p.capacitance - 1.0) > kTol ||
+            std::fabs(p.leakage - 1.0) > kTol) {
+            sink.add(RuleId::BaselineNormalization, "scaling", i,
+                     "45nm baseline row is not normalized to 1.0 "
+                     "(delay ", p.gate_delay, ", capacitance ",
+                     p.capacitance, ", leakage ", p.leakage, ")");
+        }
+    }
+    if (!found) {
+        sink.add(RuleId::BaselineNormalization, "scaling", std::nullopt,
+                 "no 45nm baseline row; all relative quantities are "
+                 "normalized to it");
+    }
+}
+
+/**
+ * M007: the Figure 3c node groups must be well-formed (positive,
+ * min <= max, positive coefficient, exponent in (0, 2)) and pairwise
+ * disjoint in newest-first order; an overlap makes groupFor()
+ * resolution order-dependent.
+ */
+void
+checkGroupCoverage(const std::vector<TdpGroup> &groups, Sink &sink)
+{
+    if (groups.empty()) {
+        sink.add(RuleId::GroupCoverage, "budget", std::nullopt,
+                 "budget model has no TDP groups");
+        return;
+    }
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const TdpGroup &g = groups[i];
+        if (!(g.min_node_nm.raw() > 0.0) ||
+            g.max_node_nm < g.min_node_nm) {
+            sink.add(RuleId::GroupCoverage, "budget", i, "group '",
+                     g.label, "' has an invalid node range [",
+                     g.min_node_nm.raw(), ", ", g.max_node_nm.raw(),
+                     "]");
+            continue;
+        }
+        if (!(g.coeff > 0.0)) {
+            sink.add(RuleId::GroupCoverage, "budget", i, "group '",
+                     g.label, "' has non-positive coefficient ",
+                     g.coeff);
+        }
+        if (!(g.exponent > 0.0) || g.exponent >= 2.0) {
+            sink.add(RuleId::GroupCoverage, "budget", i, "group '",
+                     g.label, "' has exponent ", g.exponent,
+                     " outside (0, 2): the TDP envelope must grow "
+                     "sub-quadratically");
+        }
+        if (i > 0 && groups[i].min_node_nm <= groups[i - 1].max_node_nm) {
+            sink.add(RuleId::GroupCoverage, "budget", i, "group '",
+                     g.label, "' overlaps or fails to follow '",
+                     groups[i - 1].label,
+                     "': groups must be disjoint, newest first");
+        }
+    }
+}
+
+/**
+ * M008: post-Dennard physics orders the fits — newer groups pack more
+ * devices per watt (larger k) but saturate the envelope faster
+ * (smaller e). A violated progression means two groups were swapped or
+ * a fit was transcribed against the wrong node range.
+ */
+void
+checkGroupProgression(const std::vector<TdpGroup> &groups, Sink &sink)
+{
+    for (std::size_t i = 1; i < groups.size(); ++i) {
+        if (groups[i].coeff >= groups[i - 1].coeff) {
+            sink.add(RuleId::GroupProgression, "budget", i,
+                     "coefficient does not decrease toward older "
+                     "groups: '", groups[i - 1].label, "' has ",
+                     groups[i - 1].coeff, ", '", groups[i].label,
+                     "' has ", groups[i].coeff);
+        }
+        if (groups[i].exponent <= groups[i - 1].exponent) {
+            sink.add(RuleId::GroupProgression, "budget", i,
+                     "exponent does not increase toward older groups: "
+                     "'", groups[i - 1].label, "' has ",
+                     groups[i - 1].exponent, ", '", groups[i].label,
+                     "' has ", groups[i].exponent);
+        }
+    }
+}
+
+/**
+ * M009: the Figure 3b area fit must stay near the published law
+ * TC(D) = 4.99e9 * D^0.877, and where the corpus discloses transistor
+ * counts the fit must predict them within a small factor — the law's
+ * whole claim is that it describes real silicon.
+ */
+void
+checkAreaFit(const Inputs &inputs, Sink &sink)
+{
+    const chipdb::BudgetModel &budget = inputs.budget;
+    // A re-fit on a noisy corpus moves the coefficient by tens of
+    // percent, not orders of magnitude.
+    if (budget.areaCoeff() < 1e9 || budget.areaCoeff() > 2.5e10) {
+        sink.add(RuleId::AreaFitSanity, "budget", std::nullopt,
+                 "area coefficient ", budget.areaCoeff(),
+                 " is far from the published 4.99e9 (allowed "
+                 "[1e9, 2.5e10])");
+    }
+    if (budget.areaExponent() < 0.5 || budget.areaExponent() > 1.0) {
+        sink.add(RuleId::AreaFitSanity, "budget", std::nullopt,
+                 "area exponent ", budget.areaExponent(),
+                 " is outside [0.5, 1.0]: utilization must be "
+                 "sub-linear but not collapse");
+    }
+
+    // Residuals against disclosed transistor counts, in log space.
+    const double kPerChipTol = std::log(4.0);
+    const double kMedianTol = std::log(2.0);
+    std::vector<double> residuals;
+    for (std::size_t i = 0; i < inputs.corpus.size(); ++i) {
+        const ChipRecord &rec = inputs.corpus[i];
+        if (rec.transistors <= 0.0 || rec.area_mm2 <= 0.0 ||
+            rec.node_nm <= 0.0) {
+            continue;
+        }
+        double predicted =
+            budget.areaTransistors(rec.area(), rec.node()).raw();
+        double r = std::fabs(std::log(predicted / rec.transistors));
+        residuals.push_back(r);
+        if (r > kPerChipTol) {
+            sink.warn(RuleId::AreaFitSanity, "corpus", i, "chip '",
+                      rec.name, "' is off the area law by ",
+                      std::exp(r), "x (predicted ", predicted,
+                      ", disclosed ", rec.transistors, ")");
+        }
+    }
+    if (residuals.size() >= 3) {
+        auto mid = residuals.begin() +
+                   static_cast<std::ptrdiff_t>(residuals.size() / 2);
+        std::nth_element(residuals.begin(), mid, residuals.end());
+        double median = *mid;
+        if (median > kMedianTol) {
+            sink.add(RuleId::AreaFitSanity, "corpus", std::nullopt,
+                     "median area-law residual is ", std::exp(median),
+                     "x across ", residuals.size(),
+                     " disclosed chips: the fit does not describe "
+                     "this corpus");
+        }
+    }
+}
+
+/**
+ * M010: every corpus record must be physically plausible — the fits
+ * consume them unconditionally, so one corrupted row (a die area in
+ * cm², a node in µm) skews a regression silently.
+ */
+void
+checkCorpus(const std::vector<ChipRecord> &corpus, Sink &sink)
+{
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const ChipRecord &rec = corpus[i];
+        if (!(rec.node_nm > 0.0) || !(rec.area_mm2 > 0.0) ||
+            !(rec.freq_mhz > 0.0) || !(rec.tdp_w > 0.0)) {
+            sink.add(RuleId::CorpusAudit, "corpus", i, "record '",
+                     rec.name,
+                     "' has a non-positive node/area/freq/TDP");
+            continue;
+        }
+        if (rec.node_nm < 1.0 || rec.node_nm > 1000.0) {
+            sink.add(RuleId::CorpusAudit, "corpus", i, "record '",
+                     rec.name, "' node ", rec.node_nm,
+                     "nm is outside [1, 1000]nm — wrong unit?");
+        }
+        if (rec.area_mm2 > 1400.0) {
+            sink.add(RuleId::CorpusAudit, "corpus", i, "record '",
+                     rec.name, "' die area ", rec.area_mm2,
+                     "mm² exceeds the ~858mm² reticle limit by far — "
+                     "wrong unit?");
+        }
+        if (rec.tdp_w > 2000.0) {
+            sink.add(RuleId::CorpusAudit, "corpus", i, "record '",
+                     rec.name, "' TDP ", rec.tdp_w,
+                     "W is implausible for a single package");
+        }
+        if (rec.freq_mhz > 20000.0) {
+            sink.add(RuleId::CorpusAudit, "corpus", i, "record '",
+                     rec.name, "' clock ", rec.freq_mhz,
+                     "MHz is implausible — kHz or Hz slipped in?");
+        }
+        if (rec.transistors < 0.0 || rec.transistors > 1e13) {
+            sink.add(RuleId::CorpusAudit, "corpus", i, "record '",
+                     rec.name, "' transistor count ", rec.transistors,
+                     " is outside [0, 1e13]");
+        }
+        if (rec.name.empty()) {
+            sink.warn(RuleId::CorpusAudit, "corpus", i,
+                      "record has an empty name; quarantine "
+                      "diagnostics cannot identify it");
+        }
+    }
+}
+
+} // namespace
+
+const char *
+ruleCode(RuleId rule)
+{
+    return kRules[static_cast<int>(rule)].code;
+}
+
+const char *
+ruleName(RuleId rule)
+{
+    return kRules[static_cast<int>(rule)].name;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+Severity
+defaultSeverity(RuleId rule)
+{
+    return kRules[static_cast<int>(rule)].severity;
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << subject;
+    if (row)
+        oss << "[" << *row << "]";
+    oss << ": " << severityName(severity) << " " << ruleCode(rule)
+        << " " << ruleName(rule) << ": " << message;
+    return oss.str();
+}
+
+bool
+Report::fired(RuleId rule) const
+{
+    for (const Diagnostic &d : diagnostics) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Report::summary() const
+{
+    std::ostringstream oss;
+    oss << num_errors << (num_errors == 1 ? " error, " : " errors, ")
+        << num_warnings
+        << (num_warnings == 1 ? " warning, " : " warnings, ")
+        << num_notes << (num_notes == 1 ? " note" : " notes");
+    if (suppressed > 0)
+        oss << " (" << suppressed << " suppressed)";
+    return oss.str();
+}
+
+void
+Report::merge(const Report &other)
+{
+    diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                       other.diagnostics.end());
+    num_errors += other.num_errors;
+    num_warnings += other.num_warnings;
+    num_notes += other.num_notes;
+    suppressed += other.suppressed;
+}
+
+Inputs
+shippedInputs()
+{
+    Inputs inputs;
+    inputs.name = "shipped";
+    inputs.scaling = cmos::ScalingTable::instance().params();
+    inputs.budget = chipdb::BudgetModel{};
+    inputs.corpus = chipdb::referenceChips();
+    return inputs;
+}
+
+std::vector<Inputs>
+brokenShowcaseInputs()
+{
+    const Inputs shipped = shippedInputs();
+    std::vector<Inputs> all;
+
+    {
+        // Rows out of order and a negative feature size: M001.
+        Inputs in = shipped;
+        in.name = "demo-node-order";
+        std::swap(in.scaling[2], in.scaling[3]);
+        in.scaling[5].node_nm = Nanometers{-65.0};
+        all.push_back(std::move(in));
+    }
+    {
+        // One transposed row bumps every per-device quantity at a
+        // shrink: M002..M005 each fire.
+        Inputs in = shipped;
+        in.name = "demo-monotonic";
+        NodeParams &p = in.scaling[10]; // 32nm row
+        p.vdd = Volts{1.15};
+        p.gate_delay = 1.6;
+        p.capacitance = 1.7;
+        p.leakage = 1.8;
+        all.push_back(std::move(in));
+    }
+    {
+        // 45nm row denormalized (as if re-normalized to 65nm but only
+        // partially): M006.
+        Inputs in = shipped;
+        in.name = "demo-baseline";
+        for (NodeParams &p : in.scaling) {
+            if (p.node_nm == Nanometers{45.0})
+                p.gate_delay = 0.71;
+        }
+        all.push_back(std::move(in));
+    }
+    {
+        // Overlapping groups with a broken coefficient/exponent
+        // progression: M007 and M008.
+        Inputs in = shipped;
+        in.name = "demo-groups";
+        in.budget = chipdb::BudgetModel{
+            4.99e9,
+            0.877,
+            {
+                { Nanometers{5.0}, Nanometers{14.0}, 2.15, 0.402,
+                  "14nm-5nm" },
+                { Nanometers{12.0}, Nanometers{22.0}, 3.10, 0.557,
+                  "22nm-12nm (overlaps)" },
+                { Nanometers{28.0}, Nanometers{32.0}, 0.11, 0.301,
+                  "32nm-28nm (regressed exponent)" },
+            },
+        };
+        all.push_back(std::move(in));
+    }
+    {
+        // An area law that no longer describes silicon: M009 (both the
+        // parameter range check and the corpus residuals).
+        Inputs in = shipped;
+        in.name = "demo-area-fit";
+        in.budget = chipdb::BudgetModel{4.99e8, 0.877};
+        all.push_back(std::move(in));
+    }
+    {
+        // Corrupted corpus rows — a cm² area, a µm node, a kHz clock:
+        // M010 (plus M009 warnings where transistors are disclosed).
+        Inputs in = shipped;
+        in.name = "demo-corpus";
+        if (in.corpus.size() >= 3) {
+            in.corpus[0].area_mm2 *= 100.0; // cm² slipped in
+            in.corpus[1].node_nm *= 1000.0; // µm slipped in
+            in.corpus[2].freq_mhz *= 1e3;   // kHz slipped in
+        }
+        all.push_back(std::move(in));
+    }
+    return all;
+}
+
+Report
+check(const Inputs &inputs, const Options &options)
+{
+    Sink sink(options);
+    checkNodeOrder(inputs.scaling, sink);
+    checkMonotonic(inputs.scaling, RuleId::VddMonotonic, "VDD",
+                   [](const NodeParams &p) { return p.vdd.raw(); },
+                   sink);
+    checkMonotonic(inputs.scaling, RuleId::DelayMonotonic, "gate delay",
+                   [](const NodeParams &p) { return p.gate_delay; },
+                   sink);
+    checkMonotonic(inputs.scaling, RuleId::CapacitanceMonotonic,
+                   "capacitance",
+                   [](const NodeParams &p) { return p.capacitance; },
+                   sink);
+    checkMonotonic(inputs.scaling, RuleId::LeakageMonotonic, "leakage",
+                   [](const NodeParams &p) { return p.leakage; }, sink);
+    checkBaseline(inputs.scaling, sink);
+    checkGroupCoverage(inputs.budget.groups(), sink);
+    checkGroupProgression(inputs.budget.groups(), sink);
+    checkAreaFit(inputs, sink);
+    checkCorpus(inputs.corpus, sink);
+    return sink.take();
+}
+
+} // namespace accelwall::modelcheck

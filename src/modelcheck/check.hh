@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Rule-based audits of the numerical model inputs (the `model` lint
+ * domain, rules M001..M010).
+ *
+ * The dfg verifier (dfg/verify.hh) machine-checks graph structure; this
+ * module does the same for the *data* every projection rests on: the
+ * Section III device-scaling digest, the Figure 3b/3c transistor-budget
+ * fits, and the chip corpus the regressions run against. A transposed
+ * row in the scaling table or a sign slip in a fitted exponent corrupts
+ * every CSR number downstream without a single test necessarily
+ * noticing — these rules pin the physical invariants the paper's model
+ * depends on:
+ *
+ *  | rule | name                  | invariant                             |
+ *  |------|-----------------------|---------------------------------------|
+ *  | M001 | node-order            | nodes positive, strictly descending   |
+ *  | M002 | vdd-monotonic         | VDD never rises as devices shrink     |
+ *  | M003 | delay-monotonic       | gate delay never rises as nodes shrink|
+ *  | M004 | capacitance-monotonic | switched capacitance never rises      |
+ *  | M005 | leakage-monotonic     | per-device leakage never rises        |
+ *  | M006 | baseline-normalization| 45nm row exists and equals 1.0        |
+ *  | M007 | group-coverage        | TDP groups well-formed, no overlap    |
+ *  | M008 | group-progression     | newer groups: larger k, smaller e     |
+ *  | M009 | area-fit-sanity       | Fig. 3b fit near TC(D)=4.99e9*D^0.877 |
+ *  | M010 | corpus-audit          | corpus records physically plausible   |
+ *
+ * The diagnostic machinery (rule id, severity, report) mirrors
+ * dfg::verify so accelwall-lint renders both domains identically.
+ */
+
+#ifndef ACCELWALL_MODELCHECK_CHECK_HH
+#define ACCELWALL_MODELCHECK_CHECK_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chipdb/budget.hh"
+#include "chipdb/record.hh"
+#include "cmos/scaling.hh"
+
+namespace accelwall::modelcheck
+{
+
+/** Identity of one model-audit rule. */
+enum class RuleId
+{
+    NodeOrder,              ///< M001: nodes positive, strictly descending
+    VddMonotonic,           ///< M002: VDD non-increasing toward small nodes
+    DelayMonotonic,         ///< M003: gate delay non-increasing
+    CapacitanceMonotonic,   ///< M004: switched capacitance non-increasing
+    LeakageMonotonic,       ///< M005: per-device leakage non-increasing
+    BaselineNormalization,  ///< M006: 45nm row present and normalized to 1
+    GroupCoverage,          ///< M007: TDP groups well-formed, disjoint
+    GroupProgression,       ///< M008: coeff/exponent progression holds
+    AreaFitSanity,          ///< M009: area fit near the published law
+    CorpusAudit,            ///< M010: corpus records physically plausible
+};
+
+/** Total number of RuleId values (for dense per-rule tables). */
+inline constexpr int kNumRules =
+    static_cast<int>(RuleId::CorpusAudit) + 1;
+
+/** Diagnostic severity; only Error fails the check. */
+enum class Severity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** Stable short code, e.g. "M002". */
+const char *ruleCode(RuleId rule);
+
+/** Kebab-case rule name, e.g. "vdd-monotonic". */
+const char *ruleName(RuleId rule);
+
+/** Lower-case severity name, e.g. "error". */
+const char *severityName(Severity severity);
+
+/** The built-in severity a rule fires at. */
+Severity defaultSeverity(RuleId rule);
+
+/** One rule violation, locatable to a table row or corpus record. */
+struct Diagnostic
+{
+    RuleId rule = RuleId::NodeOrder;
+    Severity severity = Severity::Error;
+    /** Which input it came from: "scaling", "budget", "corpus". */
+    std::string subject;
+    /** Offending row index, when the rule localizes to one. */
+    std::optional<std::size_t> row;
+    /** Human-readable explanation with concrete values. */
+    std::string message;
+
+    /** One-line rendering: "scaling: error M002 vdd-monotonic ...". */
+    std::string str() const;
+};
+
+/** Knobs for one audit run. */
+struct Options
+{
+    /** Escalate Warning diagnostics to Error. */
+    bool warnings_as_errors = false;
+    /** Keep at most this many diagnostics; the rest are counted. */
+    std::size_t max_diagnostics = 256;
+};
+
+/** Outcome of one audit run. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t num_errors = 0;
+    std::size_t num_warnings = 0;
+    std::size_t num_notes = 0;
+    /** Diagnostics dropped beyond Options::max_diagnostics. */
+    std::size_t suppressed = 0;
+
+    /** True when no Error-severity diagnostics fired. */
+    bool ok() const { return num_errors == 0; }
+
+    /** True when a rule with this id fired (at any severity). */
+    bool fired(RuleId rule) const;
+
+    /** "3 errors, 1 warning, 0 notes". */
+    std::string summary() const;
+
+    /** Append another report's diagnostics and counts. */
+    void merge(const Report &other);
+};
+
+/**
+ * One auditable model: a scaling table, a budget model, and the corpus
+ * the budget laws should describe. The corpus may be empty (M009's
+ * residual check and M010 then have nothing to say).
+ */
+struct Inputs
+{
+    /** Display name ("shipped", "demo-vdd-bump", ...). */
+    std::string name = "model";
+    std::vector<cmos::NodeParams> scaling;
+    chipdb::BudgetModel budget;
+    std::vector<chipdb::ChipRecord> corpus;
+};
+
+/** The tables and corpus the library actually ships. */
+Inputs shippedInputs();
+
+/**
+ * Deliberately corrupted inputs, one per failure family, proving each
+ * M rule catches what it claims to (the `lint_model_broken` ctest and
+ * the --demo-broken-model flag).
+ */
+std::vector<Inputs> brokenShowcaseInputs();
+
+/** Run every M rule against @p inputs. */
+Report check(const Inputs &inputs, const Options &options = {});
+
+} // namespace accelwall::modelcheck
+
+#endif // ACCELWALL_MODELCHECK_CHECK_HH

@@ -7,31 +7,37 @@
 #ifndef ACCELWALL_POTENTIAL_CHIP_SPEC_HH
 #define ACCELWALL_POTENTIAL_CHIP_SPEC_HH
 
+#include "util/units.hh"
+
 namespace accelwall::potential
 {
+
+/** Sentinel: effectively no TDP constraint. */
+inline constexpr units::Watts kUncappedTdp{1e9};
 
 /**
  * Physical description of a chip, the model's input tuple. "The model
  * receives as input: (i) CMOS node, (ii) die size or transistor count,
  * (iii) chip operation frequency, and (iv) TDP."
+ *
+ * The fields are dimensional types (util/units.hh), so transposing
+ * them — passing a die area where the node is expected — is a compile
+ * error, not a silently absurd model.
  */
 struct ChipSpec
 {
-    /** CMOS feature size in nanometres. */
-    double node_nm = 45.0;
-    /** Die area in mm². */
-    double area_mm2 = 25.0;
-    /** Operating frequency in GHz. */
-    double freq_ghz = 1.0;
+    /** CMOS feature size. */
+    units::Nanometers node_nm{45.0};
+    /** Die area. */
+    units::SquareMillimeters area_mm2{25.0};
+    /** Operating frequency. */
+    units::Gigahertz freq_ghz{1.0};
     /**
-     * Thermal design power in watts. Use kUncapped when modeling a chip
+     * Thermal design power. Use kUncappedTdp when modeling a chip
      * with no meaningful power envelope.
      */
-    double tdp_w = 1e9;
+    units::Watts tdp_w = kUncappedTdp;
 };
-
-/** Sentinel: effectively no TDP constraint. */
-inline constexpr double kUncappedTdp = 1e9;
 
 } // namespace accelwall::potential
 

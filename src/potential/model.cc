@@ -7,6 +7,14 @@
 namespace accelwall::potential
 {
 
+using units::Gigahertz;
+using units::Nanometers;
+using units::SquareMillimeters;
+using units::TransistorCount;
+using units::TransistorGigahertz;
+using units::Watts;
+using units::WattsPerTransistor;
+
 PotentialModel::PotentialModel()
     : budget_(), calibration_()
 {
@@ -21,26 +29,26 @@ PotentialModel::PotentialModel(chipdb::BudgetModel budget,
                                Calibration calibration)
     : budget_(std::move(budget)), calibration_(calibration)
 {
-    if (calibration_.dyn_w_per_tx_ghz <= 0.0 ||
-        calibration_.leak_w_per_tx <= 0.0)
+    if (calibration_.dyn_w_per_tx_ghz.raw() <= 0.0 ||
+        calibration_.leak_w_per_tx.raw() <= 0.0)
         fatal("PotentialModel: calibration constants must be positive");
 }
 
-double
+TransistorCount
 PotentialModel::areaTransistors(const ChipSpec &spec) const
 {
     return budget_.areaTransistors(spec.area_mm2, spec.node_nm);
 }
 
-double
+TransistorCount
 PotentialModel::tdpTransistors(const ChipSpec &spec) const
 {
-    if (spec.freq_ghz <= 0.0)
+    if (spec.freq_ghz <= Gigahertz{0.0})
         fatal("PotentialModel: frequency must be positive");
     return budget_.tdpTransistors(spec.tdp_w, spec.node_nm, spec.freq_ghz);
 }
 
-double
+TransistorCount
 PotentialModel::activeTransistors(const ChipSpec &spec) const
 {
     const auto &scaling = cmos::ScalingTable::instance();
@@ -48,47 +56,49 @@ PotentialModel::activeTransistors(const ChipSpec &spec) const
     // Bottom-up thermal cap: all fabricated transistors leak whether or
     // not they switch, so the envelope left for switching is
     // TDP - leakage(all). This is what makes old nodes more appealing
-    // for very large dies under a restricted TDP (Section III).
-    double leak_all = areaTransistors(spec) *
-                      calibration_.leak_w_per_tx *
-                      scaling.leakagePower(spec.node_nm);
-    double dyn_per_tx = calibration_.dyn_w_per_tx_ghz *
-                        scaling.dynamicEnergy(spec.node_nm) *
-                        spec.freq_ghz;
-    double thermal = std::max(0.0, spec.tdp_w - leak_all) / dyn_per_tx;
+    // for very large dies under a restricted TDP (Section III). Every
+    // line below is dimension-checked: counts times W/count gives W,
+    // nJ/transistor times GHz gives W/transistor, and the quotient of
+    // the two recovers a transistor count.
+    Watts leak_all = areaTransistors(spec) * calibration_.leak_w_per_tx *
+                     scaling.leakagePower(spec.node_nm);
+    WattsPerTransistor dyn_per_tx =
+        calibration_.dyn_w_per_tx_ghz *
+        scaling.dynamicEnergy(spec.node_nm) * spec.freq_ghz;
+    TransistorCount thermal =
+        std::max(Watts{0.0}, spec.tdp_w - leak_all) / dyn_per_tx;
 
     return std::min({areaTransistors(spec), tdpTransistors(spec),
                      thermal});
 }
 
-double
+TransistorGigahertz
 PotentialModel::throughput(const ChipSpec &spec) const
 {
     return activeTransistors(spec) * spec.freq_ghz;
 }
 
-double
+Watts
 PotentialModel::power(const ChipSpec &spec) const
 {
     const auto &scaling = cmos::ScalingTable::instance();
-    double active = activeTransistors(spec);
-    double dynamic = active * calibration_.dyn_w_per_tx_ghz *
-                     scaling.dynamicEnergy(spec.node_nm) * spec.freq_ghz;
+    TransistorCount active = activeTransistors(spec);
+    Watts dynamic = active * calibration_.dyn_w_per_tx_ghz *
+                    scaling.dynamicEnergy(spec.node_nm) * spec.freq_ghz;
     // All fabricated transistors leak whether or not they may switch
     // within the envelope; this is the dark-silicon tax.
-    double leakage = areaTransistors(spec) *
-                     calibration_.leak_w_per_tx *
-                     scaling.leakagePower(spec.node_nm);
+    Watts leakage = areaTransistors(spec) * calibration_.leak_w_per_tx *
+                    scaling.leakagePower(spec.node_nm);
     return std::min(spec.tdp_w, dynamic + leakage);
 }
 
-double
+units::TransistorGigahertzPerWatt
 PotentialModel::energyEfficiency(const ChipSpec &spec) const
 {
     return throughput(spec) / power(spec);
 }
 
-double
+units::TransistorGigahertzPerSquareMillimeter
 PotentialModel::areaThroughput(const ChipSpec &spec) const
 {
     return throughput(spec) / spec.area_mm2;
@@ -115,17 +125,18 @@ PotentialModel::areaThroughputGain(const ChipSpec &spec,
     return areaThroughput(spec) / areaThroughput(ref);
 }
 
-double
-PotentialModel::optimalFrequency(double node_nm, double area_mm2,
-                                 double tdp_w) const
+Gigahertz
+PotentialModel::optimalFrequency(Nanometers node, SquareMillimeters area,
+                                 Watts tdp) const
 {
-    double best_freq = 0.05, best_thr = 0.0;
+    Gigahertz best_freq{0.05};
+    TransistorGigahertz best_thr{0.0};
     for (double f = 0.05; f <= 5.0 + 1e-9; f *= 1.05) {
-        ChipSpec spec{node_nm, area_mm2, f, tdp_w};
-        double thr = throughput(spec);
+        ChipSpec spec{node, area, Gigahertz{f}, tdp};
+        TransistorGigahertz thr = throughput(spec);
         if (thr > best_thr) {
             best_thr = thr;
-            best_freq = f;
+            best_freq = Gigahertz{f};
         }
     }
     return best_freq;

@@ -34,13 +34,18 @@ namespace accelwall::potential
  * leakage), in line with contemporaneous GPUs; the sensitivity
  * ablation perturbs these to show the CSR conclusions are
  * calibration-robust (ratios cancel most of the absolute scale).
+ *
+ * Both constants are dimensional: the switching calibration is watts
+ * per transistor-GHz — i.e. nanojoules of switching energy per
+ * transistor — and the leakage calibration is watts per transistor, so
+ * the power arithmetic in model.cc type-checks end to end.
  */
 struct Calibration
 {
-    /** Dynamic power per transistor at 45nm and 1 GHz, watts. */
-    double dyn_w_per_tx_ghz = 8e-8;
-    /** Leakage power per transistor at 45nm, watts. */
-    double leak_w_per_tx = 2e-8;
+    /** Dynamic power per transistor at 45nm and 1 GHz. */
+    units::WattsPerTransistorGigahertz dyn_w_per_tx_ghz{8e-8};
+    /** Leakage power per transistor at 45nm. */
+    units::WattsPerTransistor leak_w_per_tx{2e-8};
 };
 
 /**
@@ -62,10 +67,10 @@ class PotentialModel
     PotentialModel(chipdb::BudgetModel budget, Calibration calibration);
 
     /** Area-budget transistor count (Fig. 3b law). */
-    double areaTransistors(const ChipSpec &spec) const;
+    units::TransistorCount areaTransistors(const ChipSpec &spec) const;
 
     /** Power-budget active transistor count (Fig. 3c law). */
-    double tdpTransistors(const ChipSpec &spec) const;
+    units::TransistorCount tdpTransistors(const ChipSpec &spec) const;
 
     /**
      * Usable transistors: the minimum of the area budget, the empirical
@@ -75,19 +80,21 @@ class PotentialModel
      * large dies under a restricted TDP, "the high transistor count and
      * static power of new CMOS nodes make old nodes more appealing".
      */
-    double activeTransistors(const ChipSpec &spec) const;
+    units::TransistorCount activeTransistors(const ChipSpec &spec) const;
 
     /** CMOS-driven throughput potential, in transistor-GHz. */
-    double throughput(const ChipSpec &spec) const;
+    units::TransistorGigahertz throughput(const ChipSpec &spec) const;
 
-    /** Modeled dissipation in watts, capped at the spec's TDP. */
-    double power(const ChipSpec &spec) const;
+    /** Modeled dissipation, capped at the spec's TDP. */
+    units::Watts power(const ChipSpec &spec) const;
 
     /** CMOS-driven energy-efficiency potential (throughput per watt). */
-    double energyEfficiency(const ChipSpec &spec) const;
+    units::TransistorGigahertzPerWatt energyEfficiency(
+        const ChipSpec &spec) const;
 
     /** Throughput potential per mm² of die (area-normalized metrics). */
-    double areaThroughput(const ChipSpec &spec) const;
+    units::TransistorGigahertzPerSquareMillimeter areaThroughput(
+        const ChipSpec &spec) const;
 
     /** Ratio of throughput potentials spec/ref (Eq. 2 denominator). */
     double throughputGain(const ChipSpec &spec, const ChipSpec &ref) const;
@@ -106,8 +113,9 @@ class PotentialModel
      * clock only darkens silicon. Searched over a log grid in
      * [0.05, 5] GHz.
      */
-    double optimalFrequency(double node_nm, double area_mm2,
-                            double tdp_w) const;
+    units::Gigahertz optimalFrequency(units::Nanometers node,
+                                      units::SquareMillimeters area,
+                                      units::Watts tdp) const;
 
     /** The budget model in use. */
     const chipdb::BudgetModel &budget() const { return budget_; }

@@ -25,13 +25,15 @@ double
 potentialOf(const PotentialModel &model, const ChipSpec &spec,
             Metric metric)
 {
+    // Projection points are ratios of like potentials, so the unit
+    // types cancel; .raw() here only strips the (shared) scale.
     switch (metric) {
       case Metric::Throughput:
-        return model.throughput(spec);
+        return model.throughput(spec).raw();
       case Metric::EnergyEfficiency:
-        return model.energyEfficiency(spec);
+        return model.energyEfficiency(spec).raw();
       case Metric::AreaThroughput:
-        return model.areaThroughput(spec);
+        return model.areaThroughput(spec).raw();
     }
     panic("projection: unknown metric");
 }
@@ -61,10 +63,10 @@ assemble(const DomainParams &params, const std::vector<ChipGain> &chips,
     // The wall chip: final CMOS node with Table V's physical envelope.
     // Largest die for performance, smallest for efficiency.
     ChipSpec limit;
-    limit.node_nm = 5.0;
+    limit.node_nm = units::Nanometers{5.0};
     limit.area_mm2 =
         use_efficiency ? params.min_die_mm2 : params.max_die_mm2;
-    limit.freq_ghz = params.freq_mhz / 1e3;
+    limit.freq_ghz = units::unit_cast<units::Gigahertz>(params.freq_mhz);
     limit.tdp_w = params.tdp_w;
     double phy_limit = potentialOf(model, limit, metric) / base;
 
@@ -87,15 +89,22 @@ const std::vector<DomainParams> &
 domainTable()
 {
     // Table V: accelerator-wall physical parameters.
+    using units::Megahertz;
+    using units::SquareMillimeters;
+    using units::Watts;
     static const std::vector<DomainParams> table = {
         { Domain::VideoDecoding, "Video Decoding", "ASIC", "MPixels/s",
-          "MPixels/J", 1.68, 16.0, 7.0, 400.0 },
+          "MPixels/J", SquareMillimeters{1.68}, SquareMillimeters{16.0},
+          Watts{7.0}, Megahertz{400.0} },
         { Domain::GpuGraphics, "Gaming/Graphics", "GPU", "MPixels/s",
-          "MPixels/J", 40.0, 815.0, 345.0, 1500.0 },
+          "MPixels/J", SquareMillimeters{40.0}, SquareMillimeters{815.0},
+          Watts{345.0}, Megahertz{1500.0} },
         { Domain::FpgaCnn, "Convolutional NN", "FPGA", "GOP/s", "GOP/J",
-          100.0, 572.0, 150.0, 400.0 },
+          SquareMillimeters{100.0}, SquareMillimeters{572.0},
+          Watts{150.0}, Megahertz{400.0} },
         { Domain::BitcoinMining, "Bitcoin Mining", "ASIC",
-          "GHash/s/mm2", "GHash/J", 11.1, 504.0, 500.0, 1400.0 },
+          "GHash/s/mm2", "GHash/J", SquareMillimeters{11.1},
+          SquareMillimeters{504.0}, Watts{500.0}, Megahertz{1400.0} },
     };
     return table;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "projection/projection.hh"
+#include "util/units.hh"
 
 namespace accelwall::projection
 {
@@ -35,11 +36,11 @@ struct DomainParams
     /** Gain units for the two metrics. */
     std::string perf_units;
     std::string eff_units;
-    /** Table V physical parameters. */
-    double min_die_mm2 = 0.0;
-    double max_die_mm2 = 0.0;
-    double tdp_w = 0.0;
-    double freq_mhz = 0.0;
+    /** Table V physical parameters, dimensionally typed. */
+    units::SquareMillimeters min_die_mm2{0.0};
+    units::SquareMillimeters max_die_mm2{0.0};
+    units::Watts tdp_w{0.0};
+    units::Megahertz freq_mhz{0.0};
 };
 
 /** Table V, in the paper's row order. */

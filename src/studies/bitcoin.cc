@@ -58,9 +58,10 @@ miningChipGain(const MiningChip &chip, bool use_efficiency)
     csr::ChipGain out;
     out.name = chip.label;
     out.year = chip.year;
-    out.spec.node_nm = chip.node_nm;
-    out.spec.area_mm2 = chip.area_mm2;
-    out.spec.freq_ghz = chip.freq_mhz / 1e3;
+    out.spec.node_nm = units::Nanometers{chip.node_nm};
+    out.spec.area_mm2 = units::SquareMillimeters{chip.area_mm2};
+    out.spec.freq_ghz =
+        units::unit_cast<units::Gigahertz>(units::Megahertz{chip.freq_mhz});
     out.spec.tdp_w = potential::kUncappedTdp;
     out.gain = use_efficiency ? chip.ghs / chip.watts
                               : chip.ghs / chip.area_mm2;

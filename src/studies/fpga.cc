@@ -76,9 +76,10 @@ fpgaChipGain(const FpgaCnnDesign &design, bool use_efficiency)
     csr::ChipGain out;
     out.name = design.label;
     out.year = design.year;
-    out.spec.node_nm = design.node_nm;
-    out.spec.area_mm2 = design.area_mm2;
-    out.spec.freq_ghz = design.freq_mhz / 1e3;
+    out.spec.node_nm = units::Nanometers{design.node_nm};
+    out.spec.area_mm2 = units::SquareMillimeters{design.area_mm2};
+    out.spec.freq_ghz = units::unit_cast<units::Gigahertz>(
+        units::Megahertz{design.freq_mhz});
     out.spec.tdp_w = potential::kUncappedTdp;
     out.gain = use_efficiency ? design.gops / design.tdp_w // GOPS/J
                               : design.gops;

@@ -139,10 +139,11 @@ potential::ChipSpec
 gpuSpec(const GpuChip &chip)
 {
     potential::ChipSpec spec;
-    spec.node_nm = chip.node_nm;
-    spec.area_mm2 = chip.area_mm2;
-    spec.freq_ghz = chip.freq_mhz / 1e3;
-    spec.tdp_w = chip.tdp_w;
+    spec.node_nm = units::Nanometers{chip.node_nm};
+    spec.area_mm2 = units::SquareMillimeters{chip.area_mm2};
+    spec.freq_ghz =
+        units::unit_cast<units::Gigahertz>(units::Megahertz{chip.freq_mhz});
+    spec.tdp_w = units::Watts{chip.tdp_w};
     return spec;
 }
 
@@ -162,7 +163,7 @@ synthesize()
     potential::PotentialModel model;
     Rng rng(0x6A3E5u); // deterministic
     const GpuChip &ref = gpuChips().front();
-    double ref_pot = model.throughput(gpuSpec(ref));
+    units::TransistorGigahertz ref_pot = model.throughput(gpuSpec(ref));
 
     std::vector<GpuResult> out;
     for (const auto &gpu : gpuChips()) {
@@ -180,7 +181,7 @@ synthesize()
             r.fps = app.base_fps * pot * quality * rng.lognoise(0.04);
             // Measured gaming power: the physical model's dissipation
             // estimate with board-level measurement noise.
-            double watts = model.power(gpuSpec(gpu)) *
+            double watts = model.power(gpuSpec(gpu)).raw() *
                            rng.lognoise(0.05);
             r.frames_per_joule = r.fps / watts;
             out.push_back(std::move(r));

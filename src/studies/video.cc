@@ -40,10 +40,11 @@ videoChipGain(const VideoChip &chip, bool use_efficiency)
 {
     chipdb::BudgetModel budget;
     potential::ChipSpec spec;
-    spec.node_nm = chip.node_nm;
-    spec.area_mm2 =
-        budget.areaForTransistors(videoTransistors(chip), chip.node_nm);
-    spec.freq_ghz = chip.freq_mhz / 1e3;
+    spec.node_nm = units::Nanometers{chip.node_nm};
+    spec.area_mm2 = budget.areaForTransistors(
+        units::TransistorCount{videoTransistors(chip)}, spec.node_nm);
+    spec.freq_ghz =
+        units::unit_cast<units::Gigahertz>(units::Megahertz{chip.freq_mhz});
     spec.tdp_w = potential::kUncappedTdp;
 
     csr::ChipGain out;

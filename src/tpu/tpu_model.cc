@@ -111,8 +111,9 @@ TpuModel::runLayer(const nn::Layer &layer) const
     // --- Energy. ----------------------------------------------------
     double width = static_cast<double>(config_.operand_bits) / 8.0;
     double mac_pj = kMacEnergy8b28nmPj * width * width *
-                    scaling.dynamicEnergy(config_.node_nm) /
-                    scaling.dynamicEnergy(28.0);
+                    scaling.dynamicEnergy(units::Nanometers{
+                        config_.node_nm}) /
+                    scaling.dynamicEnergy(units::Nanometers{28.0});
     double act_bytes_local =
         cost.activations * config_.operand_bits / 8.0;
     double energy_pj = cost.macs * mac_pj +

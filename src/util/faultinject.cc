@@ -25,7 +25,8 @@ FaultPlan::global()
 Result<void>
 FaultPlan::configure(const std::string &spec)
 {
-    clear();
+    MutexLock lock(config_mu_);
+    clearLocked();
     std::size_t pos = 0;
     while (pos < spec.size()) {
         std::size_t end = spec.find(',', pos);
@@ -39,7 +40,7 @@ FaultPlan::configure(const std::string &spec)
         std::size_t colon = entry.find(':');
         if (colon == std::string::npos || colon == 0 ||
             colon + 1 >= entry.size()) {
-            clear();
+            clearLocked();
             return makeError(ErrorCode::Internal,
                              "fault spec entry '", entry,
                              "' is not site:period");
@@ -51,7 +52,7 @@ FaultPlan::configure(const std::string &spec)
             std::strtoull(period_str.c_str(), &parse_end, 10);
         if (parse_end == period_str.c_str() || *parse_end != '\0' ||
             period == 0) {
-            clear();
+            clearLocked();
             return makeError(ErrorCode::Internal, "fault spec '", entry,
                              "' wants a positive integer period");
         }
@@ -64,6 +65,13 @@ FaultPlan::configure(const std::string &spec)
 
 void
 FaultPlan::clear()
+{
+    MutexLock lock(config_mu_);
+    clearLocked();
+}
+
+void
+FaultPlan::clearLocked()
 {
     sites_.clear();
 }

@@ -38,6 +38,7 @@
 #include <string>
 
 #include "util/error.hh"
+#include "util/thread_annotations.hh"
 
 namespace accelwall::util
 {
@@ -46,9 +47,12 @@ namespace accelwall::util
 inline constexpr int kFaultKillExitCode = 3;
 
 /**
- * The process-wide fault plan. Configuration is not thread-safe and
- * must happen before the sites are exercised (tests reconfigure
- * between runs; workers only read).
+ * The process-wide fault plan. Configuration must happen before the
+ * sites are exercised (tests reconfigure between runs; workers only
+ * read). The mutations serialize under config_mu_; the check methods
+ * deliberately read without it — they run on every worker and the
+ * phase discipline above makes the lock-free read safe — and are
+ * marked NO_THREAD_SAFETY_ANALYSIS to record that exemption.
  */
 class FaultPlan
 {
@@ -61,25 +65,27 @@ class FaultPlan
      * empty disarms everything). On a malformed spec the plan is
      * cleared and the parse error returned.
      */
-    Result<void> configure(const std::string &spec);
+    Result<void> configure(const std::string &spec) EXCLUDES(config_mu_);
 
     /** Disarm all sites and reset counters. */
-    void clear();
+    void clear() EXCLUDES(config_mu_);
 
     /** True when @p site appears in the active plan. */
-    bool armed(const std::string &site) const;
+    bool armed(const std::string &site) const NO_THREAD_SAFETY_ANALYSIS;
 
     /**
      * Keyed check: true when @p site is armed with period n and
      * (key + 1) % n == 0. Deterministic under any thread schedule.
      */
-    bool shouldFail(const std::string &site, std::uint64_t key) const;
+    bool shouldFail(const std::string &site, std::uint64_t key) const
+        NO_THREAD_SAFETY_ANALYSIS;
 
     /**
      * Counted check: true on every period-th call for @p site
      * (1-based). Only meaningful at serialized call sites.
      */
-    bool shouldFailCounted(const std::string &site);
+    bool shouldFailCounted(const std::string &site)
+        NO_THREAD_SAFETY_ANALYSIS;
 
   private:
     FaultPlan() = default;
@@ -90,8 +96,12 @@ class FaultPlan
         std::atomic<std::uint64_t> calls{0};
     };
 
+    void clearLocked() REQUIRES(config_mu_);
+
+    Mutex config_mu_;
     // node-based map: Site addresses stay stable for the atomics.
-    std::map<std::string, std::unique_ptr<Site>> sites_;
+    std::map<std::string, std::unique_ptr<Site>> sites_
+        GUARDED_BY(config_mu_);
 };
 
 /** The canonical Error raised by a keyed injected fault. */

@@ -52,6 +52,16 @@ std::string padLeft(const std::string &s, std::size_t width);
  */
 std::string padRight(const std::string &s, std::size_t width);
 
+/**
+ * Escape @p s for use inside a JSON string literal: quotes and
+ * backslashes get backslash-escaped, the common control characters get
+ * their short forms (\n, \t, \r, \b, \f), and any other byte below
+ * 0x20 becomes a \u00XX escape. Diagnostic messages quote arbitrary
+ * user input (chip names, file paths), so this must never emit
+ * invalid JSON regardless of content.
+ */
+std::string jsonEscape(const std::string &s);
+
 } // namespace accelwall
 
 #endif // ACCELWALL_UTIL_FORMAT_HH

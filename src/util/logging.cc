@@ -2,7 +2,8 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hh"
 
 namespace accelwall
 {
@@ -17,7 +18,7 @@ namespace
  * chain failures during sweeps, and without this their messages
  * interleave mid-line.
  */
-std::mutex log_mu;
+util::Mutex log_mu;
 
 const char *
 prefix(LogLevel level)
@@ -31,6 +32,14 @@ prefix(LogLevel level)
     return "?: ";
 }
 
+/** Write one log line; REQUIRES makes a lockless call a Clang error. */
+void
+emitLine(std::ostream &os, LogLevel level, const std::string &msg)
+    REQUIRES(log_mu)
+{
+    os << prefix(level) << msg << '\n';
+}
+
 } // namespace
 
 void
@@ -38,16 +47,17 @@ log(LogLevel level, const std::string &msg)
 {
     std::ostream &os =
         (level == LogLevel::Inform) ? std::cout : std::cerr;
-    std::lock_guard<std::mutex> lock(log_mu);
-    os << prefix(level) << msg << '\n';
+    util::MutexLock lock(log_mu);
+    emitLine(os, level, msg);
 }
 
 void
 logAndDie(LogLevel level, const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(log_mu);
-        std::cerr << prefix(level) << msg << std::endl;
+        util::MutexLock lock(log_mu);
+        emitLine(std::cerr, level, msg);
+        std::cerr.flush();
     }
     if (level == LogLevel::Panic)
         std::abort();

@@ -67,10 +67,12 @@ ThreadPool::ThreadPool(int workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
     cv_.notify_all();
+    // Thread-safety analysis exempts destructors: no other thread can
+    // hold a reference here, so the unlocked join is safe.
     for (auto &t : threads_)
         t.join();
 }
@@ -79,7 +81,7 @@ void
 ThreadPool::post(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (stop_)
             panic("ThreadPool::post: pool is shutting down");
         queue_.push_back(std::move(task));
@@ -90,7 +92,7 @@ ThreadPool::post(std::function<void()> task)
 void
 ThreadPool::ensureWorkers(int n)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     while (static_cast<int>(threads_.size()) < n)
         threads_.emplace_back([this] { workerLoop(); });
 }
@@ -98,7 +100,7 @@ ThreadPool::ensureWorkers(int n)
 int
 ThreadPool::workers() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<int>(threads_.size());
 }
 
@@ -117,8 +119,10 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mu_);
+            cv_.wait(mu_, [this]() REQUIRES(mu_) {
+                return stop_ || !queue_.empty();
+            });
             if (stop_)
                 return;
             task = std::move(queue_.front());
@@ -144,9 +148,19 @@ runChunked(std::size_t n, int jobs,
     pool.ensureWorkers(static_cast<int>(chunks) - 1);
 
     std::vector<std::exception_ptr> errors(chunks);
-    std::size_t pending = chunks - 1; // guarded by done_mu
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+
+    // Completion latch shared between the caller and the pool workers;
+    // the annotated struct lets the analysis prove pending is only
+    // touched under its mutex.
+    struct Completion {
+        Mutex mu;
+        ConditionVariable cv;
+        std::size_t pending GUARDED_BY(mu) = 0;
+    } done;
+    {
+        MutexLock lock(done.mu);
+        done.pending = chunks - 1;
+    }
 
     auto run_chunk = [&](std::size_t c) {
         std::size_t begin = n * c / chunks;
@@ -163,16 +177,19 @@ runChunked(std::size_t n, int jobs,
     for (std::size_t c = 1; c < chunks; ++c) {
         pool.post([&, c] {
             run_chunk(c);
-            std::lock_guard<std::mutex> lock(done_mu);
-            if (--pending == 0)
-                done_cv.notify_one();
+            MutexLock lock(done.mu);
+            if (--done.pending == 0)
+                done.cv.notify_one();
         });
     }
     run_chunk(0);
 
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return pending == 0; });
-    lock.unlock();
+    {
+        MutexLock lock(done.mu);
+        done.cv.wait(done.mu, [&]() REQUIRES(done.mu) {
+            return done.pending == 0;
+        });
+    }
 
     for (auto &err : errors) {
         if (err)

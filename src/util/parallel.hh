@@ -23,14 +23,14 @@
 #ifndef ACCELWALL_UTIL_PARALLEL_HH
 #define ACCELWALL_UTIL_PARALLEL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace accelwall::util
 {
@@ -82,11 +82,11 @@ class ThreadPool
   private:
     void workerLoop();
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> threads_;
-    bool stop_ = false;
+    mutable Mutex mu_;
+    ConditionVariable cv_;
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+    std::vector<std::thread> threads_ GUARDED_BY(mu_);
+    bool stop_ GUARDED_BY(mu_) = false;
 };
 
 namespace detail

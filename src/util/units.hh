@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Zero-overhead dimensional-analysis types for the model layer.
+ *
+ * Every headline number in the paper is a product of physical
+ * quantities — node (nm), die area (mm²), frequency (MHz/GHz), TDP (W),
+ * per-op energy (J), transistor counts — flowing from the scaling
+ * tables (Fig. 3) through the transistor-budget fits into CSR
+ * (Eq. 1-4). A silent unit mixup (area where a node is expected, watts
+ * where joules are expected) corrupts the whole reproduction without
+ * any runtime symptom. This header makes those mixups *compile errors*.
+ *
+ * A Quantity<Dim, Scale> is a double tagged with
+ *
+ *  - a dimension vector Dim<length, time, energy, count, voltage> of
+ *    integer exponents, and
+ *  - a std::ratio Scale relative to the coherent base units
+ *    (metre, second, joule, transistor, volt),
+ *
+ * so Nanometers and SquareMillimeters differ in dimension, while
+ * Megahertz and Gigahertz share a dimension but differ in scale.
+ * Multiplication and division combine both; addition, subtraction and
+ * comparison require the exact same unit (same dimension AND scale) —
+ * converting between scales is explicit via unit_cast. The quotient of
+ * two identical units collapses to a plain double (a true ratio, the
+ * form Eq. 2 consumes); any other dimensionless-but-scaled quotient
+ * (e.g. the density factor D = mm²/nm² of Fig. 3b) stays typed so its
+ * implied 1e12 scale cannot leak silently into untyped arithmetic.
+ *
+ * Escape-hatch policy (see DESIGN.md §7): power-law fits such as
+ * TC(D) = 4.99e9 * D^0.877 are dimensionally non-algebraic, so the
+ * regression layer operates on .raw() values; every .raw() call marks
+ * a deliberate exit from the checked domain and should appear only at
+ * fit/IO boundaries.
+ *
+ * Everything here is constexpr and compiles to bare double arithmetic:
+ * sizeof(Quantity) == sizeof(double) and no operation does more work
+ * than its unchecked equivalent.
+ */
+
+#ifndef ACCELWALL_UTIL_UNITS_HH
+#define ACCELWALL_UTIL_UNITS_HH
+
+#include <ostream>
+#include <ratio>
+#include <type_traits>
+
+namespace accelwall::units
+{
+
+/**
+ * Integer exponents over the base axes: length [m], time [s],
+ * energy [J], count [transistors], voltage [V].
+ */
+template <int Len, int Time, int Energy, int Count, int Volt>
+struct Dim
+{
+    static constexpr int len = Len;
+    static constexpr int time = Time;
+    static constexpr int energy = Energy;
+    static constexpr int count = Count;
+    static constexpr int volt = Volt;
+};
+
+using DimNone = Dim<0, 0, 0, 0, 0>;
+
+namespace detail
+{
+
+template <typename A, typename B>
+struct DimMul;
+template <int... A, int... B>
+struct DimMul<Dim<A...>, Dim<B...>>
+{
+    using type = Dim<(A + B)...>;
+};
+
+template <typename A, typename B>
+struct DimDiv;
+template <int... A, int... B>
+struct DimDiv<Dim<A...>, Dim<B...>>
+{
+    using type = Dim<(A - B)...>;
+};
+
+template <typename D>
+inline constexpr bool is_dimensionless = std::is_same_v<D, DimNone>;
+
+template <typename S>
+inline constexpr bool is_unit_scale = (S::num == 1 && S::den == 1);
+
+/** The scale ratio as a double (exact for every unit used here). */
+template <typename S>
+inline constexpr double scale_value =
+    static_cast<double>(S::num) / static_cast<double>(S::den);
+
+} // namespace detail
+
+/**
+ * A double carrying its unit in the type. Construction from a raw
+ * double is explicit; exit back to raw doubles is explicit via raw().
+ */
+template <typename D, typename S = std::ratio<1>>
+class Quantity
+{
+  public:
+    using dim = D;
+    using scale = typename S::type;
+
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** The deliberate escape hatch: the unitless stored magnitude. */
+    constexpr double raw() const { return value_; }
+
+    constexpr Quantity operator-() const { return Quantity{-value_}; }
+
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double k)
+    {
+        value_ *= k;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double k)
+    {
+        value_ /= k;
+        return *this;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+// Same-unit arithmetic and ordering. Same dimension at a different
+// scale (Megahertz vs Gigahertz) does NOT match these overloads; use
+// unit_cast first. The constraints are expressed as requires-clauses
+// so misuse is SFINAE-visible to the negative-compile test probes.
+
+template <typename D, typename S>
+constexpr Quantity<D, S>
+operator+(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return Quantity<D, S>{a.raw() + b.raw()};
+}
+
+template <typename D, typename S>
+constexpr Quantity<D, S>
+operator-(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return Quantity<D, S>{a.raw() - b.raw()};
+}
+
+template <typename D, typename S>
+constexpr bool
+operator==(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return a.raw() == b.raw();
+}
+
+template <typename D, typename S>
+constexpr bool
+operator!=(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return a.raw() != b.raw();
+}
+
+template <typename D, typename S>
+constexpr bool
+operator<(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return a.raw() < b.raw();
+}
+
+template <typename D, typename S>
+constexpr bool
+operator<=(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return a.raw() <= b.raw();
+}
+
+template <typename D, typename S>
+constexpr bool
+operator>(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return a.raw() > b.raw();
+}
+
+template <typename D, typename S>
+constexpr bool
+operator>=(Quantity<D, S> a, Quantity<D, S> b)
+{
+    return a.raw() >= b.raw();
+}
+
+// Scalar scaling keeps the unit.
+
+template <typename D, typename S>
+constexpr Quantity<D, S>
+operator*(Quantity<D, S> q, double k)
+{
+    return Quantity<D, S>{q.raw() * k};
+}
+
+template <typename D, typename S>
+constexpr Quantity<D, S>
+operator*(double k, Quantity<D, S> q)
+{
+    return Quantity<D, S>{k * q.raw()};
+}
+
+template <typename D, typename S>
+constexpr Quantity<D, S>
+operator/(Quantity<D, S> q, double k)
+{
+    return Quantity<D, S>{q.raw() / k};
+}
+
+namespace detail
+{
+
+/**
+ * Build the product/quotient result: dimension exponents add, scales
+ * multiply. A result that is fully dimensionless at unit scale — W/W,
+ * a true ratio — collapses to plain double; a dimensionless result
+ * with a residual scale (mm²/nm² = 1e12) stays a typed Quantity so the
+ * scale cannot vanish into untyped arithmetic unnoticed.
+ */
+template <typename DR, typename SR>
+constexpr auto
+makeResult(double value)
+{
+    if constexpr (is_dimensionless<DR> && is_unit_scale<typename SR::type>)
+        return value;
+    else
+        return Quantity<DR, typename SR::type>{value};
+}
+
+} // namespace detail
+
+template <typename D1, typename S1, typename D2, typename S2>
+constexpr auto
+operator*(Quantity<D1, S1> a, Quantity<D2, S2> b)
+{
+    using DR = typename detail::DimMul<D1, D2>::type;
+    using SR = std::ratio_multiply<S1, S2>;
+    return detail::makeResult<DR, SR>(a.raw() * b.raw());
+}
+
+template <typename D1, typename S1, typename D2, typename S2>
+constexpr auto
+operator/(Quantity<D1, S1> a, Quantity<D2, S2> b)
+{
+    using DR = typename detail::DimDiv<D1, D2>::type;
+    using SR = std::ratio_divide<S1, S2>;
+    return detail::makeResult<DR, SR>(a.raw() / b.raw());
+}
+
+template <typename D, typename S>
+constexpr auto
+operator/(double k, Quantity<D, S> q)
+{
+    using DR = typename detail::DimDiv<DimNone, D>::type;
+    using SR = std::ratio_divide<std::ratio<1>, S>;
+    return detail::makeResult<DR, SR>(k / q.raw());
+}
+
+/**
+ * Explicit same-dimension rescale, e.g.
+ * unit_cast<Gigahertz>(Megahertz{2400}) == Gigahertz{2.4}.
+ */
+template <typename To, typename D, typename S>
+constexpr To
+unit_cast(Quantity<D, S> q)
+{
+    static_assert(std::is_same_v<typename To::dim, D>,
+                  "unit_cast cannot change dimensions, only scale");
+    constexpr double factor = detail::scale_value<typename S::type> /
+                              detail::scale_value<typename To::scale>;
+    return To{q.raw() * factor};
+}
+
+/** Streams the raw magnitude (column headers carry the units). */
+template <typename D, typename S>
+std::ostream &
+operator<<(std::ostream &os, Quantity<D, S> q)
+{
+    return os << q.raw();
+}
+
+// ---------------------------------------------------------------------
+// The named units of the accelerator-wall model.
+// ---------------------------------------------------------------------
+
+using DimLength = Dim<1, 0, 0, 0, 0>;
+using DimArea = Dim<2, 0, 0, 0, 0>;
+using DimFrequency = Dim<0, -1, 0, 0, 0>;
+using DimEnergy = Dim<0, 0, 1, 0, 0>;
+using DimPower = Dim<0, -1, 1, 0, 0>;
+using DimCount = Dim<0, 0, 0, 1, 0>;
+using DimVoltage = Dim<0, 0, 0, 0, 1>;
+
+/** CMOS feature size, e.g. the 45 of "45nm". */
+using Nanometers = Quantity<DimLength, std::ratio<1, 1000000000>>;
+/** Die edge lengths (rarely used directly; areas dominate). */
+using Millimeters = Quantity<DimLength, std::ratio<1, 1000>>;
+/** Die area, the mm² of datasheets and Table V. */
+using SquareMillimeters = Quantity<DimArea, std::ratio<1, 1000000>>;
+/** node² — the denominator of the Fig. 3b density factor. */
+using SquareNanometers =
+    Quantity<DimArea, std::ratio<1, 1000000000000000000>>;
+/** Datasheet clock (chipdb records store MHz). */
+using Megahertz = Quantity<DimFrequency, std::ratio<1000000, 1>>;
+/** Model clock (ChipSpec and the budget laws use GHz). */
+using Gigahertz = Quantity<DimFrequency, std::ratio<1000000000, 1>>;
+/** Thermal design power and modeled dissipation. */
+using Watts = Quantity<DimPower>;
+/** Absolute energy; 1 W / 1 GHz = 1 nJ per cycle. */
+using Joules = Quantity<DimEnergy>;
+using Nanojoules = Quantity<DimEnergy, std::ratio<1, 1000000000>>;
+/** Transistor counts (double: fit outputs are fractional). */
+using TransistorCount = Quantity<DimCount>;
+/** Supply voltage. */
+using Volts = Quantity<DimVoltage>;
+
+/** The Fig. 3b density factor D = area/node² in mm²/nm² (scale 1e12). */
+using DensityFactor =
+    decltype(SquareMillimeters{} / (Nanometers{} * Nanometers{}));
+/** The potential model's throughput unit (Section III). */
+using TransistorGigahertz = decltype(TransistorCount{} * Gigahertz{});
+/** Per-transistor leakage calibration (model.hh). */
+using WattsPerTransistor = decltype(Watts{} / TransistorCount{});
+/** Per-transistor-GHz switching calibration: nJ per transistor. */
+using WattsPerTransistorGigahertz =
+    decltype(Watts{} / TransistorGigahertz{});
+/** The potential model's efficiency unit (throughput per watt). */
+using TransistorGigahertzPerWatt =
+    decltype(TransistorGigahertz{} / Watts{});
+/** Area-normalized throughput (Section VI's per-mm² metrics). */
+using TransistorGigahertzPerSquareMillimeter =
+    decltype(TransistorGigahertz{} / SquareMillimeters{});
+
+static_assert(sizeof(Nanometers) == sizeof(double),
+              "Quantity must stay a bare double");
+static_assert(std::is_same_v<decltype(Watts{} / Gigahertz{}), Nanojoules>,
+              "1 W at 1 GHz must be 1 nJ per cycle");
+
+/** Unit literals: `using namespace accelwall::units::literals;`. */
+namespace literals
+{
+
+constexpr Nanometers operator""_nm(long double v)
+{
+    return Nanometers{static_cast<double>(v)};
+}
+constexpr Nanometers operator""_nm(unsigned long long v)
+{
+    return Nanometers{static_cast<double>(v)};
+}
+constexpr SquareMillimeters operator""_mm2(long double v)
+{
+    return SquareMillimeters{static_cast<double>(v)};
+}
+constexpr SquareMillimeters operator""_mm2(unsigned long long v)
+{
+    return SquareMillimeters{static_cast<double>(v)};
+}
+constexpr Megahertz operator""_mhz(long double v)
+{
+    return Megahertz{static_cast<double>(v)};
+}
+constexpr Megahertz operator""_mhz(unsigned long long v)
+{
+    return Megahertz{static_cast<double>(v)};
+}
+constexpr Gigahertz operator""_ghz(long double v)
+{
+    return Gigahertz{static_cast<double>(v)};
+}
+constexpr Gigahertz operator""_ghz(unsigned long long v)
+{
+    return Gigahertz{static_cast<double>(v)};
+}
+constexpr Watts operator""_w(long double v)
+{
+    return Watts{static_cast<double>(v)};
+}
+constexpr Watts operator""_w(unsigned long long v)
+{
+    return Watts{static_cast<double>(v)};
+}
+constexpr Joules operator""_j(long double v)
+{
+    return Joules{static_cast<double>(v)};
+}
+constexpr TransistorCount operator""_tx(long double v)
+{
+    return TransistorCount{static_cast<double>(v)};
+}
+constexpr TransistorCount operator""_tx(unsigned long long v)
+{
+    return TransistorCount{static_cast<double>(v)};
+}
+constexpr Volts operator""_v(long double v)
+{
+    return Volts{static_cast<double>(v)};
+}
+
+} // namespace literals
+
+} // namespace accelwall::units
+
+#endif // ACCELWALL_UTIL_UNITS_HH

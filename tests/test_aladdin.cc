@@ -428,16 +428,19 @@ TEST(Potential2, OptimalFrequencyInterior)
     // Under a tight envelope the optimum clock is below the maximum
     // sweep frequency (extra clock only darkens silicon); uncapped,
     // the fastest clock wins.
+    using namespace units::literals;
     potential::PotentialModel m;
-    double tight = m.optimalFrequency(7.0, 600.0, 80.0);
-    double open = m.optimalFrequency(7.0, 600.0, 1e9);
-    EXPECT_LT(tight, 2.0);
-    EXPECT_GT(open, 4.5);
+    units::Gigahertz tight =
+        m.optimalFrequency(7.0_nm, 600.0_mm2, 80.0_w);
+    units::Gigahertz open =
+        m.optimalFrequency(7.0_nm, 600.0_mm2, units::Watts{1e9});
+    EXPECT_LT(tight, 2.0_ghz);
+    EXPECT_GT(open, 4.5_ghz);
 
     // The optimum beats its neighbors.
-    auto thr = [&](double f) {
+    auto thr = [&](units::Gigahertz f) {
         return m.throughput(
-            potential::ChipSpec{7.0, 600.0, f, 80.0});
+            potential::ChipSpec{7.0_nm, 600.0_mm2, f, 80.0_w}).raw();
     };
     EXPECT_GE(thr(tight), thr(tight * 1.3) * 0.999);
     EXPECT_GE(thr(tight), thr(tight / 1.3) * 0.999);

@@ -18,21 +18,31 @@ namespace accelwall::chipdb
 namespace
 {
 
+using namespace units::literals;
+using units::Gigahertz;
+using units::Nanometers;
+using units::SquareMillimeters;
+using units::TransistorCount;
+using units::Watts;
+
 TEST(Budget, DensityFactorMatchesPaperExamples)
 {
     // 800mm² at 5nm -> D = 32 (the Fig. 3b "large 5nm chips, D <= 30"
     // region); 25mm² at 45nm -> D ~ 0.0123.
-    EXPECT_DOUBLE_EQ(BudgetModel::densityFactor(800.0, 5.0), 32.0);
-    EXPECT_NEAR(BudgetModel::densityFactor(25.0, 45.0), 0.012346, 1e-5);
+    EXPECT_DOUBLE_EQ(BudgetModel::densityFactor(800.0_mm2, 5.0_nm).raw(),
+                     32.0);
+    EXPECT_NEAR(BudgetModel::densityFactor(25.0_mm2, 45.0_nm).raw(),
+                0.012346, 1e-5);
 }
 
 TEST(Budget, AreaLawAnchor)
 {
     BudgetModel m;
     // TC(D=1) = 4.99e9 by construction.
-    EXPECT_NEAR(m.areaTransistors(25.0, 5.0) / 4.99e9, 1.0, 1e-12);
+    EXPECT_NEAR(m.areaTransistors(25.0_mm2, 5.0_nm).raw() / 4.99e9, 1.0,
+                1e-12);
     // Large 5nm chips approach 1e11 transistors (paper text).
-    double large = m.areaTransistors(800.0, 5.0);
+    double large = m.areaTransistors(800.0_mm2, 5.0_nm).raw();
     EXPECT_GT(large, 8e10);
     EXPECT_LT(large, 1.5e11);
 }
@@ -41,8 +51,8 @@ TEST(Budget, AreaLawSubLinear)
 {
     BudgetModel m;
     // Doubling area must less-than-double transistors (utilization).
-    double one = m.areaTransistors(100.0, 16.0);
-    double two = m.areaTransistors(200.0, 16.0);
+    double one = m.areaTransistors(100.0_mm2, 16.0_nm).raw();
+    double two = m.areaTransistors(200.0_mm2, 16.0_nm).raw();
     EXPECT_GT(two, one);
     EXPECT_LT(two, 2.0 * one);
 }
@@ -51,44 +61,51 @@ TEST(Budget, AreaInversionRoundTrips)
 {
     BudgetModel m;
     for (double area : {10.0, 50.0, 300.0, 800.0}) {
-        double tc = m.areaTransistors(area, 14.0);
-        EXPECT_NEAR(m.areaForTransistors(tc, 14.0), area, 1e-6 * area);
+        TransistorCount tc =
+            m.areaTransistors(SquareMillimeters{area}, 14.0_nm);
+        EXPECT_NEAR(m.areaForTransistors(tc, 14.0_nm).raw(), area,
+                    1e-6 * area);
     }
 }
 
 TEST(Budget, GroupLookup)
 {
     BudgetModel m;
-    EXPECT_EQ(m.groupFor(5.0).label, "10nm-5nm");
-    EXPECT_EQ(m.groupFor(7.0).label, "10nm-5nm");
-    EXPECT_EQ(m.groupFor(16.0).label, "22nm-12nm");
-    EXPECT_EQ(m.groupFor(28.0).label, "32nm-28nm");
-    EXPECT_EQ(m.groupFor(45.0).label, "55nm-40nm");
-    EXPECT_EQ(m.groupFor(90.0).label, "250nm-65nm (extrapolated)");
+    EXPECT_EQ(m.groupFor(5.0_nm).label, "10nm-5nm");
+    EXPECT_EQ(m.groupFor(7.0_nm).label, "10nm-5nm");
+    EXPECT_EQ(m.groupFor(16.0_nm).label, "22nm-12nm");
+    EXPECT_EQ(m.groupFor(28.0_nm).label, "32nm-28nm");
+    EXPECT_EQ(m.groupFor(45.0_nm).label, "55nm-40nm");
+    EXPECT_EQ(m.groupFor(90.0_nm).label, "250nm-65nm (extrapolated)");
     // Gap nodes resolve to the nearest group in log space.
-    EXPECT_EQ(m.groupFor(25.0).label, "32nm-28nm");
+    EXPECT_EQ(m.groupFor(25.0_nm).label, "32nm-28nm");
 }
 
 TEST(Budget, TdpLawMatchesPaperFigure3c)
 {
     BudgetModel m;
     // Fig. 3d anchor: at 800W and 5nm, 2.15 * 800^0.402 ~ 31.6 B*GHz.
-    double tghz = m.tdpTransistorGhz(800.0, 5.0);
+    double tghz = m.tdpTransistorGhz(800.0_w, 5.0_nm).raw();
     EXPECT_NEAR(tghz / 1e9, 31.6, 0.5);
     // At 1 GHz the whole product is transistors.
-    EXPECT_NEAR(m.tdpTransistors(800.0, 5.0, 1.0), tghz, 1e-3);
+    EXPECT_NEAR(m.tdpTransistors(800.0_w, 5.0_nm, 1.0_ghz).raw(), tghz,
+                1e-3);
     // At 2 GHz only half switch.
-    EXPECT_NEAR(m.tdpTransistors(800.0, 5.0, 2.0), tghz / 2.0, 1e-3);
+    EXPECT_NEAR(m.tdpTransistors(800.0_w, 5.0_nm, 2.0_ghz).raw(),
+                tghz / 2.0, 1e-3);
 }
 
 TEST(Budget, NewerGroupsYieldMoreAtSameTdp)
 {
     BudgetModel m;
-    double w = 150.0;
-    EXPECT_GT(m.tdpTransistorGhz(w, 7.0), m.tdpTransistorGhz(w, 16.0));
-    EXPECT_GT(m.tdpTransistorGhz(w, 16.0), m.tdpTransistorGhz(w, 28.0));
-    EXPECT_GT(m.tdpTransistorGhz(w, 28.0), m.tdpTransistorGhz(w, 45.0));
-    EXPECT_GT(m.tdpTransistorGhz(w, 45.0), m.tdpTransistorGhz(w, 90.0));
+    Watts w{150.0};
+    EXPECT_GT(m.tdpTransistorGhz(w, 7.0_nm), m.tdpTransistorGhz(w, 16.0_nm));
+    EXPECT_GT(m.tdpTransistorGhz(w, 16.0_nm),
+              m.tdpTransistorGhz(w, 28.0_nm));
+    EXPECT_GT(m.tdpTransistorGhz(w, 28.0_nm),
+              m.tdpTransistorGhz(w, 45.0_nm));
+    EXPECT_GT(m.tdpTransistorGhz(w, 45.0_nm),
+              m.tdpTransistorGhz(w, 90.0_nm));
 }
 
 TEST(Budget, PlatformNames)
@@ -181,7 +198,8 @@ TEST_P(SynthTdpFit, RecoversGroupLaw)
 {
     const TdpCase &c = GetParam();
     auto corpus = makeSynthCorpus();
-    auto fit = fitTdpModel(corpus, c.min_node, c.max_node);
+    auto fit = fitTdpModel(corpus, Nanometers{c.min_node},
+                           Nanometers{c.max_node});
     EXPECT_NEAR(fit.exponent, c.exponent, 0.08);
     EXPECT_NEAR(std::log10(fit.coeff), std::log10(c.coeff), 0.18);
 }
@@ -237,8 +255,8 @@ TEST(Reference, AreaLawPredictsRealChips)
 {
     BudgetModel m;
     for (const auto &chip : referenceChips()) {
-        double predicted = m.areaTransistors(chip.area_mm2,
-                                             chip.node_nm);
+        double predicted =
+            m.areaTransistors(chip.area(), chip.node()).raw();
         double ratio = predicted / chip.transistors;
         EXPECT_GT(ratio, 0.4) << chip.name;
         EXPECT_LT(ratio, 2.5) << chip.name;
@@ -253,9 +271,9 @@ TEST(Reference, GeomeanPredictionNearUnity)
     double log_sum = 0.0;
     int n = 0;
     for (const auto &chip : referenceChips()) {
-        log_sum += std::log(m.areaTransistors(chip.area_mm2,
-                                              chip.node_nm) /
-                            chip.transistors);
+        log_sum += std::log(
+            m.areaTransistors(chip.area(), chip.node()).raw() /
+            chip.transistors);
         ++n;
     }
     double geo = std::exp(log_sum / n);
@@ -277,7 +295,7 @@ TEST(Reference, DatasetSane)
 TEST(Synth, FitTdpModelEmptyRangeDies)
 {
     auto corpus = makeSynthCorpus();
-    EXPECT_EXIT(fitTdpModel(corpus, 1.0, 2.0),
+    EXPECT_EXIT(fitTdpModel(corpus, 1.0_nm, 2.0_nm),
                 ::testing::ExitedWithCode(1), "fewer than two records");
 }
 

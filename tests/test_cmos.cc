@@ -12,15 +12,18 @@ namespace accelwall::cmos
 namespace
 {
 
+using units::Nanometers;
+using namespace units::literals;
+
 const ScalingTable &table = ScalingTable::instance();
 
 TEST(Scaling, BaselineIsUnity)
 {
-    EXPECT_DOUBLE_EQ(table.frequencyGain(45.0), 1.0);
-    EXPECT_DOUBLE_EQ(table.dynamicEnergy(45.0), 1.0);
-    EXPECT_DOUBLE_EQ(table.leakagePower(45.0), 1.0);
-    EXPECT_DOUBLE_EQ(table.vddRel(45.0), 1.0);
-    EXPECT_DOUBLE_EQ(table.densityGain(45.0), 1.0);
+    EXPECT_DOUBLE_EQ(table.frequencyGain(45.0_nm), 1.0);
+    EXPECT_DOUBLE_EQ(table.dynamicEnergy(45.0_nm), 1.0);
+    EXPECT_DOUBLE_EQ(table.leakagePower(45.0_nm), 1.0);
+    EXPECT_DOUBLE_EQ(table.vddRel(45.0_nm), 1.0);
+    EXPECT_DOUBLE_EQ(table.densityGain(45.0_nm), 1.0);
 }
 
 TEST(Scaling, HasPaperNodes)
@@ -29,21 +32,21 @@ TEST(Scaling, HasPaperNodes)
     for (double node : {250.0, 180.0, 130.0, 110.0, 90.0, 65.0, 55.0,
                         45.0, 40.0, 32.0, 28.0, 22.0, 20.0, 16.0, 14.0,
                         12.0, 10.0, 7.0, 5.0}) {
-        EXPECT_TRUE(table.has(node)) << node << "nm missing";
+        EXPECT_TRUE(table.has(Nanometers{node})) << node << "nm missing";
     }
 }
 
 TEST(Scaling, UnknownNodeDies)
 {
-    EXPECT_EXIT(table.at(6.0), ::testing::ExitedWithCode(1),
+    EXPECT_EXIT(table.at(6.0_nm), ::testing::ExitedWithCode(1),
                 "not tabulated");
 }
 
 TEST(Scaling, NearestResolvesGeometrically)
 {
-    EXPECT_DOUBLE_EQ(table.nearest(6.9).node_nm, 7.0);
-    EXPECT_DOUBLE_EQ(table.nearest(200.0).node_nm, 180.0);
-    EXPECT_DOUBLE_EQ(table.nearest(3.0).node_nm, 5.0);
+    EXPECT_DOUBLE_EQ(table.nearest(6.9_nm).node_nm.raw(), 7.0);
+    EXPECT_DOUBLE_EQ(table.nearest(200.0_nm).node_nm.raw(), 180.0);
+    EXPECT_DOUBLE_EQ(table.nearest(3.0_nm).node_nm.raw(), 5.0);
 }
 
 TEST(Scaling, NodesSortedOldestFirst)
@@ -51,7 +54,7 @@ TEST(Scaling, NodesSortedOldestFirst)
     auto nodes = table.nodes();
     ASSERT_GE(nodes.size(), 2u);
     for (std::size_t i = 1; i < nodes.size(); ++i)
-        EXPECT_GT(nodes[i - 1], nodes[i]);
+        EXPECT_GT(nodes[i - 1].raw(), nodes[i].raw());
 }
 
 /**
@@ -67,7 +70,7 @@ TEST_P(ScalingMonotone, SuccessiveNodesImprove)
     auto nodes = table.nodes();
     std::size_t i = static_cast<std::size_t>(GetParam());
     ASSERT_LT(i + 1, nodes.size());
-    double old_node = nodes[i], new_node = nodes[i + 1];
+    Nanometers old_node = nodes[i], new_node = nodes[i + 1];
 
     // Newer nodes: faster, denser, lower switching energy, lower
     // per-device leakage, lower (or equal) supply voltage.
@@ -87,25 +90,27 @@ TEST(Scaling, FiveNmMatchesPaperBallpark)
 {
     // Paper Fig. 3a: 5nm dynamic energy roughly 20x below 45nm, VDD 0.6V
     // per IRDS, frequency gain between 2x and 3.5x.
-    EXPECT_NEAR(table.dynamicEnergy(5.0), 0.05, 0.02);
-    EXPECT_NEAR(table.at(5.0).vdd, 0.60, 1e-9);
-    double f = table.frequencyGain(5.0);
+    EXPECT_NEAR(table.dynamicEnergy(5.0_nm), 0.05, 0.02);
+    EXPECT_NEAR(table.at(5.0_nm).vdd.raw(), 0.60, 1e-9);
+    double f = table.frequencyGain(5.0_nm);
     EXPECT_GT(f, 2.0);
     EXPECT_LT(f, 3.5);
 }
 
 TEST(Scaling, DensityGainIsQuadratic)
 {
-    EXPECT_NEAR(table.densityGain(5.0), 81.0, 1e-9);
-    EXPECT_NEAR(table.densityGain(90.0), 0.25, 1e-9);
+    EXPECT_NEAR(table.densityGain(5.0_nm), 81.0, 1e-9);
+    EXPECT_NEAR(table.densityGain(90.0_nm), 0.25, 1e-9);
 }
 
 TEST(Scaling, LeakagePerAreaRisesWithScaling)
 {
     // Per-transistor leakage falls slower than density rises: the
     // dark-silicon premise. Check the 45nm -> 5nm endpoint.
-    double per_area_45 = table.leakagePower(45.0) * table.densityGain(45.0);
-    double per_area_5 = table.leakagePower(5.0) * table.densityGain(5.0);
+    double per_area_45 =
+        table.leakagePower(45.0_nm) * table.densityGain(45.0_nm);
+    double per_area_5 =
+        table.leakagePower(5.0_nm) * table.densityGain(5.0_nm);
     EXPECT_GT(per_area_5, per_area_45);
 }
 

@@ -19,13 +19,23 @@ namespace
 using potential::ChipSpec;
 using potential::kUncappedTdp;
 using potential::PotentialModel;
+using units::Gigahertz;
+using units::Nanometers;
+using units::SquareMillimeters;
+
+/** Dimension a spec from plain magnitudes. */
+ChipSpec
+makeSpec(double node, double area, double freq_ghz)
+{
+    return ChipSpec{Nanometers{node}, SquareMillimeters{area},
+                    Gigahertz{freq_ghz}, kUncappedTdp};
+}
 
 ChipGain
 chip(const std::string &name, double node, double area, double freq_ghz,
      double gain, double year = 2010.0)
 {
-    return ChipGain{name, ChipSpec{node, area, freq_ghz, kUncappedTdp},
-                    gain, year};
+    return ChipGain{name, makeSpec(node, area, freq_ghz), gain, year};
 }
 
 TEST(Csr, BaselineRowIsAllOnes)
@@ -57,8 +67,8 @@ TEST(Csr, PurePhysicalScalingHasUnitCsr)
     // A chip whose reported gain exactly tracks its physical potential
     // must have CSR == 1: all gain is CMOS-driven.
     PotentialModel m;
-    ChipSpec a{45.0, 25.0, 1.0, kUncappedTdp};
-    ChipSpec b{16.0, 100.0, 1.4, kUncappedTdp};
+    ChipSpec a = makeSpec(45.0, 25.0, 1.0);
+    ChipSpec b = makeSpec(16.0, 100.0, 1.4);
     double phy_ratio = m.throughput(b) / m.throughput(a);
 
     auto series = csrSeries(
@@ -72,7 +82,7 @@ TEST(Csr, SpecializationShowsUpAsCsr)
 {
     // Same physical chip, 3x the reported gain -> CSR == 3.
     PotentialModel m;
-    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    ChipSpec spec = makeSpec(28.0, 100.0, 1.0);
     auto series =
         csrSeries({ChipGain{"v1", spec, 10.0, 2014},
                    ChipGain{"v2", spec, 30.0, 2016}},

@@ -60,27 +60,30 @@ TEST(Integration, LinearLineageProjectsExactly)
     potential::PotentialModel model;
     const double k = 3.0;
 
+    using namespace units::literals;
     std::vector<csr::ChipGain> lineage;
     std::vector<double> nodes = {45.0, 28.0, 16.0, 10.0, 7.0};
     for (double node : nodes) {
-        potential::ChipSpec spec{node, 150.0, 1.0,
-                                 potential::kUncappedTdp};
+        potential::ChipSpec spec{units::Nanometers{node}, 150.0_mm2,
+                                 1.0_ghz, potential::kUncappedTdp};
         lineage.push_back(
             {"n" + std::to_string(static_cast<int>(node)), spec,
-             k * model.throughput(spec), 2010.0});
+             k * model.throughput(spec).raw(), 2010.0});
     }
 
-    double base = model.throughput(lineage.front().spec);
+    units::TransistorGigahertz base =
+        model.throughput(lineage.front().spec);
     std::vector<stats::Point2> points;
     for (const auto &chip : lineage)
         points.push_back(
             {model.throughput(chip.spec) / base, chip.gain});
 
-    potential::ChipSpec wall{5.0, 150.0, 1.0, potential::kUncappedTdp};
+    potential::ChipSpec wall{5.0_nm, 150.0_mm2, 1.0_ghz,
+                             potential::kUncappedTdp};
     double phy_limit = model.throughput(wall) / base;
     auto proj = projection::projectFrontier(points, phy_limit);
 
-    EXPECT_NEAR(proj.linear_limit, k * model.throughput(wall),
+    EXPECT_NEAR(proj.linear_limit, k * model.throughput(wall).raw(),
                 1e-6 * proj.linear_limit);
     EXPECT_GT(proj.linear.r2, 0.999999);
 }

@@ -14,11 +14,25 @@ namespace accelwall::potential
 namespace
 {
 
+using namespace units::literals;
+using units::Gigahertz;
+using units::Nanometers;
+using units::SquareMillimeters;
+using units::Watts;
+
+/** Shorthand for building dimensioned specs from plain magnitudes. */
+ChipSpec
+spec(double node_nm, double area_mm2, double freq_ghz, Watts tdp)
+{
+    return ChipSpec{Nanometers{node_nm}, SquareMillimeters{area_mm2},
+                    Gigahertz{freq_ghz}, tdp};
+}
+
 /** The paper's Fig. 3d normalization chip: 25mm², 45nm, 1GHz. */
 ChipSpec
 baseline()
 {
-    return ChipSpec{45.0, 25.0, 1.0, kUncappedTdp};
+    return spec(45.0, 25.0, 1.0, kUncappedTdp);
 }
 
 TEST(Potential, SelfGainIsUnity)
@@ -34,7 +48,7 @@ TEST(Potential, Figure3dUncappedAnchor)
 {
     // 800mm² 5nm at 1GHz, unconstrained: ~1000x the baseline.
     PotentialModel m;
-    ChipSpec big{5.0, 800.0, 1.0, kUncappedTdp};
+    ChipSpec big = spec(5.0, 800.0, 1.0, kUncappedTdp);
     double gain = m.throughputGain(big, baseline());
     EXPECT_GT(gain, 900.0);
     EXPECT_LT(gain, 1100.0);
@@ -44,8 +58,8 @@ TEST(Potential, Figure3dTdpCapAnchor)
 {
     // Same chip under an 800W envelope: drops by ~70% to ~300x.
     PotentialModel m;
-    ChipSpec capped{5.0, 800.0, 1.0, 800.0};
-    ChipSpec uncapped{5.0, 800.0, 1.0, kUncappedTdp};
+    ChipSpec capped = spec(5.0, 800.0, 1.0, 800.0_w);
+    ChipSpec uncapped = spec(5.0, 800.0, 1.0, kUncappedTdp);
     double gain = m.throughputGain(capped, baseline());
     EXPECT_GT(gain, 250.0);
     EXPECT_LT(gain, 350.0);
@@ -57,23 +71,23 @@ TEST(Potential, Figure3dTdpCapAnchor)
 TEST(Potential, ActiveTransistorsIsMinOfBudgets)
 {
     PotentialModel m;
-    ChipSpec spec{5.0, 800.0, 1.0, 800.0};
-    EXPECT_DOUBLE_EQ(m.activeTransistors(spec),
-                     std::min(m.areaTransistors(spec),
-                              m.tdpTransistors(spec)));
-    EXPECT_LT(m.tdpTransistors(spec), m.areaTransistors(spec));
+    ChipSpec s = spec(5.0, 800.0, 1.0, 800.0_w);
+    EXPECT_DOUBLE_EQ(m.activeTransistors(s).raw(),
+                     std::min(m.areaTransistors(s),
+                              m.tdpTransistors(s)).raw());
+    EXPECT_LT(m.tdpTransistors(s), m.areaTransistors(s));
 }
 
 TEST(Potential, PowerCappedAtTdp)
 {
     PotentialModel m;
-    ChipSpec spec{5.0, 800.0, 1.0, 800.0};
-    EXPECT_LE(m.power(spec), 800.0 + 1e-9);
+    ChipSpec s = spec(5.0, 800.0, 1.0, 800.0_w);
+    EXPECT_LE(m.power(s).raw(), 800.0 + 1e-9);
 
     // A small unconstrained chip dissipates below any sane envelope.
     ChipSpec small = baseline();
-    EXPECT_LT(m.power(small), 50.0);
-    EXPECT_GT(m.power(small), 1.0);
+    EXPECT_LT(m.power(small), 50.0_w);
+    EXPECT_GT(m.power(small), 1.0_w);
 }
 
 TEST(Potential, SmallChipsFavorEfficiency)
@@ -82,8 +96,8 @@ TEST(Potential, SmallChipsFavorEfficiency)
     // efficiency." Under the same power envelope, a large die pays the
     // leakage of all its transistors while only a fraction may switch.
     PotentialModel m;
-    ChipSpec small{5.0, 25.0, 1.0, 150.0};
-    ChipSpec large{5.0, 800.0, 1.0, 150.0};
+    ChipSpec small = spec(5.0, 25.0, 1.0, 150.0_w);
+    ChipSpec large = spec(5.0, 800.0, 1.0, 150.0_w);
     EXPECT_GT(m.energyEfficiency(small), m.energyEfficiency(large));
 }
 
@@ -92,20 +106,18 @@ TEST(Potential, LeakageCanConsumeEntireEnvelope)
     // An 800mm² 5nm die leaks more than 100W: under a 100W envelope no
     // switching budget remains and throughput collapses to zero.
     PotentialModel m;
-    ChipSpec starved{5.0, 800.0, 1.0, 100.0};
-    EXPECT_DOUBLE_EQ(m.activeTransistors(starved), 0.0);
-    EXPECT_DOUBLE_EQ(m.throughput(starved), 0.0);
-    EXPECT_GT(m.power(starved), 0.0); // it still leaks
+    ChipSpec starved = spec(5.0, 800.0, 1.0, 100.0_w);
+    EXPECT_DOUBLE_EQ(m.activeTransistors(starved).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(m.throughput(starved).raw(), 0.0);
+    EXPECT_GT(m.power(starved), 0.0_w); // it still leaks
 }
 
 TEST(Potential, EfficiencyImprovesWithNode)
 {
     PotentialModel m;
-    ChipSpec ref = baseline();
-    double prev = m.energyEfficiency(ref);
+    auto prev = m.energyEfficiency(baseline());
     for (double node : {32.0, 22.0, 14.0, 10.0, 7.0, 5.0}) {
-        ChipSpec spec{node, 25.0, 1.0, kUncappedTdp};
-        double eff = m.energyEfficiency(spec);
+        auto eff = m.energyEfficiency(spec(node, 25.0, 1.0, kUncappedTdp));
         EXPECT_GT(eff, prev) << "at " << node << "nm";
         prev = eff;
     }
@@ -120,10 +132,9 @@ TEST_P(PotentialAreaMonotone, ThroughputRisesWithArea)
 {
     PotentialModel m;
     double node = GetParam();
-    double prev = 0.0;
+    units::TransistorGigahertz prev{0.0};
     for (double area : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
-        ChipSpec spec{node, area, 1.0, kUncappedTdp};
-        double thr = m.throughput(spec);
+        auto thr = m.throughput(spec(node, area, 1.0, kUncappedTdp));
         EXPECT_GT(thr, prev) << "at area " << area;
         prev = thr;
     }
@@ -142,10 +153,9 @@ TEST_P(PotentialTdpMonotone, ThroughputRisesWithTdp)
 {
     PotentialModel m;
     double node = GetParam();
-    double prev = 0.0;
+    units::TransistorGigahertz prev{0.0};
     for (double tdp : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
-        ChipSpec spec{node, 800.0, 1.0, tdp};
-        double thr = m.throughput(spec);
+        auto thr = m.throughput(spec(node, 800.0, 1.0, Watts{tdp}));
         EXPECT_GE(thr, prev) << "at TDP " << tdp;
         prev = thr;
     }
@@ -162,10 +172,10 @@ TEST(Potential, OldNodesAppealUnderTightTdpForLargeChips)
     // restricted TDP" — in efficiency terms. Under a tight envelope the
     // efficiency advantage of 5nm over 16nm shrinks versus unconstrained.
     PotentialModel m;
-    ChipSpec new_unc{5.0, 800.0, 1.0, kUncappedTdp};
-    ChipSpec old_unc{16.0, 800.0, 1.0, kUncappedTdp};
-    ChipSpec new_cap{5.0, 800.0, 1.0, 200.0};
-    ChipSpec old_cap{16.0, 800.0, 1.0, 200.0};
+    ChipSpec new_unc = spec(5.0, 800.0, 1.0, kUncappedTdp);
+    ChipSpec old_unc = spec(16.0, 800.0, 1.0, kUncappedTdp);
+    ChipSpec new_cap = spec(5.0, 800.0, 1.0, 200.0_w);
+    ChipSpec old_cap = spec(16.0, 800.0, 1.0, 200.0_w);
     double adv_unc =
         m.energyEfficiency(new_unc) / m.energyEfficiency(old_unc);
     double adv_cap =
@@ -176,15 +186,15 @@ TEST(Potential, OldNodesAppealUnderTightTdpForLargeChips)
 TEST(Potential, AreaThroughputNormalizes)
 {
     PotentialModel m;
-    ChipSpec spec{16.0, 100.0, 1.0, kUncappedTdp};
-    EXPECT_DOUBLE_EQ(m.areaThroughput(spec),
-                     m.throughput(spec) / 100.0);
+    ChipSpec s = spec(16.0, 100.0, 1.0, kUncappedTdp);
+    EXPECT_DOUBLE_EQ(m.areaThroughput(s).raw(),
+                     (m.throughput(s) / 100.0_mm2).raw());
 }
 
 TEST(Potential, RejectsNonPositiveFrequency)
 {
     PotentialModel m;
-    ChipSpec bad{45.0, 25.0, 0.0, 100.0};
+    ChipSpec bad = spec(45.0, 25.0, 0.0, 100.0_w);
     EXPECT_EXIT(m.tdpTransistors(bad), ::testing::ExitedWithCode(1),
                 "frequency");
 }

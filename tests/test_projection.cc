@@ -137,21 +137,21 @@ TEST(Domains, TableVParameters)
     ASSERT_EQ(table.size(), 4u);
     const auto &video = domainParams(Domain::VideoDecoding);
     EXPECT_EQ(video.platform, "ASIC");
-    EXPECT_DOUBLE_EQ(video.min_die_mm2, 1.68);
-    EXPECT_DOUBLE_EQ(video.max_die_mm2, 16.0);
-    EXPECT_DOUBLE_EQ(video.tdp_w, 7.0);
-    EXPECT_DOUBLE_EQ(video.freq_mhz, 400.0);
+    EXPECT_DOUBLE_EQ(video.min_die_mm2.raw(), 1.68);
+    EXPECT_DOUBLE_EQ(video.max_die_mm2.raw(), 16.0);
+    EXPECT_DOUBLE_EQ(video.tdp_w.raw(), 7.0);
+    EXPECT_DOUBLE_EQ(video.freq_mhz.raw(), 400.0);
 
     const auto &gpu = domainParams(Domain::GpuGraphics);
-    EXPECT_DOUBLE_EQ(gpu.max_die_mm2, 815.0);
-    EXPECT_DOUBLE_EQ(gpu.tdp_w, 345.0);
+    EXPECT_DOUBLE_EQ(gpu.max_die_mm2.raw(), 815.0);
+    EXPECT_DOUBLE_EQ(gpu.tdp_w.raw(), 345.0);
 
     const auto &fpga = domainParams(Domain::FpgaCnn);
-    EXPECT_DOUBLE_EQ(fpga.tdp_w, 150.0);
+    EXPECT_DOUBLE_EQ(fpga.tdp_w.raw(), 150.0);
 
     const auto &btc = domainParams(Domain::BitcoinMining);
-    EXPECT_DOUBLE_EQ(btc.min_die_mm2, 11.1);
-    EXPECT_DOUBLE_EQ(btc.freq_mhz, 1400.0);
+    EXPECT_DOUBLE_EQ(btc.min_die_mm2.raw(), 11.1);
+    EXPECT_DOUBLE_EQ(btc.freq_mhz.raw(), 1400.0);
 }
 
 /** Every domain/metric combination must assemble and project. */

@@ -376,7 +376,8 @@ TEST(Fits, TooFewRecordsIsActionable)
     EXPECT_NE(fit.error().message().find("fewer than two"),
               std::string::npos);
 
-    auto tdp = chipdb::fitTdpModelChecked(tiny, 5.0, 10.0);
+    auto tdp = chipdb::fitTdpModelChecked(tiny, units::Nanometers{5.0},
+                                          units::Nanometers{10.0});
     ASSERT_FALSE(tdp.ok());
     EXPECT_EQ(tdp.error().code(), ErrorCode::FitTooFewRecords);
 }

@@ -20,11 +20,19 @@ using potential::ChipSpec;
 using potential::kUncappedTdp;
 using potential::PotentialModel;
 
+/** Dimension a spec from plain magnitudes. */
+ChipSpec
+makeSpec(double node, double area, double freq_ghz)
+{
+    return ChipSpec{units::Nanometers{node},
+                    units::SquareMillimeters{area},
+                    units::Gigahertz{freq_ghz}, kUncappedTdp};
+}
+
 ChipGain
 chip(double node, double area, double freq, double gain)
 {
-    return ChipGain{"c", ChipSpec{node, area, freq, kUncappedTdp},
-                    gain, 2015.0};
+    return ChipGain{"c", makeSpec(node, area, freq), gain, 2015.0};
 }
 
 TEST(Stack, LayerNames)
@@ -37,8 +45,8 @@ TEST(Stack, PurePhysicalSeries)
 {
     // Gains exactly track potential: everything lands on Physical.
     PotentialModel model;
-    ChipSpec a{45.0, 100.0, 1.0, kUncappedTdp};
-    ChipSpec b{16.0, 100.0, 1.0, kUncappedTdp};
+    ChipSpec a = makeSpec(45.0, 100.0, 1.0);
+    ChipSpec b = makeSpec(16.0, 100.0, 1.0);
     double ratio = model.throughput(b) / model.throughput(a);
 
     std::vector<Step> steps = {
@@ -55,7 +63,7 @@ TEST(Stack, AnnotatedCsrSplitsAcrossLayers)
     // Same physical chip, 4x the gain, annotated as algorithm +
     // framework: CSR splits equally between the two.
     PotentialModel model;
-    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    ChipSpec spec = makeSpec(28.0, 100.0, 1.0);
     std::vector<Step> steps = {
         {ChipGain{"v1", spec, 10.0, 2014}, {}},
         {ChipGain{"v2", spec, 40.0, 2016},
@@ -71,7 +79,7 @@ TEST(Stack, AnnotatedCsrSplitsAcrossLayers)
 TEST(Stack, UnannotatedCsrGoesToEngineering)
 {
     PotentialModel model;
-    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    ChipSpec spec = makeSpec(28.0, 100.0, 1.0);
     std::vector<Step> steps = {
         {ChipGain{"v1", spec, 10.0, 2014}, {}},
         {ChipGain{"v2", spec, 20.0, 2016}, {}},
@@ -132,7 +140,7 @@ TEST(Stack, BitcoinPlatformDominatesSpecializationShare)
 TEST(Stack, RejectsBadInput)
 {
     PotentialModel model;
-    ChipSpec spec{28.0, 100.0, 1.0, kUncappedTdp};
+    ChipSpec spec = makeSpec(28.0, 100.0, 1.0);
     std::vector<Step> one = {{ChipGain{"v1", spec, 10.0, 2014}, {}}};
     EXPECT_EXIT(attributeStack(one, model, Metric::Throughput),
                 ::testing::ExitedWithCode(1), "two steps");

@@ -187,7 +187,7 @@ TEST(Gpu, ArchSolverRecoversQualityRatios)
     PotentialModel m;
     std::map<std::string, std::vector<double>> pots;
     for (const auto &gpu : gpuChips())
-        pots[gpu.arch].push_back(m.throughput(gpuSpec(gpu)));
+        pots[gpu.arch].push_back(m.throughput(gpuSpec(gpu)).raw());
 
     auto geo = [](const std::vector<double> &v) {
         double s = 0.0;

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The dimensional type system: arithmetic laws, conversion factors,
+ * ratio collapse, and — via SFINAE probes — the negative space: the
+ * unit mixups that must NOT compile. The probes turn "this expression
+ * is ill-formed" into a static_assert, so a regression that quietly
+ * legalizes adding nanometres to square millimetres fails this file's
+ * build, not a review.
+ */
+
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "chipdb/budget.hh"
+#include "potential/chip_spec.hh"
+#include "util/units.hh"
+
+using namespace accelwall;
+using namespace accelwall::units;
+using namespace accelwall::units::literals;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// SFINAE probes: detect whether an operator expression is well-formed.
+// ---------------------------------------------------------------------
+
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanSubtract : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanSubtract<
+    A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type
+{
+};
+
+template <typename A, typename B, typename = void>
+struct CanCompare : std::false_type
+{
+};
+template <typename A, typename B>
+struct CanCompare<
+    A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type
+{
+};
+
+// ---------------------------------------------------------------------
+// Negative-compile harness. Each static_assert documents one forbidden
+// expression; the build of this file IS the test.
+// ---------------------------------------------------------------------
+
+// Different dimensions never add, subtract, or compare.
+static_assert(!CanAdd<Nanometers, SquareMillimeters>::value,
+              "nm + mm2 must not compile");
+static_assert(!CanSubtract<Watts, Joules>::value,
+              "W - J must not compile (power is not energy)");
+static_assert(!CanCompare<Watts, Joules>::value,
+              "W < J must not compile");
+static_assert(!CanCompare<Nanometers, Volts>::value,
+              "nm < V must not compile");
+
+// Same dimension at a different scale is still not the same unit:
+// conversion must go through unit_cast, never implicitly.
+static_assert(!CanAdd<Megahertz, Gigahertz>::value,
+              "MHz + GHz must not compile without unit_cast");
+static_assert(!CanCompare<Megahertz, Gigahertz>::value,
+              "MHz < GHz must not compile without unit_cast");
+static_assert(!CanAdd<Joules, Nanojoules>::value,
+              "J + nJ must not compile without unit_cast");
+
+// The double boundary is explicit in both directions.
+static_assert(!std::is_convertible_v<double, Nanometers>,
+              "a bare double must not silently become a quantity");
+static_assert(!std::is_convertible_v<Nanometers, double>,
+              "a quantity must not silently decay to double");
+static_assert(!std::is_assignable_v<Nanometers &, double>,
+              "assigning a raw double to a quantity must not compile");
+static_assert(!CanAdd<Watts, double>::value,
+              "W + double must not compile");
+
+// The same expressions ARE legal with matching units — the probes
+// themselves must not be trivially false.
+static_assert(CanAdd<Nanometers, Nanometers>::value);
+static_assert(CanCompare<Watts, Watts>::value);
+static_assert(std::is_constructible_v<Nanometers, double>);
+
+// ChipSpec's typed fields reject swapped constructor arguments.
+static_assert(std::is_constructible_v<potential::ChipSpec, Nanometers,
+                                      SquareMillimeters, Gigahertz,
+                                      Watts>,
+              "the correct ChipSpec field order must construct");
+static_assert(!std::is_constructible_v<potential::ChipSpec,
+                                       SquareMillimeters, Nanometers,
+                                       Gigahertz, Watts>,
+              "swapping node and area must not compile");
+static_assert(!std::is_constructible_v<potential::ChipSpec, Nanometers,
+                                       SquareMillimeters, Watts,
+                                       Gigahertz>,
+              "swapping frequency and TDP must not compile");
+static_assert(!std::is_constructible_v<potential::ChipSpec, double,
+                                       double, double, double>,
+              "raw doubles must not construct a ChipSpec");
+
+// Quantities stay zero-overhead and constexpr.
+static_assert(sizeof(SquareMillimeters) == sizeof(double));
+static_assert((2.0_nm + 3.0_nm).raw() == 5.0);
+static_assert(Nanometers{45.0} == 45.0_nm);
+
+// Ratio collapse is a type-level fact: like/like is double, while a
+// dimensionless-but-scaled quotient stays a typed quantity.
+static_assert(std::is_same_v<decltype(1.0_w / 1.0_w), double>);
+static_assert(
+    std::is_same_v<decltype((1.0_tx * 1.0_ghz) / (1.0_tx * 1.0_ghz)),
+                   double>);
+static_assert(!std::is_same_v<decltype(1.0_mm2 / (1.0_nm * 1.0_nm)),
+                              double>,
+              "the mm²/nm² density factor keeps its 1e12 scale");
+static_assert(std::is_same_v<decltype(1.0_w / 1.0_ghz), Nanojoules>,
+              "1 W at 1 GHz is 1 nJ per cycle");
+
+TEST(Units, ArithmeticLaws)
+{
+    EXPECT_DOUBLE_EQ((10.0_nm + 35.0_nm).raw(), 45.0);
+    EXPECT_DOUBLE_EQ((45.0_nm - 10.0_nm).raw(), 35.0);
+    EXPECT_DOUBLE_EQ((-45.0_nm).raw(), -45.0);
+    EXPECT_DOUBLE_EQ((3.0 * 100.0_w).raw(), 300.0);
+    EXPECT_DOUBLE_EQ((100.0_w * 3.0).raw(), 300.0);
+    EXPECT_DOUBLE_EQ((100.0_w / 4.0).raw(), 25.0);
+
+    Watts w{10.0};
+    w += Watts{5.0};
+    EXPECT_DOUBLE_EQ(w.raw(), 15.0);
+    w -= Watts{3.0};
+    EXPECT_DOUBLE_EQ(w.raw(), 12.0);
+    w *= 2.0;
+    EXPECT_DOUBLE_EQ(w.raw(), 24.0);
+    w /= 4.0;
+    EXPECT_DOUBLE_EQ(w.raw(), 6.0);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_TRUE(5.0_nm < 7.0_nm);
+    EXPECT_TRUE(7.0_nm > 5.0_nm);
+    EXPECT_TRUE(5.0_nm <= 5.0_nm);
+    EXPECT_TRUE(5.0_nm >= 5.0_nm);
+    EXPECT_TRUE(5.0_nm == 5.0_nm);
+    EXPECT_TRUE(5.0_nm != 6.0_nm);
+}
+
+TEST(Units, ConversionFactors)
+{
+    // MHz <-> GHz round trip.
+    EXPECT_DOUBLE_EQ(unit_cast<Gigahertz>(2400.0_mhz).raw(), 2.4);
+    EXPECT_DOUBLE_EQ(unit_cast<Megahertz>(Gigahertz{1.5}).raw(), 1500.0);
+
+    // J <-> nJ.
+    EXPECT_DOUBLE_EQ(unit_cast<Nanojoules>(1.0_j).raw(), 1e9);
+    EXPECT_DOUBLE_EQ(unit_cast<Joules>(Nanojoules{2e9}).raw(), 2.0);
+
+    // Identity cast is exact.
+    EXPECT_DOUBLE_EQ(unit_cast<Watts>(Watts{7.5}).raw(), 7.5);
+}
+
+TEST(Units, RatioCollapse)
+{
+    // Like-for-like quotients are the plain gain ratios of Eq. 2.
+    double gain = 900.0_w / 60.0_w;
+    EXPECT_DOUBLE_EQ(gain, 15.0);
+
+    TransistorGigahertz a = 4.0_tx * Gigahertz{2.0};
+    TransistorGigahertz b = 2.0_tx * Gigahertz{2.0};
+    EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(Units, DensityFactorKeepsScale)
+{
+    // D = area/node² in mm²/nm²: raw magnitudes divide directly in the
+    // fit's calibration units (the residual 1e12 lives in the type).
+    DensityFactor d =
+        chipdb::BudgetModel::densityFactor(100.0_mm2, 10.0_nm);
+    EXPECT_DOUBLE_EQ(d.raw(), 1.0);
+
+    DensityFactor d2 =
+        chipdb::BudgetModel::densityFactor(500.0_mm2, 10.0_nm);
+    EXPECT_DOUBLE_EQ(d2.raw(), 5.0);
+}
+
+TEST(Units, DerivedUnitAlgebra)
+{
+    // throughput = transistors * frequency; efficiency = that per watt.
+    TransistorGigahertz tput = TransistorCount{1e9} * Gigahertz{2.0};
+    EXPECT_DOUBLE_EQ(tput.raw(), 2e9);
+
+    TransistorGigahertzPerWatt eff = tput / 100.0_w;
+    EXPECT_DOUBLE_EQ(eff.raw(), 2e7);
+
+    // Power per transistor-GHz is an energy: 1 W per (tx*GHz) = 1 nJ.
+    WattsPerTransistorGigahertz per = 100.0_w / tput;
+    EXPECT_DOUBLE_EQ(per.raw(), 5e-8);
+
+    // Multiplying back recovers the power.
+    Watts back = per * tput;
+    EXPECT_DOUBLE_EQ(back.raw(), 100.0);
+}
+
+TEST(Units, StreamsRawMagnitude)
+{
+    std::ostringstream oss;
+    oss << 45.0_nm << " " << 1.5_ghz;
+    EXPECT_EQ(oss.str(), "45 1.5");
+}
+
+} // namespace

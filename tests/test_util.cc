@@ -65,6 +65,61 @@ TEST(Format, Padding)
     EXPECT_EQ(padLeft("abcde", 4), "abcde");
 }
 
+TEST(Format, JsonEscapePassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("riscv-boom v2.0"), "riscv-boom v2.0");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(Format, JsonEscapeQuotesAndBackslashes)
+{
+    // A diagnostic quoting a Windows-style path and a nested quote:
+    // exactly the shape that used to break `accelwall-lint --format
+    // json` before escaping was centralized here.
+    EXPECT_EQ(jsonEscape("bad chip \"K\\40\""),
+              "bad chip \\\"K\\\\40\\\"");
+    EXPECT_EQ(jsonEscape("\\"), "\\\\");
+    EXPECT_EQ(jsonEscape("\""), "\\\"");
+}
+
+TEST(Format, JsonEscapeNamedControls)
+{
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd\be\ff"),
+              "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(Format, JsonEscapeBareControlBytes)
+{
+    EXPECT_EQ(jsonEscape(std::string("x\x01y", 3)), "x\\u0001y");
+    EXPECT_EQ(jsonEscape(std::string("\x1f", 1)), "\\u001f");
+    // Embedded NUL must survive as an escape, not truncate the string.
+    EXPECT_EQ(jsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(Format, JsonEscapeLeavesHighBytesAlone)
+{
+    // UTF-8 multibyte sequences (bytes >= 0x80) pass through verbatim;
+    // JSON strings are UTF-8 and escaping them would corrupt them.
+    EXPECT_EQ(jsonEscape("45nm\xc2\xb2"), "45nm\xc2\xb2");
+}
+
+TEST(Format, JsonEscapeOutputParsesAsJson)
+{
+    // The crafted worst case: every escape class in one message.
+    std::string nasty = "say \"hi\"\\\n\tctl:\x02 done";
+    std::string escaped = jsonEscape(nasty);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    EXPECT_EQ(escaped.find('\x02'), std::string::npos);
+    // Every '"' inside must be preceded by a backslash.
+    for (std::size_t i = 0; i < escaped.size(); ++i) {
+        if (escaped[i] == '"') {
+            ASSERT_GT(i, 0u);
+            EXPECT_EQ(escaped[i - 1], '\\');
+        }
+    }
+}
+
 TEST(Table, AlignsColumns)
 {
     Table t({"Chip", "Gain"});

@@ -9,12 +9,17 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "chipdb/budget.hh"
+#include "cmos/scaling.hh"
 #include "dfg/verify.hh"
 #include "dfgopt/rewrites.hh"
 #include "kernels/builder.hh"
 #include "kernels/kernels.hh"
+#include "modelcheck/check.hh"
+#include "util/units.hh"
 
 namespace accelwall::dfg::verify
 {
@@ -422,6 +427,211 @@ TEST(DebugVerify, PassesCleanGraphsSilently)
 {
     setDebugVerify(true);
     debugVerify(kernels::makeKernel("RED"), "test-site");
+}
+
+// ---------------------------------------------------------------------
+// The model lint domain (modelcheck, rules M001..M010): the shipped
+// tables must audit clean, and each rule must fire on inputs corrupted
+// to break exactly its invariant.
+// ---------------------------------------------------------------------
+
+namespace mc = accelwall::modelcheck;
+
+using accelwall::units::Nanometers;
+using accelwall::units::Volts;
+
+TEST(ModelRules, CodesAndNamesAreStable)
+{
+    EXPECT_STREQ(mc::ruleCode(mc::RuleId::NodeOrder), "M001");
+    EXPECT_STREQ(mc::ruleName(mc::RuleId::NodeOrder), "node-order");
+    EXPECT_STREQ(mc::ruleCode(mc::RuleId::CorpusAudit), "M010");
+    EXPECT_STREQ(mc::ruleName(mc::RuleId::CorpusAudit), "corpus-audit");
+    EXPECT_EQ(mc::defaultSeverity(mc::RuleId::NodeOrder),
+              mc::Severity::Error);
+}
+
+TEST(ModelCheck, ShippedInputsAuditClean)
+{
+    mc::Report report = mc::check(mc::shippedInputs());
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_EQ(report.num_errors, 0u);
+
+    // Clean even with warnings escalated (the lint_model ctest runs
+    // --strict; a new warning in the shipped tables should fail here
+    // too, not only in CI).
+    mc::Options strict;
+    strict.warnings_as_errors = true;
+    EXPECT_TRUE(mc::check(mc::shippedInputs(), strict).ok());
+}
+
+TEST(ModelCheck, NodeOrderViolationFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    std::swap(in.scaling[0], in.scaling[1]);
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::NodeOrder));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, NegativeNodeFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.scaling.back().node_nm = Nanometers{-5.0};
+    EXPECT_TRUE(mc::check(in).fired(mc::RuleId::NodeOrder));
+}
+
+TEST(ModelCheck, VddBumpFires)
+{
+    // Supply voltage rising as devices shrink is a transposed row, not
+    // physics.
+    mc::Inputs in = mc::shippedInputs();
+    in.scaling.back().vdd = Volts{5.0};
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::VddMonotonic));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, GateDelayBumpFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.scaling.back().gate_delay = 2.0;
+    EXPECT_TRUE(mc::check(in).fired(mc::RuleId::DelayMonotonic));
+}
+
+TEST(ModelCheck, CapacitanceBumpFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.scaling.back().capacitance = 2.0;
+    EXPECT_TRUE(mc::check(in).fired(mc::RuleId::CapacitanceMonotonic));
+}
+
+TEST(ModelCheck, LeakageBumpFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.scaling.back().leakage = 2.0;
+    EXPECT_TRUE(mc::check(in).fired(mc::RuleId::LeakageMonotonic));
+}
+
+TEST(ModelCheck, DenormalizedBaselineFires)
+{
+    // The 45nm row anchors every relative factor; nudging its gate
+    // delay off 1.0 breaks the paper's Figure 3a normalization.
+    mc::Inputs in = mc::shippedInputs();
+    for (cmos::NodeParams &row : in.scaling) {
+        if (row.node_nm == Nanometers{45.0})
+            row.gate_delay = 0.9;
+    }
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::BaselineNormalization));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, MissingBaselineFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    std::erase_if(in.scaling, [](const cmos::NodeParams &row) {
+        return row.node_nm == Nanometers{45.0};
+    });
+    EXPECT_TRUE(
+        mc::check(in).fired(mc::RuleId::BaselineNormalization));
+}
+
+TEST(ModelCheck, OverlappingTdpGroupsFire)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.budget = chipdb::BudgetModel{
+        4.99e9, 0.877,
+        { { Nanometers{5.0}, Nanometers{14.0}, 2.15, 0.402, "a" },
+          { Nanometers{12.0}, Nanometers{22.0}, 0.49, 0.557, "b" } } };
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::GroupCoverage));
+}
+
+TEST(ModelCheck, GroupProgressionRegressionFires)
+{
+    // An older group with a *larger* coefficient would claim pre-22nm
+    // silicon converted TDP to throughput better than FinFETs do.
+    mc::Inputs in = mc::shippedInputs();
+    in.budget = chipdb::BudgetModel{
+        4.99e9, 0.877,
+        { { Nanometers{5.0}, Nanometers{10.0}, 2.15, 0.402, "a" },
+          { Nanometers{12.0}, Nanometers{22.0}, 3.10, 0.557, "b" } } };
+    EXPECT_TRUE(mc::check(in).fired(mc::RuleId::GroupProgression));
+}
+
+TEST(ModelCheck, OffLawAreaFitFires)
+{
+    // A 10x-low coefficient leaves every reference chip far off the
+    // Figure 3b law.
+    mc::Inputs in = mc::shippedInputs();
+    in.budget = chipdb::BudgetModel{4.99e8, 0.877};
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::AreaFitSanity));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, ImplausibleCorpusRecordFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    ASSERT_FALSE(in.corpus.empty());
+    in.corpus[0].area_mm2 *= 100.0;
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::CorpusAudit));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, EmptyChipNameIsAWarningUntilEscalated)
+{
+    mc::Inputs in = mc::shippedInputs();
+    ASSERT_FALSE(in.corpus.empty());
+    in.corpus[0].name.clear();
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::CorpusAudit));
+    EXPECT_TRUE(report.ok()) << "a missing name alone must not fail";
+    EXPECT_GE(report.num_warnings, 1u);
+
+    mc::Options strict;
+    strict.warnings_as_errors = true;
+    EXPECT_FALSE(mc::check(in, strict).ok());
+}
+
+TEST(ModelCheck, DiagnosticCapSuppressesButCounts)
+{
+    mc::Inputs in = mc::shippedInputs();
+    std::swap(in.scaling[0], in.scaling[1]);
+    in.scaling.back().vdd = Volts{5.0};
+    mc::Options opts;
+    opts.max_diagnostics = 1;
+    mc::Report report = mc::check(in, opts);
+    EXPECT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_GE(report.suppressed, 1u);
+    EXPECT_GE(report.num_errors, 2u)
+        << "counters must keep counting past the cap";
+}
+
+TEST(ModelCheck, DiagnosticRenderingIsStructured)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.scaling.back().vdd = Volts{5.0};
+    mc::Report report = mc::check(in);
+    ASSERT_FALSE(report.diagnostics.empty());
+    const mc::Diagnostic &diag = report.diagnostics.front();
+    std::string line = diag.str();
+    EXPECT_NE(line.find(mc::ruleCode(diag.rule)), std::string::npos);
+    EXPECT_NE(line.find(diag.subject), std::string::npos);
+}
+
+TEST(ModelCheck, BrokenShowcaseCoversEveryRule)
+{
+    mc::Report merged;
+    for (const mc::Inputs &in : mc::brokenShowcaseInputs())
+        merged.merge(mc::check(in));
+    EXPECT_FALSE(merged.ok());
+    for (int i = 0; i < mc::kNumRules; ++i) {
+        auto rule = static_cast<mc::RuleId>(i);
+        EXPECT_TRUE(merged.fired(rule))
+            << "showcase never fires " << mc::ruleCode(rule);
+    }
 }
 
 } // namespace

@@ -145,17 +145,21 @@ main(int argc, char **argv)
             }
             return v.value() * scale;
         };
-        chip.spec.node_nm = field("node_nm");
-        chip.spec.area_mm2 = field("area_mm2");
-        chip.spec.freq_ghz = field("freq_mhz", 1e-3);
-        chip.spec.tdp_w = field("tdp_w");
+        // CSV ingest boundary: parse raw doubles, then enter the
+        // dimensional domain.
+        chip.spec.node_nm = units::Nanometers{field("node_nm")};
+        chip.spec.area_mm2 = units::SquareMillimeters{field("area_mm2")};
+        chip.spec.freq_ghz = units::Gigahertz{field("freq_mhz", 1e-3)};
+        chip.spec.tdp_w = units::Watts{field("tdp_w")};
         chip.gain = field("gain");
         if (cols.count("year"))
             chip.year = field("year");
         if (!ok)
             continue;
-        if (chip.spec.node_nm <= 0.0 || chip.spec.area_mm2 <= 0.0 ||
-            chip.spec.tdp_w <= 0.0 || chip.spec.freq_ghz <= 0.0) {
+        if (chip.spec.node_nm <= units::Nanometers{0.0} ||
+            chip.spec.area_mm2 <= units::SquareMillimeters{0.0} ||
+            chip.spec.tdp_w <= units::Watts{0.0} ||
+            chip.spec.freq_ghz <= units::Gigahertz{0.0}) {
             quarantine(makeError(ErrorCode::RecordNonPositiveNode,
                                  "node/area/freq/tdp must be positive"));
             continue;

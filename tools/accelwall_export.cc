@@ -90,10 +90,11 @@ main(int argc, char **argv)
         const auto &scaling = cmos::ScalingTable::instance();
         CsvWriter csv({"node_nm", "vdd", "gate_delay", "capacitance",
                        "leakage", "dynamic_energy", "frequency_gain"});
-        for (double node : scaling.nodes()) {
+        for (units::Nanometers node : scaling.nodes()) {
             const auto &p = scaling.at(node);
-            csv.addRow({num(node), num(p.vdd), num(p.gate_delay),
-                        num(p.capacitance), num(p.leakage),
+            csv.addRow({num(node.raw()), num(p.vdd.raw()),
+                        num(p.gate_delay), num(p.capacitance),
+                        num(p.leakage),
                         num(scaling.dynamicEnergy(node)),
                         num(scaling.frequencyGain(node))});
         }

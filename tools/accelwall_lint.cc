@@ -1,24 +1,28 @@
 /**
  * @file
- * accelwall-lint: static model-integrity checking for every registered
- * kernel DFG and every dfgopt rewrite.
+ * accelwall-lint: static model-integrity checking across two rule
+ * domains — the kernel DFGs/rewrites (V/R rules) and the numerical
+ * model inputs (M rules: scaling table, budget fits, chip corpus).
  *
  * Usage: accelwall-lint [options] [KERNEL ...]
  *
- *   --format text|json   diagnostic output format (default text)
- *   --strict             treat warnings as errors for the exit code
- *   --verbose            also print note-severity diagnostics
- *   --list-rules         print the rule table and exit
- *   --demo-broken        lint intentionally broken graphs instead of
- *                        the registry (exits nonzero; used by ctest)
+ *   --domain dfg|model|all  which rule domain to run (default all)
+ *   --format text|json      diagnostic output format (default text)
+ *   --strict                treat warnings as errors for the exit code
+ *   --verbose               also print note-severity diagnostics
+ *   --list-rules            print both rule tables and exit
+ *   --demo-broken           lint intentionally broken graphs instead of
+ *                           the registry (exits nonzero; used by ctest)
+ *   --demo-broken-model     audit intentionally corrupted model inputs
+ *                           (exits nonzero; proves each M rule fires)
  *
  * Without kernel arguments the whole registry is linted: the 16 Table
  * IV kernels, the extension kernels (BTC, BTC-AB, IDCT, ENT, DFT), and
  * the Figure 11 example. Each kernel is verified as built, then pushed
- * through every dfgopt rewrite in before/after mode: the rewrite must
- * map a verified graph to a verified graph, preserve inputs and
- * effectful sinks, and its RewriteStats op-count accounting must match
- * the actual node delta. Exits 1 if any rule fires at error severity.
+ * through every dfgopt rewrite in before/after mode. The model domain
+ * audits the shipped scaling table, budget model, and reference corpus
+ * against rules M001..M010. Exits 1 if any rule fires at error
+ * severity.
  */
 
 #include <functional>
@@ -31,11 +35,11 @@
 #include "dfg/verify.hh"
 #include "dfgopt/rewrites.hh"
 #include "kernels/kernels.hh"
+#include "modelcheck/check.hh"
+#include "util/format.hh"
 
 using namespace accelwall;
-using dfg::verify::Diagnostic;
 using dfg::verify::Options;
-using dfg::verify::Report;
 using dfg::verify::RuleId;
 using dfg::verify::Severity;
 
@@ -47,19 +51,112 @@ struct LintConfig
     bool json = false;
     bool strict = false;
     bool verbose = false;
+    bool run_dfg = true;
+    bool run_model = true;
 };
 
-/** One verified graph (a kernel, or one rewrite's output). */
-struct GraphResult
+/**
+ * One diagnostic in domain-neutral form: both the dfg verifier's and
+ * the model auditor's reports render into this so the emitters need no
+ * knowledge of either domain.
+ */
+struct DiagView
+{
+    std::string rule;     // "V006" / "M002"
+    std::string name;     // "arity-mismatch" / "vdd-monotonic"
+    std::string severity; // "error" / "warning" / "note"
+    std::string message;
+    std::string rendered; // full one-line form for text output
+    bool is_note = false;
+    std::optional<dfg::NodeId> node;
+    std::optional<std::pair<dfg::NodeId, dfg::NodeId>> edge;
+    std::optional<std::size_t> row;
+};
+
+/** One linted unit: a graph, a rewrite output, or a model audit. */
+struct LintResult
 {
     std::string name;
-    std::string phase; // "kernel", "cse", "sr"
-    std::size_t nodes = 0;
-    std::size_t edges = 0;
-    Report report;
+    std::string phase; // "kernel", "cse", "sr", "broken", "model"
+    /** Shape summary, e.g. "12 nodes, 14 edges" or "19 rows, ...". */
+    std::string shape;
+    /** Numeric shape fields for JSON ({"nodes": 12, "edges": 14}). */
+    std::vector<std::pair<std::string, std::size_t>> stats;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    bool ok = true;
+    std::string summary;
+    std::vector<DiagView> diags;
 };
 
-/** The registry the linter walks by default. */
+LintResult
+fromDfgReport(const std::string &name, const char *phase,
+              std::size_t nodes, std::size_t edges,
+              const dfg::verify::Report &report)
+{
+    LintResult res;
+    res.name = name;
+    res.phase = phase;
+    std::ostringstream shape;
+    shape << nodes << " nodes, " << edges << " edges";
+    res.shape = shape.str();
+    res.stats = { { "nodes", nodes }, { "edges", edges } };
+    res.errors = report.num_errors;
+    res.warnings = report.num_warnings;
+    res.notes = report.num_notes;
+    res.ok = report.ok();
+    res.summary = report.summary();
+    for (const dfg::verify::Diagnostic &d : report.diagnostics) {
+        DiagView v;
+        v.rule = dfg::verify::ruleCode(d.rule);
+        v.name = dfg::verify::ruleName(d.rule);
+        v.severity = dfg::verify::severityName(d.severity);
+        v.message = d.message;
+        v.rendered = d.str();
+        v.is_note = d.severity == dfg::verify::Severity::Note;
+        v.node = d.node;
+        v.edge = d.edge;
+        res.diags.push_back(std::move(v));
+    }
+    return res;
+}
+
+LintResult
+fromModelReport(const modelcheck::Inputs &inputs,
+                const modelcheck::Report &report)
+{
+    LintResult res;
+    res.name = inputs.name;
+    res.phase = "model";
+    std::ostringstream shape;
+    shape << inputs.scaling.size() << " scaling rows, "
+          << inputs.budget.groups().size() << " TDP groups, "
+          << inputs.corpus.size() << " chips";
+    res.shape = shape.str();
+    res.stats = { { "scaling_rows", inputs.scaling.size() },
+                  { "tdp_groups", inputs.budget.groups().size() },
+                  { "chips", inputs.corpus.size() } };
+    res.errors = report.num_errors;
+    res.warnings = report.num_warnings;
+    res.notes = report.num_notes;
+    res.ok = report.ok();
+    res.summary = report.summary();
+    for (const modelcheck::Diagnostic &d : report.diagnostics) {
+        DiagView v;
+        v.rule = modelcheck::ruleCode(d.rule);
+        v.name = modelcheck::ruleName(d.rule);
+        v.severity = modelcheck::severityName(d.severity);
+        v.message = d.message;
+        v.rendered = d.str();
+        v.is_note = d.severity == modelcheck::Severity::Note;
+        v.row = d.row;
+        res.diags.push_back(std::move(v));
+    }
+    return res;
+}
+
+/** The registry the dfg domain walks by default. */
 std::vector<std::string>
 allKernelNames()
 {
@@ -75,11 +172,12 @@ allKernelNames()
 void
 checkAccounting(const std::string &graph, const char *rewrite,
                 const dfgopt::RewriteStats &stats,
-                std::size_t expected_after, Report &report)
+                std::size_t expected_after,
+                dfg::verify::Report &report)
 {
     if (stats.nodes_after == expected_after)
         return;
-    Diagnostic d;
+    dfg::verify::Diagnostic d;
     d.rule = RuleId::RewriteAccounting;
     d.severity = Severity::Error;
     d.graph = graph;
@@ -93,18 +191,14 @@ checkAccounting(const std::string &graph, const char *rewrite,
 }
 
 /** Verify one kernel and both rewrites of it. */
-std::vector<GraphResult>
+std::vector<LintResult>
 lintGraph(const dfg::Graph &g, const Options &options)
 {
-    std::vector<GraphResult> results;
+    std::vector<LintResult> results;
 
-    GraphResult base;
-    base.name = g.name();
-    base.phase = "kernel";
-    base.nodes = g.numNodes();
-    base.edges = g.numEdges();
-    base.report = dfg::verify::verify(g, options);
-    results.push_back(std::move(base));
+    results.push_back(fromDfgReport(g.name(), "kernel", g.numNodes(),
+                                    g.numEdges(),
+                                    dfg::verify::verify(g, options)));
 
     struct RewriteCase
     {
@@ -130,15 +224,13 @@ lintGraph(const dfg::Graph &g, const Options &options)
     for (const RewriteCase &rc : cases) {
         dfgopt::RewriteStats stats;
         dfg::Graph after = rc.run(g, &stats);
-        GraphResult res;
-        res.name = after.name();
-        res.phase = rc.phase;
-        res.nodes = after.numNodes();
-        res.edges = after.numEdges();
-        res.report = dfg::verify::verifyRewrite(g, after, options);
-        checkAccounting(after.name(), rc.phase, stats, rc.predict(stats),
-                        res.report);
-        results.push_back(std::move(res));
+        dfg::verify::Report report =
+            dfg::verify::verifyRewrite(g, after, options);
+        checkAccounting(after.name(), rc.phase, stats,
+                        rc.predict(stats), report);
+        results.push_back(fromDfgReport(after.name(), rc.phase,
+                                        after.numNodes(),
+                                        after.numEdges(), report));
     }
     return results;
 }
@@ -147,20 +239,10 @@ lintGraph(const dfg::Graph &g, const Options &options)
  * Intentionally malformed graphs: proof the rules catch what they
  * claim to, and a seeded failure for the `lint_broken` ctest.
  */
-std::vector<GraphResult>
+std::vector<LintResult>
 brokenShowcase(const Options &options)
 {
-    std::vector<GraphResult> results;
-    auto add = [&](const char *phase, const std::string &name,
-                   Report report, std::size_t nodes, std::size_t edges) {
-        GraphResult res;
-        res.name = name;
-        res.phase = phase;
-        res.nodes = nodes;
-        res.edges = edges;
-        res.report = std::move(report);
-        results.push_back(std::move(res));
-    };
+    std::vector<LintResult> results;
 
     {
         // A two-node cycle: the graph is not a DFG at all.
@@ -169,8 +251,9 @@ brokenShowcase(const Options &options)
         dfg::NodeId b = g.addNode(dfg::OpType::Sub);
         g.addEdge(a, b);
         g.addEdge(b, a);
-        add("broken", g.name(), dfg::verify::verify(g, options),
-            g.numNodes(), g.numEdges());
+        results.push_back(fromDfgReport(g.name(), "broken", g.numNodes(),
+                                        g.numEdges(),
+                                        dfg::verify::verify(g, options)));
     }
     {
         // An 8-bit adder silently truncating 32-bit loads, and a
@@ -190,8 +273,9 @@ brokenShowcase(const Options &options)
         g.addEdge(sum, st);
         dfg::NodeId st2 = g.addNode(dfg::OpType::Store);
         g.addEdge(div, st2);
-        add("broken", g.name(), dfg::verify::verify(g, options),
-            g.numNodes(), g.numEdges());
+        results.push_back(fromDfgReport(g.name(), "broken", g.numNodes(),
+                                        g.numEdges(),
+                                        dfg::verify::verify(g, options)));
     }
     {
         // A dangling edge, expressible only in the raw edge-list form
@@ -200,8 +284,10 @@ brokenShowcase(const Options &options)
         raw.name = "demo-dangling";
         raw.ops = { dfg::OpType::Load, dfg::OpType::Store };
         raw.edges = { { 0, 1 }, { 0, 7 } };
-        add("broken", raw.name, dfg::verify::verify(raw, options),
-            raw.ops.size(), raw.edges.size());
+        results.push_back(fromDfgReport(raw.name, "broken",
+                                        raw.ops.size(), raw.edges.size(),
+                                        dfg::verify::verify(raw,
+                                                            options)));
     }
     {
         // Dead compute: a multiply whose value no output ever sees.
@@ -216,65 +302,49 @@ brokenShowcase(const Options &options)
         g.addEdge(l2, sum);
         dfg::NodeId st = g.addNode(dfg::OpType::Store);
         g.addEdge(sum, st);
-        add("broken", g.name(), dfg::verify::verify(g, options),
-            g.numNodes(), g.numEdges());
+        results.push_back(fromDfgReport(g.name(), "broken", g.numNodes(),
+                                        g.numEdges(),
+                                        dfg::verify::verify(g, options)));
     }
     return results;
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char ch : s) {
-        switch (ch) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default: out += ch; break;
-        }
-    }
-    return out;
-}
-
 void
-printJson(const std::vector<GraphResult> &results, std::ostream &os)
+printJson(const std::vector<LintResult> &results, std::ostream &os)
 {
     std::size_t errors = 0, warnings = 0, notes = 0;
     os << "{\n  \"graphs\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const GraphResult &res = results[i];
-        errors += res.report.num_errors;
-        warnings += res.report.num_warnings;
-        notes += res.report.num_notes;
+        const LintResult &res = results[i];
+        errors += res.errors;
+        warnings += res.warnings;
+        notes += res.notes;
         os << "    {\"name\": \"" << jsonEscape(res.name)
-           << "\", \"phase\": \"" << res.phase
-           << "\", \"nodes\": " << res.nodes
-           << ", \"edges\": " << res.edges
-           << ", \"errors\": " << res.report.num_errors
-           << ", \"warnings\": " << res.report.num_warnings
-           << ", \"notes\": " << res.report.num_notes
+           << "\", \"phase\": \"" << res.phase << "\"";
+        for (const auto &[key, value] : res.stats)
+            os << ", \"" << key << "\": " << value;
+        os << ", \"errors\": " << res.errors
+           << ", \"warnings\": " << res.warnings
+           << ", \"notes\": " << res.notes
            << ", \"diagnostics\": [";
-        for (std::size_t d = 0; d < res.report.diagnostics.size(); ++d) {
-            const Diagnostic &diag = res.report.diagnostics[d];
+        for (std::size_t d = 0; d < res.diags.size(); ++d) {
+            const DiagView &diag = res.diags[d];
             os << (d == 0 ? "\n" : ",\n") << "      {\"rule\": \""
-               << dfg::verify::ruleCode(diag.rule) << "\", \"name\": \""
-               << dfg::verify::ruleName(diag.rule)
-               << "\", \"severity\": \""
-               << dfg::verify::severityName(diag.severity) << "\"";
+               << diag.rule << "\", \"name\": \"" << diag.name
+               << "\", \"severity\": \"" << diag.severity << "\"";
             if (diag.node)
                 os << ", \"node\": " << *diag.node;
             if (diag.edge) {
                 os << ", \"edge\": [" << diag.edge->first << ", "
                    << diag.edge->second << "]";
             }
+            if (diag.row)
+                os << ", \"row\": " << *diag.row;
             os << ", \"message\": \"" << jsonEscape(diag.message)
                << "\"}";
         }
-        os << (res.report.diagnostics.empty() ? "]" : "\n    ]")
-           << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        os << (res.diags.empty() ? "]" : "\n    ]") << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"summary\": {\"graphs\": " << results.size()
        << ", \"errors\": " << errors << ", \"warnings\": " << warnings
@@ -282,54 +352,61 @@ printJson(const std::vector<GraphResult> &results, std::ostream &os)
 }
 
 void
-printText(const std::vector<GraphResult> &results, const LintConfig &cfg,
+printText(const std::vector<LintResult> &results, const LintConfig &cfg,
           std::ostream &os)
 {
     std::size_t errors = 0, warnings = 0, notes = 0;
-    for (const GraphResult &res : results) {
-        errors += res.report.num_errors;
-        warnings += res.report.num_warnings;
-        notes += res.report.num_notes;
-        os << res.name << " [" << res.phase << "]: " << res.nodes
-           << " nodes, " << res.edges << " edges: "
-           << (res.report.ok() ? "OK" : "FAIL");
-        if (res.report.num_errors + res.report.num_warnings +
-                res.report.num_notes > 0) {
-            os << " (" << res.report.summary() << ")";
-        }
+    for (const LintResult &res : results) {
+        errors += res.errors;
+        warnings += res.warnings;
+        notes += res.notes;
+        os << res.name << " [" << res.phase << "]: " << res.shape
+           << ": " << (res.ok ? "OK" : "FAIL");
+        if (res.errors + res.warnings + res.notes > 0)
+            os << " (" << res.summary << ")";
         os << "\n";
-        for (const Diagnostic &d : res.report.diagnostics) {
-            if (d.severity == Severity::Note && !cfg.verbose)
+        for (const DiagView &d : res.diags) {
+            if (d.is_note && !cfg.verbose)
                 continue;
-            os << "  " << d.str() << "\n";
+            os << "  " << d.rendered << "\n";
         }
     }
-    os << results.size() << " graphs linted: " << errors << " errors, "
+    os << results.size() << " units linted: " << errors << " errors, "
        << warnings << " warnings, " << notes << " notes\n";
 }
 
 void
 listRules(std::ostream &os)
 {
-    os << "rule  name                severity  scope\n";
+    os << "rule  name                   severity  scope\n";
     for (int i = 0; i < dfg::verify::kNumRules; ++i) {
         auto rule = static_cast<RuleId>(i);
         std::string code = dfg::verify::ruleCode(rule);
-        std::string name = dfg::verify::ruleName(rule);
-        name.resize(19, ' ');
-        os << code << "  " << name << " "
-           << dfg::verify::severityName(dfg::verify::defaultSeverity(rule))
+        os << code << "  "
+           << padRight(dfg::verify::ruleName(rule), 22) << " "
+           << dfg::verify::severityName(
+                  dfg::verify::defaultSeverity(rule))
            << (code[0] == 'R' ? "   rewrite pair" : "   single graph")
            << "\n";
+    }
+    for (int i = 0; i < modelcheck::kNumRules; ++i) {
+        auto rule = static_cast<modelcheck::RuleId>(i);
+        os << modelcheck::ruleCode(rule) << "  "
+           << padRight(modelcheck::ruleName(rule), 22) << " "
+           << modelcheck::severityName(modelcheck::defaultSeverity(rule))
+           << "   model inputs\n";
     }
 }
 
 int
 usage()
 {
-    std::cerr << "usage: accelwall-lint [--format text|json] [--strict]\n"
+    std::cerr << "usage: accelwall-lint [--domain dfg|model|all]\n"
+              << "                      [--format text|json] [--strict]\n"
               << "                      [--verbose] [--list-rules]\n"
-              << "                      [--demo-broken] [KERNEL ...]\n";
+              << "                      [--demo-broken]\n"
+              << "                      [--demo-broken-model]\n"
+              << "                      [KERNEL ...]\n";
     return 2;
 }
 
@@ -340,6 +417,7 @@ main(int argc, char **argv)
 {
     LintConfig cfg;
     bool demo_broken = false;
+    bool demo_broken_model = false;
     std::vector<std::string> kernels;
 
     for (int i = 1; i < argc; ++i) {
@@ -353,6 +431,17 @@ main(int argc, char **argv)
             } else if (fmt != "text") {
                 return usage();
             }
+        } else if (arg == "--domain") {
+            if (i + 1 >= argc)
+                return usage();
+            std::string domain = argv[++i];
+            if (domain == "dfg") {
+                cfg.run_model = false;
+            } else if (domain == "model") {
+                cfg.run_dfg = false;
+            } else if (domain != "all") {
+                return usage();
+            }
         } else if (arg == "--strict") {
             cfg.strict = true;
         } else if (arg == "--verbose") {
@@ -362,30 +451,57 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--demo-broken") {
             demo_broken = true;
+        } else if (arg == "--demo-broken-model") {
+            demo_broken_model = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
             kernels.push_back(arg);
         }
     }
+    if (!kernels.empty() && !cfg.run_dfg) {
+        std::cerr << "kernel arguments only apply to the dfg domain\n";
+        return usage();
+    }
 
     Options options;
     options.warnings_as_errors = cfg.strict;
+    modelcheck::Options model_options;
+    model_options.warnings_as_errors = cfg.strict;
 
-    std::vector<GraphResult> results;
-    if (demo_broken) {
-        results = brokenShowcase(options);
-    } else {
-        bool whole_registry = kernels.empty();
-        if (whole_registry)
-            kernels = allKernelNames();
-        for (const std::string &name : kernels) {
-            auto linted = lintGraph(kernels::makeKernel(name), options);
-            results.insert(results.end(), linted.begin(), linted.end());
+    std::vector<LintResult> results;
+    if (cfg.run_dfg && !demo_broken_model) {
+        if (demo_broken) {
+            auto broken = brokenShowcase(options);
+            results.insert(results.end(), broken.begin(), broken.end());
+        } else {
+            bool whole_registry = kernels.empty();
+            if (whole_registry)
+                kernels = allKernelNames();
+            for (const std::string &name : kernels) {
+                auto linted =
+                    lintGraph(kernels::makeKernel(name), options);
+                results.insert(results.end(), linted.begin(),
+                               linted.end());
+            }
+            if (whole_registry) {
+                auto fig =
+                    lintGraph(dfg::makeFigure11Example(), options);
+                results.insert(results.end(), fig.begin(), fig.end());
+            }
         }
-        if (whole_registry) {
-            auto fig = lintGraph(dfg::makeFigure11Example(), options);
-            results.insert(results.end(), fig.begin(), fig.end());
+    }
+    if (cfg.run_model && !demo_broken) {
+        if (demo_broken_model) {
+            for (const modelcheck::Inputs &inputs :
+                 modelcheck::brokenShowcaseInputs()) {
+                results.push_back(fromModelReport(
+                    inputs, modelcheck::check(inputs, model_options)));
+            }
+        } else {
+            modelcheck::Inputs inputs = modelcheck::shippedInputs();
+            results.push_back(fromModelReport(
+                inputs, modelcheck::check(inputs, model_options)));
         }
     }
 
@@ -394,8 +510,8 @@ main(int argc, char **argv)
     else
         printText(results, cfg, std::cout);
 
-    for (const GraphResult &res : results) {
-        if (!res.report.ok())
+    for (const LintResult &res : results) {
+        if (!res.ok)
             return 1;
     }
     return 0;

@@ -8,8 +8,13 @@
 #   4. A ThreadSanitizer build running the `parallel` and `robustness`
 #      labels (the concurrent sweep, its error boundary/checkpoint
 #      writes, and the fault-injection suite).
-#   5. clang-tidy over src/ (skipped with a notice when clang-tidy is
-#      not installed — the container ships gcc only).
+#   5. A Clang build with -Wthread-safety -Werror=thread-safety, the
+#      only compiler that checks the util/thread_annotations.hh
+#      capability attributes (skipped with a notice when clang++ is
+#      not installed — the container ships gcc only, where the
+#      annotations compile away).
+#   6. clang-tidy over src/ (skipped with a notice when clang-tidy is
+#      not installed).
 #
 # Usage: tools/run_static_checks.sh [build-dir-prefix]
 #
@@ -46,6 +51,19 @@ run_suite "${prefix}-tsan" "parallel|robustness" -DACCELWALL_TSAN=ON
 
 echo "=== lint (strict) ==="
 "${prefix}/tools/accelwall-lint" --strict
+
+if command -v clang++ >/dev/null 2>&1; then
+    # Thread-safety analysis only runs under Clang; the top-level
+    # CMakeLists turns the -Wthread-safety flags on automatically when
+    # the compiler is Clang, so a plain configure+build is the check.
+    # A build failure here IS the finding (a lock annotation violated).
+    echo "=== clang thread-safety build ==="
+    cmake -B "${prefix}-clang" -S . \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    cmake --build "${prefix}-clang" -j "${jobs}"
+else
+    echo "=== clang++ not installed; skipping thread-safety analysis ==="
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
     echo "=== clang-tidy ==="
