@@ -1,0 +1,133 @@
+#include "serve/cache.hh"
+
+namespace accelwall::serve
+{
+
+std::uint64_t
+fnv1a64(const std::string &data, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    for (char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(const std::string &data)
+{
+    return fnv1a64(data, 14695981039346656037ULL);
+}
+
+double
+CacheStats::hitRatio() const
+{
+    std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity)
+{
+    if (shards < 1)
+        shards = 1;
+    if (shards > 64)
+        shards = 64;
+    // Don't spread a tiny budget so thin that shards round to zero.
+    if (shards > capacity && capacity > 0)
+        shards = capacity;
+    per_shard_ = capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+std::uint64_t
+ResultCache::keyOf(const std::string &endpoint, const std::string &request)
+{
+    return fnv1a64(request, fnv1a64(endpoint + "\n"));
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(std::uint64_t key)
+{
+    // The multiplier mixes low bits into the top; take the high bits
+    // so shard choice and index bucket choice stay decorrelated.
+    return *shards_[(key >> 56) % shards_.size()];
+}
+
+const ResultCache::Shard &
+ResultCache::shardFor(std::uint64_t key) const
+{
+    return *shards_[(key >> 56) % shards_.size()];
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string &endpoint, const std::string &request)
+{
+    if (capacity_ == 0)
+        return std::nullopt;
+    std::uint64_t key = keyOf(endpoint, request);
+    std::string full = endpoint + "\n" + request;
+    Shard &shard = shardFor(key);
+    util::MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end() || it->second->request != full) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    // Refresh: move to MRU position.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->response;
+}
+
+void
+ResultCache::insert(const std::string &endpoint, const std::string &request,
+                    std::string response)
+{
+    if (capacity_ == 0)
+        return;
+    std::uint64_t key = keyOf(endpoint, request);
+    std::string full = endpoint + "\n" + request;
+    Shard &shard = shardFor(key);
+    util::MutexLock lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        // Refresh in place (also heals a hash-collision slot by
+        // overwriting it with the newer request).
+        it->second->request = std::move(full);
+        it->second->response = std::move(response);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(
+        Entry{key, std::move(full), std::move(response)});
+    shard.index[key] = shard.lru.begin();
+    ++shard.insertions;
+    while (shard.lru.size() > per_shard_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    CacheStats total;
+    for (const auto &shard : shards_) {
+        util::MutexLock lock(shard->mu);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.insertions += shard->insertions;
+        total.evictions += shard->evictions;
+        total.entries += shard->lru.size();
+    }
+    return total;
+}
+
+} // namespace accelwall::serve

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sharded LRU result cache for the query service.
+ *
+ * Keys are FNV-1a 64-bit hashes of (endpoint, request body); the top
+ * hash bits pick the shard so concurrent requests to different shards
+ * never contend on one mutex. Each shard is an intrusive LRU: a doubly
+ * linked list of entries plus a hash index. Entries store the full
+ * request text alongside the response, so a (vanishingly unlikely)
+ * 64-bit hash collision degrades to a miss instead of serving the
+ * wrong chip's numbers.
+ *
+ * Hits return the exact bytes inserted — the service caches fully
+ * serialized response bodies, which is what makes repeated identical
+ * queries byte-identical (tested in test_serve.cc).
+ */
+
+#ifndef ACCELWALL_SERVE_CACHE_HH
+#define ACCELWALL_SERVE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/thread_annotations.hh"
+
+namespace accelwall::serve
+{
+
+/** FNV-1a 64-bit over the bytes of @p data. */
+std::uint64_t fnv1a64(const std::string &data);
+
+/** FNV-1a 64-bit continuing from a previous hash state. */
+std::uint64_t fnv1a64(const std::string &data, std::uint64_t seed);
+
+/** Monotonic counters; a consistent snapshot of one cache's life. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    /** Entries currently resident across all shards. */
+    std::size_t entries = 0;
+
+    /** hits / (hits + misses); 0 before any lookup. */
+    double hitRatio() const;
+};
+
+/**
+ * Thread-safe sharded LRU mapping request text to response bytes.
+ *
+ * capacity is the total entry budget, split evenly across shards
+ * (each shard holds at least one entry). A capacity of 0 disables
+ * caching: lookups miss, inserts drop.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * @param capacity Total entries across all shards.
+     * @param shards Shard count; clamped to [1, 64].
+     */
+    explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+    /**
+     * Look up the response cached for (endpoint, request). The key is
+     * hashed from both; on a hash match the stored request text is
+     * compared before the hit counts.
+     */
+    std::optional<std::string> lookup(const std::string &endpoint,
+                                      const std::string &request);
+
+    /** Insert/refresh the response for (endpoint, request). */
+    void insert(const std::string &endpoint, const std::string &request,
+                std::string response);
+
+    /** Aggregate counters over all shards. */
+    CacheStats stats() const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::string request;
+        std::string response;
+    };
+
+    struct Shard
+    {
+        mutable util::Mutex mu;
+        /** MRU at front, LRU at back. */
+        std::list<Entry> lru GUARDED_BY(mu);
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+            index GUARDED_BY(mu);
+        std::uint64_t hits GUARDED_BY(mu) = 0;
+        std::uint64_t misses GUARDED_BY(mu) = 0;
+        std::uint64_t insertions GUARDED_BY(mu) = 0;
+        std::uint64_t evictions GUARDED_BY(mu) = 0;
+    };
+
+    /** Combined key text: endpoint + '\n' + request. */
+    static std::uint64_t keyOf(const std::string &endpoint,
+                               const std::string &request);
+
+    Shard &shardFor(std::uint64_t key);
+    const Shard &shardFor(std::uint64_t key) const;
+
+    std::size_t capacity_;
+    std::size_t per_shard_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace accelwall::serve
+
+#endif // ACCELWALL_SERVE_CACHE_HH

@@ -1,0 +1,37 @@
+#include "serve/client.hh"
+
+#include "util/socket.hh"
+
+namespace accelwall::serve
+{
+
+Result<HttpResponse>
+httpRequest(const std::string &host, int port, const std::string &method,
+            const std::string &target, const std::string &body,
+            int deadline_ms)
+{
+    auto fd = util::tcpConnect(host, port, deadline_ms);
+    if (!fd.ok())
+        return fd.error();
+
+    std::string wire = method + " " + target + " HTTP/1.1\r\n";
+    wire += "Host: " + host + "\r\n";
+    if (!body.empty())
+        wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    wire += "Connection: close\r\n\r\n";
+    wire += body;
+
+    if (auto sent = util::sendAll(fd.value().get(), wire, deadline_ms);
+        !sent.ok())
+        return sent.error();
+
+    HttpLimits limits;
+    limits.read_deadline_ms = deadline_ms;
+    // Sweep responses can be large; the client reads whatever the
+    // server is willing to emit.
+    limits.max_body_bytes = 64 * 1024 * 1024;
+    return readResponse(fd.value().get(), limits);
+}
+
+} // namespace accelwall::serve

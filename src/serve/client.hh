@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal blocking HTTP client for the serve subsystem's own
+ * consumers: the load generator and the test suite. One request per
+ * connection, mirroring the server's Connection: close policy.
+ */
+
+#ifndef ACCELWALL_SERVE_CLIENT_HH
+#define ACCELWALL_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "serve/http.hh"
+#include "util/error.hh"
+
+namespace accelwall::serve
+{
+
+/**
+ * Connect, send one request, read the response, close.
+ *
+ * @param host Server address ("127.0.0.1").
+ * @param port Server port.
+ * @param method "GET" or "POST".
+ * @param target Request target, e.g. "/v1/gains".
+ * @param body Request body ("" for GET).
+ * @param deadline_ms Budget covering connect + send + full response.
+ */
+Result<HttpResponse> httpRequest(const std::string &host, int port,
+                                 const std::string &method,
+                                 const std::string &target,
+                                 const std::string &body = "",
+                                 int deadline_ms = 5000);
+
+} // namespace accelwall::serve
+
+#endif // ACCELWALL_SERVE_CLIENT_HH

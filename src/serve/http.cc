@@ -1,0 +1,352 @@
+#include "serve/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+
+#include "util/socket.hh"
+
+namespace accelwall::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t begin = s.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    std::size_t end = s.find_last_not_of(" \t");
+    return s.substr(begin, end - begin + 1);
+}
+
+/**
+ * Read until @p marker appears in @p buf or a limit/deadline trips.
+ * Bytes past the marker stay in @p buf (the body prefix).
+ */
+Result<std::size_t>
+readUntil(int fd, std::string &buf, const std::string &marker,
+          std::size_t max_bytes, Clock::time_point deadline)
+{
+    while (true) {
+        std::size_t pos = buf.find(marker);
+        if (pos != std::string::npos)
+            return pos;
+        if (buf.size() >= max_bytes) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "request head exceeds ", max_bytes,
+                             " bytes");
+        }
+        int left = remainingMs(deadline);
+        if (left == 0) {
+            return makeError(ErrorCode::HttpDeadline,
+                             "request not received before the deadline");
+        }
+        auto got = util::recvSome(fd, buf, 4096, left);
+        if (!got.ok())
+            return got.error();
+        if (got.value() == 0) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "connection closed mid-request");
+        }
+    }
+}
+
+} // namespace
+
+const std::string &
+HttpRequest::header(const std::string &name) const
+{
+    static const std::string kEmpty;
+    auto it = headers.find(toLower(name));
+    return it == headers.end() ? kEmpty : it->second;
+}
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+Result<HttpRequest>
+parseRequestHead(const std::string &head, const HttpLimits &limits)
+{
+    if (head.size() > limits.max_head_bytes + 4) {
+        return makeError(ErrorCode::HttpMalformed,
+                         "request head exceeds ", limits.max_head_bytes,
+                         " bytes");
+    }
+    std::size_t head_end = head.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+        return makeError(ErrorCode::HttpMalformed,
+                         "truncated request head (no blank line)");
+    }
+
+    HttpRequest req;
+    std::size_t pos = 0;
+    std::size_t line_end = head.find("\r\n", pos);
+    std::string request_line = head.substr(pos, line_end - pos);
+
+    std::size_t sp1 = request_line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        request_line.find(' ', sp2 + 1) != std::string::npos) {
+        return makeError(ErrorCode::HttpMalformed,
+                         "malformed request line '", request_line, "'");
+    }
+    req.method = request_line.substr(0, sp1);
+    req.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.version = request_line.substr(sp2 + 1);
+
+    if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+        return makeError(ErrorCode::HttpMalformed,
+                         "malformed request line '", request_line, "'");
+    }
+    for (char c : req.method) {
+        if (!std::isupper(static_cast<unsigned char>(c))) {
+            return makeError(ErrorCode::HttpMalformed, "bad method '",
+                             req.method, "'");
+        }
+    }
+    if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+        return makeError(ErrorCode::HttpMalformed,
+                         "unsupported protocol version '", req.version,
+                         "'");
+    }
+
+    pos = line_end + 2;
+    while (pos < head_end) {
+        line_end = head.find("\r\n", pos);
+        std::string line = head.substr(pos, line_end - pos);
+        pos = line_end + 2;
+        if (line.empty())
+            break;
+        if (line[0] == ' ' || line[0] == '\t') {
+            return makeError(ErrorCode::HttpMalformed,
+                             "obsolete header folding not supported");
+        }
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "malformed header line '", line, "'");
+        }
+        std::string name = line.substr(0, colon);
+        if (name.find(' ') != std::string::npos ||
+            name.find('\t') != std::string::npos) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "whitespace in header name '", name, "'");
+        }
+        req.headers[toLower(name)] = trim(line.substr(colon + 1));
+    }
+    return req;
+}
+
+Result<std::size_t>
+contentLength(const HttpRequest &request, const HttpLimits &limits)
+{
+    if (!request.header("transfer-encoding").empty()) {
+        return makeError(ErrorCode::HttpMalformed,
+                         "transfer-encoding not supported");
+    }
+    const std::string &raw = request.header("content-length");
+    if (raw.empty())
+        return std::size_t{0};
+    if (raw.size() > 12 ||
+        !std::all_of(raw.begin(), raw.end(), [](unsigned char c) {
+            return std::isdigit(c);
+        })) {
+        return makeError(ErrorCode::HttpMalformed,
+                         "bad content-length '", raw, "'");
+    }
+    std::size_t length = std::stoull(raw);
+    if (length > limits.max_body_bytes) {
+        return makeError(ErrorCode::HttpBodyTooLarge, "declared body of ",
+                         length, " bytes exceeds the ",
+                         limits.max_body_bytes, "-byte limit");
+    }
+    return length;
+}
+
+Result<HttpRequest>
+readRequest(int fd, const HttpLimits &limits)
+{
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(limits.read_deadline_ms);
+    std::string buf;
+    auto head_end =
+        readUntil(fd, buf, "\r\n\r\n", limits.max_head_bytes, deadline);
+    if (!head_end.ok())
+        return head_end.error();
+
+    std::size_t body_start = head_end.value() + 4;
+    auto parsed = parseRequestHead(buf.substr(0, body_start), limits);
+    if (!parsed.ok())
+        return parsed.error();
+    HttpRequest req = std::move(parsed).value();
+
+    auto length = contentLength(req, limits);
+    if (!length.ok())
+        return length.error();
+
+    req.body = buf.substr(body_start);
+    while (req.body.size() < length.value()) {
+        int left = remainingMs(deadline);
+        if (left == 0) {
+            return makeError(ErrorCode::HttpDeadline,
+                             "body not received before the deadline");
+        }
+        auto got = util::recvSome(
+            fd, req.body, length.value() - req.body.size(), left);
+        if (!got.ok())
+            return got.error();
+        if (got.value() == 0) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "connection closed mid-body");
+        }
+    }
+    req.body.resize(length.value());
+    return req;
+}
+
+std::string
+serializeResponse(const HttpResponse &response)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      statusReason(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    for (const auto &[name, value] : response.headers)
+        out += name + ": " + value + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+Result<HttpResponse>
+readResponse(int fd, const HttpLimits &limits)
+{
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(limits.read_deadline_ms);
+    std::string buf;
+    auto head_end =
+        readUntil(fd, buf, "\r\n\r\n", limits.max_head_bytes, deadline);
+    if (!head_end.ok())
+        return head_end.error();
+    std::size_t body_start = head_end.value() + 4;
+    std::string head = buf.substr(0, body_start);
+
+    HttpResponse res;
+    std::size_t line_end = head.find("\r\n");
+    std::string status_line = head.substr(0, line_end);
+    // "HTTP/1.1 200 OK"
+    std::size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos || sp1 + 4 > status_line.size()) {
+        return makeError(ErrorCode::HttpMalformed,
+                         "malformed status line '", status_line, "'");
+    }
+    std::string code = status_line.substr(sp1 + 1, 3);
+    if (!std::all_of(code.begin(), code.end(), [](unsigned char c) {
+            return std::isdigit(c);
+        })) {
+        return makeError(ErrorCode::HttpMalformed, "bad status code '",
+                         code, "'");
+    }
+    res.status = std::stoi(code);
+
+    // Headers: reuse the request parser's conventions via a fake head.
+    std::map<std::string, std::string> headers;
+    std::size_t pos = line_end + 2;
+    while (pos < body_start - 2) {
+        std::size_t eol = head.find("\r\n", pos);
+        std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (line.empty())
+            break;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        headers[toLower(line.substr(0, colon))] =
+            trim(line.substr(colon + 1));
+    }
+    res.headers = headers;
+    auto ct = headers.find("content-type");
+    if (ct != headers.end())
+        res.content_type = ct->second;
+
+    std::size_t length = 0;
+    auto cl = headers.find("content-length");
+    if (cl != headers.end()) {
+        const std::string &raw = cl->second;
+        if (raw.empty() || raw.size() > 12 ||
+            !std::all_of(raw.begin(), raw.end(), [](unsigned char c) {
+                return std::isdigit(c);
+            })) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "bad content-length '", raw, "'");
+        }
+        length = std::stoull(raw);
+        if (length > limits.max_body_bytes) {
+            return makeError(ErrorCode::HttpBodyTooLarge,
+                             "response body of ", length,
+                             " bytes exceeds the ",
+                             limits.max_body_bytes, "-byte limit");
+        }
+    }
+
+    res.body = buf.substr(body_start);
+    while (res.body.size() < length) {
+        int left = remainingMs(deadline);
+        if (left == 0) {
+            return makeError(ErrorCode::HttpDeadline,
+                             "response body not received before the "
+                             "deadline");
+        }
+        auto got = util::recvSome(fd, res.body,
+                                  length - res.body.size(), left);
+        if (!got.ok())
+            return got.error();
+        if (got.value() == 0) {
+            return makeError(ErrorCode::HttpMalformed,
+                             "connection closed mid-body");
+        }
+    }
+    res.body.resize(length);
+    return res;
+}
+
+} // namespace accelwall::serve

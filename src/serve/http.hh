@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 framing for the query service.
+ *
+ * Deliberately small: request line + headers + Content-Length body,
+ * one request per connection (Connection: close — keep-alive reuse is
+ * a ROADMAP item). Chunked transfer encoding, continuation lines, and
+ * HTTP/2 are rejected with stable error codes rather than half
+ * supported. Parsing is exposed on plain strings so the fuzz-ish test
+ * corpus can drive it without sockets.
+ */
+
+#ifndef ACCELWALL_SERVE_HTTP_HH
+#define ACCELWALL_SERVE_HTTP_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "util/error.hh"
+
+namespace accelwall::serve
+{
+
+/** Framing limits and the per-request read deadline. */
+struct HttpLimits
+{
+    /** Cap on the request head (request line + headers). */
+    std::size_t max_head_bytes = 16 * 1024;
+    /** Cap on the declared/received body. */
+    std::size_t max_body_bytes = 1024 * 1024;
+    /** Total wall-clock budget for reading one request, ms. */
+    int read_deadline_ms = 2000;
+};
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;  // "GET", "POST"
+    std::string target;  // "/v1/gains" (query strings not split)
+    std::string version; // "HTTP/1.1"
+    /** Header names lowercased; last occurrence wins. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Lowercase-name header lookup; "" when absent. */
+    const std::string &header(const std::string &name) const;
+};
+
+/** One response about to be serialized. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "application/json";
+    /** Extra headers (name: value), e.g. Retry-After. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+/** Canonical reason phrase for the status codes the service emits. */
+const char *statusReason(int status);
+
+/**
+ * Parse a complete request head (everything before the blank line,
+ * which must be included in @p head as the trailing "\r\n\r\n" — or
+ * be absent, in which case the head is truncated and rejected).
+ * The body is NOT consumed here; contentLength() reports how much to
+ * read next.
+ */
+Result<HttpRequest> parseRequestHead(const std::string &head,
+                                     const HttpLimits &limits = {});
+
+/**
+ * The validated Content-Length of a parsed request: 0 when absent,
+ * E5001 http-malformed when non-numeric or negative, E5003
+ * http-body-too-large when over the limit. Transfer-Encoding of any
+ * kind is E5001 (not supported).
+ */
+Result<std::size_t> contentLength(const HttpRequest &request,
+                                  const HttpLimits &limits);
+
+/**
+ * Read one full request (head + body) from a connected socket,
+ * enforcing all limits and the read deadline.
+ */
+Result<HttpRequest> readRequest(int fd, const HttpLimits &limits);
+
+/** Serialize with Content-Length and Connection: close. */
+std::string serializeResponse(const HttpResponse &response);
+
+/**
+ * Read one full response from a connected socket (client side):
+ * status line, headers, Content-Length body. Returns the parsed
+ * response with status and body populated.
+ */
+Result<HttpResponse> readResponse(int fd, const HttpLimits &limits);
+
+} // namespace accelwall::serve
+
+#endif // ACCELWALL_SERVE_HTTP_HH

@@ -1,0 +1,214 @@
+#include "serve/metrics.hh"
+
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace accelwall::serve
+{
+
+const char *
+endpointLabel(Endpoint ep)
+{
+    switch (ep) {
+      case Endpoint::Gains: return "/v1/gains";
+      case Endpoint::Csr: return "/v1/csr";
+      case Endpoint::Sweep: return "/v1/sweep";
+      case Endpoint::Healthz: return "/healthz";
+      case Endpoint::Metrics: return "/metrics";
+      case Endpoint::Other: return "other";
+    }
+    return "?";
+}
+
+Endpoint
+classifyEndpoint(const std::string &target)
+{
+    if (target == "/v1/gains")
+        return Endpoint::Gains;
+    if (target == "/v1/csr")
+        return Endpoint::Csr;
+    if (target == "/v1/sweep")
+        return Endpoint::Sweep;
+    if (target == "/healthz")
+        return Endpoint::Healthz;
+    if (target == "/metrics")
+        return Endpoint::Metrics;
+    return Endpoint::Other;
+}
+
+const char *
+statusClassLabel(StatusClass sc)
+{
+    switch (sc) {
+      case StatusClass::Ok2xx: return "2xx";
+      case StatusClass::ClientError4xx: return "4xx";
+      case StatusClass::ServerError5xx: return "5xx";
+    }
+    return "?";
+}
+
+StatusClass
+classifyStatus(int status)
+{
+    if (status >= 500)
+        return StatusClass::ServerError5xx;
+    if (status >= 400)
+        return StatusClass::ClientError4xx;
+    return StatusClass::Ok2xx;
+}
+
+namespace
+{
+
+std::size_t
+cellIndex(Endpoint ep, StatusClass sc)
+{
+    return static_cast<std::size_t>(ep) *
+               static_cast<std::size_t>(kNumStatusClasses) +
+           static_cast<std::size_t>(sc);
+}
+
+} // namespace
+
+void
+Metrics::recordRequest(Endpoint ep, int status, double seconds)
+{
+    StatusClass sc = classifyStatus(status);
+    requests_[cellIndex(ep, sc)].fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+        if (seconds <= kLatencyBucketsSeconds[i])
+            latency_buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    latency_count_.fetch_add(1, std::memory_order_relaxed);
+    latency_sum_ns_.fetch_add(
+        static_cast<std::uint64_t>(seconds * 1e9),
+        std::memory_order_relaxed);
+}
+
+void
+Metrics::recordShed()
+{
+    shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Metrics::incInflight()
+{
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Metrics::decInflight()
+{
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Metrics::requestCount(Endpoint ep, StatusClass sc) const
+{
+    return requests_[cellIndex(ep, sc)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Metrics::totalRequests() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cell : requests_)
+        total += cell.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Metrics::shedCount() const
+{
+    return shed_.load(std::memory_order_relaxed);
+}
+
+std::int64_t
+Metrics::inflight() const
+{
+    return inflight_.load(std::memory_order_relaxed);
+}
+
+std::string
+Metrics::renderPrometheus(const CacheStats &cache) const
+{
+    std::ostringstream os;
+
+    os << "# HELP accelwall_requests_total Finished HTTP requests.\n"
+          "# TYPE accelwall_requests_total counter\n";
+    for (int e = 0; e < kNumEndpoints; ++e) {
+        for (int s = 0; s < kNumStatusClasses; ++s) {
+            auto ep = static_cast<Endpoint>(e);
+            auto sc = static_cast<StatusClass>(s);
+            os << "accelwall_requests_total{endpoint=\""
+               << endpointLabel(ep) << "\",status=\""
+               << statusClassLabel(sc) << "\"} "
+               << requestCount(ep, sc) << "\n";
+        }
+    }
+
+    os << "# HELP accelwall_requests_shed_total Connections refused by "
+          "admission control.\n"
+          "# TYPE accelwall_requests_shed_total counter\n"
+          "accelwall_requests_shed_total "
+       << shedCount() << "\n";
+
+    os << "# HELP accelwall_request_duration_seconds Request handling "
+          "latency.\n"
+          "# TYPE accelwall_request_duration_seconds histogram\n";
+    for (std::size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+        os << "accelwall_request_duration_seconds_bucket{le=\""
+           << fmtJsonNumber(kLatencyBucketsSeconds[i]) << "\"} "
+           << latency_buckets_[i].load(std::memory_order_relaxed)
+           << "\n";
+    }
+    std::uint64_t count = latency_count_.load(std::memory_order_relaxed);
+    os << "accelwall_request_duration_seconds_bucket{le=\"+Inf\"} "
+       << count << "\n"
+       << "accelwall_request_duration_seconds_sum "
+       << fmtJsonNumber(
+              static_cast<double>(
+                  latency_sum_ns_.load(std::memory_order_relaxed)) /
+              1e9)
+       << "\n"
+       << "accelwall_request_duration_seconds_count " << count << "\n";
+
+    os << "# HELP accelwall_cache_hits_total Result-cache hits.\n"
+          "# TYPE accelwall_cache_hits_total counter\n"
+          "accelwall_cache_hits_total "
+       << cache.hits << "\n";
+    os << "# HELP accelwall_cache_misses_total Result-cache misses.\n"
+          "# TYPE accelwall_cache_misses_total counter\n"
+          "accelwall_cache_misses_total "
+       << cache.misses << "\n";
+    os << "# HELP accelwall_cache_insertions_total Result-cache "
+          "insertions.\n"
+          "# TYPE accelwall_cache_insertions_total counter\n"
+          "accelwall_cache_insertions_total "
+       << cache.insertions << "\n";
+    os << "# HELP accelwall_cache_evictions_total Result-cache LRU "
+          "evictions.\n"
+          "# TYPE accelwall_cache_evictions_total counter\n"
+          "accelwall_cache_evictions_total "
+       << cache.evictions << "\n";
+    os << "# HELP accelwall_cache_entries Resident cache entries.\n"
+          "# TYPE accelwall_cache_entries gauge\n"
+          "accelwall_cache_entries "
+       << cache.entries << "\n";
+    os << "# HELP accelwall_cache_hit_ratio Hits over lookups.\n"
+          "# TYPE accelwall_cache_hit_ratio gauge\n"
+          "accelwall_cache_hit_ratio "
+       << fmtJsonNumber(cache.hitRatio()) << "\n";
+
+    os << "# HELP accelwall_inflight_requests Requests being handled "
+          "right now.\n"
+          "# TYPE accelwall_inflight_requests gauge\n"
+          "accelwall_inflight_requests "
+       << inflight() << "\n";
+
+    return os.str();
+}
+
+} // namespace accelwall::serve

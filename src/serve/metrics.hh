@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Service metrics in Prometheus exposition format.
+ *
+ * A fixed, bounded metric set — no dynamic label registration, so
+ * label cardinality cannot blow up under adversarial request paths:
+ *
+ *   accelwall_requests_total{endpoint,status}  counter
+ *   accelwall_requests_shed_total              counter (admission 503s)
+ *   accelwall_request_duration_seconds         histogram (all requests)
+ *   accelwall_inflight_requests                gauge
+ *   accelwall_cache_{hits,misses,evictions,insertions}_total
+ *   accelwall_cache_entries / accelwall_cache_hit_ratio
+ *
+ * Counters are relaxed atomics: every hot-path touch is a single
+ * fetch_add, and Prometheus scrapes tolerate torn-across-counters
+ * snapshots by design.
+ */
+
+#ifndef ACCELWALL_SERVE_METRICS_HH
+#define ACCELWALL_SERVE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/cache.hh"
+
+namespace accelwall::serve
+{
+
+/** The bounded endpoint label set. */
+enum class Endpoint
+{
+    Gains,
+    Csr,
+    Sweep,
+    Healthz,
+    Metrics,
+    Other,
+};
+inline constexpr int kNumEndpoints = 6;
+
+/** Label value, e.g. "/v1/gains" or "other". */
+const char *endpointLabel(Endpoint ep);
+
+/** Classify a request target into the bounded label set. */
+Endpoint classifyEndpoint(const std::string &target);
+
+/** The bounded status label set (per-class, not per-code). */
+enum class StatusClass
+{
+    Ok2xx,
+    ClientError4xx,
+    ServerError5xx,
+};
+inline constexpr int kNumStatusClasses = 3;
+
+/** "2xx" / "4xx" / "5xx". */
+const char *statusClassLabel(StatusClass sc);
+
+/** Map an HTTP status code to its class label. */
+StatusClass classifyStatus(int status);
+
+/**
+ * Latency histogram bucket upper bounds, seconds. Cumulative buckets
+ * plus +Inf are rendered per the Prometheus histogram convention.
+ */
+inline constexpr std::array<double, 14> kLatencyBucketsSeconds = {
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025,  0.05,    0.1,    0.25,  0.5,    1.0,   2.5,
+};
+
+/** All service counters; one instance per Server. */
+class Metrics
+{
+  public:
+    Metrics() = default;
+
+    /** Count one finished request and observe its latency. */
+    void recordRequest(Endpoint ep, int status, double seconds);
+
+    /** Count one connection shed by admission control. */
+    void recordShed();
+
+    void incInflight();
+    void decInflight();
+
+    std::uint64_t requestCount(Endpoint ep, StatusClass sc) const;
+    std::uint64_t totalRequests() const;
+    std::uint64_t shedCount() const;
+    std::int64_t inflight() const;
+
+    /**
+     * Render the full exposition document, folding in the result
+     * cache's counters.
+     */
+    std::string renderPrometheus(const CacheStats &cache) const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>,
+               kNumEndpoints * kNumStatusClasses>
+        requests_{};
+    std::array<std::atomic<std::uint64_t>,
+               kLatencyBucketsSeconds.size()>
+        latency_buckets_{};
+    std::atomic<std::uint64_t> latency_count_{0};
+    /** Sum in nanoseconds so the hot path stays integer-atomic. */
+    std::atomic<std::uint64_t> latency_sum_ns_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::int64_t> inflight_{0};
+};
+
+} // namespace accelwall::serve
+
+#endif // ACCELWALL_SERVE_METRICS_HH

@@ -1,0 +1,210 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+
+#include "util/logging.hh"
+
+namespace accelwall::serve
+{
+
+namespace
+{
+
+/**
+ * The wake-pipe write target for the process's signal handlers. A
+ * lock-free slot because signal handlers may only touch
+ * async-signal-safe state.
+ */
+std::atomic<const util::WakePipe *> g_signal_pipe{nullptr};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    const util::WakePipe *pipe =
+        g_signal_pipe.load(std::memory_order_acquire);
+    if (pipe)
+        pipe->poke(); // one async-signal-safe write(2)
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service)
+{
+    if (options_.workers < 1)
+        options_.workers = 1;
+}
+
+Server::~Server()
+{
+    if (started_ && !joined_)
+        stop();
+    if (g_signal_pipe.load(std::memory_order_acquire) == &wake_)
+        g_signal_pipe.store(nullptr, std::memory_order_release);
+}
+
+Result<void>
+Server::start()
+{
+    if (started_)
+        panic("Server::start() called twice");
+    auto listener = util::tcpListen(options_.host, options_.port);
+    if (!listener.ok())
+        return listener.error();
+    listen_fd_ = std::move(listener.value().fd);
+    port_ = listener.value().port;
+
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    handlers_.reserve(static_cast<std::size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        handlers_.emplace_back([this] { handlerLoop(); });
+    return {};
+}
+
+void
+Server::requestStop()
+{
+    wake_.poke();
+}
+
+void
+Server::installSignalHandlers()
+{
+    g_signal_pipe.store(&wake_, std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = stopSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // interrupt blocking calls so the drain is prompt
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+Server::waitUntilStopped()
+{
+    if (!started_ || joined_)
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    for (std::thread &t : handlers_) {
+        if (t.joinable())
+            t.join();
+    }
+    joined_ = true;
+}
+
+void
+Server::stop()
+{
+    requestStop();
+    waitUntilStopped();
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        auto woke = util::pollReadable(listen_fd_.get(), wake_.readFd(),
+                                       -1);
+        if (!woke.ok())
+            continue; // EINTR; the self-pipe carries the real signal
+        if (woke.value() == wake_.readFd()) {
+            wake_.drain();
+            break;
+        }
+        auto conn = util::tcpAccept(listen_fd_.get());
+        if (!conn.ok()) {
+            if (conn.error().code() == ErrorCode::ServeConnection)
+                continue; // transient (ECONNABORTED / EINTR)
+            break;        // listener gone: treat as a stop request
+        }
+        bool accepted = false;
+        {
+            util::MutexLock lock(mu_);
+            if (queue_.size() < options_.accept_queue) {
+                queue_.push_back(std::move(conn.value()));
+                accepted = true;
+            }
+        }
+        if (accepted) {
+            cv_.notify_one();
+        } else {
+            shed(std::move(conn.value()));
+        }
+    }
+
+    // Drain: stop listening so new connections are refused by the OS,
+    // then let the handlers finish the accepted backlog.
+    listen_fd_.reset();
+    {
+        util::MutexLock lock(mu_);
+        draining_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+Server::shed(util::Fd fd)
+{
+    service_.metrics().recordShed();
+    HttpResponse res = errorResponse(
+        makeError(ErrorCode::ServeOverloaded,
+                  "accept queue full; retry after the backlog drains"));
+    // Best-effort, short deadline: a shed peer gets one small write.
+    (void)util::sendAll(fd.get(), serializeResponse(res), 100);
+    service_.metrics().recordRequest(Endpoint::Other, res.status, 0.0);
+}
+
+void
+Server::handlerLoop()
+{
+    while (true) {
+        util::Fd conn;
+        {
+            util::MutexLock lock(mu_);
+            cv_.wait(mu_, [this]() REQUIRES(mu_) {
+                return !queue_.empty() || draining_;
+            });
+            if (queue_.empty())
+                return; // draining and nothing left
+            conn = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        handleConnection(std::move(conn));
+    }
+}
+
+void
+Server::handleConnection(util::Fd fd)
+{
+    service_.metrics().incInflight();
+    auto start = std::chrono::steady_clock::now();
+
+    HttpResponse res;
+    Endpoint endpoint = Endpoint::Other;
+    auto request = readRequest(fd.get(), options_.limits);
+    if (!request.ok()) {
+        res = errorResponse(request.error());
+    } else {
+        endpoint = classifyEndpoint(request.value().target);
+        res = service_.handle(request.value());
+    }
+
+    std::string wire = serializeResponse(res);
+    // A peer that vanished mid-write is its own problem; the request
+    // is still recorded below.
+    (void)util::sendAll(fd.get(), wire, options_.limits.read_deadline_ms);
+    fd.reset();
+
+    double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    service_.metrics().recordRequest(endpoint, res.status, seconds);
+    service_.metrics().decInflight();
+}
+
+} // namespace accelwall::serve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The threaded HTTP server wrapping serve::Service.
+ *
+ * Threading model (DESIGN.md §8): one acceptor thread polls the
+ * listener and a self-pipe; accepted connections go into a bounded
+ * queue drained by a fixed pool of handler threads. When the queue is
+ * full, the acceptor itself answers 503 + Retry-After and closes —
+ * admission control sheds load before a request ties up a handler.
+ *
+ * Graceful drain: requestStop() (async-signal-safe via the self-pipe)
+ * stops the acceptor, which closes the listener; handlers finish the
+ * queued backlog and exit. waitUntilStopped() joins everything, so a
+ * SIGTERM'd daemon answers every accepted request before exiting —
+ * the drain death test in test_serve.cc pins this down.
+ */
+
+#ifndef ACCELWALL_SERVE_SERVER_HH
+#define ACCELWALL_SERVE_SERVER_HH
+
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.hh"
+#include "serve/service.hh"
+#include "util/socket.hh"
+#include "util/thread_annotations.hh"
+
+namespace accelwall::serve
+{
+
+/** Everything the daemon can configure. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    /** 0 requests an ephemeral port (reported by Server::port()). */
+    int port = 0;
+    /** Handler threads. */
+    int workers = 4;
+    /**
+     * Bounded accept-queue capacity. Connections accepted while the
+     * queue is full are shed with 503 + Retry-After. 0 sheds
+     * everything (useful to test the admission path).
+     */
+    std::size_t accept_queue = 64;
+    HttpLimits limits;
+    ServiceOptions service;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+
+    /** Joins (via stop) if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the acceptor + handler threads. */
+    Result<void> start();
+
+    /** The bound port (valid after start()). */
+    int port() const { return port_; }
+
+    /**
+     * Begin a graceful drain. Async-signal-safe (one pipe write); may
+     * be called any number of times from any thread or handler.
+     */
+    void requestStop();
+
+    /** Block until the drain finishes and every thread is joined. */
+    void waitUntilStopped();
+
+    /** requestStop() + waitUntilStopped(). */
+    void stop();
+
+    Service &service() { return service_; }
+
+    /**
+     * Install SIGINT/SIGTERM handlers that requestStop() this server.
+     * One server per process may own the signals at a time.
+     */
+    void installSignalHandlers();
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void handleConnection(util::Fd fd);
+    /** Answer 503 + Retry-After straight from the acceptor. */
+    void shed(util::Fd fd);
+
+    ServerOptions options_;
+    Service service_;
+    util::Fd listen_fd_;
+    int port_ = 0;
+    util::WakePipe wake_;
+
+    util::Mutex mu_;
+    util::ConditionVariable cv_;
+    std::deque<util::Fd> queue_ GUARDED_BY(mu_);
+    bool draining_ GUARDED_BY(mu_) = false;
+
+    std::thread acceptor_;
+    std::vector<std::thread> handlers_;
+    bool started_ = false;
+    bool joined_ = false;
+};
+
+} // namespace accelwall::serve
+
+#endif // ACCELWALL_SERVE_SERVER_HH

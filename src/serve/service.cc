@@ -1,0 +1,640 @@
+#include "serve/service.hh"
+
+#include <cmath>
+
+#include "aladdin/design_point.hh"
+#include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
+#include "csr/csr.hh"
+#include "kernels/kernels.hh"
+#include "util/json.hh"
+
+namespace accelwall::serve
+{
+
+int
+httpStatusFor(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::HttpUnsupportedMethod: return 405;
+      case ErrorCode::HttpBodyTooLarge:
+      case ErrorCode::ServeSweepTooLarge: return 413;
+      case ErrorCode::HttpDeadline: return 408;
+      case ErrorCode::ServeOverloaded: return 503;
+      case ErrorCode::ServeUnknownEndpoint: return 404;
+      case ErrorCode::FaultInjected:
+      case ErrorCode::ServeBind:
+      case ErrorCode::ServeConnection:
+      case ErrorCode::Internal: return 500;
+      default:
+        // Every parse/validation/fit/sweep-input code is the
+        // client's input being wrong.
+        return 400;
+    }
+}
+
+std::string
+errorBody(const Error &error)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("error").beginObject();
+    w.key("code").value(errorCodeName(error.code()));
+    w.key("label").value(errorCodeLabel(error.code()));
+    w.key("message").value(error.message());
+    if (!error.context().empty())
+        w.key("context").value(error.context());
+    if (error.line() != 0) {
+        w.key("line").value(static_cast<unsigned long long>(error.line()));
+        w.key("column").value(
+            static_cast<unsigned long long>(error.column()));
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+HttpResponse
+errorResponse(const Error &error)
+{
+    HttpResponse res;
+    res.status = httpStatusFor(error.code());
+    res.body = errorBody(error);
+    if (res.status == 503)
+        res.headers["Retry-After"] = "1";
+    return res;
+}
+
+namespace
+{
+
+/** The registry names /v1/sweep accepts (kernels + extensions). */
+bool
+knownKernel(const std::string &name)
+{
+    for (const kernels::KernelInfo &info : kernels::kernelTable()) {
+        if (info.abbrev == name)
+            return true;
+    }
+    for (const char *ext : { "BTC", "BTC-AB", "IDCT", "ENT", "DFT" }) {
+        if (name == ext)
+            return true;
+    }
+    return false;
+}
+
+Result<const JsonValue *>
+requireMember(const JsonValue &obj, const char *name,
+              JsonValue::Kind kind, const char *kind_name)
+{
+    const JsonValue *member = obj.find(name);
+    if (!member) {
+        return makeError(ErrorCode::JsonMissingField,
+                         "missing required field \"", name, "\"");
+    }
+    if (member->kind() != kind) {
+        return makeError(ErrorCode::JsonBadType, "field \"", name,
+                         "\" must be a ", kind_name, ", got ",
+                         member->kindName());
+    }
+    return member;
+}
+
+/** Required finite number member. */
+Result<double>
+numberMember(const JsonValue &obj, const char *name)
+{
+    auto member = requireMember(obj, name, JsonValue::Kind::Number,
+                                "number");
+    if (!member.ok())
+        return member.error();
+    return member.value()->asNumber();
+}
+
+/** Optional finite number member with a default. */
+Result<double>
+numberMemberOr(const JsonValue &obj, const char *name, double fallback)
+{
+    const JsonValue *member = obj.find(name);
+    if (!member)
+        return fallback;
+    if (!member->isNumber()) {
+        return makeError(ErrorCode::JsonBadType, "field \"", name,
+                         "\" must be a number, got ",
+                         member->kindName());
+    }
+    return member->asNumber();
+}
+
+Result<double>
+positive(Result<double> value, const char *name)
+{
+    if (!value.ok())
+        return value;
+    if (!(value.value() > 0.0) || !std::isfinite(value.value())) {
+        return makeError(ErrorCode::JsonBadValue, "field \"", name,
+                         "\" must be a positive finite number");
+    }
+    return value;
+}
+
+/** Parse a ChipSpec object {node_nm, area_mm2, freq_ghz?, tdp_w?}. */
+Result<potential::ChipSpec>
+parseSpec(const JsonValue &obj)
+{
+    auto node = positive(numberMember(obj, "node_nm"), "node_nm");
+    if (!node.ok())
+        return node.error();
+    auto area = positive(numberMember(obj, "area_mm2"), "area_mm2");
+    if (!area.ok())
+        return area.error();
+    auto freq =
+        positive(numberMemberOr(obj, "freq_ghz", 1.0), "freq_ghz");
+    if (!freq.ok())
+        return freq.error();
+    auto tdp = positive(
+        numberMemberOr(obj, "tdp_w", potential::kUncappedTdp.raw()),
+        "tdp_w");
+    if (!tdp.ok())
+        return tdp.error();
+
+    potential::ChipSpec spec;
+    spec.node_nm = units::Nanometers{node.value()};
+    spec.area_mm2 = units::SquareMillimeters{area.value()};
+    spec.freq_ghz = units::Gigahertz{freq.value()};
+    spec.tdp_w = units::Watts{tdp.value()};
+    return spec;
+}
+
+void
+writeSpec(JsonWriter &w, const potential::ChipSpec &spec)
+{
+    w.beginObject();
+    w.key("node_nm").value(spec.node_nm.raw());
+    w.key("area_mm2").value(spec.area_mm2.raw());
+    w.key("freq_ghz").value(spec.freq_ghz.raw());
+    w.key("tdp_w").value(spec.tdp_w.raw());
+    w.endObject();
+}
+
+Result<csr::Metric>
+parseMetric(const JsonValue &root)
+{
+    const JsonValue *metric = root.find("metric");
+    if (!metric)
+        return csr::Metric::Throughput;
+    if (!metric->isString()) {
+        return makeError(ErrorCode::JsonBadType,
+                         "field \"metric\" must be a string, got ",
+                         metric->kindName());
+    }
+    const std::string &name = metric->asString();
+    if (name == "throughput")
+        return csr::Metric::Throughput;
+    if (name == "efficiency")
+        return csr::Metric::EnergyEfficiency;
+    if (name == "area")
+        return csr::Metric::AreaThroughput;
+    return makeError(ErrorCode::JsonBadValue, "unknown metric \"", name,
+                     "\" (expected throughput|efficiency|area)");
+}
+
+/** Numeric array member -> vector<double>, each validated by @p each. */
+template <typename Check>
+Result<std::vector<double>>
+numberArray(const JsonValue &obj, const char *name, Check each)
+{
+    auto member =
+        requireMember(obj, name, JsonValue::Kind::Array, "array");
+    if (!member.ok())
+        return member.error();
+    std::vector<double> out;
+    for (const JsonValue &item : member.value()->asArray()) {
+        if (!item.isNumber()) {
+            return makeError(ErrorCode::JsonBadType, "field \"", name,
+                             "\" must contain only numbers, got ",
+                             item.kindName());
+        }
+        double v = item.asNumber();
+        if (Result<void> r = each(v); !r.ok())
+            return r.error();
+        out.push_back(v);
+    }
+    if (out.empty()) {
+        return makeError(ErrorCode::SweepEmptyDimension, "field \"",
+                         name, "\" must not be empty");
+    }
+    return out;
+}
+
+} // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_entries, options_.cache_shards)
+{
+}
+
+HttpResponse
+Service::handle(const HttpRequest &request)
+{
+    const std::string &target = request.target;
+    if (target == "/healthz" || target == "/metrics") {
+        if (request.method != "GET") {
+            return errorResponse(makeError(
+                ErrorCode::HttpUnsupportedMethod, request.method,
+                " not allowed on ", target, " (use GET)"));
+        }
+        return target == "/healthz" ? handleHealthz() : handleMetrics();
+    }
+    if (target == "/v1/gains" || target == "/v1/csr" ||
+        target == "/v1/sweep") {
+        if (request.method != "POST") {
+            return errorResponse(makeError(
+                ErrorCode::HttpUnsupportedMethod, request.method,
+                " not allowed on ", target, " (use POST)"));
+        }
+        if (target == "/v1/gains")
+            return handleGains(request);
+        if (target == "/v1/csr")
+            return handleCsr(request);
+        return handleSweep(request);
+    }
+    return errorResponse(makeError(ErrorCode::ServeUnknownEndpoint,
+                                   "no endpoint at '", target, "'"));
+}
+
+HttpResponse
+Service::cachedPost(const HttpRequest &request, const char *endpoint,
+                    Result<std::string> (Service::*compute)(
+                        const std::string &))
+{
+    if (auto cached = cache_.lookup(endpoint, request.body)) {
+        HttpResponse res;
+        res.body = std::move(*cached);
+        res.headers["X-Cache"] = "hit";
+        return res;
+    }
+    Result<std::string> body = (this->*compute)(request.body);
+    if (!body.ok())
+        return errorResponse(body.error());
+    cache_.insert(endpoint, request.body, body.value());
+    HttpResponse res;
+    res.body = std::move(body).value();
+    res.headers["X-Cache"] = "miss";
+    return res;
+}
+
+HttpResponse
+Service::handleGains(const HttpRequest &request)
+{
+    return cachedPost(request, "/v1/gains", &Service::computeGains);
+}
+
+HttpResponse
+Service::handleCsr(const HttpRequest &request)
+{
+    return cachedPost(request, "/v1/csr", &Service::computeCsr);
+}
+
+HttpResponse
+Service::handleSweep(const HttpRequest &request)
+{
+    return cachedPost(request, "/v1/sweep", &Service::computeSweep);
+}
+
+Result<std::string>
+Service::computeGains(const std::string &body)
+{
+    auto parsed = parseJson(body);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue &root = parsed.value();
+    if (!root.isObject()) {
+        return makeError(ErrorCode::JsonBadType,
+                         "request must be a JSON object, got ",
+                         root.kindName());
+    }
+
+    auto spec_member =
+        requireMember(root, "spec", JsonValue::Kind::Object, "object");
+    if (!spec_member.ok())
+        return spec_member.error();
+    auto spec = parseSpec(*spec_member.value());
+    if (!spec.ok())
+        return spec.error();
+
+    // Default reference: the paper's 25mm2 45nm 1GHz chip with the
+    // same envelope policy as the spec (uncapped unless given).
+    potential::ChipSpec ref;
+    if (const JsonValue *ref_member = root.find("ref")) {
+        if (!ref_member->isObject()) {
+            return makeError(ErrorCode::JsonBadType,
+                             "field \"ref\" must be an object, got ",
+                             ref_member->kindName());
+        }
+        auto parsed_ref = parseSpec(*ref_member);
+        if (!parsed_ref.ok())
+            return parsed_ref.error();
+        ref = parsed_ref.value();
+    }
+
+    const potential::ChipSpec &s = spec.value();
+    JsonWriter w;
+    w.beginObject();
+    w.key("spec");
+    writeSpec(w, s);
+    w.key("ref");
+    writeSpec(w, ref);
+    w.key("potential").beginObject();
+    w.key("area_transistors").value(model_.areaTransistors(s).raw());
+    w.key("tdp_transistors").value(model_.tdpTransistors(s).raw());
+    w.key("active_transistors")
+        .value(model_.activeTransistors(s).raw());
+    w.key("throughput_tghz").value(model_.throughput(s).raw());
+    w.key("power_w").value(model_.power(s).raw());
+    w.key("efficiency_tghz_per_w")
+        .value(model_.energyEfficiency(s).raw());
+    w.endObject();
+    w.key("gains").beginObject();
+    w.key("throughput").value(model_.throughputGain(s, ref));
+    w.key("efficiency").value(model_.efficiencyGain(s, ref));
+    w.key("area_throughput").value(model_.areaThroughputGain(s, ref));
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+Result<std::string>
+Service::computeCsr(const std::string &body)
+{
+    auto parsed = parseJson(body);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue &root = parsed.value();
+    if (!root.isObject()) {
+        return makeError(ErrorCode::JsonBadType,
+                         "request must be a JSON object, got ",
+                         root.kindName());
+    }
+
+    auto metric = parseMetric(root);
+    if (!metric.ok())
+        return metric.error();
+
+    auto chips_member =
+        requireMember(root, "chips", JsonValue::Kind::Array, "array");
+    if (!chips_member.ok())
+        return chips_member.error();
+    const auto &chip_values = chips_member.value()->asArray();
+    if (chip_values.size() < 2) {
+        return makeError(ErrorCode::JsonBadValue,
+                         "need at least two chips, got ",
+                         chip_values.size());
+    }
+    if (chip_values.size() > options_.max_csr_chips) {
+        return makeError(ErrorCode::JsonBadValue, "chip series of ",
+                         chip_values.size(), " exceeds the ",
+                         options_.max_csr_chips, "-chip limit");
+    }
+
+    std::vector<csr::ChipGain> chips;
+    chips.reserve(chip_values.size());
+    for (std::size_t i = 0; i < chip_values.size(); ++i) {
+        const JsonValue &cv = chip_values[i];
+        if (!cv.isObject()) {
+            return makeError(ErrorCode::JsonBadType, "chips[", i,
+                             "] must be an object, got ", cv.kindName());
+        }
+        csr::ChipGain chip;
+        if (const JsonValue *name = cv.find("name")) {
+            if (!name->isString()) {
+                return makeError(ErrorCode::JsonBadType, "chips[", i,
+                                 "].name must be a string");
+            }
+            chip.name = name->asString();
+        } else {
+            chip.name = "chip" + std::to_string(i);
+        }
+        auto spec = parseSpec(cv);
+        if (!spec.ok()) {
+            Error err = spec.error();
+            return Error(err.code(),
+                         "chips[" + std::to_string(i) +
+                             "]: " + err.message());
+        }
+        chip.spec = spec.value();
+        auto gain = positive(numberMember(cv, "gain"), "gain");
+        if (!gain.ok()) {
+            Error err = gain.error();
+            return Error(err.code(),
+                         "chips[" + std::to_string(i) +
+                             "]: " + err.message());
+        }
+        chip.gain = gain.value();
+        auto year = numberMemberOr(cv, "year", 0.0);
+        if (!year.ok())
+            return year.error();
+        chip.year = year.value();
+        chips.push_back(std::move(chip));
+    }
+
+    std::size_t baseline = 0;
+    if (const JsonValue *b = root.find("baseline")) {
+        if (!b->isNumber() || b->asNumber() != std::floor(b->asNumber()) ||
+            b->asNumber() < 0) {
+            return makeError(ErrorCode::JsonBadValue,
+                             "field \"baseline\" must be a non-negative "
+                             "integer");
+        }
+        baseline = static_cast<std::size_t>(b->asNumber());
+        if (baseline >= chips.size()) {
+            return makeError(ErrorCode::JsonBadValue, "baseline index ",
+                             baseline, " out of range for ",
+                             chips.size(), " chips");
+        }
+    }
+
+    auto series =
+        csr::csrSeries(chips, model_, metric.value(), baseline);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("metric").value(csr::metricName(metric.value()));
+    w.key("baseline").value(
+        static_cast<unsigned long long>(baseline));
+    w.key("points").beginArray();
+    for (const csr::CsrPoint &pt : series) {
+        w.beginObject();
+        w.key("name").value(pt.name);
+        w.key("year").value(pt.year);
+        w.key("rel_gain").value(pt.rel_gain);
+        w.key("rel_phy").value(pt.rel_phy);
+        w.key("csr").value(pt.csr);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+Result<std::string>
+Service::computeSweep(const std::string &body)
+{
+    auto parsed = parseJson(body);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue &root = parsed.value();
+    if (!root.isObject()) {
+        return makeError(ErrorCode::JsonBadType,
+                         "request must be a JSON object, got ",
+                         root.kindName());
+    }
+
+    auto kernel_member =
+        requireMember(root, "kernel", JsonValue::Kind::String, "string");
+    if (!kernel_member.ok())
+        return kernel_member.error();
+    const std::string &kernel = kernel_member.value()->asString();
+    if (!knownKernel(kernel)) {
+        return makeError(ErrorCode::JsonBadValue, "unknown kernel \"",
+                         kernel, "\"");
+    }
+
+    auto nodes = numberArray(root, "nodes", [](double v) -> Result<void> {
+        if (!(v > 0.0) || !std::isfinite(v)) {
+            return makeError(ErrorCode::JsonBadValue,
+                             "nodes must be positive");
+        }
+        return {};
+    });
+    if (!nodes.ok())
+        return nodes.error();
+
+    auto partitions = numberArray(
+        root, "partitions", [](double v) -> Result<void> {
+            if (v != std::floor(v) || v < 1 || v > (1 << 20)) {
+                return makeError(ErrorCode::JsonBadValue,
+                                 "partitions must be integers in "
+                                 "[1, 1048576]");
+            }
+            return {};
+        });
+    if (!partitions.ok())
+        return partitions.error();
+
+    auto simplifications = numberArray(
+        root, "simplifications", [](double v) -> Result<void> {
+            if (v != std::floor(v) || v < 1 || v > 13) {
+                return makeError(ErrorCode::JsonBadValue,
+                                 "simplifications must be integers in "
+                                 "[1, 13]");
+            }
+            return {};
+        });
+    if (!simplifications.ok())
+        return simplifications.error();
+
+    std::size_t cells = nodes.value().size() *
+                        partitions.value().size() *
+                        simplifications.value().size();
+    if (cells > options_.max_sweep_cells) {
+        return makeError(ErrorCode::ServeSweepTooLarge, "grid of ",
+                         cells, " cells exceeds the ",
+                         options_.max_sweep_cells,
+                         "-cell per-request limit");
+    }
+
+    aladdin::SweepConfig cfg;
+    cfg.nodes = nodes.value();
+    for (double p : partitions.value())
+        cfg.partitions.push_back(static_cast<int>(p));
+    for (double s : simplifications.value())
+        cfg.simplifications.push_back(static_cast<int>(s));
+
+    if (const JsonValue *chaining = root.find("chaining")) {
+        if (!chaining->isBool()) {
+            return makeError(ErrorCode::JsonBadType,
+                             "field \"chaining\" must be a bool, got ",
+                             chaining->kindName());
+        }
+        cfg.chaining = chaining->asBool();
+    }
+    auto clock =
+        positive(numberMemberOr(root, "clock_ghz", 1.0), "clock_ghz");
+    if (!clock.ok())
+        return clock.error();
+    cfg.clock_ghz = clock.value();
+
+    aladdin::Simulator sim(kernels::makeKernel(kernel));
+    aladdin::SweepOptions sweep_opts;
+    sweep_opts.on_error = aladdin::OnError::Skip;
+    sweep_opts.jobs = options_.sweep_jobs;
+    auto outcome = aladdin::runSweepChecked(sim, cfg, sweep_opts);
+    if (!outcome.ok())
+        return outcome.error();
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("kernel").value(kernel);
+    w.key("cells").beginArray();
+    for (const aladdin::SweepPoint &pt : outcome.value().points) {
+        w.beginObject();
+        w.key("node_nm").value(pt.dp.node_nm);
+        w.key("partition").value(pt.dp.partition);
+        w.key("simplification").value(pt.dp.simplification);
+        w.key("ok").value(pt.ok);
+        if (pt.ok) {
+            w.key("cycles").value(
+                static_cast<unsigned long long>(pt.res.cycles));
+            w.key("runtime_ns").value(pt.res.runtime_ns);
+            w.key("energy_pj").value(pt.res.energy_pj);
+            w.key("power_mw").value(pt.res.power_mw);
+            w.key("area_um2").value(pt.res.area_um2);
+            w.key("throughput_ops").value(pt.res.throughput_ops);
+            w.key("efficiency_opj").value(pt.res.efficiency_opj);
+        } else {
+            w.key("error_code").value(errorCodeName(pt.error_code));
+            w.key("error").value(pt.error);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    const aladdin::SweepReport &report = outcome.value().report;
+    w.key("report").beginObject();
+    w.key("chains").value(
+        static_cast<unsigned long long>(report.chains));
+    w.key("evaluated").value(
+        static_cast<unsigned long long>(report.evaluated));
+    w.key("failed").value(
+        static_cast<unsigned long long>(report.failed));
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+HttpResponse
+Service::handleHealthz() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("status").value("ok");
+    w.key("version").value(options_.version);
+    w.key("inflight").value(
+        static_cast<long long>(metrics_.inflight()));
+    w.endObject();
+    HttpResponse res;
+    res.body = w.str();
+    return res;
+}
+
+HttpResponse
+Service::handleMetrics() const
+{
+    HttpResponse res;
+    res.content_type = "text/plain; version=0.0.4";
+    res.body = metrics_.renderPrometheus(cache_.stats());
+    return res;
+}
+
+} // namespace accelwall::serve

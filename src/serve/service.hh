@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The query service's endpoint logic, socket-free and fully
+ * unit-testable: HttpRequest in, HttpResponse out.
+ *
+ * Endpoints:
+ *   POST /v1/gains  CMOS potential + gains for one ChipSpec vs a
+ *                   reference (Fig. 3d / Eq. 2 denominator).
+ *   POST /v1/csr    CSR series over a submitted gain table (Eq. 1-2).
+ *   POST /v1/sweep  A bounded Section-VI design-space sweep, fanned
+ *                   out on the shared util::ThreadPool.
+ *   GET  /healthz   Liveness + version.
+ *   GET  /metrics   Prometheus exposition (requests, latency
+ *                   histogram, cache counters).
+ *
+ * Failures map from stable error codes to HTTP statuses (see
+ * httpStatusFor) with structured JSON bodies:
+ *
+ *   {"error": {"code": "E1101", "label": "json-parse",
+ *              "message": "...", "line": 3, "column": 7}}
+ *
+ * Successful gains/csr/sweep responses are cached in a sharded LRU
+ * keyed by (endpoint, body); hits return the exact cached bytes, so
+ * repeated identical queries are byte-identical.
+ */
+
+#ifndef ACCELWALL_SERVE_SERVICE_HH
+#define ACCELWALL_SERVE_SERVICE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "potential/model.hh"
+#include "serve/cache.hh"
+#include "serve/http.hh"
+#include "serve/metrics.hh"
+#include "util/error.hh"
+
+namespace accelwall::serve
+{
+
+/** Service-level knobs (framing limits live in HttpLimits). */
+struct ServiceOptions
+{
+    /** Result-cache entry budget (0 disables caching). */
+    std::size_t cache_entries = 1024;
+    /** Result-cache shard count. */
+    std::size_t cache_shards = 8;
+    /**
+     * Upper bound on nodes x partitions x simplifications per
+     * /v1/sweep request; larger grids are rejected with 413 E5007.
+     */
+    std::size_t max_sweep_cells = 512;
+    /** Upper bound on chips per /v1/csr request. */
+    std::size_t max_csr_chips = 1024;
+    /** Worker threads per sweep request (0 = util::defaultJobs()). */
+    int sweep_jobs = 0;
+    /** Reported by /healthz. */
+    std::string version = "unknown";
+};
+
+/** HTTP status for a stable error code (part of the interface). */
+int httpStatusFor(ErrorCode code);
+
+/** Structured JSON error body for @p error. */
+std::string errorBody(const Error &error);
+
+/** Build the full error response (status + JSON body) for @p error. */
+HttpResponse errorResponse(const Error &error);
+
+/**
+ * The dispatcher. Thread-safe: handle() may be called concurrently
+ * from every server worker (the model is immutable after
+ * construction, the cache is internally sharded, metrics are
+ * atomic).
+ */
+class Service
+{
+  public:
+    explicit Service(ServiceOptions options = {});
+
+    /** Route and execute one request. Never throws; never fatal()s. */
+    HttpResponse handle(const HttpRequest &request);
+
+    Metrics &metrics() { return metrics_; }
+    const Metrics &metrics() const { return metrics_; }
+    ResultCache &cache() { return cache_; }
+    const ServiceOptions &options() const { return options_; }
+
+  private:
+    HttpResponse handleGains(const HttpRequest &request);
+    HttpResponse handleCsr(const HttpRequest &request);
+    HttpResponse handleSweep(const HttpRequest &request);
+    HttpResponse handleHealthz() const;
+    HttpResponse handleMetrics() const;
+
+    /** Serve from cache or compute-and-fill. */
+    HttpResponse cachedPost(
+        const HttpRequest &request, const char *endpoint,
+        Result<std::string> (Service::*compute)(const std::string &));
+
+    Result<std::string> computeGains(const std::string &body);
+    Result<std::string> computeCsr(const std::string &body);
+    Result<std::string> computeSweep(const std::string &body);
+
+    ServiceOptions options_;
+    potential::PotentialModel model_;
+    ResultCache cache_;
+    Metrics metrics_;
+};
+
+} // namespace accelwall::serve
+
+#endif // ACCELWALL_SERVE_SERVICE_HH

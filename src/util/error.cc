@@ -15,6 +15,10 @@ errorCodeLabel(ErrorCode code)
       case ErrorCode::CsvBadNumber: return "csv-bad-number";
       case ErrorCode::CsvMissingColumn: return "csv-missing-column";
       case ErrorCode::CsvNoData: return "csv-no-data";
+      case ErrorCode::JsonParse: return "json-parse";
+      case ErrorCode::JsonBadType: return "json-bad-type";
+      case ErrorCode::JsonMissingField: return "json-missing-field";
+      case ErrorCode::JsonBadValue: return "json-bad-value";
       case ErrorCode::RecordNonPositiveNode:
         return "record-non-positive-node";
       case ErrorCode::RecordNonPositiveArea:
@@ -32,6 +36,17 @@ errorCodeLabel(ErrorCode code)
       case ErrorCode::CheckpointIo: return "checkpoint-io";
       case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
       case ErrorCode::CheckpointMismatch: return "checkpoint-mismatch";
+      case ErrorCode::HttpMalformed: return "http-malformed";
+      case ErrorCode::HttpUnsupportedMethod:
+          return "http-unsupported-method";
+      case ErrorCode::HttpBodyTooLarge: return "http-body-too-large";
+      case ErrorCode::HttpDeadline: return "http-deadline";
+      case ErrorCode::ServeOverloaded: return "serve-overloaded";
+      case ErrorCode::ServeUnknownEndpoint:
+          return "serve-unknown-endpoint";
+      case ErrorCode::ServeSweepTooLarge: return "serve-sweep-too-large";
+      case ErrorCode::ServeBind: return "serve-bind";
+      case ErrorCode::ServeConnection: return "serve-connection";
       case ErrorCode::FaultInjected: return "fault-injected";
       case ErrorCode::Internal: return "internal";
     }

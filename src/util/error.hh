@@ -45,6 +45,10 @@ enum class ErrorCode
     CsvBadNumber = 1003,
     CsvMissingColumn = 1004,
     CsvNoData = 1005,
+    JsonParse = 1101,
+    JsonBadType = 1102,
+    JsonMissingField = 1103,
+    JsonBadValue = 1104,
 
     // 2xxx: chipdb record validation.
     RecordNonPositiveNode = 2001,
@@ -64,6 +68,18 @@ enum class ErrorCode
     CheckpointIo = 4101,
     CheckpointCorrupt = 4102,
     CheckpointMismatch = 4103,
+
+    // 5xxx: embedded query service (serve). The HTTP status each code
+    // maps to is part of the interface; see serve/service.hh.
+    HttpMalformed = 5001,
+    HttpUnsupportedMethod = 5002,
+    HttpBodyTooLarge = 5003,
+    HttpDeadline = 5004,
+    ServeOverloaded = 5005,
+    ServeUnknownEndpoint = 5006,
+    ServeSweepTooLarge = 5007,
+    ServeBind = 5008,
+    ServeConnection = 5009,
 
     // 9xxx: injected faults and internal fallbacks.
     FaultInjected = 9001,

@@ -1,0 +1,663 @@
+#include "util/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace accelwall
+{
+
+std::string
+fmtJsonNumber(double value)
+{
+    if (!std::isfinite(value)) {
+        // JSON has no Inf/NaN; emitters must not feed them here.
+        panic("fmtJsonNumber: non-finite value");
+    }
+    constexpr double kMaxExactInt = 9007199254740992.0; // 2^53
+    if (value == std::floor(value) && std::fabs(value) <= kMaxExactInt) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    return std::string(buf, res.ptr);
+}
+
+// --- JsonWriter -------------------------------------------------------
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        if (!out_.empty())
+            panic("JsonWriter: multiple top-level values");
+        return;
+    }
+    auto &[scope, populated] = stack_.back();
+    if (scope == Scope::Object) {
+        if (!key_pending_)
+            panic("JsonWriter: object value without a key");
+        key_pending_ = false;
+        return; // key() already wrote the separator
+    }
+    if (populated)
+        out_ += pretty_ ? "," : ", ";
+    if (pretty_)
+        indent();
+    populated = true;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.empty() || stack_.back().first != Scope::Object)
+        panic("JsonWriter: key() outside an object");
+    if (key_pending_)
+        panic("JsonWriter: key() twice without a value");
+    if (stack_.back().second)
+        out_ += pretty_ ? "," : ", ";
+    if (pretty_)
+        indent();
+    stack_.back().second = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\": ";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.emplace_back(Scope::Object, false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back().first != Scope::Object ||
+        key_pending_)
+        panic("JsonWriter: unbalanced endObject()");
+    bool populated = stack_.back().second;
+    stack_.pop_back();
+    if (pretty_ && populated)
+        indent();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.emplace_back(Scope::Array, false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back().first != Scope::Array)
+        panic("JsonWriter: unbalanced endArray()");
+    bool populated = stack_.back().second;
+    stack_.pop_back();
+    if (pretty_ && populated)
+        indent();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    out_ += fmtJsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned long v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(long long v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned long long v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+// --- JsonValue --------------------------------------------------------
+
+const char *
+JsonValue::kindName() const
+{
+    switch (kind_) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JsonValue: asBool() on a ", kindName());
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue: asNumber() on a ", kindName());
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JsonValue: asString() on a ", kindName());
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue: asArray() on a ", kindName());
+    return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue: members() on a ", kindName());
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue: find() on a ", kindName());
+    for (const auto &[key, value] : object_) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.number_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j.kind_ = Kind::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue j;
+    j.kind_ = Kind::Array;
+    j.array_ = std::move(items);
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> m)
+{
+    JsonValue j;
+    j.kind_ = Kind::Object;
+    j.object_ = std::move(m);
+    return j;
+}
+
+// --- parser -----------------------------------------------------------
+
+namespace
+{
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::size_t max_depth)
+        : text_(text), max_depth_(max_depth)
+    {
+    }
+
+    Result<JsonValue>
+    parse()
+    {
+        JsonValue root;
+        if (Result<void> r = parseValue(root, 0); !r.ok())
+            return r.error();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing content after the document");
+        return root;
+    }
+
+  private:
+    Error
+    errorHere(const std::string &message) const
+    {
+        // 1-based line:column of pos_.
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        return Error(ErrorCode::JsonParse, message).at(line, col);
+    }
+
+    Error fail(const std::string &message) const
+    {
+        return errorHere(message);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Result<void>
+    parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth > max_depth_)
+            return fail("nesting deeper than the limit");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"': return parseString(out);
+          case 't':
+          case 'f': return parseBool(out);
+          case 'n': return parseNull(out);
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    Result<void>
+    parseLiteral(const char *word)
+    {
+        std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return {};
+    }
+
+    Result<void>
+    parseNull(JsonValue &out)
+    {
+        if (Result<void> r = parseLiteral("null"); !r.ok())
+            return r;
+        out = JsonValue::makeNull();
+        return {};
+    }
+
+    Result<void>
+    parseBool(JsonValue &out)
+    {
+        bool v = text_[pos_] == 't';
+        if (Result<void> r = parseLiteral(v ? "true" : "false"); !r.ok())
+            return r;
+        out = JsonValue::makeBool(v);
+        return {};
+    }
+
+    Result<void>
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (consume('-')) {
+            // fall through to digits
+        }
+        if (pos_ >= text_.size() || !isDigit(text_[pos_]))
+            return fail("malformed number");
+        // Leading zero may not be followed by more digits.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            isDigit(text_[pos_ + 1]))
+            return fail("number with a leading zero");
+        while (pos_ < text_.size() && isDigit(text_[pos_]))
+            ++pos_;
+        if (consume('.')) {
+            if (pos_ >= text_.size() || !isDigit(text_[pos_]))
+                return fail("malformed number fraction");
+            while (pos_ < text_.size() && isDigit(text_[pos_]))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !isDigit(text_[pos_]))
+                return fail("malformed number exponent");
+            while (pos_ < text_.size() && isDigit(text_[pos_]))
+                ++pos_;
+        }
+        std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v))
+            return fail("number out of range");
+        out = JsonValue::makeNumber(v);
+        return {};
+    }
+
+    Result<void>
+    parseString(JsonValue &out)
+    {
+        std::string s;
+        if (Result<void> r = parseRawString(s); !r.ok())
+            return r;
+        out = JsonValue::makeString(std::move(s));
+        return {};
+    }
+
+    Result<void>
+    parseRawString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return {};
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = 0;
+                if (Result<void> r = parseHex4(cp); !r.ok())
+                    return r;
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail(std::string("bad escape '\\") + e + "'");
+            }
+        }
+    }
+
+    Result<void>
+    parseHex4(unsigned &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return fail("truncated \\u escape");
+            char c = text_[pos_++];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail("bad \\u escape digit");
+            out = out * 16 + digit;
+        }
+        return {};
+    }
+
+    /** BMP-only \uXXXX; surrogates encode as-is (like jsonEscape). */
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    Result<void>
+    parseArray(JsonValue &out, std::size_t depth)
+    {
+        consume('[');
+        std::vector<JsonValue> items;
+        skipWhitespace();
+        if (consume(']')) {
+            out = JsonValue::makeArray(std::move(items));
+            return {};
+        }
+        while (true) {
+            JsonValue item;
+            if (Result<void> r = parseValue(item, depth + 1); !r.ok())
+                return r;
+            items.push_back(std::move(item));
+            skipWhitespace();
+            if (consume(']'))
+                break;
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+        out = JsonValue::makeArray(std::move(items));
+        return {};
+    }
+
+    Result<void>
+    parseObject(JsonValue &out, std::size_t depth)
+    {
+        consume('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWhitespace();
+        if (consume('}')) {
+            out = JsonValue::makeObject(std::move(members));
+            return {};
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            if (Result<void> r = parseRawString(key); !r.ok())
+                return r;
+            for (const auto &[existing, ignored] : members) {
+                if (existing == key)
+                    return fail("duplicate object key \"" + key + "\"");
+            }
+            skipWhitespace();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue value;
+            if (Result<void> r = parseValue(value, depth + 1); !r.ok())
+                return r;
+            members.emplace_back(std::move(key), std::move(value));
+            skipWhitespace();
+            if (consume('}'))
+                break;
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+        out = JsonValue::makeObject(std::move(members));
+        return {};
+    }
+
+    static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+    const std::string &text_;
+    std::size_t max_depth_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+parseJson(const std::string &text, std::size_t max_depth)
+{
+    return JsonParser(text, max_depth).parse();
+}
+
+} // namespace accelwall

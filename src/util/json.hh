@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The one JSON reader/writer pair in the tree.
+ *
+ * JsonWriter is a streaming emitter shared by every JSON producer
+ * (accelwall-lint --format json, the serve subsystem's response
+ * bodies) so escaping and number formatting live in exactly one
+ * place. Numbers go through fmtJsonNumber(): integers in [-2^53, 2^53]
+ * print without a fraction, everything else uses the shortest
+ * round-trip form (std::to_chars), so identical inputs always
+ * serialize to identical bytes — the serve result cache depends on
+ * that for its bit-identity guarantee.
+ *
+ * JsonValue/parseJson is a small recursive-descent reader for request
+ * bodies: objects, arrays, strings (with \uXXXX escapes), numbers,
+ * booleans, and null. Parse failures come back as Result errors with
+ * stable codes (E1101 json-parse) and 1-based line:column positions,
+ * matching the CSV parser's conventions.
+ */
+
+#ifndef ACCELWALL_UTIL_JSON_HH
+#define ACCELWALL_UTIL_JSON_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace accelwall
+{
+
+/** Canonical number formatting: shortest round-trip decimal form. */
+std::string fmtJsonNumber(double value);
+
+/**
+ * Streaming JSON emitter with explicit object/array scopes.
+ *
+ * Commas and key/value separators are inserted automatically; the
+ * caller only describes structure. Scope misuse (a value where a key
+ * is required, unbalanced end* calls) panics — emitters are static
+ * code paths, so that is a bug, not input-dependent.
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("name").value("BTC");
+ *   w.key("cells").beginArray().value(1.0).value(2.0).endArray();
+ *   w.endObject();
+ *   w.str();  // {"name": "BTC", "cells": [1, 2]}
+ */
+class JsonWriter
+{
+  public:
+    /** @param pretty Two-space indentation + newlines when true. */
+    explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next call must produce its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(int v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(long v);
+    JsonWriter &value(unsigned long v);
+    JsonWriter &value(long long v);
+    JsonWriter &value(unsigned long long v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** The document so far; call after the final end*(). */
+    const std::string &str() const { return out_; }
+
+  private:
+    enum class Scope
+    {
+        Object,
+        Array,
+    };
+
+    void beforeValue();
+    void indent();
+
+    std::string out_;
+    bool pretty_ = false;
+    /** Per open scope: the scope kind and whether it has entries. */
+    std::vector<std::pair<Scope, bool>> stack_;
+    bool key_pending_ = false;
+};
+
+/**
+ * One parsed JSON value. A tagged union over the seven JSON kinds;
+ * object member order is preserved (insertion order) so diagnostics
+ * can point at fields deterministically.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Kind name for diagnostics ("number", "object", ...). */
+    const char *kindName() const;
+
+    /** Typed accessors; calling the wrong one panics (check first). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Member lookup; nullptr when absent (objects only). */
+    const JsonValue *find(const std::string &name) const;
+
+    /** True when the object has the member (objects only). */
+    bool has(const std::string &name) const { return find(name); }
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/**
+ * Parse a complete JSON document. Trailing non-whitespace, duplicate
+ * object keys, and any syntax error produce an E1101 json-parse Error
+ * carrying the 1-based line:column of the offending byte.
+ *
+ * @param text The document.
+ * @param max_depth Nesting limit (arrays + objects) to bound stack
+ *        use on adversarial inputs.
+ */
+Result<JsonValue> parseJson(const std::string &text,
+                            std::size_t max_depth = 64);
+
+} // namespace accelwall
+
+#endif // ACCELWALL_UTIL_JSON_HH

@@ -1,0 +1,247 @@
+#include "util/socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace accelwall::util
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+Error
+errnoError(ErrorCode code, const char *what)
+{
+    return makeError(code, what, ": ", std::strerror(errno));
+}
+
+/** Milliseconds left until the deadline, clamped at >= 0. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+} // namespace
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<Listener>
+tcpListen(const std::string &host, int port, int backlog)
+{
+    if (port < 0 || port > 65535)
+        return makeError(ErrorCode::ServeBind, "bad port ", port);
+
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        return errnoError(ErrorCode::ServeBind, "socket");
+
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return makeError(ErrorCode::ServeBind, "bad listen address '",
+                         host, "'");
+    }
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return errnoError(ErrorCode::ServeBind, "bind");
+    if (::listen(fd.get(), backlog) != 0)
+        return errnoError(ErrorCode::ServeBind, "listen");
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return errnoError(ErrorCode::ServeBind, "getsockname");
+
+    Listener listener;
+    listener.fd = std::move(fd);
+    listener.port = ntohs(bound.sin_port);
+    return listener;
+}
+
+Result<Fd>
+tcpAccept(int listen_fd)
+{
+    while (true) {
+        int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno == EINTR || errno == ECONNABORTED)
+            return errnoError(ErrorCode::ServeConnection, "accept");
+        // EBADF/EINVAL: the listener was closed out from under us —
+        // the drain signal. Everything else is equally terminal for
+        // the accept loop.
+        return errnoError(ErrorCode::ServeBind, "accept");
+    }
+}
+
+Result<Fd>
+tcpConnect(const std::string &host, int port, int deadline_ms)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        return errnoError(ErrorCode::ServeConnection, "socket");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return makeError(ErrorCode::ServeConnection, "bad address '",
+                         host, "'");
+    }
+
+    int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS)
+        return errnoError(ErrorCode::ServeConnection, "connect");
+    if (rc != 0) {
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        int n = ::poll(&pfd, 1, deadline_ms);
+        if (n == 0) {
+            return makeError(ErrorCode::HttpDeadline,
+                             "connect timed out after ", deadline_ms,
+                             "ms");
+        }
+        if (n < 0)
+            return errnoError(ErrorCode::ServeConnection, "poll");
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+            errno = err;
+            return errnoError(ErrorCode::ServeConnection, "connect");
+        }
+    }
+    ::fcntl(fd.get(), F_SETFL, flags);
+    return fd;
+}
+
+Result<void>
+sendAll(int fd, const std::string &data, int deadline_ms)
+{
+    auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            pollfd pfd{fd, POLLOUT, 0};
+            int left = remainingMs(deadline);
+            if (left == 0 || ::poll(&pfd, 1, left) <= 0) {
+                return makeError(ErrorCode::HttpDeadline,
+                                 "write timed out after ", deadline_ms,
+                                 "ms");
+            }
+            continue;
+        }
+        return errnoError(ErrorCode::ServeConnection, "send");
+    }
+    return {};
+}
+
+Result<std::size_t>
+recvSome(int fd, std::string &out, std::size_t max_bytes, int deadline_ms)
+{
+    pollfd pfd{fd, POLLIN, 0};
+    int n = ::poll(&pfd, 1, deadline_ms);
+    if (n == 0) {
+        return makeError(ErrorCode::HttpDeadline,
+                         "read timed out after ", deadline_ms, "ms");
+    }
+    if (n < 0)
+        return errnoError(ErrorCode::ServeConnection, "poll");
+
+    std::string buf(max_bytes, '\0');
+    ssize_t got = ::recv(fd, buf.data(), max_bytes, 0);
+    if (got < 0) {
+        if (errno == EINTR)
+            return std::size_t{0};
+        return errnoError(ErrorCode::ServeConnection, "recv");
+    }
+    out.append(buf.data(), static_cast<std::size_t>(got));
+    return static_cast<std::size_t>(got);
+}
+
+WakePipe::WakePipe()
+{
+    int fds[2];
+    // Non-blocking on both ends: drain() must not block, and poke()
+    // on a full pipe should be a no-op (a wake-up is already queued).
+    if (::pipe2(fds, O_CLOEXEC | O_NONBLOCK) != 0)
+        panic("WakePipe: pipe2: ", std::strerror(errno));
+    read_ = Fd(fds[0]);
+    write_ = Fd(fds[1]);
+}
+
+void
+WakePipe::poke() const
+{
+    char byte = 1;
+    // Async-signal-safe; a full pipe means a poke is already pending.
+    [[maybe_unused]] ssize_t n = ::write(write_.get(), &byte, 1);
+}
+
+void
+WakePipe::drain() const
+{
+    char buf[64];
+    while (::read(read_.get(), buf, sizeof(buf)) > 0) {
+        // keep draining
+    }
+}
+
+Result<int>
+pollReadable(int fd, int wake_fd, int deadline_ms)
+{
+    pollfd pfds[2];
+    nfds_t count = 0;
+    pfds[count++] = {fd, POLLIN, 0};
+    if (wake_fd >= 0)
+        pfds[count++] = {wake_fd, POLLIN, 0};
+    int n = ::poll(pfds, count, deadline_ms);
+    if (n == 0) {
+        return makeError(ErrorCode::HttpDeadline, "poll timed out after ",
+                         deadline_ms, "ms");
+    }
+    if (n < 0)
+        return errnoError(ErrorCode::ServeConnection, "poll");
+    if (count > 1 && (pfds[1].revents != 0))
+        return wake_fd;
+    return fd;
+}
+
+} // namespace accelwall::util

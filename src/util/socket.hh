@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Thin POSIX TCP helpers for the serve subsystem: an owning
+ * file-descriptor wrapper plus listen/connect/read/write primitives
+ * with millisecond deadlines. IPv4 loopback-oriented and
+ * dependency-free by design — the service embeds in the research
+ * binaries, it is not a general networking library.
+ *
+ * All failures are recoverable Results (E5008 serve-bind for listener
+ * setup, E5009 serve-connection for per-connection I/O, E5004
+ * http-deadline for timeouts); nothing here calls fatal().
+ */
+
+#ifndef ACCELWALL_UTIL_SOCKET_HH
+#define ACCELWALL_UTIL_SOCKET_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hh"
+
+namespace accelwall::util
+{
+
+/** Owning file descriptor; closes on destruction, movable. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** A bound, listening TCP socket plus the port it actually got. */
+struct Listener
+{
+    Fd fd;
+    /** The bound port; differs from the request when asking for 0. */
+    int port = 0;
+};
+
+/**
+ * Bind and listen on host:port (SO_REUSEADDR set, CLOEXEC). Port 0
+ * requests an ephemeral port; the chosen one is reported back.
+ *
+ * @param host Dotted-quad address, e.g. "127.0.0.1" or "0.0.0.0".
+ * @param backlog listen(2) backlog.
+ */
+Result<Listener> tcpListen(const std::string &host, int port,
+                           int backlog = 128);
+
+/**
+ * Accept one connection (blocking). EINTR and transient per-connection
+ * errors (ECONNABORTED) come back as retryable E5009 errors; a closed
+ * or invalid listener fd comes back as E5008 (the drain signal).
+ */
+Result<Fd> tcpAccept(int listen_fd);
+
+/** Connect to host:port with a connect deadline. */
+Result<Fd> tcpConnect(const std::string &host, int port,
+                      int deadline_ms = 5000);
+
+/**
+ * Write the whole buffer, retrying short writes; SIGPIPE suppressed
+ * (MSG_NOSIGNAL). @p deadline_ms bounds the total time.
+ */
+Result<void> sendAll(int fd, const std::string &data,
+                     int deadline_ms = 5000);
+
+/**
+ * Read at most @p max_bytes, appending to @p out, returning the count
+ * read (0 on orderly peer shutdown). Waits at most @p deadline_ms for
+ * the descriptor to become readable; a timeout is E5004 http-deadline.
+ */
+Result<std::size_t> recvSome(int fd, std::string &out,
+                             std::size_t max_bytes, int deadline_ms);
+
+/**
+ * A pipe whose write end can be poked from a signal handler: write()
+ * on a pipe fd is async-signal-safe, so this is the canonical
+ * self-pipe used to convert SIGINT/SIGTERM into a pollable event.
+ */
+class WakePipe
+{
+  public:
+    /** panics when pipe(2) fails (startup-time resource exhaustion). */
+    WakePipe();
+
+    /** Pollable read end. */
+    int readFd() const { return read_.get(); }
+
+    /** Async-signal-safe: write one byte to the pipe. */
+    void poke() const;
+
+    /** Drain any pending bytes (after poll wakes up). */
+    void drain() const;
+
+  private:
+    Fd read_;
+    Fd write_;
+};
+
+/**
+ * Wait until @p fd is readable or one of @p fd / @p wake_fd (pass -1
+ * to skip) becomes readable. Returns the fd that woke us, or an E5004
+ * error on timeout.
+ */
+Result<int> pollReadable(int fd, int wake_fd, int deadline_ms);
+
+} // namespace accelwall::util
+
+#endif // ACCELWALL_UTIL_SOCKET_HH

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Loadgen smoke (ctest "serve" label): start accelwall-serve on an
+# ephemeral port, drive >=1k mixed gains/csr requests through
+# accelwall-loadgen (which exits nonzero unless every request got a
+# 2xx), then SIGTERM the daemon and require a clean graceful-drain
+# exit. Usage: run_loadgen_smoke.sh <serve-binary> <loadgen-binary>
+set -u
+
+SERVE=$1
+LOADGEN=$2
+WORK=$(mktemp -d)
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$SERVE" --port 0 --port-file "$WORK/port" --workers 4 \
+    > "$WORK/serve.log" 2>&1 &
+SRV_PID=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    sleep 0.1
+done
+if [ ! -s "$WORK/port" ]; then
+    echo "FAIL: server never wrote its port file"
+    cat "$WORK/serve.log"
+    exit 1
+fi
+PORT=$(cat "$WORK/port")
+
+if ! "$LOADGEN" --port "$PORT" --requests 1000 --concurrency 8; then
+    echo "FAIL: loadgen reported errors"
+    cat "$WORK/serve.log"
+    exit 1
+fi
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+rc=$?
+SRV_PID=""
+cat "$WORK/serve.log"
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: server exited $rc after SIGTERM (expected clean drain)"
+    exit 1
+fi
+echo "PASS: 1000 requests, clean drain"

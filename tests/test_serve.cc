@@ -1,0 +1,599 @@
+/**
+ * @file
+ * The serve subsystem's test suite (ctest label "serve").
+ *
+ * Layered like the subsystem itself:
+ *   - util/json: writer determinism, parser acceptance + rejection
+ *   - serve/cache: FNV-1a, LRU order, eviction accounting
+ *   - serve/http: a fuzz-ish corpus of malformed request heads, every
+ *     case pinned to a stable error code
+ *   - serve/service: endpoint logic socket-free (HttpRequest in,
+ *     HttpResponse out), including the error-code -> HTTP mapping
+ *   - serve/server: real sockets — cache bit-identity end to end,
+ *     admission control, read deadlines, and a graceful-drain death
+ *     test proving a SIGTERM'd server answers what it accepted and
+ *     exits 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/http.hh"
+#include "serve/metrics.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+#include "util/socket.hh"
+
+using namespace accelwall;
+using namespace accelwall::serve;
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, WriterBasicObject)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("BTC");
+    w.key("node_nm").value(16.0);
+    w.key("chips").value(4);
+    w.key("capped").value(false);
+    w.key("note").null();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\": \"BTC\", \"node_nm\": 16, "
+                       "\"chips\": 4, \"capped\": false, "
+                       "\"note\": null}");
+}
+
+TEST(Json, WriterEscapesStrings)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("msg").value(std::string("a\"b\\c\nd\te"));
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"msg\": \"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, NumberFormattingIsCanonical)
+{
+    // Integral values print without a fraction; non-integral values
+    // round-trip via the shortest representation. Both matter for
+    // cache bit-identity.
+    EXPECT_EQ(fmtJsonNumber(16.0), "16");
+    EXPECT_EQ(fmtJsonNumber(-3.0), "-3");
+    EXPECT_EQ(fmtJsonNumber(0.0), "0");
+    EXPECT_EQ(fmtJsonNumber(0.5), "0.5");
+    double v = 1.0 / 3.0;
+    std::string s = fmtJsonNumber(v);
+    EXPECT_EQ(std::stod(s), v); // exact round trip
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    auto parsed = parseJson(
+        "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": true, \"d\": null}}");
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue &root = parsed.value();
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_EQ(a->asArray()[2].asString(), "x");
+    const JsonValue *b = root.find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->find("c")->asBool());
+    EXPECT_TRUE(b->find("d")->isNull());
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn)
+{
+    auto parsed = parseJson("{\n  \"a\": 12x\n}");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code(), ErrorCode::JsonParse);
+    // 1-based line:column pointing into line 2.
+    EXPECT_NE(parsed.error().str().find("2:"), std::string::npos);
+}
+
+TEST(Json, ParseRejections)
+{
+    // Each entry must fail with E1101 json-parse.
+    const char *bad[] = {
+        "",            "{",           "[1,]",      "{\"a\": 01}",
+        "{\"a\"; 1}",  "\"unterm",    "tru",       "{\"a\":1} x",
+        "{\"a\": 1, \"a\": 2}", // duplicate key
+        "\"bad \\q escape\"",   "[\x01]",
+    };
+    for (const char *text : bad) {
+        auto parsed = parseJson(text);
+        ASSERT_FALSE(parsed.ok()) << "accepted: " << text;
+        EXPECT_EQ(parsed.error().code(), ErrorCode::JsonParse) << text;
+    }
+}
+
+TEST(Json, ParseDepthLimit)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(parseJson(deep, /*max_depth=*/64).ok());
+    EXPECT_TRUE(parseJson(deep, /*max_depth=*/128).ok());
+}
+
+// --------------------------------------------------------------- cache
+
+TEST(Cache, Fnv1aKnownVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(Cache, HitMissAndStats)
+{
+    ResultCache cache(/*capacity=*/8, /*shards=*/2);
+    EXPECT_FALSE(cache.lookup("/v1/gains", "q1").has_value());
+    cache.insert("/v1/gains", "q1", "r1");
+    auto hit = cache.lookup("/v1/gains", "q1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "r1");
+    // Same body under a different endpoint is a different key.
+    EXPECT_FALSE(cache.lookup("/v1/csr", "q1").has_value());
+    CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_NEAR(stats.hitRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed)
+{
+    // One shard so the LRU order is global and deterministic.
+    ResultCache cache(/*capacity=*/2, /*shards=*/1);
+    cache.insert("/e", "a", "ra");
+    cache.insert("/e", "b", "rb");
+    // Touch "a" so "b" is now the LRU entry.
+    ASSERT_TRUE(cache.lookup("/e", "a").has_value());
+    cache.insert("/e", "c", "rc");
+    EXPECT_TRUE(cache.lookup("/e", "a").has_value());
+    EXPECT_FALSE(cache.lookup("/e", "b").has_value());
+    EXPECT_TRUE(cache.lookup("/e", "c").has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(Cache, ZeroCapacityDisables)
+{
+    ResultCache cache(0);
+    cache.insert("/e", "a", "ra");
+    EXPECT_FALSE(cache.lookup("/e", "a").has_value());
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------- http
+
+TEST(Http, ParsesMinimalRequest)
+{
+    auto parsed = parseRequestHead(
+        "POST /v1/gains HTTP/1.1\r\nHost: x\r\n"
+        "Content-Length: 2\r\n\r\n");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().method, "POST");
+    EXPECT_EQ(parsed.value().target, "/v1/gains");
+    EXPECT_EQ(parsed.value().header("host"), "x");
+    auto length = contentLength(parsed.value(), HttpLimits{});
+    ASSERT_TRUE(length.ok());
+    EXPECT_EQ(length.value(), 2u);
+}
+
+TEST(Http, MalformedHeadCorpus)
+{
+    // Fuzz-ish corpus: every malformed head is rejected with the
+    // stable E5001 http-malformed, never accepted, never a crash.
+    const char *corpus[] = {
+        "",                                  // empty
+        "POST /v1/gains HTTP/1.1\r\n",       // truncated (no blank line)
+        "POST /v1/gains\r\n\r\n",            // two-token request line
+        "POST /v1/gains HTTP/1.1 x\r\n\r\n", // four tokens
+        "post /v1/gains HTTP/1.1\r\n\r\n",   // lowercase method
+        "POST v1/gains HTTP/1.1\r\n\r\n",    // target missing '/'
+        "POST /v1/gains HTTP/2\r\n\r\n",     // unsupported version
+        "POST / HTTP/1.1\r\nBad Header: x\r\n\r\n", // space in name
+        "POST / HTTP/1.1\r\nnocolon\r\n\r\n",       // colon-free header
+        "POST / HTTP/1.1\r\n folded: x\r\n\r\n",    // continuation line
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        "GET / HTTP/1.1\nHost: x\n\n",       // bare-LF framing
+    };
+    for (const char *head : corpus) {
+        auto parsed = parseRequestHead(head);
+        if (!parsed.ok()) {
+            EXPECT_EQ(parsed.error().code(), ErrorCode::HttpMalformed)
+                << head;
+            continue;
+        }
+        auto length = contentLength(parsed.value(), HttpLimits{});
+        EXPECT_FALSE(length.ok()) << "accepted: " << head;
+    }
+}
+
+TEST(Http, BadContentLengths)
+{
+    for (const char *value : { "-1", "12x", "1 2", "9999999999999" }) {
+        auto parsed = parseRequestHead(
+            std::string("POST / HTTP/1.1\r\nContent-Length: ") + value +
+            "\r\n\r\n");
+        ASSERT_TRUE(parsed.ok()) << value;
+        auto length = contentLength(parsed.value(), HttpLimits{});
+        ASSERT_FALSE(length.ok()) << value;
+        EXPECT_EQ(length.error().code(), ErrorCode::HttpMalformed)
+            << value;
+    }
+}
+
+TEST(Http, OversizedDeclaredBodyIsRejected)
+{
+    HttpLimits limits;
+    limits.max_body_bytes = 64;
+    auto parsed = parseRequestHead(
+        "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n");
+    ASSERT_TRUE(parsed.ok());
+    auto length = contentLength(parsed.value(), limits);
+    ASSERT_FALSE(length.ok());
+    EXPECT_EQ(length.error().code(), ErrorCode::HttpBodyTooLarge);
+}
+
+TEST(Http, OversizedHeadIsRejected)
+{
+    HttpLimits limits;
+    limits.max_head_bytes = 128;
+    std::string head = "GET / HTTP/1.1\r\nX-Pad: " +
+                       std::string(200, 'a') + "\r\n\r\n";
+    auto parsed = parseRequestHead(head, limits);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code(), ErrorCode::HttpMalformed);
+}
+
+// ------------------------------------------------------------- service
+
+namespace
+{
+
+HttpRequest
+post(const std::string &target, const std::string &body)
+{
+    HttpRequest req;
+    req.method = "POST";
+    req.target = target;
+    req.version = "HTTP/1.1";
+    req.body = body;
+    return req;
+}
+
+/** The "code" string inside a structured error body. */
+std::string
+errorCode(const HttpResponse &res)
+{
+    auto parsed = parseJson(res.body);
+    if (!parsed.ok() || !parsed.value().isObject())
+        return "<unparseable>";
+    const JsonValue *error = parsed.value().find("error");
+    if (!error || !error->isObject())
+        return "<no error member>";
+    const JsonValue *code = error->find("code");
+    return code && code->isString() ? code->asString() : "<no code>";
+}
+
+const char *kGainsBody =
+    "{\"spec\": {\"node_nm\": 16, \"area_mm2\": 100, "
+    "\"freq_ghz\": 1.5, \"tdp_w\": 250}}";
+
+const char *kCsrBody =
+    "{\"metric\": \"throughput\", \"chips\": ["
+    "{\"name\": \"g1\", \"node_nm\": 130, \"area_mm2\": 100, "
+    "\"freq_ghz\": 0.2, \"tdp_w\": 50, \"gain\": 1},"
+    "{\"name\": \"g2\", \"node_nm\": 28, \"area_mm2\": 150, "
+    "\"freq_ghz\": 0.7, \"tdp_w\": 150, \"gain\": 400}]}";
+
+} // namespace
+
+TEST(Service, StatusMappingIsPartOfTheInterface)
+{
+    EXPECT_EQ(httpStatusFor(ErrorCode::JsonParse), 400);
+    EXPECT_EQ(httpStatusFor(ErrorCode::JsonBadType), 400);
+    EXPECT_EQ(httpStatusFor(ErrorCode::JsonMissingField), 400);
+    EXPECT_EQ(httpStatusFor(ErrorCode::JsonBadValue), 400);
+    EXPECT_EQ(httpStatusFor(ErrorCode::HttpMalformed), 400);
+    EXPECT_EQ(httpStatusFor(ErrorCode::HttpUnsupportedMethod), 405);
+    EXPECT_EQ(httpStatusFor(ErrorCode::HttpBodyTooLarge), 413);
+    EXPECT_EQ(httpStatusFor(ErrorCode::HttpDeadline), 408);
+    EXPECT_EQ(httpStatusFor(ErrorCode::ServeOverloaded), 503);
+    EXPECT_EQ(httpStatusFor(ErrorCode::ServeUnknownEndpoint), 404);
+    EXPECT_EQ(httpStatusFor(ErrorCode::ServeSweepTooLarge), 413);
+    EXPECT_EQ(httpStatusFor(ErrorCode::ServeBind), 500);
+}
+
+TEST(Service, GainsHappyPath)
+{
+    Service service;
+    HttpResponse res = service.handle(post("/v1/gains", kGainsBody));
+    ASSERT_EQ(res.status, 200) << res.body;
+    auto parsed = parseJson(res.body);
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue *gains = parsed.value().find("gains");
+    ASSERT_NE(gains, nullptr);
+    // 45nm/25mm2 -> 16nm/100mm2 must gain more than 1x throughput.
+    EXPECT_GT(gains->find("throughput")->asNumber(), 1.0);
+}
+
+TEST(Service, CsrHappyPath)
+{
+    Service service;
+    HttpResponse res = service.handle(post("/v1/csr", kCsrBody));
+    ASSERT_EQ(res.status, 200) << res.body;
+    auto parsed = parseJson(res.body);
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue *points = parsed.value().find("points");
+    ASSERT_NE(points, nullptr);
+    EXPECT_EQ(points->asArray().size(), 2u);
+}
+
+TEST(Service, SweepHappyPathAndCellLimit)
+{
+    ServiceOptions options;
+    options.max_sweep_cells = 8;
+    Service service(options);
+    HttpResponse ok = service.handle(post(
+        "/v1/sweep", "{\"kernel\": \"RED\", \"nodes\": [45, 16], "
+                     "\"partitions\": [1, 2], "
+                     "\"simplifications\": [1, 2]}"));
+    ASSERT_EQ(ok.status, 200) << ok.body;
+
+    HttpResponse too_big = service.handle(post(
+        "/v1/sweep", "{\"kernel\": \"RED\", \"nodes\": [45, 32, 16], "
+                     "\"partitions\": [1, 2, 4], "
+                     "\"simplifications\": [1, 2, 3]}"));
+    EXPECT_EQ(too_big.status, 413);
+    EXPECT_EQ(errorCode(too_big), "E5007");
+}
+
+TEST(Service, BadRequestsGetStableCodes)
+{
+    Service service;
+
+    HttpResponse bad_json = service.handle(post("/v1/gains", "{nope"));
+    EXPECT_EQ(bad_json.status, 400);
+    EXPECT_EQ(errorCode(bad_json), "E1101");
+
+    HttpResponse missing =
+        service.handle(post("/v1/gains", "{\"ref\": {}}"));
+    EXPECT_EQ(missing.status, 400);
+    EXPECT_EQ(errorCode(missing), "E1103");
+
+    HttpResponse bad_type =
+        service.handle(post("/v1/gains", "{\"spec\": 12}"));
+    EXPECT_EQ(bad_type.status, 400);
+    EXPECT_EQ(errorCode(bad_type), "E1102");
+
+    HttpResponse bad_value = service.handle(post(
+        "/v1/gains", "{\"spec\": {\"node_nm\": -4, \"area_mm2\": 1}}"));
+    EXPECT_EQ(bad_value.status, 400);
+    EXPECT_EQ(errorCode(bad_value), "E1104");
+
+    HttpResponse unknown = service.handle(post("/v1/nope", "{}"));
+    EXPECT_EQ(unknown.status, 404);
+    EXPECT_EQ(errorCode(unknown), "E5006");
+
+    HttpRequest get = post("/v1/gains", "");
+    get.method = "GET";
+    HttpResponse wrong_method = service.handle(get);
+    EXPECT_EQ(wrong_method.status, 405);
+    EXPECT_EQ(errorCode(wrong_method), "E5002");
+
+    HttpResponse unknown_kernel = service.handle(post(
+        "/v1/sweep", "{\"kernel\": \"NOPE\", \"nodes\": [45], "
+                     "\"partitions\": [1], \"simplifications\": [1]}"));
+    EXPECT_EQ(unknown_kernel.status, 400);
+    EXPECT_EQ(errorCode(unknown_kernel), "E1104");
+}
+
+TEST(Service, CacheBitIdentity)
+{
+    Service service;
+    HttpRequest req = post("/v1/gains", kGainsBody);
+    HttpResponse first = service.handle(req);
+    HttpResponse second = service.handle(req);
+    ASSERT_EQ(first.status, 200);
+    ASSERT_EQ(second.status, 200);
+    EXPECT_EQ(first.headers.at("X-Cache"), "miss");
+    EXPECT_EQ(second.headers.at("X-Cache"), "hit");
+    // Byte identity is the contract, not structural equality.
+    EXPECT_EQ(first.body, second.body);
+    EXPECT_EQ(service.cache().stats().hits, 1u);
+}
+
+TEST(Service, ErrorsAreNotCached)
+{
+    Service service;
+    HttpRequest req = post("/v1/gains", "{bad");
+    (void)service.handle(req);
+    (void)service.handle(req);
+    EXPECT_EQ(service.cache().stats().insertions, 0u);
+}
+
+TEST(Service, HealthzAndMetrics)
+{
+    ServiceOptions options;
+    options.version = "test-build";
+    Service service(options);
+
+    HttpRequest health;
+    health.method = "GET";
+    health.target = "/healthz";
+    HttpResponse res = service.handle(health);
+    ASSERT_EQ(res.status, 200);
+    EXPECT_NE(res.body.find("\"test-build\""), std::string::npos);
+
+    (void)service.handle(post("/v1/gains", kGainsBody));
+    service.metrics().recordRequest(Endpoint::Gains, 200, 0.001);
+    HttpRequest metrics;
+    metrics.method = "GET";
+    metrics.target = "/metrics";
+    HttpResponse prom = service.handle(metrics);
+    ASSERT_EQ(prom.status, 200);
+    EXPECT_NE(prom.content_type.find("text/plain"), std::string::npos);
+    for (const char *metric :
+         { "accelwall_requests_total", "accelwall_requests_shed_total",
+           "accelwall_request_duration_seconds_bucket",
+           "accelwall_cache_hits_total", "accelwall_cache_hit_ratio",
+           "accelwall_inflight_requests" }) {
+        EXPECT_NE(prom.body.find(metric), std::string::npos) << metric;
+    }
+}
+
+// -------------------------------------------------------------- server
+
+namespace
+{
+
+/** Start a server on an ephemeral port or fail the test. */
+void
+startOrFail(Server &server)
+{
+    auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error().str();
+    ASSERT_GT(server.port(), 0);
+}
+
+} // namespace
+
+TEST(Server, EndToEndCacheBitIdentity)
+{
+    Server server;
+    startOrFail(server);
+
+    auto first = httpRequest("127.0.0.1", server.port(), "POST",
+                             "/v1/gains", kGainsBody);
+    auto second = httpRequest("127.0.0.1", server.port(), "POST",
+                              "/v1/gains", kGainsBody);
+    ASSERT_TRUE(first.ok()) << first.error().str();
+    ASSERT_TRUE(second.ok()) << second.error().str();
+    EXPECT_EQ(first.value().status, 200);
+    EXPECT_EQ(second.value().status, 200);
+    EXPECT_EQ(first.value().headers.at("x-cache"), "miss");
+    EXPECT_EQ(second.value().headers.at("x-cache"), "hit");
+    EXPECT_EQ(first.value().body, second.value().body);
+    EXPECT_EQ(server.service().cache().stats().hits, 1u);
+    server.stop();
+}
+
+TEST(Server, ShedsWhenSaturated)
+{
+    // accept_queue = 0 makes every connection take the admission-
+    // control path: deterministic 503 + Retry-After from the acceptor.
+    ServerOptions options;
+    options.accept_queue = 0;
+    Server server(options);
+    startOrFail(server);
+
+    auto res = httpRequest("127.0.0.1", server.port(), "POST",
+                           "/v1/gains", kGainsBody);
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    EXPECT_EQ(res.value().status, 503);
+    EXPECT_EQ(res.value().headers.at("retry-after"), "1");
+    EXPECT_EQ(errorCode(res.value()), "E5005");
+    EXPECT_GE(server.service().metrics().shedCount(), 1u);
+    server.stop();
+}
+
+TEST(Server, SlowRequestHitsReadDeadline)
+{
+    ServerOptions options;
+    options.limits.read_deadline_ms = 150;
+    Server server(options);
+    startOrFail(server);
+
+    // Send half a request head and then stall: the server must answer
+    // 408 E5004 instead of holding the handler hostage.
+    auto fd = util::tcpConnect("127.0.0.1", server.port(), 1000);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        util::sendAll(fd.value().get(), "POST /v1/gains HT", 1000).ok());
+    HttpLimits limits;
+    limits.read_deadline_ms = 2000;
+    auto res = readResponse(fd.value().get(), limits);
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    EXPECT_EQ(res.value().status, 408);
+    EXPECT_EQ(errorCode(res.value()), "E5004");
+    server.stop();
+}
+
+TEST(Server, UnknownEndpointOverTheWire)
+{
+    Server server;
+    startOrFail(server);
+    auto res =
+        httpRequest("127.0.0.1", server.port(), "POST", "/nope", "{}");
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.value().status, 404);
+    EXPECT_EQ(errorCode(res.value()), "E5006");
+    server.stop();
+}
+
+TEST(Server, MetricsCountRequestsOverTheWire)
+{
+    Server server;
+    startOrFail(server);
+    for (int i = 0; i < 3; ++i) {
+        auto res = httpRequest("127.0.0.1", server.port(), "POST",
+                               "/v1/gains", kGainsBody);
+        ASSERT_TRUE(res.ok());
+        ASSERT_EQ(res.value().status, 200);
+    }
+    auto prom =
+        httpRequest("127.0.0.1", server.port(), "GET", "/metrics");
+    ASSERT_TRUE(prom.ok());
+    EXPECT_NE(
+        prom.value().body.find(
+            "accelwall_requests_total{endpoint=\"/v1/gains\","
+            "status=\"2xx\"} 3"),
+        std::string::npos)
+        << prom.value().body;
+    server.stop();
+}
+
+/**
+ * Graceful drain end to end, in a death test so a hang or crash in
+ * the signal path fails loudly instead of wedging the suite: the
+ * child starts a server, serves one request, SIGTERMs itself (the
+ * installed handler pokes the wake pipe), drains, and exits 0.
+ */
+TEST(ServerDeathTest, SigtermDrainsAndExitsZero)
+{
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            Server server;
+            if (!server.start().ok())
+                std::exit(10);
+            server.installSignalHandlers();
+            auto res = httpRequest("127.0.0.1", server.port(), "POST",
+                                   "/v1/gains", kGainsBody);
+            if (!res.ok() || res.value().status != 200)
+                std::exit(11);
+            std::raise(SIGTERM);
+            server.waitUntilStopped();
+            if (server.service().metrics().totalRequests() < 1)
+                std::exit(12);
+            std::exit(0);
+        },
+        testing::ExitedWithCode(0), "");
+}

@@ -77,6 +77,7 @@ toDouble(const std::string &field, const std::string &what)
 int
 main(int argc, char **argv)
 {
+    cli::handleVersion(argc, argv, "accelwall-csr");
     if (argc < 2)
         return usage();
     std::string path = argv[1];

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "cli_util.hh"
 #include "dfg/dot.hh"
 #include "kernels/kernels.hh"
 #include "util/logging.hh"
@@ -34,6 +35,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    cli::handleVersion(argc, argv, "accelwall-dot");
     if (argc < 2 || argc > 3 || argv[1][0] == '-' ||
         (argc == 3 && argv[2][0] == '-')) {
         return usage();

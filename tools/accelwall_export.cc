@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli_util.hh"
 #include "cmos/scaling.hh"
 #include "csr/csr.hh"
 #include "potential/model.hh"
@@ -53,6 +54,7 @@ num(double v)
 int
 main(int argc, char **argv)
 {
+    cli::handleVersion(argc, argv, "accelwall-export");
     if (argc > 2 || (argc == 2 && argv[1][0] == '-')) {
         std::cerr << "usage: accelwall_export [output_dir]\n";
         return 2;

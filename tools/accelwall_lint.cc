@@ -31,12 +31,14 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hh"
 #include "dfg/graph.hh"
 #include "dfg/verify.hh"
 #include "dfgopt/rewrites.hh"
 #include "kernels/kernels.hh"
 #include "modelcheck/check.hh"
 #include "util/format.hh"
+#include "util/json.hh"
 
 using namespace accelwall;
 using dfg::verify::Options;
@@ -313,42 +315,51 @@ void
 printJson(const std::vector<LintResult> &results, std::ostream &os)
 {
     std::size_t errors = 0, warnings = 0, notes = 0;
-    os << "{\n  \"graphs\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const LintResult &res = results[i];
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.key("graphs").beginArray();
+    for (const LintResult &res : results) {
         errors += res.errors;
         warnings += res.warnings;
         notes += res.notes;
-        os << "    {\"name\": \"" << jsonEscape(res.name)
-           << "\", \"phase\": \"" << res.phase << "\"";
+        w.beginObject();
+        w.key("name").value(res.name);
+        w.key("phase").value(res.phase);
         for (const auto &[key, value] : res.stats)
-            os << ", \"" << key << "\": " << value;
-        os << ", \"errors\": " << res.errors
-           << ", \"warnings\": " << res.warnings
-           << ", \"notes\": " << res.notes
-           << ", \"diagnostics\": [";
-        for (std::size_t d = 0; d < res.diags.size(); ++d) {
-            const DiagView &diag = res.diags[d];
-            os << (d == 0 ? "\n" : ",\n") << "      {\"rule\": \""
-               << diag.rule << "\", \"name\": \"" << diag.name
-               << "\", \"severity\": \"" << diag.severity << "\"";
+            w.key(key).value(value);
+        w.key("errors").value(res.errors);
+        w.key("warnings").value(res.warnings);
+        w.key("notes").value(res.notes);
+        w.key("diagnostics").beginArray();
+        for (const DiagView &diag : res.diags) {
+            w.beginObject();
+            w.key("rule").value(diag.rule);
+            w.key("name").value(diag.name);
+            w.key("severity").value(diag.severity);
             if (diag.node)
-                os << ", \"node\": " << *diag.node;
+                w.key("node").value(*diag.node);
             if (diag.edge) {
-                os << ", \"edge\": [" << diag.edge->first << ", "
-                   << diag.edge->second << "]";
+                w.key("edge").beginArray();
+                w.value(diag.edge->first).value(diag.edge->second);
+                w.endArray();
             }
             if (diag.row)
-                os << ", \"row\": " << *diag.row;
-            os << ", \"message\": \"" << jsonEscape(diag.message)
-               << "\"}";
+                w.key("row").value(*diag.row);
+            w.key("message").value(diag.message);
+            w.endObject();
         }
-        os << (res.diags.empty() ? "]" : "\n    ]") << "}"
-           << (i + 1 < results.size() ? "," : "") << "\n";
+        w.endArray();
+        w.endObject();
     }
-    os << "  ],\n  \"summary\": {\"graphs\": " << results.size()
-       << ", \"errors\": " << errors << ", \"warnings\": " << warnings
-       << ", \"notes\": " << notes << "}\n}\n";
+    w.endArray();
+    w.key("summary").beginObject();
+    w.key("graphs").value(results.size());
+    w.key("errors").value(errors);
+    w.key("warnings").value(warnings);
+    w.key("notes").value(notes);
+    w.endObject();
+    w.endObject();
+    os << w.str() << "\n";
 }
 
 void
@@ -415,6 +426,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    cli::handleVersion(argc, argv, "accelwall-lint");
     LintConfig cfg;
     bool demo_broken = false;
     bool demo_broken_model = false;

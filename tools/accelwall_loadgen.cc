@@ -1,0 +1,217 @@
+/**
+ * @file
+ * accelwall_loadgen: closed-loop load generator for accelwall-serve.
+ *
+ * Usage:
+ *   accelwall-loadgen --port P [--host H] [--requests N]
+ *                     [--concurrency N] [--deadline-ms N] [--version]
+ *
+ * Drives a mixed gains/csr workload: each in-flight slot issues one
+ * request, waits for the full response, then issues the next
+ * (closed-loop, so offered load tracks service capacity). Request
+ * bodies cycle through a small corpus of distinct queries, which
+ * exercises both cache misses (first pass) and hits (every pass
+ * after).
+ *
+ * Exit status is the acceptance criterion from the smoke test: 0 iff
+ * every request completed with a 2xx. Any transport error or non-2xx
+ * (including 503 sheds) makes the run fail, and the summary reports
+ * p50/p95/p99 latency plus the X-Cache hit count either way.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_util.hh"
+#include "serve/client.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: accelwall-loadgen --port P [--host H]\n"
+                 "           [--requests N] [--concurrency N]\n"
+                 "           [--deadline-ms N] [--version]\n";
+    return 2;
+}
+
+/** One (target, body) pair the workers cycle through. */
+struct Query
+{
+    std::string target;
+    std::string body;
+};
+
+std::vector<Query>
+buildCorpus()
+{
+    std::vector<Query> corpus;
+    // Gains queries across a spread of nodes and areas: 12 distinct
+    // bodies, so a default 1k-request run revisits each ~80 times and
+    // the cache-hit path dominates, like a real query mix would.
+    for (double node : {45.0, 32.0, 16.0, 7.0}) {
+        for (double area : {25.0, 100.0, 600.0}) {
+            Query q;
+            q.target = "/v1/gains";
+            q.body = "{\"spec\": {\"node_nm\": " + std::to_string(node) +
+                     ", \"area_mm2\": " + std::to_string(area) +
+                     ", \"freq_ghz\": 1.5, \"tdp_w\": 250}}";
+            corpus.push_back(std::move(q));
+        }
+    }
+    // CSR queries over a miner-like series, one per metric.
+    for (const char *metric : {"throughput", "efficiency", "area"}) {
+        Query q;
+        q.target = "/v1/csr";
+        q.body = std::string("{\"metric\": \"") + metric +
+                 "\", \"chips\": ["
+                 "{\"name\": \"gen1\", \"node_nm\": 130, \"area_mm2\": "
+                 "100, \"freq_ghz\": 0.2, \"tdp_w\": 50, \"gain\": 1},"
+                 "{\"name\": \"gen2\", \"node_nm\": 55, \"area_mm2\": "
+                 "120, \"freq_ghz\": 0.5, \"tdp_w\": 80, \"gain\": 20},"
+                 "{\"name\": \"gen3\", \"node_nm\": 28, \"area_mm2\": "
+                 "150, \"freq_ghz\": 0.7, \"tdp_w\": 150, \"gain\": "
+                 "400},"
+                 "{\"name\": \"gen4\", \"node_nm\": 16, \"area_mm2\": "
+                 "180, \"freq_ghz\": 0.8, \"tdp_w\": 220, \"gain\": "
+                 "9000}]}";
+        corpus.push_back(std::move(q));
+    }
+    return corpus;
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) / 100.0 + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::handleVersion(argc, argv, "accelwall-loadgen");
+
+    std::string host = "127.0.0.1";
+    int port = 0;
+    int requests = 1000;
+    int concurrency = 8;
+    int deadline_ms = 10000;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intFlag = [&](int &out) {
+            return i + 1 < argc && cli::parseInt(argv[++i], out);
+        };
+        if (arg == "--host" && i + 1 < argc) {
+            host = argv[++i];
+        } else if (arg == "--port" && intFlag(port) && port > 0 &&
+                   port <= 65535) {
+        } else if (arg == "--requests" && intFlag(requests) &&
+                   requests > 0) {
+        } else if (arg == "--concurrency" && intFlag(concurrency) &&
+                   concurrency > 0) {
+        } else if (arg == "--deadline-ms" && intFlag(deadline_ms) &&
+                   deadline_ms > 0) {
+        } else {
+            return usage();
+        }
+    }
+    if (port == 0)
+        return usage();
+
+    const std::vector<Query> corpus = buildCorpus();
+    std::atomic<int> next{0};
+    std::atomic<long> ok2xx{0};
+    std::atomic<long> client4xx{0};
+    std::atomic<long> server5xx{0};
+    std::atomic<long> transport{0};
+    std::atomic<long> cache_hits{0};
+
+    std::mutex lat_mu;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<std::size_t>(requests));
+
+    auto worker = [&]() {
+        std::vector<double> local;
+        while (true) {
+            int id = next.fetch_add(1, std::memory_order_relaxed);
+            if (id >= requests)
+                break;
+            const Query &q =
+                corpus[static_cast<std::size_t>(id) % corpus.size()];
+            auto start = std::chrono::steady_clock::now();
+            auto res = serve::httpRequest(host, port, "POST", q.target,
+                                          q.body, deadline_ms);
+            double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+            if (!res.ok()) {
+                ++transport;
+                std::cerr << "request " << id << " failed: "
+                          << res.error().str() << "\n";
+                continue;
+            }
+            local.push_back(ms);
+            int status = res.value().status;
+            if (status >= 200 && status < 300)
+                ++ok2xx;
+            else if (status < 500)
+                ++client4xx;
+            else
+                ++server5xx;
+            auto hit = res.value().headers.find("x-cache");
+            if (hit != res.value().headers.end() &&
+                hit->second == "hit")
+                ++cache_hits;
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies_ms.insert(latencies_ms.end(), local.begin(),
+                            local.end());
+    };
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(concurrency));
+    for (int i = 0; i < concurrency; ++i)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    std::cout << "requests: " << requests << "  2xx: " << ok2xx
+              << "  4xx: " << client4xx << "  5xx: " << server5xx
+              << "  transport-errors: " << transport << "\n";
+    std::cout << "cache hits: " << cache_hits << "/" << requests << "\n";
+    std::cout << "throughput: "
+              << static_cast<double>(requests) / wall_s << " req/s over "
+              << wall_s << " s (" << concurrency << " closed-loop slots)"
+              << "\n";
+    std::cout << "latency ms  p50: " << percentile(latencies_ms, 50.0)
+              << "  p95: " << percentile(latencies_ms, 95.0)
+              << "  p99: " << percentile(latencies_ms, 99.0) << "\n";
+
+    bool clean = transport == 0 && server5xx == 0 && client4xx == 0 &&
+                 ok2xx == requests;
+    if (!clean)
+        std::cerr << "FAIL: not every request completed with 2xx\n";
+    return clean ? 0 : 1;
+}

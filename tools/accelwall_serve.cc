@@ -1,0 +1,117 @@
+/**
+ * @file
+ * accelwall_serve: the embedded query-service daemon.
+ *
+ * Usage:
+ *   accelwall-serve [--host H] [--port P] [--workers N] [--queue N]
+ *                   [--cache-entries N] [--deadline-ms N] [--jobs N]
+ *                   [--max-sweep-cells N] [--port-file PATH]
+ *                   [--version]
+ *
+ * Binds, prints the serving address, and runs until SIGINT/SIGTERM,
+ * which trigger a graceful drain: the listener closes, every accepted
+ * request is answered, then the process exits 0. `--port 0` (the
+ * default) asks the kernel for an ephemeral port; `--port-file`
+ * writes the bound port to a file so scripts (the loadgen smoke test)
+ * can find it without parsing stdout.
+ *
+ * Endpoints and request schemas: README "Serving" and DESIGN.md §8.
+ * Usage errors exit 2; bind failures exit 1.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cli_util.hh"
+#include "serve/server.hh"
+#include "util/logging.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: accelwall-serve [--host H] [--port P] [--workers N]\n"
+           "           [--queue N] [--cache-entries N] [--deadline-ms N]\n"
+           "           [--jobs N] [--max-sweep-cells N]\n"
+           "           [--port-file PATH] [--version]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::handleVersion(argc, argv, "accelwall-serve");
+
+    serve::ServerOptions options;
+    options.service.version = cli::kVersion;
+    std::string port_file;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intFlag = [&](int &out) {
+            return i + 1 < argc && cli::parseInt(argv[++i], out);
+        };
+        int value = 0;
+        if (arg == "--host" && i + 1 < argc) {
+            options.host = argv[++i];
+        } else if (arg == "--port" && intFlag(value) && value >= 0 &&
+                   value <= 65535) {
+            options.port = value;
+        } else if (arg == "--workers" && intFlag(value) && value > 0) {
+            options.workers = value;
+        } else if (arg == "--queue" && intFlag(value) && value >= 0) {
+            options.accept_queue = static_cast<std::size_t>(value);
+        } else if (arg == "--cache-entries" && intFlag(value) &&
+                   value >= 0) {
+            options.service.cache_entries =
+                static_cast<std::size_t>(value);
+        } else if (arg == "--deadline-ms" && intFlag(value) && value > 0) {
+            options.limits.read_deadline_ms = value;
+        } else if (arg == "--jobs" && intFlag(value) && value >= 0) {
+            options.service.sweep_jobs = value;
+        } else if (arg == "--max-sweep-cells" && intFlag(value) &&
+                   value > 0) {
+            options.service.max_sweep_cells =
+                static_cast<std::size_t>(value);
+        } else if (arg == "--port-file" && i + 1 < argc) {
+            port_file = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+
+    serve::Server server(options);
+    if (auto started = server.start(); !started.ok())
+        fatal(started.error().str());
+    server.installSignalHandlers();
+
+    if (!port_file.empty()) {
+        // Written after start() so a reader never sees a port that is
+        // not yet accepting connections.
+        std::ofstream out(port_file);
+        if (!out)
+            fatal("cannot write port file '", port_file, "'");
+        out << server.port() << "\n";
+    }
+
+    std::cout << "accelwall-serve " << cli::kVersion << " listening on "
+              << options.host << ":" << server.port() << " ("
+              << options.workers << " workers, queue "
+              << options.accept_queue << ")" << std::endl;
+
+    server.waitUntilStopped();
+
+    const auto &metrics = server.service().metrics();
+    std::cout << "drained: " << metrics.totalRequests()
+              << " requests served, " << metrics.shedCount() << " shed"
+              << std::endl;
+    return 0;
+}

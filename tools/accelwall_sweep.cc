@@ -65,6 +65,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    cli::handleVersion(argc, argv, "accelwall-sweep");
     if (argc < 2)
         return usage();
     std::string kernel = argv[1];

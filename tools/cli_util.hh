@@ -13,11 +13,30 @@
 #ifndef ACCELWALL_TOOLS_CLI_UTIL_HH
 #define ACCELWALL_TOOLS_CLI_UTIL_HH
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "version.hh" // generated; see tools/version.hh.in
+
 namespace accelwall::cli
 {
+
+/**
+ * Handle `--version` uniformly across the tools: print
+ * "<tool> <version>" and exit 0 if the flag appears anywhere in argv.
+ * Call before any other argument parsing so `--version` wins even in
+ * otherwise-invalid invocations.
+ */
+inline void
+handleVersion(int argc, char **argv, const char *tool)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--version") {
+            std::printf("%s %s\n", tool, kVersion);
+            std::exit(0);
+        }
+}
 
 /** Strict full-string parse; "12x", "", and "--csv" all fail. */
 inline bool

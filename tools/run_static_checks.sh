@@ -5,9 +5,10 @@
 #      and `lint_broken` ctest entries driving accelwall-lint).
 #   2. An AddressSanitizer build + full ctest.
 #   3. An UndefinedBehaviorSanitizer build + full ctest.
-#   4. A ThreadSanitizer build running the `parallel` and `robustness`
-#      labels (the concurrent sweep, its error boundary/checkpoint
-#      writes, and the fault-injection suite).
+#   4. A ThreadSanitizer build running the `parallel`, `robustness`,
+#      and `serve` labels (the concurrent sweep, its error
+#      boundary/checkpoint writes, the fault-injection suite, and the
+#      multi-threaded HTTP server + its loadgen smoke).
 #   5. A Clang build with -Wthread-safety -Werror=thread-safety, the
 #      only compiler that checks the util/thread_annotations.hh
 #      capability attributes (skipped with a notice when clang++ is
@@ -47,7 +48,15 @@ run_suite() {
 run_suite "${prefix}" ""
 run_suite "${prefix}-asan" "" -DACCELWALL_ASAN=ON
 run_suite "${prefix}-ubsan" "" -DACCELWALL_UBSAN=ON
-run_suite "${prefix}-tsan" "parallel|robustness" -DACCELWALL_TSAN=ON
+run_suite "${prefix}-tsan" "parallel|robustness|serve" -DACCELWALL_TSAN=ON
+
+# The loadgen smoke under ASan: daemon and generator both
+# instrumented, 1k mixed requests, graceful drain. (The plain-build
+# smoke already ran inside the first run_suite via the serve label.)
+echo "=== asan loadgen smoke ==="
+bash tests/serve/run_loadgen_smoke.sh \
+    "${prefix}-asan/tools/accelwall-serve" \
+    "${prefix}-asan/tools/accelwall-loadgen"
 
 echo "=== lint (strict) ==="
 "${prefix}/tools/accelwall-lint" --strict
