@@ -3,10 +3,19 @@
  * Google-benchmark microbenchmarks of the library's hot paths: DFG
  * scheduling across design points, corpus generation + regression, and
  * CSR pipelines. These guard the wall-clock budget of the Figure 13/14
- * sweeps (1820 design points x 16 kernels).
+ * sweeps (1820 design points x 16 kernels). The sweep benchmarks run
+ * under BOTH evaluation engines (SoA and legacy), and the binary exits
+ * nonzero if the SoA engine falls below 2x legacy on the quick grid —
+ * see checkSoaFloor().
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 #include "aladdin/simulator.hh"
 #include "aladdin/sweep.hh"
@@ -52,27 +61,37 @@ BM_ScheduleBtcChained(benchmark::State &state)
 BENCHMARK(BM_ScheduleBtcChained);
 
 /**
- * The full Table III sweep grid at a given thread count. Arg(1) is the
- * serial baseline; Arg(8) records the parallel speedup of the repo's
- * hottest path (wall-clock time, hence UseRealTime). The determinism
- * test in test_aladdin.cc proves both produce identical output.
+ * The full Table III sweep grid at a given thread count, under each
+ * evaluation engine. Args are {jobs, engine}: jobs 1 is the serial
+ * baseline, jobs 8 records the parallel speedup of the repo's hottest
+ * path (wall-clock time, hence UseRealTime); engine 0 is the SoA plan
+ * evaluator, engine 1 the legacy pointer-walking Simulator::run()
+ * path kept as the differential oracle. The sweepdiff suite proves
+ * all four cells produce identical output.
  */
 void
 BM_SweepPaperGrid(benchmark::State &state)
 {
     aladdin::Simulator sim(kernels::makeKernel("FFT"));
     auto cfg = aladdin::SweepConfig::paper();
-    int jobs = static_cast<int>(state.range(0));
+    aladdin::SweepOptions opts;
+    opts.jobs = static_cast<int>(state.range(0));
+    opts.engine = state.range(1) == 0 ? aladdin::SweepEngine::Soa
+                                      : aladdin::SweepEngine::Legacy;
     std::size_t grid = cfg.nodes.size() * cfg.partitions.size() *
                        cfg.simplifications.size();
     for (auto _ : state)
-        benchmark::DoNotOptimize(aladdin::runSweep(sim, cfg, jobs));
+        benchmark::DoNotOptimize(
+            aladdin::runSweepChecked(sim, cfg, opts));
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(grid));
 }
 BENCHMARK(BM_SweepPaperGrid)
-    ->Arg(1)
-    ->Arg(8)
+    ->ArgNames({"jobs", "engine"})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -120,6 +139,67 @@ BM_Sha256Block(benchmark::State &state)
 }
 BENCHMARK(BM_Sha256Block);
 
+/**
+ * Regression gate run after the benchmarks: the SoA engine must stay
+ * at least 2x faster than legacy on the quick grid (the committed
+ * BENCH_sweep.json records ~5x; 2x leaves headroom for noisy CI
+ * machines while still catching a real regression). Median-of-3 per
+ * engine over the full kernel table, warmup round untimed.
+ */
+int
+checkSoaFloor()
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr double kFloor = 2.0;
+    constexpr int kRounds = 3;
+
+    std::vector<aladdin::Simulator> sims;
+    for (const auto &info : kernels::kernelTable())
+        sims.emplace_back(kernels::makeKernel(info.abbrev));
+    const auto cfg = aladdin::SweepConfig::quick();
+
+    auto measure = [&](aladdin::SweepEngine engine) {
+        aladdin::SweepOptions opts;
+        opts.engine = engine;
+        (void)aladdin::runSweepChecked(sims.front(), cfg, opts);
+        std::array<double, kRounds> ms{};
+        for (int r = 0; r < kRounds; ++r) {
+            auto t0 = Clock::now();
+            for (const auto &sim : sims)
+                (void)aladdin::runSweepChecked(sim, cfg, opts);
+            ms[r] = std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count();
+        }
+        std::sort(ms.begin(), ms.end());
+        return ms[kRounds / 2];
+    };
+
+    double soa_ms = measure(aladdin::SweepEngine::Soa);
+    double legacy_ms = measure(aladdin::SweepEngine::Legacy);
+    double speedup = soa_ms > 0.0 ? legacy_ms / soa_ms : 0.0;
+    std::fprintf(stderr,
+                 "soa-floor: quick grid soa %.1f ms, legacy %.1f ms, "
+                 "speedup %.2fx (floor %.1fx)\n",
+                 soa_ms, legacy_ms, speedup, kFloor);
+    if (speedup < kFloor) {
+        std::fprintf(stderr,
+                     "FAIL: SoA engine regressed below %.1fx legacy\n",
+                     kFloor);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return checkSoaFloor();
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Record one point of the repo's perf trajectory.
+#
+# The single documented entry point for refreshing BENCH_sweep.json and
+# BENCH_serve.json at the repo root (both are committed; see README
+# "Benchmarking"). Builds accelwall-bench in the default build tree and
+# runs the pinned workloads:
+#
+#   bench/run_bench_trajectory.sh [--repeat N] [--build-dir DIR]
+#
+# Defaults: --repeat 7, --build-dir build. Extra flags after `--` are
+# passed through to accelwall-bench (e.g. -- --only sweep).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+repeat=7
+passthrough=()
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --repeat)
+            repeat="$2"
+            shift 2
+            ;;
+        --build-dir)
+            build_dir="$2"
+            shift 2
+            ;;
+        --)
+            shift
+            passthrough=("$@")
+            break
+            ;;
+        *)
+            echo "usage: $0 [--repeat N] [--build-dir DIR] [-- bench-flags...]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+    cmake -S "$repo_root" -B "$build_dir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$build_dir" --target accelwall-bench -j "$(nproc)"
+
+# Emit at the repo root so the trajectory files sit next to the code
+# they measure and `git log -p BENCH_sweep.json` reads as a history.
+cd "$repo_root"
+"$build_dir/tools/accelwall-bench" \
+    --repeat "$repeat" \
+    --sweep-out BENCH_sweep.json \
+    --serve-out BENCH_serve.json \
+    "${passthrough[@]+"${passthrough[@]}"}"

@@ -1,0 +1,732 @@
+#include "aladdin/soa_engine.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "aladdin/fu_library.hh"
+#include "cmos/scaling.hh"
+#include "util/logging.hh"
+
+/*
+ * runPlanSchedule() + finishPlanCell() are a line-for-line replay of
+ * Simulator::run() over flat data. Every floating-point expression
+ * below is copied verbatim from simulator.cc, and the node issue order
+ * is reproduced exactly (ring calendar == std::map buckets, index
+ * FIFOs == std::deques, stamped arrays == unordered_maps), so the
+ * accumulated SimResult is bit-identical. When touching simulator.cc,
+ * mirror the change here — the `sweepdiff` differential suite will
+ * catch any divergence.
+ *
+ * The schedule/accounting split exists for the partition axis: when
+ * none of the partition-scaled slot budgets ever ran dry (see the
+ * ScheduleOut contract in soa_engine.hh), a wider partition cannot
+ * change the event trace, so the chain driver replays the cached
+ * ScheduleOut through finishPlanCell() instead of re-running the
+ * event loop.
+ */
+
+namespace accelwall::aladdin
+{
+
+namespace
+{
+
+using dfg::NodeId;
+using dfg::OpType;
+
+/** Intrusive-list terminator for the per-bank queues. */
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+/** Fixed costs of the optional DMA engine (45nm values). */
+constexpr double kDmaAreaUm2 = 3000.0;
+constexpr double kDmaLeakUw = 20.0;
+
+/** Fixed costs of the shared-FIFO fabric (45nm values). */
+constexpr double kFifoAreaUm2 = 200.0;
+constexpr double kFifoLeakUw = 1.0;
+
+std::size_t
+nextPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * True when 1.0/v is exact, i.e. v is a power of two. Division by such
+ * a v equals multiplication by its reciprocal bit for bit, which turns
+ * the per-resolution cycle quantization into a multiply on the common
+ * 1 GHz / 2 GHz clock grids.
+ */
+bool
+hasExactReciprocal(double v)
+{
+    int e;
+    return std::frexp(v, &e) == 0.5;
+}
+
+} // namespace
+
+SweepPlan::SweepPlan(const dfg::Graph &graph,
+                     const dfg::Analysis &analysis)
+{
+    num_nodes = graph.numNodes();
+    op.resize(num_nodes);
+    flags.resize(num_nodes);
+    pred_count.resize(num_nodes);
+    succ_off.resize(num_nodes + 1);
+    succ.reserve(graph.numEdges());
+    max_working_set = analysis.max_working_set;
+
+    meta.resize(num_nodes);
+    for (NodeId id = 0; id < num_nodes; ++id) {
+        OpType o = graph.op(id);
+        op[id] = static_cast<std::uint8_t>(o);
+        std::uint8_t f = 0;
+        if (dfg::isVariable(o))
+            f |= kVariable;
+        if (dfg::isMemory(o))
+            f |= kMemory;
+        if (dfg::isCompute(o))
+            f |= kCompute;
+        if (o == OpType::Load && graph.preds(id).empty())
+            f |= kRootLoad;
+        flags[id] = f;
+        meta[id] = static_cast<std::uint16_t>(
+            op[id] | static_cast<std::uint16_t>(f) << 8);
+        pred_count[id] =
+            static_cast<std::uint32_t>(graph.preds(id).size());
+        if (pred_count[id] == 0)
+            roots.push_back(id);
+        succ_off[id] = static_cast<std::uint32_t>(succ.size());
+        // Edge order must match Graph::succs() exactly: the legacy
+        // scheduler resolves successors in this order, and resolution
+        // order decides bucket order decides accumulation order.
+        for (NodeId s : graph.succs(id))
+            succ.push_back(s);
+        ++op_count[static_cast<int>(o)];
+        if (dfg::isMemory(o))
+            mem_nodes.push_back(id);
+    }
+    succ_off[num_nodes] = static_cast<std::uint32_t>(succ.size());
+}
+
+CellCosts
+deriveCellCosts(const DesignPoint &dp)
+{
+    if (dp.clock_ghz <= 0.0)
+        fatal("deriveCellCosts: clock must be positive");
+
+    CellCosts cc;
+    const auto &scaling = cmos::ScalingTable::instance();
+    cc.period = 1.0 / dp.clock_ghz; // ns
+    const units::Nanometers node{dp.node_nm};
+    const double delay_rel = scaling.gateDelayRel(node);
+    const double dyn_rel = scaling.dynamicEnergy(node);
+    cc.leak_rel = scaling.leakagePower(node);
+    cc.density = scaling.densityGain(node);
+    cc.extra_pipe =
+        std::max(0, dp.simplification - Simulator::kDeepPipelineDegree);
+    cc.fifo = dp.comm == CommMode::Fifo;
+    cc.dma = dp.comm == CommMode::Dma;
+    const int comm_latency = cc.fifo ? 1 : 0;
+
+    cc.max_latency = 1;
+    for (int i = 0; i < dfg::kNumOpTypes; ++i) {
+        OpType op = static_cast<OpType>(i);
+        const OpParams &p = opParams(op);
+        CellCosts::OpCost &c = cc.op[i];
+        c.delay_ns = p.delay_ns * delay_rel;
+        double ws = widthScale(op, dp.simplification);
+        c.energy_pj = p.energy_pj * ws * dyn_rel;
+        double lin_ws =
+            static_cast<double>(simplifiedWidth(dp.simplification)) /
+            32.0;
+        c.reg_energy_pj = Simulator::kRegisterEnergyPj * lin_ws *
+                          dyn_rel * (1.0 + cc.extra_pipe);
+        if (cc.fifo)
+            c.reg_energy_pj *= 0.85; // narrow shared bus
+        if (dfg::isVariable(op)) {
+            c.latency_cycles = 0;
+            c.chainable = false;
+        } else {
+            c.latency_cycles = std::max(
+                1, static_cast<int>(std::ceil(c.delay_ns / cc.period -
+                                              1e-12)));
+            if (dfg::isCompute(op))
+                c.latency_cycles += cc.extra_pipe;
+            c.latency_cycles += comm_latency;
+            c.chainable = dp.chaining && !cc.fifo &&
+                          dfg::isCompute(op) && cc.extra_pipe == 0 &&
+                          c.delay_ns < cc.period;
+        }
+        c.issue_energy_pj = c.energy_pj + c.reg_energy_pj;
+        c.latency_ns = c.latency_cycles * cc.period;
+        cc.max_latency = std::max(cc.max_latency, c.latency_cycles);
+    }
+    return cc;
+}
+
+namespace
+{
+
+/**
+ * Per-node schedule state, interleaved so the two random accesses per
+ * resolved edge (ready-time max, in-degree decrement) hit one cache
+ * line instead of two arrays.
+ */
+struct NodeState
+{
+    double ready_ns;
+    std::uint32_t unresolved;
+    std::uint32_t pad_;
+};
+
+template <bool kBank, bool kDma>
+ScheduleOut
+runPlanScheduleImpl(const SweepPlan &plan, const CellCosts &cc,
+                    const DesignPoint &dp, PlanScratch &scratch)
+{
+    const double period = cc.period;
+    const double inv_period = 1.0 / period;
+    const bool exact_inv = hasExactReciprocal(period);
+    const int mem_ports =
+        dp.memory == MemoryMode::Simple ? 1 : dp.partition;
+    const std::size_t n = plan.num_nodes;
+    const std::uint16_t *const meta = plan.meta.data();
+    const std::uint32_t *const succ_off = plan.succ_off.data();
+    const NodeId *const succ = plan.succ.data();
+    const CellCosts::OpCost *const opcost = cc.op.data();
+
+    // --- Scratch: one arena reset, no per-node allocation ------------
+    scratch.arena.reset();
+    ++scratch.cell_epoch;
+    const std::uint64_t epoch = scratch.cell_epoch;
+
+    auto *ns = scratch.arena.alloc<NodeState>(n);
+
+    // Issue-sequence log: every node issues (or fuses) at most once,
+    // so capacity n suffices.
+    auto *log = scratch.arena.alloc<std::uint16_t>(n);
+    std::size_t log_len = 0;
+
+    // Index FIFOs replacing the legacy std::deques. A node enters each
+    // queue at most once, so capacity n suffices and heads only move
+    // forward. Entries carry the op index in the high half so serving
+    // skips the random meta[] load.
+    auto *wq_compute = scratch.arena.alloc<std::uint64_t>(n);
+    auto *wq_memory = scratch.arena.alloc<std::uint64_t>(n);
+    auto *wq_dma = scratch.arena.alloc<std::uint64_t>(n);
+    std::size_t wqc_head = 0, wqc_tail = 0;
+    std::size_t wqm_head = 0, wqm_tail = 0;
+    std::size_t wqd_head = 0, wqd_tail = 0;
+
+    // Ring calendar replacing the std::map cycle buckets: a ready time
+    // never leads the current cycle by more than the largest op
+    // latency (+1 for mid-cycle spill-over), so a power-of-two ring
+    // indexed by `cycle & mask` holds every pending bucket.
+    const std::size_t ring_size =
+        nextPow2(static_cast<std::size_t>(cc.max_latency) + 2);
+    const std::size_t ring_mask = ring_size - 1;
+    if (scratch.ring.size() < ring_size)
+        scratch.ring.resize(ring_size);
+    for (auto &slot : scratch.ring)
+        slot.clear();
+    std::vector<NodeId> *const ring = scratch.ring.data();
+    // Occupancy bitmap over the ring: nextBucket() is a countr_zero
+    // scan over words instead of a slot-by-slot emptiness walk.
+    const std::size_t ring_words = (ring_size + 63) >> 6;
+    if (scratch.ring_occ.size() < ring_words)
+        scratch.ring_occ.resize(ring_words);
+    std::uint64_t *const occ = scratch.ring_occ.data();
+    std::fill_n(occ, ring_words, 0);
+    std::vector<NodeId> &list = scratch.list;
+    list.clear();
+    std::size_t pending = 0;
+
+    // Banked-memory state: stamped flat arrays plus an intrusive
+    // per-bank FIFO threaded through bank_next. Only touched under
+    // MemoryMode::Banked; stamp validation makes per-cell clearing of
+    // the (partition-sized) tables unnecessary.
+    std::uint32_t *bank_next = nullptr;
+    std::uint32_t *bw = nullptr; // ring buffer of bank ids with waiters
+    std::size_t bw_mask = 0;
+    std::size_t bw_head = 0, bw_tail = 0;
+    if constexpr (kBank) {
+        const auto banks = static_cast<std::size_t>(dp.partition);
+        if (scratch.bank_used_stamp.size() < banks) {
+            scratch.bank_used_stamp.resize(banks, 0);
+            scratch.bank_queue_stamp.resize(banks, 0);
+            scratch.bank_head.resize(banks, 0);
+            scratch.bank_tail.resize(banks, 0);
+        }
+        bank_next = scratch.arena.alloc<std::uint32_t>(n);
+        // Live waiting banks <= queued memory nodes, each queued once.
+        const std::size_t bw_cap = nextPow2(plan.mem_nodes.size() + 1);
+        bw = scratch.arena.alloc<std::uint32_t>(bw_cap);
+        bw_mask = bw_cap - 1;
+    }
+
+    const std::uint32_t *const pred_count = plan.pred_count.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        ns[i].ready_ns = 0.0;
+        ns[i].unresolved = pred_count[i];
+    }
+    for (NodeId id : plan.roots) {
+        ring[0].push_back(id);
+        ++pending;
+    }
+    if (pending > 0)
+        occ[0] |= 1;
+
+    ScheduleOut out;
+    std::int64_t current_cycle = 0;
+    bool in_cycle = false;
+
+    auto bucketPush = [&](std::int64_t c, NodeId id) {
+        if (c - current_cycle >=
+            static_cast<std::int64_t>(ring_size)) [[unlikely]] {
+            panic("runPlanSchedule: ring calendar overflow (bucket ",
+                  c, " at cycle ", current_cycle, ")");
+        }
+        const std::size_t sl = static_cast<std::size_t>(c) & ring_mask;
+        ring[sl].push_back(id);
+        occ[sl >> 6] |= std::uint64_t{1} << (sl & 63);
+        ++pending;
+    };
+
+    auto propagate = [&](NodeId id, double finish) {
+        out.makespan = std::max(out.makespan, finish);
+        const std::uint32_t lo = succ_off[id];
+        const std::uint32_t hi = succ_off[id + 1];
+        for (std::uint32_t s = lo; s < hi; ++s) {
+            NodeId su = succ[s];
+            NodeState &st = ns[su];
+            st.ready_ns = std::max(st.ready_ns, finish);
+            if (--st.unresolved == 0) {
+                const double q = exact_inv
+                                     ? st.ready_ns * inv_period
+                                     : st.ready_ns / period;
+                // Ready times are never negative, so truncation is
+                // floor() bit for bit — minus the libm call the
+                // baseline SSE2 target would emit.
+                std::int64_t c = static_cast<std::int64_t>(q + 1e-9);
+                if (c == current_cycle && in_cycle)
+                    list.push_back(su);
+                else
+                    bucketPush(std::max(c, current_cycle), su);
+            }
+        }
+    };
+
+    auto any_waiting = [&] {
+        return wqc_head != wqc_tail || wqm_head != wqm_tail ||
+               wqd_head != wqd_tail || bw_head != bw_tail;
+    };
+
+    auto nextBucket = [&]() -> std::int64_t {
+        const std::size_t start =
+            static_cast<std::size_t>(current_cycle) & ring_mask;
+        std::size_t w = start >> 6;
+        std::uint64_t word =
+            occ[w] & (~std::uint64_t{0} << (start & 63));
+        // <= ring_words passes: the start word is revisited unmasked
+        // after the wrap to pick up slots behind the start index.
+        for (std::size_t k = 0; k <= ring_words; ++k) {
+            if (word) {
+                const std::size_t idx =
+                    (w << 6) | static_cast<std::size_t>(
+                                   std::countr_zero(word));
+                return current_cycle +
+                       static_cast<std::int64_t>((idx - start) &
+                                                 ring_mask);
+            }
+            w = w + 1 == ring_words ? 0 : w + 1;
+            word = occ[w];
+        }
+        panic("runPlanSchedule: pending nodes but empty calendar");
+    };
+
+    while (pending > 0 || any_waiting()) {
+        std::int64_t cycle;
+        if (any_waiting()) {
+            cycle = current_cycle + 1;
+            if (pending > 0)
+                cycle = std::min(cycle, nextBucket());
+        } else {
+            cycle = nextBucket();
+        }
+        current_cycle = std::max(cycle, current_cycle);
+
+        list.clear();
+        {
+            const std::size_t sl =
+                static_cast<std::size_t>(current_cycle) & ring_mask;
+            list.swap(ring[sl]);
+            occ[sl >> 6] &= ~(std::uint64_t{1} << (sl & 63));
+            pending -= list.size();
+        }
+        in_cycle = true;
+        // Globally unique per (cell, cycle): stale bank_used stamps
+        // from any earlier cell or cycle can never match.
+        const std::uint64_t used_tick = ++scratch.tick;
+
+        int compute_slots = dp.partition;
+        int memory_slots = mem_ports;
+        int dma_slots = kDma ? 2 * mem_ports : 0;
+        double boundary = static_cast<double>(current_cycle) * period;
+
+        auto issue = [&](NodeId id, std::uint16_t op) {
+            const CellCosts::OpCost &c = opcost[op];
+            double energy = c.issue_energy_pj;
+            if constexpr (kDma) {
+                if (meta[id] >> 8 & SweepPlan::kRootLoad) {
+                    energy *= 0.8; // burst amortization
+                    op |= kTraceDmaScaled;
+                }
+            }
+            log[log_len++] = op;
+            out.dynamic_energy_pj += energy;
+            propagate(id, boundary + c.latency_ns);
+        };
+
+        // First serve work that was starved in earlier cycles.
+        while (wqc_head != wqc_tail && compute_slots > 0) {
+            const std::uint64_t e = wq_compute[wqc_head++];
+            --compute_slots;
+            issue(static_cast<NodeId>(e), static_cast<std::uint16_t>(e >> 32));
+        }
+        if constexpr (kDma) {
+            while (wqd_head != wqd_tail && dma_slots > 0) {
+                const std::uint64_t e = wq_dma[wqd_head++];
+                --dma_slots;
+                issue(static_cast<NodeId>(e),
+                      static_cast<std::uint16_t>(e >> 32));
+            }
+        }
+        if constexpr (kBank) {
+            // Each bank serves one access per cycle, within the port
+            // budget. Banks queue round-robin.
+            std::size_t banks_today = bw_tail - bw_head;
+            for (std::size_t i = 0;
+                 i < banks_today && memory_slots > 0; ++i) {
+                std::uint32_t bank = bw[(bw_head++) & bw_mask];
+                std::uint32_t id = scratch.bank_head[bank];
+                std::uint32_t next = bank_next[id];
+                scratch.bank_head[bank] = next;
+                --memory_slots;
+                scratch.bank_used_stamp[bank] = used_tick;
+                issue(id, meta[id] & 0xff);
+                if (next != kNil)
+                    bw[(bw_tail++) & bw_mask] = bank;
+                else
+                    scratch.bank_queue_stamp[bank] = 0; // erase queue
+            }
+        } else {
+            while (wqm_head != wqm_tail && memory_slots > 0) {
+                const std::uint64_t e = wq_memory[wqm_head++];
+                --memory_slots;
+                issue(static_cast<NodeId>(e),
+                      static_cast<std::uint16_t>(e >> 32));
+            }
+        }
+
+        // Then the nodes whose inputs became available this cycle. The
+        // list may grow as chained ops finish mid-cycle.
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            NodeId id = list[i];
+            const std::uint16_t m = meta[id];
+            const std::uint8_t f = static_cast<std::uint8_t>(m >> 8);
+            const CellCosts::OpCost &c = opcost[m & 0xff];
+
+            if (f & SweepPlan::kVariable) {
+                // Pseudo nodes are free and instantaneous.
+                propagate(id, ns[id].ready_ns);
+                continue;
+            }
+
+            double ready = ns[id].ready_ns;
+            if (c.chainable && ready >= boundary &&
+                (ready - boundary) + c.delay_ns <= period + 1e-12) {
+                // Fuse into the producer's cycle: no issue slot, no
+                // pipeline-register write.
+                ++out.fused_ops;
+                log[log_len++] =
+                    static_cast<std::uint16_t>((m & 0xff) | kTraceFused);
+                out.dynamic_energy_pj += c.energy_pj;
+                propagate(id, ready + c.delay_ns);
+                continue;
+            }
+
+            if (ready > boundary + 1e-12) {
+                // Mid-cycle ready but unchainable: wait for the next
+                // boundary.
+                bucketPush(current_cycle + 1, id);
+                continue;
+            }
+
+            bool is_mem = (f & SweepPlan::kMemory) != 0;
+            if (!is_mem) {
+                if (compute_slots > 0) {
+                    --compute_slots;
+                    issue(id, m & 0xff);
+                } else {
+                    wq_compute[wqc_tail++] =
+                        id | std::uint64_t(m & 0xff) << 32;
+                    out.compute_starved = true;
+                }
+                continue;
+            }
+
+            // Memory access routing.
+            if constexpr (kDma) {
+                if (f & SweepPlan::kRootLoad) {
+                    if (dma_slots > 0) {
+                        --dma_slots;
+                        issue(id, m & 0xff);
+                    } else {
+                        wq_dma[wqd_tail++] =
+                            id | std::uint64_t(m & 0xff) << 32;
+                        out.mem_starved = true;
+                    }
+                    continue;
+                }
+            }
+            if constexpr (kBank) {
+                auto bank = static_cast<std::uint32_t>(
+                    id % static_cast<NodeId>(dp.partition));
+                bool queued = scratch.bank_queue_stamp[bank] == epoch;
+                bool used =
+                    scratch.bank_used_stamp[bank] == used_tick;
+                if (!queued && !used && memory_slots > 0) {
+                    --memory_slots;
+                    scratch.bank_used_stamp[bank] = used_tick;
+                    issue(id, m & 0xff);
+                } else {
+                    out.mem_starved = true;
+                    if (!queued) {
+                        bw[(bw_tail++) & bw_mask] = bank;
+                        scratch.bank_queue_stamp[bank] = epoch;
+                        scratch.bank_head[bank] = id;
+                    } else {
+                        bank_next[scratch.bank_tail[bank]] = id;
+                    }
+                    scratch.bank_tail[bank] = id;
+                    bank_next[id] = kNil;
+                }
+                continue;
+            }
+            if (memory_slots > 0) {
+                --memory_slots;
+                issue(id, m & 0xff);
+            } else {
+                wq_memory[wqm_tail++] =
+                    id | std::uint64_t(m & 0xff) << 32;
+                out.mem_starved = true;
+            }
+        }
+        in_cycle = false;
+    }
+    // Every issued or fused node appends exactly one log entry, so the
+    // op count falls out of the trace length for free.
+    out.ops = log_len;
+    scratch.issue_log = log;
+    scratch.issue_log_len = log_len;
+    return out;
+}
+
+} // namespace
+
+double
+replayDynamicEnergy(const std::uint16_t *log, std::size_t len,
+                    const CellCosts &costs)
+{
+    // Same additions in the same order as the recorded run, with this
+    // cost table's values — bit-identical to re-running the schedule
+    // under any cost table that preserves the event trace.
+    double e = 0.0;
+    for (std::size_t i = 0; i < len; ++i) {
+        const std::uint16_t ent = log[i];
+        const CellCosts::OpCost &c = costs.op[ent & 0xff];
+        if (ent & kTraceFused) {
+            e += c.energy_pj;
+        } else {
+            double energy = c.issue_energy_pj;
+            if (ent & kTraceDmaScaled)
+                energy *= 0.8; // burst amortization
+            e += energy;
+        }
+    }
+    return e;
+}
+
+ScheduleOut
+runPlanSchedule(const SweepPlan &plan, const CellCosts &cc,
+                const DesignPoint &dp, PlanScratch &scratch)
+{
+    if (dp.partition < 1)
+        fatal("runPlanSchedule: partition factor must be >= 1");
+    if (dp.clock_ghz <= 0.0)
+        fatal("runPlanSchedule: clock must be positive");
+    // Monomorphise the event loop on the two flags that add work to
+    // the per-node serving path; the common (false, false) instance
+    // carries no banked or DMA branches at all.
+    if (dp.memory == MemoryMode::Banked)
+        return cc.dma
+                   ? runPlanScheduleImpl<true, true>(plan, cc, dp, scratch)
+                   : runPlanScheduleImpl<true, false>(plan, cc, dp,
+                                                      scratch);
+    return cc.dma
+               ? runPlanScheduleImpl<false, true>(plan, cc, dp, scratch)
+               : runPlanScheduleImpl<false, false>(plan, cc, dp, scratch);
+}
+
+SimResult
+finishPlanCell(const SweepPlan &plan, const CellCosts &cc,
+               const DesignPoint &dp, PlanScratch &scratch,
+               const ScheduleOut &sched)
+{
+    const double period = cc.period;
+    const int mem_ports =
+        dp.memory == MemoryMode::Simple ? 1 : dp.partition;
+    const bool bank_conflicts = dp.memory == MemoryMode::Banked;
+
+    SimResult res;
+    res.ops = sched.ops;
+    res.fused_ops = sched.fused_ops;
+    res.dynamic_energy_pj = sched.dynamic_energy_pj;
+
+    // --- Account area, leakage, energy, derived metrics --------------
+    // Functional units: one per lane and op class, but never more units
+    // than the kernel has operations of that class.
+    double fu_leak_uw = 0.0, fu_area_um2 = 0.0;
+    for (int i = 0; i < dfg::kNumOpTypes; ++i) {
+        OpType op = static_cast<OpType>(i);
+        if (plan.op_count[i] == 0 || dfg::isVariable(op))
+            continue;
+        double instances = static_cast<double>(
+            std::min<std::uint64_t>(plan.op_count[i],
+                                    static_cast<std::uint64_t>(
+                                        dp.partition)));
+        const OpParams &p = opParams(op);
+        double ws = widthScale(op, dp.simplification);
+        fu_leak_uw += instances * p.leak_uw * ws;
+        fu_area_um2 += instances * p.area_um2 * ws;
+    }
+
+    double word_bytes =
+        static_cast<double>(simplifiedWidth(dp.simplification)) / 8.0;
+    double sram_bytes =
+        static_cast<double>(plan.max_working_set) * word_bytes;
+    double bank_count;
+    switch (dp.memory) {
+      case MemoryMode::Simple:
+        bank_count = 1.0;
+        break;
+      case MemoryMode::Banked:
+        bank_count = 0.75 * dp.partition; // plain stripes
+        break;
+      case MemoryMode::Heterogeneous:
+      default:
+        bank_count = static_cast<double>(dp.partition);
+        break;
+    }
+    double mem_leak_uw =
+        sram_bytes * Simulator::kSramLeakUwPerByte +
+        bank_count * Simulator::kBankLeakUw;
+    double mem_area_um2 =
+        sram_bytes * Simulator::kSramAreaUm2PerByte +
+        bank_count * Simulator::kBankAreaUm2;
+
+    double fabric_leak_uw = 0.0, fabric_area_um2 = 0.0;
+    if (cc.fifo) {
+        fabric_leak_uw += kFifoLeakUw;
+        fabric_area_um2 += kFifoAreaUm2;
+    }
+    if (cc.dma) {
+        fabric_leak_uw += kDmaLeakUw;
+        fabric_area_um2 += kDmaAreaUm2;
+    }
+
+    res.leakage_power_uw =
+        (fu_leak_uw + mem_leak_uw + fabric_leak_uw) * cc.leak_rel;
+    res.area_um2 =
+        (fu_area_um2 + mem_area_um2 + fabric_area_um2) / cc.density;
+
+    res.runtime_ns = std::max(sched.makespan, period);
+    res.cycles = static_cast<std::uint64_t>(
+        std::ceil(res.runtime_ns / period - 1e-9));
+
+    res.lane_utilization =
+        static_cast<double>(res.ops - res.fused_ops) /
+        (static_cast<double>(res.cycles) * 2.0 * dp.partition);
+
+    // Steady-state initiation interval: resource occupancy alone.
+    std::uint64_t compute_issues = res.ops - res.fused_ops;
+    std::uint64_t mem_ops = 0;
+    std::uint64_t busiest_bank = 0;
+    if (bank_conflicts) {
+        // Stamped per-bank counters: a fresh epoch per call makes
+        // stale counts from earlier cells invisible.
+        ++scratch.cell_epoch;
+        const std::uint64_t epoch = scratch.cell_epoch;
+        const auto banks = static_cast<std::size_t>(dp.partition);
+        if (scratch.bank_count_stamp.size() < banks) {
+            scratch.bank_count_stamp.resize(banks, 0);
+            scratch.bank_count.resize(banks, 0);
+        }
+        for (NodeId id : plan.mem_nodes) {
+            ++mem_ops;
+            auto bank = static_cast<std::uint32_t>(
+                id % static_cast<NodeId>(dp.partition));
+            std::uint64_t count;
+            if (scratch.bank_count_stamp[bank] == epoch) {
+                count = ++scratch.bank_count[bank];
+            } else {
+                scratch.bank_count_stamp[bank] = epoch;
+                scratch.bank_count[bank] = 1;
+                count = 1;
+            }
+            busiest_bank = std::max(busiest_bank, count);
+        }
+    } else {
+        mem_ops = plan.mem_nodes.size();
+    }
+    compute_issues -= std::min(compute_issues, mem_ops);
+    std::uint64_t ii_compute =
+        (compute_issues + dp.partition - 1) / dp.partition;
+    std::uint64_t ii_mem =
+        (mem_ops + mem_ports - 1) / std::max(mem_ports, 1);
+    if (bank_conflicts)
+        ii_mem = std::max(ii_mem, busiest_bank);
+    res.initiation_interval = std::max<std::uint64_t>(
+        {1, ii_compute, ii_mem});
+    res.pipelined_throughput_ops =
+        static_cast<double>(res.ops) /
+        (static_cast<double>(res.initiation_interval) * period * 1e-9);
+
+    // 1 uW * 1 ns = 1e-3 pJ.
+    double leak_energy_pj =
+        res.leakage_power_uw * res.runtime_ns * 1e-3;
+    res.energy_pj = res.dynamic_energy_pj + leak_energy_pj;
+    // 1 pJ / 1 ns = 1 mW.
+    res.power_mw = res.energy_pj / res.runtime_ns;
+    res.throughput_ops =
+        static_cast<double>(res.ops) / (res.runtime_ns * 1e-9);
+    res.efficiency_opj =
+        static_cast<double>(res.ops) / (res.energy_pj * 1e-12);
+    return res;
+}
+
+SimResult
+evalPlanCell(const SweepPlan &plan, const CellCosts &cc,
+             const DesignPoint &dp, PlanScratch &scratch)
+{
+    const ScheduleOut sched = runPlanSchedule(plan, cc, dp, scratch);
+    return finishPlanCell(plan, cc, dp, scratch, sched);
+}
+
+} // namespace accelwall::aladdin

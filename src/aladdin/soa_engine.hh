@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Data-oriented (structure-of-arrays) sweep cell evaluator.
+ *
+ * Simulator::run() re-walks the pointer-heavy dfg::Graph — a
+ * vector-of-vectors adjacency, std::map cycle buckets, std::deque wait
+ * queues, unordered_map bank state — for every (node, partition,
+ * simplification) cell of a sweep. This engine lowers the kernel once
+ * into a SweepPlan of flat, contiguous tables (op codes, CSR successor
+ * lists, per-class counts), derives the per-(node, simplification)
+ * cost table once per chain, and then evaluates every cell of the
+ * chain against the plan with arena-backed scratch:
+ *
+ *  - the cycle buckets become a power-of-two ring calendar indexed by
+ *    `cycle & mask` (pending ready times never lead the current cycle
+ *    by more than the largest op latency, so a small ring suffices);
+ *  - wait queues become bump-allocated index FIFOs;
+ *  - banked-memory state becomes stamp-validated flat arrays (no
+ *    per-cell clearing, no hashing).
+ *
+ * The contract is *bit-identical* SimResult output: evalPlanCell()
+ * replays the exact operation order of Simulator::run(), so every
+ * floating-point accumulation happens in the same sequence. The legacy
+ * evaluator remains the differential-test oracle behind
+ * ACCELWALL_SWEEP_ENGINE=legacy (see sweep.hh and
+ * tests/test_sweep_diff.cc).
+ */
+
+#ifndef ACCELWALL_ALADDIN_SOA_ENGINE_HH
+#define ACCELWALL_ALADDIN_SOA_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "aladdin/design_point.hh"
+#include "aladdin/simulator.hh"
+#include "dfg/analysis.hh"
+#include "dfg/graph.hh"
+#include "util/arena.hh"
+
+namespace accelwall::aladdin
+{
+
+/**
+ * One kernel DFG lowered into flat tables. Built once per sweep and
+ * shared read-only across worker threads; evaluation never touches
+ * dfg::Graph again.
+ */
+class SweepPlan
+{
+  public:
+    /** Node property bits (plan.flags). */
+    static constexpr std::uint8_t kVariable = 1;
+    static constexpr std::uint8_t kMemory = 2;
+    static constexpr std::uint8_t kCompute = 4;
+    /** Load with no predecessors (DMA-streamable root load). */
+    static constexpr std::uint8_t kRootLoad = 8;
+
+    SweepPlan(const dfg::Graph &graph, const dfg::Analysis &analysis);
+
+    /** |V|. */
+    std::size_t num_nodes = 0;
+    /** OpType per node, as a dense table index. */
+    std::vector<std::uint8_t> op;
+    /** kVariable/kMemory/kCompute/kRootLoad bits per node. */
+    std::vector<std::uint8_t> flags;
+    /** op | flags << 8 — one load per node on the hot path. */
+    std::vector<std::uint16_t> meta;
+    /** In-degree per node (schedule seeding). */
+    std::vector<std::uint32_t> pred_count;
+    /** CSR successor offsets, size num_nodes + 1. */
+    std::vector<std::uint32_t> succ_off;
+    /** CSR successor ids, edge order identical to Graph::succs(). */
+    std::vector<dfg::NodeId> succ;
+    /** Memory nodes in id order (initiation-interval accounting). */
+    std::vector<dfg::NodeId> mem_nodes;
+    /** Zero-in-degree nodes in id order (schedule seeding). */
+    std::vector<dfg::NodeId> roots;
+    /** Nodes per op class (functional-unit provisioning). */
+    std::array<std::uint64_t, dfg::kNumOpTypes> op_count{};
+    /** analysis.max_working_set (scratchpad sizing). */
+    std::size_t max_working_set = 0;
+};
+
+/**
+ * Per-(node, simplification) derived costs — everything in
+ * Simulator::run() that does not depend on the partition factor, so a
+ * chain computes it once and reuses it for all its partition cells.
+ */
+struct CellCosts
+{
+    struct OpCost
+    {
+        double delay_ns = 0.0;
+        int latency_cycles = 1;
+        double energy_pj = 0.0;
+        double reg_energy_pj = 0.0;
+        bool chainable = false;
+        /**
+         * energy_pj + reg_energy_pj and latency_cycles * period,
+         * precomputed from the identical operands the legacy engine
+         * adds/multiplies per issue — bit-identical by construction.
+         */
+        double issue_energy_pj = 0.0;
+        double latency_ns = 0.0;
+    };
+
+    std::array<OpCost, dfg::kNumOpTypes> op;
+    double period = 1.0;
+    double leak_rel = 1.0;
+    double density = 1.0;
+    int extra_pipe = 0;
+    bool fifo = false;
+    bool dma = false;
+    /** Max latency_cycles over all classes (ring-calendar sizing). */
+    int max_latency = 1;
+};
+
+/**
+ * Derive the chain-invariant cost table for @p dp. Only node_nm,
+ * simplification, chaining, comm, and clock_ghz are read; partition
+ * and memory mode are per-cell concerns.
+ */
+CellCosts deriveCellCosts(const DesignPoint &dp);
+
+/**
+ * Reusable per-thread evaluation scratch. All per-cell arrays live in
+ * the arena (reset per cell, capacity retained); the stamped bank
+ * tables persist across cells so banked-memory cells need no O(banks)
+ * clearing. Default-constructed state is valid; the evaluator sizes
+ * everything on use.
+ */
+struct PlanScratch
+{
+    util::Arena arena;
+    /**
+     * Issue-sequence log of the last runPlanSchedule() call: one
+     * kTrace-flagged op index per issued or fused node, in
+     * accumulation order. Arena-backed — valid until the next
+     * runPlanSchedule() on this scratch. Feed to
+     * replayDynamicEnergy() to re-accumulate the energy of the same
+     * event trace under a different cost table.
+     */
+    const std::uint16_t *issue_log = nullptr;
+    std::size_t issue_log_len = 0;
+    /** Power-of-two ring calendar of ready nodes, one slot per cycle. */
+    std::vector<std::vector<dfg::NodeId>> ring;
+    /** One bit per ring slot: set iff the slot holds pending nodes. */
+    std::vector<std::uint64_t> ring_occ;
+    /** Nodes processed in the current cycle (grows under chaining). */
+    std::vector<dfg::NodeId> list;
+
+    // Stamp-validated banked-memory state, indexed by bank id. A slot
+    // is live only when its stamp matches the current tick (per-cycle
+    // state) or cell epoch (per-cell state).
+    std::vector<std::uint64_t> bank_used_stamp;
+    std::vector<std::uint64_t> bank_queue_stamp;
+    std::vector<std::uint32_t> bank_head;
+    std::vector<std::uint32_t> bank_tail;
+    std::vector<std::uint64_t> bank_count_stamp;
+    std::vector<std::uint64_t> bank_count;
+
+    /** Monotonic cycle stamp; never reset, so stale slots never match. */
+    std::uint64_t tick = 0;
+    /** Monotonic cell stamp. */
+    std::uint64_t cell_epoch = 0;
+};
+
+/**
+ * The partition-trace-invariant outputs of one event-loop run. The
+ * trace depends on the partition factor only through the issue-slot
+ * budgets, so a wider partition replays the identical event sequence
+ * whenever none of the partition-scaled budgets ever ran dry:
+ *
+ *  - compute slots scale with the partition everywhere, so
+ *    `compute_starved` must be false;
+ *  - under MemoryMode::Simple the memory/DMA ports are fixed at one
+ *    regardless of partition, so memory starvation is irrelevant;
+ *    under Heterogeneous the ports scale too, so `mem_starved` must
+ *    also be false;
+ *  - under MemoryMode::Banked the bank assignment itself is
+ *    `id % partition`, so traces are never reusable across partitions.
+ *
+ * When those hold, the chain driver reuses the ScheduleOut for every
+ * larger partition and only re-runs finishPlanCell().
+ */
+struct ScheduleOut
+{
+    std::uint64_t ops = 0;
+    std::uint64_t fused_ops = 0;
+    double dynamic_energy_pj = 0.0;
+    double makespan = 0.0;
+    /** True iff a compute node ever waited for an issue slot. */
+    bool compute_starved = false;
+    /** True iff a memory/DMA node ever waited for a port or bank. */
+    bool mem_starved = false;
+};
+
+/** Issue-log entry bits (low byte is the op-table index). */
+constexpr std::uint16_t kTraceFused = 0x100;
+/** The DMA burst-amortization factor applied to this issue. */
+constexpr std::uint16_t kTraceDmaScaled = 0x200;
+
+/**
+ * Run the event loop for one design point. Issue order, accumulation
+ * order, and every floating-point expression replay Simulator::run()
+ * exactly. Also fills scratch.issue_log with the event trace.
+ */
+ScheduleOut runPlanSchedule(const SweepPlan &plan,
+                            const CellCosts &costs,
+                            const DesignPoint &dp,
+                            PlanScratch &scratch);
+
+/**
+ * Re-accumulate dynamic energy for a recorded issue sequence under a
+ * (possibly different) cost table. The event trace is invariant
+ * across cells that share node_nm, clock, comm, chaining, partition,
+ * memory mode, and extra-pipe degree — simplification then only
+ * scales the per-issue energies (see deriveCellCosts), so replaying
+ * the log in order reproduces the full run's dynamic_energy_pj bit
+ * for bit at a fraction of the cost. The sweep driver uses this to
+ * evaluate same-trace sibling chains from one recorded schedule.
+ */
+double replayDynamicEnergy(const std::uint16_t *log, std::size_t len,
+                           const CellCosts &costs);
+
+/**
+ * Derive the full SimResult from a schedule trace: functional-unit /
+ * SRAM / fabric leakage and area, initiation interval, and the energy,
+ * power, and throughput metrics. Pure accounting — reusable across
+ * partition factors when the trace is (see ScheduleOut). Under
+ * MemoryMode::Banked the bank-pressure accounting is
+ * partition-dependent, so traces must never be reused across
+ * partitions there.
+ */
+SimResult finishPlanCell(const SweepPlan &plan, const CellCosts &costs,
+                         const DesignPoint &dp, PlanScratch &scratch,
+                         const ScheduleOut &sched);
+
+/**
+ * Evaluate one design point against the lowered plan
+ * (runPlanSchedule + finishPlanCell). Bit-identical to
+ * Simulator::run(dp) on the plan's source graph — the differential
+ * suite (ctest -L sweepdiff) enforces this cell by cell.
+ */
+SimResult evalPlanCell(const SweepPlan &plan, const CellCosts &costs,
+                       const DesignPoint &dp, PlanScratch &scratch);
+
+} // namespace accelwall::aladdin
+
+#endif // ACCELWALL_ALADDIN_SOA_ENGINE_HH

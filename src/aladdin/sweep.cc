@@ -7,8 +7,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
+#include <utility>
 #include <sstream>
+#include <string_view>
 
+#include "aladdin/soa_engine.hh"
 #include "util/faultinject.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -146,6 +150,107 @@ evalChain(const Simulator &sim, const SweepConfig &cfg, std::size_t c,
             res = plateau;
         } else {
             res = sim.run(chain_out[pi].dp);
+            if (pi > 0 && closeRel(res.runtime_ns, plateau.runtime_ns) &&
+                closeRel(res.energy_pj, plateau.energy_pj)) {
+                if (++stable >= 2)
+                    plateaued = true;
+            } else {
+                stable = 0;
+            }
+            plateau = res;
+        }
+        chain_out[pi].res = res;
+    }
+}
+
+/**
+ * One recorded schedule trace, shared between sibling chains whose
+ * event sequences provably coincide (same node_nm / clock / comm /
+ * chaining / partition / memory mode / extra-pipe degree — see
+ * replayDynamicEnergy()). `issues` owns a copy of the engine's
+ * arena-backed issue log.
+ */
+struct CellTrace
+{
+    ScheduleOut sched;
+    std::vector<std::uint16_t> issues;
+    bool valid = false;
+};
+
+/** Per-partition-index trace table for one trace-sharing group. */
+using ChainTraceCache = std::vector<CellTrace>;
+
+/**
+ * evalChain against the lowered plan instead of the Simulator. Same
+ * plateau short-circuit, same output bit-for-bit; the per-thread
+ * scratch persists across chains so steady-state evaluation does not
+ * allocate.
+ *
+ * When @p cache is non-null it carries recorded traces between the
+ * chains of one trace-sharing group: a valid entry skips the event
+ * loop entirely (only the energy accumulation is replayed under this
+ * chain's cost table), and every schedule this chain does run is
+ * recorded for the group's remaining members.
+ */
+void
+evalChainSoa(const SweepPlan &plan, const SweepConfig &cfg, std::size_t c,
+             SweepPoint *chain_out, ChainTraceCache *cache = nullptr)
+{
+    fillChainDp(cfg, c, chain_out);
+    static thread_local PlanScratch scratch;
+    // Everything partition-independent is derived once per chain.
+    const CellCosts costs = deriveCellCosts(chain_out[0].dp);
+    bool plateaued = false;
+    SimResult plateau;
+    int stable = 0;
+    // The event trace depends on the partition only through the
+    // issue-slot budgets (see ScheduleOut), so once every
+    // partition-scaled budget runs dry-free the trace is fixed for all
+    // wider partitions and only the accounting pass re-runs. Under
+    // MemoryMode::Simple the memory ports stay at one regardless of
+    // partition, so only *compute* starvation blocks reuse there; bank
+    // mapping shifts with the partition under MemoryMode::Banked, so
+    // no reuse at all in that mode.
+    ScheduleOut trace;
+    int trace_partition = 0;
+    for (std::size_t pi = 0; pi < cfg.partitions.size(); ++pi) {
+        SimResult res;
+        if (plateaued) {
+            res = plateau;
+        } else {
+            const DesignPoint &dp = chain_out[pi].dp;
+            if (cache && (*cache)[pi].valid) {
+                // A sibling chain already scheduled this cell; only
+                // the energy differs under this chain's costs.
+                const CellTrace &ct = (*cache)[pi];
+                ScheduleOut replay = ct.sched;
+                replay.dynamic_energy_pj = replayDynamicEnergy(
+                    ct.issues.data(), ct.issues.size(), costs);
+                res = finishPlanCell(plan, costs, dp, scratch, replay);
+            } else {
+                const bool reusable =
+                    trace_partition > 0 &&
+                    dp.partition >= trace_partition &&
+                    dp.memory != MemoryMode::Banked;
+                if (!reusable) {
+                    trace = runPlanSchedule(plan, costs, dp, scratch);
+                    const bool invariant =
+                        !trace.compute_starved &&
+                        (dp.memory == MemoryMode::Simple ||
+                         !trace.mem_starved);
+                    if (invariant && dp.memory != MemoryMode::Banked)
+                        trace_partition = dp.partition;
+                }
+                res = finishPlanCell(plan, costs, dp, scratch, trace);
+                if (cache) {
+                    CellTrace &ct = (*cache)[pi];
+                    ct.sched = trace;
+                    ct.issues.assign(
+                        scratch.issue_log,
+                        scratch.issue_log + scratch.issue_log_len);
+                    ct.valid = true;
+                }
+            }
             if (pi > 0 && closeRel(res.runtime_ns, plateau.runtime_ns) &&
                 closeRel(res.energy_pj, plateau.energy_pj)) {
                 if (++stable >= 2)
@@ -303,6 +408,36 @@ SweepReport::summary() const
     return oss.str();
 }
 
+const char *
+sweepEngineName(SweepEngine engine)
+{
+    switch (engine) {
+      case SweepEngine::Auto:
+        return "auto";
+      case SweepEngine::Legacy:
+        return "legacy";
+      case SweepEngine::Soa:
+      default:
+        return "soa";
+    }
+}
+
+SweepEngine
+resolveSweepEngine(SweepEngine requested)
+{
+    if (requested != SweepEngine::Auto)
+        return requested;
+    const char *env = std::getenv("ACCELWALL_SWEEP_ENGINE");
+    if (env == nullptr || *env == '\0' ||
+        std::string_view(env) == "soa")
+        return SweepEngine::Soa;
+    if (std::string_view(env) == "legacy")
+        return SweepEngine::Legacy;
+    warn("ACCELWALL_SWEEP_ENGINE='", env,
+         "' is not 'soa' or 'legacy'; using soa");
+    return SweepEngine::Soa;
+}
+
 Result<SweepOutcome>
 runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
                 const SweepOptions &opts)
@@ -318,6 +453,15 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
     const std::size_t chains = cfg.nodes.size() * n_simp;
     const std::string fingerprint = configFingerprint(sim, cfg);
 
+    // Lower the kernel once; every chain then evaluates against the
+    // flat plan. The fingerprint ignores the engine on purpose:
+    // checkpoints are engine-portable because results are
+    // bit-identical.
+    const SweepEngine engine = resolveSweepEngine(opts.engine);
+    std::optional<SweepPlan> plan;
+    if (engine == SweepEngine::Soa)
+        plan.emplace(sim.graph(), sim.analysis());
+
     // Chain c writes points [c * n_part, (c+1) * n_part), which is
     // exactly the serial node-major emission order.
     std::vector<SweepPoint> out(chains * n_part);
@@ -325,6 +469,7 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
 
     SweepReport report;
     report.chains = chains;
+    report.engine = engine;
 
     // Chain-completion state shared between pool workers: the
     // checkpoint stream, the evaluated counter, and the failure list.
@@ -388,12 +533,40 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
         }
     }
 
+    // Trace-sharing groups: chains with the same technology node and
+    // extra-pipe degree produce identical per-cell event traces (the
+    // simplification degree then only scales the energies — see
+    // replayDynamicEnergy() in soa_engine.hh), so the group's first
+    // evaluated chain records each schedule and its siblings replay.
+    // Groups are worker-pool tasks; the cache never crosses threads.
+    // The legacy engine keeps one chain per task.
+    std::vector<std::vector<std::size_t>> groups;
+    if (plan) {
+        std::map<std::pair<std::size_t, int>, std::size_t> index;
+        for (std::size_t c = 0; c < chains; ++c) {
+            const int simp = cfg.simplifications[c % n_simp];
+            const int ep = std::max(
+                0, simp - Simulator::kDeepPipelineDegree);
+            const auto key = std::make_pair(c / n_simp, ep);
+            auto [it, fresh] = index.try_emplace(key, groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(c);
+        }
+    } else {
+        groups.resize(chains);
+        for (std::size_t c = 0; c < chains; ++c)
+            groups[c].push_back(c);
+    }
+
     auto &faults = util::FaultPlan::global();
     util::parallelFor(
-        chains,
-        [&](std::size_t c) {
+        groups.size(),
+        [&](std::size_t g) {
+        ChainTraceCache cache(n_part);
+        for (std::size_t c : groups[g]) {
             if (done[c])
-                return;
+                continue;
             SweepPoint *chain_out = out.data() + c * n_part;
 
             // Error boundary: nothing a single chain does — including
@@ -405,7 +578,10 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
                 err = util::injectedFault("chain", c);
             } else {
                 try {
-                    evalChain(sim, cfg, c, chain_out);
+                    if (plan)
+                        evalChainSoa(*plan, cfg, c, chain_out, &cache);
+                    else
+                        evalChain(sim, cfg, c, chain_out);
                 } catch (const ErrorException &e) {
                     failed = true;
                     err = e.error();
@@ -449,6 +625,7 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
                 coll.ckpt.flush();
                 std::_Exit(util::kFaultKillExitCode);
             }
+        }
         },
         opts.jobs);
 

@@ -47,6 +47,31 @@ enum class OnError
     Skip,
 };
 
+/**
+ * Which cell evaluator the sweep runs. Both produce bit-identical
+ * results (enforced by the `sweepdiff` differential suite); Legacy
+ * exists as the oracle and escape hatch.
+ */
+enum class SweepEngine
+{
+    /** Resolve from ACCELWALL_SWEEP_ENGINE; defaults to Soa. */
+    Auto,
+    /** Data-oriented plan evaluator (aladdin/soa_engine.hh). */
+    Soa,
+    /** Simulator::run() per cell — the differential-test oracle. */
+    Legacy,
+};
+
+/** Display name: "auto", "soa", or "legacy". */
+const char *sweepEngineName(SweepEngine engine);
+
+/**
+ * Resolve Auto against the ACCELWALL_SWEEP_ENGINE environment variable
+ * ("soa" or "legacy"; unset or unknown values resolve to Soa, unknown
+ * ones with a warn()). Non-Auto values pass through untouched.
+ */
+SweepEngine resolveSweepEngine(SweepEngine requested);
+
 /** Knobs for runSweepChecked(). */
 struct SweepOptions
 {
@@ -65,6 +90,11 @@ struct SweepOptions
     bool resume = false;
     /** Worker threads (0 = util::defaultJobs()). */
     int jobs = 0;
+    /**
+     * Cell evaluator. Checkpoints are engine-portable: a file written
+     * under one engine resumes under the other with identical output.
+     */
+    SweepEngine engine = SweepEngine::Auto;
 };
 
 /** One failed (node, simplification) chain. */
@@ -92,6 +122,8 @@ struct SweepReport
     std::size_t failed = 0;
     /** All failures, sorted by chain index. */
     std::vector<ChainFailure> failures;
+    /** Evaluator that ran the sweep (resolved, never Auto). */
+    SweepEngine engine = SweepEngine::Soa;
 
     bool degraded() const { return failed > 0; }
 

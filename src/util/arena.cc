@@ -1,0 +1,127 @@
+#include "util/arena.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ACCELWALL_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define ACCELWALL_ARENA_ASAN 1
+#endif
+
+#ifdef ACCELWALL_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define ARENA_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define ARENA_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define ARENA_POISON(p, n) ((void)0)
+#define ARENA_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace accelwall::util
+{
+
+namespace
+{
+
+/**
+ * Poisoned gap kept between consecutive allocations under ASan, so an
+ * overrun past one allocation's end lands on a redzone instead of the
+ * next allocation. Zero cost when ASan is off (the gap is only added
+ * in instrumented builds).
+ */
+#ifdef ACCELWALL_ARENA_ASAN
+constexpr std::size_t kRedzone = 16;
+#else
+constexpr std::size_t kRedzone = 0;
+#endif
+
+bool
+isPow2(std::size_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+{
+    if (first_block_bytes == 0)
+        first_block_bytes = kDefaultBlockBytes;
+    next_block_bytes_ = first_block_bytes;
+}
+
+Arena::~Arena()
+{
+    for (Block &b : blocks_) {
+        // Poisoned storage must be cleaned before handing it back.
+        ARENA_UNPOISON(b.base, b.size);
+        ::operator delete(b.base, std::align_val_t{kMaxAlign});
+    }
+}
+
+void
+Arena::grow(std::size_t min_bytes)
+{
+    std::size_t size = next_block_bytes_;
+    while (size < min_bytes)
+        size *= 2;
+    // Geometric growth keeps block count logarithmic in peak demand.
+    next_block_bytes_ = size * 2;
+
+    Block b;
+    b.base = static_cast<std::uint8_t *>(
+        ::operator new(size, std::align_val_t{kMaxAlign}));
+    b.size = size;
+    ARENA_POISON(b.base, b.size);
+    blocks_.push_back(b);
+    reserved_ += size;
+    current_ = blocks_.size() - 1;
+    cursor_ = 0;
+}
+
+void *
+Arena::allocBytes(std::size_t size, std::size_t align)
+{
+    if (!isPow2(align) || align > kMaxAlign)
+        panic("Arena::allocBytes: bad alignment ", align);
+    if (size == 0)
+        size = 1; // distinct non-null pointers for empty arrays
+
+    while (true) {
+        if (!blocks_.empty()) {
+            Block &b = blocks_[current_];
+            std::size_t at = (cursor_ + align - 1) & ~(align - 1);
+            if (at + size <= b.size) {
+                cursor_ = at + size + kRedzone;
+                allocated_ += size;
+                ARENA_UNPOISON(b.base + at, size);
+                return b.base + at;
+            }
+            if (current_ + 1 < blocks_.size()) {
+                // Advance into a block recycled by reset().
+                ++current_;
+                cursor_ = 0;
+                continue;
+            }
+        }
+        grow(size + align + kRedzone);
+    }
+}
+
+void
+Arena::reset()
+{
+    for (Block &b : blocks_) {
+        (void)b;
+        ARENA_POISON(b.base, b.size);
+    }
+    current_ = 0;
+    cursor_ = 0;
+    allocated_ = 0;
+}
+
+} // namespace accelwall::util

@@ -1,0 +1,69 @@
+# Pin the BENCH_sweep.json *schema* — keys, value types, and the
+# repeat-count/array-length contract — so the perf-trajectory format
+# cannot drift silently between commits. The numbers themselves are
+# machine-dependent and deliberately unchecked. Invoked by the
+# golden_bench_schema ctest entry with -DTOOL=<accelwall-bench>
+# -DOUT=<scratch.json>; runs the real tool on the quick grid with the
+# smallest repeat count that still exercises the median-of-N path.
+set(repeat 2)
+execute_process(
+    COMMAND ${TOOL} --repeat ${repeat} --grid quick --only sweep
+        --sweep-out ${OUT}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} failed with status ${rc}")
+endif ()
+file(READ ${OUT} doc)
+
+# check_member(<json> <expected-type> <path...>): the member must exist
+# and string(JSON ... TYPE) must report the expected type.
+function(check_member doc expect)
+    string(JSON actual ERROR_VARIABLE err TYPE "${doc}" ${ARGN})
+    if (err)
+        message(FATAL_ERROR "BENCH_sweep.json: missing ${ARGN}: ${err}")
+    endif ()
+    if (NOT actual STREQUAL expect)
+        message(FATAL_ERROR
+            "BENCH_sweep.json: ${ARGN} is ${actual}, expected ${expect}")
+    endif ()
+endfunction()
+
+check_member("${doc}" STRING schema)
+check_member("${doc}" STRING version)
+check_member("${doc}" STRING grid)
+check_member("${doc}" NUMBER repeat)
+check_member("${doc}" NUMBER kernels)
+check_member("${doc}" NUMBER cells_per_repeat)
+check_member("${doc}" OBJECT engines)
+check_member("${doc}" NUMBER speedup_soa_vs_legacy)
+check_member("${doc}" NUMBER max_rss_kb)
+foreach (engine soa legacy)
+    check_member("${doc}" OBJECT engines ${engine})
+    foreach (key median_wall_ms cells_per_sec p50_ms p95_ms p99_ms)
+        check_member("${doc}" NUMBER engines ${engine} ${key})
+    endforeach ()
+    check_member("${doc}" ARRAY engines ${engine} repeats_wall_ms)
+endforeach ()
+
+string(JSON schema GET "${doc}" schema)
+if (NOT schema STREQUAL "accelwall-bench-sweep-v1")
+    message(FATAL_ERROR
+        "schema tag is '${schema}'; bump this test with the format")
+endif ()
+
+# The repeat count must round-trip: the document's own `repeat` and the
+# per-engine sample arrays must all agree with what we asked for.
+string(JSON got_repeat GET "${doc}" repeat)
+if (NOT got_repeat EQUAL repeat)
+    message(FATAL_ERROR
+        "repeat is ${got_repeat}, expected ${repeat}")
+endif ()
+foreach (engine soa legacy)
+    string(JSON n LENGTH "${doc}" engines ${engine} repeats_wall_ms)
+    if (NOT n EQUAL repeat)
+        message(FATAL_ERROR
+            "engines.${engine}.repeats_wall_ms has ${n} samples, "
+            "expected ${repeat}")
+    endif ()
+endforeach ()

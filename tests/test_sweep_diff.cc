@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Differential harness locking the SoA sweep engine to the legacy
+ * evaluator (ctest label: sweepdiff).
+ *
+ * The contract under test: ACCELWALL_SWEEP_ENGINE=legacy is the
+ * oracle, and the data-oriented engine must reproduce it BIT FOR BIT —
+ * every SimResult field compared through std::bit_cast, every CSV byte,
+ * every error code — across:
+ *
+ *  - all Table IV kernels on the quick grid,
+ *  - 240 generated (node, simplification) chains over seeded random
+ *    DAGs (SplitMix64; reproducible across standard libraries),
+ *  - every memory x comm x chaining x clock mode combination via
+ *    direct evalPlanCell vs Simulator::run (the sweep grid itself
+ *    never leaves the default modes, so the banked/FIFO/DMA paths are
+ *    diffed cell by cell here),
+ *  - fault-injected chains (ACCELWALL_FAULT=chain:N) under both
+ *    OnError policies,
+ *  - checkpoint/resume with the two engines on opposite sides of the
+ *    crash (checkpoints are engine-portable by design).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aladdin/simulator.hh"
+#include "aladdin/soa_engine.hh"
+#include "aladdin/sweep.hh"
+#include "kernels/kernels.hh"
+#include "util/csv.hh"
+#include "util/error.hh"
+#include "util/faultinject.hh"
+#include "util/format.hh"
+#include "util/rng.hh"
+
+namespace accelwall
+{
+namespace
+{
+
+using aladdin::CommMode;
+using aladdin::DesignPoint;
+using aladdin::MemoryMode;
+using aladdin::OnError;
+using aladdin::runSweepChecked;
+using aladdin::SimResult;
+using aladdin::Simulator;
+using aladdin::SweepConfig;
+using aladdin::SweepEngine;
+using aladdin::SweepOptions;
+using aladdin::SweepOutcome;
+using aladdin::SweepPoint;
+using util::FaultPlan;
+
+SweepOptions
+engineOpts(SweepEngine engine)
+{
+    SweepOptions opts;
+    opts.engine = engine;
+    return opts;
+}
+
+/** Arms a fault plan for one test and disarms it on scope exit. */
+class FaultGuard
+{
+  public:
+    explicit FaultGuard(const std::string &spec)
+    {
+        auto r = FaultPlan::global().configure(spec);
+        EXPECT_TRUE(r.ok()) << spec;
+    }
+    ~FaultGuard() { FaultPlan::global().clear(); }
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "accelwall_diff_" + name;
+}
+
+/** Keep the header plus the first @p k complete chain blocks. */
+std::string
+keepBlocks(const std::string &ckpt, std::size_t k)
+{
+    std::istringstream iss(ckpt);
+    std::string line, out;
+    std::size_t ends = 0;
+    while (std::getline(iss, line)) {
+        out += line + "\n";
+        if (line.rfind("end ", 0) == 0 && ++ends == k)
+            break;
+    }
+    return out;
+}
+
+/** Every field, through the bits — 0.0 vs -0.0 is a failure here. */
+void
+expectBitIdenticalResult(const SimResult &a, const SimResult &b)
+{
+    auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(bits(a.runtime_ns), bits(b.runtime_ns));
+    EXPECT_EQ(bits(a.dynamic_energy_pj), bits(b.dynamic_energy_pj));
+    EXPECT_EQ(bits(a.leakage_power_uw), bits(b.leakage_power_uw));
+    EXPECT_EQ(bits(a.energy_pj), bits(b.energy_pj));
+    EXPECT_EQ(bits(a.power_mw), bits(b.power_mw));
+    EXPECT_EQ(bits(a.area_um2), bits(b.area_um2));
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.fused_ops, b.fused_ops);
+    EXPECT_EQ(bits(a.throughput_ops), bits(b.throughput_ops));
+    EXPECT_EQ(bits(a.efficiency_opj), bits(b.efficiency_opj));
+    EXPECT_EQ(bits(a.lane_utilization), bits(b.lane_utilization));
+    EXPECT_EQ(a.initiation_interval, b.initiation_interval);
+    EXPECT_EQ(bits(a.pipelined_throughput_ops),
+              bits(b.pipelined_throughput_ops));
+}
+
+void
+expectBitIdenticalPoint(const SweepPoint &a, const SweepPoint &b)
+{
+    auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    EXPECT_EQ(bits(a.dp.node_nm), bits(b.dp.node_nm));
+    EXPECT_EQ(a.dp.partition, b.dp.partition);
+    EXPECT_EQ(a.dp.simplification, b.dp.simplification);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error_code, b.error_code);
+    EXPECT_EQ(a.error, b.error);
+    expectBitIdenticalResult(a.res, b.res);
+}
+
+/** Run both engines and diff the full outcome (cells + report). */
+void
+diffSweep(const Simulator &sim, const SweepConfig &cfg,
+          const SweepOptions &base = {})
+{
+    SweepOptions soa = base;
+    soa.engine = SweepEngine::Soa;
+    SweepOptions legacy = base;
+    legacy.engine = SweepEngine::Legacy;
+
+    auto a = runSweepChecked(sim, cfg, soa);
+    auto b = runSweepChecked(sim, cfg, legacy);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) {
+        EXPECT_EQ(a.error().code(), b.error().code());
+        return;
+    }
+    ASSERT_EQ(a.value().points.size(), b.value().points.size());
+    for (std::size_t i = 0; i < a.value().points.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectBitIdenticalPoint(a.value().points[i],
+                                b.value().points[i]);
+    }
+    const auto &ra = a.value().report;
+    const auto &rb = b.value().report;
+    EXPECT_EQ(ra.chains, rb.chains);
+    EXPECT_EQ(ra.evaluated, rb.evaluated);
+    EXPECT_EQ(ra.restored, rb.restored);
+    EXPECT_EQ(ra.failed, rb.failed);
+    ASSERT_EQ(ra.failures.size(), rb.failures.size());
+    for (std::size_t i = 0; i < ra.failures.size(); ++i) {
+        EXPECT_EQ(ra.failures[i].chain, rb.failures[i].chain);
+        EXPECT_EQ(ra.failures[i].code, rb.failures[i].code);
+        EXPECT_EQ(ra.failures[i].message, rb.failures[i].message);
+    }
+    EXPECT_EQ(ra.engine, SweepEngine::Soa);
+    EXPECT_EQ(rb.engine, SweepEngine::Legacy);
+}
+
+/**
+ * A random layered DAG: pseudo-variable and root-load sources, mixed
+ * compute/memory interior (indirect loads and stores included), sinks.
+ * Forward edges only, so it is acyclic by construction; the op mix
+ * deliberately includes the whole vocabulary so every per-class cost
+ * row is exercised.
+ */
+dfg::Graph
+randomGraph(Rng &rng, int index)
+{
+    using dfg::NodeId;
+    using dfg::OpType;
+
+    dfg::Graph g("diff_rand_" + std::to_string(index));
+    const int layers = rng.uniformInt(3, 6);
+    std::vector<NodeId> earlier;
+
+    const int n_roots = rng.uniformInt(2, 6);
+    for (int i = 0; i < n_roots; ++i) {
+        OpType op = rng.uniform() < 0.5 ? OpType::Input : OpType::Load;
+        earlier.push_back(g.addNode(op));
+    }
+
+    const OpType interior[] = {
+        OpType::Add,  OpType::Sub,   OpType::Mul,  OpType::Div,
+        OpType::Cmp,  OpType::And,   OpType::Or,   OpType::Xor,
+        OpType::Shift, OpType::Select, OpType::Max, OpType::Min,
+        OpType::FAdd, OpType::FSub,  OpType::FMul, OpType::FDiv,
+        OpType::Sqrt, OpType::Exp,   OpType::Lut,  OpType::Load,
+        OpType::Store,
+    };
+    for (int l = 1; l < layers; ++l) {
+        const int width = rng.uniformInt(3, 12);
+        std::vector<NodeId> current;
+        for (int i = 0; i < width; ++i) {
+            OpType op =
+                interior[rng.uniformInt(0, std::size(interior) - 1)];
+            NodeId id = g.addNode(op);
+            const int fanin = rng.uniformInt(
+                1, std::min<int>(3, static_cast<int>(earlier.size())));
+            for (int e = 0; e < fanin; ++e) {
+                NodeId from = earlier[rng.uniformInt(
+                    0, static_cast<int>(earlier.size()) - 1)];
+                g.addEdge(from, id);
+            }
+            current.push_back(id);
+        }
+        earlier.insert(earlier.end(), current.begin(), current.end());
+    }
+
+    // Terminate a few dangling values explicitly.
+    const int n_sinks = rng.uniformInt(1, 4);
+    for (int i = 0; i < n_sinks; ++i) {
+        OpType op = rng.uniform() < 0.5 ? OpType::Output : OpType::Store;
+        NodeId id = g.addNode(op);
+        NodeId from = earlier[rng.uniformInt(
+            0, static_cast<int>(earlier.size()) - 1)];
+        g.addEdge(from, id);
+    }
+    return g;
+}
+
+// ---------------------------------------------------------------------
+// Sweep-level diffs.
+// ---------------------------------------------------------------------
+
+TEST(SweepDiff, AllKernelsQuickGridBitIdentical)
+{
+    const SweepConfig cfg = SweepConfig::quick();
+    for (const auto &info : kernels::kernelTable()) {
+        SCOPED_TRACE(info.abbrev);
+        Simulator sim(kernels::makeKernel(info.abbrev));
+        diffSweep(sim, cfg);
+    }
+}
+
+TEST(SweepDiff, RandomChainsExceedTwoHundredBitIdentical)
+{
+    // 16 seeded graphs x (3 nodes x 5 simplifications) = 240 chains.
+    SweepConfig cfg;
+    cfg.nodes = { 45.0, 14.0, 5.0 };
+    cfg.partitions = { 1, 3, 8, 17 }; // odd factors stress id % banks
+    cfg.simplifications = { 1, 4, 8, 11, 13 };
+
+    Rng rng(0xd1ffu);
+    std::size_t chains = 0;
+    for (int i = 0; i < 16; ++i) {
+        SCOPED_TRACE("graph " + std::to_string(i));
+        Simulator sim(randomGraph(rng, i));
+        diffSweep(sim, cfg);
+        chains += cfg.nodes.size() * cfg.simplifications.size();
+    }
+    EXPECT_GE(chains, 200u);
+}
+
+// ---------------------------------------------------------------------
+// Cell-level diffs over the full mode space. The sweep grid never
+// leaves the default Heterogeneous/Concurrent modes, so the banked
+// scratchpad (stamped queues) and FIFO/DMA fabric paths are diffed
+// directly against Simulator::run here.
+// ---------------------------------------------------------------------
+
+TEST(SweepDiff, EveryMemoryCommModeCellBitIdentical)
+{
+    Rng rng(0xcafeu);
+    std::vector<dfg::Graph> graphs;
+    graphs.push_back(kernels::makeKernel("RED"));
+    graphs.push_back(kernels::makeKernel("S2D"));
+    graphs.push_back(randomGraph(rng, 100));
+    graphs.push_back(randomGraph(rng, 101));
+
+    for (const auto &graph : graphs) {
+        SCOPED_TRACE(graph.name());
+        Simulator sim(graph);
+        aladdin::SweepPlan plan(sim.graph(), sim.analysis());
+        aladdin::PlanScratch scratch;
+
+        for (double node : {45.0, 7.0}) {
+            for (int simp : {1, 13}) {
+                for (bool chaining : {true, false}) {
+                    for (auto comm :
+                         {CommMode::Fifo, CommMode::Concurrent,
+                          CommMode::Dma}) {
+                        for (double clock : {1.0, 2.5}) {
+                            DesignPoint dp;
+                            dp.node_nm = node;
+                            dp.simplification = simp;
+                            dp.chaining = chaining;
+                            dp.comm = comm;
+                            dp.clock_ghz = clock;
+                            const auto costs =
+                                aladdin::deriveCellCosts(dp);
+                            for (auto memory :
+                                 {MemoryMode::Simple,
+                                  MemoryMode::Banked,
+                                  MemoryMode::Heterogeneous}) {
+                                for (int partition : {1, 2, 5, 16}) {
+                                    dp.memory = memory;
+                                    dp.partition = partition;
+                                    SCOPED_TRACE(dp.str());
+                                    expectBitIdenticalResult(
+                                        aladdin::evalPlanCell(
+                                            plan, costs, dp, scratch),
+                                        sim.run(dp));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV bytes (the accelwall-sweep --csv surface).
+// ---------------------------------------------------------------------
+
+/** Mirror of accelwall-sweep's --csv emission, byte for byte. */
+std::string
+sweepCsv(const SweepOutcome &outcome)
+{
+    CsvWriter out({"node_nm", "partition", "simplification",
+                   "runtime_ns", "energy_pj", "power_mw", "area_um2",
+                   "efficiency_opj", "lane_utilization", "status"});
+    for (const auto &p : outcome.points) {
+        out.addRow({fmtFixed(p.dp.node_nm, 0),
+                    std::to_string(p.dp.partition),
+                    std::to_string(p.dp.simplification),
+                    fmtFixed(p.res.runtime_ns, 3),
+                    fmtFixed(p.res.energy_pj, 3),
+                    fmtFixed(p.res.power_mw, 4),
+                    fmtFixed(p.res.area_um2, 1),
+                    fmtFixed(p.res.efficiency_opj, 0),
+                    fmtFixed(p.res.lane_utilization, 4),
+                    p.ok ? "ok" : errorCodeName(p.error_code)});
+    }
+    std::ostringstream os;
+    out.write(os);
+    return os.str();
+}
+
+TEST(SweepDiff, CsvBytesIdenticalAcrossEngines)
+{
+    const SweepConfig cfg = SweepConfig::quick();
+    for (const char *kernel : {"RED", "FFT", "AES"}) {
+        SCOPED_TRACE(kernel);
+        Simulator sim(kernels::makeKernel(kernel));
+        auto soa =
+            runSweepChecked(sim, cfg, engineOpts(SweepEngine::Soa));
+        auto legacy =
+            runSweepChecked(sim, cfg, engineOpts(SweepEngine::Legacy));
+        ASSERT_TRUE(soa.ok());
+        ASSERT_TRUE(legacy.ok());
+        EXPECT_EQ(sweepCsv(soa.value()), sweepCsv(legacy.value()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Failure paths: injected chain faults and abort codes.
+// ---------------------------------------------------------------------
+
+TEST(SweepDiff, FaultInjectedChainsDegradeIdentically)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    const SweepConfig cfg = SweepConfig::quick();
+    FaultGuard guard("chain:3");
+    SweepOptions base;
+    base.on_error = OnError::Skip;
+    diffSweep(sim, cfg, base);
+}
+
+TEST(SweepDiff, AbortSurfacesSameErrorCode)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    const SweepConfig cfg = SweepConfig::quick();
+    FaultGuard guard("chain:1");
+    for (auto engine : {SweepEngine::Soa, SweepEngine::Legacy}) {
+        auto outcome = runSweepChecked(sim, cfg, engineOpts(engine));
+        ASSERT_FALSE(outcome.ok());
+        EXPECT_EQ(outcome.error().code(), ErrorCode::SweepChainFailed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/resume with the engines on opposite sides of the crash.
+// ---------------------------------------------------------------------
+
+TEST(SweepDiff, LegacyCheckpointResumesUnderSoa)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    const SweepConfig cfg = SweepConfig::quick();
+    auto clean = runSweepChecked(sim, cfg, engineOpts(SweepEngine::Legacy));
+    ASSERT_TRUE(clean.ok());
+
+    const std::string path = tmpPath("legacy_to_soa");
+    SweepOptions write_opts = engineOpts(SweepEngine::Legacy);
+    write_opts.checkpoint_path = path;
+    ASSERT_TRUE(runSweepChecked(sim, cfg, write_opts).ok());
+    writeFile(path, keepBlocks(readFile(path), 5));
+
+    SweepOptions resume_opts = engineOpts(SweepEngine::Soa);
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 5u);
+    EXPECT_EQ(resumed.value().report.evaluated, 7u);
+    ASSERT_EQ(resumed.value().points.size(), clean.value().points.size());
+    for (std::size_t i = 0; i < clean.value().points.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectBitIdenticalPoint(resumed.value().points[i],
+                                clean.value().points[i]);
+    }
+}
+
+TEST(SweepDiff, SoaCheckpointResumesUnderLegacy)
+{
+    Simulator sim(kernels::makeKernel("S2D"));
+    const SweepConfig cfg = SweepConfig::quick();
+    auto clean = runSweepChecked(sim, cfg, engineOpts(SweepEngine::Soa));
+    ASSERT_TRUE(clean.ok());
+
+    const std::string path = tmpPath("soa_to_legacy");
+    SweepOptions write_opts = engineOpts(SweepEngine::Soa);
+    write_opts.checkpoint_path = path;
+    ASSERT_TRUE(runSweepChecked(sim, cfg, write_opts).ok());
+    writeFile(path, keepBlocks(readFile(path), 4));
+
+    SweepOptions resume_opts = engineOpts(SweepEngine::Legacy);
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 4u);
+    EXPECT_EQ(resumed.value().report.evaluated, 8u);
+    ASSERT_EQ(resumed.value().points.size(), clean.value().points.size());
+    for (std::size_t i = 0; i < clean.value().points.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectBitIdenticalPoint(resumed.value().points[i],
+                                clean.value().points[i]);
+    }
+}
+
+TEST(SweepDiff, FailedChainsFromLegacyCheckpointRestoreUnderSoa)
+{
+    Simulator sim(kernels::makeKernel("RED"));
+    const SweepConfig cfg = SweepConfig::quick();
+    const std::string path = tmpPath("failed_mixed");
+
+    {
+        FaultGuard guard("chain:3");
+        SweepOptions opts = engineOpts(SweepEngine::Legacy);
+        opts.on_error = OnError::Skip;
+        opts.checkpoint_path = path;
+        ASSERT_TRUE(runSweepChecked(sim, cfg, opts).ok());
+    }
+
+    SweepOptions resume_opts = engineOpts(SweepEngine::Soa);
+    resume_opts.on_error = OnError::Skip;
+    resume_opts.checkpoint_path = path;
+    resume_opts.resume = true;
+    auto resumed = runSweepChecked(sim, cfg, resume_opts);
+    ASSERT_TRUE(resumed.ok());
+    EXPECT_EQ(resumed.value().report.restored, 12u);
+    EXPECT_EQ(resumed.value().report.failed, 4u);
+    EXPECT_EQ(resumed.value().report.failures.front().code,
+              ErrorCode::FaultInjected);
+}
+
+// ---------------------------------------------------------------------
+// Engine selection.
+// ---------------------------------------------------------------------
+
+TEST(SweepDiff, EngineResolutionFollowsEnvironment)
+{
+    using aladdin::resolveSweepEngine;
+    ASSERT_EQ(unsetenv("ACCELWALL_SWEEP_ENGINE"), 0);
+    EXPECT_EQ(resolveSweepEngine(SweepEngine::Auto), SweepEngine::Soa);
+    setenv("ACCELWALL_SWEEP_ENGINE", "legacy", 1);
+    EXPECT_EQ(resolveSweepEngine(SweepEngine::Auto),
+              SweepEngine::Legacy);
+    // Explicit requests beat the environment.
+    EXPECT_EQ(resolveSweepEngine(SweepEngine::Soa), SweepEngine::Soa);
+    setenv("ACCELWALL_SWEEP_ENGINE", "soa", 1);
+    EXPECT_EQ(resolveSweepEngine(SweepEngine::Auto), SweepEngine::Soa);
+    setenv("ACCELWALL_SWEEP_ENGINE", "turbo", 1);
+    EXPECT_EQ(resolveSweepEngine(SweepEngine::Auto), SweepEngine::Soa);
+    unsetenv("ACCELWALL_SWEEP_ENGINE");
+
+    EXPECT_STREQ(aladdin::sweepEngineName(SweepEngine::Soa), "soa");
+    EXPECT_STREQ(aladdin::sweepEngineName(SweepEngine::Legacy),
+                 "legacy");
+    EXPECT_STREQ(aladdin::sweepEngineName(SweepEngine::Auto), "auto");
+}
+
+} // namespace
+} // namespace accelwall

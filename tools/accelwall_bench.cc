@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Pinned-workload performance runner: the machine-readable perf
+ * trajectory of the repo.
+ *
+ * Two benchmarks, each emitted as one JSON document so successive
+ * commits can be diffed / plotted:
+ *
+ *   BENCH_sweep.json  Full Table IV kernel set swept on a fixed grid
+ *                     under BOTH engines (SoA and legacy), median-of-N
+ *                     wall time, cells/sec, per-kernel latency
+ *                     percentiles, and the SoA-vs-legacy speedup.
+ *   BENCH_serve.json  The socket-free Service driven with a pinned
+ *                     request mix (sweep/gains/csr/healthz), median-of-N
+ *                     wall time, requests/sec, per-request latency
+ *                     percentiles.
+ *
+ * The workload is pinned: same kernels, same grids, same request
+ * bodies on every invocation, so numbers are comparable across
+ * commits (bench/run_bench_trajectory.sh is the one documented entry
+ * point). Schema stability is enforced by tests/golden/run_bench.cmake.
+ *
+ * usage: accelwall-bench [--repeat N] [--grid quick|paper]
+ *                        [--sweep-out PATH] [--serve-out PATH]
+ *                        [--only sweep|serve]
+ */
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aladdin/design_point.hh"
+#include "aladdin/simulator.hh"
+#include "aladdin/sweep.hh"
+#include "kernels/kernels.hh"
+#include "serve/http.hh"
+#include "serve/service.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+#include "cli_util.hh"
+
+namespace
+{
+
+using namespace accelwall;
+using aladdin::Simulator;
+using aladdin::SweepConfig;
+using aladdin::SweepEngine;
+using aladdin::SweepOptions;
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/** Peak resident set size in KiB (ru_maxrss is KiB on Linux). */
+long
+maxRssKb()
+{
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;
+}
+
+/** Nearest-rank percentile of an unsorted sample set. */
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = q / 100.0 * static_cast<double>(samples.size());
+    auto idx = static_cast<std::size_t>(rank);
+    if (idx > 0 && static_cast<double>(idx) >= rank)
+        --idx;
+    if (idx >= samples.size())
+        idx = samples.size() - 1;
+    return samples[idx];
+}
+
+double
+median(std::vector<double> samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    std::size_t n = samples.size();
+    if (n % 2 == 1)
+        return samples[n / 2];
+    return (samples[n / 2 - 1] + samples[n / 2]) / 2.0;
+}
+
+/** Measured results of one engine over the pinned sweep workload. */
+struct EngineStats
+{
+    /** Total wall per repeat (ms), in run order. */
+    std::vector<double> repeats_wall_ms;
+    /** One sample per (repeat, kernel) sweep (ms). */
+    std::vector<double> sweep_wall_ms;
+    std::size_t cells_per_repeat = 0;
+};
+
+EngineStats
+runSweepWorkload(const std::vector<Simulator> &sims,
+                 const SweepConfig &cfg, SweepEngine engine, int repeat)
+{
+    SweepOptions opts;
+    opts.engine = engine;
+
+    EngineStats stats;
+    // Warm up allocators / page in the code path, untimed.
+    (void)aladdin::runSweepChecked(sims.front(), cfg, opts);
+
+    for (int r = 0; r < repeat; ++r) {
+        double total_ms = 0.0;
+        std::size_t cells = 0;
+        for (const Simulator &sim : sims) {
+            auto t0 = Clock::now();
+            auto outcome = aladdin::runSweepChecked(sim, cfg, opts);
+            auto t1 = Clock::now();
+            if (!outcome.ok())
+                fatal("bench sweep failed: ",
+                      outcome.error().str());
+            cells += outcome.value().points.size();
+            double ms = elapsedMs(t0, t1);
+            stats.sweep_wall_ms.push_back(ms);
+            total_ms += ms;
+        }
+        stats.repeats_wall_ms.push_back(total_ms);
+        stats.cells_per_repeat = cells;
+    }
+    return stats;
+}
+
+void
+writeEngineStats(JsonWriter &w, const EngineStats &s)
+{
+    double med = median(s.repeats_wall_ms);
+    w.beginObject();
+    w.key("median_wall_ms").value(med);
+    w.key("cells_per_sec")
+        .value(med > 0.0
+                   ? static_cast<double>(s.cells_per_repeat) /
+                         (med / 1000.0)
+                   : 0.0);
+    w.key("p50_ms").value(percentile(s.sweep_wall_ms, 50.0));
+    w.key("p95_ms").value(percentile(s.sweep_wall_ms, 95.0));
+    w.key("p99_ms").value(percentile(s.sweep_wall_ms, 99.0));
+    w.key("repeats_wall_ms").beginArray();
+    for (double ms : s.repeats_wall_ms)
+        w.value(ms);
+    w.endArray();
+    w.endObject();
+}
+
+int
+benchSweep(const std::string &grid_name, int repeat,
+           const std::string &out_path)
+{
+    const SweepConfig cfg = grid_name == "paper"
+                                ? SweepConfig::paper()
+                                : SweepConfig::quick();
+
+    std::vector<Simulator> sims;
+    for (const auto &info : kernels::kernelTable())
+        sims.emplace_back(kernels::makeKernel(info.abbrev));
+
+    EngineStats soa =
+        runSweepWorkload(sims, cfg, SweepEngine::Soa, repeat);
+    EngineStats legacy =
+        runSweepWorkload(sims, cfg, SweepEngine::Legacy, repeat);
+
+    double soa_med = median(soa.repeats_wall_ms);
+    double legacy_med = median(legacy.repeats_wall_ms);
+    double speedup = soa_med > 0.0 ? legacy_med / soa_med : 0.0;
+
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.key("schema").value("accelwall-bench-sweep-v1");
+    w.key("version").value(cli::kVersion);
+    w.key("grid").value(grid_name);
+    w.key("repeat").value(repeat);
+    w.key("kernels")
+        .value(static_cast<unsigned long long>(sims.size()));
+    w.key("cells_per_repeat")
+        .value(static_cast<unsigned long long>(soa.cells_per_repeat));
+    w.key("engines").beginObject();
+    w.key("soa");
+    writeEngineStats(w, soa);
+    w.key("legacy");
+    writeEngineStats(w, legacy);
+    w.endObject();
+    w.key("speedup_soa_vs_legacy").value(speedup);
+    w.key("max_rss_kb").value(static_cast<long long>(maxRssKb()));
+    w.endObject();
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out)
+        fatal("cannot write '", out_path, "'");
+    out << w.str() << '\n';
+    std::printf("%s: %s grid, %d repeats: soa %.1f ms (%.0f cells/s), "
+                "legacy %.1f ms, speedup %.2fx\n",
+                out_path.c_str(), grid_name.c_str(), repeat, soa_med,
+                soa.cells_per_repeat / (soa_med / 1000.0), legacy_med,
+                speedup);
+    return 0;
+}
+
+int
+benchServe(int repeat, const std::string &out_path)
+{
+    using serve::HttpRequest;
+    using serve::HttpResponse;
+    using serve::Service;
+    using serve::ServiceOptions;
+
+    ServiceOptions options;
+    options.version = cli::kVersion;
+    Service service(options);
+
+    auto post = [](const char *target, const char *body) {
+        HttpRequest req;
+        req.method = "POST";
+        req.target = target;
+        req.version = "HTTP/1.1";
+        req.body = body;
+        return req;
+    };
+    auto get = [](const char *target) {
+        HttpRequest req;
+        req.method = "GET";
+        req.target = target;
+        req.version = "HTTP/1.1";
+        return req;
+    };
+
+    // Pinned mix: one bounded sweep, one gains and one csr query, one
+    // liveness probe. With the default cache the repeated bodies hit
+    // after the first round — deliberately part of the serve path
+    // under measurement.
+    const std::vector<HttpRequest> mix = {
+        post("/v1/sweep",
+             "{\"kernel\": \"RED\", \"nodes\": [45, 32, 16], "
+             "\"partitions\": [1, 2, 4, 8], "
+             "\"simplifications\": [1, 2, 3]}"),
+        post("/v1/gains",
+             "{\"spec\": {\"node_nm\": 16, \"area_mm2\": 100, "
+             "\"freq_ghz\": 1.5, \"tdp_w\": 250}}"),
+        post("/v1/csr",
+             "{\"metric\": \"throughput\", \"chips\": ["
+             "{\"name\": \"g1\", \"node_nm\": 130, \"area_mm2\": 100, "
+             "\"freq_ghz\": 0.2, \"tdp_w\": 50, \"gain\": 1},"
+             "{\"name\": \"g2\", \"node_nm\": 28, \"area_mm2\": 150, "
+             "\"freq_ghz\": 0.7, \"tdp_w\": 150, \"gain\": 400}]}"),
+        get("/healthz"),
+    };
+    constexpr int kRoundsPerRepeat = 50;
+
+    std::vector<double> repeats_wall_ms;
+    std::vector<double> request_ms;
+    std::size_t requests_per_repeat = mix.size() * kRoundsPerRepeat;
+
+    // Warm-up round (fills the result cache), untimed.
+    for (const HttpRequest &req : mix) {
+        HttpResponse res = service.handle(req);
+        if (res.status != 200)
+            fatal("bench serve request ", req.target,
+                  " failed with status ", res.status, ": ", res.body);
+    }
+
+    for (int r = 0; r < repeat; ++r) {
+        double total_ms = 0.0;
+        for (int round = 0; round < kRoundsPerRepeat; ++round) {
+            for (const HttpRequest &req : mix) {
+                auto t0 = Clock::now();
+                HttpResponse res = service.handle(req);
+                auto t1 = Clock::now();
+                if (res.status != 200)
+                    fatal("bench serve request ", req.target,
+                          " failed with status ", res.status);
+                double ms = elapsedMs(t0, t1);
+                request_ms.push_back(ms);
+                total_ms += ms;
+            }
+        }
+        repeats_wall_ms.push_back(total_ms);
+    }
+
+    double med = median(repeats_wall_ms);
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.key("schema").value("accelwall-bench-serve-v1");
+    w.key("version").value(cli::kVersion);
+    w.key("repeat").value(repeat);
+    w.key("requests_per_repeat")
+        .value(static_cast<unsigned long long>(requests_per_repeat));
+    w.key("median_wall_ms").value(med);
+    w.key("requests_per_sec")
+        .value(med > 0.0 ? static_cast<double>(requests_per_repeat) /
+                               (med / 1000.0)
+                         : 0.0);
+    w.key("p50_ms").value(percentile(request_ms, 50.0));
+    w.key("p95_ms").value(percentile(request_ms, 95.0));
+    w.key("p99_ms").value(percentile(request_ms, 99.0));
+    w.key("repeats_wall_ms").beginArray();
+    for (double ms : repeats_wall_ms)
+        w.value(ms);
+    w.endArray();
+    w.key("max_rss_kb").value(static_cast<long long>(maxRssKb()));
+    w.endObject();
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out)
+        fatal("cannot write '", out_path, "'");
+    out << w.str() << '\n';
+    std::printf("%s: %d repeats x %zu requests: median %.1f ms "
+                "(%.0f req/s)\n",
+                out_path.c_str(), repeat, requests_per_repeat, med,
+                requests_per_repeat / (med / 1000.0));
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: accelwall-bench [--repeat N] [--grid quick|paper]\n"
+        "           [--sweep-out PATH] [--serve-out PATH]\n"
+        "           [--only sweep|serve]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::handleVersion(argc, argv, "accelwall-bench");
+
+    int repeat = 5;
+    std::string grid = "quick";
+    std::string sweep_out = "BENCH_sweep.json";
+    std::string serve_out = "BENCH_serve.json";
+    std::string only;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--repeat") {
+            if (!cli::parseInt(next(), repeat) || repeat < 1)
+                return usage();
+        } else if (arg == "--grid") {
+            grid = next();
+            if (grid != "quick" && grid != "paper")
+                return usage();
+        } else if (arg == "--sweep-out") {
+            sweep_out = next();
+        } else if (arg == "--serve-out") {
+            serve_out = next();
+        } else if (arg == "--only") {
+            only = next();
+            if (only != "sweep" && only != "serve")
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    int rc = 0;
+    if (only.empty() || only == "sweep")
+        rc |= benchSweep(grid, repeat, sweep_out);
+    if (only.empty() || only == "serve")
+        rc |= benchServe(repeat, serve_out);
+    return rc;
+}

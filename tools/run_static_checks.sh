@@ -6,9 +6,10 @@
 #   2. An AddressSanitizer build + full ctest.
 #   3. An UndefinedBehaviorSanitizer build + full ctest.
 #   4. A ThreadSanitizer build running the `parallel`, `robustness`,
-#      and `serve` labels (the concurrent sweep, its error
-#      boundary/checkpoint writes, the fault-injection suite, and the
-#      multi-threaded HTTP server + its loadgen smoke).
+#      `serve`, and `sweepdiff` labels (the concurrent sweep, its
+#      error boundary/checkpoint writes, the fault-injection suite,
+#      the multi-threaded HTTP server + its loadgen smoke, and the
+#      SoA-vs-legacy differential harness).
 #   5. A Clang build with -Wthread-safety -Werror=thread-safety, the
 #      only compiler that checks the util/thread_annotations.hh
 #      capability attributes (skipped with a notice when clang++ is
@@ -48,7 +49,8 @@ run_suite() {
 run_suite "${prefix}" ""
 run_suite "${prefix}-asan" "" -DACCELWALL_ASAN=ON
 run_suite "${prefix}-ubsan" "" -DACCELWALL_UBSAN=ON
-run_suite "${prefix}-tsan" "parallel|robustness|serve" -DACCELWALL_TSAN=ON
+run_suite "${prefix}-tsan" "parallel|robustness|serve|sweepdiff" \
+    -DACCELWALL_TSAN=ON
 
 # The loadgen smoke under ASan: daemon and generator both
 # instrumented, 1k mixed requests, graceful drain. (The plain-build
@@ -57,6 +59,16 @@ echo "=== asan loadgen smoke ==="
 bash tests/serve/run_loadgen_smoke.sh \
     "${prefix}-asan/tools/accelwall-serve" \
     "${prefix}-asan/tools/accelwall-loadgen"
+
+# The perf runner under ASan: both sweep engines plus the serve mix on
+# the pinned workload, instrumented end to end. Output goes to a
+# scratch dir — the committed BENCH_*.json trajectory files are only
+# refreshed by bench/run_bench_trajectory.sh on an uninstrumented
+# build.
+echo "=== asan bench smoke ==="
+"${prefix}-asan/tools/accelwall-bench" --repeat 2 --grid quick \
+    --sweep-out "${prefix}-asan/BENCH_sweep.smoke.json" \
+    --serve-out "${prefix}-asan/BENCH_serve.smoke.json"
 
 echo "=== lint (strict) ==="
 "${prefix}/tools/accelwall-lint" --strict
