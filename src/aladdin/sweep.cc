@@ -529,6 +529,9 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
         if (!opts.resume) {
             coll.ckpt << "accelwall-ckpt 1 " << fingerprint << ' '
                       << chains << ' ' << n_part << '\n';
+            // srccheck:allow(S006): checkpoint appends are serialized
+            // under the collector mutex by design — a torn block from
+            // two writers would corrupt resume (DESIGN §6).
             coll.ckpt.flush();
         }
     }
@@ -622,6 +625,8 @@ runSweepChecked(const Simulator &sim, const SweepConfig &cfg,
             // under the mutex so the file never holds a torn block
             // from another writer.
             if (faults.shouldFailCounted("sweep-kill")) {
+                // srccheck:allow(S006): same serialized-checkpoint
+                // contract as the header write above.
                 coll.ckpt.flush();
                 std::_Exit(util::kFaultKillExitCode);
             }

@@ -154,6 +154,8 @@ Server::shed(util::Fd fd)
         makeError(ErrorCode::ServeOverloaded,
                   "accept queue full; retry after the backlog drains"));
     // Best-effort, short deadline: a shed peer gets one small write.
+    // srccheck:allow(S007): the 503 reply is advisory; a peer that
+    // cannot take it gets the same outcome (a dropped connection).
     (void)util::sendAll(fd.get(), serializeResponse(res), 100);
     service_.metrics().recordRequest(Endpoint::Other, res.status, 0.0);
 }
@@ -195,7 +197,8 @@ Server::handleConnection(util::Fd fd)
 
     std::string wire = serializeResponse(res);
     // A peer that vanished mid-write is its own problem; the request
-    // is still recorded below.
+    // is still recorded below. srccheck:allow(S007): nothing to do
+    // with the write error — the connection closes either way.
     (void)util::sendAll(fd.get(), wire, options_.limits.read_deadline_ms);
     fd.reset();
 

@@ -16,6 +16,10 @@ int
 httpStatusFor(ErrorCode code)
 {
     switch (code) {
+      // Every serve-domain (5xxx) code appears explicitly here: the
+      // status is part of the wire contract, and lint rule S002
+      // rejects a new serve code that silently rides the default.
+      case ErrorCode::HttpMalformed: return 400;
       case ErrorCode::HttpUnsupportedMethod: return 405;
       case ErrorCode::HttpBodyTooLarge:
       case ErrorCode::ServeSweepTooLarge: return 413;

@@ -1,0 +1,623 @@
+#include "srccheck/check.hh"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "srccheck/internal.hh"
+
+namespace accelwall::srccheck
+{
+
+const char *
+ruleCode(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::ErrorCodeRegistry: return "S001";
+      case RuleId::ErrorCodeRaised: return "S002";
+      case RuleId::ErrorCodeReference: return "S003";
+      case RuleId::FaultSiteConsistency: return "S004";
+      case RuleId::DeterminismHygiene: return "S005";
+      case RuleId::LockDiscipline: return "S006";
+      case RuleId::DiscardAudit: return "S007";
+      case RuleId::UnitsEscapeHatch: return "S008";
+      case RuleId::IncludeHygiene: return "S009";
+      case RuleId::FatalPathAudit: return "S010";
+    }
+    return "S???";
+}
+
+const char *
+ruleName(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::ErrorCodeRegistry: return "error-code-registry";
+      case RuleId::ErrorCodeRaised: return "error-code-raised";
+      case RuleId::ErrorCodeReference: return "error-code-reference";
+      case RuleId::FaultSiteConsistency: return "fault-site-consistency";
+      case RuleId::DeterminismHygiene: return "determinism-hygiene";
+      case RuleId::LockDiscipline: return "lock-discipline";
+      case RuleId::DiscardAudit: return "discard-audit";
+      case RuleId::UnitsEscapeHatch: return "units-escape-hatch";
+      case RuleId::IncludeHygiene: return "include-hygiene";
+      case RuleId::FatalPathAudit: return "fatal-path-audit";
+    }
+    return "unknown";
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+Severity
+defaultSeverity(RuleId rule)
+{
+    switch (rule) {
+      // The two most heuristic rules default to Warning; everything
+      // else is a hard consistency break. --strict escalates.
+      case RuleId::LockDiscipline:
+      case RuleId::UnitsEscapeHatch:
+        return Severity::Warning;
+      default:
+        return Severity::Error;
+    }
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << file;
+    if (line > 0)
+        oss << ':' << line;
+    oss << ": " << severityName(severity) << ' ' << ruleCode(rule) << ' '
+        << ruleName(rule) << ": " << message;
+    return oss.str();
+}
+
+bool
+Report::fired(RuleId rule) const
+{
+    for (const Diagnostic &d : diagnostics) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Report::summary() const
+{
+    std::ostringstream oss;
+    oss << num_errors << (num_errors == 1 ? " error, " : " errors, ")
+        << num_warnings
+        << (num_warnings == 1 ? " warning, " : " warnings, ")
+        << num_notes << (num_notes == 1 ? " note" : " notes");
+    if (suppressed > 0)
+        oss << " (+" << suppressed << " capped)";
+    return oss.str();
+}
+
+namespace internal
+{
+
+bool
+hasPrefix(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void
+Sink::add(RuleId rule, const std::string &file, std::size_t line,
+          std::string message)
+{
+    if (line > 0) {
+        const SourceFile *sf = corpus_.find(file);
+        if (sf != nullptr && sf->allowed(ruleCode(rule), line))
+            return;
+    }
+    Severity sev = defaultSeverity(rule);
+    if (sev == Severity::Warning && options_.warnings_as_errors)
+        sev = Severity::Error;
+    switch (sev) {
+      case Severity::Error: ++report_->num_errors; break;
+      case Severity::Warning: ++report_->num_warnings; break;
+      case Severity::Note: ++report_->num_notes; break;
+    }
+    if (report_->diagnostics.size() >= options_.max_diagnostics) {
+        ++report_->suppressed;
+        return;
+    }
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = sev;
+    d.file = file;
+    d.line = line;
+    d.message = std::move(message);
+    report_->diagnostics.push_back(std::move(d));
+}
+
+namespace
+{
+
+/** Where the cross-file rules expect their anchors, by convention. */
+constexpr const char *kErrorHeader = "src/util/error.hh";
+constexpr const char *kErrorImpl = "src/util/error.cc";
+constexpr const char *kFaultHeader = "src/util/faultinject.hh";
+constexpr const char *kServeImpl = "src/serve/service.cc";
+
+/** One parsed ErrorCode enumerator. */
+struct CodeEntry
+{
+    std::string name;
+    long value = 0;
+    std::size_t line = 0;
+};
+
+/**
+ * Parse the `enum class ErrorCode` enumerators out of @p file.
+ * Returns false when no definition was found.
+ */
+bool
+parseErrorEnum(const SourceFile &file, std::vector<CodeEntry> *out,
+               std::size_t *definitions)
+{
+    const std::vector<Token> &toks = file.stream.tokens;
+    *definitions = 0;
+    bool found = false;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!(toks[i].isIdent("enum") && toks[i + 1].isIdent("class") &&
+              toks[i + 2].isIdent("ErrorCode")))
+            continue;
+        // Skip an optional underlying type to the opening brace.
+        std::size_t j = i + 3;
+        while (j < toks.size() && !toks[j].isPunct('{') &&
+               !toks[j].isPunct(';'))
+            ++j;
+        if (j >= toks.size() || !toks[j].isPunct('{'))
+            continue; // forward declaration
+        ++*definitions;
+        if (found)
+            continue; // only the first definition is parsed
+        found = true;
+        long next_value = 0;
+        ++j;
+        while (j < toks.size() && !toks[j].isPunct('}')) {
+            if (toks[j].kind != TokKind::Identifier) {
+                ++j;
+                continue;
+            }
+            CodeEntry entry;
+            entry.name = toks[j].text;
+            entry.line = toks[j].line;
+            if (j + 2 < toks.size() && toks[j + 1].isPunct('=') &&
+                toks[j + 2].kind == TokKind::Number) {
+                entry.value = std::strtol(toks[j + 2].text.c_str(),
+                                          nullptr, 0);
+                j += 3;
+            } else {
+                entry.value = next_value;
+                ++j;
+            }
+            next_value = entry.value + 1;
+            out->push_back(std::move(entry));
+            // Skip to the comma (or closing brace).
+            while (j < toks.size() && !toks[j].isPunct(',') &&
+                   !toks[j].isPunct('}'))
+                ++j;
+            if (j < toks.size() && toks[j].isPunct(','))
+                ++j;
+        }
+    }
+    return found;
+}
+
+/** All `ErrorCode::X` mentions in @p file, with their lines. */
+std::vector<std::pair<std::string, std::size_t>>
+errorCodeMentions(const SourceFile &file)
+{
+    std::vector<std::pair<std::string, std::size_t>> out;
+    const std::vector<Token> &toks = file.stream.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].isIdent("ErrorCode") && toks[i + 1].isPunct(':') &&
+            toks[i + 2].isPunct(':') &&
+            toks[i + 3].kind == TokKind::Identifier)
+            out.emplace_back(toks[i + 3].text, toks[i + 3].line);
+    }
+    return out;
+}
+
+/**
+ * `ErrorCode::X` mentions inside the body of every function-shaped
+ * occurrence of @p fn in @p file (identifier, balanced parens, then a
+ * braced body — call sites don't match).
+ */
+std::vector<std::string>
+mentionsInFunction(const SourceFile &file, const std::string &fn)
+{
+    std::vector<std::string> out;
+    const std::vector<Token> &toks = file.stream.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].isIdent(fn) || i + 1 >= toks.size() ||
+            !toks[i + 1].isPunct('('))
+            continue;
+        std::size_t j = i + 1;
+        int parens = 0;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].isPunct('('))
+                ++parens;
+            else if (toks[j].isPunct(')') && --parens == 0)
+                break;
+        }
+        if (j + 1 >= toks.size() || !toks[j + 1].isPunct('{'))
+            continue;
+        int braces = 0;
+        for (std::size_t k = j + 1; k < toks.size(); ++k) {
+            if (toks[k].isPunct('{'))
+                ++braces;
+            else if (toks[k].isPunct('}') && --braces == 0)
+                break;
+            if (toks[k].isIdent("ErrorCode") && k + 3 < toks.size() &&
+                toks[k + 1].isPunct(':') && toks[k + 2].isPunct(':') &&
+                toks[k + 3].kind == TokKind::Identifier)
+                out.push_back(toks[k + 3].text);
+        }
+    }
+    return out;
+}
+
+/** S001: the ErrorCode registry itself is well-formed. */
+void
+checkErrorRegistry(const Corpus &corpus, Sink &sink,
+                   std::vector<CodeEntry> *codes)
+{
+    const SourceFile *hh = corpus.find(kErrorHeader);
+    if (hh == nullptr)
+        return; // corpus without the error layer: nothing to say
+    std::size_t definitions = 0;
+    if (!parseErrorEnum(*hh, codes, &definitions)) {
+        sink.add(RuleId::ErrorCodeRegistry, kErrorHeader, 0,
+                 "no `enum class ErrorCode` definition found");
+        return;
+    }
+
+    // Exactly one definition, repo-wide.
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || f.path == kErrorHeader)
+            continue;
+        std::size_t defs = 0;
+        std::vector<CodeEntry> ignored;
+        if (parseErrorEnum(f, &ignored, &defs) && defs > 0) {
+            sink.add(RuleId::ErrorCodeRegistry, f.path, 0,
+                     "second `enum class ErrorCode` definition; the "
+                     "registry lives in " +
+                         std::string(kErrorHeader));
+        }
+    }
+    if (definitions > 1) {
+        sink.add(RuleId::ErrorCodeRegistry, kErrorHeader, 0,
+                 "multiple `enum class ErrorCode` definitions in the "
+                 "registry header");
+    }
+
+    // Unique names and unique numeric values.
+    std::map<std::string, std::size_t> by_name;
+    std::map<long, std::string> by_value;
+    for (const CodeEntry &c : *codes) {
+        auto [it, fresh] = by_name.emplace(c.name, c.line);
+        if (!fresh) {
+            sink.add(RuleId::ErrorCodeRegistry, kErrorHeader, c.line,
+                     "enumerator '" + c.name + "' defined twice");
+        }
+        auto [vit, vfresh] = by_value.emplace(c.value, c.name);
+        if (!vfresh && c.name != vit->second) {
+            std::ostringstream oss;
+            oss << "'" << c.name << "' reuses code " << c.value
+                << " already taken by '" << vit->second << "'";
+            sink.add(RuleId::ErrorCodeRegistry, kErrorHeader, c.line,
+                     oss.str());
+        }
+    }
+
+    // Every enumerator needs a label case in error.cc.
+    const SourceFile *cc = corpus.find(kErrorImpl);
+    if (cc == nullptr) {
+        sink.add(RuleId::ErrorCodeRegistry, kErrorImpl, 0,
+                 "label implementation not found in corpus");
+        return;
+    }
+    std::set<std::string> labeled;
+    for (const auto &[name, line] : errorCodeMentions(*cc))
+        labeled.insert(name);
+    for (const CodeEntry &c : *codes) {
+        if (labeled.count(c.name) == 0) {
+            sink.add(RuleId::ErrorCodeRegistry, kErrorHeader, c.line,
+                     "enumerator '" + c.name +
+                         "' has no label case in " +
+                         std::string(kErrorImpl));
+        }
+    }
+}
+
+/** S002: every code is raised; serve codes are explicitly mapped. */
+void
+checkErrorRaised(const Corpus &corpus, Sink &sink,
+                 const std::vector<CodeEntry> &codes)
+{
+    if (codes.empty())
+        return; // S001 already reported the missing registry
+
+    std::set<std::string> raised;
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || !hasPrefix(f.path, "src/"))
+            continue;
+        if (f.path == kErrorHeader || f.path == kErrorImpl)
+            continue;
+        for (const auto &[name, line] : errorCodeMentions(f))
+            raised.insert(name);
+    }
+    for (const CodeEntry &c : codes) {
+        if (c.value == 0)
+            continue; // the None sentinel is never "raised"
+        if (raised.count(c.name) == 0) {
+            std::ostringstream oss;
+            oss << "code E" << c.value << " ('" << c.name
+                << "') is defined but never raised under src/";
+            sink.add(RuleId::ErrorCodeRaised, kErrorHeader, c.line,
+                     oss.str());
+        }
+    }
+
+    // Serve-domain codes (5xxx) must appear explicitly in the
+    // code→HTTP mapping: relying on its default branch silently
+    // changes the wire contract when a new code is added.
+    bool any_serve = false;
+    for (const CodeEntry &c : codes)
+        any_serve = any_serve || (c.value >= 5000 && c.value < 6000);
+    if (!any_serve)
+        return;
+    const SourceFile *svc = corpus.find(kServeImpl);
+    if (svc == nullptr) {
+        sink.add(RuleId::ErrorCodeRaised, kServeImpl, 0,
+                 "serve codes exist but the code->HTTP mapping file "
+                 "was not found");
+        return;
+    }
+    std::vector<std::string> mapped_list =
+        mentionsInFunction(*svc, "httpStatusFor");
+    std::set<std::string> mapped(mapped_list.begin(), mapped_list.end());
+    for (const CodeEntry &c : codes) {
+        if (c.value < 5000 || c.value >= 6000)
+            continue;
+        if (mapped.count(c.name) == 0) {
+            std::ostringstream oss;
+            oss << "serve code E" << c.value << " ('" << c.name
+                << "') is not an explicit case in httpStatusFor()";
+            sink.add(RuleId::ErrorCodeRaised, kErrorHeader, c.line,
+                     oss.str());
+        }
+    }
+}
+
+/** S003: every Exxxx cited in tests/ or the docs exists. */
+void
+checkErrorReferences(const Corpus &corpus, Sink &sink,
+                     const std::vector<CodeEntry> &codes)
+{
+    if (codes.empty())
+        return;
+    std::set<long> known;
+    for (const CodeEntry &c : codes)
+        known.insert(c.value);
+
+    for (const SourceFile &f : corpus.files) {
+        bool doc = f.path == "README.md" || f.path == "DESIGN.md";
+        if (!doc && !hasPrefix(f.path, "tests/"))
+            continue;
+        const std::string &text = f.text;
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                continue;
+            }
+            if (text[i] != 'E')
+                continue;
+            if (i > 0) {
+                char prev = text[i - 1];
+                if ((prev >= 'a' && prev <= 'z') ||
+                    (prev >= 'A' && prev <= 'Z') ||
+                    (prev >= '0' && prev <= '9') || prev == '_')
+                    continue;
+            }
+            std::size_t d = 0;
+            while (d < 4 && i + 1 + d < text.size() &&
+                   text[i + 1 + d] >= '0' && text[i + 1 + d] <= '9')
+                ++d;
+            if (d != 4)
+                continue;
+            if (i + 5 < text.size() && text[i + 5] >= '0' &&
+                text[i + 5] <= '9')
+                continue; // five or more digits: not our format
+            long value = std::strtol(text.substr(i + 1, 4).c_str(),
+                                     nullptr, 10);
+            if (known.count(value) == 0) {
+                std::ostringstream oss;
+                oss << "references error code E" << value
+                    << ", which is not in the registry";
+                sink.add(RuleId::ErrorCodeReference, f.path, line,
+                         oss.str());
+            }
+            i += 4;
+        }
+    }
+}
+
+/** Parse the first string of each entry in the kFaultSites table. */
+std::vector<std::pair<std::string, std::size_t>>
+parseFaultSiteTable(const SourceFile &file)
+{
+    std::vector<std::pair<std::string, std::size_t>> out;
+    const std::vector<Token> &toks = file.stream.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].isIdent("kFaultSites"))
+            continue;
+        // Find the initializer's opening brace.
+        std::size_t j = i + 1;
+        while (j < toks.size() && !toks[j].isPunct('{') &&
+               !toks[j].isPunct(';'))
+            ++j;
+        if (j >= toks.size() || !toks[j].isPunct('{'))
+            continue;
+        int depth = 0;
+        bool want_site = false;
+        for (; j < toks.size(); ++j) {
+            if (toks[j].isPunct('{')) {
+                ++depth;
+                want_site = depth == 2; // entering one entry
+            } else if (toks[j].isPunct('}')) {
+                if (--depth == 0)
+                    break;
+            } else if (want_site && toks[j].kind == TokKind::String) {
+                out.emplace_back(toks[j].text, toks[j].line);
+                want_site = false;
+            }
+        }
+        break;
+    }
+    return out;
+}
+
+/** True when @p site occurs in @p text delimited by non-name chars. */
+bool
+containsSiteWord(const std::string &text, const std::string &site)
+{
+    std::size_t at = 0;
+    auto boundary = [](char c) {
+        return !((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == '-');
+    };
+    while ((at = text.find(site, at)) != std::string::npos) {
+        bool left = at == 0 || boundary(text[at - 1]);
+        std::size_t end = at + site.size();
+        bool right = end >= text.size() || boundary(text[end]);
+        if (left && right)
+            return true;
+        at = end;
+    }
+    return false;
+}
+
+/** S004: fault sites registered, used, and exercised by tests. */
+void
+checkFaultSites(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *hh = corpus.find(kFaultHeader);
+    if (hh == nullptr)
+        return; // corpus without a fault-injection layer: nothing to say
+    std::vector<std::pair<std::string, std::size_t>> table =
+        parseFaultSiteTable(*hh);
+    if (table.empty()) {
+        sink.add(RuleId::FaultSiteConsistency, kFaultHeader, 0,
+                 "no kFaultSites registry found; every injection site "
+                 "must be declared there");
+        return;
+    }
+    std::set<std::string> registered;
+    for (const auto &[site, line] : table)
+        registered.insert(site);
+
+    // Every site literal passed to the FaultPlan API in production
+    // code must be registered.
+    static const char *kApi[] = { "shouldFail", "shouldFailCounted",
+                                  "armed" };
+    std::set<std::string> used;
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || !hasPrefix(f.path, "src/"))
+            continue;
+        if (hasPrefix(f.path, "src/util/faultinject"))
+            continue;
+        const std::vector<Token> &toks = f.stream.tokens;
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            bool is_api = false;
+            for (const char *fn : kApi)
+                is_api = is_api || toks[i].isIdent(fn);
+            if (!is_api || !toks[i + 1].isPunct('('))
+                continue;
+            if (toks[i + 2].kind != TokKind::String)
+                continue;
+            const std::string &site = toks[i + 2].text;
+            used.insert(site);
+            if (registered.count(site) == 0) {
+                sink.add(RuleId::FaultSiteConsistency, f.path,
+                         toks[i + 2].line,
+                         "fault site \"" + site +
+                             "\" is not in the kFaultSites registry");
+            }
+        }
+    }
+
+    // Every registered site must be compiled into some production
+    // check, and exercised by at least one file under tests/.
+    for (const auto &[site, line] : table) {
+        if (used.count(site) == 0) {
+            sink.add(RuleId::FaultSiteConsistency, kFaultHeader, line,
+                     "registered fault site \"" + site +
+                         "\" is never checked under src/");
+        }
+        bool exercised = false;
+        for (const SourceFile &f : corpus.files) {
+            if (!hasPrefix(f.path, "tests/"))
+                continue;
+            if (containsSiteWord(f.text, site)) {
+                exercised = true;
+                break;
+            }
+        }
+        if (!exercised) {
+            sink.add(RuleId::FaultSiteConsistency, kFaultHeader, line,
+                     "registered fault site \"" + site +
+                         "\" is not exercised by any test");
+        }
+    }
+}
+
+} // namespace
+
+void
+checkRegistries(const Corpus &corpus, Sink &sink)
+{
+    std::vector<CodeEntry> codes;
+    checkErrorRegistry(corpus, sink, &codes);
+    checkErrorRaised(corpus, sink, codes);
+    checkErrorReferences(corpus, sink, codes);
+    checkFaultSites(corpus, sink);
+}
+
+} // namespace internal
+
+Report
+check(const Corpus &corpus, const Options &options)
+{
+    Report report;
+    internal::Sink sink(corpus, options, &report);
+    internal::checkRegistries(corpus, sink);
+    internal::checkHygiene(corpus, sink);
+    return report;
+}
+
+} // namespace accelwall::srccheck

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Source-consistency rules (the `source` lint domain, S001..S010):
+ * whole-repo static analysis of the invariants earlier PRs established
+ * by convention — stable error codes, named fault sites, determinism
+ * of the sweep hot paths, and lock discipline.
+ *
+ *  | rule | name                   | invariant                               |
+ *  |------|------------------------|-----------------------------------------|
+ *  | S001 | error-code-registry    | ErrorCode defined once, unique values,  |
+ *  |      |                        | every code labeled in error.cc          |
+ *  | S002 | error-code-raised      | every code raised in src/; serve codes  |
+ *  |      |                        | explicit in the code→HTTP mapping       |
+ *  | S003 | error-code-reference   | Exxxx cited in tests/docs must exist    |
+ *  | S004 | fault-site-consistency | faultinject sites registered and        |
+ *  |      |                        | exercised by a test                     |
+ *  | S005 | determinism-hygiene    | no clocks/rand in the sweep hot paths   |
+ *  | S006 | lock-discipline        | no blocking calls under a MutexLock     |
+ *  | S007 | discard-audit          | no (void)-discards of checked returns   |
+ *  | S008 | units-escape-hatch     | no dimensional bare-double parameters   |
+ *  | S009 | include-hygiene        | project headers quoted, own header first|
+ *  | S010 | fatal-path-audit       | no fatal()/abort() in serve handlers    |
+ *
+ * The rules are lexical heuristics over srccheck::Corpus, not a
+ * compiler: what each rule can and cannot promise — and the inline
+ * `srccheck:allow(Sxxx)` escape hatch for the deliberate exceptions —
+ * is documented in DESIGN.md §10. The diagnostic machinery mirrors
+ * dfg::verify and modelcheck so accelwall-lint renders all three
+ * domains identically.
+ */
+
+#ifndef ACCELWALL_SRCCHECK_CHECK_HH
+#define ACCELWALL_SRCCHECK_CHECK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "srccheck/scan.hh"
+
+namespace accelwall::srccheck
+{
+
+/** Identity of one source-consistency rule. */
+enum class RuleId
+{
+    ErrorCodeRegistry,    ///< S001
+    ErrorCodeRaised,      ///< S002
+    ErrorCodeReference,   ///< S003
+    FaultSiteConsistency, ///< S004
+    DeterminismHygiene,   ///< S005
+    LockDiscipline,       ///< S006
+    DiscardAudit,         ///< S007
+    UnitsEscapeHatch,     ///< S008
+    IncludeHygiene,       ///< S009
+    FatalPathAudit,       ///< S010
+};
+
+/** Total number of RuleId values (for dense per-rule tables). */
+inline constexpr int kNumRules =
+    static_cast<int>(RuleId::FatalPathAudit) + 1;
+
+/** Diagnostic severity; only Error fails the check. */
+enum class Severity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** Stable short code, e.g. "S005". */
+const char *ruleCode(RuleId rule);
+
+/** Kebab-case rule name, e.g. "determinism-hygiene". */
+const char *ruleName(RuleId rule);
+
+/** Lower-case severity name, e.g. "error". */
+const char *severityName(Severity severity);
+
+/** The built-in severity a rule fires at. */
+Severity defaultSeverity(RuleId rule);
+
+/** One rule violation, locatable to a file and usually a line. */
+struct Diagnostic
+{
+    RuleId rule = RuleId::ErrorCodeRegistry;
+    Severity severity = Severity::Error;
+    /** Root-relative file the finding is in (may be a doc file). */
+    std::string file;
+    /** 1-based line, or 0 for whole-file/cross-file findings. */
+    std::size_t line = 0;
+    /** Human-readable explanation with concrete names. */
+    std::string message;
+
+    /** "src/x.cc:12: error S005 determinism-hygiene ...". */
+    std::string str() const;
+};
+
+/** Knobs for one scan. */
+struct Options
+{
+    /** Escalate Warning diagnostics to Error. */
+    bool warnings_as_errors = false;
+    /** Keep at most this many diagnostics; the rest are counted. */
+    std::size_t max_diagnostics = 256;
+};
+
+/** Outcome of one scan. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t num_errors = 0;
+    std::size_t num_warnings = 0;
+    std::size_t num_notes = 0;
+    /** Diagnostics dropped beyond Options::max_diagnostics. */
+    std::size_t suppressed = 0;
+
+    /** True when no Error-severity diagnostics fired. */
+    bool ok() const { return num_errors == 0; }
+
+    /** True when a rule with this id fired (at any severity). */
+    bool fired(RuleId rule) const;
+
+    /** "3 errors, 1 warning, 0 notes". */
+    std::string summary() const;
+};
+
+/** Run every S rule against @p corpus. */
+Report check(const Corpus &corpus, const Options &options = {});
+
+} // namespace accelwall::srccheck
+
+#endif // ACCELWALL_SRCCHECK_CHECK_HH

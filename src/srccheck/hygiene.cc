@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Per-file hygiene rules of the source lint domain (S005..S010):
+ * determinism of the sweep hot paths, lock discipline, discard and
+ * units escape-hatch audits, include hygiene, and the serve
+ * fatal-path audit. Cross-file registry rules live in check.cc.
+ */
+
+#include <set>
+#include <sstream>
+
+#include "srccheck/internal.hh"
+
+namespace accelwall::srccheck::internal
+{
+
+namespace
+{
+
+/** Directories whose evaluation must be bit-reproducible (S005). */
+bool
+isHotPath(const std::string &path)
+{
+    return hasPrefix(path, "src/aladdin/") ||
+           hasPrefix(path, "src/dfg/") ||
+           hasPrefix(path, "src/dfgopt/") ||
+           hasPrefix(path, "src/csr/") ||
+           hasPrefix(path, "src/projection/");
+}
+
+/**
+ * S005: no wall clocks or ambient randomness in the hot paths. The
+ * sweep engines promise bit-identical output across runs, thread
+ * counts, and resume (DESIGN §9); one time() or rand() breaks every
+ * golden and differential test downstream.
+ */
+void
+checkDeterminism(const Corpus &corpus, Sink &sink)
+{
+    static const char *kBanned[] = {
+        "rand",          "srand",        "rand_r",
+        "random",        "drand48",      "random_device",
+        "time",          "clock",        "gettimeofday",
+        "clock_gettime", "timespec_get", "system_clock",
+        "steady_clock",  "high_resolution_clock",
+    };
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || !isHotPath(f.path))
+            continue;
+        const std::vector<Token> &toks = f.stream.tokens;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token &tok = toks[i];
+            if (tok.kind != TokKind::Identifier)
+                continue;
+            // Member access is someone's field named `time`, not the
+            // libc call: `b.time` / `res->time` are fine, `std::time`
+            // is not (a lone ':' prefix stays flagged).
+            if (i > 0 && (toks[i - 1].isPunct('.') ||
+                          (toks[i - 1].isPunct('>') && i > 1 &&
+                           toks[i - 2].isPunct('-'))))
+                continue;
+            for (const char *name : kBanned) {
+                if (tok.text != name)
+                    continue;
+                sink.add(RuleId::DeterminismHygiene, f.path, tok.line,
+                         "'" + tok.text +
+                             "' in a hot path; sweep evaluation must "
+                             "be bit-reproducible");
+            }
+        }
+    }
+}
+
+/**
+ * S006: no blocking calls in a lexical scope holding a MutexLock.
+ * Heuristic: from each `MutexLock name(...)` declaration to the end
+ * of its enclosing brace scope, flag identifiers naming sleeps,
+ * socket waits, or file I/O. ConditionVariable waits are fine (they
+ * release the lock); calls made *by* functions invoked under the
+ * lock are invisible to a lexical scan — see DESIGN §10.
+ */
+void
+checkLockDiscipline(const Corpus &corpus, Sink &sink)
+{
+    static const char *kBlocking[] = {
+        "sleep",    "usleep",     "nanosleep", "sleep_for",
+        "sleep_until", "poll",    "select",    "epoll_wait",
+        "accept",   "connect",    "sendAll",   "recvSome",
+        "fopen",    "fread",      "fwrite",    "ifstream",
+        "ofstream", "fstream",    "getline",   "flush",
+    };
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || !hasPrefix(f.path, "src/"))
+            continue;
+        const std::vector<Token> &toks = f.stream.tokens;
+        // Track brace depth; remember the depth each live lock was
+        // declared at (locks die when the scope above them closes).
+        std::vector<int> lock_depths;
+        int depth = 0;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const Token &tok = toks[i];
+            if (tok.isPunct('{')) {
+                ++depth;
+                continue;
+            }
+            if (tok.isPunct('}')) {
+                --depth;
+                while (!lock_depths.empty() &&
+                       lock_depths.back() > depth)
+                    lock_depths.pop_back();
+                continue;
+            }
+            if (tok.isIdent("MutexLock") && i + 2 < toks.size() &&
+                toks[i + 1].kind == TokKind::Identifier &&
+                toks[i + 2].isPunct('(')) {
+                lock_depths.push_back(depth);
+                continue;
+            }
+            if (lock_depths.empty() ||
+                tok.kind != TokKind::Identifier)
+                continue;
+            for (const char *name : kBlocking) {
+                if (tok.text != name)
+                    continue;
+                sink.add(RuleId::LockDiscipline, f.path, tok.line,
+                         "'" + tok.text +
+                             "' while holding a MutexLock; blocking "
+                             "under a lock stalls every waiter");
+            }
+        }
+    }
+}
+
+/**
+ * S007: `(void)` discards. Result<T> is [[nodiscard]] for a reason —
+ * a cast-to-void silences the very check PR 3 added. `(void)0` (the
+ * no-op macro idiom) is allowed; anything else needs an inline
+ * justification.
+ */
+void
+checkDiscards(const Corpus &corpus, Sink &sink)
+{
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || (!hasPrefix(f.path, "src/") &&
+                             !hasPrefix(f.path, "tools/")))
+            continue;
+        const std::vector<Token> &toks = f.stream.tokens;
+        for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+            if (!(toks[i].isPunct('(') && toks[i + 1].isIdent("void") &&
+                  toks[i + 2].isPunct(')')))
+                continue;
+            const Token &next = toks[i + 3];
+            if (next.kind == TokKind::Number && next.text == "0")
+                continue;
+            sink.add(RuleId::DiscardAudit, f.path, toks[i].line,
+                     "(void)-discard; checked returns (Result, "
+                     "Quantity) must be consumed or the discard "
+                     "justified inline");
+        }
+    }
+}
+
+/**
+ * S008: dimensional bare doubles in model-layer signatures. A
+ * parameter spelled `double area_mm2` in cmos/chipdb/potential is a
+ * units bug waiting for an argument swap; PR 4's Quantity types exist
+ * so the compiler rejects that. Struct members at the ingest boundary
+ * are exempt (paren depth zero).
+ */
+void
+checkUnitsEscapes(const Corpus &corpus, Sink &sink)
+{
+    static const char *kSuffixes[] = {
+        "_nm", "_mm2", "_um2", "_mhz", "_ghz", "_w",
+        "_v",  "_nj",  "_pj",  "_ns",  "_tx",
+    };
+    for (const SourceFile &f : corpus.files) {
+        bool in_scope = hasPrefix(f.path, "src/cmos/") ||
+                        hasPrefix(f.path, "src/chipdb/") ||
+                        hasPrefix(f.path, "src/potential/");
+        if (!f.tokenized || !in_scope || !hasSuffix(f.path, ".hh"))
+            continue;
+        const std::vector<Token> &toks = f.stream.tokens;
+        int parens = 0;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            if (toks[i].isPunct('('))
+                ++parens;
+            else if (toks[i].isPunct(')'))
+                --parens;
+            if (parens <= 0 || !toks[i].isIdent("double"))
+                continue;
+            if (i + 1 >= toks.size() ||
+                toks[i + 1].kind != TokKind::Identifier)
+                continue;
+            const std::string &name = toks[i + 1].text;
+            for (const char *suffix : kSuffixes) {
+                if (!hasSuffix(name, suffix))
+                    continue;
+                sink.add(RuleId::UnitsEscapeHatch, f.path,
+                         toks[i + 1].line,
+                         "bare `double " + name +
+                             "` parameter looks dimensional; take a "
+                             "units::Quantity instead");
+                break;
+            }
+        }
+    }
+}
+
+/**
+ * S009: include hygiene. Project headers are included with quotes
+ * (angle brackets are reserved for the toolchain), and a .cc file
+ * with a same-stem sibling header includes it first — the cheapest
+ * continuous proof the header is self-contained.
+ */
+void
+checkIncludes(const Corpus &corpus, Sink &sink)
+{
+    // Set of all project header paths as written in includes
+    // (src/-relative, e.g. "util/error.hh").
+    std::set<std::string> project_headers;
+    for (const SourceFile &f : corpus.files) {
+        if (hasPrefix(f.path, "src/") && hasSuffix(f.path, ".hh"))
+            project_headers.insert(f.path.substr(4));
+    }
+
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || (!hasPrefix(f.path, "src/") &&
+                             !hasPrefix(f.path, "tools/")))
+            continue;
+        for (const IncludeDirective &inc : f.includes) {
+            if (inc.angle && project_headers.count(inc.path) > 0) {
+                sink.add(RuleId::IncludeHygiene, f.path, inc.line,
+                         "project header <" + inc.path +
+                             "> included with angle brackets; use "
+                             "quotes");
+            }
+        }
+        if (!hasPrefix(f.path, "src/") || !hasSuffix(f.path, ".cc"))
+            continue;
+        std::string own = f.path.substr(4);
+        own.replace(own.size() - 3, 3, ".hh");
+        if (project_headers.count(own) == 0)
+            continue; // no same-stem header
+        if (f.includes.empty() || f.includes[0].path != own) {
+            sink.add(RuleId::IncludeHygiene, f.path,
+                     f.includes.empty() ? 0 : f.includes[0].line,
+                     "own header \"" + own +
+                         "\" must be the first include "
+                         "(self-containment order)");
+        }
+    }
+}
+
+/**
+ * S010: the serve request path never reaches process-terminating
+ * calls. Every request is either answered or converted to an error
+ * response; a fatal()/abort() reachable from a handler turns one bad
+ * request into an outage.
+ */
+void
+checkFatalPaths(const Corpus &corpus, Sink &sink)
+{
+    static const char *kTerminators[] = { "fatal", "abort", "exit",
+                                          "_Exit", "quick_exit" };
+    for (const SourceFile &f : corpus.files) {
+        if (!f.tokenized || !hasPrefix(f.path, "src/serve/"))
+            continue;
+        const std::vector<Token> &toks = f.stream.tokens;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (toks[i].kind != TokKind::Identifier ||
+                !toks[i + 1].isPunct('('))
+                continue;
+            for (const char *name : kTerminators) {
+                if (toks[i].text != name)
+                    continue;
+                sink.add(RuleId::FatalPathAudit, f.path, toks[i].line,
+                         "'" + toks[i].text +
+                             "()' in serve/; request handling must "
+                             "degrade to an error response, never "
+                             "terminate");
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkHygiene(const Corpus &corpus, Sink &sink)
+{
+    checkDeterminism(corpus, sink);
+    checkLockDiscipline(corpus, sink);
+    checkDiscards(corpus, sink);
+    checkUnitsEscapes(corpus, sink);
+    checkIncludes(corpus, sink);
+    checkFatalPaths(corpus, sink);
+}
+
+} // namespace accelwall::srccheck::internal

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared plumbing between the two rule translation units
+ * (check.cc: S001..S004 registry consistency; hygiene.cc:
+ * S005..S010 per-file hygiene). Not part of the public srccheck API.
+ */
+
+#ifndef ACCELWALL_SRCCHECK_INTERNAL_HH
+#define ACCELWALL_SRCCHECK_INTERNAL_HH
+
+#include <string>
+
+#include "srccheck/check.hh"
+
+namespace accelwall::srccheck::internal
+{
+
+/** Collects diagnostics with suppression + cap handling. */
+class Sink
+{
+  public:
+    Sink(const Corpus &corpus, const Options &options, Report *report)
+        : corpus_(corpus), options_(options), report_(report)
+    {
+    }
+
+    /**
+     * Record one finding at @p file:@p line unless an inline
+     * `srccheck:allow(<rule>)` marker disarms it there.
+     */
+    void add(RuleId rule, const std::string &file, std::size_t line,
+             std::string message);
+
+  private:
+    const Corpus &corpus_;
+    const Options &options_;
+    Report *report_;
+};
+
+bool hasPrefix(const std::string &s, const std::string &prefix);
+bool hasSuffix(const std::string &s, const std::string &suffix);
+
+/** Rules S001..S004: cross-file registry consistency. */
+void checkRegistries(const Corpus &corpus, Sink &sink);
+
+/** Rules S005..S010: per-file hygiene scans. */
+void checkHygiene(const Corpus &corpus, Sink &sink);
+
+} // namespace accelwall::srccheck::internal
+
+#endif // ACCELWALL_SRCCHECK_INTERNAL_HH

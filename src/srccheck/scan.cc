@@ -1,0 +1,241 @@
+#include "srccheck/scan.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace accelwall::srccheck
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool
+hasPrefix(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** Should this root-relative path be scanned at all, and tokenized? */
+bool
+wantFile(const std::string &rel, bool *tokenized)
+{
+    *tokenized = false;
+    if (rel == "README.md" || rel == "DESIGN.md")
+        return true;
+    // The seeded-broken lint fixtures are corpora of their own.
+    if (hasPrefix(rel, "tests/lint/"))
+        return false;
+    if (hasPrefix(rel, "src/") || hasPrefix(rel, "tools/")) {
+        if (hasSuffix(rel, ".hh") || hasSuffix(rel, ".cc")) {
+            *tokenized = true;
+            return true;
+        }
+        return hasSuffix(rel, ".sh");
+    }
+    if (hasPrefix(rel, "tests/")) {
+        if (hasSuffix(rel, ".cc") || hasSuffix(rel, ".hh")) {
+            *tokenized = true;
+            return true;
+        }
+        return hasSuffix(rel, ".sh") || hasSuffix(rel, ".cmake") ||
+               hasSuffix(rel, ".txt");
+    }
+    return false;
+}
+
+/** Parse `include "x"` / `include <x>` out of one directive. */
+void
+parseInclude(const Directive &dir, std::vector<IncludeDirective> *out)
+{
+    std::size_t i = 0;
+    while (i < dir.text.size() &&
+           (dir.text[i] == ' ' || dir.text[i] == '\t'))
+        ++i;
+    if (dir.text.compare(i, 7, "include") != 0)
+        return;
+    i += 7;
+    while (i < dir.text.size() &&
+           (dir.text[i] == ' ' || dir.text[i] == '\t'))
+        ++i;
+    if (i >= dir.text.size())
+        return;
+    char open = dir.text[i];
+    char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+    if (close == '\0')
+        return;
+    std::size_t end = dir.text.find(close, i + 1);
+    if (end == std::string::npos)
+        return;
+    IncludeDirective inc;
+    inc.path = dir.text.substr(i + 1, end - i - 1);
+    inc.angle = open == '<';
+    inc.line = dir.line;
+    out->push_back(std::move(inc));
+}
+
+/** Parse the rule list of a `srccheck:allow(S006[,S007...])` marker. */
+std::set<std::string>
+parseAllowRules(const Comment &com)
+{
+    std::set<std::string> rules;
+    const std::string kMarker = "srccheck:allow(";
+    std::size_t at = com.text.find(kMarker);
+    if (at == std::string::npos)
+        return rules;
+    std::size_t open = at + kMarker.size() - 1;
+    std::size_t close = com.text.find(')', open);
+    if (close == std::string::npos)
+        return rules;
+    std::string list = com.text.substr(open + 1, close - open - 1);
+    std::istringstream iss(list);
+    std::string rule;
+    while (std::getline(iss, rule, ',')) {
+        std::size_t b = rule.find_first_not_of(" \t");
+        std::size_t e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        rules.insert(rule.substr(b, e - b + 1));
+    }
+    return rules;
+}
+
+/**
+ * Resolve `srccheck:allow(...)` markers into per-line disarm sets. A
+ * marker covers its own line, every following line that is still part
+ * of the justification comment block, and the first code line after
+ * the block — so multi-line reasons (required by the allowlist
+ * policy) still reach the statement they justify. A same-line trailer
+ * marker covers its own statement directly.
+ */
+void
+resolveAllows(const TokenStream &stream,
+              std::map<std::size_t, std::set<std::string>> *allows)
+{
+    std::set<std::size_t> comment_lines;
+    for (const Comment &com : stream.comments)
+        comment_lines.insert(com.line);
+    for (const Comment &com : stream.comments) {
+        std::set<std::string> rules = parseAllowRules(com);
+        if (rules.empty())
+            continue;
+        std::size_t line = com.line;
+        (*allows)[line].insert(rules.begin(), rules.end());
+        while (comment_lines.count(line + 1)) {
+            ++line;
+            (*allows)[line].insert(rules.begin(), rules.end());
+        }
+        (*allows)[line + 1].insert(rules.begin(), rules.end());
+    }
+}
+
+} // namespace
+
+const SourceFile *
+Corpus::find(const std::string &path) const
+{
+    for (const SourceFile &f : files) {
+        if (f.path == path)
+            return &f;
+    }
+    return nullptr;
+}
+
+std::size_t
+Corpus::totalLines() const
+{
+    std::size_t n = 0;
+    for (const SourceFile &f : files) {
+        if (f.tokenized)
+            n += f.stream.lines;
+    }
+    return n;
+}
+
+SourceFile
+makeSourceFile(std::string path, std::string text)
+{
+    SourceFile f;
+    f.path = std::move(path);
+    f.text = std::move(text);
+    bool tokenized = hasSuffix(f.path, ".hh") || hasSuffix(f.path, ".cc");
+    if (tokenized) {
+        f.tokenized = true;
+        f.stream = tokenize(f.text);
+        for (const Directive &dir : f.stream.directives)
+            parseInclude(dir, &f.includes);
+        resolveAllows(f.stream, &f.allows);
+    }
+    return f;
+}
+
+Result<Corpus>
+loadCorpus(const std::string &root)
+{
+    std::error_code ec;
+    fs::path base(root);
+    if (!fs::is_directory(base, ec)) {
+        return makeError(ErrorCode::SrcScanIo, "source root '", root,
+                         "' is not a directory");
+    }
+
+    // Collect candidate paths first so the scan order (and therefore
+    // every diagnostic sequence) is sorted, not directory-iteration
+    // order.
+    std::vector<std::string> rels;
+    for (const char *top : { "src", "tools", "tests" }) {
+        fs::path dir = base / top;
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (fs::recursive_directory_iterator
+                 it(dir, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end; it.increment(ec)) {
+            if (ec)
+                break;
+            if (!it->is_regular_file(ec))
+                continue;
+            std::string rel =
+                fs::relative(it->path(), base, ec).generic_string();
+            if (!ec)
+                rels.push_back(std::move(rel));
+        }
+    }
+    for (const char *doc : { "README.md", "DESIGN.md" }) {
+        if (fs::is_regular_file(base / doc, ec))
+            rels.emplace_back(doc);
+    }
+    std::sort(rels.begin(), rels.end());
+
+    Corpus corpus;
+    corpus.root = root;
+    for (const std::string &rel : rels) {
+        bool tokenized = false;
+        if (!wantFile(rel, &tokenized))
+            continue;
+        std::ifstream in(base / rel, std::ios::binary);
+        if (!in)
+            continue; // racing deletions are not the lint's business
+        std::ostringstream text;
+        text << in.rdbuf();
+        corpus.files.push_back(makeSourceFile(rel, text.str()));
+    }
+    if (corpus.files.empty()) {
+        return makeError(ErrorCode::SrcScanIo, "source root '", root,
+                         "' contains nothing to scan");
+    }
+    return corpus;
+}
+
+} // namespace accelwall::srccheck

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Corpus loading for the source-consistency lint domain: walk a repo
+ * checkout, tokenize its C++ sources, and collect the raw text the
+ * cross-file S rules match against (tests, shell/cmake harnesses,
+ * README/DESIGN).
+ *
+ * Layout conventions baked in (matching this repository):
+ *
+ *  - C++ sources live under src/ and tools/ (.hh/.cc) and are fully
+ *    tokenized;
+ *  - tests/ holds .cc plus .sh/.cmake harness files, scanned as raw
+ *    text (rules only substring-match into them);
+ *  - README.md and DESIGN.md are the documentation surface whose
+ *    Exxxx references rule S003 validates;
+ *  - tests/lint/ is skipped: it holds the seeded-broken fixture
+ *    corpora, which are linted as their own roots, never as part of
+ *    the enclosing repo.
+ *
+ * Suppressions: a comment containing `srccheck:allow(S006)` (or a
+ * comma list, `srccheck:allow(S006,S007)`) disarms those rules on the
+ * comment's line and the line directly below it, so both trailing and
+ * preceding-line comment styles work. Every suppression is expected
+ * to carry a reason in the same comment; see DESIGN.md §10.
+ */
+
+#ifndef ACCELWALL_SRCCHECK_SCAN_HH
+#define ACCELWALL_SRCCHECK_SCAN_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "srccheck/token.hh"
+#include "util/error.hh"
+
+namespace accelwall::srccheck
+{
+
+/** One `#include` directive in lexical order. */
+struct IncludeDirective
+{
+    std::string path; ///< text between the delimiters
+    bool angle = false;
+    std::size_t line = 1;
+};
+
+/** One scanned file: raw text always, token stream for C++ sources. */
+struct SourceFile
+{
+    /** Root-relative path with '/' separators, e.g. "src/util/csv.cc". */
+    std::string path;
+    std::string text;
+    /** Tokenized for .hh/.cc under src/ and tools/; empty otherwise. */
+    TokenStream stream;
+    std::vector<IncludeDirective> includes;
+    /** line -> rule codes ("S006") suppressed on that line. */
+    std::map<std::size_t, std::set<std::string>> allows;
+    /** True when the file was tokenized (stream is meaningful). */
+    bool tokenized = false;
+
+    bool
+    allowed(const std::string &rule_code, std::size_t line) const
+    {
+        auto it = allows.find(line);
+        return it != allows.end() && it->second.count(rule_code) > 0;
+    }
+};
+
+/** A loaded checkout, ready for the S rules. */
+struct Corpus
+{
+    /** The root the paths are relative to (display only). */
+    std::string root;
+    std::vector<SourceFile> files;
+
+    /** The file at @p path, or nullptr. */
+    const SourceFile *find(const std::string &path) const;
+
+    /** Total line count over tokenized files. */
+    std::size_t totalLines() const;
+};
+
+/**
+ * Build one SourceFile from in-memory text, applying the same
+ * tokenize/include/suppression pipeline loadCorpus() uses. Exposed so
+ * unit tests can assemble synthetic corpora without a filesystem.
+ */
+SourceFile makeSourceFile(std::string path, std::string text);
+
+/**
+ * Load every relevant file under @p root (see the file comment for
+ * what is scanned). Fails only when the root is unusable — a missing
+ * or unreadable individual file is skipped, and files the conventions
+ * do not cover are never opened. The file list is sorted by path so a
+ * run's diagnostics are deterministic across platforms.
+ */
+Result<Corpus> loadCorpus(const std::string &root);
+
+} // namespace accelwall::srccheck
+
+#endif // ACCELWALL_SRCCHECK_SCAN_HH

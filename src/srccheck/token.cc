@@ -1,0 +1,316 @@
+#include "srccheck/token.hh"
+
+namespace accelwall::srccheck
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/** Cursor over the input with 1-based line/column tracking. */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) {}
+
+    bool done() const { return pos_ >= text_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+    }
+    std::size_t line() const { return line_; }
+    std::size_t col() const { return col_; }
+
+    char
+    advance()
+    {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    /**
+     * True when the token about to start sits at the beginning of a
+     * line (only whitespace before it) — how '#' is recognized as a
+     * directive rather than an operator token.
+     */
+    bool
+    atLineStart() const
+    {
+        std::size_t i = pos_;
+        while (i > 0) {
+            char c = text_[i - 1];
+            if (c == '\n')
+                return true;
+            if (c != ' ' && c != '\t' && c != '\r')
+                return false;
+            --i;
+        }
+        return true;
+    }
+
+  private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t col_ = 1;
+};
+
+} // namespace
+
+TokenStream
+tokenize(std::string_view text)
+{
+    TokenStream out;
+    Lexer lx(text);
+
+    while (!lx.done()) {
+        char c = lx.peek();
+
+        // Whitespace.
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            lx.advance();
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && lx.peek(1) == '/') {
+            Comment com;
+            com.line = lx.line();
+            lx.advance();
+            lx.advance();
+            while (!lx.done() && lx.peek() != '\n')
+                com.text.push_back(lx.advance());
+            out.comments.push_back(std::move(com));
+            continue;
+        }
+
+        // Block comment. Each line of a multi-line comment is recorded
+        // separately so line-scoped suppression markers inside doc
+        // blocks attach to the right line.
+        if (c == '/' && lx.peek(1) == '*') {
+            lx.advance();
+            lx.advance();
+            Comment com;
+            com.line = lx.line();
+            while (!lx.done()) {
+                if (lx.peek() == '*' && lx.peek(1) == '/') {
+                    lx.advance();
+                    lx.advance();
+                    break;
+                }
+                char ch = lx.advance();
+                if (ch == '\n') {
+                    out.comments.push_back(com);
+                    com = Comment{};
+                    com.line = lx.line();
+                } else {
+                    com.text.push_back(ch);
+                }
+            }
+            out.comments.push_back(std::move(com));
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on its line, continuations
+        // joined. Swallowing the whole logical line keeps conditional
+        // compilation from unbalancing the brace matching rules do.
+        if (c == '#' && lx.atLineStart()) {
+            Directive dir;
+            dir.line = lx.line();
+            lx.advance();
+            while (!lx.done()) {
+                char ch = lx.peek();
+                if (ch == '\n')
+                    break;
+                if (ch == '\\' && lx.peek(1) == '\n') {
+                    lx.advance();
+                    lx.advance();
+                    dir.text.push_back(' ');
+                    continue;
+                }
+                // A // comment ends the directive text.
+                if (ch == '/' && lx.peek(1) == '/')
+                    break;
+                dir.text.push_back(lx.advance());
+            }
+            out.directives.push_back(std::move(dir));
+            continue;
+        }
+
+        // Raw string literal, optionally behind an encoding prefix the
+        // identifier path would otherwise swallow (u8R"...", LR"...").
+        bool raw = false;
+        std::size_t raw_prefix = 0;
+        if (c == 'R' && lx.peek(1) == '"') {
+            raw = true;
+            raw_prefix = 1;
+        } else if ((c == 'u' || c == 'U' || c == 'L')) {
+            std::size_t i = 1;
+            if (c == 'u' && lx.peek(1) == '8')
+                i = 2;
+            if (lx.peek(i) == 'R' && lx.peek(i + 1) == '"') {
+                raw = true;
+                raw_prefix = i + 1;
+            }
+        }
+        if (raw) {
+            Token tok;
+            tok.kind = TokKind::String;
+            tok.line = lx.line();
+            tok.col = lx.col();
+            for (std::size_t i = 0; i <= raw_prefix; ++i)
+                lx.advance(); // prefix + opening quote
+            std::string delim;
+            while (!lx.done() && lx.peek() != '(')
+                delim.push_back(lx.advance());
+            if (!lx.done())
+                lx.advance(); // '('
+            std::string close = ")" + delim + "\"";
+            std::string body;
+            while (!lx.done()) {
+                body.push_back(lx.advance());
+                if (body.size() >= close.size() &&
+                    body.compare(body.size() - close.size(),
+                                 close.size(), close) == 0) {
+                    body.resize(body.size() - close.size());
+                    break;
+                }
+            }
+            tok.text = std::move(body);
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        // String literal (decoded: \" and \\ unescaped, others kept).
+        if (c == '"') {
+            Token tok;
+            tok.kind = TokKind::String;
+            tok.line = lx.line();
+            tok.col = lx.col();
+            lx.advance();
+            while (!lx.done()) {
+                char ch = lx.advance();
+                if (ch == '\\' && !lx.done()) {
+                    char esc = lx.advance();
+                    if (esc == '"' || esc == '\\') {
+                        tok.text.push_back(esc);
+                    } else {
+                        tok.text.push_back('\\');
+                        tok.text.push_back(esc);
+                    }
+                    continue;
+                }
+                if (ch == '"' || ch == '\n')
+                    break;
+                tok.text.push_back(ch);
+            }
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        // Char literal. Only entered on a real quote start: a lone '
+        // after an identifier (digit separators are handled in the
+        // number path) cannot reach here.
+        if (c == '\'') {
+            Token tok;
+            tok.kind = TokKind::Char;
+            tok.line = lx.line();
+            tok.col = lx.col();
+            lx.advance();
+            while (!lx.done()) {
+                char ch = lx.advance();
+                if (ch == '\\' && !lx.done()) {
+                    tok.text.push_back(ch);
+                    tok.text.push_back(lx.advance());
+                    continue;
+                }
+                if (ch == '\'' || ch == '\n')
+                    break;
+                tok.text.push_back(ch);
+            }
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (isIdentStart(c)) {
+            Token tok;
+            tok.kind = TokKind::Identifier;
+            tok.line = lx.line();
+            tok.col = lx.col();
+            while (!lx.done() && isIdentChar(lx.peek()))
+                tok.text.push_back(lx.advance());
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        // Number: digits, dots, hex, exponents, digit separators. The
+        // rules never read the value, so one greedy token is enough.
+        if (isDigit(c) || (c == '.' && isDigit(lx.peek(1)))) {
+            Token tok;
+            tok.kind = TokKind::Number;
+            tok.line = lx.line();
+            tok.col = lx.col();
+            while (!lx.done()) {
+                char ch = lx.peek();
+                if (isIdentChar(ch) || ch == '.' || ch == '\'') {
+                    tok.text.push_back(lx.advance());
+                    continue;
+                }
+                if ((ch == '+' || ch == '-') && !tok.text.empty()) {
+                    char prev = tok.text.back();
+                    if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                        prev == 'P') {
+                        tok.text.push_back(lx.advance());
+                        continue;
+                    }
+                }
+                break;
+            }
+            out.tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        // Everything else: one punctuation character per token.
+        Token tok;
+        tok.kind = TokKind::Punct;
+        tok.line = lx.line();
+        tok.col = lx.col();
+        tok.text.push_back(lx.advance());
+        out.tokens.push_back(std::move(tok));
+    }
+
+    out.lines = 0;
+    for (char ch : text) {
+        if (ch == '\n')
+            ++out.lines;
+    }
+    if (!text.empty() && text.back() != '\n')
+        ++out.lines; // unterminated final line still counts
+    return out;
+}
+
+} // namespace accelwall::srccheck

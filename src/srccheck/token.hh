@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A lightweight C++ tokenizer for the source-consistency lint domain
+ * (src/srccheck, rules S001..S010).
+ *
+ * This is deliberately *not* a C++ parser: the S rules match token
+ * shapes (an identifier followed by `(`, a string literal in an
+ * initializer list, `ErrorCode :: Name`), so a flat token stream with
+ * line/column positions is enough. The tokenizer understands exactly
+ * the lexical features those matches need to be reliable:
+ *
+ *  - `//` and C-style comments (captured separately, so suppression
+ *    markers can be read without polluting the code stream),
+ *  - string/char literals with escapes and raw strings R"delim(...)",
+ *  - preprocessor directives (captured whole, with continuations, so
+ *    `#include` analysis sees them and brace matching never does),
+ *  - identifiers, numbers, and single-character punctuation.
+ *
+ * Anything beyond that — templates, overload resolution, type
+ * checking — is out of scope by design; see DESIGN.md §10 for the
+ * boundary between what the S rules can and cannot promise.
+ */
+
+#ifndef ACCELWALL_SRCCHECK_TOKEN_HH
+#define ACCELWALL_SRCCHECK_TOKEN_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accelwall::srccheck
+{
+
+/** Lexical class of one token. */
+enum class TokKind
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< integer/float literal (incl. hex), single token
+    String,     ///< "..." or R"(...)"; text is the *decoded* contents
+    Char,       ///< '...'; text is the raw spelling without quotes
+    Punct,      ///< one punctuation character ("{", ":", "(", ...)
+};
+
+/** One code token with its 1-based source position. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    std::size_t line = 1;
+    std::size_t col = 1;
+
+    bool isIdent(std::string_view s) const
+    {
+        return kind == TokKind::Identifier && text == s;
+    }
+    bool isPunct(char c) const
+    {
+        return kind == TokKind::Punct && text.size() == 1 && text[0] == c;
+    }
+};
+
+/** One comment, kept out of the code stream. */
+struct Comment
+{
+    std::string text; ///< contents without the //, /* */ markers
+    std::size_t line = 1;
+};
+
+/** One preprocessor directive, captured as a whole logical line. */
+struct Directive
+{
+    std::string text; ///< full text after '#', continuations joined
+    std::size_t line = 1;
+};
+
+/** The complete lexical decomposition of one translation unit. */
+struct TokenStream
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<Directive> directives;
+    /** Total number of lines in the input. */
+    std::size_t lines = 0;
+};
+
+/**
+ * Tokenize C++ source text. Never fails: unrecognized bytes become
+ * single-character Punct tokens, and an unterminated literal runs to
+ * end of input — for a linter, degrading gracefully on weird input
+ * beats refusing to scan the file containing it.
+ */
+TokenStream tokenize(std::string_view text);
+
+} // namespace accelwall::srccheck
+
+#endif // ACCELWALL_SRCCHECK_TOKEN_HH

@@ -47,6 +47,7 @@ errorCodeLabel(ErrorCode code)
       case ErrorCode::ServeSweepTooLarge: return "serve-sweep-too-large";
       case ErrorCode::ServeBind: return "serve-bind";
       case ErrorCode::ServeConnection: return "serve-connection";
+      case ErrorCode::SrcScanIo: return "src-scan-io";
       case ErrorCode::FaultInjected: return "fault-injected";
       case ErrorCode::Internal: return "internal";
     }

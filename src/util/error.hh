@@ -15,8 +15,12 @@
  *
  * Error codes are stable integers grouped by failure domain (1xxx
  * parsing, 2xxx record validation, 3xxx fits, 4xxx sweep/checkpoint,
- * 9xxx injected/internal) so reports, CSV cells, and tests can match
- * on them across releases.
+ * 5xxx serve, 6xxx source lint, 9xxx injected/internal) so reports,
+ * CSV cells, and tests can match on them across releases. The
+ * registry itself is machine-checked: lint rules S001..S003
+ * (src/srccheck) verify each code is defined once, labeled, raised
+ * somewhere under src/, mapped to an HTTP status when it is a serve
+ * code, and that documentation references resolve.
  */
 
 #ifndef ACCELWALL_UTIL_ERROR_HH
@@ -80,6 +84,9 @@ enum class ErrorCode
     ServeSweepTooLarge = 5007,
     ServeBind = 5008,
     ServeConnection = 5009,
+
+    // 6xxx: source-consistency lint (srccheck).
+    SrcScanIo = 6001,
 
     // 9xxx: injected faults and internal fallbacks.
     FaultInjected = 9001,

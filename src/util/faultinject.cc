@@ -5,6 +5,16 @@
 namespace accelwall::util
 {
 
+bool
+knownFaultSite(const std::string &site)
+{
+    for (const FaultSiteInfo &info : kFaultSites) {
+        if (site == info.site)
+            return true;
+    }
+    return false;
+}
+
 FaultPlan &
 FaultPlan::global()
 {
@@ -56,6 +66,10 @@ FaultPlan::configure(const std::string &spec)
             return makeError(ErrorCode::Internal, "fault spec '", entry,
                              "' wants a positive integer period");
         }
+        // A typo'd site would silently disarm the intended fault;
+        // arm it anyway (tests may probe synthetic names) but say so.
+        if (!knownFaultSite(site))
+            warn("fault site '", site, "' is not in kFaultSites");
         auto &slot = sites_[site];
         slot = std::make_unique<Site>();
         slot->period = static_cast<std::uint64_t>(period);

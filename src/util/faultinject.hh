@@ -15,14 +15,11 @@
  *    counter, for strictly serial sites (e.g. "kill the process after
  *    the Nth completed chain checkpoint").
  *
- * Compiled-in sites:
- *
- *  | site           | style   | effect                                  |
- *  |----------------|---------|-----------------------------------------|
- *  | ingest-record  | keyed   | chipdb record quarantined as malformed   |
- *  | fit            | counted | budget/TDP fit returns an error          |
- *  | chain          | keyed   | one sweep (node,simp) chain fails        |
- *  | sweep-kill     | counted | process _Exit(3) after a chain completes |
+ * Compiled-in sites are declared in the kFaultSites registry below —
+ * lint rule S004 (src/srccheck) cross-checks that every site string
+ * passed to this API is registered there, that every registered site
+ * is compiled into a production check, and that each one is exercised
+ * by at least one test.
  *
  * An unparseable plan never turns injection on by accident: configure()
  * returns the error and leaves the plan disarmed.
@@ -45,6 +42,34 @@ namespace accelwall::util
 
 /** Exit code used by the `sweep-kill` site's simulated crash. */
 inline constexpr int kFaultKillExitCode = 3;
+
+/** One registered fault-injection site. */
+struct FaultSiteInfo
+{
+    /** The site name as it appears in ACCELWALL_FAULT plans. */
+    const char *site;
+    /** Check style: "keyed" (shouldFail) or "counted". */
+    const char *style;
+    /** What an armed failure does. */
+    const char *effect;
+};
+
+/**
+ * The registry of every compiled-in injection site. Adding a check to
+ * production code means adding a row here (and a robustness test that
+ * arms it) — rule S004 enforces both directions.
+ */
+inline constexpr FaultSiteInfo kFaultSites[] = {
+    { "ingest-record", "keyed",
+      "chipdb record quarantined as malformed" },
+    { "fit", "counted", "budget/TDP fit returns an error" },
+    { "chain", "keyed", "one sweep (node,simp) chain fails" },
+    { "sweep-kill", "counted",
+      "process _Exit(3) after a chain completes" },
+};
+
+/** True when @p site names a registered injection site. */
+bool knownFaultSite(const std::string &site);
 
 /**
  * The process-wide fault plan. Configuration must happen before the

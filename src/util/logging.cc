@@ -57,6 +57,8 @@ logAndDie(LogLevel level, const std::string &msg)
     {
         util::MutexLock lock(log_mu);
         emitLine(std::cerr, level, msg);
+        // srccheck:allow(S006): the process is about to die; flushing
+        // the last line under the lock is the point of this path.
         std::cerr.flush();
     }
     if (level == LogLevel::Panic)

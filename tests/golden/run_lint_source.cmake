@@ -1,0 +1,84 @@
+# Pin the `accelwall-lint --domain source --format json` *schema* on
+# the broken fixture corpus: top-level shape, per-unit keys, diagnostic
+# keys (including the file/line fields the source domain adds to
+# DiagView), and — the real teeth — that every S001..S010 rule fires at
+# least once. A rule that silently stops matching fails here even
+# though the real repo lints clean. Invoked by the
+# golden_lint_source_schema ctest entry with -DTOOL=<accelwall-lint>
+# -DROOT=<fixture dir> -DOUT=<scratch.json>.
+execute_process(
+    COMMAND ${TOOL} --domain source --source-root ${ROOT} --format json
+    RESULT_VARIABLE rc
+    OUTPUT_FILE ${OUT})
+if (rc EQUAL 0)
+    message(FATAL_ERROR
+        "${TOOL} exited 0 on the broken corpus; expected a lint failure")
+endif ()
+file(READ ${OUT} doc)
+
+# check_member(<json> <expected-type> <path...>): the member must exist
+# and string(JSON ... TYPE) must report the expected type.
+function(check_member doc expect)
+    string(JSON actual ERROR_VARIABLE err TYPE "${doc}" ${ARGN})
+    if (err)
+        message(FATAL_ERROR "lint-source json: missing ${ARGN}: ${err}")
+    endif ()
+    if (NOT actual STREQUAL expect)
+        message(FATAL_ERROR
+            "lint-source json: ${ARGN} is ${actual}, expected ${expect}")
+    endif ()
+endfunction()
+
+check_member("${doc}" ARRAY graphs)
+check_member("${doc}" OBJECT summary)
+foreach (key graphs errors warnings notes)
+    check_member("${doc}" NUMBER summary ${key})
+endforeach ()
+
+# Exactly one linted unit: the source corpus itself.
+string(JSON n LENGTH "${doc}" graphs)
+if (NOT n EQUAL 1)
+    message(FATAL_ERROR "expected 1 linted unit, got ${n}")
+endif ()
+check_member("${doc}" STRING graphs 0 name)
+check_member("${doc}" STRING graphs 0 phase)
+foreach (key files lines errors warnings notes)
+    check_member("${doc}" NUMBER graphs 0 ${key})
+endforeach ()
+check_member("${doc}" ARRAY graphs 0 diagnostics)
+string(JSON phase GET "${doc}" graphs 0 phase)
+if (NOT phase STREQUAL "source")
+    message(FATAL_ERROR "unit phase is '${phase}', expected 'source'")
+endif ()
+
+# Every diagnostic carries rule/name/severity/file/message; the source
+# domain locates findings by file, and by line whenever one exists.
+# Collect the fired rule codes along the way.
+string(JSON diags LENGTH "${doc}" graphs 0 diagnostics)
+if (diags EQUAL 0)
+    message(FATAL_ERROR "broken corpus produced no diagnostics")
+endif ()
+set(fired "")
+math(EXPR last "${diags} - 1")
+foreach (i RANGE ${last})
+    foreach (key rule name severity file message)
+        check_member("${doc}" STRING graphs 0 diagnostics ${i} ${key})
+    endforeach ()
+    string(JSON has_line ERROR_VARIABLE no_line TYPE
+        "${doc}" graphs 0 diagnostics ${i} line)
+    if (NOT no_line AND NOT has_line STREQUAL "NUMBER")
+        message(FATAL_ERROR
+            "diagnostic ${i}: line is ${has_line}, expected NUMBER")
+    endif ()
+    string(JSON rule GET "${doc}" graphs 0 diagnostics ${i} rule)
+    list(APPEND fired ${rule})
+endforeach ()
+
+# Coverage pin: the fixture corpus must trip every rule.
+foreach (rule S001 S002 S003 S004 S005 S006 S007 S008 S009 S010)
+    list(FIND fired ${rule} at)
+    if (at EQUAL -1)
+        message(FATAL_ERROR
+            "rule ${rule} did not fire on the broken corpus")
+    endif ()
+endforeach ()

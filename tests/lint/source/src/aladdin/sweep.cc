@@ -1,0 +1,25 @@
+#include <cstdlib>
+
+#include "util/faultinject.hh"
+
+namespace accelwall::aladdin
+{
+
+double
+jitterSample(util::FaultPlan &faults)
+{
+    if (faults.shouldFail("rogue-site")) // S004: not in kFaultSites
+        return 0.0;
+    if (faults.shouldFailCounted("untested-site"))
+        return 1.0;
+    return rand() * 0.5; // S005: ambient randomness in a hot path
+}
+
+void
+writeCheckpoint(Collector &coll)
+{
+    util::MutexLock lock(coll.mu);
+    coll.ckpt.flush(); // S006: blocking call under a live MutexLock
+}
+
+} // namespace accelwall::aladdin

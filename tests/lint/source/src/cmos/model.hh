@@ -1,0 +1,12 @@
+#ifndef FIXTURE_CMOS_MODEL_HH
+#define FIXTURE_CMOS_MODEL_HH
+
+namespace accelwall::cmos
+{
+
+// S008 twice: dimensional names hiding in bare-double parameters.
+double scaleArea(double area_mm2, double feature_nm);
+
+} // namespace accelwall::cmos
+
+#endif // FIXTURE_CMOS_MODEL_HH

@@ -1,0 +1,14 @@
+#include <util/error.hh> // S009: project header with angle brackets
+
+#include "dfg/verify.hh" // S009: own header must be the first include
+
+namespace accelwall::dfg
+{
+
+bool
+verifyGraph()
+{
+    return true;
+}
+
+} // namespace accelwall::dfg

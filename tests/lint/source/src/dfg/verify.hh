@@ -1,0 +1,11 @@
+#ifndef FIXTURE_DFG_VERIFY_HH
+#define FIXTURE_DFG_VERIFY_HH
+
+namespace accelwall::dfg
+{
+
+bool verifyGraph();
+
+} // namespace accelwall::dfg
+
+#endif // FIXTURE_DFG_VERIFY_HH

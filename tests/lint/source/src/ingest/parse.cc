@@ -1,0 +1,21 @@
+#include "util/error.hh"
+#include "util/faultinject.hh"
+
+namespace accelwall
+{
+
+// Raises every registered code except GhostCode, so only GhostCode
+// trips the S002 never-raised audit.
+int
+parseRecord(util::FaultPlan &faults, int kind)
+{
+    if (faults.shouldFail("ingest-record"))
+        return makeError(ErrorCode::ParseSyntax, "injected parse fault");
+    if (kind == 2)
+        return makeError(ErrorCode::LimitBudget, "over budget");
+    if (kind == 3)
+        return makeError(ErrorCode::LimitClash, "conflicting limits");
+    return makeError(ErrorCode::ServeTeapot, "short and stout");
+}
+
+} // namespace accelwall

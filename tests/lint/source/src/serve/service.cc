@@ -1,0 +1,23 @@
+#include "util/error.hh"
+
+namespace accelwall::serve
+{
+
+int
+httpStatusFor(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ParseSyntax: return 400;
+      // ServeTeapot (5099) rides the default branch: S002 flags it in
+      // the registry header.
+      default: return 500;
+    }
+}
+
+void
+handleQuery()
+{
+    fatal("query handler gave up"); // S010: terminator in serve/
+}
+
+} // namespace accelwall::serve

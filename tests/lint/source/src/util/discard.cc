@@ -1,0 +1,12 @@
+#include "util/error.hh"
+
+namespace accelwall::util
+{
+
+void
+ignoreResult()
+{
+    (void)parseRecord(7); // S007: silenced checked return, no reason
+}
+
+} // namespace accelwall::util

@@ -1,0 +1,20 @@
+#include "util/error.hh"
+
+namespace accelwall
+{
+
+const char *
+errorLabel(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "none";
+      case ErrorCode::ParseSyntax: return "parse-syntax";
+      case ErrorCode::LimitBudget: return "limit-budget";
+      case ErrorCode::LimitClash: return "limit-clash";
+      case ErrorCode::ServeTeapot: return "serve-teapot";
+      // GhostCode has no case here: S001 flags it in the registry.
+    }
+    return "unknown";
+}
+
+} // namespace accelwall

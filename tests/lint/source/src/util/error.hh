@@ -1,0 +1,22 @@
+// Fixture registry header. Never compiled — scanned by srccheck only,
+// so the (deliberately ill-formed) duplicate enumerator below is fine.
+#ifndef FIXTURE_UTIL_ERROR_HH
+#define FIXTURE_UTIL_ERROR_HH
+
+namespace accelwall
+{
+
+enum class ErrorCode
+{
+    None = 0,
+    ParseSyntax = 1101, // healthy: labeled, raised, mapped
+    ParseSyntax = 1102, // S001: enumerator defined twice
+    LimitBudget = 1203,
+    LimitClash = 1203,  // S001: reuses code 1203
+    GhostCode = 1404,   // S001: no label case; S002: never raised
+    ServeTeapot = 5099, // S002: not an explicit case in httpStatusFor
+};
+
+} // namespace accelwall
+
+#endif // FIXTURE_UTIL_ERROR_HH

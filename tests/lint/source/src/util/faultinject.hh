@@ -1,0 +1,22 @@
+#ifndef FIXTURE_UTIL_FAULTINJECT_HH
+#define FIXTURE_UTIL_FAULTINJECT_HH
+
+namespace accelwall::util
+{
+
+struct FaultSiteInfo
+{
+    const char *site;
+    const char *style;
+    const char *effect;
+};
+
+inline constexpr FaultSiteInfo kFaultSites[] = {
+    { "ingest-record", "keyed", "healthy: used in src/, named in tests/" },
+    { "orphan-site", "keyed", "S004: never checked under src/" },
+    { "untested-site", "counted", "S004: no test names it" },
+};
+
+} // namespace accelwall::util
+
+#endif // FIXTURE_UTIL_FAULTINJECT_HH

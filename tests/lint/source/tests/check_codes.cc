@@ -1,0 +1,8 @@
+// Fixture test file: exercises fault site ingest-record, and expects
+// error E1101 on bad records — both fine. Citing E7777 is the S003
+// violation: that code is not in the fixture registry.
+int
+main()
+{
+    return 0;
+}

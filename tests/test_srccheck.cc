@@ -1,0 +1,576 @@
+/**
+ * @file
+ * The source lint domain: tokenizer, corpus plumbing, the
+ * srccheck:allow suppression grammar, and one synthetic-corpus case
+ * per S rule. The rules run against in-memory SourceFiles built with
+ * makeSourceFile, so every case is hermetic — the on-disk repo is
+ * covered separately by the lint_source ctest entry.
+ *
+ * Note on string literals here: S003 scans this file's raw text for
+ * Exxxx references, so codes that must NOT exist in the real registry
+ * are split across adjacent literals ("E" "9999" never appears as one
+ * token of text).
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "srccheck/check.hh"
+#include "srccheck/scan.hh"
+#include "srccheck/token.hh"
+
+namespace accelwall::srccheck
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Tokenizer
+
+TEST(Tokenize, KindsAndPositions)
+{
+    TokenStream ts = tokenize("int x = 42;\nreturn x;\n");
+    ASSERT_EQ(ts.tokens.size(), 8u);
+    EXPECT_EQ(ts.tokens[0].kind, TokKind::Identifier);
+    EXPECT_TRUE(ts.tokens[0].isIdent("int"));
+    EXPECT_EQ(ts.tokens[0].line, 1u);
+    EXPECT_TRUE(ts.tokens[2].isPunct('='));
+    EXPECT_EQ(ts.tokens[3].kind, TokKind::Number);
+    EXPECT_EQ(ts.tokens[3].text, "42");
+    EXPECT_EQ(ts.tokens[5].line, 2u);
+    EXPECT_EQ(ts.lines, 2u); // a trailing newline opens no third line
+}
+
+TEST(Tokenize, CommentsAreCapturedNotTokenized)
+{
+    TokenStream ts = tokenize("a; // trailing note\nb;\n");
+    ASSERT_EQ(ts.comments.size(), 1u);
+    EXPECT_EQ(ts.comments[0].line, 1u);
+    EXPECT_NE(ts.comments[0].text.find("trailing note"),
+              std::string::npos);
+    // Only `a ; b ;` tokenize.
+    EXPECT_EQ(ts.tokens.size(), 4u);
+}
+
+TEST(Tokenize, BlockCommentSplitsPerLine)
+{
+    TokenStream ts = tokenize("/* one\n   two */ c;\n");
+    ASSERT_EQ(ts.comments.size(), 2u);
+    EXPECT_EQ(ts.comments[0].line, 1u);
+    EXPECT_EQ(ts.comments[1].line, 2u);
+    EXPECT_NE(ts.comments[1].text.find("two"), std::string::npos);
+    EXPECT_EQ(ts.tokens.size(), 2u); // c ;
+}
+
+TEST(Tokenize, DirectiveJoinsContinuationLines)
+{
+    TokenStream ts = tokenize("#define WIDE(a) \\\n    (a + 1)\nx;\n");
+    ASSERT_EQ(ts.directives.size(), 1u);
+    EXPECT_EQ(ts.directives[0].line, 1u);
+    EXPECT_NE(ts.directives[0].text.find("WIDE"), std::string::npos);
+    EXPECT_NE(ts.directives[0].text.find("(a + 1)"), std::string::npos);
+    // The directive body never leaks into the token stream.
+    ASSERT_EQ(ts.tokens.size(), 2u);
+    EXPECT_TRUE(ts.tokens[0].isIdent("x"));
+    EXPECT_EQ(ts.tokens[0].line, 3u);
+}
+
+TEST(Tokenize, StringQuoteEscapesAreDecoded)
+{
+    // Policy: \" and \\ are unescaped (so embedded quotes read
+    // naturally), every other escape stays verbatim.
+    TokenStream ts = tokenize("f(\"say \\\"hi\\\\n\\\"\", 'c');\n");
+    ASSERT_EQ(ts.tokens.size(), 7u);
+    EXPECT_EQ(ts.tokens[2].kind, TokKind::String);
+    EXPECT_EQ(ts.tokens[2].text, "say \"hi\\n\"");
+    EXPECT_EQ(ts.tokens[4].kind, TokKind::Char);
+}
+
+TEST(Tokenize, RawStringsKeepQuotesAndBackslashes)
+{
+    TokenStream ts = tokenize("auto s = R\"(say \"hi\\n\")\";\n");
+    ASSERT_EQ(ts.tokens.size(), 5u);
+    EXPECT_EQ(ts.tokens[3].kind, TokKind::String);
+    EXPECT_EQ(ts.tokens[3].text, "say \"hi\\n\"");
+}
+
+// ---------------------------------------------------------------------
+// Corpus plumbing
+
+TEST(Corpus, MakeSourceFileTokenizesOnlyCxx)
+{
+    SourceFile cc = makeSourceFile("src/a.cc", "int x;\n");
+    EXPECT_TRUE(cc.tokenized);
+    SourceFile sh = makeSourceFile("tools/run.sh", "echo hi\n");
+    EXPECT_FALSE(sh.tokenized);
+    EXPECT_TRUE(sh.stream.tokens.empty());
+}
+
+TEST(Corpus, FindAndTotalLines)
+{
+    Corpus c;
+    c.files.push_back(makeSourceFile("src/a.cc", "int x;\nint y;\n"));
+    c.files.push_back(makeSourceFile("src/b.cc", "int z;\n"));
+    ASSERT_NE(c.find("src/b.cc"), nullptr);
+    EXPECT_EQ(c.find("src/nope.cc"), nullptr);
+    EXPECT_EQ(c.totalLines(), 3u);
+}
+
+TEST(Corpus, LoadCorpusRejectsBadRoot)
+{
+    auto r = loadCorpus("/nonexistent/srccheck-root");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::SrcScanIo);
+}
+
+// ---------------------------------------------------------------------
+// Suppressions
+
+// One S007 violation, suppressible in every supported placement.
+Report
+checkDiscardFile(const std::string &body)
+{
+    Corpus c;
+    c.files.push_back(makeSourceFile("src/x.cc", body));
+    return check(c);
+}
+
+TEST(Allow, UnsuppressedViolationFires)
+{
+    Report r = checkDiscardFile("void f() { (void)g(); }\n");
+    EXPECT_TRUE(r.fired(RuleId::DiscardAudit));
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Allow, TrailingMarkerCoversItsOwnLine)
+{
+    Report r = checkDiscardFile(
+        "void f() { (void)g(); } // srccheck:allow(S007): advisory\n");
+    EXPECT_FALSE(r.fired(RuleId::DiscardAudit));
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Allow, MarkerOnLineAboveCoversNextLine)
+{
+    Report r = checkDiscardFile("// srccheck:allow(S007): advisory\n"
+                                "void f() { (void)g(); }\n");
+    EXPECT_FALSE(r.fired(RuleId::DiscardAudit));
+}
+
+TEST(Allow, MultiLineJustificationReachesTheStatement)
+{
+    // The reason spans three comment lines; the window must extend
+    // through the block to the first code line after it.
+    Report r = checkDiscardFile(
+        "// srccheck:allow(S007): the return value is advisory\n"
+        "// here because the caller re-derives the same state on\n"
+        "// the next tick anyway.\n"
+        "void f() { (void)g(); }\n");
+    EXPECT_FALSE(r.fired(RuleId::DiscardAudit));
+}
+
+TEST(Allow, MarkerDoesNotLeakPastTheNextCodeLine)
+{
+    Report r = checkDiscardFile("// srccheck:allow(S007): only line 2\n"
+                                "int ok;\n"
+                                "void f() { (void)g(); }\n");
+    EXPECT_TRUE(r.fired(RuleId::DiscardAudit));
+}
+
+TEST(Allow, ListedRulesOnlyDisarmThemselves)
+{
+    Report r = checkDiscardFile("// srccheck:allow(S006, S009)\n"
+                                "void f() { (void)g(); }\n");
+    EXPECT_TRUE(r.fired(RuleId::DiscardAudit));
+}
+
+// ---------------------------------------------------------------------
+// S001..S003: the error-code registry
+
+// A minimal healthy registry corpus the cases below perturb.
+std::vector<std::pair<std::string, std::string>>
+healthyRegistry()
+{
+    return {
+        { "src/util/error.hh",
+          "enum class ErrorCode\n{\n    None = 0,\n"
+          "    AlphaBad = 1101,\n};\n" },
+        { "src/util/error.cc",
+          "#include \"util/error.hh\"\n"
+          "const char *label(ErrorCode c)\n{\n"
+          "    switch (c) {\n"
+          "      case ErrorCode::None: return \"none\";\n"
+          "      case ErrorCode::AlphaBad: return \"alpha\";\n"
+          "    }\n    return \"\";\n}\n" },
+        { "src/ingest/a.cc",
+          "int f()\n{\n"
+          "    return makeError(ErrorCode::AlphaBad, \"x\");\n}\n" },
+    };
+}
+
+Report
+checkFiles(std::vector<std::pair<std::string, std::string>> files,
+           Options options = {})
+{
+    Corpus c;
+    for (auto &[path, text] : files)
+        c.files.push_back(makeSourceFile(std::move(path),
+                                         std::move(text)));
+    return check(c, options);
+}
+
+TEST(Registry, HealthyCorpusIsClean)
+{
+    Report r = checkFiles(healthyRegistry());
+    EXPECT_TRUE(r.ok()) << (r.diagnostics.empty()
+                                ? "no diagnostics"
+                                : r.diagnostics[0].str());
+    EXPECT_EQ(r.num_errors + r.num_warnings, 0u);
+}
+
+TEST(Registry, DuplicateEnumeratorFiresS001)
+{
+    auto files = healthyRegistry();
+    files[0].second =
+        "enum class ErrorCode\n{\n    None = 0,\n"
+        "    AlphaBad = 1101,\n    AlphaBad = 1102,\n};\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeRegistry));
+}
+
+TEST(Registry, ValueCollisionFiresS001)
+{
+    auto files = healthyRegistry();
+    files[0].second =
+        "enum class ErrorCode\n{\n    None = 0,\n"
+        "    AlphaBad = 1101,\n    BetaBad = 1101,\n};\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeRegistry));
+}
+
+TEST(Registry, MissingLabelCaseFiresS001)
+{
+    auto files = healthyRegistry();
+    files[0].second =
+        "enum class ErrorCode\n{\n    None = 0,\n"
+        "    AlphaBad = 1101,\n    BetaBad = 1102,\n};\n";
+    // BetaBad is raised (so S002 stays quiet) but never labeled.
+    files[2].second =
+        "int f()\n{\n"
+        "    makeError(ErrorCode::AlphaBad, \"x\");\n"
+        "    return makeError(ErrorCode::BetaBad, \"y\");\n}\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeRegistry));
+    EXPECT_FALSE(r.fired(RuleId::ErrorCodeRaised));
+}
+
+TEST(Registry, SecondEnumDefinitionFiresS001)
+{
+    auto files = healthyRegistry();
+    files.emplace_back("src/rogue/codes.hh",
+                       "enum class ErrorCode\n{\n    Hmm = 7,\n};\n");
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeRegistry));
+}
+
+TEST(Registry, NeverRaisedCodeFiresS002)
+{
+    auto files = healthyRegistry();
+    files[0].second =
+        "enum class ErrorCode\n{\n    None = 0,\n"
+        "    AlphaBad = 1101,\n    GhostBad = 1102,\n};\n";
+    files[1].second =
+        "const char *label(ErrorCode c)\n{\n"
+        "    switch (c) {\n"
+        "      case ErrorCode::None: return \"none\";\n"
+        "      case ErrorCode::AlphaBad: return \"alpha\";\n"
+        "      case ErrorCode::GhostBad: return \"ghost\";\n"
+        "    }\n    return \"\";\n}\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeRaised));
+    EXPECT_FALSE(r.fired(RuleId::ErrorCodeRegistry));
+}
+
+TEST(Registry, ServeCodeOffTheHttpMapFiresS002)
+{
+    auto files = healthyRegistry();
+    files[0].second =
+        "enum class ErrorCode\n{\n    None = 0,\n"
+        "    AlphaBad = 1101,\n    ServeBad = 5042,\n};\n";
+    files[1].second =
+        "const char *label(ErrorCode c)\n{\n"
+        "    switch (c) {\n"
+        "      case ErrorCode::None: return \"none\";\n"
+        "      case ErrorCode::AlphaBad: return \"alpha\";\n"
+        "      case ErrorCode::ServeBad: return \"serve\";\n"
+        "    }\n    return \"\";\n}\n";
+    files[2].second =
+        "int f()\n{\n"
+        "    makeError(ErrorCode::AlphaBad, \"x\");\n"
+        "    return makeError(ErrorCode::ServeBad, \"y\");\n}\n";
+    // httpStatusFor exists but ServeBad rides its default branch.
+    files.emplace_back(
+        "src/serve/service.cc",
+        "int httpStatusFor(ErrorCode c)\n{\n"
+        "    switch (c) {\n"
+        "      case ErrorCode::AlphaBad: return 400;\n"
+        "      default: return 500;\n    }\n}\n");
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeRaised));
+
+    // Adding the explicit case clears it.
+    files.back().second =
+        "int httpStatusFor(ErrorCode c)\n{\n"
+        "    switch (c) {\n"
+        "      case ErrorCode::AlphaBad: return 400;\n"
+        "      case ErrorCode::ServeBad: return 503;\n"
+        "      default: return 500;\n    }\n}\n";
+    Report clean = checkFiles(files);
+    EXPECT_FALSE(clean.fired(RuleId::ErrorCodeRaised));
+}
+
+TEST(Registry, UnknownCitedCodeFiresS003)
+{
+    auto files = healthyRegistry();
+    files.emplace_back("tests/test_a.cc",
+                       std::string("// expects code E") +
+                           "9999 from the parser\nint main() {}\n");
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::ErrorCodeReference));
+
+    // A known code (and a five-digit number) are both fine.
+    files.back().second = std::string("// expects E") +
+                          "1101; serial E" + "123456 is not a code\n" +
+                          "int main() {}\n";
+    Report clean = checkFiles(files);
+    EXPECT_FALSE(clean.fired(RuleId::ErrorCodeReference));
+}
+
+// ---------------------------------------------------------------------
+// S004: fault sites
+
+std::vector<std::pair<std::string, std::string>>
+healthyFaultCorpus()
+{
+    return {
+        { "src/util/faultinject.hh",
+          "struct FaultSiteInfo { const char *site; };\n"
+          "inline constexpr FaultSiteInfo kFaultSites[] = {\n"
+          "    { \"fit\", \"counted\", \"fit fails\" },\n};\n" },
+        { "src/aladdin/model.cc",
+          "int f(FaultPlan &p)\n{\n"
+          "    if (p.shouldFailCounted(\"fit\"))\n        return 1;\n"
+          "    return 0;\n}\n" },
+        { "tests/test_faults.cc",
+          "// exercises site fit via --fault fit:2\nint main() {}\n" },
+    };
+}
+
+TEST(FaultSites, HealthyCorpusIsClean)
+{
+    Report r = checkFiles(healthyFaultCorpus());
+    EXPECT_FALSE(r.fired(RuleId::FaultSiteConsistency));
+}
+
+TEST(FaultSites, UnregisteredUseFires)
+{
+    auto files = healthyFaultCorpus();
+    files[1].second =
+        "int f(FaultPlan &p)\n{\n"
+        "    if (p.shouldFail(\"rogue\"))\n        return 1;\n"
+        "    if (p.shouldFailCounted(\"fit\"))\n        return 2;\n"
+        "    return 0;\n}\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::FaultSiteConsistency));
+}
+
+TEST(FaultSites, RegisteredButUncheckedFires)
+{
+    auto files = healthyFaultCorpus();
+    files[0].second =
+        "struct FaultSiteInfo { const char *site; };\n"
+        "inline constexpr FaultSiteInfo kFaultSites[] = {\n"
+        "    { \"fit\", \"counted\", \"fit fails\" },\n"
+        "    { \"orphan\", \"keyed\", \"nobody checks this\" },\n};\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::FaultSiteConsistency));
+}
+
+TEST(FaultSites, RegisteredButUntestedFires)
+{
+    auto files = healthyFaultCorpus();
+    files[2].second = "// mentions no site at all\nint main() {}\n";
+    Report r = checkFiles(files);
+    EXPECT_TRUE(r.fired(RuleId::FaultSiteConsistency));
+}
+
+// ---------------------------------------------------------------------
+// S005..S010: per-file hygiene
+
+TEST(Hygiene, ClockInHotPathFiresS005)
+{
+    Report r = checkFiles(
+        { { "src/aladdin/eval.cc",
+            "double f()\n{\n    return rand() * 0.5;\n}\n" } });
+    EXPECT_TRUE(r.fired(RuleId::DeterminismHygiene));
+
+    // The same identifier as a member access is somebody's field.
+    Report member = checkFiles(
+        { { "src/aladdin/eval.cc",
+            "double f(Bound b, Bound *p)\n{\n"
+            "    return b.time + p->time;\n}\n" } });
+    EXPECT_FALSE(member.fired(RuleId::DeterminismHygiene));
+
+    // Outside the hot paths the rule does not apply.
+    Report cold = checkFiles(
+        { { "src/plot/render.cc",
+            "double f()\n{\n    return rand() * 0.5;\n}\n" } });
+    EXPECT_FALSE(cold.fired(RuleId::DeterminismHygiene));
+}
+
+TEST(Hygiene, QualifiedTimeStillFiresS005)
+{
+    Report r = checkFiles(
+        { { "src/csr/fit.cc",
+            "long f()\n{\n    return std::time(nullptr);\n}\n" } });
+    EXPECT_TRUE(r.fired(RuleId::DeterminismHygiene));
+}
+
+TEST(Hygiene, BlockingUnderLockFiresS006AsWarning)
+{
+    Report r = checkFiles(
+        { { "src/util/log.cc",
+            "void f()\n{\n    MutexLock lock(mu);\n"
+            "    out.flush();\n}\n" } });
+    ASSERT_TRUE(r.fired(RuleId::LockDiscipline));
+    EXPECT_EQ(r.num_warnings, 1u);
+    EXPECT_TRUE(r.ok()); // warning-severity by default
+
+    Options strict;
+    strict.warnings_as_errors = true;
+    Report esc = checkFiles(
+        { { "src/util/log.cc",
+            "void f()\n{\n    MutexLock lock(mu);\n"
+            "    out.flush();\n}\n" } },
+        strict);
+    EXPECT_FALSE(esc.ok());
+}
+
+TEST(Hygiene, LockScopeEndsAtTheClosingBrace)
+{
+    Report r = checkFiles(
+        { { "src/util/log.cc",
+            "void f()\n{\n    {\n        MutexLock lock(mu);\n"
+            "        x = 1;\n    }\n    out.flush();\n}\n" } });
+    EXPECT_FALSE(r.fired(RuleId::LockDiscipline));
+}
+
+TEST(Hygiene, VoidZeroMacroIdiomPassesS007)
+{
+    Report r = checkFiles(
+        { { "src/util/macros.hh",
+            "void f()\n{\n    (void)0;\n}\n" } });
+    EXPECT_FALSE(r.fired(RuleId::DiscardAudit));
+}
+
+TEST(Hygiene, DimensionalDoubleParamFiresS008)
+{
+    Report r = checkFiles(
+        { { "src/cmos/scale.hh",
+            "double scaleArea(double area_mm2);\n" } });
+    EXPECT_TRUE(r.fired(RuleId::UnitsEscapeHatch));
+
+    // Struct members at paren depth zero are the ingest boundary.
+    Report member = checkFiles(
+        { { "src/cmos/scale.hh",
+            "struct Row\n{\n    double area_mm2 = 0.0;\n};\n" } });
+    EXPECT_FALSE(member.fired(RuleId::UnitsEscapeHatch));
+}
+
+TEST(Hygiene, AngleProjectIncludeFiresS009)
+{
+    Report r = checkFiles(
+        { { "src/util/error.hh", "enum class E { };\n" },
+          { "src/csr/load.cc",
+            "#include <util/error.hh>\nint x;\n" } });
+    EXPECT_TRUE(r.fired(RuleId::IncludeHygiene));
+}
+
+TEST(Hygiene, OwnHeaderNotFirstFiresS009)
+{
+    Report r = checkFiles(
+        { { "src/csr/load.hh", "int load();\n" },
+          { "src/csr/load.cc",
+            "#include <vector>\n#include \"csr/load.hh\"\n"
+            "int load() { return 1; }\n" } });
+    EXPECT_TRUE(r.fired(RuleId::IncludeHygiene));
+
+    Report clean = checkFiles(
+        { { "src/csr/load.hh", "int load();\n" },
+          { "src/csr/load.cc",
+            "#include \"csr/load.hh\"\n#include <vector>\n"
+            "int load() { return 1; }\n" } });
+    EXPECT_FALSE(clean.fired(RuleId::IncludeHygiene));
+}
+
+TEST(Hygiene, FatalInServeFiresS010)
+{
+    Report r = checkFiles(
+        { { "src/serve/handler.cc",
+            "void f()\n{\n    fatal(\"boom\");\n}\n" } });
+    EXPECT_TRUE(r.fired(RuleId::FatalPathAudit));
+
+    // The same call outside serve/ is somebody's deliberate policy.
+    Report ok = checkFiles(
+        { { "src/util/die.cc",
+            "void f()\n{\n    fatal(\"boom\");\n}\n" } });
+    EXPECT_FALSE(ok.fired(RuleId::FatalPathAudit));
+}
+
+// ---------------------------------------------------------------------
+// Report machinery
+
+TEST(Report, DiagnosticStrFormat)
+{
+    Report r = checkFiles(
+        { { "src/serve/handler.cc",
+            "void f()\n{\n    abort();\n}\n" } });
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].str().substr(0, 26),
+              "src/serve/handler.cc:3: er");
+    EXPECT_NE(r.diagnostics[0].str().find("S010 fatal-path-audit"),
+              std::string::npos);
+}
+
+TEST(Report, MaxDiagnosticsCapCountsTheRest)
+{
+    Options opts;
+    opts.max_diagnostics = 1;
+    Report r = checkFiles(
+        { { "src/serve/handler.cc",
+            "void f()\n{\n    abort();\n    abort();\n"
+            "    abort();\n}\n" } },
+        opts);
+    EXPECT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.suppressed, 2u);
+    EXPECT_EQ(r.num_errors, 3u); // counters keep the true totals
+    EXPECT_NE(r.summary().find("capped"), std::string::npos);
+}
+
+TEST(Report, RuleCodesAreStable)
+{
+    EXPECT_STREQ(ruleCode(RuleId::ErrorCodeRegistry), "S001");
+    EXPECT_STREQ(ruleCode(RuleId::FatalPathAudit), "S010");
+    EXPECT_STREQ(ruleName(RuleId::DeterminismHygiene),
+                 "determinism-hygiene");
+    EXPECT_EQ(defaultSeverity(RuleId::LockDiscipline),
+              Severity::Warning);
+    EXPECT_EQ(defaultSeverity(RuleId::ErrorCodeRegistry),
+              Severity::Error);
+}
+
+} // namespace
+} // namespace accelwall::srccheck

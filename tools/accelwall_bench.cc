@@ -118,6 +118,8 @@ runSweepWorkload(const std::vector<Simulator> &sims,
 
     EngineStats stats;
     // Warm up allocators / page in the code path, untimed.
+    // srccheck:allow(S007): the warm-up result is irrelevant by
+    // construction; the timed repeats below check their own.
     (void)aladdin::runSweepChecked(sims.front(), cfg, opts);
 
     for (int r = 0; r < repeat; ++r) {

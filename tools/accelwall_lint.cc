@@ -1,16 +1,21 @@
 /**
  * @file
- * accelwall-lint: static model-integrity checking across two rule
- * domains — the kernel DFGs/rewrites (V/R rules) and the numerical
- * model inputs (M rules: scaling table, budget fits, chip corpus).
+ * accelwall-lint: static model-integrity checking across three rule
+ * domains — the kernel DFGs/rewrites (V/R rules), the numerical model
+ * inputs (M rules: scaling table, budget fits, chip corpus), and the
+ * repository's own sources (S rules: error codes, fault sites,
+ * determinism, lock discipline).
  *
  * Usage: accelwall-lint [options] [KERNEL ...]
  *
- *   --domain dfg|model|all  which rule domain to run (default all)
+ *   --domain dfg|model|source|all
+ *                           which rule domain to run (default all)
  *   --format text|json      diagnostic output format (default text)
  *   --strict                treat warnings as errors for the exit code
  *   --verbose               also print note-severity diagnostics
- *   --list-rules            print both rule tables and exit
+ *   --list-rules            print all rule tables and exit
+ *   --source-root DIR       checkout the source domain scans (default:
+ *                           the configure-time source directory)
  *   --demo-broken           lint intentionally broken graphs instead of
  *                           the registry (exits nonzero; used by ctest)
  *   --demo-broken-model     audit intentionally corrupted model inputs
@@ -21,8 +26,10 @@
  * the Figure 11 example. Each kernel is verified as built, then pushed
  * through every dfgopt rewrite in before/after mode. The model domain
  * audits the shipped scaling table, budget model, and reference corpus
- * against rules M001..M010. Exits 1 if any rule fires at error
- * severity.
+ * against rules M001..M010. The source domain tokenizes the checkout
+ * and runs rules S001..S010 (the seeded-broken corpus under
+ * tests/lint/source/ proves each one fires). Exits 1 if any rule
+ * fires at error severity.
  */
 
 #include <functional>
@@ -37,6 +44,7 @@
 #include "dfgopt/rewrites.hh"
 #include "kernels/kernels.hh"
 #include "modelcheck/check.hh"
+#include "srccheck/check.hh"
 #include "util/format.hh"
 #include "util/json.hh"
 
@@ -55,6 +63,8 @@ struct LintConfig
     bool verbose = false;
     bool run_dfg = true;
     bool run_model = true;
+    bool run_source = true;
+    std::string source_root = cli::kSourceRoot;
 };
 
 /**
@@ -73,6 +83,9 @@ struct DiagView
     std::optional<dfg::NodeId> node;
     std::optional<std::pair<dfg::NodeId, dfg::NodeId>> edge;
     std::optional<std::size_t> row;
+    /** Source-domain position (root-relative file, 1-based line). */
+    std::optional<std::string> file;
+    std::optional<std::size_t> line;
 };
 
 /** One linted unit: a graph, a rewrite output, or a model audit. */
@@ -153,6 +166,40 @@ fromModelReport(const modelcheck::Inputs &inputs,
         v.rendered = d.str();
         v.is_note = d.severity == modelcheck::Severity::Note;
         v.row = d.row;
+        res.diags.push_back(std::move(v));
+    }
+    return res;
+}
+
+LintResult
+fromSourceReport(const srccheck::Corpus &corpus,
+                 const srccheck::Report &report)
+{
+    LintResult res;
+    res.name = "source";
+    res.phase = "source";
+    std::ostringstream shape;
+    shape << corpus.files.size() << " files, " << corpus.totalLines()
+          << " lines";
+    res.shape = shape.str();
+    res.stats = { { "files", corpus.files.size() },
+                  { "lines", corpus.totalLines() } };
+    res.errors = report.num_errors;
+    res.warnings = report.num_warnings;
+    res.notes = report.num_notes;
+    res.ok = report.ok();
+    res.summary = report.summary();
+    for (const srccheck::Diagnostic &d : report.diagnostics) {
+        DiagView v;
+        v.rule = srccheck::ruleCode(d.rule);
+        v.name = srccheck::ruleName(d.rule);
+        v.severity = srccheck::severityName(d.severity);
+        v.message = d.message;
+        v.rendered = d.str();
+        v.is_note = d.severity == srccheck::Severity::Note;
+        v.file = d.file;
+        if (d.line > 0)
+            v.line = d.line;
         res.diags.push_back(std::move(v));
     }
     return res;
@@ -345,6 +392,10 @@ printJson(const std::vector<LintResult> &results, std::ostream &os)
             }
             if (diag.row)
                 w.key("row").value(*diag.row);
+            if (diag.file)
+                w.key("file").value(*diag.file);
+            if (diag.line)
+                w.key("line").value(*diag.line);
             w.key("message").value(diag.message);
             w.endObject();
         }
@@ -407,14 +458,22 @@ listRules(std::ostream &os)
            << modelcheck::severityName(modelcheck::defaultSeverity(rule))
            << "   model inputs\n";
     }
+    for (int i = 0; i < srccheck::kNumRules; ++i) {
+        auto rule = static_cast<srccheck::RuleId>(i);
+        os << srccheck::ruleCode(rule) << "  "
+           << padRight(srccheck::ruleName(rule), 22) << " "
+           << srccheck::severityName(srccheck::defaultSeverity(rule))
+           << "   repo sources\n";
+    }
 }
 
 int
 usage()
 {
-    std::cerr << "usage: accelwall-lint [--domain dfg|model|all]\n"
+    std::cerr << "usage: accelwall-lint [--domain dfg|model|source|all]\n"
               << "                      [--format text|json] [--strict]\n"
               << "                      [--verbose] [--list-rules]\n"
+              << "                      [--source-root DIR]\n"
               << "                      [--demo-broken]\n"
               << "                      [--demo-broken-model]\n"
               << "                      [KERNEL ...]\n";
@@ -449,11 +508,20 @@ main(int argc, char **argv)
             std::string domain = argv[++i];
             if (domain == "dfg") {
                 cfg.run_model = false;
+                cfg.run_source = false;
             } else if (domain == "model") {
                 cfg.run_dfg = false;
+                cfg.run_source = false;
+            } else if (domain == "source") {
+                cfg.run_dfg = false;
+                cfg.run_model = false;
             } else if (domain != "all") {
                 return usage();
             }
+        } else if (arg == "--source-root") {
+            if (i + 1 >= argc)
+                return usage();
+            cfg.source_root = argv[++i];
         } else if (arg == "--strict") {
             cfg.strict = true;
         } else if (arg == "--verbose") {
@@ -515,6 +583,18 @@ main(int argc, char **argv)
             results.push_back(fromModelReport(
                 inputs, modelcheck::check(inputs, model_options)));
         }
+    }
+    if (cfg.run_source && !demo_broken && !demo_broken_model) {
+        srccheck::Options source_options;
+        source_options.warnings_as_errors = cfg.strict;
+        auto corpus = srccheck::loadCorpus(cfg.source_root);
+        if (!corpus.ok()) {
+            std::cerr << corpus.error().str() << "\n";
+            return 1;
+        }
+        results.push_back(fromSourceReport(
+            corpus.value(),
+            srccheck::check(corpus.value(), source_options)));
     }
 
     if (cfg.json)

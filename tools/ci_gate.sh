@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# The CI gate: every static and dynamic check the repo owns, run as
+# named stages whose exit codes are AGGREGATED into one-screen summary
+# (the old run_static_checks.sh died at the first failure, which hid
+# every finding after it). Stages:
+#
+#   build / ctest         plain build + the full tier-1 suite (includes
+#                         the lint, lint_model, lint_source ctest
+#                         entries and their seeded-broken twins)
+#   lint --strict         accelwall-lint over all three domains (dfg
+#                         graphs, model inputs, repo sources) with
+#                         warnings escalated
+#   headercheck           one generated TU per public src/ header:
+#                         self-containment + include guards, compiled
+#   asan / ubsan          sanitizer builds + full ctest
+#   tsan                  ThreadSanitizer build running the parallel,
+#                         robustness, serve, and sweepdiff labels
+#   asan loadgen smoke    instrumented daemon + load generator, mixed
+#                         closed-loop workload, graceful drain
+#   asan bench smoke      both sweep engines + the serve mix under ASan
+#   clang thread-safety   -Werror=thread-safety build (Clang only; the
+#                         capability annotations compile away on gcc)
+#   clang-tidy            the ACCELWALL_TIDY preset — tidy runs
+#                         alongside every src/ compile
+#
+# The last two SKIP with a notice when clang++ / clang-tidy are not
+# installed. Usage: tools/ci_gate.sh [build-dir-prefix]; trees land in
+# <prefix>, <prefix>-asan, <prefix>-ubsan, <prefix>-tsan,
+# <prefix>-clang, <prefix>-tidy (default prefix: build-checks). Exits
+# nonzero when any stage failed.
+
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-checks}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+gate_rc=0
+summary=()
+
+# stage <name> <command...>: run, record PASS/FAIL, keep going.
+stage() {
+    local name="$1"
+    shift
+    echo
+    echo "=== ${name} ==="
+    if "$@"; then
+        summary+=("PASS  ${name}")
+    else
+        summary+=("FAIL  ${name}")
+        gate_rc=1
+    fi
+}
+
+skip() {
+    echo
+    echo "=== ${1}: skipped (${2}) ==="
+    summary+=("SKIP  ${1} (${2})")
+}
+
+configure_and_build() {
+    local dir="$1"
+    shift
+    cmake -B "${dir}" -S . "$@" >/dev/null &&
+        cmake --build "${dir}" -j "${jobs}"
+}
+
+run_ctest() {
+    local dir="$1" labels="${2:-}"
+    if [ -n "${labels}" ]; then
+        ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
+            -L "${labels}"
+    else
+        ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+    fi
+}
+
+stage "build" configure_and_build "${prefix}"
+stage "ctest (tier-1)" run_ctest "${prefix}"
+stage "lint --strict (dfg+model+source)" \
+    "${prefix}/tools/accelwall-lint" --strict
+stage "headercheck" \
+    cmake --build "${prefix}" -j "${jobs}" --target headercheck
+
+stage "asan build" configure_and_build "${prefix}-asan" \
+    -DACCELWALL_ASAN=ON
+stage "asan ctest" run_ctest "${prefix}-asan"
+stage "ubsan build" configure_and_build "${prefix}-ubsan" \
+    -DACCELWALL_UBSAN=ON
+stage "ubsan ctest" run_ctest "${prefix}-ubsan"
+stage "tsan build" configure_and_build "${prefix}-tsan" \
+    -DACCELWALL_TSAN=ON
+stage "tsan ctest (parallel|robustness|serve|sweepdiff)" \
+    run_ctest "${prefix}-tsan" "parallel|robustness|serve|sweepdiff"
+
+# The loadgen smoke under ASan: daemon and generator both
+# instrumented, 1k mixed requests, graceful drain. (The plain-build
+# smoke already ran inside tier-1 ctest via the serve label.)
+stage "asan loadgen smoke" bash tests/serve/run_loadgen_smoke.sh \
+    "${prefix}-asan/tools/accelwall-serve" \
+    "${prefix}-asan/tools/accelwall-loadgen"
+
+# The perf runner under ASan: both sweep engines plus the serve mix on
+# the pinned workload. Output goes to a scratch dir — the committed
+# BENCH_*.json trajectories are only refreshed by
+# bench/run_bench_trajectory.sh on an uninstrumented build.
+stage "asan bench smoke" "${prefix}-asan/tools/accelwall-bench" \
+    --repeat 2 --grid quick \
+    --sweep-out "${prefix}-asan/BENCH_sweep.smoke.json" \
+    --serve-out "${prefix}-asan/BENCH_serve.smoke.json"
+
+if command -v clang++ >/dev/null 2>&1; then
+    # Thread-safety analysis only exists under Clang; the top-level
+    # CMakeLists adds -Werror=thread-safety automatically there, so a
+    # plain configure+build IS the check — a failure means a lock
+    # annotation was violated.
+    stage "clang thread-safety build" \
+        configure_and_build "${prefix}-clang" \
+        -DCMAKE_CXX_COMPILER=clang++
+else
+    skip "clang thread-safety build" "clang++ not installed"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    stage "clang-tidy (ACCELWALL_TIDY preset)" \
+        configure_and_build "${prefix}-tidy" -DACCELWALL_TIDY=ON
+else
+    skip "clang-tidy" "clang-tidy not installed; config: .clang-tidy"
+fi
+
+echo
+echo "== ci gate summary =="
+for row in "${summary[@]}"; do
+    echo "  ${row}"
+done
+if [ "${gate_rc}" -ne 0 ]; then
+    echo "GATE: FAIL"
+else
+    echo "GATE: PASS"
+fi
+exit "${gate_rc}"

@@ -1,98 +1,6 @@
 #!/usr/bin/env bash
-# Run the full static-analysis battery:
-#
-#   1. A plain build with the tier-1 test suite (includes the `lint`
-#      and `lint_broken` ctest entries driving accelwall-lint).
-#   2. An AddressSanitizer build + full ctest.
-#   3. An UndefinedBehaviorSanitizer build + full ctest.
-#   4. A ThreadSanitizer build running the `parallel`, `robustness`,
-#      `serve`, and `sweepdiff` labels (the concurrent sweep, its
-#      error boundary/checkpoint writes, the fault-injection suite,
-#      the multi-threaded HTTP server + its loadgen smoke, and the
-#      SoA-vs-legacy differential harness).
-#   5. A Clang build with -Wthread-safety -Werror=thread-safety, the
-#      only compiler that checks the util/thread_annotations.hh
-#      capability attributes (skipped with a notice when clang++ is
-#      not installed — the container ships gcc only, where the
-#      annotations compile away).
-#   6. clang-tidy over src/ (skipped with a notice when clang-tidy is
-#      not installed).
-#
-# Usage: tools/run_static_checks.sh [build-dir-prefix]
-#
-# Build trees land in <prefix>, <prefix>-asan, <prefix>-ubsan,
-# <prefix>-tsan (default prefix: build-checks). Exits nonzero on the
-# first failure.
-
-set -euo pipefail
-
-cd "$(dirname "$0")/.."
-prefix="${1:-build-checks}"
-jobs="$(nproc 2>/dev/null || echo 4)"
-
-run_suite() {
-    local dir="$1" labels="$2"
-    shift 2
-    echo "=== configure ${dir} ($*) ==="
-    cmake -B "${dir}" -S . "$@" >/dev/null
-    echo "=== build ${dir} ==="
-    cmake --build "${dir}" -j "${jobs}"
-    echo "=== ctest ${dir} ==="
-    if [ -n "${labels}" ]; then
-        ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" \
-            -L "${labels}"
-    else
-        ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
-    fi
-}
-
-run_suite "${prefix}" ""
-run_suite "${prefix}-asan" "" -DACCELWALL_ASAN=ON
-run_suite "${prefix}-ubsan" "" -DACCELWALL_UBSAN=ON
-run_suite "${prefix}-tsan" "parallel|robustness|serve|sweepdiff" \
-    -DACCELWALL_TSAN=ON
-
-# The loadgen smoke under ASan: daemon and generator both
-# instrumented, 1k mixed requests, graceful drain. (The plain-build
-# smoke already ran inside the first run_suite via the serve label.)
-echo "=== asan loadgen smoke ==="
-bash tests/serve/run_loadgen_smoke.sh \
-    "${prefix}-asan/tools/accelwall-serve" \
-    "${prefix}-asan/tools/accelwall-loadgen"
-
-# The perf runner under ASan: both sweep engines plus the serve mix on
-# the pinned workload, instrumented end to end. Output goes to a
-# scratch dir — the committed BENCH_*.json trajectory files are only
-# refreshed by bench/run_bench_trajectory.sh on an uninstrumented
-# build.
-echo "=== asan bench smoke ==="
-"${prefix}-asan/tools/accelwall-bench" --repeat 2 --grid quick \
-    --sweep-out "${prefix}-asan/BENCH_sweep.smoke.json" \
-    --serve-out "${prefix}-asan/BENCH_serve.smoke.json"
-
-echo "=== lint (strict) ==="
-"${prefix}/tools/accelwall-lint" --strict
-
-if command -v clang++ >/dev/null 2>&1; then
-    # Thread-safety analysis only runs under Clang; the top-level
-    # CMakeLists turns the -Wthread-safety flags on automatically when
-    # the compiler is Clang, so a plain configure+build is the check.
-    # A build failure here IS the finding (a lock annotation violated).
-    echo "=== clang thread-safety build ==="
-    cmake -B "${prefix}-clang" -S . \
-        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
-    cmake --build "${prefix}-clang" -j "${jobs}"
-else
-    echo "=== clang++ not installed; skipping thread-safety analysis ==="
-fi
-
-if command -v clang-tidy >/dev/null 2>&1; then
-    echo "=== clang-tidy ==="
-    cmake -B "${prefix}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    find src -name '*.cc' -print0 |
-        xargs -0 -P "${jobs}" -n 1 clang-tidy -p "${prefix}" --quiet
-else
-    echo "=== clang-tidy not installed; skipping (config: .clang-tidy) ==="
-fi
-
-echo "All static checks passed."
+# Compatibility shim: the static-analysis battery moved to
+# tools/ci_gate.sh, which runs the same stages (plus headercheck and
+# the ACCELWALL_TIDY preset) but aggregates their exit codes into a
+# one-screen pass/fail summary instead of dying at the first failure.
+exec "$(dirname "$0")/ci_gate.sh" "$@"
