@@ -1,15 +1,39 @@
 #include "serve/client.hh"
 
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hh"
 #include "util/socket.hh"
 
 namespace accelwall::serve
 {
 
-Result<HttpResponse>
-httpRequest(const std::string &host, int port, const std::string &method,
-            const std::string &target, const std::string &body,
-            int deadline_ms)
+namespace
 {
+
+using Clock = std::chrono::steady_clock;
+
+/** Milliseconds left until @p deadline, clamped at >= 0. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/**
+ * One wire attempt. @p sent_any is set once request bytes may have
+ * reached the server — the line between "retry freely" and "retry
+ * only if idempotent".
+ */
+Result<HttpResponse>
+attemptOnce(const std::string &host, int port, const std::string &method,
+            const std::string &target, const std::string &body,
+            int deadline_ms, bool *sent_any)
+{
+    *sent_any = false;
     auto fd = util::tcpConnect(host, port, deadline_ms);
     if (!fd.ok())
         return fd.error();
@@ -22,6 +46,7 @@ httpRequest(const std::string &host, int port, const std::string &method,
     wire += "Connection: close\r\n\r\n";
     wire += body;
 
+    *sent_any = true;
     if (auto sent = util::sendAll(fd.value().get(), wire, deadline_ms);
         !sent.ok())
         return sent.error();
@@ -32,6 +57,282 @@ httpRequest(const std::string &host, int port, const std::string &method,
     // server is willing to emit.
     limits.max_body_bytes = 64 * 1024 * 1024;
     return readResponse(fd.value().get(), limits);
+}
+
+/** Parse a Retry-After header (delta-seconds form only); -1 if unusable. */
+int
+retryAfterMs(const HttpResponse &res)
+{
+    auto it = res.headers.find("retry-after");
+    if (it == res.headers.end())
+        return -1;
+    const std::string &raw = it->second;
+    if (raw.empty() || raw.size() > 4)
+        return -1;
+    int seconds = 0;
+    for (char c : raw) {
+        if (c < '0' || c > '9')
+            return -1; // HTTP-date form: ignore, use backoff
+        seconds = seconds * 10 + (c - '0');
+    }
+    return seconds * 1000;
+}
+
+} // namespace
+
+Result<HttpResponse>
+httpRequest(const std::string &host, int port, const std::string &method,
+            const std::string &target, const std::string &body,
+            int deadline_ms)
+{
+    bool sent_any = false;
+    return attemptOnce(host, port, method, target, body, deadline_ms,
+                       &sent_any);
+}
+
+const char *
+breakerStateLabel(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed: return "closed";
+      case BreakerState::Open: return "open";
+      case BreakerState::HalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+Client::Client(std::string host, int port, RetryPolicy retry,
+               BreakerPolicy breaker)
+    : host_(std::move(host)), port_(port), retry_(retry),
+      breaker_(breaker)
+{
+}
+
+Result<HttpResponse>
+Client::get(const std::string &target)
+{
+    return request("GET", target, "", true);
+}
+
+Result<HttpResponse>
+Client::post(const std::string &target, const std::string &body,
+             bool idempotent)
+{
+    return request("POST", target, body, idempotent);
+}
+
+int
+Client::backoffMs(std::uint64_t serial, int attempt,
+                  int retry_after_ms) const
+{
+    if (retry_after_ms >= 0 && retry_.honor_retry_after) {
+        return retry_after_ms < retry_.max_backoff_ms
+                   ? retry_after_ms
+                   : retry_.max_backoff_ms;
+    }
+    // Exponential base capped, then half fixed + half jittered. The
+    // jitter draw is a pure function of (seed, serial, attempt): two
+    // runs with the same seed back off identically, while concurrent
+    // workers in one run still decorrelate (DESIGN §11).
+    std::int64_t base = retry_.base_backoff_ms;
+    for (int i = 1; i < attempt && base < retry_.max_backoff_ms; ++i)
+        base *= 2;
+    if (base > retry_.max_backoff_ms)
+        base = retry_.max_backoff_ms;
+    if (base <= 1)
+        return static_cast<int>(base);
+    Rng rng(retry_.jitter_seed ^ (serial * 0x9e3779b97f4a7c15ull) ^
+            (static_cast<std::uint64_t>(attempt) << 32));
+    std::int64_t half = base / 2;
+    auto jitter = static_cast<std::int64_t>(
+        rng.nextU64() % static_cast<std::uint64_t>(half + 1));
+    return static_cast<int>(half + jitter);
+}
+
+Result<HttpResponse>
+Client::request(const std::string &method, const std::string &target,
+                const std::string &body, bool idempotent)
+{
+    const std::uint64_t serial =
+        serial_.fetch_add(1, std::memory_order_relaxed);
+    auto overall_deadline =
+        Clock::now() +
+        std::chrono::milliseconds(retry_.overall_deadline_ms);
+
+    Error last_error = makeError(ErrorCode::ClientRetriesExhausted,
+                                 "no attempt was made");
+    for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+        Admit admit = breakerAdmit();
+        if (admit == Admit::Reject) {
+            fast_fails_.fetch_add(1, std::memory_order_relaxed);
+            return makeError(ErrorCode::ClientCircuitOpen,
+                             "circuit breaker open for ", host_, ":",
+                             port_, " (", method, " ", target, ")");
+        }
+        const bool probe = admit == Admit::AllowProbe;
+
+        int overall_left = remainingMs(overall_deadline);
+        if (overall_left == 0) {
+            return makeError(ErrorCode::ClientDeadline,
+                             "overall deadline (",
+                             retry_.overall_deadline_ms,
+                             "ms) expired after ", attempt - 1,
+                             " attempts: ", last_error.str());
+        }
+        int attempt_deadline =
+            overall_left < retry_.attempt_deadline_ms
+                ? overall_left
+                : retry_.attempt_deadline_ms;
+
+        if (attempt > 1) {
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            if (metrics_ != nullptr)
+                metrics_->recordRetry();
+        }
+
+        bool sent_any = false;
+        auto res = attemptOnce(host_, port_, method, target, body,
+                               attempt_deadline, &sent_any);
+
+        if (res.ok()) {
+            const HttpResponse &response = res.value();
+            const bool try_again =
+                response.status == 503 || response.status == 408;
+            if (!try_again) {
+                breakerOnSuccess();
+                return res;
+            }
+            // An explicit shed: retryable regardless of idempotency
+            // (the server promises it did not execute the request).
+            breakerOnFailure(probe);
+            if (attempt == retry_.max_attempts)
+                return res; // surface the final 503/408 as-is
+            int delay = backoffMs(serial, attempt,
+                                  retryAfterMs(response));
+            if (delay >= remainingMs(overall_deadline)) {
+                return makeError(
+                    ErrorCode::ClientDeadline, "overall deadline (",
+                    retry_.overall_deadline_ms,
+                    "ms) would expire during the ", delay,
+                    "ms backoff after HTTP ", response.status);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            continue;
+        }
+
+        breakerOnFailure(probe);
+        last_error = res.error();
+        // Retry gate: a failure before any byte was sent is always
+        // safe; afterwards only idempotent requests may be replayed.
+        if (sent_any && !idempotent)
+            return last_error;
+        if (attempt == retry_.max_attempts)
+            break;
+        int delay = backoffMs(serial, attempt, -1);
+        if (delay >= remainingMs(overall_deadline)) {
+            return makeError(ErrorCode::ClientDeadline,
+                             "overall deadline (",
+                             retry_.overall_deadline_ms,
+                             "ms) would expire during the ", delay,
+                             "ms backoff: ", last_error.str());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+
+    return makeError(ErrorCode::ClientRetriesExhausted, "gave up after ",
+                     retry_.max_attempts, " attempts (", method, " ",
+                     target, "): ", last_error.str());
+}
+
+Client::Admit
+Client::breakerAdmit()
+{
+    util::MutexLock lock(mu_);
+    switch (state_) {
+      case BreakerState::Closed:
+        return Admit::Allow;
+      case BreakerState::Open:
+        if (++rejected_while_open_ > breaker_.cooldown_rejects) {
+            state_ = BreakerState::HalfOpen;
+            probe_inflight_ = true;
+            publishStateLocked();
+            return Admit::AllowProbe;
+        }
+        return Admit::Reject;
+      case BreakerState::HalfOpen:
+        if (probe_inflight_)
+            return Admit::Reject; // one probe at a time
+        probe_inflight_ = true;
+        return Admit::AllowProbe;
+    }
+    return Admit::Allow;
+}
+
+void
+Client::breakerOnSuccess()
+{
+    util::MutexLock lock(mu_);
+    consecutive_failures_ = 0;
+    probe_inflight_ = false;
+    if (state_ != BreakerState::Closed) {
+        state_ = BreakerState::Closed;
+        publishStateLocked();
+    }
+}
+
+void
+Client::breakerOnFailure(bool was_probe)
+{
+    util::MutexLock lock(mu_);
+    if (was_probe || state_ == BreakerState::HalfOpen) {
+        // Failed probe: back to Open, restart the cooldown.
+        state_ = BreakerState::Open;
+        rejected_while_open_ = 0;
+        probe_inflight_ = false;
+        publishStateLocked();
+        return;
+    }
+    if (state_ != BreakerState::Closed)
+        return;
+    if (++consecutive_failures_ >= breaker_.failure_threshold) {
+        state_ = BreakerState::Open;
+        rejected_while_open_ = 0;
+        opens_.fetch_add(1, std::memory_order_relaxed);
+        publishStateLocked();
+    }
+}
+
+void
+Client::publishStateLocked()
+{
+    if (metrics_ != nullptr)
+        metrics_->setBreakerState(static_cast<int>(state_));
+}
+
+std::uint64_t
+Client::retries() const
+{
+    return retries_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Client::breakerFastFails() const
+{
+    return fast_fails_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Client::breakerOpens() const
+{
+    return opens_.load(std::memory_order_relaxed);
+}
+
+BreakerState
+Client::breakerState() const
+{
+    util::MutexLock lock(mu_);
+    return state_;
 }
 
 } // namespace accelwall::serve

@@ -1,17 +1,38 @@
 /**
  * @file
- * Minimal blocking HTTP client for the serve subsystem's own
- * consumers: the load generator and the test suite. One request per
+ * HTTP clients for the serve subsystem's own consumers: the load
+ * generator, the chaos suite, and the tests. One request per
  * connection, mirroring the server's Connection: close policy.
+ *
+ * Two layers:
+ *
+ *  - httpRequest(): the primitive. Connect, send, read, close; any
+ *    network hiccup is the caller's problem.
+ *  - Client: the resilient wrapper the chaos suite is built around.
+ *    Per-attempt and overall deadlines, exponential backoff with
+ *    deterministic seeded jitter (no ambient randomness — reruns with
+ *    the same seed retry at the same points), `Retry-After`-aware 503
+ *    handling, idempotency-gated retries, and a circuit breaker with
+ *    half-open probing. Terminal outcomes surface as stable E52xx
+ *    codes (client-retries-exhausted, client-circuit-open,
+ *    client-deadline); see README "Resilience" and DESIGN §11.
+ *
+ * The breaker deliberately measures its cooldown in *rejected
+ * requests*, not wall time: chaos tests assert exact state sequences,
+ * and a clock-based cooldown would make those assertions racy.
  */
 
 #ifndef ACCELWALL_SERVE_CLIENT_HH
 #define ACCELWALL_SERVE_CLIENT_HH
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "serve/http.hh"
+#include "serve/metrics.hh"
 #include "util/error.hh"
+#include "util/thread_annotations.hh"
 
 namespace accelwall::serve
 {
@@ -31,6 +52,140 @@ Result<HttpResponse> httpRequest(const std::string &host, int port,
                                  const std::string &target,
                                  const std::string &body = "",
                                  int deadline_ms = 5000);
+
+/** Retry/backoff knobs for Client. Defaults suit the test harness. */
+struct RetryPolicy
+{
+    /** Total tries per request, including the first (>= 1). */
+    int max_attempts = 4;
+    /** Backoff before retry k is ~base * 2^(k-1), jittered. */
+    int base_backoff_ms = 5;
+    /** Cap on any single backoff, including honored Retry-After. */
+    int max_backoff_ms = 200;
+    /** Seed for the deterministic jitter (same seed, same delays). */
+    std::uint64_t jitter_seed = 1;
+    /** Wall budget for one connect+send+read attempt. */
+    int attempt_deadline_ms = 2000;
+    /** Wall budget for the whole request including backoffs. */
+    int overall_deadline_ms = 10000;
+    /** Use a 503's Retry-After header (seconds, capped) as the delay. */
+    bool honor_retry_after = true;
+};
+
+/** Circuit-breaker knobs for Client. */
+struct BreakerPolicy
+{
+    /** Consecutive attempt failures that trip Closed -> Open. */
+    int failure_threshold = 5;
+    /**
+     * Attempts rejected while Open before the next one is let through
+     * as the half-open probe. Counted in requests, not seconds, so
+     * breaker trajectories are schedule-independent (DESIGN §11).
+     */
+    int cooldown_rejects = 2;
+};
+
+/** Breaker states; numeric values are the breaker_state gauge. */
+enum class BreakerState
+{
+    Closed = 0,
+    Open = 1,
+    HalfOpen = 2,
+};
+
+/** "closed" / "open" / "half-open". */
+const char *breakerStateLabel(BreakerState state);
+
+/**
+ * Resilient one-request-per-connection client for a single host:port.
+ * Thread-safe; the breaker is shared across all threads using the
+ * instance, which is the point — it models the callers' collective
+ * view of the upstream's health.
+ */
+class Client
+{
+  public:
+    Client(std::string host, int port, RetryPolicy retry = {},
+           BreakerPolicy breaker = {});
+
+    /** Publish retries/breaker state to @p metrics (may be null). */
+    void setMetrics(Metrics *metrics) { metrics_ = metrics; }
+
+    /**
+     * Issue one request with retries. @p idempotent gates retrying
+     * after bytes may have reached the server: a non-idempotent
+     * request is only retried when the failure provably preceded the
+     * send (connect phase) or the server said "try again" (503/408).
+     *
+     * Returns the final HttpResponse (any status) on convergence;
+     * E5201 when attempts were exhausted on transport errors, E5202
+     * when the breaker fast-failed the request, E5203 when the
+     * overall deadline expired first. Non-retryable transport errors
+     * pass through unchanged.
+     */
+    Result<HttpResponse> request(const std::string &method,
+                                 const std::string &target,
+                                 const std::string &body = "",
+                                 bool idempotent = true);
+
+    /** GET, always idempotent. */
+    Result<HttpResponse> get(const std::string &target);
+
+    /**
+     * POST; @p idempotent should be true only when the endpoint is
+     * safe to replay (all current /v1/ endpoints are pure queries).
+     */
+    Result<HttpResponse> post(const std::string &target,
+                              const std::string &body,
+                              bool idempotent = true);
+
+    /** Retry attempts performed (total, all requests). */
+    std::uint64_t retries() const;
+
+    /** Requests fast-failed by the breaker. */
+    std::uint64_t breakerFastFails() const;
+
+    /** Closed -> Open transitions seen so far. */
+    std::uint64_t breakerOpens() const;
+
+    /** Current breaker state. */
+    BreakerState breakerState() const;
+
+  private:
+    /** Verdict of breakerAdmit for one attempt. */
+    enum class Admit
+    {
+        Allow,
+        AllowProbe,
+        Reject,
+    };
+
+    Admit breakerAdmit() EXCLUDES(mu_);
+    void breakerOnSuccess() EXCLUDES(mu_);
+    void breakerOnFailure(bool was_probe) EXCLUDES(mu_);
+    void publishStateLocked() REQUIRES(mu_);
+
+    /** Deterministic backoff before retry @p attempt of @p serial. */
+    int backoffMs(std::uint64_t serial, int attempt,
+                  int retry_after_ms) const;
+
+    std::string host_;
+    int port_;
+    RetryPolicy retry_;
+    BreakerPolicy breaker_;
+    Metrics *metrics_ = nullptr;
+
+    std::atomic<std::uint64_t> serial_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> fast_fails_{0};
+    std::atomic<std::uint64_t> opens_{0};
+
+    mutable util::Mutex mu_;
+    BreakerState state_ GUARDED_BY(mu_) = BreakerState::Closed;
+    int consecutive_failures_ GUARDED_BY(mu_) = 0;
+    int rejected_while_open_ GUARDED_BY(mu_) = 0;
+    bool probe_inflight_ GUARDED_BY(mu_) = false;
+};
 
 } // namespace accelwall::serve
 

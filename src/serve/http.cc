@@ -206,9 +206,17 @@ readRequest(int fd, const HttpLimits &limits)
 {
     auto deadline =
         Clock::now() + std::chrono::milliseconds(limits.read_deadline_ms);
+    // The head gets its own, tighter budget: a slow-loris peer must
+    // not be able to hold a handler for the whole request deadline by
+    // dripping one header byte at a time.
+    int head_ms = limits.head_read_deadline_ms < limits.read_deadline_ms
+                      ? limits.head_read_deadline_ms
+                      : limits.read_deadline_ms;
+    auto head_deadline =
+        Clock::now() + std::chrono::milliseconds(head_ms);
     std::string buf;
-    auto head_end =
-        readUntil(fd, buf, "\r\n\r\n", limits.max_head_bytes, deadline);
+    auto head_end = readUntil(fd, buf, "\r\n\r\n", limits.max_head_bytes,
+                              head_deadline);
     if (!head_end.ok())
         return head_end.error();
 

@@ -22,7 +22,7 @@
 namespace accelwall::serve
 {
 
-/** Framing limits and the per-request read deadline. */
+/** Framing limits and the per-request read deadlines. */
 struct HttpLimits
 {
     /** Cap on the request head (request line + headers). */
@@ -31,6 +31,12 @@ struct HttpLimits
     std::size_t max_body_bytes = 1024 * 1024;
     /** Total wall-clock budget for reading one request, ms. */
     int read_deadline_ms = 2000;
+    /**
+     * Tighter budget for the head alone (slow-loris defense: a peer
+     * dripping header bytes is cut off well before the full request
+     * budget). Values above read_deadline_ms are clamped to it.
+     */
+    int head_read_deadline_ms = 1000;
 };
 
 /** One parsed request. */

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/faultinject.hh"
 #include "util/json.hh"
 
 namespace accelwall::serve
@@ -44,6 +45,18 @@ statusClassLabel(StatusClass sc)
       case StatusClass::Ok2xx: return "2xx";
       case StatusClass::ClientError4xx: return "4xx";
       case StatusClass::ServerError5xx: return "5xx";
+    }
+    return "?";
+}
+
+const char *
+abortCauseLabel(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::AcceptFault: return "accept-fault";
+      case AbortCause::ReadTimeout: return "read-timeout";
+      case AbortCause::ReadError: return "read-error";
+      case AbortCause::WriteError: return "write-error";
     }
     return "?";
 }
@@ -93,6 +106,25 @@ Metrics::recordShed()
 }
 
 void
+Metrics::recordAbort(AbortCause cause)
+{
+    aborts_[static_cast<std::size_t>(cause)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+Metrics::recordRetry()
+{
+    retries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Metrics::setBreakerState(int state)
+{
+    breaker_state_.store(state, std::memory_order_relaxed);
+}
+
+void
 Metrics::incInflight()
 {
     inflight_.fetch_add(1, std::memory_order_relaxed);
@@ -123,6 +155,25 @@ std::uint64_t
 Metrics::shedCount() const
 {
     return shed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Metrics::abortCount(AbortCause cause) const
+{
+    return aborts_[static_cast<std::size_t>(cause)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+Metrics::retriesTotal() const
+{
+    return retries_.load(std::memory_order_relaxed);
+}
+
+int
+Metrics::breakerState() const
+{
+    return breaker_state_.load(std::memory_order_relaxed);
 }
 
 std::int64_t
@@ -201,6 +252,35 @@ Metrics::renderPrometheus(const CacheStats &cache) const
           "# TYPE accelwall_cache_hit_ratio gauge\n"
           "accelwall_cache_hit_ratio "
        << fmtJsonNumber(cache.hitRatio()) << "\n";
+
+    os << "# HELP accelwall_connection_aborts_total Connections "
+          "dropped without a complete exchange, by cause.\n"
+          "# TYPE accelwall_connection_aborts_total counter\n";
+    for (int c = 0; c < kNumAbortCauses; ++c) {
+        auto cause = static_cast<AbortCause>(c);
+        os << "accelwall_connection_aborts_total{cause=\""
+           << abortCauseLabel(cause) << "\"} " << abortCount(cause)
+           << "\n";
+    }
+
+    os << "# HELP accelwall_retries_total Resilient-client retry "
+          "attempts.\n"
+          "# TYPE accelwall_retries_total counter\n"
+          "accelwall_retries_total "
+       << retriesTotal() << "\n";
+    os << "# HELP accelwall_breaker_state Client circuit breaker "
+          "(0=closed, 1=open, 2=half-open).\n"
+          "# TYPE accelwall_breaker_state gauge\n"
+          "accelwall_breaker_state "
+       << breakerState() << "\n";
+
+    // Process-wide, read straight from the fault plan: the scrape is
+    // the ground truth the chaos suite compares reruns against.
+    os << "# HELP accelwall_faults_injected_total Faults fired by the "
+          "active ACCELWALL_FAULT plan.\n"
+          "# TYPE accelwall_faults_injected_total counter\n"
+          "accelwall_faults_injected_total "
+       << util::FaultPlan::global().totalInjected() << "\n";
 
     os << "# HELP accelwall_inflight_requests Requests being handled "
           "right now.\n"

@@ -11,6 +11,10 @@
  *   accelwall_inflight_requests                gauge
  *   accelwall_cache_{hits,misses,evictions,insertions}_total
  *   accelwall_cache_entries / accelwall_cache_hit_ratio
+ *   accelwall_connection_aborts_total{cause}   counter (chaos triage)
+ *   accelwall_retries_total                    counter (client retries)
+ *   accelwall_breaker_state                    gauge (0/1/2 = C/O/HO)
+ *   accelwall_faults_injected_total            counter (FaultPlan)
  *
  * Counters are relaxed atomics: every hot-path touch is a single
  * fetch_add, and Prometheus scrapes tolerate torn-across-counters
@@ -64,6 +68,26 @@ const char *statusClassLabel(StatusClass sc);
 StatusClass classifyStatus(int status);
 
 /**
+ * The bounded label set for connections dropped without a complete
+ * request/response exchange — the chaos suite's triage dimension.
+ */
+enum class AbortCause
+{
+    /** accept-time failure (ECONNABORTED or injected accept-fail). */
+    AcceptFault,
+    /** head/body read deadline hit (slow-loris, stalled peer). */
+    ReadTimeout,
+    /** unreadable request: recv error or unanswerable framing. */
+    ReadError,
+    /** response write failed (peer reset, mid-body drop). */
+    WriteError,
+};
+inline constexpr int kNumAbortCauses = 4;
+
+/** Label value, e.g. "read-timeout". */
+const char *abortCauseLabel(AbortCause cause);
+
+/**
  * Latency histogram bucket upper bounds, seconds. Cumulative buckets
  * plus +Inf are rendered per the Prometheus histogram convention.
  */
@@ -84,12 +108,24 @@ class Metrics
     /** Count one connection shed by admission control. */
     void recordShed();
 
+    /** Count one aborted connection, by cause. */
+    void recordAbort(AbortCause cause);
+
+    /** Count one client retry attempt (resilient serve::Client). */
+    void recordRetry();
+
+    /** Publish the client circuit-breaker state (0/1/2 = C/O/HO). */
+    void setBreakerState(int state);
+
     void incInflight();
     void decInflight();
 
     std::uint64_t requestCount(Endpoint ep, StatusClass sc) const;
     std::uint64_t totalRequests() const;
     std::uint64_t shedCount() const;
+    std::uint64_t abortCount(AbortCause cause) const;
+    std::uint64_t retriesTotal() const;
+    int breakerState() const;
     std::int64_t inflight() const;
 
     /**
@@ -109,6 +145,9 @@ class Metrics
     /** Sum in nanoseconds so the hot path stays integer-atomic. */
     std::atomic<std::uint64_t> latency_sum_ns_{0};
     std::atomic<std::uint64_t> shed_{0};
+    std::array<std::atomic<std::uint64_t>, kNumAbortCauses> aborts_{};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<int> breaker_state_{0};
     std::atomic<std::int64_t> inflight_{0};
 };
 

@@ -80,6 +80,12 @@ Server::installSignalHandlers()
     sa.sa_flags = 0; // interrupt blocking calls so the drain is prompt
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+    // Belt and braces on top of MSG_NOSIGNAL: a peer resetting
+    // mid-write must never be able to kill the daemon.
+    struct sigaction ign{};
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    sigaction(SIGPIPE, &ign, nullptr);
 }
 
 void
@@ -117,9 +123,13 @@ Server::acceptLoop()
         }
         auto conn = util::tcpAccept(listen_fd_.get());
         if (!conn.ok()) {
-            if (conn.error().code() == ErrorCode::ServeConnection)
-                continue; // transient (ECONNABORTED / EINTR)
-            break;        // listener gone: treat as a stop request
+            if (conn.error().code() == ErrorCode::ServeConnection) {
+                // Transient (ECONNABORTED or injected accept-fail):
+                // the peer is gone, count it and keep accepting.
+                service_.metrics().recordAbort(AbortCause::AcceptFault);
+                continue;
+            }
+            break; // listener gone: treat as a stop request
         }
         bool accepted = false;
         {
@@ -153,11 +163,11 @@ Server::shed(util::Fd fd)
     HttpResponse res = errorResponse(
         makeError(ErrorCode::ServeOverloaded,
                   "accept queue full; retry after the backlog drains"));
+    service_.metrics().recordRequest(Endpoint::Other, res.status, 0.0);
     // Best-effort, short deadline: a shed peer gets one small write.
     // srccheck:allow(S007): the 503 reply is advisory; a peer that
     // cannot take it gets the same outcome (a dropped connection).
     (void)util::sendAll(fd.get(), serializeResponse(res), 100);
-    service_.metrics().recordRequest(Endpoint::Other, res.status, 0.0);
 }
 
 void
@@ -165,6 +175,7 @@ Server::handlerLoop()
 {
     while (true) {
         util::Fd conn;
+        bool draining = false;
         {
             util::MutexLock lock(mu_);
             cv_.wait(mu_, [this]() REQUIRES(mu_) {
@@ -174,21 +185,37 @@ Server::handlerLoop()
                 return; // draining and nothing left
             conn = std::move(queue_.front());
             queue_.pop_front();
+            draining = draining_;
         }
-        handleConnection(std::move(conn));
+        handleConnection(std::move(conn), draining);
     }
 }
 
 void
-Server::handleConnection(util::Fd fd)
+Server::handleConnection(util::Fd fd, bool draining)
 {
     service_.metrics().incInflight();
     auto start = std::chrono::steady_clock::now();
 
+    // During a drain the backlog must clear in bounded time: cap the
+    // read deadlines so a stalled peer cannot hold shutdown hostage.
+    HttpLimits limits = options_.limits;
+    if (draining) {
+        if (limits.read_deadline_ms > options_.drain_deadline_ms)
+            limits.read_deadline_ms = options_.drain_deadline_ms;
+        if (limits.head_read_deadline_ms > options_.drain_deadline_ms)
+            limits.head_read_deadline_ms = options_.drain_deadline_ms;
+    }
+
     HttpResponse res;
     Endpoint endpoint = Endpoint::Other;
-    auto request = readRequest(fd.get(), options_.limits);
+    auto request = readRequest(fd.get(), limits);
     if (!request.ok()) {
+        ErrorCode code = request.error().code();
+        if (code == ErrorCode::HttpDeadline)
+            service_.metrics().recordAbort(AbortCause::ReadTimeout);
+        else if (code == ErrorCode::ServeConnection)
+            service_.metrics().recordAbort(AbortCause::ReadError);
         res = errorResponse(request.error());
     } else {
         endpoint = classifyEndpoint(request.value().target);
@@ -196,17 +223,21 @@ Server::handleConnection(util::Fd fd)
     }
 
     std::string wire = serializeResponse(res);
-    // A peer that vanished mid-write is its own problem; the request
-    // is still recorded below. srccheck:allow(S007): nothing to do
-    // with the write error — the connection closes either way.
-    (void)util::sendAll(fd.get(), wire, options_.limits.read_deadline_ms);
-    fd.reset();
-
+    // Record before the bytes go out, so a client holding the
+    // response is guaranteed to see it counted on a follow-up
+    // /metrics scrape; the latency histogram covers read + handle +
+    // serialize, not transmission. A peer that vanishes mid-write is
+    // its own problem — the failed write is recorded as an abort.
     double seconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
     service_.metrics().recordRequest(endpoint, res.status, seconds);
+    if (auto sent =
+            util::sendAll(fd.get(), wire, limits.read_deadline_ms);
+        !sent.ok())
+        service_.metrics().recordAbort(AbortCause::WriteError);
+    fd.reset();
     service_.metrics().decInflight();
 }
 

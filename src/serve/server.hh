@@ -46,6 +46,13 @@ struct ServerOptions
      */
     std::size_t accept_queue = 64;
     HttpLimits limits;
+    /**
+     * Read-deadline cap applied to connections handled *during a
+     * drain*: the graceful-shutdown promise is "answer everything
+     * already accepted", and a slow-loris peer in the backlog must
+     * not be able to stretch that into an unbounded shutdown.
+     */
+    int drain_deadline_ms = 250;
     ServiceOptions service;
 };
 
@@ -89,7 +96,7 @@ class Server
   private:
     void acceptLoop();
     void handlerLoop();
-    void handleConnection(util::Fd fd);
+    void handleConnection(util::Fd fd, bool draining);
     /** Answer 503 + Retry-After straight from the acceptor. */
     void shed(util::Fd fd);
 

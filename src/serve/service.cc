@@ -30,6 +30,12 @@ httpStatusFor(ErrorCode code)
       case ErrorCode::ServeBind:
       case ErrorCode::ServeConnection:
       case ErrorCode::Internal: return 500;
+      // Client-side (52xx) codes never ride the wire as a response,
+      // but keep the contract total: surfaced through a gateway they
+      // all mean "upstream unavailable right now, try again later".
+      case ErrorCode::ClientRetriesExhausted:
+      case ErrorCode::ClientCircuitOpen:
+      case ErrorCode::ClientDeadline: return 503;
       default:
         // Every parse/validation/fit/sweep-input code is the
         // client's input being wrong.

@@ -47,6 +47,10 @@ errorCodeLabel(ErrorCode code)
       case ErrorCode::ServeSweepTooLarge: return "serve-sweep-too-large";
       case ErrorCode::ServeBind: return "serve-bind";
       case ErrorCode::ServeConnection: return "serve-connection";
+      case ErrorCode::ClientRetriesExhausted:
+          return "client-retries-exhausted";
+      case ErrorCode::ClientCircuitOpen: return "client-circuit-open";
+      case ErrorCode::ClientDeadline: return "client-deadline";
       case ErrorCode::SrcScanIo: return "src-scan-io";
       case ErrorCode::FaultInjected: return "fault-injected";
       case ErrorCode::Internal: return "internal";

@@ -85,6 +85,12 @@ enum class ErrorCode
     ServeBind = 5008,
     ServeConnection = 5009,
 
+    // 52xx: the resilient serve client (serve/client.hh). Raised on
+    // the caller's side of the wire, after the retry policy gave up.
+    ClientRetriesExhausted = 5201,
+    ClientCircuitOpen = 5202,
+    ClientDeadline = 5203,
+
     // 6xxx: source-consistency lint (srccheck).
     SrcScanIo = 6001,
 

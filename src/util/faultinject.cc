@@ -102,7 +102,10 @@ FaultPlan::shouldFail(const std::string &site, std::uint64_t key) const
     auto it = sites_.find(site);
     if (it == sites_.end())
         return false;
-    return (key + 1) % it->second->period == 0;
+    if ((key + 1) % it->second->period != 0)
+        return false;
+    it->second->injected.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
 bool
@@ -113,7 +116,28 @@ FaultPlan::shouldFailCounted(const std::string &site)
         return false;
     std::uint64_t call =
         it->second->calls.fetch_add(1, std::memory_order_relaxed) + 1;
-    return call % it->second->period == 0;
+    if (call % it->second->period != 0)
+        return false;
+    it->second->injected.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint64_t
+FaultPlan::injectedCount(const std::string &site) const
+{
+    auto it = sites_.find(site);
+    if (it == sites_.end())
+        return 0;
+    return it->second->injected.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FaultPlan::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (const auto &entry : sites_)
+        total += entry.second->injected.load(std::memory_order_relaxed);
+    return total;
 }
 
 Error

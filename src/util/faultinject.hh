@@ -66,6 +66,23 @@ inline constexpr FaultSiteInfo kFaultSites[] = {
     { "chain", "keyed", "one sweep (node,simp) chain fails" },
     { "sweep-kill", "counted",
       "process _Exit(3) after a chain completes" },
+    // Socket-level sites, threaded through src/util/socket.cc. All
+    // counted: the network layer has no caller-supplied key, and the
+    // sites that must be schedule-deterministic (accept/send) are
+    // called a structurally fixed number of times per connection
+    // (DESIGN §11).
+    { "accept-fail", "counted",
+      "accepted connection closed immediately (client sees reset)" },
+    { "recv-short", "counted",
+      "recv clamped to 1 byte (forces reassembly loops)" },
+    { "recv-stall", "counted",
+      "recv reports a read deadline without waiting" },
+    { "send-partial", "counted",
+      "send clamped to 1 byte (forces completion loop)" },
+    { "send-reset", "counted",
+      "send fails as if the peer reset the connection" },
+    { "conn-drop-mid-body", "counted",
+      "half the payload sent, then the socket is shut down" },
 };
 
 /** True when @p site names a registered injection site. */
@@ -112,6 +129,17 @@ class FaultPlan
     bool shouldFailCounted(const std::string &site)
         NO_THREAD_SAFETY_ANALYSIS;
 
+    /**
+     * Number of times @p site actually fired (a shouldFail /
+     * shouldFailCounted call returned true) since it was configured.
+     * Zero for unarmed sites. configure()/clear() reset the count.
+     */
+    std::uint64_t injectedCount(const std::string &site) const
+        NO_THREAD_SAFETY_ANALYSIS;
+
+    /** Sum of injectedCount over every armed site. */
+    std::uint64_t totalInjected() const NO_THREAD_SAFETY_ANALYSIS;
+
   private:
     FaultPlan() = default;
 
@@ -119,6 +147,7 @@ class FaultPlan
     {
         std::uint64_t period = 0;
         std::atomic<std::uint64_t> calls{0};
+        std::atomic<std::uint64_t> injected{0};
     };
 
     void clearLocked() REQUIRES(config_mu_);

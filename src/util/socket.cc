@@ -11,6 +11,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+
+#include "util/faultinject.hh"
 #include "util/logging.hh"
 
 namespace accelwall::util
@@ -36,6 +39,46 @@ remainingMs(Clock::time_point deadline)
     return left.count() > 0 ? static_cast<int>(left.count()) : 0;
 }
 
+/**
+ * poll(2) with an EINTR retry loop. A signal landing mid-wait must not
+ * surface as a timeout or a connection error; retry with the time that
+ * is actually left. @p timeout_ms < 0 waits forever, matching poll.
+ */
+int
+pollRetry(pollfd *pfds, nfds_t count, int timeout_ms)
+{
+    if (timeout_ms < 0) {
+        while (true) {
+            int n = ::poll(pfds, count, -1);
+            if (n >= 0 || errno != EINTR)
+                return n;
+        }
+    }
+    auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+        int n = ::poll(pfds, count, remainingMs(deadline));
+        if (n >= 0 || errno != EINTR)
+            return n;
+        if (remainingMs(deadline) == 0)
+            return 0; // the interruption consumed the whole wait
+    }
+}
+
+/**
+ * The socket options every TCP fd gets, in one place: SO_REUSEADDR
+ * (listeners rebind instantly across test restarts) and TCP_NODELAY
+ * (the serve exchanges are single-request latency-bound; Nagle would
+ * add cross-packet stalls for nothing). Best-effort — an option that
+ * does not apply to the fd's current state is simply ignored.
+ */
+void
+setCommonSockOpts(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 } // namespace
 
 void
@@ -57,8 +100,7 @@ tcpListen(const std::string &host, int port, int backlog)
     if (!fd.valid())
         return errnoError(ErrorCode::ServeBind, "socket");
 
-    int one = 1;
-    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    setCommonSockOpts(fd.get());
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -90,9 +132,21 @@ tcpAccept(int listen_fd)
 {
     while (true) {
         int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
-        if (fd >= 0)
-            return Fd(fd);
-        if (errno == EINTR || errno == ECONNABORTED)
+        if (fd >= 0) {
+            Fd conn(fd);
+            setCommonSockOpts(conn.get());
+            // Dropping `conn` closes the socket with nothing sent —
+            // the peer sees exactly what a crashed acceptor produces.
+            if (FaultPlan::global().shouldFailCounted("accept-fail")) {
+                return makeError(ErrorCode::ServeConnection,
+                                 "injected accept failure")
+                    .in("accept-fail");
+            }
+            return conn;
+        }
+        if (errno == EINTR)
+            continue; // a signal is not a broken connection
+        if (errno == ECONNABORTED)
             return errnoError(ErrorCode::ServeConnection, "accept");
         // EBADF/EINVAL: the listener was closed out from under us —
         // the drain signal. Everything else is equally terminal for
@@ -107,6 +161,7 @@ tcpConnect(const std::string &host, int port, int deadline_ms)
     Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!fd.valid())
         return errnoError(ErrorCode::ServeConnection, "socket");
+    setCommonSockOpts(fd.get());
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -120,11 +175,14 @@ tcpConnect(const std::string &host, int port, int deadline_ms)
     ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
     int rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
                        sizeof(addr));
-    if (rc != 0 && errno != EINPROGRESS)
+    // EINTR on a nonblocking connect means the handshake continues in
+    // the background (POSIX) — fall through to the POLLOUT wait, same
+    // as EINPROGRESS.
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR)
         return errnoError(ErrorCode::ServeConnection, "connect");
     if (rc != 0) {
         pollfd pfd{fd.get(), POLLOUT, 0};
-        int n = ::poll(&pfd, 1, deadline_ms);
+        int n = pollRetry(&pfd, 1, deadline_ms);
         if (n == 0) {
             return makeError(ErrorCode::HttpDeadline,
                              "connect timed out after ", deadline_ms,
@@ -147,11 +205,28 @@ tcpConnect(const std::string &host, int port, int deadline_ms)
 Result<void>
 sendAll(int fd, const std::string &data, int deadline_ms)
 {
+    FaultPlan &plan = FaultPlan::global();
+    // One check per sendAll call, in a fixed order, so multi-site
+    // plans stay call-count deterministic (DESIGN §11).
+    if (plan.shouldFailCounted("send-reset")) {
+        return makeError(ErrorCode::ServeConnection,
+                         "injected connection reset before send")
+            .in("send-reset");
+    }
+    std::size_t limit = data.size();
+    const bool drop_mid_body =
+        plan.shouldFailCounted("conn-drop-mid-body");
+    if (drop_mid_body)
+        limit = data.size() / 2;
+    std::size_t chunk = data.size();
+    if (plan.shouldFailCounted("send-partial") && chunk > 1)
+        chunk = 1; // every write is short; the loop must finish anyway
+
     auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
     std::size_t sent = 0;
-    while (sent < data.size()) {
-        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                           MSG_NOSIGNAL);
+    while (sent < limit) {
+        std::size_t len = std::min(chunk, limit - sent);
+        ssize_t n = ::send(fd, data.data() + sent, len, MSG_NOSIGNAL);
         if (n > 0) {
             sent += static_cast<std::size_t>(n);
             continue;
@@ -161,7 +236,7 @@ sendAll(int fd, const std::string &data, int deadline_ms)
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
             pollfd pfd{fd, POLLOUT, 0};
             int left = remainingMs(deadline);
-            if (left == 0 || ::poll(&pfd, 1, left) <= 0) {
+            if (left == 0 || pollRetry(&pfd, 1, left) == 0) {
                 return makeError(ErrorCode::HttpDeadline,
                                  "write timed out after ", deadline_ms,
                                  "ms");
@@ -170,30 +245,57 @@ sendAll(int fd, const std::string &data, int deadline_ms)
         }
         return errnoError(ErrorCode::ServeConnection, "send");
     }
+    if (drop_mid_body) {
+        ::shutdown(fd, SHUT_RDWR);
+        return makeError(ErrorCode::ServeConnection,
+                         "injected connection drop mid-body (", sent,
+                         " of ", data.size(), " bytes sent)")
+            .in("conn-drop-mid-body");
+    }
     return {};
 }
 
 Result<std::size_t>
 recvSome(int fd, std::string &out, std::size_t max_bytes, int deadline_ms)
 {
-    pollfd pfd{fd, POLLIN, 0};
-    int n = ::poll(&pfd, 1, deadline_ms);
-    if (n == 0) {
+    FaultPlan &plan = FaultPlan::global();
+    // Simulated stall: report the deadline the caller would have hit,
+    // without consuming real wall time (tests stay fast and clocks
+    // stay out of the failure decision).
+    if (plan.shouldFailCounted("recv-stall")) {
         return makeError(ErrorCode::HttpDeadline,
-                         "read timed out after ", deadline_ms, "ms");
+                         "injected read stall (simulated ", deadline_ms,
+                         "ms timeout)")
+            .in("recv-stall");
     }
-    if (n < 0)
-        return errnoError(ErrorCode::ServeConnection, "poll");
+    if (plan.shouldFailCounted("recv-short") && max_bytes > 1)
+        max_bytes = 1; // drip-feed: callers must reassemble
 
-    std::string buf(max_bytes, '\0');
-    ssize_t got = ::recv(fd, buf.data(), max_bytes, 0);
-    if (got < 0) {
-        if (errno == EINTR)
-            return std::size_t{0};
-        return errnoError(ErrorCode::ServeConnection, "recv");
+    auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+    while (true) {
+        pollfd pfd{fd, POLLIN, 0};
+        int n = pollRetry(&pfd, 1, remainingMs(deadline));
+        if (n == 0) {
+            return makeError(ErrorCode::HttpDeadline,
+                             "read timed out after ", deadline_ms, "ms");
+        }
+        if (n < 0)
+            return errnoError(ErrorCode::ServeConnection, "poll");
+
+        std::string buf(max_bytes, '\0');
+        ssize_t got = ::recv(fd, buf.data(), max_bytes, 0);
+        if (got < 0) {
+            // EINTR used to be reported as size 0 here — callers read
+            // that as orderly peer shutdown and dropped live
+            // connections. Retry with the time that is left instead.
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return errnoError(ErrorCode::ServeConnection, "recv");
+        }
+        out.append(buf.data(), static_cast<std::size_t>(got));
+        return static_cast<std::size_t>(got);
     }
-    out.append(buf.data(), static_cast<std::size_t>(got));
-    return static_cast<std::size_t>(got);
 }
 
 WakePipe::WakePipe()
@@ -232,7 +334,7 @@ pollReadable(int fd, int wake_fd, int deadline_ms)
     pfds[count++] = {fd, POLLIN, 0};
     if (wake_fd >= 0)
         pfds[count++] = {wake_fd, POLLIN, 0};
-    int n = ::poll(pfds, count, deadline_ms);
+    int n = pollRetry(pfds, count, deadline_ms);
     if (n == 0) {
         return makeError(ErrorCode::HttpDeadline, "poll timed out after ",
                          deadline_ms, "ms");

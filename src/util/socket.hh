@@ -9,6 +9,14 @@
  * All failures are recoverable Results (E5008 serve-bind for listener
  * setup, E5009 serve-connection for per-connection I/O, E5004
  * http-deadline for timeouts); nothing here calls fatal().
+ *
+ * Every primitive retries EINTR internally — a signal mid-call is
+ * never reported as a timeout, an error, or (worst) a peer shutdown.
+ * The socket-level fault sites of the deterministic chaos layer
+ * (accept-fail, recv-short, recv-stall, send-partial, send-reset,
+ * conn-drop-mid-body; see util/faultinject.hh and DESIGN §11) are
+ * compiled into tcpAccept/recvSome/sendAll and armed via
+ * ACCELWALL_FAULT.
  */
 
 #ifndef ACCELWALL_UTIL_SOCKET_HH
@@ -83,9 +91,11 @@ Result<Listener> tcpListen(const std::string &host, int port,
                            int backlog = 128);
 
 /**
- * Accept one connection (blocking). EINTR and transient per-connection
- * errors (ECONNABORTED) come back as retryable E5009 errors; a closed
- * or invalid listener fd comes back as E5008 (the drain signal).
+ * Accept one connection (blocking); EINTR is retried internally.
+ * Transient per-connection errors (ECONNABORTED, the injected
+ * accept-fail fault) come back as retryable E5009 errors; a closed or
+ * invalid listener fd comes back as E5008 (the drain signal). Accepted
+ * sockets get TCP_NODELAY.
  */
 Result<Fd> tcpAccept(int listen_fd);
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Chaosproxy smoke (ctest "chaos" label): start accelwall-serve, put
+# accelwall-chaosproxy in front of it with a hostile byte-level fault
+# spec (premature FINs, corrupted status lines, truncated responses,
+# dripped requests, split writes), and drive the resilient-client
+# loadgen through the proxy with --tolerate retryable.
+#
+# Single-slot closed loop, so proxy connection serials march in request
+# order: with periods {fin:6, corrupt:9, truncate:7} at most two
+# consecutive connections are fatal (no n, n+1, n+2 are each divisible
+# by 6, 7, or 9), so the default 4-attempt retry policy always
+# converges and the default 5-failure breaker never opens. The proxy
+# must report applied faults of every kind, and both daemons must
+# drain cleanly on SIGTERM.
+# Usage: run_chaosproxy_smoke.sh <serve-bin> <chaosproxy-bin> <loadgen-bin>
+set -u
+
+SERVE=$1
+PROXY=$2
+LOADGEN=$3
+WORK=$(mktemp -d)
+SRV_PID=""
+PROXY_PID=""
+cleanup() {
+    [ -n "$PROXY_PID" ] && kill "$PROXY_PID" 2>/dev/null
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_port() {
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    return 1
+}
+
+"$SERVE" --port 0 --port-file "$WORK/serve.port" --workers 4 \
+    > "$WORK/serve.log" 2>&1 &
+SRV_PID=$!
+if ! wait_port "$WORK/serve.port"; then
+    echo "FAIL: server never wrote its port file"
+    cat "$WORK/serve.log"
+    exit 1
+fi
+SERVE_PORT=$(cat "$WORK/serve.port")
+
+"$PROXY" --upstream-port "$SERVE_PORT" --port 0 \
+    --port-file "$WORK/proxy.port" \
+    --fault fin:6,corrupt:9,truncate:7,drip:4,delay:5 \
+    > "$WORK/proxy.log" 2>&1 &
+PROXY_PID=$!
+if ! wait_port "$WORK/proxy.port"; then
+    echo "FAIL: chaosproxy never wrote its port file"
+    cat "$WORK/proxy.log"
+    exit 1
+fi
+PROXY_PORT=$(cat "$WORK/proxy.port")
+
+if ! "$LOADGEN" --port "$PROXY_PORT" --requests 120 --concurrency 1 \
+    --tolerate retryable; then
+    echo "FAIL: resilient loadgen did not converge through the chaos"
+    cat "$WORK/proxy.log"
+    cat "$WORK/serve.log"
+    exit 1
+fi
+
+kill -TERM "$PROXY_PID"
+wait "$PROXY_PID"
+proxy_rc=$?
+PROXY_PID=""
+cat "$WORK/proxy.log"
+if [ "$proxy_rc" -ne 0 ]; then
+    echo "FAIL: chaosproxy exited $proxy_rc after SIGTERM"
+    exit 1
+fi
+# Every fatal fault kind must actually have fired: 120 requests cover
+# serials well past each period.
+summary=$(grep 'chaosproxy drained:' "$WORK/proxy.log")
+for kind in truncate corrupt fin delay drip; do
+    if echo "$summary" | grep -qE "${kind}=0(,|$)"; then
+        echo "FAIL: fault kind '$kind' never fired: $summary"
+        exit 1
+    fi
+done
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+srv_rc=$?
+SRV_PID=""
+cat "$WORK/serve.log"
+if [ "$srv_rc" -ne 0 ]; then
+    echo "FAIL: server exited $srv_rc after SIGTERM (expected drain)"
+    exit 1
+fi
+echo "PASS: 120 requests converged through the chaos proxy"

@@ -1,10 +1,12 @@
-# Pin the BENCH_sweep.json *schema* — keys, value types, and the
-# repeat-count/array-length contract — so the perf-trajectory format
-# cannot drift silently between commits. The numbers themselves are
-# machine-dependent and deliberately unchecked. Invoked by the
-# golden_bench_schema ctest entry with -DTOOL=<accelwall-bench>
-# -DOUT=<scratch.json>; runs the real tool on the quick grid with the
-# smallest repeat count that still exercises the median-of-N path.
+# Pin the BENCH_sweep.json and BENCH_serve.json *schemas* — keys,
+# value types, and the repeat-count/array-length contract — so the
+# perf-trajectory format cannot drift silently between commits. The
+# numbers themselves are machine-dependent and deliberately unchecked.
+# Invoked by the golden_bench_schema ctest entry with
+# -DTOOL=<accelwall-bench> -DOUT=<scratch.json>
+# -DSERVE_OUT=<scratch2.json>; runs the real tool on the quick grid
+# with the smallest repeat count that still exercises the median-of-N
+# path.
 set(repeat 2)
 execute_process(
     COMMAND ${TOOL} --repeat ${repeat} --grid quick --only sweep
@@ -67,3 +69,66 @@ foreach (engine soa legacy)
             "expected ${repeat}")
     endif ()
 endforeach ()
+
+# Serve trajectory: real sockets, two scenarios (clean + degraded
+# under a pinned recv-short fault plan).
+execute_process(
+    COMMAND ${TOOL} --repeat ${repeat} --only serve
+        --serve-out ${SERVE_OUT}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} --only serve failed with status ${rc}")
+endif ()
+file(READ ${SERVE_OUT} sdoc)
+
+check_member("${sdoc}" STRING schema)
+check_member("${sdoc}" STRING version)
+check_member("${sdoc}" NUMBER repeat)
+check_member("${sdoc}" NUMBER requests_per_repeat)
+check_member("${sdoc}" OBJECT scenarios)
+check_member("${sdoc}" NUMBER slowdown_degraded_vs_clean)
+check_member("${sdoc}" NUMBER max_rss_kb)
+foreach (scenario clean degraded)
+    check_member("${sdoc}" OBJECT scenarios ${scenario})
+    check_member("${sdoc}" STRING scenarios ${scenario} fault_spec)
+    foreach (key median_wall_ms requests_per_sec p50_ms p95_ms p99_ms
+            faults_injected)
+        check_member("${sdoc}" NUMBER scenarios ${scenario} ${key})
+    endforeach ()
+    check_member("${sdoc}" ARRAY scenarios ${scenario} repeats_wall_ms)
+    string(JSON n LENGTH "${sdoc}" scenarios ${scenario} repeats_wall_ms)
+    if (NOT n EQUAL repeat)
+        message(FATAL_ERROR
+            "scenarios.${scenario}.repeats_wall_ms has ${n} samples, "
+            "expected ${repeat}")
+    endif ()
+endforeach ()
+
+string(JSON serve_schema GET "${sdoc}" schema)
+if (NOT serve_schema STREQUAL "accelwall-bench-serve-v2")
+    message(FATAL_ERROR
+        "serve schema tag is '${serve_schema}'; bump this test with "
+        "the format")
+endif ()
+
+# The degraded scenario's pinned plan must actually fire, and the
+# clean baseline must stay fault-free.
+string(JSON clean_faults GET "${sdoc}" scenarios clean faults_injected)
+if (NOT clean_faults EQUAL 0)
+    message(FATAL_ERROR
+        "clean scenario reports ${clean_faults} injected faults")
+endif ()
+string(JSON degraded_spec GET "${sdoc}" scenarios degraded fault_spec)
+if (NOT degraded_spec STREQUAL "recv-short:10")
+    message(FATAL_ERROR
+        "degraded fault_spec is '${degraded_spec}', expected "
+        "'recv-short:10'")
+endif ()
+string(JSON degraded_faults GET
+    "${sdoc}" scenarios degraded faults_injected)
+if (degraded_faults EQUAL 0)
+    message(FATAL_ERROR
+        "degraded scenario injected no faults; the recv-short plan "
+        "is not reaching the socket layer")
+endif ()

@@ -72,6 +72,10 @@ foreach (i RANGE ${last})
     endif ()
     string(JSON rule GET "${doc}" graphs 0 diagnostics ${i} rule)
     list(APPEND fired ${rule})
+    if (rule STREQUAL "S004")
+        string(JSON msg GET "${doc}" graphs 0 diagnostics ${i} message)
+        string(APPEND s004_messages "${msg}\n")
+    endif ()
 endforeach ()
 
 # Coverage pin: the fixture corpus must trip every rule.
@@ -80,5 +84,19 @@ foreach (rule S001 S002 S003 S004 S005 S006 S007 S008 S009 S010)
     if (at EQUAL -1)
         message(FATAL_ERROR
             "rule ${rule} did not fire on the broken corpus")
+    endif ()
+endforeach ()
+
+# S004 must cover the socket-layer site shapes the chaos layer added:
+# a counted site checked in src/util/socket.cc but named by no test,
+# and a registered socket site with no production check at all.
+foreach (needle
+        "\"send-reset\" is not exercised by any test"
+        "\"recv-stall\" is never checked under src/")
+    string(FIND "${s004_messages}" "${needle}" at)
+    if (at EQUAL -1)
+        message(FATAL_ERROR
+            "S004 did not report: ${needle}\nS004 messages were:\n"
+            "${s004_messages}")
     endif ()
 endforeach ()

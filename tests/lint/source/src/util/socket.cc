@@ -1,0 +1,20 @@
+// Fixture socket layer: exercises the socket-site half of S004. The
+// send-reset check below is legitimate production usage, but no
+// fixture test names the site, so S004 must report it untested; the
+// registered recv-stall site has no check anywhere under src/, so
+// S004 must report it unused.
+
+#include "util/faultinject.hh"
+
+namespace accelwall::util
+{
+
+int
+sendAll(FaultPlan &faults, int fd)
+{
+    if (faults.shouldFailCounted("send-reset"))
+        return -1;
+    return fd;
+}
+
+} // namespace accelwall::util

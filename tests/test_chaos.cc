@@ -1,0 +1,554 @@
+/**
+ * @file
+ * The network chaos suite (ctest label "chaos").
+ *
+ * Three layers:
+ *   - util/socket fault sites: each of the six socket-level injection
+ *     points (accept-fail, recv-short, recv-stall, send-partial,
+ *     send-reset, conn-drop-mid-body) armed in isolation against real
+ *     loopback sockets, pinned to its documented effect and error code.
+ *   - serve/client: the resilient client's retry gate, breaker state
+ *     machine, Retry-After handling, and E52xx terminal codes, driven
+ *     by refused connections and injected faults.
+ *   - acceptance: a hostile fault plan that kills >= 30% of
+ *     connections; the client must converge with zero non-injected
+ *     errors, every acknowledged response byte-identical to a
+ *     fault-free oracle, and the injected-fault trajectory identical
+ *     across two runs of the same spec (DESIGN §11).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+#include "serve/http.hh"
+#include "serve/metrics.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "util/error.hh"
+#include "util/faultinject.hh"
+#include "util/socket.hh"
+
+using namespace accelwall;
+using namespace accelwall::serve;
+using util::FaultPlan;
+
+namespace
+{
+
+/** Arms a fault plan for one test and disarms it on scope exit. */
+class FaultGuard
+{
+  public:
+    explicit FaultGuard(const std::string &spec)
+    {
+        auto r = FaultPlan::global().configure(spec);
+        EXPECT_TRUE(r.ok()) << spec;
+    }
+    ~FaultGuard() { FaultPlan::global().clear(); }
+};
+
+/** Start a server on an ephemeral port or fail the test. */
+void
+startOrFail(Server &server)
+{
+    auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error().str();
+    ASSERT_GT(server.port(), 0);
+}
+
+const char *kGainsBody =
+    "{\"spec\": {\"node_nm\": 16, \"area_mm2\": 100, "
+    "\"freq_ghz\": 1.5, \"tdp_w\": 250}}";
+
+/** A connected loopback pair (plus the listener keeping it alive). */
+struct Loopback
+{
+    util::Listener listener;
+    util::Fd client;
+    util::Fd server;
+};
+
+Loopback
+connectPair()
+{
+    Loopback lb;
+    auto listener = util::tcpListen("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok());
+    if (!listener.ok())
+        return lb;
+    lb.listener = std::move(listener.value());
+    auto client = util::tcpConnect("127.0.0.1", lb.listener.port, 2000);
+    EXPECT_TRUE(client.ok());
+    if (!client.ok())
+        return lb;
+    lb.client = std::move(client.value());
+    auto server = util::tcpAccept(lb.listener.fd.get());
+    EXPECT_TRUE(server.ok());
+    if (server.ok())
+        lb.server = std::move(server.value());
+    return lb;
+}
+
+/**
+ * Bind an ephemeral port, then close it: connections to the returned
+ * port are refused until someone rebinds it.
+ */
+int
+deadPort()
+{
+    auto listener = util::tcpListen("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok());
+    return listener.ok() ? listener.value().port : 1;
+}
+
+} // namespace
+
+// ------------------------------------------------- fault-site plumbing
+
+TEST(FaultPlanSocket, InjectedCountsTrackFires)
+{
+    FaultGuard guard("recv-short:2,send-reset:3");
+    auto &plan = FaultPlan::global();
+    int fired = 0;
+    for (int i = 0; i < 6; ++i)
+        fired += plan.shouldFailCounted("recv-short") ? 1 : 0;
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(plan.injectedCount("recv-short"), 3u);
+    EXPECT_EQ(plan.injectedCount("send-reset"), 0u);
+    EXPECT_EQ(plan.totalInjected(), 3u);
+
+    // Reconfiguring resets both the call and the injected counters.
+    ASSERT_TRUE(plan.configure("recv-short:2").ok());
+    EXPECT_EQ(plan.injectedCount("recv-short"), 0u);
+    EXPECT_EQ(plan.totalInjected(), 0u);
+}
+
+TEST(FaultPlanSocket, UnarmedSitesNeverCount)
+{
+    auto &plan = FaultPlan::global();
+    plan.clear();
+    EXPECT_FALSE(plan.shouldFailCounted("accept-fail"));
+    EXPECT_EQ(plan.injectedCount("accept-fail"), 0u);
+    EXPECT_EQ(plan.totalInjected(), 0u);
+}
+
+// ----------------------------------------------- socket sites, armed
+
+TEST(SocketFaults, AcceptFailClosesTheConnection)
+{
+    auto listener = util::tcpListen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    FaultGuard guard("accept-fail:1");
+    auto client =
+        util::tcpConnect("127.0.0.1", listener.value().port, 2000);
+    ASSERT_TRUE(client.ok());
+    auto conn = util::tcpAccept(listener.value().fd.get());
+    ASSERT_FALSE(conn.ok());
+    EXPECT_EQ(conn.error().code(), ErrorCode::ServeConnection);
+    EXPECT_NE(conn.error().str().find("accept-fail"), std::string::npos)
+        << conn.error().str();
+    EXPECT_EQ(FaultPlan::global().injectedCount("accept-fail"), 1u);
+}
+
+TEST(SocketFaults, RecvShortClampsEveryReadToOneByte)
+{
+    Loopback lb = connectPair();
+    ASSERT_TRUE(lb.server.valid());
+    ASSERT_TRUE(util::sendAll(lb.client.get(), "hello", 1000).ok());
+    FaultGuard guard("recv-short:1");
+    std::string got;
+    while (got.size() < 5) {
+        auto n = util::recvSome(lb.server.get(), got, 4096, 1000);
+        ASSERT_TRUE(n.ok()) << n.error().str();
+        ASSERT_EQ(n.value(), 1u); // clamped: reassembly loop exercised
+    }
+    EXPECT_EQ(got, "hello");
+    EXPECT_EQ(FaultPlan::global().injectedCount("recv-short"), 5u);
+}
+
+TEST(SocketFaults, RecvStallReportsDeadlineWithoutWaiting)
+{
+    Loopback lb = connectPair();
+    ASSERT_TRUE(lb.server.valid());
+    ASSERT_TRUE(util::sendAll(lb.client.get(), "data", 1000).ok());
+    FaultGuard guard("recv-stall:1");
+    std::string got;
+    // The deadline is a minute: if the stall actually waited, the test
+    // would time out. It must fail immediately with E5004.
+    auto n = util::recvSome(lb.server.get(), got, 4096, 60000);
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error().code(), ErrorCode::HttpDeadline);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(SocketFaults, SendPartialStillDeliversEveryByte)
+{
+    Loopback lb = connectPair();
+    ASSERT_TRUE(lb.server.valid());
+    std::string payload(512, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>('a' + (i % 26));
+    {
+        FaultGuard guard("send-partial:1");
+        ASSERT_TRUE(util::sendAll(lb.client.get(), payload, 5000).ok());
+        EXPECT_EQ(FaultPlan::global().injectedCount("send-partial"), 1u);
+    }
+    std::string got;
+    while (got.size() < payload.size()) {
+        auto n = util::recvSome(lb.server.get(), got, 4096, 2000);
+        ASSERT_TRUE(n.ok()) << n.error().str();
+        ASSERT_GT(n.value(), 0u);
+    }
+    EXPECT_EQ(got, payload); // degraded to 1-byte writes, not corrupted
+}
+
+TEST(SocketFaults, SendResetFailsTheWrite)
+{
+    Loopback lb = connectPair();
+    ASSERT_TRUE(lb.client.valid());
+    FaultGuard guard("send-reset:1");
+    auto sent = util::sendAll(lb.client.get(), "payload", 1000);
+    ASSERT_FALSE(sent.ok());
+    EXPECT_EQ(sent.error().code(), ErrorCode::ServeConnection);
+    EXPECT_EQ(FaultPlan::global().injectedCount("send-reset"), 1u);
+}
+
+TEST(SocketFaults, ConnDropMidBodyDeliversExactlyHalf)
+{
+    Loopback lb = connectPair();
+    ASSERT_TRUE(lb.server.valid());
+    std::string payload(64, 'q');
+    {
+        FaultGuard guard("conn-drop-mid-body:1");
+        auto sent = util::sendAll(lb.client.get(), payload, 1000);
+        ASSERT_FALSE(sent.ok());
+        EXPECT_EQ(sent.error().code(), ErrorCode::ServeConnection);
+    }
+    std::string got;
+    while (true) {
+        auto n = util::recvSome(lb.server.get(), got, 4096, 2000);
+        ASSERT_TRUE(n.ok()) << n.error().str();
+        if (n.value() == 0)
+            break; // the injected shutdown reads as an orderly FIN
+    }
+    EXPECT_EQ(got, payload.substr(0, payload.size() / 2));
+}
+
+// --------------------------------------------------- resilient client
+
+TEST(ResilientClient, ExhaustsRetriesOnRefusedConnections)
+{
+    // No listener: every connect is refused. The failure precedes the
+    // send, so even a non-idempotent request retries freely.
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.base_backoff_ms = 0;
+    retry.attempt_deadline_ms = 500;
+    BreakerPolicy breaker;
+    breaker.failure_threshold = 100; // keep the breaker out of this test
+    Client client("127.0.0.1", deadPort(), retry, breaker);
+
+    auto res = client.post("/v1/gains", "{}", false);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code(), ErrorCode::ClientRetriesExhausted);
+    EXPECT_EQ(client.retries(), 2u);
+    EXPECT_EQ(client.breakerState(), BreakerState::Closed);
+}
+
+TEST(ResilientClient, BreakerOpensFastFailsProbesAndRecovers)
+{
+    int port = deadPort();
+    RetryPolicy retry;
+    retry.max_attempts = 1; // one attempt per request: breaker steps
+    retry.base_backoff_ms = 0; // map 1:1 to requests
+    retry.attempt_deadline_ms = 500;
+    BreakerPolicy breaker;
+    breaker.failure_threshold = 2;
+    breaker.cooldown_rejects = 2;
+    Client client("127.0.0.1", port, retry, breaker);
+
+    // Two consecutive failures trip Closed -> Open.
+    EXPECT_FALSE(client.get("/healthz").ok());
+    EXPECT_EQ(client.breakerState(), BreakerState::Closed);
+    EXPECT_FALSE(client.get("/healthz").ok());
+    EXPECT_EQ(client.breakerState(), BreakerState::Open);
+    EXPECT_EQ(client.breakerOpens(), 1u);
+
+    // The cooldown fast-fails the next two requests with E5202
+    // without touching the network.
+    for (int i = 0; i < 2; ++i) {
+        auto rejected = client.get("/healthz");
+        ASSERT_FALSE(rejected.ok());
+        EXPECT_EQ(rejected.error().code(), ErrorCode::ClientCircuitOpen);
+    }
+    EXPECT_EQ(client.breakerFastFails(), 2u);
+
+    // The cooldown is spent: the next request goes through as the
+    // half-open probe, fails (still no listener), and reopens.
+    auto probe = client.get("/healthz");
+    ASSERT_FALSE(probe.ok());
+    EXPECT_EQ(probe.error().code(), ErrorCode::ClientRetriesExhausted);
+    EXPECT_EQ(client.breakerState(), BreakerState::Open);
+
+    // Bring the upstream back on the same port; burn the new cooldown,
+    // then the probe succeeds and closes the breaker.
+    ServerOptions options;
+    options.port = port;
+    Server server(options);
+    startOrFail(server);
+    for (int i = 0; i < 2; ++i) {
+        auto rejected = client.get("/healthz");
+        ASSERT_FALSE(rejected.ok());
+        EXPECT_EQ(rejected.error().code(), ErrorCode::ClientCircuitOpen);
+    }
+    auto recovered = client.get("/healthz");
+    ASSERT_TRUE(recovered.ok()) << recovered.error().str();
+    EXPECT_EQ(recovered.value().status, 200);
+    EXPECT_EQ(client.breakerState(), BreakerState::Closed);
+    EXPECT_EQ(client.breakerOpens(), 1u); // reopening a probe is not
+    server.stop();                        // a fresh Closed -> Open trip
+}
+
+TEST(ResilientClient, Surfaces503AfterRetriesAndHonorsRetryAfter)
+{
+    // accept_queue = 0: the admission path sheds every connection with
+    // 503 + Retry-After: 1. The shed is explicitly retryable even for
+    // non-idempotent requests; the final 503 surfaces as a response.
+    ServerOptions options;
+    options.accept_queue = 0;
+    Server server(options);
+    startOrFail(server);
+
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.base_backoff_ms = 2;
+    retry.max_backoff_ms = 10; // caps the honored Retry-After: 1s -> 10ms
+    Client client("127.0.0.1", server.port(), retry);
+
+    auto res = client.post("/v1/gains", kGainsBody, false);
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    EXPECT_EQ(res.value().status, 503);
+    EXPECT_EQ(client.retries(), 2u);
+    server.stop();
+}
+
+TEST(ResilientClient, OverallDeadlineBoundsTheRetryLoop)
+{
+    ServerOptions options;
+    options.accept_queue = 0; // endless 503s
+    Server server(options);
+    startOrFail(server);
+
+    RetryPolicy retry;
+    retry.max_attempts = 1000;
+    retry.base_backoff_ms = 40;
+    retry.max_backoff_ms = 40;
+    retry.honor_retry_after = false; // force the backoff path
+    retry.overall_deadline_ms = 100;
+    BreakerPolicy breaker;
+    breaker.failure_threshold = 1000; // the deadline must fire first
+    Client client("127.0.0.1", server.port(), retry, breaker);
+
+    auto res = client.get("/v1/gains");
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code(), ErrorCode::ClientDeadline);
+    server.stop();
+}
+
+TEST(ResilientClient, NonIdempotentNotRetriedAfterBytesSent)
+{
+    Server server;
+    startOrFail(server);
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    retry.base_backoff_ms = 0;
+    Client client("127.0.0.1", server.port(), retry);
+
+    {
+        // Every send drops mid-body: the request bytes may have
+        // reached the server, so a non-idempotent request must not
+        // be replayed — the transport error passes through unchanged.
+        FaultGuard guard("conn-drop-mid-body:1");
+        auto res = client.post("/v1/gains", kGainsBody, false);
+        ASSERT_FALSE(res.ok());
+        EXPECT_EQ(res.error().code(), ErrorCode::ServeConnection);
+        EXPECT_EQ(client.retries(), 0u);
+        // Join the workers before the guard disarms: a worker may
+        // still be writing the response to the dropped connection,
+        // and plan checks must not race reconfiguration.
+        server.stop();
+    }
+}
+
+TEST(ResilientClient, IdempotentRetryConvergesThroughAcceptFaults)
+{
+    Server server;
+    startOrFail(server);
+    RetryPolicy retry;
+    retry.max_attempts = 4;
+    retry.base_backoff_ms = 0;
+    Client client("127.0.0.1", server.port(), retry);
+
+    FaultGuard guard("accept-fail:2");
+    auto warm = client.post("/v1/gains", kGainsBody, true); // accept #1
+    ASSERT_TRUE(warm.ok()) << warm.error().str();
+    ASSERT_EQ(client.retries(), 0u);
+
+    // Accept #2 is killed; the retry lands on clean accept #3 and the
+    // replayed answer is byte-identical to the first.
+    auto res = client.post("/v1/gains", kGainsBody, true);
+    ASSERT_TRUE(res.ok()) << res.error().str();
+    EXPECT_EQ(res.value().status, 200);
+    EXPECT_EQ(res.value().body, warm.value().body);
+    EXPECT_EQ(client.retries(), 1u);
+    EXPECT_EQ(FaultPlan::global().injectedCount("accept-fail"), 1u);
+    server.stop();
+}
+
+TEST(ResilientClient, PublishesRetryAndBreakerMetrics)
+{
+    Server server;
+    startOrFail(server);
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.base_backoff_ms = 0;
+    Client client("127.0.0.1", server.port(), retry);
+    client.setMetrics(&server.service().metrics());
+
+    FaultGuard guard("accept-fail:2");
+    auto warm = client.post("/v1/gains", kGainsBody, true); // accept #1
+    ASSERT_TRUE(warm.ok()) << warm.error().str();
+    auto res = client.post("/v1/gains", kGainsBody, true); // #2 killed
+    ASSERT_TRUE(res.ok()) << res.error().str();
+
+    // Scrape through the client too (accept #4 is killed as well; the
+    // retry converges). The scrape renders while the plan is armed, so
+    // faults_injected_total reports the two accept-fail fires.
+    auto prom = client.get("/metrics");
+    ASSERT_TRUE(prom.ok()) << prom.error().str();
+    const std::string &body = prom.value().body;
+    for (const char *line :
+         { "accelwall_retries_total 2", "accelwall_breaker_state 0",
+           "accelwall_faults_injected_total 2",
+           "accelwall_connection_aborts_total{cause=\"accept-fault\"} "
+           "2" }) {
+        EXPECT_NE(body.find(line), std::string::npos)
+            << "missing: " << line << "\n"
+            << body;
+    }
+    server.stop();
+}
+
+// ------------------------------------------------ acceptance: chaos
+
+namespace
+{
+
+/** One chaos run: returns per-run totals for the determinism check. */
+struct ChaosRunStats
+{
+    std::uint64_t attempts = 0;
+    std::uint64_t killed = 0;
+    std::uint64_t total_injected = 0;
+    std::uint64_t accept_injected = 0;
+};
+
+} // namespace
+
+/**
+ * The acceptance gate: a hostile plan across accept-fail, send-reset,
+ * and conn-drop-mid-body that kills >= 30% of connection attempts.
+ * The resilient client must converge on every request with zero
+ * non-injected errors, every acknowledged response byte-identical to
+ * the fault-free oracle, and two runs of the same spec must produce
+ * the identical injected-fault trajectory.
+ *
+ * Determinism setup (DESIGN §11): one worker, one closed-loop client
+ * thread, and a backoff long enough that the server finishes a failed
+ * exchange's tail work before the next attempt arrives — the counted
+ * socket sites then run in a fixed global order.
+ */
+TEST(ChaosAcceptance, ConvergesByteIdenticalUnderHostileFaultPlan)
+{
+    std::vector<std::string> bodies;
+    for (int node : {45, 32, 16, 7}) {
+        for (int area : {25, 100, 400}) {
+            bodies.push_back(
+                "{\"spec\": {\"node_nm\": " + std::to_string(node) +
+                ", \"area_mm2\": " + std::to_string(area) +
+                ", \"freq_ghz\": 1.5, \"tdp_w\": 250}}");
+        }
+    }
+
+    // Oracle: the same queries against a fault-free server.
+    std::vector<std::string> oracle;
+    {
+        Server server;
+        startOrFail(server);
+        for (const std::string &body : bodies) {
+            auto res = httpRequest("127.0.0.1", server.port(), "POST",
+                                   "/v1/gains", body);
+            ASSERT_TRUE(res.ok()) << res.error().str();
+            ASSERT_EQ(res.value().status, 200);
+            oracle.push_back(res.value().body);
+        }
+        server.stop();
+    }
+
+    const char *kSpec =
+        "accept-fail:4,send-reset:7,conn-drop-mid-body:9";
+    std::vector<ChaosRunStats> runs;
+    for (int run = 0; run < 2; ++run) {
+        ServerOptions options;
+        options.workers = 1;
+        Server server(options);
+        startOrFail(server);
+
+        RetryPolicy retry;
+        retry.max_attempts = 10;
+        retry.base_backoff_ms = 25; // lets the failed exchange's tail
+        retry.max_backoff_ms = 25;  // drain before the next attempt
+        BreakerPolicy breaker;
+        breaker.failure_threshold = 1000; // converge, don't fast-fail
+        Client client("127.0.0.1", server.port(), retry, breaker);
+
+        FaultGuard guard(kSpec);
+        for (std::size_t i = 0; i < bodies.size(); ++i) {
+            auto res = client.post("/v1/gains", bodies[i], true);
+            ASSERT_TRUE(res.ok())
+                << "run " << run << " request " << i << ": "
+                << res.error().str();
+            ASSERT_EQ(res.value().status, 200) << res.value().body;
+            EXPECT_EQ(res.value().body, oracle[i])
+                << "run " << run << " response " << i
+                << " diverged from the fault-free oracle";
+        }
+
+        ChaosRunStats stats;
+        stats.killed = client.retries(); // each retry = a killed attempt
+        stats.attempts = bodies.size() + stats.killed;
+        auto &plan = FaultPlan::global();
+        stats.total_injected = plan.totalInjected();
+        stats.accept_injected = plan.injectedCount("accept-fail");
+        runs.push_back(stats);
+
+        // The plan must be genuinely hostile: >= 30% of connection
+        // attempts died to an injected fault, yet zero errors leaked
+        // past the client (asserted request by request above).
+        EXPECT_GE(10 * stats.killed, 3 * stats.attempts)
+            << stats.killed << " killed of " << stats.attempts
+            << " attempts in run " << run;
+        EXPECT_GT(stats.total_injected, 0u);
+        server.stop();
+    }
+
+    // Same spec, same trajectory: the injected-fault counts reproduce
+    // exactly across runs.
+    EXPECT_EQ(runs[0].total_injected, runs[1].total_injected);
+    EXPECT_EQ(runs[0].accept_injected, runs[1].accept_injected);
+    EXPECT_EQ(runs[0].attempts, runs[1].attempts);
+}

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <string>
 #include <thread>
@@ -177,6 +178,55 @@ TEST(Cache, ZeroCapacityDisables)
     cache.insert("/e", "a", "ra");
     EXPECT_FALSE(cache.lookup("/e", "a").has_value());
     EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(Cache, ConcurrentEvictionAndLookupOfSameKey)
+{
+    // One shard with a two-entry budget, so every cold insert evicts
+    // and lookups of the contended hot key race eviction directly.
+    // Run under TSan (ci_gate tsan stage) this pins the shard locking;
+    // in any build it pins the invariant that a racing lookup returns
+    // either a miss or the exact inserted bytes — never a torn value.
+    ResultCache cache(/*capacity=*/2, /*shards=*/1);
+    const std::string body(256, 'r');
+    cache.insert("/v1/gains", "hot", body);
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> torn{false};
+    long hits = 0;
+
+    // The reader drives termination (so the evictor churns for its
+    // whole run regardless of scheduling), and re-arms the hot key on
+    // every miss (so hit and eviction keep racing instead of the key
+    // staying dead after its first eviction).
+    std::thread evictor([&] {
+        int i = 0;
+        while (!stop.load() || i < 1000) {
+            cache.insert("/v1/gains", "cold-" + std::to_string(i),
+                         body);
+            ++i;
+        }
+    });
+    std::thread reader([&] {
+        for (int i = 0; i < 20000; ++i) {
+            auto got = cache.lookup("/v1/gains", "hot");
+            if (got.has_value()) {
+                ++hits;
+                if (*got != body)
+                    torn.store(true);
+            } else {
+                cache.insert("/v1/gains", "hot", body);
+            }
+        }
+        stop.store(true);
+    });
+    evictor.join();
+    reader.join();
+
+    EXPECT_FALSE(torn.load());
+    EXPECT_GT(hits, 0);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    EXPECT_LE(cache.stats().entries, 2u);
 }
 
 // ---------------------------------------------------------------- http
@@ -454,6 +504,9 @@ TEST(Service, HealthzAndMetrics)
          { "accelwall_requests_total", "accelwall_requests_shed_total",
            "accelwall_request_duration_seconds_bucket",
            "accelwall_cache_hits_total", "accelwall_cache_hit_ratio",
+           "accelwall_connection_aborts_total",
+           "accelwall_retries_total", "accelwall_breaker_state",
+           "accelwall_faults_injected_total",
            "accelwall_inflight_requests" }) {
         EXPECT_NE(prom.body.find(metric), std::string::npos) << metric;
     }

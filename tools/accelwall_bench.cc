@@ -10,10 +10,13 @@
  *                     under BOTH engines (SoA and legacy), median-of-N
  *                     wall time, cells/sec, per-kernel latency
  *                     percentiles, and the SoA-vs-legacy speedup.
- *   BENCH_serve.json  The socket-free Service driven with a pinned
- *                     request mix (sweep/gains/csr/healthz), median-of-N
- *                     wall time, requests/sec, per-request latency
- *                     percentiles.
+ *   BENCH_serve.json  The full serve stack (real loopback sockets)
+ *                     driven with a pinned request mix
+ *                     (sweep/gains/csr/healthz) under two scenarios:
+ *                     `clean` (no faults) and `degraded` (a fixed
+ *                     recv-short:10 plan — every 10th socket read
+ *                     clamped to one byte), so the trajectory tracks
+ *                     throughput under network faults too.
  *
  * The workload is pinned: same kernels, same grids, same request
  * bodies on every invocation, so numbers are comparable across
@@ -38,8 +41,11 @@
 #include "aladdin/simulator.hh"
 #include "aladdin/sweep.hh"
 #include "kernels/kernels.hh"
+#include "serve/client.hh"
 #include "serve/http.hh"
+#include "serve/server.hh"
 #include "serve/service.hh"
+#include "util/faultinject.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -217,106 +223,160 @@ benchSweep(const std::string &grid_name, int repeat,
     return 0;
 }
 
-int
-benchServe(int repeat, const std::string &out_path)
+/** One (method, target, body) entry of the pinned serve mix. */
+struct ServeQuery
 {
-    using serve::HttpRequest;
-    using serve::HttpResponse;
-    using serve::Service;
-    using serve::ServiceOptions;
+    const char *method;
+    const char *target;
+    const char *body;
+};
 
-    ServiceOptions options;
-    options.version = cli::kVersion;
-    Service service(options);
-
-    auto post = [](const char *target, const char *body) {
-        HttpRequest req;
-        req.method = "POST";
-        req.target = target;
-        req.version = "HTTP/1.1";
-        req.body = body;
-        return req;
-    };
-    auto get = [](const char *target) {
-        HttpRequest req;
-        req.method = "GET";
-        req.target = target;
-        req.version = "HTTP/1.1";
-        return req;
-    };
-
-    // Pinned mix: one bounded sweep, one gains and one csr query, one
-    // liveness probe. With the default cache the repeated bodies hit
-    // after the first round — deliberately part of the serve path
-    // under measurement.
-    const std::vector<HttpRequest> mix = {
-        post("/v1/sweep",
-             "{\"kernel\": \"RED\", \"nodes\": [45, 32, 16], "
-             "\"partitions\": [1, 2, 4, 8], "
-             "\"simplifications\": [1, 2, 3]}"),
-        post("/v1/gains",
-             "{\"spec\": {\"node_nm\": 16, \"area_mm2\": 100, "
-             "\"freq_ghz\": 1.5, \"tdp_w\": 250}}"),
-        post("/v1/csr",
-             "{\"metric\": \"throughput\", \"chips\": ["
-             "{\"name\": \"g1\", \"node_nm\": 130, \"area_mm2\": 100, "
-             "\"freq_ghz\": 0.2, \"tdp_w\": 50, \"gain\": 1},"
-             "{\"name\": \"g2\", \"node_nm\": 28, \"area_mm2\": 150, "
-             "\"freq_ghz\": 0.7, \"tdp_w\": 150, \"gain\": 400}]}"),
-        get("/healthz"),
-    };
-    constexpr int kRoundsPerRepeat = 50;
-
+/** Measured results of one serve scenario over real sockets. */
+struct ServeScenarioStats
+{
     std::vector<double> repeats_wall_ms;
     std::vector<double> request_ms;
-    std::size_t requests_per_repeat = mix.size() * kRoundsPerRepeat;
+    std::uint64_t faults_injected = 0;
+};
 
-    // Warm-up round (fills the result cache), untimed.
-    for (const HttpRequest &req : mix) {
-        HttpResponse res = service.handle(req);
-        if (res.status != 200)
-            fatal("bench serve request ", req.target,
-                  " failed with status ", res.status, ": ", res.body);
-    }
+/**
+ * Run the pinned mix against an in-process server over loopback
+ * sockets, the given ACCELWALL_FAULT-style plan armed for the timed
+ * repeats ("" for the clean baseline). The plan is disarmed again
+ * before returning.
+ */
+ServeScenarioStats
+runServeScenario(const std::vector<ServeQuery> &mix, int repeat,
+                 int rounds, const std::string &fault_spec)
+{
+    serve::ServerOptions options;
+    options.service.version = cli::kVersion;
+    serve::Server server(options);
+    if (auto started = server.start(); !started.ok())
+        fatal("bench serve: ", started.error().str());
+    int port = server.port();
 
+    auto one = [&](const ServeQuery &q) {
+        auto res = serve::httpRequest("127.0.0.1", port, q.method,
+                                      q.target, q.body);
+        if (!res.ok())
+            fatal("bench serve request ", q.target, " failed: ",
+                  res.error().str());
+        if (res.value().status != 200)
+            fatal("bench serve request ", q.target,
+                  " failed with status ", res.value().status, ": ",
+                  res.value().body);
+    };
+
+    // Warm-up round (fills the result cache), untimed and fault-free.
+    for (const ServeQuery &q : mix)
+        one(q);
+
+    auto &plan = accelwall::util::FaultPlan::global();
+    if (auto armed = plan.configure(fault_spec); !armed.ok())
+        fatal("bench serve fault spec: ", armed.error().str());
+
+    ServeScenarioStats stats;
     for (int r = 0; r < repeat; ++r) {
         double total_ms = 0.0;
-        for (int round = 0; round < kRoundsPerRepeat; ++round) {
-            for (const HttpRequest &req : mix) {
+        for (int round = 0; round < rounds; ++round) {
+            for (const ServeQuery &q : mix) {
                 auto t0 = Clock::now();
-                HttpResponse res = service.handle(req);
+                one(q);
                 auto t1 = Clock::now();
-                if (res.status != 200)
-                    fatal("bench serve request ", req.target,
-                          " failed with status ", res.status);
                 double ms = elapsedMs(t0, t1);
-                request_ms.push_back(ms);
+                stats.request_ms.push_back(ms);
                 total_ms += ms;
             }
         }
-        repeats_wall_ms.push_back(total_ms);
+        stats.repeats_wall_ms.push_back(total_ms);
     }
+    stats.faults_injected = plan.totalInjected();
+    plan.clear();
+    server.stop();
+    return stats;
+}
 
-    double med = median(repeats_wall_ms);
-    JsonWriter w(/*pretty=*/true);
+void
+writeServeScenario(JsonWriter &w, const ServeScenarioStats &s,
+                   const std::string &fault_spec,
+                   std::size_t requests_per_repeat)
+{
+    double med = median(s.repeats_wall_ms);
     w.beginObject();
-    w.key("schema").value("accelwall-bench-serve-v1");
-    w.key("version").value(cli::kVersion);
-    w.key("repeat").value(repeat);
-    w.key("requests_per_repeat")
-        .value(static_cast<unsigned long long>(requests_per_repeat));
+    w.key("fault_spec").value(fault_spec);
     w.key("median_wall_ms").value(med);
     w.key("requests_per_sec")
         .value(med > 0.0 ? static_cast<double>(requests_per_repeat) /
                                (med / 1000.0)
                          : 0.0);
-    w.key("p50_ms").value(percentile(request_ms, 50.0));
-    w.key("p95_ms").value(percentile(request_ms, 95.0));
-    w.key("p99_ms").value(percentile(request_ms, 99.0));
+    w.key("p50_ms").value(percentile(s.request_ms, 50.0));
+    w.key("p95_ms").value(percentile(s.request_ms, 95.0));
+    w.key("p99_ms").value(percentile(s.request_ms, 99.0));
+    w.key("faults_injected")
+        .value(static_cast<unsigned long long>(s.faults_injected));
     w.key("repeats_wall_ms").beginArray();
-    for (double ms : repeats_wall_ms)
+    for (double ms : s.repeats_wall_ms)
         w.value(ms);
     w.endArray();
+    w.endObject();
+}
+
+int
+benchServe(int repeat, const std::string &out_path)
+{
+    // Pinned mix: one bounded sweep, one gains and one csr query, one
+    // liveness probe. With the default cache the repeated bodies hit
+    // after the first round — deliberately part of the serve path
+    // under measurement.
+    const std::vector<ServeQuery> mix = {
+        { "POST", "/v1/sweep",
+          "{\"kernel\": \"RED\", \"nodes\": [45, 32, 16], "
+          "\"partitions\": [1, 2, 4, 8], "
+          "\"simplifications\": [1, 2, 3]}" },
+        { "POST", "/v1/gains",
+          "{\"spec\": {\"node_nm\": 16, \"area_mm2\": 100, "
+          "\"freq_ghz\": 1.5, \"tdp_w\": 250}}" },
+        { "POST", "/v1/csr",
+          "{\"metric\": \"throughput\", \"chips\": ["
+          "{\"name\": \"g1\", \"node_nm\": 130, \"area_mm2\": 100, "
+          "\"freq_ghz\": 0.2, \"tdp_w\": 50, \"gain\": 1},"
+          "{\"name\": \"g2\", \"node_nm\": 28, \"area_mm2\": 150, "
+          "\"freq_ghz\": 0.7, \"tdp_w\": 150, \"gain\": 400}]}" },
+        { "GET", "/healthz", "" },
+    };
+    constexpr int kRoundsPerRepeat = 50;
+    std::size_t requests_per_repeat = mix.size() * kRoundsPerRepeat;
+
+    // The degraded plan is part of the pinned workload: every 10th
+    // socket read (server and client alike) clamped to one byte.
+    const std::string kDegradedSpec = "recv-short:10";
+
+    ServeScenarioStats clean =
+        runServeScenario(mix, repeat, kRoundsPerRepeat, "");
+    ServeScenarioStats degraded =
+        runServeScenario(mix, repeat, kRoundsPerRepeat, kDegradedSpec);
+
+    double clean_med = median(clean.repeats_wall_ms);
+    double degraded_med = median(degraded.repeats_wall_ms);
+    double slowdown =
+        clean_med > 0.0 ? degraded_med / clean_med : 0.0;
+
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.key("schema").value("accelwall-bench-serve-v2");
+    w.key("version").value(cli::kVersion);
+    w.key("repeat").value(repeat);
+    w.key("requests_per_repeat")
+        .value(static_cast<unsigned long long>(requests_per_repeat));
+    w.key("scenarios").beginObject();
+    w.key("clean");
+    writeServeScenario(w, clean, "", requests_per_repeat);
+    w.key("degraded");
+    writeServeScenario(w, degraded, kDegradedSpec,
+                       requests_per_repeat);
+    w.endObject();
+    w.key("slowdown_degraded_vs_clean").value(slowdown);
     w.key("max_rss_kb").value(static_cast<long long>(maxRssKb()));
     w.endObject();
 
@@ -324,10 +384,12 @@ benchServe(int repeat, const std::string &out_path)
     if (!out)
         fatal("cannot write '", out_path, "'");
     out << w.str() << '\n';
-    std::printf("%s: %d repeats x %zu requests: median %.1f ms "
-                "(%.0f req/s)\n",
-                out_path.c_str(), repeat, requests_per_repeat, med,
-                requests_per_repeat / (med / 1000.0));
+    std::printf("%s: %d repeats x %zu requests: clean %.1f ms, "
+                "degraded %.1f ms (%.2fx, %llu faults)\n",
+                out_path.c_str(), repeat, requests_per_repeat,
+                clean_med, degraded_med, slowdown,
+                static_cast<unsigned long long>(
+                    degraded.faults_injected));
     return 0;
 }
 

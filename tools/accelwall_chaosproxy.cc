@@ -1,0 +1,401 @@
+/**
+ * @file
+ * accelwall_chaosproxy: a deterministic byte-level fault-injecting TCP
+ * proxy for black-box chaos testing of the serve stack.
+ *
+ * Usage:
+ *   accelwall-chaosproxy --upstream-port P [--upstream-host H]
+ *                        [--host H] [--port P] [--port-file PATH]
+ *                        [--fault SPEC] [--idle-ms N] [--version]
+ *
+ * Sits between a client (the loadgen) and accelwall-serve and applies
+ * scripted faults to the byte streams. SPEC is a comma-separated list
+ * of `kind:period[:arg]` rules; a rule fires on every period-th
+ * connection (keyed by the proxy's 0-based connection serial, so the
+ * fault *set* is a pure function of the spec and the connection order
+ * — no clocks, no randomness):
+ *
+ *   truncate:N[:B]  forward only the first B (default 64) response
+ *                   bytes, then close both sides
+ *   corrupt:N[:O]   flip one bit of response byte O (default 0: the
+ *                   'H' of the status line, so HTTP framing validation
+ *                   always detects the damage and the client retries)
+ *   fin:N           premature FIN: forward the request, close the
+ *                   client side without any response bytes
+ *   delay:N[:B]     delay-by-bytes: flush the response in two writes
+ *                   split at byte B (default 16) — exercises header/
+ *                   body reassembly without wall-clock sleeps
+ *   drip:N[:B]      slow-loris the *request*: forward it to the
+ *                   server in B-byte (default 1) writes
+ *
+ * Runs until SIGINT/SIGTERM, then prints a per-kind applied-fault
+ * summary (the chaos CI smoke asserts on it). Usage errors exit 2.
+ */
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli_util.hh"
+#include "util/error.hh"
+#include "util/socket.hh"
+
+using namespace accelwall;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: accelwall-chaosproxy --upstream-port P\n"
+                 "           [--upstream-host H] [--host H] [--port P]\n"
+                 "           [--port-file PATH] [--fault SPEC]\n"
+                 "           [--idle-ms N] [--version]\n"
+                 "  SPEC: kind:period[:arg][,kind:period[:arg]...]\n"
+                 "  kinds: truncate corrupt fin delay drip\n";
+    return 2;
+}
+
+/** One parsed `kind:period[:arg]` rule. */
+struct FaultRule
+{
+    std::string kind;
+    std::uint64_t period = 0;
+    std::size_t arg = 0;
+};
+
+/** Defaults per kind when the :arg field is omitted. */
+std::size_t
+defaultArg(const std::string &kind)
+{
+    if (kind == "truncate")
+        return 64;
+    if (kind == "corrupt")
+        return 0; // the 'H' of "HTTP/1.1": framing always catches it
+    if (kind == "delay")
+        return 16;
+    if (kind == "drip")
+        return 1;
+    return 0;
+}
+
+bool
+parseFaultSpec(const std::string &spec, std::vector<FaultRule> &rules)
+{
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+
+        FaultRule rule;
+        std::size_t c1 = entry.find(':');
+        if (c1 == std::string::npos || c1 == 0)
+            return false;
+        rule.kind = entry.substr(0, c1);
+        if (rule.kind != "truncate" && rule.kind != "corrupt" &&
+            rule.kind != "fin" && rule.kind != "delay" &&
+            rule.kind != "drip")
+            return false;
+
+        std::size_t c2 = entry.find(':', c1 + 1);
+        std::string period_str =
+            entry.substr(c1 + 1, c2 == std::string::npos
+                                     ? std::string::npos
+                                     : c2 - c1 - 1);
+        int period = 0;
+        if (!cli::parseInt(period_str, period) || period <= 0)
+            return false;
+        rule.period = static_cast<std::uint64_t>(period);
+
+        if (c2 != std::string::npos) {
+            int arg = 0;
+            if (!cli::parseInt(entry.substr(c2 + 1), arg) || arg < 0)
+                return false;
+            rule.arg = static_cast<std::size_t>(arg);
+        } else {
+            rule.arg = defaultArg(rule.kind);
+        }
+        rules.push_back(rule);
+    }
+    return true;
+}
+
+/** The faults active on one specific connection. */
+struct ConnFaults
+{
+    bool truncate = false;
+    std::size_t truncate_at = 0;
+    bool corrupt = false;
+    std::size_t corrupt_at = 0;
+    bool fin = false;
+    bool delay = false;
+    std::size_t delay_at = 0;
+    bool drip = false;
+    std::size_t drip_chunk = 1;
+};
+
+std::atomic<std::uint64_t> g_applied_truncate{0};
+std::atomic<std::uint64_t> g_applied_corrupt{0};
+std::atomic<std::uint64_t> g_applied_fin{0};
+std::atomic<std::uint64_t> g_applied_delay{0};
+std::atomic<std::uint64_t> g_applied_drip{0};
+
+/** Keyed like shouldFail: rule fires when (serial + 1) % period == 0. */
+ConnFaults
+faultsFor(const std::vector<FaultRule> &rules, std::uint64_t serial)
+{
+    ConnFaults f;
+    for (const FaultRule &rule : rules) {
+        if ((serial + 1) % rule.period != 0)
+            continue;
+        if (rule.kind == "truncate") {
+            f.truncate = true;
+            f.truncate_at = rule.arg;
+            g_applied_truncate.fetch_add(1, std::memory_order_relaxed);
+        } else if (rule.kind == "corrupt") {
+            f.corrupt = true;
+            f.corrupt_at = rule.arg;
+            g_applied_corrupt.fetch_add(1, std::memory_order_relaxed);
+        } else if (rule.kind == "fin") {
+            f.fin = true;
+            g_applied_fin.fetch_add(1, std::memory_order_relaxed);
+        } else if (rule.kind == "delay") {
+            f.delay = true;
+            f.delay_at = rule.arg;
+            g_applied_delay.fetch_add(1, std::memory_order_relaxed);
+        } else if (rule.kind == "drip") {
+            f.drip = true;
+            f.drip_chunk = rule.arg > 0 ? rule.arg : 1;
+            g_applied_drip.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return f;
+}
+
+/**
+ * Forward @p data to @p fd in @p chunk-byte writes (the whole buffer
+ * when chunk is 0). Returns false once the peer stops taking bytes.
+ */
+bool
+forward(int fd, const std::string &data, std::size_t chunk,
+        int deadline_ms)
+{
+    if (chunk == 0 || chunk >= data.size())
+        return util::sendAll(fd, data, deadline_ms).ok();
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+        std::string piece = data.substr(off, chunk);
+        if (!util::sendAll(fd, piece, deadline_ms).ok())
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Relay client -> server until the client stops sending (EOF or
+ * idle), applying the drip fault. One-request-per-connection keeps
+ * this simple: the request is over when the server answers, and the
+ * response relay owns connection teardown.
+ */
+void
+relayRequest(int client_fd, int server_fd, const ConnFaults &faults,
+             int idle_ms)
+{
+    while (true) {
+        std::string buf;
+        auto got = util::recvSome(client_fd, buf, 4096, idle_ms);
+        if (!got.ok() || got.value() == 0)
+            break; // client done (or gone); tell the server
+        std::size_t chunk = faults.drip ? faults.drip_chunk : 0;
+        if (!forward(server_fd, buf, chunk, idle_ms))
+            break;
+    }
+    ::shutdown(server_fd, SHUT_WR);
+}
+
+/**
+ * Relay server -> client, applying fin/truncate/corrupt/delay. Owns
+ * the decision to cut the connection short.
+ */
+void
+relayResponse(int server_fd, int client_fd, const ConnFaults &faults,
+              int idle_ms)
+{
+    if (faults.fin) {
+        // Premature FIN: the client sees an empty response.
+        ::shutdown(client_fd, SHUT_WR);
+        return;
+    }
+    std::size_t forwarded = 0;
+    while (true) {
+        std::string buf;
+        auto got = util::recvSome(server_fd, buf, 4096, idle_ms);
+        if (!got.ok() || got.value() == 0)
+            break;
+        if (faults.corrupt && forwarded <= faults.corrupt_at &&
+            faults.corrupt_at < forwarded + buf.size()) {
+            std::size_t at = faults.corrupt_at - forwarded;
+            buf[at] = static_cast<char>(buf[at] ^ 0x01);
+        }
+        if (faults.truncate) {
+            if (forwarded >= faults.truncate_at)
+                break;
+            if (forwarded + buf.size() > faults.truncate_at)
+                buf.resize(faults.truncate_at - forwarded);
+        }
+        std::size_t chunk = 0;
+        if (faults.delay && forwarded < faults.delay_at &&
+            faults.delay_at < forwarded + buf.size())
+            chunk = faults.delay_at - forwarded; // split at the mark
+        if (!forward(client_fd, buf, chunk, idle_ms))
+            break;
+        forwarded += buf.size();
+    }
+    ::shutdown(client_fd, SHUT_WR);
+}
+
+util::WakePipe *g_wake = nullptr;
+
+extern "C" void
+stopHandler(int)
+{
+    if (g_wake != nullptr)
+        g_wake->poke();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::handleVersion(argc, argv, "accelwall-chaosproxy");
+
+    std::string host = "127.0.0.1";
+    std::string upstream_host = "127.0.0.1";
+    int port = 0;
+    int upstream_port = -1;
+    int idle_ms = 5000;
+    std::string port_file;
+    std::vector<FaultRule> rules;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto intFlag = [&](int &out) {
+            return i + 1 < argc && cli::parseInt(argv[++i], out);
+        };
+        int value = 0;
+        if (arg == "--host" && i + 1 < argc) {
+            host = argv[++i];
+        } else if (arg == "--upstream-host" && i + 1 < argc) {
+            upstream_host = argv[++i];
+        } else if (arg == "--port" && intFlag(value) && value >= 0 &&
+                   value <= 65535) {
+            port = value;
+        } else if (arg == "--upstream-port" && intFlag(value) &&
+                   value > 0 && value <= 65535) {
+            upstream_port = value;
+        } else if (arg == "--idle-ms" && intFlag(value) && value > 0) {
+            idle_ms = value;
+        } else if (arg == "--port-file" && i + 1 < argc) {
+            port_file = argv[++i];
+        } else if (arg == "--fault" && i + 1 < argc) {
+            if (!parseFaultSpec(argv[++i], rules))
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+    if (upstream_port < 0)
+        return usage();
+
+    auto listener = util::tcpListen(host, port);
+    if (!listener.ok()) {
+        std::cerr << "accelwall-chaosproxy: " << listener.error().str()
+                  << "\n";
+        return 1;
+    }
+
+    util::WakePipe wake;
+    g_wake = &wake;
+    struct sigaction sa{};
+    sa.sa_handler = stopHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    struct sigaction ign{};
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    sigaction(SIGPIPE, &ign, nullptr);
+
+    if (!port_file.empty()) {
+        std::ofstream out(port_file);
+        if (!out) {
+            std::cerr << "accelwall-chaosproxy: cannot write '"
+                      << port_file << "'\n";
+            return 1;
+        }
+        out << listener.value().port << "\n";
+    }
+
+    std::cout << "accelwall-chaosproxy " << cli::kVersion << " on "
+              << host << ":" << listener.value().port << " -> "
+              << upstream_host << ":" << upstream_port << " ("
+              << rules.size() << " fault rules)" << std::endl;
+
+    std::uint64_t serial = 0;
+    std::vector<std::thread> conns;
+    while (true) {
+        auto woke = util::pollReadable(listener.value().fd.get(),
+                                       wake.readFd(), -1);
+        if (!woke.ok())
+            continue;
+        if (woke.value() == wake.readFd())
+            break;
+        auto client = util::tcpAccept(listener.value().fd.get());
+        if (!client.ok()) {
+            if (client.error().code() == ErrorCode::ServeConnection)
+                continue;
+            break;
+        }
+        ConnFaults faults = faultsFor(rules, serial++);
+        conns.emplace_back(
+            [client_fd = std::move(client.value()), upstream_host,
+             upstream_port, faults, idle_ms]() mutable {
+                auto server =
+                    util::tcpConnect(upstream_host, upstream_port,
+                                     idle_ms);
+                if (!server.ok())
+                    return; // upstream gone; client sees a close
+                std::thread req([&] {
+                    relayRequest(client_fd.get(),
+                                 server.value().get(), faults,
+                                 idle_ms);
+                });
+                relayResponse(server.value().get(), client_fd.get(),
+                              faults, idle_ms);
+                req.join();
+            });
+    }
+    for (std::thread &t : conns)
+        t.join();
+
+    std::cout << "chaosproxy drained: " << serial << " connections"
+              << ", truncate=" << g_applied_truncate.load()
+              << ", corrupt=" << g_applied_corrupt.load()
+              << ", fin=" << g_applied_fin.load()
+              << ", delay=" << g_applied_delay.load()
+              << ", drip=" << g_applied_drip.load() << std::endl;
+    return 0;
+}

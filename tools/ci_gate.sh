@@ -7,6 +7,10 @@
 #   build / ctest         plain build + the full tier-1 suite (includes
 #                         the lint, lint_model, lint_source ctest
 #                         entries and their seeded-broken twins)
+#   ctest chaos           the network-chaos label on its own: socket
+#                         fault sites, resilient client, chaosproxy
+#                         smoke
+
 #   lint --strict         accelwall-lint over all three domains (dfg
 #                         graphs, model inputs, repo sources) with
 #                         warnings escalated
@@ -77,6 +81,10 @@ run_ctest() {
 
 stage "build" configure_and_build "${prefix}"
 stage "ctest (tier-1)" run_ctest "${prefix}"
+# The chaos label (socket fault sites, resilient client, chaosproxy
+# smoke) is part of tier-1; re-run it as its own stage so a fault-
+# injection regression is named in the summary, not buried.
+stage "ctest (chaos)" run_ctest "${prefix}" "chaos"
 stage "lint --strict (dfg+model+source)" \
     "${prefix}/tools/accelwall-lint" --strict
 stage "headercheck" \
