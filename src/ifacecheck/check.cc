@@ -1,0 +1,298 @@
+#include "ifacecheck/check.hh"
+
+#include <sstream>
+
+#include "ifacecheck/internal.hh"
+
+namespace accelwall::ifacecheck
+{
+
+const char *
+ruleCode(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::MetricDocumented: return "I001";
+      case RuleId::MetricTested: return "I002";
+      case RuleId::EndpointConsistency: return "I003";
+      case RuleId::CliFlagDocumented: return "I004";
+      case RuleId::CliFlagExercised: return "I005";
+      case RuleId::EnvKnobConsistency: return "I006";
+      case RuleId::ErrorDocMapping: return "I007";
+      case RuleId::CtestLabelGated: return "I008";
+      case RuleId::BenchSchemaKeys: return "I009";
+      case RuleId::MetricHelpType: return "I010";
+    }
+    return "I???";
+}
+
+const char *
+ruleName(RuleId rule)
+{
+    switch (rule) {
+      case RuleId::MetricDocumented: return "metric-documented";
+      case RuleId::MetricTested: return "metric-tested";
+      case RuleId::EndpointConsistency: return "endpoint-consistency";
+      case RuleId::CliFlagDocumented: return "cli-flag-documented";
+      case RuleId::CliFlagExercised: return "cli-flag-exercised";
+      case RuleId::EnvKnobConsistency: return "env-knob-consistency";
+      case RuleId::ErrorDocMapping: return "error-doc-mapping";
+      case RuleId::CtestLabelGated: return "ctest-label-gated";
+      case RuleId::BenchSchemaKeys: return "bench-schema-keys";
+      case RuleId::MetricHelpType: return "metric-help-type";
+    }
+    return "unknown";
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+Severity
+defaultSeverity(RuleId rule)
+{
+    switch (rule) {
+      // The two pure coverage rules default to Warning — a missing
+      // test is a gap, not yet a lie in the docs. --strict escalates.
+      case RuleId::MetricTested:
+      case RuleId::CliFlagExercised:
+        return Severity::Warning;
+      default:
+        return Severity::Error;
+    }
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << file;
+    if (line > 0)
+        oss << ':' << line;
+    oss << ": " << severityName(severity) << ' ' << ruleCode(rule) << ' '
+        << ruleName(rule) << ": " << message;
+    return oss.str();
+}
+
+bool
+Report::fired(RuleId rule) const
+{
+    for (const Diagnostic &d : diagnostics) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+Report::summary() const
+{
+    std::ostringstream oss;
+    oss << num_errors << (num_errors == 1 ? " error, " : " errors, ")
+        << num_warnings
+        << (num_warnings == 1 ? " warning, " : " warnings, ")
+        << num_notes << (num_notes == 1 ? " note" : " notes");
+    if (suppressed > 0)
+        oss << " (+" << suppressed << " capped)";
+    return oss.str();
+}
+
+namespace internal
+{
+
+bool
+hasPrefix(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void
+Sink::add(RuleId rule, const std::string &file, std::size_t line,
+          std::string message)
+{
+    if (line > 0) {
+        const SourceFile *sf = corpus_.find(file);
+        if (sf != nullptr && sf->allowed(ruleCode(rule), line))
+            return;
+    }
+    Severity sev = defaultSeverity(rule);
+    if (sev == Severity::Warning && options_.warnings_as_errors)
+        sev = Severity::Error;
+    switch (sev) {
+      case Severity::Error: ++report_->num_errors; break;
+      case Severity::Warning: ++report_->num_warnings; break;
+      case Severity::Note: ++report_->num_notes; break;
+    }
+    if (report_->diagnostics.size() >= options_.max_diagnostics) {
+        ++report_->suppressed;
+        return;
+    }
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = sev;
+    d.file = file;
+    d.line = line;
+    d.message = std::move(message);
+    report_->diagnostics.push_back(std::move(d));
+}
+
+namespace
+{
+
+bool
+isNameChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+std::string
+trimCell(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t`");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t`");
+    return s.substr(b, e - b + 1);
+}
+
+/** Split one markdown table line into trimmed cells. */
+DocRow
+splitRow(const std::string &line, std::size_t lineno)
+{
+    DocRow row;
+    row.line = lineno;
+    std::size_t pos = line.find('|');
+    while (pos != std::string::npos) {
+        std::size_t next = line.find('|', pos + 1);
+        if (next == std::string::npos)
+            break;
+        row.cells.push_back(
+            trimCell(line.substr(pos + 1, next - pos - 1)));
+        pos = next;
+    }
+    return row;
+}
+
+bool
+isSeparatorRow(const DocRow &row)
+{
+    for (const std::string &cell : row.cells) {
+        if (cell.find_first_not_of("-: ") != std::string::npos)
+            return false;
+    }
+    return true;
+}
+
+/** Invoke @p fn with (line_text, 1-based line number) per line. */
+template <typename Fn>
+void
+forEachLine(const std::string &text, Fn fn)
+{
+    std::size_t line = 1;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        std::size_t len =
+            (eol == std::string::npos ? text.size() : eol) - pos;
+        fn(text.substr(pos, len), line);
+        if (eol == std::string::npos)
+            break;
+        pos = eol + 1;
+        ++line;
+    }
+}
+
+} // namespace
+
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    if (word.empty())
+        return false;
+    std::size_t at = text.find(word);
+    while (at != std::string::npos) {
+        bool left_ok = at == 0 || !isNameChar(text[at - 1]);
+        std::size_t end = at + word.size();
+        bool right_ok = end >= text.size() || !isNameChar(text[end]);
+        if (left_ok && right_ok)
+            return true;
+        at = text.find(word, at + 1);
+    }
+    return false;
+}
+
+std::vector<DocRow>
+docTableRows(const std::string &text, const std::string &anchor)
+{
+    std::vector<DocRow> rows;
+    bool anchored = false;
+    bool in_table = false;
+    bool done = false;
+    forEachLine(text, [&](const std::string &line, std::size_t lineno) {
+        if (done)
+            return;
+        if (!anchored) {
+            if (line.find(anchor) != std::string::npos)
+                anchored = true;
+            if (!anchored)
+                return;
+        }
+        std::size_t b = line.find_first_not_of(" \t");
+        bool is_row = b != std::string::npos && line[b] == '|';
+        if (!in_table) {
+            in_table = is_row;
+        } else if (!is_row) {
+            done = true; // first non-row line ends the table
+            return;
+        }
+        if (is_row) {
+            DocRow row = splitRow(line, lineno);
+            if (!row.cells.empty() && !isSeparatorRow(row))
+                rows.push_back(std::move(row));
+        }
+    });
+    return rows;
+}
+
+std::vector<DocRow>
+allDocRows(const std::string &text)
+{
+    std::vector<DocRow> rows;
+    forEachLine(text, [&](const std::string &line, std::size_t lineno) {
+        std::size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos || line[b] != '|')
+            return;
+        DocRow row = splitRow(line, lineno);
+        if (!row.cells.empty() && !isSeparatorRow(row))
+            rows.push_back(std::move(row));
+    });
+    return rows;
+}
+
+} // namespace internal
+
+Report
+check(const Corpus &corpus, const Options &options)
+{
+    Report report;
+    internal::Sink sink(corpus, options, &report);
+    internal::checkServeSurface(corpus, sink);
+    internal::checkToolSurface(corpus, sink);
+    return report;
+}
+
+} // namespace accelwall::ifacecheck

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Interface-drift rules (the `iface` lint domain, I001..I010): diff
+ * every externally visible surface of the repo — Prometheus metrics,
+ * HTTP endpoints, CLI flags, ACCELWALL_* env knobs, stable error
+ * codes, ctest labels, bench schema keys — between the place that
+ * *declares* it and every place that *uses* it (code, README/DESIGN
+ * tables, tests, and ci_gate.sh).
+ *
+ *  | rule | name                   | invariant                               |
+ *  |------|------------------------|-----------------------------------------|
+ *  | I001 | metric-documented      | series emitted in serve/metrics.cc ⇔    |
+ *  |      |                        | listed in the README /metrics glossary  |
+ *  | I002 | metric-tested          | every emitted series asserted by a test |
+ *  | I003 | endpoint-consistency   | endpoints classified for metrics ⇔      |
+ *  |      |                        | dispatched in service.cc ⇔ README table |
+ *  |      |                        | ⇔ exercised by tests                    |
+ *  | I004 | cli-flag-documented    | every parsed --flag in a tool's usage   |
+ *  |      |                        | text, and nothing documented unparsed   |
+ *  | I005 | cli-flag-exercised     | every parsed --flag hit by a test or    |
+ *  |      |                        | harness script                          |
+ *  | I006 | env-knob-consistency   | getenv("ACCELWALL_*") documented and    |
+ *  |      |                        | set somewhere under tests//ci_gate.sh   |
+ *  | I007 | error-doc-mapping      | Exxxx→HTTP rows in docs match the       |
+ *  |      |                        | registry and httpStatusFor()            |
+ *  | I008 | ctest-label-gated      | every declared ctest label selectable   |
+ *  |      |                        | by name in a ci_gate.sh stage           |
+ *  | I009 | bench-schema-keys      | bench JSON keys and schema tags pinned  |
+ *  |      |                        | by tests/golden/run_bench.cmake         |
+ *  | I010 | metric-help-type       | every series has # HELP and # TYPE;     |
+ *  |      |                        | counters end _total, gauges do not      |
+ *
+ * The domain consumes the same srccheck::Corpus the S rules scan (the
+ * scanner also ingests CMakeLists.txt files and tools/ scripts for the
+ * registries that live there) and reuses the srccheck:allow(Ixxx)
+ * suppression grammar. The extractor model — declared registry vs.
+ * observed usage, diffed exactly — and the lexical limits of each
+ * extraction are documented in DESIGN.md §12.
+ */
+
+#ifndef ACCELWALL_IFACECHECK_CHECK_HH
+#define ACCELWALL_IFACECHECK_CHECK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "srccheck/scan.hh"
+
+namespace accelwall::ifacecheck
+{
+
+/** The shared scanner corpus the I rules consume. */
+using srccheck::Corpus;
+using srccheck::SourceFile;
+
+/** Identity of one interface-drift rule. */
+enum class RuleId
+{
+    MetricDocumented,    ///< I001
+    MetricTested,        ///< I002
+    EndpointConsistency, ///< I003
+    CliFlagDocumented,   ///< I004
+    CliFlagExercised,    ///< I005
+    EnvKnobConsistency,  ///< I006
+    ErrorDocMapping,     ///< I007
+    CtestLabelGated,     ///< I008
+    BenchSchemaKeys,     ///< I009
+    MetricHelpType,      ///< I010
+};
+
+/** Total number of RuleId values (for dense per-rule tables). */
+inline constexpr int kNumRules =
+    static_cast<int>(RuleId::MetricHelpType) + 1;
+
+/** Diagnostic severity; only Error fails the check. */
+enum class Severity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** Stable short code, e.g. "I004". */
+const char *ruleCode(RuleId rule);
+
+/** Kebab-case rule name, e.g. "cli-flag-documented". */
+const char *ruleName(RuleId rule);
+
+/** Lower-case severity name, e.g. "error". */
+const char *severityName(Severity severity);
+
+/** The built-in severity a rule fires at. */
+Severity defaultSeverity(RuleId rule);
+
+/** One rule violation, locatable to a file and usually a line. */
+struct Diagnostic
+{
+    RuleId rule = RuleId::MetricDocumented;
+    Severity severity = Severity::Error;
+    /** Root-relative file the finding is in (may be a doc file). */
+    std::string file;
+    /** 1-based line, or 0 for whole-file/cross-file findings. */
+    std::size_t line = 0;
+    /** Human-readable explanation with concrete names. */
+    std::string message;
+
+    /** "README.md:310: error I001 metric-documented ...". */
+    std::string str() const;
+};
+
+/** Knobs for one scan. */
+struct Options
+{
+    /** Escalate Warning diagnostics to Error. */
+    bool warnings_as_errors = false;
+    /** Keep at most this many diagnostics; the rest are counted. */
+    std::size_t max_diagnostics = 256;
+};
+
+/** Outcome of one scan. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t num_errors = 0;
+    std::size_t num_warnings = 0;
+    std::size_t num_notes = 0;
+    /** Diagnostics dropped beyond Options::max_diagnostics. */
+    std::size_t suppressed = 0;
+
+    /** True when no Error-severity diagnostics fired. */
+    bool ok() const { return num_errors == 0; }
+
+    /** True when a rule with this id fired (at any severity). */
+    bool fired(RuleId rule) const;
+
+    /** "3 errors, 1 warning, 0 notes". */
+    std::string summary() const;
+};
+
+/** Run every I rule against @p corpus. */
+Report check(const Corpus &corpus, const Options &options = {});
+
+} // namespace accelwall::ifacecheck
+
+#endif // ACCELWALL_IFACECHECK_CHECK_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared plumbing between the two rule translation units
+ * (serve_rules.cc: I001..I003/I010 serving surface; tool_rules.cc:
+ * I004..I009 tool/CI surface). Not part of the public ifacecheck API.
+ */
+
+#ifndef ACCELWALL_IFACECHECK_INTERNAL_HH
+#define ACCELWALL_IFACECHECK_INTERNAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ifacecheck/check.hh"
+
+namespace accelwall::ifacecheck::internal
+{
+
+/** Collects diagnostics with suppression + cap handling. */
+class Sink
+{
+  public:
+    Sink(const Corpus &corpus, const Options &options, Report *report)
+        : corpus_(corpus), options_(options), report_(report)
+    {
+    }
+
+    /**
+     * Record one finding at @p file:@p line unless an inline
+     * `srccheck:allow(<rule>)` marker disarms it there.
+     */
+    void add(RuleId rule, const std::string &file, std::size_t line,
+             std::string message);
+
+  private:
+    const Corpus &corpus_;
+    const Options &options_;
+    Report *report_;
+};
+
+bool hasPrefix(const std::string &s, const std::string &prefix);
+bool hasSuffix(const std::string &s, const std::string &suffix);
+
+/**
+ * True when @p word occurs in @p text with neither neighbor in the
+ * name charset [A-Za-z0-9_-] — i.e. as a whole interface name, not a
+ * substring of a longer one.
+ */
+bool containsWord(const std::string &text, const std::string &word);
+
+/** One parsed markdown table row: trimmed, backtick-stripped cells. */
+struct DocRow
+{
+    std::vector<std::string> cells;
+    std::size_t line = 0;
+};
+
+/**
+ * The rows of the first markdown table at or after the first line of
+ * @p text containing @p anchor (separator rows dropped). Empty when
+ * the anchor or the table is missing.
+ */
+std::vector<DocRow> docTableRows(const std::string &text,
+                                 const std::string &anchor);
+
+/** Every '|' table row in @p text, for anchor-free scans (I007). */
+std::vector<DocRow> allDocRows(const std::string &text);
+
+/** Anchor files the cross-surface rules diff, by repo convention. */
+inline constexpr const char *kMetricsImpl = "src/serve/metrics.cc";
+inline constexpr const char *kServiceImpl = "src/serve/service.cc";
+inline constexpr const char *kErrorHeader = "src/util/error.hh";
+inline constexpr const char *kReadme = "README.md";
+inline constexpr const char *kDesign = "DESIGN.md";
+inline constexpr const char *kGateScript = "tools/ci_gate.sh";
+inline constexpr const char *kBenchTool = "tools/accelwall_bench.cc";
+inline constexpr const char *kBenchPin = "tests/golden/run_bench.cmake";
+inline constexpr const char *kTestsCMake = "tests/CMakeLists.txt";
+inline constexpr const char *kToolsCMake = "tools/CMakeLists.txt";
+
+/** Rules I001..I003, I010: metrics + endpoints (serving surface). */
+void checkServeSurface(const Corpus &corpus, Sink &sink);
+
+/** Rules I004..I009: flags, env knobs, docs, labels, bench schema. */
+void checkToolSurface(const Corpus &corpus, Sink &sink);
+
+} // namespace accelwall::ifacecheck::internal
+
+#endif // ACCELWALL_IFACECHECK_INTERNAL_HH

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Serving-surface rules: Prometheus metric names (I001 documented,
+ * I002 tested, I010 HELP/TYPE discipline) and HTTP endpoints (I003).
+ *
+ * The declared registry for metrics is the exposition text built in
+ * src/serve/metrics.cc: every string literal is scanned for
+ * `accelwall_[a-z0-9_]+` runs, classified by the text immediately
+ * before the run on the same exposition line — `# HELP ` and `# TYPE `
+ * prefixes are declarations, anything else is an emission. The
+ * declared registry for endpoints is the set of whole-string path
+ * literals in metrics.cc (endpointLabel/classifyEndpoint). Observed
+ * usages come from the README glossary/endpoint tables, service.cc
+ * dispatch literals, and raw test text.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ifacecheck/internal.hh"
+
+namespace accelwall::ifacecheck::internal
+{
+
+namespace
+{
+
+using srccheck::TokKind;
+using srccheck::Token;
+
+bool
+isMetricChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+/** Everything the metrics implementation says about its series. */
+struct MetricSurface
+{
+    /** Raw series name -> first emission line. */
+    std::map<std::string, std::size_t> emitted;
+    /** Series name -> line of its `# HELP` declaration. */
+    std::map<std::string, std::size_t> help;
+    /** Series name -> declared `# TYPE` kind ("counter", ...). */
+    std::map<std::string, std::string> type;
+    std::map<std::string, std::size_t> type_line;
+};
+
+/**
+ * Scan every string literal of @p file for metric-name runs and
+ * classify each as HELP declaration, TYPE declaration, or emission by
+ * the exposition-line prefix inside the same literal.
+ */
+MetricSurface
+scanMetrics(const SourceFile &file)
+{
+    MetricSurface s;
+    const std::string kName = "accelwall_";
+    for (const Token &tok : file.stream.tokens) {
+        if (tok.kind != TokKind::String)
+            continue;
+        const std::string &text = tok.text;
+        std::size_t at = text.find(kName);
+        while (at != std::string::npos) {
+            if (at > 0 && isMetricChar(text[at - 1])) {
+                at = text.find(kName, at + 1);
+                continue;
+            }
+            std::size_t end = at;
+            while (end < text.size() && isMetricChar(text[end]))
+                ++end;
+            std::string name = text.substr(at, end - at);
+            std::size_t bol = text.rfind('\n', at);
+            bol = bol == std::string::npos ? 0 : bol + 1;
+            std::string prefix = text.substr(bol, at - bol);
+            if (prefix == "# HELP ") {
+                s.help.emplace(name, tok.line);
+            } else if (prefix == "# TYPE ") {
+                std::size_t k = end;
+                while (k < text.size() && text[k] == ' ')
+                    ++k;
+                std::size_t ke = k;
+                while (ke < text.size() && text[ke] >= 'a' &&
+                       text[ke] <= 'z')
+                    ++ke;
+                s.type.emplace(name, text.substr(k, ke - k));
+                s.type_line.emplace(name, tok.line);
+            } else {
+                s.emitted.emplace(name, tok.line);
+            }
+            at = text.find(kName, end);
+        }
+    }
+    return s;
+}
+
+/**
+ * The base series of one emitted name: histogram emissions drop their
+ * `_bucket`/`_sum`/`_count` suffix when the stripped name carries the
+ * TYPE declaration.
+ */
+std::string
+baseSeries(const std::string &name, const MetricSurface &s)
+{
+    for (const char *suffix : { "_bucket", "_sum", "_count" }) {
+        std::string suf(suffix);
+        if (name.size() > suf.size() && hasSuffix(name, suf)) {
+            std::string stripped =
+                name.substr(0, name.size() - suf.size());
+            if (s.type.count(stripped) || s.help.count(stripped))
+                return stripped;
+        }
+    }
+    return name;
+}
+
+/** One README glossary entry: a short name or a `_*` prefix pattern. */
+struct GlossaryEntry
+{
+    std::string name;
+    bool wildcard = false; ///< name is a prefix (row ended in `_*`)
+    std::size_t line = 0;
+    bool matched = false;
+};
+
+bool
+glossaryMatches(GlossaryEntry &entry, const std::string &short_name)
+{
+    bool hit = entry.wildcard
+                   ? hasPrefix(short_name, entry.name)
+                   : short_name == entry.name;
+    if (hit)
+        entry.matched = true;
+    return hit;
+}
+
+/**
+ * Parse the README `/metrics` glossary table (anchored by the first
+ * line containing "glossary") into entries. Rows name series without
+ * the `accelwall_` prefix; a trailing `{...}` label set is dropped; an
+ * inner `{a,b,c}` group expands; a trailing `*` makes the entry a
+ * prefix pattern.
+ */
+std::vector<GlossaryEntry>
+parseGlossary(const std::string &text)
+{
+    std::vector<GlossaryEntry> entries;
+    bool header = true;
+    for (const DocRow &row : docTableRows(text, "glossary")) {
+        if (header) {
+            header = false; // the `| metric | meaning |` header row
+            continue;
+        }
+        if (row.cells.empty())
+            continue;
+        std::string cell = row.cells[0];
+        if (cell.empty() ||
+            cell.find_first_not_of(
+                "abcdefghijklmnopqrstuvwxyz0123456789_{},*") !=
+                std::string::npos)
+            continue;
+        // `requests_total{endpoint,status}`: a brace group that closes
+        // the cell is a label set, not part of the name.
+        std::size_t open = cell.find('{');
+        std::vector<std::string> names;
+        if (open != std::string::npos && cell.back() == '}') {
+            names.push_back(cell.substr(0, open));
+        } else if (open != std::string::npos) {
+            std::size_t close = cell.find('}', open);
+            if (close == std::string::npos)
+                continue;
+            std::string head = cell.substr(0, open);
+            std::string tail = cell.substr(close + 1);
+            std::string inner =
+                cell.substr(open + 1, close - open - 1);
+            std::size_t b = 0;
+            while (b <= inner.size()) {
+                std::size_t comma = inner.find(',', b);
+                std::size_t len =
+                    (comma == std::string::npos ? inner.size() : comma) -
+                    b;
+                names.push_back(head + inner.substr(b, len) + tail);
+                if (comma == std::string::npos)
+                    break;
+                b = comma + 1;
+            }
+        } else {
+            names.push_back(cell);
+        }
+        for (std::string &name : names) {
+            GlossaryEntry entry;
+            entry.line = row.line;
+            entry.wildcard = !name.empty() && name.back() == '*';
+            entry.name =
+                entry.wildcard ? name.substr(0, name.size() - 1) : name;
+            if (!entry.name.empty())
+                entries.push_back(std::move(entry));
+        }
+    }
+    return entries;
+}
+
+std::string
+shortName(const std::string &series)
+{
+    const std::string kPrefix = "accelwall_";
+    return hasPrefix(series, kPrefix) ? series.substr(kPrefix.size())
+                                      : series;
+}
+
+/** True when @p text occurs in any test or harness-script file. */
+bool
+coveredByTests(const Corpus &corpus, const std::string &needle,
+               bool whole_word)
+{
+    for (const SourceFile &f : corpus.files) {
+        bool harness = hasPrefix(f.path, "tests/") ||
+                       (hasPrefix(f.path, "tools/") &&
+                        (hasSuffix(f.path, ".sh") ||
+                         hasSuffix(f.path, ".cmake") ||
+                         hasSuffix(f.path, "CMakeLists.txt")));
+        if (!harness)
+            continue;
+        if (whole_word ? containsWord(f.text, needle)
+                       : f.text.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** I001 + I002 + I010 over the metrics implementation. */
+void
+checkMetrics(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *impl = corpus.find(kMetricsImpl);
+    if (impl == nullptr || !impl->tokenized)
+        return;
+    MetricSurface s = scanMetrics(*impl);
+
+    std::vector<GlossaryEntry> glossary;
+    const SourceFile *readme = corpus.find(kReadme);
+    bool have_glossary = false;
+    if (readme != nullptr) {
+        glossary = parseGlossary(readme->text);
+        have_glossary = !glossary.empty();
+    }
+
+    // Deduplicate emissions to their base series for the doc/test and
+    // HELP/TYPE checks; histogram sub-series match the glossary raw.
+    std::map<std::string, std::size_t> bases;
+    for (const auto &[name, line] : s.emitted)
+        bases.emplace(baseSeries(name, s), line);
+
+    for (const auto &[name, line] : s.emitted) {
+        if (!have_glossary)
+            break;
+        bool documented = false;
+        std::string short_name = shortName(name);
+        for (GlossaryEntry &entry : glossary)
+            documented |= glossaryMatches(entry, short_name);
+        if (!documented) {
+            sink.add(RuleId::MetricDocumented, kMetricsImpl, line,
+                     "series '" + name +
+                         "' is emitted but missing from the README "
+                         "`/metrics` glossary");
+        }
+    }
+    for (const GlossaryEntry &entry : glossary) {
+        if (!entry.matched) {
+            sink.add(RuleId::MetricDocumented, kReadme, entry.line,
+                     "the README `/metrics` glossary documents '" +
+                         entry.name +
+                         (entry.wildcard ? "*" : "") +
+                         "' but src/serve/metrics.cc never emits such "
+                         "a series");
+        }
+    }
+
+    for (const auto &[base, line] : bases) {
+        if (!coveredByTests(corpus, base, /*whole_word=*/false)) {
+            sink.add(RuleId::MetricTested, kMetricsImpl, line,
+                     "series '" + base +
+                         "' is never asserted by any test under "
+                         "tests/ or harness script");
+        }
+    }
+
+    for (const auto &[base, line] : bases) {
+        auto type_it = s.type.find(base);
+        if (!s.help.count(base)) {
+            sink.add(RuleId::MetricHelpType, kMetricsImpl, line,
+                     "series '" + base +
+                         "' is emitted without a `# HELP` line");
+        }
+        if (type_it == s.type.end()) {
+            sink.add(RuleId::MetricHelpType, kMetricsImpl, line,
+                     "series '" + base +
+                         "' is emitted without a `# TYPE` line");
+        } else if (type_it->second == "counter" &&
+                   !hasSuffix(base, "_total")) {
+            sink.add(RuleId::MetricHelpType, kMetricsImpl,
+                     s.type_line[base],
+                     "counter '" + base +
+                         "' violates the `_total` naming convention");
+        } else if (type_it->second == "gauge" &&
+                   hasSuffix(base, "_total")) {
+            sink.add(RuleId::MetricHelpType, kMetricsImpl,
+                     s.type_line[base],
+                     "gauge '" + base +
+                         "' must not use the counter `_total` suffix");
+        }
+    }
+    for (const auto &[name, line] : s.help) {
+        if (!bases.count(name)) {
+            sink.add(RuleId::MetricHelpType, kMetricsImpl, line,
+                     "`# HELP` declares '" + name +
+                         "' but the series is never emitted");
+        }
+    }
+    for (const auto &[name, line] : s.type_line) {
+        if (!bases.count(name)) {
+            sink.add(RuleId::MetricHelpType, kMetricsImpl, line,
+                     "`# TYPE` declares '" + name +
+                         "' but the series is never emitted");
+        }
+    }
+}
+
+/** Whole-string endpoint path literals of @p file, with lines. */
+std::map<std::string, std::size_t>
+endpointLiterals(const SourceFile &file)
+{
+    std::map<std::string, std::size_t> paths;
+    for (const Token &tok : file.stream.tokens) {
+        if (tok.kind != TokKind::String || tok.text.size() < 2 ||
+            tok.text[0] != '/')
+            continue;
+        if (tok.text.find_first_not_of(
+                "abcdefghijklmnopqrstuvwxyz0123456789_/.-", 1) !=
+            std::string::npos)
+            continue;
+        paths.emplace(tok.text, tok.line);
+    }
+    return paths;
+}
+
+/** I003: metrics classification ⇔ dispatch ⇔ README ⇔ tests. */
+void
+checkEndpoints(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *metrics = corpus.find(kMetricsImpl);
+    const SourceFile *service = corpus.find(kServiceImpl);
+    if (metrics == nullptr || !metrics->tokenized ||
+        service == nullptr || !service->tokenized)
+        return;
+    std::map<std::string, std::size_t> declared =
+        endpointLiterals(*metrics);
+    std::map<std::string, std::size_t> dispatched =
+        endpointLiterals(*service);
+
+    for (const auto &[path, line] : dispatched) {
+        if (!declared.count(path)) {
+            sink.add(RuleId::EndpointConsistency, kServiceImpl, line,
+                     "endpoint '" + path +
+                         "' is dispatched but not classified for "
+                         "metrics in src/serve/metrics.cc");
+        }
+    }
+    for (const auto &[path, line] : declared) {
+        if (!dispatched.count(path)) {
+            sink.add(RuleId::EndpointConsistency, kMetricsImpl, line,
+                     "endpoint '" + path +
+                         "' is classified for metrics but never "
+                         "dispatched in src/serve/service.cc");
+        }
+    }
+
+    const SourceFile *readme = corpus.find(kReadme);
+    if (readme != nullptr) {
+        std::map<std::string, std::size_t> documented;
+        for (const DocRow &row :
+             docTableRows(readme->text, "| endpoint ")) {
+            if (!row.cells.empty() && !row.cells[0].empty() &&
+                row.cells[0][0] == '/')
+                documented.emplace(row.cells[0], row.line);
+        }
+        if (!documented.empty()) {
+            for (const auto &[path, line] : declared) {
+                if (!documented.count(path)) {
+                    sink.add(RuleId::EndpointConsistency, kMetricsImpl,
+                             line,
+                             "endpoint '" + path +
+                                 "' is missing from the README "
+                                 "endpoint table");
+                }
+            }
+            for (const auto &[path, line] : documented) {
+                if (!declared.count(path)) {
+                    sink.add(RuleId::EndpointConsistency, kReadme, line,
+                             "the README endpoint table documents '" +
+                                 path +
+                                 "' but the server neither "
+                                 "classifies nor serves it");
+                }
+            }
+        }
+    }
+
+    for (const auto &[path, line] : declared) {
+        if (!coveredByTests(corpus, path, /*whole_word=*/false)) {
+            sink.add(RuleId::EndpointConsistency, kMetricsImpl, line,
+                     "endpoint '" + path +
+                         "' is not exercised by any test or harness "
+                         "script");
+        }
+    }
+}
+
+} // namespace
+
+void
+checkServeSurface(const Corpus &corpus, Sink &sink)
+{
+    checkMetrics(corpus, sink);
+    checkEndpoints(corpus, sink);
+}
+
+} // namespace accelwall::ifacecheck::internal

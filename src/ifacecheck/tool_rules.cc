@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Tool/CI-surface rules: CLI flags (I004 documented, I005 exercised),
+ * ACCELWALL_* env knobs (I006), error-code→HTTP claims in docs
+ * (I007), ctest labels vs. ci_gate.sh stages (I008), and bench JSON
+ * schema keys vs. their golden pin (I009).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ifacecheck/internal.hh"
+
+namespace accelwall::ifacecheck::internal
+{
+
+namespace
+{
+
+using srccheck::TokKind;
+using srccheck::Token;
+
+bool
+isFlagChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+/** I004 + I005 over every tool translation unit. */
+void
+checkCliFlags(const Corpus &corpus, Sink &sink)
+{
+    for (const SourceFile &file : corpus.files) {
+        if (!file.tokenized || !hasPrefix(file.path, "tools/") ||
+            !hasSuffix(file.path, ".cc"))
+            continue;
+        // Parsed: a string literal that is exactly one flag is an
+        // argv comparison. Documented: a flag-shaped run inside any
+        // longer literal (usage text, examples).
+        std::map<std::string, std::size_t> parsed;
+        std::map<std::string, std::size_t> documented;
+        for (const Token &tok : file.stream.tokens) {
+            if (tok.kind != TokKind::String)
+                continue;
+            const std::string &text = tok.text;
+            bool whole_flag =
+                text.size() > 2 && text.compare(0, 2, "--") == 0 &&
+                text.find_first_not_of(
+                    "abcdefghijklmnopqrstuvwxyz0123456789-", 2) ==
+                    std::string::npos;
+            if (whole_flag) {
+                parsed.emplace(text, tok.line);
+                continue;
+            }
+            std::size_t at = text.find("--");
+            while (at != std::string::npos) {
+                if (at > 0 && text[at - 1] == '-') {
+                    at = text.find("--", at + 1);
+                    continue;
+                }
+                std::size_t end = at + 2;
+                while (end < text.size() && isFlagChar(text[end]))
+                    ++end;
+                // Require a leading alphanumeric so `----` separators
+                // and `--` option terminators are not flag-shaped.
+                if (end > at + 2 && text[at + 2] != '-')
+                    documented.emplace(text.substr(at, end - at),
+                                       tok.line);
+                at = text.find("--", end);
+            }
+        }
+        if (parsed.empty() && documented.empty())
+            continue;
+        // --version is parsed centrally by cli::handleVersion
+        // (tools/cli_util.hh), so tools document it without a local
+        // comparison literal.
+        for (const auto &[flag, line] : parsed) {
+            if (flag != "--version" && !documented.count(flag)) {
+                sink.add(RuleId::CliFlagDocumented, file.path, line,
+                         "flag '" + flag +
+                             "' is parsed but absent from the tool's "
+                             "usage text");
+            }
+        }
+        for (const auto &[flag, line] : documented) {
+            if (flag != "--version" && !parsed.count(flag)) {
+                sink.add(RuleId::CliFlagDocumented, file.path, line,
+                         "usage text documents '" + flag +
+                             "' but the tool never parses it");
+            }
+        }
+        for (const auto &[flag, line] : parsed) {
+            bool covered = false;
+            for (const SourceFile &f : corpus.files) {
+                bool harness =
+                    hasPrefix(f.path, "tests/") ||
+                    (hasPrefix(f.path, "tools/") &&
+                     (hasSuffix(f.path, ".sh") ||
+                      hasSuffix(f.path, ".cmake") ||
+                      hasSuffix(f.path, "CMakeLists.txt")));
+                if (harness && containsWord(f.text, flag)) {
+                    covered = true;
+                    break;
+                }
+            }
+            if (!covered) {
+                sink.add(RuleId::CliFlagExercised, file.path, line,
+                         "flag '" + flag +
+                             "' is not exercised by any test or "
+                             "harness script");
+            }
+        }
+    }
+}
+
+/** I006: every getenv("ACCELWALL_*") documented and set somewhere. */
+void
+checkEnvKnobs(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *readme = corpus.find(kReadme);
+    const SourceFile *design = corpus.find(kDesign);
+    for (const SourceFile &file : corpus.files) {
+        if (!file.tokenized || (!hasPrefix(file.path, "src/") &&
+                                !hasPrefix(file.path, "tools/")))
+            continue;
+        const std::vector<Token> &toks = file.stream.tokens;
+        for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (!toks[i].isIdent("getenv") || !toks[i + 1].isPunct('(') ||
+                toks[i + 2].kind != TokKind::String ||
+                !hasPrefix(toks[i + 2].text, "ACCELWALL_"))
+                continue;
+            const std::string &knob = toks[i + 2].text;
+            std::size_t line = toks[i + 2].line;
+            bool in_docs =
+                (readme != nullptr &&
+                 containsWord(readme->text, knob)) ||
+                (design != nullptr && containsWord(design->text, knob));
+            if (!in_docs) {
+                sink.add(RuleId::EnvKnobConsistency, file.path, line,
+                         "env knob '" + knob +
+                             "' is read here but documented in "
+                             "neither README.md nor DESIGN.md");
+            }
+            bool exercised = false;
+            for (const SourceFile &f : corpus.files) {
+                bool harness = hasPrefix(f.path, "tests/") ||
+                               (hasPrefix(f.path, "tools/") &&
+                                hasSuffix(f.path, ".sh"));
+                if (harness && containsWord(f.text, knob)) {
+                    exercised = true;
+                    break;
+                }
+            }
+            if (!exercised) {
+                sink.add(RuleId::EnvKnobConsistency, file.path, line,
+                         "env knob '" + knob +
+                             "' is never set by any test or by "
+                             "tools/ci_gate.sh");
+            }
+        }
+    }
+}
+
+/** One enumerator parsed out of `enum class ErrorCode`. */
+struct CodeEntry
+{
+    std::string name;
+    long value = 0;
+};
+
+/** Parse the ErrorCode enumerators of @p file (first definition). */
+std::vector<CodeEntry>
+parseErrorEnum(const SourceFile &file)
+{
+    std::vector<CodeEntry> entries;
+    const std::vector<Token> &toks = file.stream.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!(toks[i].isIdent("enum") && toks[i + 1].isIdent("class") &&
+              toks[i + 2].isIdent("ErrorCode")))
+            continue;
+        std::size_t j = i + 3;
+        while (j < toks.size() && !toks[j].isPunct('{') &&
+               !toks[j].isPunct(';'))
+            ++j;
+        if (j >= toks.size() || !toks[j].isPunct('{'))
+            continue; // forward declaration
+        long next_value = 0;
+        ++j;
+        while (j < toks.size() && !toks[j].isPunct('}')) {
+            if (toks[j].kind != TokKind::Identifier) {
+                ++j;
+                continue;
+            }
+            CodeEntry entry;
+            entry.name = toks[j].text;
+            if (j + 2 < toks.size() && toks[j + 1].isPunct('=') &&
+                toks[j + 2].kind == TokKind::Number) {
+                entry.value =
+                    std::strtol(toks[j + 2].text.c_str(), nullptr, 0);
+                j += 3;
+            } else {
+                entry.value = next_value;
+                ++j;
+            }
+            next_value = entry.value + 1;
+            entries.push_back(std::move(entry));
+            while (j < toks.size() && !toks[j].isPunct(',') &&
+                   !toks[j].isPunct('}'))
+                ++j;
+            if (j < toks.size() && toks[j].isPunct(','))
+                ++j;
+        }
+        return entries;
+    }
+    return entries;
+}
+
+/**
+ * Parse the `case ErrorCode::X: ... return N;` arms of httpStatusFor
+ * in @p file into name→status, plus the `default:` status.
+ */
+void
+parseStatusMap(const SourceFile &file,
+               std::map<std::string, long> *by_name,
+               long *default_status)
+{
+    const std::vector<Token> &toks = file.stream.tokens;
+    std::size_t begin = toks.size();
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].isIdent("httpStatusFor") && toks[i + 1].isPunct('(')) {
+            begin = i;
+            break;
+        }
+    }
+    if (begin == toks.size())
+        return;
+    int depth = 0;
+    bool in_body = false;
+    std::vector<std::string> pending;
+    bool pending_default = false;
+    for (std::size_t i = begin; i < toks.size(); ++i) {
+        if (toks[i].isPunct('{')) {
+            ++depth;
+            in_body = true;
+        } else if (toks[i].isPunct('}')) {
+            --depth;
+            if (in_body && depth == 0)
+                return;
+        } else if (in_body && toks[i].isIdent("case") &&
+                   i + 4 < toks.size() &&
+                   toks[i + 1].isIdent("ErrorCode") &&
+                   toks[i + 2].isPunct(':') && toks[i + 3].isPunct(':')) {
+            pending.push_back(toks[i + 4].text);
+        } else if (in_body && toks[i].isIdent("default")) {
+            pending_default = true;
+        } else if (in_body && toks[i].isIdent("return") &&
+                   i + 1 < toks.size() &&
+                   toks[i + 1].kind == TokKind::Number) {
+            long status =
+                std::strtol(toks[i + 1].text.c_str(), nullptr, 10);
+            for (const std::string &name : pending)
+                (*by_name)[name] = status;
+            if (pending_default)
+                *default_status = status;
+            pending.clear();
+            pending_default = false;
+        }
+    }
+}
+
+bool
+isDashByte(unsigned char c)
+{
+    // '-', or a byte of the UTF-8 en/em dashes (E2 80 93 / E2 80 94).
+    return c == '-' || c == 0xe2 || c == 0x80 || c == 0x93 || c == 0x94;
+}
+
+/** The Exxxx codes of one doc-table cell, or empty if it is not a
+ * pure code list/range. Ranges like `E1101-E1104` expand. */
+std::vector<long>
+parseCodeCell(const std::string &cell)
+{
+    std::vector<long> codes;
+    std::vector<std::size_t> spans; // start of each code
+    std::size_t i = 0;
+    while (i < cell.size()) {
+        char c = cell[i];
+        if (c == 'E') {
+            std::size_t end = i + 1;
+            while (end < cell.size() && cell[end] >= '0' &&
+                   cell[end] <= '9')
+                ++end;
+            if (end - i != 5)
+                return {};
+            codes.push_back(std::strtol(cell.substr(i + 1, 4).c_str(),
+                                        nullptr, 10));
+            spans.push_back(i);
+            i = end;
+        } else if (c == ' ' || c == ',' || c == '/' ||
+                   isDashByte(static_cast<unsigned char>(c))) {
+            ++i;
+        } else {
+            return {}; // prose cell, not a code list
+        }
+    }
+    if (codes.size() == 2 && spans.size() == 2) {
+        // Two codes joined only by dash bytes form a closed range.
+        bool dashes = true;
+        bool any = false;
+        for (std::size_t k = spans[0] + 5; k < spans[1]; ++k) {
+            unsigned char c = static_cast<unsigned char>(cell[k]);
+            if (c == ' ')
+                continue;
+            if (!isDashByte(c)) {
+                dashes = false;
+                break;
+            }
+            any = true;
+        }
+        if (dashes && any && codes[1] > codes[0] &&
+            codes[1] - codes[0] < 64) {
+            std::vector<long> range;
+            for (long v = codes[0]; v <= codes[1]; ++v)
+                range.push_back(v);
+            return range;
+        }
+    }
+    return codes;
+}
+
+/** True when @p cell is exactly a 3-digit HTTP status. */
+bool
+parseStatusCell(const std::string &cell, long *status)
+{
+    if (cell.size() != 3 ||
+        cell.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    *status = std::strtol(cell.c_str(), nullptr, 10);
+    return *status >= 100 && *status <= 599;
+}
+
+/** I007: doc rows claiming `Exxxx -> HTTP status` match the code. */
+void
+checkErrorDocs(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *header = corpus.find(kErrorHeader);
+    const SourceFile *service = corpus.find(kServiceImpl);
+    if (header == nullptr || !header->tokenized || service == nullptr ||
+        !service->tokenized)
+        return;
+    std::map<long, std::string> registry;
+    for (const CodeEntry &entry : parseErrorEnum(*header))
+        registry.emplace(entry.value, entry.name);
+    if (registry.empty())
+        return;
+    std::map<std::string, long> by_name;
+    long default_status = 0;
+    parseStatusMap(*service, &by_name, &default_status);
+    if (by_name.empty() || default_status == 0)
+        return;
+
+    for (const char *doc : { kReadme, kDesign }) {
+        const SourceFile *file = corpus.find(doc);
+        if (file == nullptr)
+            continue;
+        for (const DocRow &row : allDocRows(file->text)) {
+            std::vector<long> codes;
+            long claimed = 0;
+            int code_cells = 0;
+            int status_cells = 0;
+            for (const std::string &cell : row.cells) {
+                std::vector<long> cs = parseCodeCell(cell);
+                if (!cs.empty()) {
+                    ++code_cells;
+                    codes = std::move(cs);
+                    continue;
+                }
+                long st = 0;
+                if (parseStatusCell(cell, &st)) {
+                    ++status_cells;
+                    claimed = st;
+                }
+            }
+            if (code_cells != 1 || status_cells != 1)
+                continue;
+            for (long value : codes) {
+                char buf[16];
+                std::snprintf(buf, sizeof buf, "E%04ld", value);
+                auto reg = registry.find(value);
+                if (reg == registry.end()) {
+                    sink.add(RuleId::ErrorDocMapping, doc, row.line,
+                             std::string(buf) +
+                                 " is cited with an HTTP mapping but "
+                                 "is not in the ErrorCode registry");
+                    continue;
+                }
+                auto arm = by_name.find(reg->second);
+                long actual = arm == by_name.end() ? default_status
+                                                   : arm->second;
+                if (actual != claimed) {
+                    sink.add(RuleId::ErrorDocMapping, doc, row.line,
+                             "docs claim " + std::string(buf) + " -> " +
+                                 std::to_string(claimed) +
+                                 " but httpStatusFor() maps it to " +
+                                 std::to_string(actual));
+                }
+            }
+        }
+    }
+}
+
+/** I008: every declared ctest label selectable by a gate stage. */
+void
+checkCiLabels(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *gate = corpus.find(kGateScript);
+    if (gate == nullptr)
+        return;
+    std::set<std::string> gated;
+    {
+        std::size_t pos = 0;
+        const std::string &text = gate->text;
+        while ((pos = text.find("run_ctest", pos)) != std::string::npos) {
+            std::size_t eol = text.find('\n', pos);
+            std::string line = text.substr(
+                pos, (eol == std::string::npos ? text.size() : eol) -
+                         pos);
+            std::size_t q = 0;
+            while ((q = line.find('"', q)) != std::string::npos) {
+                std::size_t q2 = line.find('"', q + 1);
+                if (q2 == std::string::npos)
+                    break;
+                std::string arg = line.substr(q + 1, q2 - q - 1);
+                if (!arg.empty() &&
+                    arg.find_first_not_of(
+                        "abcdefghijklmnopqrstuvwxyz0123456789_|") ==
+                        std::string::npos) {
+                    std::size_t b = 0;
+                    while (b <= arg.size()) {
+                        std::size_t bar = arg.find('|', b);
+                        std::size_t len =
+                            (bar == std::string::npos ? arg.size()
+                                                      : bar) -
+                            b;
+                        if (len > 0)
+                            gated.insert(arg.substr(b, len));
+                        if (bar == std::string::npos)
+                            break;
+                        b = bar + 1;
+                    }
+                }
+                q = q2 + 1;
+            }
+            pos = eol == std::string::npos ? text.size() : eol;
+        }
+    }
+    for (const char *path : { kTestsCMake, kToolsCMake }) {
+        const SourceFile *cmake = corpus.find(path);
+        if (cmake == nullptr)
+            continue;
+        const std::string &text = cmake->text;
+        std::size_t pos = 0;
+        std::size_t line = 1;
+        std::size_t scanned = 0;
+        while ((pos = text.find("LABELS", pos)) != std::string::npos) {
+            for (; scanned < pos; ++scanned)
+                line += text[scanned] == '\n';
+            std::size_t i = pos + 6;
+            while (i < text.size() && (text[i] == ' ' || text[i] == '\t'))
+                ++i;
+            // One cmake argument: quoted `"a;b"` or a bare word.
+            std::string arg;
+            if (i < text.size() && text[i] == '"') {
+                std::size_t close = text.find('"', i + 1);
+                if (close != std::string::npos)
+                    arg = text.substr(i + 1, close - i - 1);
+            } else {
+                std::size_t end = i;
+                while (end < text.size() && text[end] != ' ' &&
+                       text[end] != '\t' && text[end] != '\n' &&
+                       text[end] != ')')
+                    ++end;
+                arg = text.substr(i, end - i);
+            }
+            std::size_t b = 0;
+            while (b <= arg.size()) {
+                std::size_t semi = arg.find(';', b);
+                std::size_t len =
+                    (semi == std::string::npos ? arg.size() : semi) - b;
+                std::string label = arg.substr(b, len);
+                bool label_shaped =
+                    !label.empty() && label[0] >= 'a' &&
+                    label[0] <= 'z' &&
+                    label.find_first_not_of(
+                        "abcdefghijklmnopqrstuvwxyz0123456789_") ==
+                        std::string::npos;
+                if (label_shaped && !gated.count(label)) {
+                    sink.add(RuleId::CtestLabelGated, path, line,
+                             "ctest label '" + label +
+                                 "' is never selected by name in any "
+                                 "tools/ci_gate.sh run_ctest stage");
+                }
+                if (semi == std::string::npos)
+                    break;
+                b = semi + 1;
+            }
+            pos += 6;
+        }
+    }
+}
+
+/** I009: bench JSON keys + schema tags pinned by run_bench.cmake. */
+void
+checkBenchSchema(const Corpus &corpus, Sink &sink)
+{
+    const SourceFile *bench = corpus.find(kBenchTool);
+    const SourceFile *pin = corpus.find(kBenchPin);
+    if (bench == nullptr || !bench->tokenized || pin == nullptr)
+        return;
+    const std::vector<Token> &toks = bench->stream.tokens;
+    std::map<std::string, std::size_t> keys;
+    std::map<std::string, std::size_t> tags;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].isIdent("key") && toks[i + 1].isPunct('(') &&
+            toks[i + 2].kind == TokKind::String)
+            keys.emplace(toks[i + 2].text, toks[i + 2].line);
+    }
+    for (const Token &tok : toks) {
+        if (tok.kind == TokKind::String &&
+            hasPrefix(tok.text, "accelwall-bench-"))
+            tags.emplace(tok.text, tok.line);
+    }
+    for (const auto &[key, line] : keys) {
+        if (!containsWord(pin->text, key)) {
+            sink.add(RuleId::BenchSchemaKeys, kBenchTool, line,
+                     "bench emits JSON key '" + key + "' that " +
+                         kBenchPin + " never pins");
+        }
+    }
+    for (const auto &[tag, line] : tags) {
+        if (pin->text.find(tag) == std::string::npos) {
+            sink.add(RuleId::BenchSchemaKeys, kBenchTool, line,
+                     "bench schema tag '" + tag + "' is not pinned by " +
+                         kBenchPin);
+        }
+    }
+}
+
+} // namespace
+
+void
+checkToolSurface(const Corpus &corpus, Sink &sink)
+{
+    checkCliFlags(corpus, sink);
+    checkEnvKnobs(corpus, sink);
+    checkErrorDocs(corpus, sink);
+    checkCiLabels(corpus, sink);
+    checkBenchSchema(corpus, sink);
+}
+
+} // namespace accelwall::ifacecheck::internal

@@ -31,7 +31,8 @@ bool
 wantFile(const std::string &rel, bool *tokenized)
 {
     *tokenized = false;
-    if (rel == "README.md" || rel == "DESIGN.md")
+    if (rel == "README.md" || rel == "DESIGN.md" ||
+        rel == "CMakeLists.txt")
         return true;
     // The seeded-broken lint fixtures are corpora of their own.
     if (hasPrefix(rel, "tests/lint/"))
@@ -41,7 +42,8 @@ wantFile(const std::string &rel, bool *tokenized)
             *tokenized = true;
             return true;
         }
-        return hasSuffix(rel, ".sh");
+        return hasSuffix(rel, ".sh") || hasSuffix(rel, ".cmake") ||
+               hasSuffix(rel, "CMakeLists.txt");
     }
     if (hasPrefix(rel, "tests/")) {
         if (hasSuffix(rel, ".cc") || hasSuffix(rel, ".hh")) {
@@ -86,18 +88,18 @@ parseInclude(const Directive &dir, std::vector<IncludeDirective> *out)
 
 /** Parse the rule list of a `srccheck:allow(S006[,S007...])` marker. */
 std::set<std::string>
-parseAllowRules(const Comment &com)
+parseAllowRules(const std::string &text)
 {
     std::set<std::string> rules;
     const std::string kMarker = "srccheck:allow(";
-    std::size_t at = com.text.find(kMarker);
+    std::size_t at = text.find(kMarker);
     if (at == std::string::npos)
         return rules;
     std::size_t open = at + kMarker.size() - 1;
-    std::size_t close = com.text.find(')', open);
+    std::size_t close = text.find(')', open);
     if (close == std::string::npos)
         return rules;
-    std::string list = com.text.substr(open + 1, close - open - 1);
+    std::string list = text.substr(open + 1, close - open - 1);
     std::istringstream iss(list);
     std::string rule;
     while (std::getline(iss, rule, ',')) {
@@ -126,7 +128,7 @@ resolveAllows(const TokenStream &stream,
     for (const Comment &com : stream.comments)
         comment_lines.insert(com.line);
     for (const Comment &com : stream.comments) {
-        std::set<std::string> rules = parseAllowRules(com);
+        std::set<std::string> rules = parseAllowRules(com.text);
         if (rules.empty())
             continue;
         std::size_t line = com.line;
@@ -136,6 +138,36 @@ resolveAllows(const TokenStream &stream,
             (*allows)[line].insert(rules.begin(), rules.end());
         }
         (*allows)[line + 1].insert(rules.begin(), rules.end());
+    }
+}
+
+/**
+ * Raw (non-tokenized) files — docs, shell, cmake — get a line-based
+ * variant of the same suppression grammar: a `srccheck:allow(...)`
+ * marker anywhere on a line disarms those rules on that line and the
+ * line directly below it. There is no comment-block notion in raw
+ * text, so multi-line reasons must keep the marker on the last line.
+ */
+void
+resolveRawAllows(const std::string &text,
+                 std::map<std::size_t, std::set<std::string>> *allows)
+{
+    std::size_t line = 1;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        std::size_t len =
+            (eol == std::string::npos ? text.size() : eol) - pos;
+        std::string one = text.substr(pos, len);
+        if (one.find("srccheck:allow(") != std::string::npos) {
+            std::set<std::string> rules = parseAllowRules(one);
+            (*allows)[line].insert(rules.begin(), rules.end());
+            (*allows)[line + 1].insert(rules.begin(), rules.end());
+        }
+        if (eol == std::string::npos)
+            break;
+        pos = eol + 1;
+        ++line;
     }
 }
 
@@ -175,6 +207,8 @@ makeSourceFile(std::string path, std::string text)
         for (const Directive &dir : f.stream.directives)
             parseInclude(dir, &f.includes);
         resolveAllows(f.stream, &f.allows);
+    } else {
+        resolveRawAllows(f.text, &f.allows);
     }
     return f;
 }
@@ -212,7 +246,7 @@ loadCorpus(const std::string &root)
                 rels.push_back(std::move(rel));
         }
     }
-    for (const char *doc : { "README.md", "DESIGN.md" }) {
+    for (const char *doc : { "README.md", "DESIGN.md", "CMakeLists.txt" }) {
         if (fs::is_regular_file(base / doc, ec))
             rels.emplace_back(doc);
     }

@@ -11,17 +11,23 @@
  *    tokenized;
  *  - tests/ holds .cc plus .sh/.cmake harness files, scanned as raw
  *    text (rules only substring-match into them);
+ *  - build scripts (the top-level CMakeLists.txt plus CMakeLists.txt
+ *    and .cmake files under src/ and tools/) are raw text, so the
+ *    iface rules can diff ctest labels and gate stages;
  *  - README.md and DESIGN.md are the documentation surface whose
- *    Exxxx references rule S003 validates;
+ *    Exxxx references rule S003 validates and whose interface tables
+ *    the I rules diff against code;
  *  - tests/lint/ is skipped: it holds the seeded-broken fixture
  *    corpora, which are linted as their own roots, never as part of
  *    the enclosing repo.
  *
  * Suppressions: a comment containing `srccheck:allow(S006)` (or a
- * comma list, `srccheck:allow(S006,S007)`) disarms those rules on the
+ * comma list, `srccheck:allow(S006,I004)`) disarms those rules on the
  * comment's line and the line directly below it, so both trailing and
- * preceding-line comment styles work. Every suppression is expected
- * to carry a reason in the same comment; see DESIGN.md §10.
+ * preceding-line comment styles work. Raw files get the same grammar
+ * line-based: a marker anywhere on a line covers that line and the
+ * next. Every suppression is expected to carry a reason in the same
+ * comment; see DESIGN.md §10 and §12.
  */
 
 #ifndef ACCELWALL_SRCCHECK_SCAN_HH

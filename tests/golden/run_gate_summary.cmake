@@ -1,0 +1,69 @@
+# Pin the gate_summary.json schema written by tools/ci_gate.sh: run
+# the gate in ACCELWALL_GATE_DRYRUN mode (every stage records SKIP
+# without executing, so this takes milliseconds), then assert the
+# summary shape — schema tag, overall verdict, and one record per
+# stage carrying stage/status/seconds/log. Invoked by the
+# golden_gate_summary_schema ctest entry with -DGATE=<ci_gate.sh>
+# -DPREFIX=<scratch build prefix>.
+set(ENV{ACCELWALL_GATE_DRYRUN} 1)
+execute_process(
+    COMMAND bash ${GATE} ${PREFIX}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR "dryrun gate exited ${rc}; expected 0")
+endif ()
+file(READ ${PREFIX}-logs/gate_summary.json doc)
+
+function(check_member doc expect)
+    string(JSON actual ERROR_VARIABLE err TYPE "${doc}" ${ARGN})
+    if (err)
+        message(FATAL_ERROR "gate summary: missing ${ARGN}: ${err}")
+    endif ()
+    if (NOT actual STREQUAL expect)
+        message(FATAL_ERROR
+            "gate summary: ${ARGN} is ${actual}, expected ${expect}")
+    endif ()
+endfunction()
+
+check_member("${doc}" STRING schema)
+check_member("${doc}" BOOLEAN dryrun)
+check_member("${doc}" STRING gate)
+check_member("${doc}" ARRAY stages)
+string(JSON schema GET "${doc}" schema)
+if (NOT schema STREQUAL "accelwall-gate-summary-v1")
+    message(FATAL_ERROR "schema tag is '${schema}'")
+endif ()
+
+string(JSON n LENGTH "${doc}" stages)
+if (n LESS 10)
+    message(FATAL_ERROR "only ${n} stages recorded; expected >= 10")
+endif ()
+set(stage_names "")
+math(EXPR last "${n} - 1")
+foreach (i RANGE ${last})
+    check_member("${doc}" STRING stages ${i} stage)
+    check_member("${doc}" STRING stages ${i} status)
+    check_member("${doc}" NUMBER stages ${i} seconds)
+    check_member("${doc}" STRING stages ${i} log)
+    string(JSON status GET "${doc}" stages ${i} status)
+    if (NOT status MATCHES "^(PASS|FAIL|SKIP)$")
+        message(FATAL_ERROR "stage ${i} status is '${status}'")
+    endif ()
+    string(JSON name GET "${doc}" stages ${i} stage)
+    list(APPEND stage_names "${name}")
+endforeach ()
+
+# The stages the rest of the repo depends on must exist by name: the
+# label-gating stage the I008 lint rule points at, and the
+# interface-drift lint stage this PR's tentpole added.
+foreach (needle
+        "ctest (lint|golden|cli_version)"
+        "lint --strict (iface)")
+    list(FIND stage_names "${needle}" at)
+    if (at EQUAL -1)
+        message(FATAL_ERROR
+            "gate summary lacks stage '${needle}'; stages were: "
+            "${stage_names}")
+    endif ()
+endforeach ()

@@ -1,13 +1,12 @@
-# Pin the `accelwall-lint --domain source --format json` *schema* on
+# Pin the `accelwall-lint --domain iface --format json` *schema* on
 # the broken fixture corpus: top-level shape, per-unit keys, diagnostic
-# keys (including the file/line fields the source domain adds to
-# DiagView), and — the real teeth — that every S001..S010 rule fires at
-# least once. A rule that silently stops matching fails here even
-# though the real repo lints clean. Invoked by the
-# golden_lint_source_schema ctest entry with -DTOOL=<accelwall-lint>
+# keys, and — the real teeth — that every I001..I010 rule fires at
+# least once. A drift extractor that silently stops matching fails
+# here even though the real repo lints clean. Invoked by the
+# golden_lint_iface_schema ctest entry with -DTOOL=<accelwall-lint>
 # -DROOT=<fixture dir> -DOUT=<scratch.json>.
 execute_process(
-    COMMAND ${TOOL} --domain source --source-root ${ROOT} --format json
+    COMMAND ${TOOL} --domain iface --source-root ${ROOT} --format json
     RESULT_VARIABLE rc
     OUTPUT_FILE ${OUT})
 if (rc EQUAL 0)
@@ -21,11 +20,11 @@ file(READ ${OUT} doc)
 function(check_member doc expect)
     string(JSON actual ERROR_VARIABLE err TYPE "${doc}" ${ARGN})
     if (err)
-        message(FATAL_ERROR "lint-source json: missing ${ARGN}: ${err}")
+        message(FATAL_ERROR "lint-iface json: missing ${ARGN}: ${err}")
     endif ()
     if (NOT actual STREQUAL expect)
         message(FATAL_ERROR
-            "lint-source json: ${ARGN} is ${actual}, expected ${expect}")
+            "lint-iface json: ${ARGN} is ${actual}, expected ${expect}")
     endif ()
 endfunction()
 
@@ -34,8 +33,13 @@ check_member("${doc}" OBJECT summary)
 foreach (key graphs errors warnings notes)
     check_member("${doc}" NUMBER summary ${key})
 endforeach ()
+# The per-domain rollup the CLI satellite added: with one domain run,
+# exactly that domain appears.
+check_member("${doc}" OBJECT summary domains)
+check_member("${doc}" NUMBER summary domains iface errors)
+check_member("${doc}" NUMBER summary domains iface warnings)
 
-# Exactly one linted unit: the source corpus itself.
+# Exactly one linted unit: the interface surface itself.
 string(JSON n LENGTH "${doc}" graphs)
 if (NOT n EQUAL 1)
     message(FATAL_ERROR "expected 1 linted unit, got ${n}")
@@ -47,13 +51,12 @@ foreach (key files lines errors warnings notes)
 endforeach ()
 check_member("${doc}" ARRAY graphs 0 diagnostics)
 string(JSON phase GET "${doc}" graphs 0 phase)
-if (NOT phase STREQUAL "source")
-    message(FATAL_ERROR "unit phase is '${phase}', expected 'source'")
+if (NOT phase STREQUAL "iface")
+    message(FATAL_ERROR "unit phase is '${phase}', expected 'iface'")
 endif ()
 
-# Every diagnostic carries rule/name/severity/file/message; the source
-# domain locates findings by file, and by line whenever one exists.
-# Collect the fired rule codes along the way.
+# Every diagnostic carries rule/name/severity/file/message, located by
+# file and (whenever one exists) line. Collect fired rule codes.
 string(JSON diags LENGTH "${doc}" graphs 0 diagnostics)
 if (diags EQUAL 0)
     message(FATAL_ERROR "broken corpus produced no diagnostics")
@@ -72,31 +75,13 @@ foreach (i RANGE ${last})
     endif ()
     string(JSON rule GET "${doc}" graphs 0 diagnostics ${i} rule)
     list(APPEND fired ${rule})
-    if (rule STREQUAL "S004")
-        string(JSON msg GET "${doc}" graphs 0 diagnostics ${i} message)
-        string(APPEND s004_messages "${msg}\n")
-    endif ()
 endforeach ()
 
-# Coverage pin: the fixture corpus must trip every rule.
-foreach (rule S001 S002 S003 S004 S005 S006 S007 S008 S009 S010)
+# Coverage pin: the fixture corpus must trip every interface rule.
+foreach (rule I001 I002 I003 I004 I005 I006 I007 I008 I009 I010)
     list(FIND fired ${rule} at)
     if (at EQUAL -1)
         message(FATAL_ERROR
             "rule ${rule} did not fire on the broken corpus")
-    endif ()
-endforeach ()
-
-# The socket-layer chaos sites are the HEALTHY control pair: checked
-# in src/util/socket.cc and named by tests/socket_chaos.cc. S004 must
-# not mention either — a false positive here means the rule's usage or
-# coverage extractors regressed. (The orphan/untested sites in
-# faultinject.hh still provide the positive S004 coverage above.)
-foreach (needle "send-reset" "recv-stall")
-    string(FIND "${s004_messages}" "${needle}" at)
-    if (NOT at EQUAL -1)
-        message(FATAL_ERROR
-            "S004 falsely reported healthy site ${needle}; S004 "
-            "messages were:\n${s004_messages}")
     endif ()
 endforeach ()

@@ -1,0 +1,19 @@
+// Fixture env knobs, both halves of the I006 drift: ACCELWALL_FX_UNDOC
+// is read here and set by the fixture test but documented nowhere;
+// ACCELWALL_FX_UNSET is documented in the fixture README but no test
+// or script ever sets it.
+
+#include <cstdlib>
+
+namespace accelwall::serve
+{
+
+bool
+fxKnobs()
+{
+    const char *undoc = std::getenv("ACCELWALL_FX_UNDOC");
+    const char *unset = std::getenv("ACCELWALL_FX_UNSET");
+    return undoc != nullptr || unset != nullptr;
+}
+
+} // namespace accelwall::serve

@@ -1,0 +1,54 @@
+// Fixture metrics implementation: the declared serving surface the
+// I-rules diff against the fixture README and tests. Each literal
+// below is one seeded drift case (or a healthy control) — see the
+// fixture README's violations table.
+
+#include <string>
+
+namespace accelwall::serve
+{
+
+std::string
+renderMetrics()
+{
+    std::string out;
+    // Healthy control: documented, tested, full HELP/TYPE discipline.
+    out += "# HELP accelwall_fx_requests_total Requests served.\n";
+    out += "# TYPE accelwall_fx_requests_total counter\n";
+    out += "accelwall_fx_requests_total 42\n";
+    // I001: emitted with discipline but missing from the glossary.
+    out += "# HELP accelwall_fx_undocumented_total Sneaky series.\n";
+    out += "# TYPE accelwall_fx_undocumented_total counter\n";
+    out += "accelwall_fx_undocumented_total 7\n";
+    // I002: documented and emitted, asserted by no fixture test.
+    out += "# HELP accelwall_fx_untested_total Never asserted.\n";
+    out += "# TYPE accelwall_fx_untested_total counter\n";
+    out += "accelwall_fx_untested_total 9\n";
+    // I010: emitted with neither HELP nor TYPE.
+    out += "accelwall_fx_bare 3\n";
+    // I010: a counter that violates the `_total` naming convention.
+    out += "# HELP accelwall_fx_miscounted Counter, badly named.\n";
+    out += "# TYPE accelwall_fx_miscounted counter\n";
+    out += "accelwall_fx_miscounted 1\n";
+    // I010: HELP/TYPE declared for a series that is never emitted.
+    out += "# HELP accelwall_fx_ghost_total Declared, never emitted.\n";
+    out += "# TYPE accelwall_fx_ghost_total counter\n";
+    return out;
+}
+
+// The per-endpoint request classification: the declared route set.
+// `/v1/unserved` is the I003 seed — classified here, dispatched
+// nowhere; `/v1/untested` is served and documented but no fixture
+// test ever names it.
+const char *
+classifyEndpoint(int which)
+{
+    static const char *kRoutes[] = {
+        "/v1/fx",
+        "/v1/untested",
+        "/v1/unserved",
+    };
+    return kRoutes[which];
+}
+
+} // namespace accelwall::serve

@@ -1,0 +1,39 @@
+// Fixture request dispatcher + error→HTTP mapping. `/v1/ghost-served`
+// is the I003 seed (dispatched, never classified in metrics.cc); the
+// FxConflict arm below returns 500 while the README claims 404, which
+// is the I007 seed.
+
+#include "util/error.hh"
+
+namespace accelwall::serve
+{
+
+int
+dispatch(const char *path_cstr)
+{
+    std::string path(path_cstr);
+    if (path == "/v1/fx")
+        return 0;
+    if (path == "/v1/untested")
+        return 1;
+    if (path == "/v1/ghost-served")
+        return 2;
+    return -1;
+}
+
+using util::ErrorCode;
+
+int
+httpStatusFor(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::FxBadRequest:
+        return 400;
+    case ErrorCode::FxConflict:
+        return 500;
+    default:
+        return 500;
+    }
+}
+
+} // namespace accelwall::serve

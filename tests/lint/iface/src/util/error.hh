@@ -1,0 +1,20 @@
+// Fixture error registry: the ErrorCode enum the I007 extractor
+// parses. E7999 is deliberately absent — the README cites it anyway.
+
+#ifndef FIXTURE_UTIL_ERROR_HH
+#define FIXTURE_UTIL_ERROR_HH
+
+#include <string>
+
+namespace accelwall::util
+{
+
+enum class ErrorCode
+{
+    FxBadRequest = 7000,
+    FxConflict = 7001,
+};
+
+} // namespace accelwall::util
+
+#endif // FIXTURE_UTIL_ERROR_HH

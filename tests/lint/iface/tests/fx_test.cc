@@ -1,0 +1,21 @@
+// Fixture test: the coverage surface for the I002/I003/I006 scans.
+// Everything named here counts as "exercised" (raw text, comments
+// included — which is why this comment must not name the seeded
+// gaps). The undocumented knob IS set here, so only its missing
+// documentation fires; the series/route/flag gaps stay absent.
+
+#include <cstdlib>
+
+int
+main()
+{
+    setenv("ACCELWALL_FX_UNDOC", "1", 1);
+    const char *series[] = {
+        "accelwall_fx_requests_total",
+        "accelwall_fx_undocumented_total",
+        "accelwall_fx_bare",
+        "accelwall_fx_miscounted",
+    };
+    const char *routes[] = { "/v1/fx", "/v1/unserved" };
+    return series[0] != nullptr && routes[0] != nullptr ? 0 : 1;
+}

@@ -1,0 +1,5 @@
+# Fixture bench pin: carries the fx_runtime_ms key and the
+# accelwall-bench-fx-v1 schema tag; the drifted key and the rogue tag
+# emitted by tools/accelwall_bench.cc are deliberately missing (I009).
+set(expected_schema "accelwall-bench-fx-v1")
+set(expected_keys "fx_runtime_ms")

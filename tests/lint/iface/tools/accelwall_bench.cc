@@ -1,0 +1,30 @@
+// Fixture bench emitter: the I009 seeds. `fx_drifted` is a JSON key
+// the golden pin never mentions, and `accelwall-bench-rogue-v9` is a
+// schema tag the pin does not carry; the `fx_runtime_ms` key and the
+// `accelwall-bench-fx-v1` tag are the healthy controls.
+
+#include <iostream>
+#include <string>
+
+namespace
+{
+
+void
+key(const std::string &name)
+{
+    std::cout << '"' << name << '"' << ": ";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "{ \"schema\": \"accelwall-bench-fx-v1\", ";
+    key("fx_runtime_ms");
+    std::cout << "1.5, ";
+    key("fx_drifted");
+    std::cout << "0 }\n";
+    std::cout << "accelwall-bench-rogue-v9\n";
+    return 0;
+}

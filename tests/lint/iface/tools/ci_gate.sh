@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Fixture gate: selects only the fx_smoke label, so the orphanlabel
+# declared in tests/CMakeLists.txt is the I008 seed.
+set -uo pipefail
+prefix="${1:-build}"
+
+run_ctest() {
+    ctest --test-dir "$1" --output-on-failure -L "${2:-}"
+}
+
+run_ctest "${prefix}" "fx_smoke"

@@ -1,0 +1,37 @@
+// Fixture CLI tool: both directions of I004 flag drift plus the I005
+// coverage gap. `--undoc` is parsed but missing from the usage text;
+// `--ghost` is documented but never parsed; `--untested` is consistent
+// yet no fixture test or harness line exercises it.
+
+#include <iostream>
+#include <string>
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: frob [--ok N] [--untested] [--ghost N]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--ok" && i + 1 < argc) {
+            ++i;
+        } else if (arg == "--untested") {
+            continue;
+        } else if (arg == "--undoc") {
+            continue;
+        } else {
+            return usage();
+        }
+    }
+    return 0;
+}

@@ -1,8 +1,8 @@
-// Fixture socket layer: exercises the socket-site half of S004. The
-// send-reset check below is legitimate production usage, but no
-// fixture test names the site, so S004 must report it untested; the
-// registered recv-stall site has no check anywhere under src/, so
-// S004 must report it unused.
+// Fixture socket layer: the socket-site half of S004, in its healthy
+// shape. Both chaos sites are checked here AND named by the fixture
+// socket test, so S004 must stay silent about them — the golden pin
+// asserts the absence. The S004 coverage findings come from the
+// orphan/untested sites in faultinject.hh instead.
 
 #include "util/faultinject.hh"
 
@@ -13,6 +13,14 @@ int
 sendAll(FaultPlan &faults, int fd)
 {
     if (faults.shouldFailCounted("send-reset"))
+        return -1;
+    return fd;
+}
+
+int
+recvSome(FaultPlan &faults, int fd)
+{
+    if (faults.shouldFailCounted("recv-stall"))
         return -1;
     return fd;
 }

@@ -1,0 +1,10 @@
+// Fixture socket-chaos test: names both socket-layer fault sites,
+// "send-reset" and "recv-stall", so the S004 test-coverage arm sees
+// them exercised. Together with the checks in src/util/socket.cc this
+// keeps the pair fully healthy — the golden pin asserts S004 stays
+// silent about them.
+int
+main()
+{
+    return 0;
+}

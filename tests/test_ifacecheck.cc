@@ -1,0 +1,386 @@
+/**
+ * @file
+ * The interface-drift lint domain: one synthetic-corpus case per I
+ * rule, plus the shared plumbing (severity escalation, the raw-file
+ * srccheck:allow grammar, the diagnostics cap, rule metadata). The
+ * rules run against in-memory SourceFiles built with makeSourceFile,
+ * so every case is hermetic — the on-disk repo is covered separately
+ * by the lint_iface / lint_iface_broken ctest entries.
+ *
+ * Note on string literals here: the source domain's S003 scans this
+ * file's raw text for Exxxx references, so synthetic codes that must
+ * NOT exist in the real registry are split across adjacent literals
+ * ("E90" "01" never appears as one run of text). Likewise the metric,
+ * endpoint, and flag names use a zz_ prefix so this file's raw text
+ * cannot satisfy a coverage scan for any real surface.
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ifacecheck/check.hh"
+#include "srccheck/scan.hh"
+
+namespace accelwall::ifacecheck
+{
+namespace
+{
+
+Corpus
+corpusOf(std::vector<std::pair<std::string, std::string>> files)
+{
+    Corpus c;
+    c.root = "synthetic";
+    for (auto &[path, text] : files)
+        c.files.push_back(
+            srccheck::makeSourceFile(std::move(path), std::move(text)));
+    return c;
+}
+
+int
+countRule(const Report &report, RuleId rule)
+{
+    int n = 0;
+    for (const Diagnostic &d : report.diagnostics)
+        n += d.rule == rule;
+    return n;
+}
+
+// A metrics implementation whose exposition builder is healthy for
+// the zz_up gauge; cases append their own drift on top.
+const char *kHealthyMetrics =
+    "const char *exposition =\n"
+    "    \"# HELP accelwall_zz_up Server liveness.\\n\"\n"
+    "    \"# TYPE accelwall_zz_up gauge\\n\"\n"
+    "    \"accelwall_zz_up 1\\n\";\n";
+
+// ---------------------------------------------------------------------
+// Metrics: I001 / I002 / I010
+
+TEST(MetricDocumented, FiresInBothDirections)
+{
+    Corpus c = corpusOf({
+        { "src/serve/metrics.cc",
+          std::string(kHealthyMetrics) +
+              "const char *rogue =\n"
+              "    \"# HELP accelwall_zz_rogue_total Sneaky.\\n\"\n"
+              "    \"# TYPE accelwall_zz_rogue_total counter\\n\"\n"
+              "    \"accelwall_zz_rogue_total 2\\n\";\n" },
+        { "README.md",
+          "the `/metrics` glossary:\n"
+          "| metric | meaning |\n"
+          "|---|---|\n"
+          "| `zz_up` | liveness |\n"
+          "| `zz_ghost_total` | documented, never emitted |\n" },
+        { "tests/zz.cc",
+          "// names accelwall_zz_up and accelwall_zz_rogue_total\n" },
+    });
+    Report r = check(c);
+    EXPECT_TRUE(r.fired(RuleId::MetricDocumented));
+    // One finding per direction: the emitted-but-undocumented rogue
+    // series, and the documented-but-never-emitted ghost row.
+    EXPECT_EQ(countRule(r, RuleId::MetricDocumented), 2);
+    EXPECT_EQ(countRule(r, RuleId::MetricTested), 0);
+}
+
+TEST(MetricTested, WarnsByDefaultAndEscalatesUnderStrict)
+{
+    Corpus c = corpusOf({
+        { "src/serve/metrics.cc", kHealthyMetrics },
+        { "README.md",
+          "the `/metrics` glossary:\n"
+          "| metric | meaning |\n"
+          "|---|---|\n"
+          "| `zz_up` | liveness |\n" },
+    });
+    Report lax = check(c);
+    EXPECT_TRUE(lax.fired(RuleId::MetricTested));
+    EXPECT_TRUE(lax.ok()) << "I002 must be a warning by default";
+    EXPECT_EQ(lax.num_warnings, 1u);
+
+    Options strict;
+    strict.warnings_as_errors = true;
+    Report hard = check(c, strict);
+    EXPECT_FALSE(hard.ok());
+    EXPECT_EQ(hard.num_errors, 1u);
+}
+
+TEST(MetricHelpType, BareMiscountedAndGhostSeries)
+{
+    Corpus c = corpusOf({
+        { "src/serve/metrics.cc",
+          std::string(kHealthyMetrics) +
+              "const char *drift =\n"
+              "    \"accelwall_zz_bare 3\\n\"\n"
+              "    \"# HELP accelwall_zz_mis Badly named.\\n\"\n"
+              "    \"# TYPE accelwall_zz_mis counter\\n\"\n"
+              "    \"accelwall_zz_mis 1\\n\"\n"
+              "    \"# HELP accelwall_zz_ghost_total Unemitted.\\n\"\n"
+              "    \"# TYPE accelwall_zz_ghost_total counter\\n\";\n" },
+        { "tests/zz.cc",
+          "// accelwall_zz_up accelwall_zz_bare accelwall_zz_mis\n" },
+    });
+    Report r = check(c);
+    // zz_bare: no HELP + no TYPE (2); zz_mis: counter without _total
+    // (1); zz_ghost_total: HELP and TYPE for an unemitted series (2).
+    EXPECT_EQ(countRule(r, RuleId::MetricHelpType), 5);
+}
+
+TEST(MetricHelpType, HistogramSuffixesFoldToTheirBase)
+{
+    Corpus c = corpusOf({
+        { "src/serve/metrics.cc",
+          "const char *histo =\n"
+          "    \"# HELP accelwall_zz_lat Latency.\\n\"\n"
+          "    \"# TYPE accelwall_zz_lat histogram\\n\"\n"
+          "    \"accelwall_zz_lat_bucket 1\\n\"\n"
+          "    \"accelwall_zz_lat_sum 2\\n\"\n"
+          "    \"accelwall_zz_lat_count 3\\n\";\n" },
+        { "README.md",
+          "the `/metrics` glossary:\n"
+          "| metric | meaning |\n"
+          "|---|---|\n"
+          "| `zz_lat*` | latency histogram series |\n" },
+        { "tests/zz.cc", "// asserts accelwall_zz_lat output\n" },
+    });
+    Report r = check(c);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------
+// Endpoints: I003
+
+TEST(EndpointConsistency, AllFourArms)
+{
+    Corpus c = corpusOf({
+        { "src/serve/metrics.cc",
+          "const char *routes[] = { \"/zz/a\", \"/zz/unserved\" };\n" },
+        { "src/serve/service.cc",
+          "int d(const std::string &p) {\n"
+          "    if (p == \"/zz/a\") return 0;\n"
+          "    if (p == \"/zz/ghost\") return 1;\n"
+          "    return -1;\n"
+          "}\n" },
+        { "README.md",
+          "routes:\n"
+          "| endpoint | meaning |\n"
+          "|---|---|\n"
+          "| `/zz/a` | healthy |\n"
+          "| `/zz/unserved` | classified, not dispatched |\n"
+          "| `/zz/doc-phantom` | documented only |\n" },
+        { "tests/zz.cc", "// curls \"/zz/a\" only\n" },
+    });
+    Report r = check(c);
+    // ghost: dispatched, never classified; unserved: classified,
+    // never dispatched; doc-phantom: documented, neither; unserved
+    // again: declared route no test exercises.
+    EXPECT_EQ(countRule(r, RuleId::EndpointConsistency), 4);
+}
+
+// ---------------------------------------------------------------------
+// CLI flags: I004 / I005
+
+TEST(CliFlags, DocDriftBothWaysAndCoverageGap)
+{
+    Corpus c = corpusOf({
+        { "tools/zz.cc",
+          "int usage() {\n"
+          "    err(\"usage: zz [--alpha N] [--ghost]\\n\");\n"
+          "    return 2;\n"
+          "}\n"
+          "int main(int argc, char **argv) {\n"
+          "    if (arg == \"--alpha\") {}\n"
+          "    else if (arg == \"--beta\") {}\n"
+          "    else if (arg == \"--version\") {}\n"
+          "    return 0;\n"
+          "}\n" },
+        { "tests/CMakeLists.txt",
+          "add_test(NAME zz COMMAND zz --alpha 1)\n" },
+    });
+    Report r = check(c);
+    // I004: --beta parsed but undocumented, --ghost documented but
+    // unparsed; --version is exempt (parsed centrally).
+    EXPECT_EQ(countRule(r, RuleId::CliFlagDocumented), 2);
+    // I005: --beta also lacks coverage; --alpha is exercised above.
+    // (--version is likewise exempt from I004 but not from I005, and
+    // every real tool has a cli_version ctest covering it.)
+    EXPECT_TRUE(r.fired(RuleId::CliFlagExercised));
+}
+
+// ---------------------------------------------------------------------
+// Env knobs: I006
+
+TEST(EnvKnobs, UndocumentedAndNeverSetAreSeparateFindings)
+{
+    Corpus c = corpusOf({
+        { "src/serve/knobs.cc",
+          "bool f() {\n"
+          "    const char *a = getenv(\"ACCELWALL_ZZ_DOC\");\n"
+          "    const char *b = getenv(\"ACCELWALL_ZZ_SET\");\n"
+          "    return a && b;\n"
+          "}\n" },
+        { "README.md", "Set ACCELWALL_ZZ_DOC to tune the fixture.\n" },
+        { "tests/run.sh", "ACCELWALL_ZZ_SET=1 ./zz\n" },
+    });
+    Report r = check(c);
+    // ZZ_DOC: documented, never set; ZZ_SET: set, never documented.
+    EXPECT_EQ(countRule(r, RuleId::EnvKnobConsistency), 2);
+}
+
+// ---------------------------------------------------------------------
+// Error-code docs: I007
+
+TEST(ErrorDocs, WrongMappingAndUnregisteredCode)
+{
+    Corpus c = corpusOf({
+        { "src/util/error.hh",
+          "enum class ErrorCode\n"
+          "{\n"
+          "    ZzBad = 9000,\n"
+          "    ZzConflict = 9001,\n"
+          "};\n" },
+        { "src/serve/service.cc",
+          "int httpStatusFor(ErrorCode code) {\n"
+          "    switch (code) {\n"
+          "    case ErrorCode::ZzBad: return 400;\n"
+          "    case ErrorCode::ZzConflict: return 409;\n"
+          "    default: return 500;\n"
+          "    }\n"
+          "}\n" },
+        { "README.md",
+          "| code | HTTP | meaning |\n"
+          "|---|---|---|\n"
+          "| E90" "00 | 400 | healthy row |\n"
+          "| E90" "01 | 404 | docs claim 404, code says 409 |\n"
+          "| E99" "99 | 400 | not in the registry at all |\n" },
+    });
+    Report r = check(c);
+    EXPECT_EQ(countRule(r, RuleId::ErrorDocMapping), 2);
+}
+
+// ---------------------------------------------------------------------
+// ctest labels: I008
+
+const char *kLabelledTests =
+    "add_test(NAME a COMMAND a)\n"
+    "set_tests_properties(a PROPERTIES LABELS \"zzgood;zzorphan\")\n";
+
+TEST(CtestLabels, OrphanLabelIsNamed)
+{
+    Corpus c = corpusOf({
+        { "tests/CMakeLists.txt", kLabelledTests },
+        { "tools/ci_gate.sh",
+          "run_ctest \"${prefix}\"\n"
+          "run_ctest \"${prefix}\" \"zzgood\"\n" },
+    });
+    Report r = check(c);
+    ASSERT_EQ(countRule(r, RuleId::CtestLabelGated), 1);
+    for (const Diagnostic &d : r.diagnostics) {
+        if (d.rule == RuleId::CtestLabelGated) {
+            EXPECT_NE(d.message.find("zzorphan"), std::string::npos);
+        }
+    }
+}
+
+TEST(CtestLabels, RawAllowMarkerSuppresses)
+{
+    // Same corpus, but the CMake file disarms I008 with the raw-file
+    // allow grammar: a marker line covers itself and the next line.
+    Corpus c = corpusOf({
+        { "tests/CMakeLists.txt",
+          "add_test(NAME a COMMAND a)\n"
+          "# srccheck:allow(I008) fixture-only label\n"
+          "set_tests_properties(a PROPERTIES LABELS zzorphan)\n" },
+        { "tools/ci_gate.sh", "run_ctest \"${prefix}\" \"zzgood\"\n" },
+    });
+    Report r = check(c);
+    EXPECT_EQ(countRule(r, RuleId::CtestLabelGated), 0);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+// ---------------------------------------------------------------------
+// Bench schema: I009
+
+TEST(BenchSchema, UnpinnedKeyAndRogueTag)
+{
+    Corpus c = corpusOf({
+        { "tools/accelwall_bench.cc",
+          "void emit() {\n"
+          "    key(\"zz_ms\");\n"
+          "    key(\"zz_drift\");\n"
+          "    tag(\"accelwall-bench-zz-v1\");\n"
+          "    tag(\"accelwall-bench-zz-rogue\");\n"
+          "}\n" },
+        { "tests/golden/run_bench.cmake",
+          "# pins zz_ms and the accelwall-bench-zz-v1 tag\n" },
+    });
+    Report r = check(c);
+    EXPECT_EQ(countRule(r, RuleId::BenchSchemaKeys), 2);
+}
+
+// ---------------------------------------------------------------------
+// Shared plumbing
+
+TEST(Plumbing, DiagnosticsCapCountsButDropsBeyondMax)
+{
+    Corpus c = corpusOf({
+        { "tests/CMakeLists.txt",
+          "set_tests_properties(a PROPERTIES LABELS zzone)\n"
+          "set_tests_properties(b PROPERTIES LABELS zztwo)\n" },
+        { "tools/ci_gate.sh", "run_ctest \"${prefix}\" \"zzgood\"\n" },
+    });
+    Options opt;
+    opt.max_diagnostics = 1;
+    Report r = check(c, opt);
+    EXPECT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.num_errors, 2u) << "counters must see capped findings";
+    EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Plumbing, RuleMetadataTables)
+{
+    EXPECT_EQ(kNumRules, 10);
+    EXPECT_STREQ(ruleCode(RuleId::MetricDocumented), "I001");
+    EXPECT_STREQ(ruleCode(RuleId::MetricHelpType), "I010");
+    EXPECT_STREQ(ruleName(RuleId::CliFlagDocumented),
+                 "cli-flag-documented");
+    EXPECT_EQ(defaultSeverity(RuleId::MetricTested), Severity::Warning);
+    EXPECT_EQ(defaultSeverity(RuleId::CliFlagExercised),
+              Severity::Warning);
+    EXPECT_EQ(defaultSeverity(RuleId::ErrorDocMapping), Severity::Error);
+    EXPECT_STREQ(severityName(Severity::Warning), "warning");
+}
+
+TEST(Plumbing, DiagnosticStrNamesFileLineAndRule)
+{
+    Corpus c = corpusOf({
+        { "tests/CMakeLists.txt", kLabelledTests },
+        { "tools/ci_gate.sh", "run_ctest \"${prefix}\" \"zzgood\"\n" },
+    });
+    Report r = check(c);
+    ASSERT_FALSE(r.diagnostics.empty());
+    std::string s = r.diagnostics[0].str();
+    EXPECT_NE(s.find("tests/CMakeLists.txt:"), std::string::npos);
+    EXPECT_NE(s.find("I008"), std::string::npos);
+    EXPECT_NE(s.find("ctest-label-gated"), std::string::npos);
+}
+
+TEST(Plumbing, QuietCorpusReportsClean)
+{
+    // None of the anchor files exist: every extractor must notice its
+    // surface is absent and stay silent rather than crash or invent
+    // findings.
+    Corpus c = corpusOf({
+        { "src/cmos/model.cc", "int x = 1;\n" },
+    });
+    Report r = check(c);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_TRUE(r.diagnostics.empty());
+}
+
+} // namespace
+} // namespace accelwall::ifacecheck

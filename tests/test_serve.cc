@@ -503,7 +503,10 @@ TEST(Service, HealthzAndMetrics)
     for (const char *metric :
          { "accelwall_requests_total", "accelwall_requests_shed_total",
            "accelwall_request_duration_seconds_bucket",
-           "accelwall_cache_hits_total", "accelwall_cache_hit_ratio",
+           "accelwall_cache_hits_total", "accelwall_cache_misses_total",
+           "accelwall_cache_insertions_total",
+           "accelwall_cache_evictions_total", "accelwall_cache_entries",
+           "accelwall_cache_hit_ratio",
            "accelwall_connection_aborts_total",
            "accelwall_retries_total", "accelwall_breaker_state",
            "accelwall_faults_injected_total",

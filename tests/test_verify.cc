@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <utility>
@@ -404,6 +405,18 @@ TEST(Rewrite, ShortenedCriticalPathIsDetected)
 
 // ---------------------------------------------------------------------
 // The debug hook.
+
+// Must run before any test calls setDebugVerify(): the knob is read
+// from the environment exactly once, and gtest_discover_tests runs
+// each TEST in its own process with ACCELWALL_VERIFY pinned, so the
+// initial state here is the env-derived one.
+TEST(DebugVerify, EnvKnobSetsTheInitialState)
+{
+    const char *env = std::getenv("ACCELWALL_VERIFY");
+    if (env == nullptr)
+        GTEST_SKIP() << "ACCELWALL_VERIFY not set for this process";
+    EXPECT_EQ(debugVerifyEnabled(), std::string(env) != "0");
+}
 
 TEST(DebugVerify, PanicsOnBrokenGraphWhenEnabled)
 {

@@ -109,6 +109,12 @@ parseFaultSpec(const std::string &spec, std::vector<FaultRule> &rules)
             rule.kind != "fin" && rule.kind != "delay" &&
             rule.kind != "drip")
             return false;
+        // One rule per kind: a duplicate would silently shadow the
+        // earlier period, so reject the spec outright.
+        for (const FaultRule &seen : rules) {
+            if (seen.kind == rule.kind)
+                return false;
+        }
 
         std::size_t c2 = entry.find(':', c1 + 1);
         std::string period_str =

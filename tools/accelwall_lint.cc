@@ -1,21 +1,23 @@
 /**
  * @file
- * accelwall-lint: static model-integrity checking across three rule
+ * accelwall-lint: static model-integrity checking across four rule
  * domains — the kernel DFGs/rewrites (V/R rules), the numerical model
- * inputs (M rules: scaling table, budget fits, chip corpus), and the
+ * inputs (M rules: scaling table, budget fits, chip corpus), the
  * repository's own sources (S rules: error codes, fault sites,
- * determinism, lock discipline).
+ * determinism, lock discipline), and the externally visible interface
+ * surface (I rules: metrics, endpoints, flags, env knobs, CI labels).
  *
  * Usage: accelwall-lint [options] [KERNEL ...]
  *
- *   --domain dfg|model|source|all
+ *   --domain dfg|model|source|iface|all
  *                           which rule domain to run (default all)
  *   --format text|json      diagnostic output format (default text)
  *   --strict                treat warnings as errors for the exit code
  *   --verbose               also print note-severity diagnostics
  *   --list-rules            print all rule tables and exit
- *   --source-root DIR       checkout the source domain scans (default:
- *                           the configure-time source directory)
+ *   --list-domains          print the domain table and exit
+ *   --source-root DIR       checkout the source/iface domains scan
+ *                           (default: the configure-time source dir)
  *   --demo-broken           lint intentionally broken graphs instead of
  *                           the registry (exits nonzero; used by ctest)
  *   --demo-broken-model     audit intentionally corrupted model inputs
@@ -26,10 +28,12 @@
  * the Figure 11 example. Each kernel is verified as built, then pushed
  * through every dfgopt rewrite in before/after mode. The model domain
  * audits the shipped scaling table, budget model, and reference corpus
- * against rules M001..M010. The source domain tokenizes the checkout
- * and runs rules S001..S010 (the seeded-broken corpus under
- * tests/lint/source/ proves each one fires). Exits 1 if any rule
- * fires at error severity.
+ * against rules M001..M010. The source and iface domains share one
+ * tokenized scan of the checkout and run rules S001..S010 and
+ * I001..I010 (the seeded-broken corpora under tests/lint/source/ and
+ * tests/lint/iface/ prove each one fires). Exits 1 if any rule fires
+ * at error severity; with more than one domain in the run, the final
+ * summary line breaks the counts down per domain.
  */
 
 #include <functional>
@@ -42,6 +46,7 @@
 #include "dfg/graph.hh"
 #include "dfg/verify.hh"
 #include "dfgopt/rewrites.hh"
+#include "ifacecheck/check.hh"
 #include "kernels/kernels.hh"
 #include "modelcheck/check.hh"
 #include "srccheck/check.hh"
@@ -64,6 +69,7 @@ struct LintConfig
     bool run_dfg = true;
     bool run_model = true;
     bool run_source = true;
+    bool run_iface = true;
     std::string source_root = cli::kSourceRoot;
 };
 
@@ -203,6 +209,75 @@ fromSourceReport(const srccheck::Corpus &corpus,
         res.diags.push_back(std::move(v));
     }
     return res;
+}
+
+LintResult
+fromIfaceReport(const srccheck::Corpus &corpus,
+                const ifacecheck::Report &report)
+{
+    LintResult res;
+    res.name = "iface";
+    res.phase = "iface";
+    std::ostringstream shape;
+    shape << corpus.files.size() << " files, " << corpus.totalLines()
+          << " lines";
+    res.shape = shape.str();
+    res.stats = { { "files", corpus.files.size() },
+                  { "lines", corpus.totalLines() } };
+    res.errors = report.num_errors;
+    res.warnings = report.num_warnings;
+    res.notes = report.num_notes;
+    res.ok = report.ok();
+    res.summary = report.summary();
+    for (const ifacecheck::Diagnostic &d : report.diagnostics) {
+        DiagView v;
+        v.rule = ifacecheck::ruleCode(d.rule);
+        v.name = ifacecheck::ruleName(d.rule);
+        v.severity = ifacecheck::severityName(d.severity);
+        v.message = d.message;
+        v.rendered = d.str();
+        v.is_note = d.severity == ifacecheck::Severity::Note;
+        v.file = d.file;
+        if (d.line > 0)
+            v.line = d.line;
+        res.diags.push_back(std::move(v));
+    }
+    return res;
+}
+
+/** The domain a linted unit belongs to, from its phase tag. */
+const char *
+domainOf(const LintResult &res)
+{
+    if (res.phase == "model")
+        return "model";
+    if (res.phase == "source")
+        return "source";
+    if (res.phase == "iface")
+        return "iface";
+    return "dfg";
+}
+
+/** Per-domain error/warning counts, in fixed domain order. */
+std::vector<std::pair<std::string, std::pair<std::size_t, std::size_t>>>
+domainCounts(const std::vector<LintResult> &results)
+{
+    std::vector<std::pair<std::string,
+                          std::pair<std::size_t, std::size_t>>> counts;
+    for (const char *domain : { "dfg", "model", "source", "iface" }) {
+        bool present = false;
+        std::size_t errors = 0, warnings = 0;
+        for (const LintResult &res : results) {
+            if (std::string(domainOf(res)) != domain)
+                continue;
+            present = true;
+            errors += res.errors;
+            warnings += res.warnings;
+        }
+        if (present)
+            counts.push_back({ domain, { errors, warnings } });
+    }
+    return counts;
 }
 
 /** The registry the dfg domain walks by default. */
@@ -408,6 +483,14 @@ printJson(const std::vector<LintResult> &results, std::ostream &os)
     w.key("errors").value(errors);
     w.key("warnings").value(warnings);
     w.key("notes").value(notes);
+    w.key("domains").beginObject();
+    for (const auto &[domain, counts] : domainCounts(results)) {
+        w.key(domain).beginObject();
+        w.key("errors").value(counts.first);
+        w.key("warnings").value(counts.second);
+        w.endObject();
+    }
+    w.endObject();
     w.endObject();
     w.endObject();
     os << w.str() << "\n";
@@ -434,7 +517,27 @@ printText(const std::vector<LintResult> &results, const LintConfig &cfg,
         }
     }
     os << results.size() << " units linted: " << errors << " errors, "
-       << warnings << " warnings, " << notes << " notes\n";
+       << warnings << " warnings, " << notes << " notes";
+    // With more than one domain in the run, break the exit-code
+    // aggregate down so a failure names its domain on this line.
+    auto per_domain = domainCounts(results);
+    if (per_domain.size() > 1) {
+        os << " [";
+        bool first = true;
+        for (const auto &[domain, counts] : per_domain) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << domain << ' '
+               << (counts.first == 0 ? "OK" : "FAIL");
+            if (counts.first > 0 || counts.second > 0) {
+                os << " (" << counts.first << "e/" << counts.second
+                   << "w)";
+            }
+        }
+        os << "]";
+    }
+    os << "\n";
 }
 
 void
@@ -465,18 +568,37 @@ listRules(std::ostream &os)
            << srccheck::severityName(srccheck::defaultSeverity(rule))
            << "   repo sources\n";
     }
+    for (int i = 0; i < ifacecheck::kNumRules; ++i) {
+        auto rule = static_cast<ifacecheck::RuleId>(i);
+        os << ifacecheck::ruleCode(rule) << "  "
+           << padRight(ifacecheck::ruleName(rule), 22) << " "
+           << ifacecheck::severityName(ifacecheck::defaultSeverity(rule))
+           << "   interfaces\n";
+    }
+}
+
+void
+listDomains(std::ostream &os)
+{
+    os << "dfg     kernel DFGs and dfgopt rewrites (rules V001..R004)\n"
+       << "model   numerical model inputs (rules M001..M010)\n"
+       << "source  repository source consistency (rules S001..S010)\n"
+       << "iface   external interface drift (rules I001..I010)\n"
+       << "all     every domain above (the default)\n";
 }
 
 int
 usage()
 {
-    std::cerr << "usage: accelwall-lint [--domain dfg|model|source|all]\n"
-              << "                      [--format text|json] [--strict]\n"
-              << "                      [--verbose] [--list-rules]\n"
-              << "                      [--source-root DIR]\n"
-              << "                      [--demo-broken]\n"
-              << "                      [--demo-broken-model]\n"
-              << "                      [KERNEL ...]\n";
+    std::cerr
+        << "usage: accelwall-lint [--domain dfg|model|source|iface|all]\n"
+        << "                      [--format text|json] [--strict]\n"
+        << "                      [--verbose] [--list-rules]\n"
+        << "                      [--list-domains]\n"
+        << "                      [--source-root DIR]\n"
+        << "                      [--demo-broken]\n"
+        << "                      [--demo-broken-model]\n"
+        << "                      [KERNEL ...]\n";
     return 2;
 }
 
@@ -509,13 +631,23 @@ main(int argc, char **argv)
             if (domain == "dfg") {
                 cfg.run_model = false;
                 cfg.run_source = false;
+                cfg.run_iface = false;
             } else if (domain == "model") {
                 cfg.run_dfg = false;
                 cfg.run_source = false;
+                cfg.run_iface = false;
             } else if (domain == "source") {
                 cfg.run_dfg = false;
                 cfg.run_model = false;
+                cfg.run_iface = false;
+            } else if (domain == "iface") {
+                cfg.run_dfg = false;
+                cfg.run_model = false;
+                cfg.run_source = false;
             } else if (domain != "all") {
+                std::cerr << "unknown domain '" << domain
+                          << "' (valid: dfg, model, source, iface, "
+                             "all)\n";
                 return usage();
             }
         } else if (arg == "--source-root") {
@@ -528,6 +660,9 @@ main(int argc, char **argv)
             cfg.verbose = true;
         } else if (arg == "--list-rules") {
             listRules(std::cout);
+            return 0;
+        } else if (arg == "--list-domains") {
+            listDomains(std::cout);
             return 0;
         } else if (arg == "--demo-broken") {
             demo_broken = true;
@@ -584,17 +719,28 @@ main(int argc, char **argv)
                 inputs, modelcheck::check(inputs, model_options)));
         }
     }
-    if (cfg.run_source && !demo_broken && !demo_broken_model) {
-        srccheck::Options source_options;
-        source_options.warnings_as_errors = cfg.strict;
+    if ((cfg.run_source || cfg.run_iface) && !demo_broken &&
+        !demo_broken_model) {
+        // The source and iface domains share one scan of the checkout.
         auto corpus = srccheck::loadCorpus(cfg.source_root);
         if (!corpus.ok()) {
             std::cerr << corpus.error().str() << "\n";
             return 1;
         }
-        results.push_back(fromSourceReport(
-            corpus.value(),
-            srccheck::check(corpus.value(), source_options)));
+        if (cfg.run_source) {
+            srccheck::Options source_options;
+            source_options.warnings_as_errors = cfg.strict;
+            results.push_back(fromSourceReport(
+                corpus.value(),
+                srccheck::check(corpus.value(), source_options)));
+        }
+        if (cfg.run_iface) {
+            ifacecheck::Options iface_options;
+            iface_options.warnings_as_errors = cfg.strict;
+            results.push_back(fromIfaceReport(
+                corpus.value(),
+                ifacecheck::check(corpus.value(), iface_options)));
+        }
     }
 
     if (cfg.json)

@@ -5,15 +5,22 @@
 # every finding after it). Stages:
 #
 #   build / ctest         plain build + the full tier-1 suite (includes
-#                         the lint, lint_model, lint_source ctest
-#                         entries and their seeded-broken twins)
+#                         the lint, lint_model, lint_source, lint_iface
+#                         ctest entries and their seeded-broken twins)
 #   ctest chaos           the network-chaos label on its own: socket
 #                         fault sites, resilient client, chaosproxy
 #                         smoke
-
-#   lint --strict         accelwall-lint over all three domains (dfg
-#                         graphs, model inputs, repo sources) with
-#                         warnings escalated
+#   ctest lint/golden     the static-analysis and golden-pin labels by
+#                         name, plus cli_version: a regression in any
+#                         of them is named in the summary, and the
+#                         I008 rule holds this stage to the label set
+#                         declared in the CMakeLists
+#   lint --strict         accelwall-lint over all four domains (dfg
+#                         graphs, model inputs, repo sources, external
+#                         interfaces) with warnings escalated
+#   lint --strict iface   the interface-drift domain alone, so a drift
+#                         finding is named in the summary rather than
+#                         folded into the all-domain stage
 #   headercheck           one generated TU per public src/ header:
 #                         self-containment + include guards, compiled
 #   asan / ubsan          sanitizer builds + full ctest
@@ -27,9 +34,20 @@
 #   clang-tidy            the ACCELWALL_TIDY preset — tidy runs
 #                         alongside every src/ compile
 #
-# The last two SKIP with a notice when clang++ / clang-tidy are not
-# installed. Usage: tools/ci_gate.sh [build-dir-prefix]; trees land in
-# <prefix>, <prefix>-asan, <prefix>-ubsan, <prefix>-tsan,
+# Every stage is timed and logged: stdout+stderr stream to the console
+# AND to <prefix>-logs/<stage-slug>.log, and the run writes
+# <prefix>-logs/gate_summary.json — schema "accelwall-gate-summary-v1",
+# one record per stage with {stage, status, seconds, log} plus the
+# overall gate verdict — for machine consumption (the
+# golden_gate_summary_schema ctest pins that shape).
+#
+# ACCELWALL_GATE_DRYRUN=1 records every stage as SKIP without running
+# it; the summary JSON is still written, which is how the golden test
+# exercises the schema in milliseconds.
+#
+# The last two stages SKIP with a notice when clang++ / clang-tidy are
+# not installed. Usage: tools/ci_gate.sh [build-dir-prefix]; trees land
+# in <prefix>, <prefix>-asan, <prefix>-ubsan, <prefix>-tsan,
 # <prefix>-clang, <prefix>-tidy (default prefix: build-checks). Exits
 # nonzero when any stage failed.
 
@@ -38,20 +56,58 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 prefix="${1:-build-checks}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+dryrun="${ACCELWALL_GATE_DRYRUN:-0}"
+logdir="${prefix}-logs"
+mkdir -p "${logdir}"
 
 gate_rc=0
 summary=()
+# Parallel arrays feeding gate_summary.json. Stage names must stay
+# free of double quotes and backslashes — they are emitted into JSON
+# verbatim.
+json_stage=()
+json_status=()
+json_seconds=()
+json_log=()
 
-# stage <name> <command...>: run, record PASS/FAIL, keep going.
+# slug <name>: a filesystem-safe stage name for the per-stage log.
+slug() {
+    echo "$1" | tr -c 'a-zA-Z0-9' '-' | tr -s '-' | sed 's/^-//;s/-$//'
+}
+
+record() {
+    local name="$1" status="$2" seconds="$3" log="$4"
+    json_stage+=("${name}")
+    json_status+=("${status}")
+    json_seconds+=("${seconds}")
+    json_log+=("${log}")
+}
+
+# stage <name> <command...>: run, time, log, record PASS/FAIL, keep
+# going. Under ACCELWALL_GATE_DRYRUN=1 the command is not run and the
+# stage records as SKIP.
 stage() {
     local name="$1"
     shift
     echo
     echo "=== ${name} ==="
-    if "$@"; then
-        summary+=("PASS  ${name}")
+    if [ "${dryrun}" = "1" ]; then
+        summary+=("SKIP  ${name} (dryrun)")
+        record "${name}" "SKIP" 0 ""
+        return
+    fi
+    local log="${logdir}/$(slug "${name}").log"
+    local start rc
+    start="$(date +%s)"
+    "$@" 2>&1 | tee "${log}"
+    rc="${PIPESTATUS[0]}"
+    local seconds="$(( $(date +%s) - start ))"
+    if [ "${rc}" -eq 0 ]; then
+        summary+=("PASS  ${name} (${seconds}s)")
+        record "${name}" "PASS" "${seconds}" "${log}"
     else
-        summary+=("FAIL  ${name}")
+        summary+=("FAIL  ${name} (${seconds}s)")
+        record "${name}" "FAIL" "${seconds}" "${log}"
         gate_rc=1
     fi
 }
@@ -60,6 +116,7 @@ skip() {
     echo
     echo "=== ${1}: skipped (${2}) ==="
     summary+=("SKIP  ${1} (${2})")
+    record "${1}" "SKIP" 0 ""
 }
 
 configure_and_build() {
@@ -79,14 +136,47 @@ run_ctest() {
     fi
 }
 
+write_summary_json() {
+    local out="${logdir}/gate_summary.json"
+    local gate="PASS"
+    [ "${gate_rc}" -ne 0 ] && gate="FAIL"
+    {
+        echo "{"
+        echo "  \"schema\": \"accelwall-gate-summary-v1\","
+        echo "  \"dryrun\": $([ "${dryrun}" = "1" ] && echo true ||
+            echo false),"
+        echo "  \"gate\": \"${gate}\","
+        echo "  \"stages\": ["
+        local i last=$(( ${#json_stage[@]} - 1 ))
+        for i in "${!json_stage[@]}"; do
+            local comma=","
+            [ "${i}" -eq "${last}" ] && comma=""
+            printf '    {"stage": "%s", "status": "%s",' \
+                "${json_stage[$i]}" "${json_status[$i]}"
+            printf ' "seconds": %s, "log": "%s"}%s\n' \
+                "${json_seconds[$i]}" "${json_log[$i]}" "${comma}"
+        done
+        echo "  ]"
+        echo "}"
+    } > "${out}"
+    echo "summary json: ${out}"
+}
+
 stage "build" configure_and_build "${prefix}"
 stage "ctest (tier-1)" run_ctest "${prefix}"
 # The chaos label (socket fault sites, resilient client, chaosproxy
 # smoke) is part of tier-1; re-run it as its own stage so a fault-
 # injection regression is named in the summary, not buried.
 stage "ctest (chaos)" run_ctest "${prefix}" "chaos"
-stage "lint --strict (dfg+model+source)" \
+# Same reasoning for the static-analysis and golden-pin labels; this
+# stage is also what satisfies lint rule I008 (every declared ctest
+# label must be selected by name in some gate stage).
+stage "ctest (lint|golden|cli_version)" \
+    run_ctest "${prefix}" "lint|golden|cli_version"
+stage "lint --strict (dfg+model+source+iface)" \
     "${prefix}/tools/accelwall-lint" --strict
+stage "lint --strict (iface)" \
+    "${prefix}/tools/accelwall-lint" --strict --domain iface
 stage "headercheck" \
     cmake --build "${prefix}" -j "${jobs}" --target headercheck
 
@@ -141,6 +231,7 @@ echo "== ci gate summary =="
 for row in "${summary[@]}"; do
     echo "  ${row}"
 done
+write_summary_json
 if [ "${gate_rc}" -ne 0 ]; then
     echo "GATE: FAIL"
 else
