@@ -37,9 +37,9 @@ main()
         }
         t.addRow({fmtFixed(epoch.year, 2), fmtSi(epoch.network_ghs, 1),
                   fmtSi(epoch.usd_per_ghs_day, 1), epoch.best.chip,
-                  std::isinf(epoch.best.payback_days)
+                  std::isinf(epoch.best.payback_days.raw())
                       ? "never"
-                      : fmtFixed(epoch.best.payback_days, 1),
+                      : fmtFixed(epoch.best.payback_days.raw(), 1),
                   fmtPercent(epoch.best.energy_cost_share), platforms});
     }
     t.print(std::cout);

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Record one point of the repo's perf trajectory.
 #
-# The single documented entry point for refreshing BENCH_sweep.json and
-# BENCH_serve.json at the repo root (both are committed; see README
-# "Benchmarking"). Builds accelwall-bench in the default build tree and
-# runs the pinned workloads:
+# The single documented entry point for refreshing BENCH_sweep.json,
+# BENCH_serve.json and BENCH_chiplet.json at the repo root (all three
+# are committed; see README "Benchmarking"). Builds accelwall-bench in
+# the default build tree and runs the pinned workloads:
 #
 #   bench/run_bench_trajectory.sh [--repeat N] [--build-dir DIR]
 #
@@ -52,4 +52,5 @@ cd "$repo_root"
     --repeat "$repeat" \
     --sweep-out BENCH_sweep.json \
     --serve-out BENCH_serve.json \
+    --chiplet-out BENCH_chiplet.json \
     "${passthrough[@]+"${passthrough[@]}"}"

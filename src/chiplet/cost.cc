@@ -1,0 +1,110 @@
+#include "chiplet/cost.hh"
+
+#include <cmath>
+
+namespace accelwall::chiplet
+{
+
+const CostTable &
+shippedCostTable()
+{
+    using units::DefectsPerSquareMillimeter;
+    using units::Nanometers;
+    using units::Usd;
+    // Wafer prices and defect densities in the range public foundry
+    // cost analyses quote: prices climb steeply toward leading nodes
+    // while D0 creeps up with process complexity. Oldest node first;
+    // M011/M012 pin the ordering and monotonicity.
+    static const CostTable table = {
+        {
+            {Nanometers{45.0}, Usd{1500.0},
+             DefectsPerSquareMillimeter{0.0005}},
+            {Nanometers{32.0}, Usd{2000.0},
+             DefectsPerSquareMillimeter{0.0007}},
+            {Nanometers{22.0}, Usd{2500.0},
+             DefectsPerSquareMillimeter{0.0010}},
+            {Nanometers{14.0}, Usd{3500.0},
+             DefectsPerSquareMillimeter{0.0013}},
+            {Nanometers{10.0}, Usd{5000.0},
+             DefectsPerSquareMillimeter{0.0016}},
+            {Nanometers{7.0}, Usd{6500.0},
+             DefectsPerSquareMillimeter{0.0020}},
+            {Nanometers{5.0}, Usd{9500.0},
+             DefectsPerSquareMillimeter{0.0030}},
+        },
+        /*alpha=*/3.0,
+        /*wafer_diameter=*/units::Millimeters{300.0},
+        Packaging{},
+    };
+    return table;
+}
+
+const NodeCost *
+findNode(const CostTable &table, units::Nanometers node_nm)
+{
+    for (const NodeCost &row : table.nodes) {
+        if (row.node_nm == node_nm)
+            return &row;
+    }
+    return nullptr;
+}
+
+double
+dieYield(units::SquareMillimeters area,
+         units::DefectsPerSquareMillimeter defect_d0, double alpha)
+{
+    // A*D0 is dimensionless by construction (area * 1/area).
+    const double defects = area * defect_d0;
+    return std::pow(1.0 + defects / alpha, -alpha);
+}
+
+double
+diesPerWafer(units::SquareMillimeters area,
+             units::Millimeters wafer_diameter)
+{
+    const double d = wafer_diameter.raw();
+    const double a = area.raw();
+    // The sqrt(2A) edge-loss term is dimensionally non-algebraic
+    // (mm per sqrt-mm²), so this formula runs on raw magnitudes.
+    const double pi = 3.14159265358979323846;
+    const double gross =
+        pi * d * d / (4.0 * a) - pi * d / std::sqrt(2.0 * a);
+    return gross > 0.0 ? gross : 0.0;
+}
+
+Result<units::Usd>
+costPerGoodDie(const CostTable &table, units::Nanometers node_nm,
+               units::SquareMillimeters die_area)
+{
+    const NodeCost *row = findNode(table, node_nm);
+    if (row == nullptr) {
+        return makeError(ErrorCode::ChipletUnknownNode, "node ",
+                         node_nm.raw(),
+                         "nm has no wafer-cost table row")
+            .in("chiplet-cost");
+    }
+    const double dies = diesPerWafer(die_area, table.wafer_diameter);
+    if (dies < 1.0) {
+        return makeError(ErrorCode::ChipletDieTooLarge, "die area ",
+                         die_area.raw(),
+                         "mm2 does not fit the wafer")
+            .in("chiplet-cost");
+    }
+    const double yield = dieYield(die_area, row->defect_d0, table.alpha);
+    return units::Usd{row->wafer_usd.raw() / (dies * yield)};
+}
+
+Result<units::Usd>
+packagedCost(const CostTable &table, units::Nanometers node_nm,
+             units::SquareMillimeters die_area, int dies)
+{
+    auto good_die = costPerGoodDie(table, node_nm, die_area);
+    if (!good_die.ok())
+        return good_die.error();
+    const Packaging &pkg = table.packaging;
+    const units::Usd per_die =
+        good_die.value() / pkg.test_yield + pkg.bond_usd_per_die;
+    return pkg.substrate_usd + static_cast<double>(dies) * per_die;
+}
+
+} // namespace accelwall::chiplet

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Silicon economics for the chiplet design space: per-node wafer
+ * prices and defect densities, the negative-binomial yield model, and
+ * packaging overheads — everything needed to turn a die area on a
+ * process node into a cost per *good*, packaged die.
+ *
+ * The paper's sweeps are area-normalized but never cost-normalized;
+ * Monad-style chiplet analyses show the specialization economics
+ * invert once cost enters, because yield falls super-linearly in die
+ * area while wafer price rises steeply toward leading nodes. The
+ * model here is deliberately the textbook one:
+ *
+ *   yield(A)        = (1 + A*D0/alpha)^(-alpha)      (negative binomial)
+ *   dies_per_wafer  = pi*(d/2)^2/A - pi*d/sqrt(2*A)  (edge-loss corrected)
+ *   cost_good_die   = wafer_usd / (dies_per_wafer * yield)
+ *   packaged(K)     = K*(cost_good_die/test_yield + bond) + substrate
+ *
+ * All money flows through units::Usd and defect densities through
+ * units::DefectsPerSquareMillimeter, so swapping a wafer price for a
+ * defect density (or an area for a node) fails to compile. The
+ * sqrt(2A) edge term is dimensionally non-algebraic and uses .raw()
+ * per the DESIGN.md §7 escape-hatch policy.
+ *
+ * Table plausibility (positive prices, monotone trends toward smaller
+ * nodes, sane alpha) is machine-checked by modelcheck rules M011-M013.
+ */
+
+#ifndef ACCELWALL_CHIPLET_COST_HH
+#define ACCELWALL_CHIPLET_COST_HH
+
+#include <vector>
+
+#include "util/error.hh"
+#include "util/units.hh"
+
+namespace accelwall::chiplet
+{
+
+/** Wafer economics of one process node. */
+struct NodeCost
+{
+    units::Nanometers node_nm{0.0};
+    /** Price of one processed 300mm wafer on this node. */
+    units::Usd wafer_usd{0.0};
+    /** Defect density D0 feeding the negative-binomial yield. */
+    units::DefectsPerSquareMillimeter defect_d0{0.0};
+};
+
+/** Assembly costs charged once per packaged design. */
+struct Packaging
+{
+    /** Interposer/substrate, charged once per package. */
+    units::Usd substrate_usd{2.0};
+    /** Bond/attach cost, charged once per die placed. */
+    units::Usd bond_usd_per_die{0.5};
+    /** Post-bond test yield per die (known-good-die testing). */
+    double test_yield = 0.99;
+};
+
+/**
+ * The full cost table: per-node wafer rows (oldest node first, node_nm
+ * strictly descending), the yield-model shape, and packaging.
+ */
+struct CostTable
+{
+    std::vector<NodeCost> nodes;
+    /** Negative-binomial clustering parameter (defect clustering). */
+    double alpha = 3.0;
+    /** Wafer diameter; 300mm is the industry standard. */
+    units::Millimeters wafer_diameter{300.0};
+    Packaging packaging;
+};
+
+/**
+ * The shipped table: 45nm..5nm wafer prices and defect densities in
+ * the range public foundry analyses quote. Audited by M011-M013.
+ */
+const CostTable &shippedCostTable();
+
+/** Row lookup by exact node; nullptr when the node is not tabulated. */
+const NodeCost *findNode(const CostTable &table,
+                         units::Nanometers node_nm);
+
+/**
+ * Negative-binomial die yield in (0, 1]:
+ * (1 + A*D0/alpha)^(-alpha).
+ */
+double dieYield(units::SquareMillimeters area,
+                units::DefectsPerSquareMillimeter defect_d0,
+                double alpha);
+
+/**
+ * Gross dies per wafer with the standard edge-loss correction.
+ * Returns 0 when the die does not fit the wafer at all.
+ */
+double diesPerWafer(units::SquareMillimeters area,
+                    units::Millimeters wafer_diameter);
+
+/**
+ * Wafer price amortized over good dies:
+ * wafer_usd / (dies_per_wafer * yield).
+ *
+ * Errors: E4201 chiplet-unknown-node when @p node_nm has no table
+ * row; E4202 chiplet-die-too-large when the die exceeds the wafer.
+ */
+Result<units::Usd> costPerGoodDie(const CostTable &table,
+                                  units::Nanometers node_nm,
+                                  units::SquareMillimeters die_area);
+
+/**
+ * Total silicon + assembly cost of a K-die package where every die
+ * has area @p die_area on node @p node_nm: K good dies (derated by
+ * the post-bond test yield), K bond charges, one substrate.
+ */
+Result<units::Usd> packagedCost(const CostTable &table,
+                                units::Nanometers node_nm,
+                                units::SquareMillimeters die_area,
+                                int dies);
+
+} // namespace accelwall::chiplet
+
+#endif // ACCELWALL_CHIPLET_COST_HH

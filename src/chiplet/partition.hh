@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Partitioning a monolithic ChipSpec into K chiplets.
+ *
+ * The disaggregation trade the chiplet literature describes: splitting
+ * a die into K smaller dies buys yield (cost falls super-linearly in
+ * die area) and lets the area live on an older, cheaper node — but
+ * every transistor-GHz whose producer and consumer land on different
+ * chiplets now crosses a package link that charges energy (pJ/bit)
+ * and latency (ns/hop). The model here keeps that honest the same way
+ * the paper's dark-memory analysis does: link energy is paid out of
+ * the design's TDP envelope before compute gets the remainder, and
+ * hop latency derates delivered throughput.
+ *
+ * Policy (DESIGN.md §13):
+ *
+ *  - A K-way plan splits area evenly; every die runs the base clock.
+ *  - The cross-chiplet traffic fraction is f = (K-1)/K — the uniform
+ *    all-to-all worst case — and traffic scales with the aggregate
+ *    throughput potential via bits_per_txghz.
+ *  - Link power = f * throughput * bits_per_txghz * pj_per_bit; it is
+ *    subtracted from the TDP before per-die budgets are derived, so a
+ *    power-capped design pays for its own disaggregation.
+ *  - Latency derates throughput by 1/(1 + f*latency_weight*hop_cycles)
+ *    with hop_cycles = ns_per_hop * clock.
+ *  - K=1 reduces exactly to the monolith: f=0, no link power, no
+ *    latency penalty, one packaged die.
+ */
+
+#ifndef ACCELWALL_CHIPLET_PARTITION_HH
+#define ACCELWALL_CHIPLET_PARTITION_HH
+
+#include "chiplet/cost.hh"
+#include "potential/chip_spec.hh"
+#include "potential/model.hh"
+
+namespace accelwall::chiplet
+{
+
+/** Inter-chiplet link technology and traffic model. */
+struct LinkParams
+{
+    /** Energy per bit crossing the package (organic ~1-2, UCIe <1). */
+    units::Picojoules pj_per_bit{0.5};
+    /** One-hop die-to-die latency. */
+    units::Nanoseconds ns_per_hop{2.0};
+    /**
+     * Bits of cross-die traffic generated per transistor-GHz of
+     * aggregate throughput. The default puts link power at a few
+     * percent of a ~300W envelope for an 8-way split — the regime
+     * package-level memory-traffic analyses report.
+     */
+    double bits_per_txghz = 1e-5;
+    /** How strongly hop latency derates delivered throughput. */
+    double latency_weight = 0.1;
+};
+
+/** One point of the chiplet design space. */
+struct PartitionPlan
+{
+    /** The monolithic design being disaggregated. */
+    potential::ChipSpec base;
+    /** Number of equal-area chiplets (K=1 is the monolith). */
+    int chiplets = 1;
+    /** Process node every chiplet is fabbed on (may differ from base). */
+    units::Nanometers node_nm{45.0};
+};
+
+/** The evaluated economics and physics of one PartitionPlan. */
+struct PartitionResult
+{
+    int chiplets = 1;
+    units::Nanometers node_nm{0.0};
+    units::SquareMillimeters die_area{0.0};
+    /** Delivered aggregate throughput after the latency derate. */
+    units::TransistorGigahertz throughput{0.0};
+    /** Modeled dissipation of all dies plus the links. */
+    units::Watts power{0.0};
+    /** The links' share of that dissipation. */
+    units::Watts link_power{0.0};
+    /** Multiplicative latency derate in (0, 1]. */
+    double latency_penalty = 1.0;
+    /** Packaged cost: K good dies + bonding + substrate. */
+    units::Usd cost{0.0};
+    /** The headline metric: delivered throughput per dollar. */
+    units::TransistorGigahertzPerUsd throughput_per_usd{0.0};
+};
+
+/**
+ * Evaluate one partition plan against the potential model and cost
+ * table. Errors propagate from the cost layer: E4201 for a node
+ * without a table row, E4202 for a die that does not fit the wafer.
+ * The plan itself must have chiplets >= 1 and a positive base area;
+ * violations are caller bugs and panic.
+ */
+Result<PartitionResult> evaluatePartition(
+    const potential::PotentialModel &model, const CostTable &table,
+    const PartitionPlan &plan, const LinkParams &link = {});
+
+} // namespace accelwall::chiplet
+
+#endif // ACCELWALL_CHIPLET_PARTITION_HH

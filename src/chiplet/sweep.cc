@@ -1,0 +1,71 @@
+#include "chiplet/sweep.hh"
+
+#include "util/parallel.hh"
+
+namespace accelwall::chiplet
+{
+
+Result<SweepResult>
+runSweep(const potential::PotentialModel &model, const CostTable &table,
+         const SweepConfig &config)
+{
+    if (config.chiplets.empty()) {
+        return makeError(ErrorCode::SweepEmptyDimension,
+                         "chiplet sweep needs at least one chiplet count")
+            .in("chiplet-sweep");
+    }
+    if (config.nodes.empty()) {
+        return makeError(ErrorCode::SweepEmptyDimension,
+                         "chiplet sweep needs at least one node")
+            .in("chiplet-sweep");
+    }
+
+    PartitionPlan baseline_plan;
+    baseline_plan.base = config.base;
+    baseline_plan.chiplets = 1;
+    baseline_plan.node_nm = config.base.node_nm;
+    auto baseline =
+        evaluatePartition(model, table, baseline_plan, config.link);
+    if (!baseline.ok())
+        return baseline.error();
+    const double baseline_per_usd =
+        baseline.value().throughput_per_usd.raw();
+
+    std::vector<PartitionPlan> grid;
+    grid.reserve(config.chiplets.size() * config.nodes.size());
+    for (int k : config.chiplets) {
+        for (units::Nanometers node : config.nodes) {
+            PartitionPlan plan;
+            plan.base = config.base;
+            plan.chiplets = k;
+            plan.node_nm = node;
+            grid.push_back(plan);
+        }
+    }
+
+    SweepResult out;
+    out.baseline = baseline.value();
+    out.points = util::parallelMap(
+        grid,
+        [&](const PartitionPlan &plan) {
+            SweepPoint point;
+            point.chiplets = plan.chiplets;
+            point.node_nm = plan.node_nm;
+            auto eval =
+                evaluatePartition(model, table, plan, config.link);
+            if (!eval.ok()) {
+                point.error = eval.error().code();
+                return point;
+            }
+            point.ok = true;
+            point.result = eval.value();
+            point.gain_per_usd =
+                point.result.throughput_per_usd.raw() /
+                baseline_per_usd;
+            return point;
+        },
+        config.jobs);
+    return out;
+}
+
+} // namespace accelwall::chiplet

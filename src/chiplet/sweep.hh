@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The chiplet axis over the design-space sweep: evaluate a base
+ * design at every (K chiplets × process node) grid point, fanning out
+ * on the ThreadPool, and report cost-normalized gains — delivered
+ * throughput per dollar, relative to the K=1 monolith on the base
+ * node.
+ *
+ * Determinism contract: the grid is enumerated in a fixed row-major
+ * order (chiplet counts outer, nodes inner) and evaluated with
+ * util::parallelMap, whose static chunking writes each point to its
+ * own slot — output is bit-identical for every --jobs value.
+ *
+ * Per-point failures (a node without a cost-table row, a die that
+ * does not fit the wafer) do not abort the sweep: the point is
+ * reported with ok=false and its stable E-code, mirroring the main
+ * sweep's per-chain status column.
+ */
+
+#ifndef ACCELWALL_CHIPLET_SWEEP_HH
+#define ACCELWALL_CHIPLET_SWEEP_HH
+
+#include <vector>
+
+#include "chiplet/partition.hh"
+
+namespace accelwall::chiplet
+{
+
+/** The chiplet sweep grid: a base design × K values × nodes. */
+struct SweepConfig
+{
+    /** The monolithic design every partition is compared against. */
+    potential::ChipSpec base;
+    /** Chiplet counts to evaluate (must be non-empty, all >= 1). */
+    std::vector<int> chiplets;
+    /** Process nodes to evaluate (must be non-empty). */
+    std::vector<units::Nanometers> nodes;
+    LinkParams link;
+    /** Worker threads; 0 means util::defaultJobs(). */
+    int jobs = 0;
+};
+
+/** One evaluated grid point. */
+struct SweepPoint
+{
+    int chiplets = 1;
+    units::Nanometers node_nm{0.0};
+    bool ok = false;
+    /** Stable failure code when !ok (E4201/E4202). */
+    ErrorCode error = ErrorCode::None;
+    PartitionResult result;
+    /** Cost-normalized CSR: throughput/$ relative to the baseline. */
+    double gain_per_usd = 0.0;
+};
+
+/** The sweep output: every grid point plus the monolithic baseline. */
+struct SweepResult
+{
+    /** K=1 on the base node — the denominator of gain_per_usd. */
+    PartitionResult baseline;
+    /** Row-major over (chiplets outer, nodes inner), input order. */
+    std::vector<SweepPoint> points;
+};
+
+/**
+ * Run the chiplet sweep. Whole-sweep errors: E4001 for an empty
+ * chiplets or nodes dimension, and E4201/E4202 when the *baseline*
+ * itself cannot be costed (the relative metric would be undefined).
+ */
+Result<SweepResult> runSweep(const potential::PotentialModel &model,
+                             const CostTable &table,
+                             const SweepConfig &config);
+
+} // namespace accelwall::chiplet
+
+#endif // ACCELWALL_CHIPLET_SWEEP_HH

@@ -18,18 +18,26 @@ evaluateChip(const studies::MiningChip &chip, double usd_per_ghs_day,
     out.chip = chip.label;
     out.platform = chip.platform;
 
-    double revenue = chip.ghs * usd_per_ghs_day;
-    double electricity =
-        chip.watts / 1e3 * 24.0 * config.usd_per_kwh; // kWh/day cost
+    // The hashrate side of the market is a plain ratio (the dataset
+    // stores GH/s and usd_per_ghs_day divides two of them), so revenue
+    // enters the typed domain here.
+    const units::UsdPerDay revenue{chip.ghs * usd_per_ghs_day};
+    // chip.watts for 24h: W/1000 * 24 is the datasheet kWh per day.
+    const units::KilowattHours energy_per_day{chip.watts / 1e3 * 24.0};
+    const units::UsdPerDay electricity =
+        energy_per_day * config.usd_per_kwh / units::Days{1.0};
     out.margin_usd_per_day = revenue - electricity;
-    out.energy_cost_share = revenue > 0.0 ? electricity / revenue
-                                          : std::numeric_limits<
-                                                double>::infinity();
+    out.energy_cost_share =
+        revenue > units::UsdPerDay{0.0}
+            ? electricity / revenue
+            : std::numeric_limits<double>::infinity();
 
-    double capex = chip.area_mm2 * config.usd_per_mm2;
-    out.payback_days = out.margin_usd_per_day > 0.0
-                           ? capex / out.margin_usd_per_day
-                           : std::numeric_limits<double>::infinity();
+    const units::Usd capex =
+        units::SquareMillimeters{chip.area_mm2} * config.usd_per_mm2;
+    out.payback_days =
+        out.margin_usd_per_day > units::UsdPerDay{0.0}
+            ? capex / out.margin_usd_per_day
+            : units::Days{std::numeric_limits<double>::infinity()};
     return out;
 }
 
@@ -52,8 +60,11 @@ simulateMarket(const MarketConfig &config)
         epoch.network_ghs =
             config.initial_network_ghs *
             std::pow(config.growth_per_year, year - config.start_year);
+        // Revenue density divides typed UsdPerDay by untyped GH/s;
+        // the quotient leaves the typed domain with it.
         epoch.usd_per_ghs_day =
-            config.network_revenue_usd_per_day / epoch.network_ghs;
+            config.network_revenue_usd_per_day.raw() /
+            epoch.network_ghs;
 
         std::set<chipdb::Platform> profitable;
         bool found = false;
@@ -62,7 +73,7 @@ simulateMarket(const MarketConfig &config)
                 continue; // not introduced yet
             ChipEconomics econ =
                 evaluateChip(chip, epoch.usd_per_ghs_day, config);
-            if (econ.margin_usd_per_day > 0.0)
+            if (econ.margin_usd_per_day > units::UsdPerDay{0.0})
                 profitable.insert(chip.platform);
             if (!found || econ.payback_days < epoch.best.payback_days) {
                 epoch.best = econ;

@@ -21,26 +21,30 @@
 #include <vector>
 
 #include "studies/bitcoin.hh"
+#include "util/units.hh"
 
 namespace accelwall::economics
 {
 
-/** Market assumptions. */
+/**
+ * Market assumptions. Money fields are dimensional (util/units.hh):
+ * a tariff cannot be passed where a silicon price is expected.
+ */
 struct MarketConfig
 {
     double start_year = 2009.5;
     double end_year = 2016.75;
     double step_years = 0.25;
     /** Electricity price. */
-    double usd_per_kwh = 0.10;
-    /** Network-wide mining revenue per day, in USD. */
-    double network_revenue_usd_per_day = 1.0e6;
+    units::UsdPerKilowattHour usd_per_kwh{0.10};
+    /** Network-wide mining revenue per day. */
+    units::UsdPerDay network_revenue_usd_per_day{1.0e6};
     /** Network hashrate at start_year, in GH/s. */
     double initial_network_ghs = 0.05;
     /** Multiplicative network-hashrate growth per year. */
     double growth_per_year = 18.0;
-    /** Hardware price per mm² of silicon, in USD (capex model). */
-    double usd_per_mm2 = 2.0;
+    /** Hardware price per mm² of silicon (capex model). */
+    units::UsdPerSquareMillimeter usd_per_mm2{2.0};
 };
 
 /** One chip's economics at one epoch. */
@@ -48,12 +52,12 @@ struct ChipEconomics
 {
     std::string chip;
     chipdb::Platform platform = chipdb::Platform::CPU;
-    /** Revenue minus electricity, USD/day (may be negative). */
-    double margin_usd_per_day = 0.0;
+    /** Revenue minus electricity (may be negative). */
+    units::UsdPerDay margin_usd_per_day{0.0};
     /** Electricity share of revenue (the paper's dominating factor). */
     double energy_cost_share = 0.0;
-    /** Days to recoup the silicon capex; +inf when unprofitable. */
-    double payback_days = 0.0;
+    /** Time to recoup the silicon capex; +inf when unprofitable. */
+    units::Days payback_days{0.0};
 };
 
 /** The market state at one epoch. */

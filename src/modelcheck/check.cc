@@ -37,6 +37,9 @@ constexpr RuleInfo kRules[kNumRules] = {
     { "M008", "group-progression", Severity::Error },
     { "M009", "area-fit-sanity", Severity::Error },
     { "M010", "corpus-audit", Severity::Error },
+    { "M011", "chiplet-wafer-cost-monotonic", Severity::Error },
+    { "M012", "chiplet-defect-monotonic", Severity::Error },
+    { "M013", "chiplet-yield-sanity", Severity::Error },
 };
 
 /** Collects diagnostics, applying the Options caps and escalation. */
@@ -395,6 +398,131 @@ checkCorpus(const std::vector<ChipRecord> &corpus, Sink &sink)
     }
 }
 
+/**
+ * M011/M012: the per-node wafer rows must be oldest-first (strictly
+ * descending positive nodes, mirroring M001), with positive wafer
+ * prices that never *fall* at a shrink — leading nodes are never
+ * cheaper per wafer — and positive defect densities that never fall
+ * either (process complexity only adds defect modes) and stay under
+ * the 1/mm² bound real foundries report. A violation is a transposed
+ * or mistyped row that would silently invert the chiplet economics.
+ */
+void
+checkChipletCosts(const chiplet::CostTable &table, Sink &sink)
+{
+    const std::vector<chiplet::NodeCost> &rows = table.nodes;
+    if (rows.empty())
+        return; // No cost dimension to audit.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const chiplet::NodeCost &row = rows[i];
+        double node = row.node_nm.raw();
+        if (!(node > 0.0)) {
+            sink.add(RuleId::ChipletWaferCostMonotonic, "chiplet", i,
+                     "node ", node, "nm is not positive");
+            continue;
+        }
+        if (i > 0 && row.node_nm >= rows[i - 1].node_nm) {
+            sink.add(RuleId::ChipletWaferCostMonotonic, "chiplet", i,
+                     "node ", node,
+                     "nm does not descend from the previous row (",
+                     rows[i - 1].node_nm.raw(),
+                     "nm); rows must be oldest-first");
+        }
+        if (!(row.wafer_usd > units::Usd{0.0})) {
+            sink.add(RuleId::ChipletWaferCostMonotonic, "chiplet", i,
+                     "wafer price ", row.wafer_usd.raw(),
+                     " USD at node ", node, "nm is not positive");
+        } else if (i > 0 && rows[i - 1].wafer_usd > units::Usd{0.0} &&
+                   row.wafer_usd < rows[i - 1].wafer_usd) {
+            sink.add(RuleId::ChipletWaferCostMonotonic, "chiplet", i,
+                     "wafer price falls from ",
+                     rows[i - 1].wafer_usd.raw(), " to ",
+                     row.wafer_usd.raw(), " USD at the shrink to ",
+                     node, "nm");
+        }
+        double d0 = row.defect_d0.raw();
+        if (!(d0 > 0.0)) {
+            sink.add(RuleId::ChipletDefectMonotonic, "chiplet", i,
+                     "defect density ", d0, "/mm2 at node ", node,
+                     "nm is not positive");
+        } else {
+            if (d0 > 1.0) {
+                sink.add(RuleId::ChipletDefectMonotonic, "chiplet", i,
+                         "defect density ", d0,
+                         "/mm2 at node ", node,
+                         "nm exceeds the plausible 1/mm2 bound — "
+                         "wrong unit?");
+            }
+            if (i > 0 && row.defect_d0 < rows[i - 1].defect_d0) {
+                sink.add(RuleId::ChipletDefectMonotonic, "chiplet", i,
+                         "defect density falls from ",
+                         rows[i - 1].defect_d0.raw(), " to ", d0,
+                         "/mm2 at the shrink to ", node, "nm");
+            }
+        }
+    }
+}
+
+/**
+ * M013: the yield-model shape and packaging constants must be
+ * physically sane — alpha in (0, 20], a wafer in the [100, 450]mm
+ * range real fabs run, non-negative packaging charges, a test yield
+ * in (0, 1] — and the resulting yield curve must behave: in (0, 1]
+ * and non-increasing in die area.
+ */
+void
+checkChipletYield(const chiplet::CostTable &table, Sink &sink)
+{
+    if (table.nodes.empty())
+        return; // No cost dimension to audit.
+    if (!(table.alpha > 0.0) || table.alpha > 20.0) {
+        sink.add(RuleId::ChipletYieldSanity, "chiplet", std::nullopt,
+                 "negative-binomial alpha ", table.alpha,
+                 " is outside (0, 20]");
+    }
+    double diameter = table.wafer_diameter.raw();
+    if (diameter < 100.0 || diameter > 450.0) {
+        sink.add(RuleId::ChipletYieldSanity, "chiplet", std::nullopt,
+                 "wafer diameter ", diameter,
+                 "mm is outside the [100, 450]mm range fabs run");
+    }
+    const chiplet::Packaging &pkg = table.packaging;
+    if (pkg.substrate_usd < units::Usd{0.0} ||
+        pkg.bond_usd_per_die < units::Usd{0.0}) {
+        sink.add(RuleId::ChipletYieldSanity, "chiplet", std::nullopt,
+                 "packaging charges must be non-negative (substrate ",
+                 pkg.substrate_usd.raw(), ", bond ",
+                 pkg.bond_usd_per_die.raw(), " USD)");
+    }
+    if (!(pkg.test_yield > 0.0) || pkg.test_yield > 1.0) {
+        sink.add(RuleId::ChipletYieldSanity, "chiplet", std::nullopt,
+                 "post-bond test yield ", pkg.test_yield,
+                 " is outside (0, 1]");
+    }
+    if (!(table.alpha > 0.0))
+        return; // The curve itself is meaningless below here.
+    for (std::size_t i = 0; i < table.nodes.size(); ++i) {
+        const chiplet::NodeCost &row = table.nodes[i];
+        if (!(row.defect_d0.raw() > 0.0))
+            continue; // M012 already named the row.
+        double prev = 1.0;
+        for (double area : { 25.0, 100.0, 400.0, 800.0 }) {
+            double y = chiplet::dieYield(
+                units::SquareMillimeters{area}, row.defect_d0,
+                table.alpha);
+            if (!(y > 0.0) || y > 1.0 || y > prev) {
+                sink.add(RuleId::ChipletYieldSanity, "chiplet", i,
+                         "yield ", y, " at ", area, "mm2 on node ",
+                         row.node_nm.raw(),
+                         "nm is not in (0, 1] and non-increasing "
+                         "in area");
+                break;
+            }
+            prev = y;
+        }
+    }
+}
+
 } // namespace
 
 const char *
@@ -480,6 +608,7 @@ shippedInputs()
     inputs.scaling = cmos::ScalingTable::instance().params();
     inputs.budget = chipdb::BudgetModel{};
     inputs.corpus = chipdb::referenceChips();
+    inputs.chiplet_costs = chiplet::shippedCostTable();
     return inputs;
 }
 
@@ -559,6 +688,41 @@ brokenShowcaseInputs()
         }
         all.push_back(std::move(in));
     }
+    {
+        // A wafer price that falls at a shrink and two transposed
+        // rows: M011.
+        Inputs in = shipped;
+        in.name = "demo-chiplet-wafer-cost";
+        if (in.chiplet_costs.nodes.size() >= 4) {
+            std::swap(in.chiplet_costs.nodes[1],
+                      in.chiplet_costs.nodes[2]);
+            in.chiplet_costs.nodes[3].wafer_usd = units::Usd{900.0};
+        }
+        all.push_back(std::move(in));
+    }
+    {
+        // A defect density in defects/cm² (100x too large) and one
+        // that improves at a shrink: M012.
+        Inputs in = shipped;
+        in.name = "demo-chiplet-defect";
+        if (in.chiplet_costs.nodes.size() >= 3) {
+            in.chiplet_costs.nodes[1].defect_d0 =
+                units::DefectsPerSquareMillimeter{50.0};
+            in.chiplet_costs.nodes[2].defect_d0 =
+                units::DefectsPerSquareMillimeter{0.0001};
+        }
+        all.push_back(std::move(in));
+    }
+    {
+        // A negative clustering parameter, a lab-scale wafer, and a
+        // >1 test yield: M013.
+        Inputs in = shipped;
+        in.name = "demo-chiplet-yield";
+        in.chiplet_costs.alpha = -3.0;
+        in.chiplet_costs.wafer_diameter = units::Millimeters{50.0};
+        in.chiplet_costs.packaging.test_yield = 1.2;
+        all.push_back(std::move(in));
+    }
     return all;
 }
 
@@ -584,6 +748,8 @@ check(const Inputs &inputs, const Options &options)
     checkGroupProgression(inputs.budget.groups(), sink);
     checkAreaFit(inputs, sink);
     checkCorpus(inputs.corpus, sink);
+    checkChipletCosts(inputs.chiplet_costs, sink);
+    checkChipletYield(inputs.chiplet_costs, sink);
     return sink.take();
 }
 

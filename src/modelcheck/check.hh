@@ -1,7 +1,7 @@
 /**
  * @file
  * Rule-based audits of the numerical model inputs (the `model` lint
- * domain, rules M001..M010).
+ * domain, rules M001..M013).
  *
  * The dfg verifier (dfg/verify.hh) machine-checks graph structure; this
  * module does the same for the *data* every projection rests on: the
@@ -24,6 +24,9 @@
  *  | M008 | group-progression     | newer groups: larger k, smaller e     |
  *  | M009 | area-fit-sanity       | Fig. 3b fit near TC(D)=4.99e9*D^0.877 |
  *  | M010 | corpus-audit          | corpus records physically plausible   |
+ *  | M011 | chiplet-wafer-cost-monotonic | wafer $ rises toward new nodes |
+ *  | M012 | chiplet-defect-monotonic | defect D0 plausible, non-decreasing|
+ *  | M013 | chiplet-yield-sanity  | yield shape/packaging physically sane |
  *
  * The diagnostic machinery (rule id, severity, report) mirrors
  * dfg::verify so accelwall-lint renders both domains identically.
@@ -39,6 +42,7 @@
 
 #include "chipdb/budget.hh"
 #include "chipdb/record.hh"
+#include "chiplet/cost.hh"
 #include "cmos/scaling.hh"
 
 namespace accelwall::modelcheck
@@ -57,11 +61,14 @@ enum class RuleId
     GroupProgression,       ///< M008: coeff/exponent progression holds
     AreaFitSanity,          ///< M009: area fit near the published law
     CorpusAudit,            ///< M010: corpus records physically plausible
+    ChipletWaferCostMonotonic, ///< M011: wafer $ rises toward new nodes
+    ChipletDefectMonotonic, ///< M012: defect D0 plausible, non-decreasing
+    ChipletYieldSanity,     ///< M013: yield/packaging physically sane
 };
 
 /** Total number of RuleId values (for dense per-rule tables). */
 inline constexpr int kNumRules =
-    static_cast<int>(RuleId::CorpusAudit) + 1;
+    static_cast<int>(RuleId::ChipletYieldSanity) + 1;
 
 /** Diagnostic severity; only Error fails the check. */
 enum class Severity
@@ -143,6 +150,12 @@ struct Inputs
     std::vector<cmos::NodeParams> scaling;
     chipdb::BudgetModel budget;
     std::vector<chipdb::ChipRecord> corpus;
+    /**
+     * The chiplet wafer-cost/yield table (M011..M013). May be empty
+     * when the model under audit has no cost dimension; the chiplet
+     * rules then stay silent.
+     */
+    chiplet::CostTable chiplet_costs;
 };
 
 /** The tables and corpus the library actually ships. */

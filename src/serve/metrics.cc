@@ -15,6 +15,7 @@ endpointLabel(Endpoint ep)
       case Endpoint::Gains: return "/v1/gains";
       case Endpoint::Csr: return "/v1/csr";
       case Endpoint::Sweep: return "/v1/sweep";
+      case Endpoint::Chiplet: return "/v1/chiplet";
       case Endpoint::Healthz: return "/healthz";
       case Endpoint::Metrics: return "/metrics";
       case Endpoint::Other: return "other";
@@ -31,6 +32,8 @@ classifyEndpoint(const std::string &target)
         return Endpoint::Csr;
     if (target == "/v1/sweep")
         return Endpoint::Sweep;
+    if (target == "/v1/chiplet")
+        return Endpoint::Chiplet;
     if (target == "/healthz")
         return Endpoint::Healthz;
     if (target == "/metrics")

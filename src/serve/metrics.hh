@@ -40,11 +40,12 @@ enum class Endpoint
     Gains,
     Csr,
     Sweep,
+    Chiplet,
     Healthz,
     Metrics,
     Other,
 };
-inline constexpr int kNumEndpoints = 6;
+inline constexpr int kNumEndpoints = 7;
 
 /** Label value, e.g. "/v1/gains" or "other". */
 const char *endpointLabel(Endpoint ep);

@@ -5,6 +5,7 @@
 #include "aladdin/design_point.hh"
 #include "aladdin/simulator.hh"
 #include "aladdin/sweep.hh"
+#include "chiplet/sweep.hh"
 #include "csr/csr.hh"
 #include "kernels/kernels.hh"
 #include "util/json.hh"
@@ -22,7 +23,8 @@ httpStatusFor(ErrorCode code)
       case ErrorCode::HttpMalformed: return 400;
       case ErrorCode::HttpUnsupportedMethod: return 405;
       case ErrorCode::HttpBodyTooLarge:
-      case ErrorCode::ServeSweepTooLarge: return 413;
+      case ErrorCode::ServeSweepTooLarge:
+      case ErrorCode::ServeChipletTooLarge: return 413;
       case ErrorCode::HttpDeadline: return 408;
       case ErrorCode::ServeOverloaded: return 503;
       case ErrorCode::ServeUnknownEndpoint: return 404;
@@ -258,7 +260,7 @@ Service::handle(const HttpRequest &request)
         return target == "/healthz" ? handleHealthz() : handleMetrics();
     }
     if (target == "/v1/gains" || target == "/v1/csr" ||
-        target == "/v1/sweep") {
+        target == "/v1/sweep" || target == "/v1/chiplet") {
         if (request.method != "POST") {
             return errorResponse(makeError(
                 ErrorCode::HttpUnsupportedMethod, request.method,
@@ -268,6 +270,8 @@ Service::handle(const HttpRequest &request)
             return handleGains(request);
         if (target == "/v1/csr")
             return handleCsr(request);
+        if (target == "/v1/chiplet")
+            return handleChiplet(request);
         return handleSweep(request);
     }
     return errorResponse(makeError(ErrorCode::ServeUnknownEndpoint,
@@ -311,6 +315,12 @@ HttpResponse
 Service::handleSweep(const HttpRequest &request)
 {
     return cachedPost(request, "/v1/sweep", &Service::computeSweep);
+}
+
+HttpResponse
+Service::handleChiplet(const HttpRequest &request)
+{
+    return cachedPost(request, "/v1/chiplet", &Service::computeChiplet);
 }
 
 Result<std::string>
@@ -619,6 +629,123 @@ Service::computeSweep(const std::string &body)
     w.key("failed").value(
         static_cast<unsigned long long>(report.failed));
     w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+Result<std::string>
+Service::computeChiplet(const std::string &body)
+{
+    auto parsed = parseJson(body);
+    if (!parsed.ok())
+        return parsed.error();
+    const JsonValue &root = parsed.value();
+    if (!root.isObject()) {
+        return makeError(ErrorCode::JsonBadType,
+                         "request must be a JSON object, got ",
+                         root.kindName());
+    }
+
+    auto spec_member =
+        requireMember(root, "spec", JsonValue::Kind::Object, "object");
+    if (!spec_member.ok())
+        return spec_member.error();
+    auto spec = parseSpec(*spec_member.value());
+    if (!spec.ok())
+        return spec.error();
+
+    auto chiplets = numberArray(
+        root, "chiplets", [](double v) -> Result<void> {
+            if (v != std::floor(v) || v < 1 || v > 1024) {
+                return makeError(ErrorCode::JsonBadValue,
+                                 "chiplets must be integers in "
+                                 "[1, 1024]");
+            }
+            return {};
+        });
+    if (!chiplets.ok())
+        return chiplets.error();
+
+    auto nodes = numberArray(root, "nodes", [](double v) -> Result<void> {
+        if (!(v > 0.0) || !std::isfinite(v)) {
+            return makeError(ErrorCode::JsonBadValue,
+                             "nodes must be positive");
+        }
+        return {};
+    });
+    if (!nodes.ok())
+        return nodes.error();
+
+    std::size_t cells = chiplets.value().size() * nodes.value().size();
+    if (cells > options_.max_chiplet_cells) {
+        return makeError(ErrorCode::ServeChipletTooLarge, "grid of ",
+                         cells, " cells exceeds the ",
+                         options_.max_chiplet_cells,
+                         "-cell per-request limit");
+    }
+
+    chiplet::SweepConfig cfg;
+    cfg.base = spec.value();
+    for (double k : chiplets.value())
+        cfg.chiplets.push_back(static_cast<int>(k));
+    for (double n : nodes.value())
+        cfg.nodes.push_back(units::Nanometers{n});
+    cfg.jobs = options_.sweep_jobs;
+
+    auto link_pj = positive(
+        numberMemberOr(root, "link_pj_per_bit",
+                       cfg.link.pj_per_bit.raw()),
+        "link_pj_per_bit");
+    if (!link_pj.ok())
+        return link_pj.error();
+    cfg.link.pj_per_bit = units::Picojoules{link_pj.value()};
+    auto ns_hop = positive(
+        numberMemberOr(root, "ns_per_hop", cfg.link.ns_per_hop.raw()),
+        "ns_per_hop");
+    if (!ns_hop.ok())
+        return ns_hop.error();
+    cfg.link.ns_per_hop = units::Nanoseconds{ns_hop.value()};
+
+    auto outcome =
+        chiplet::runSweep(model_, chiplet::shippedCostTable(), cfg);
+    if (!outcome.ok())
+        return outcome.error();
+    const chiplet::SweepResult &sweep = outcome.value();
+
+    auto writePartition = [](JsonWriter &w,
+                             const chiplet::PartitionResult &r) {
+        w.key("die_area_mm2").value(r.die_area.raw());
+        w.key("throughput_tghz").value(r.throughput.raw());
+        w.key("power_w").value(r.power.raw());
+        w.key("link_power_w").value(r.link_power.raw());
+        w.key("latency_penalty").value(r.latency_penalty);
+        w.key("cost_usd").value(r.cost.raw());
+        w.key("throughput_per_usd").value(r.throughput_per_usd.raw());
+    };
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("spec");
+    writeSpec(w, cfg.base);
+    w.key("baseline").beginObject();
+    writePartition(w, sweep.baseline);
+    w.endObject();
+    w.key("points").beginArray();
+    for (const chiplet::SweepPoint &pt : sweep.points) {
+        w.beginObject();
+        w.key("chiplets").value(static_cast<long long>(pt.chiplets));
+        w.key("node_nm").value(pt.node_nm.raw());
+        w.key("ok").value(pt.ok);
+        if (pt.ok) {
+            writePartition(w, pt.result);
+            w.key("gain_per_usd").value(pt.gain_per_usd);
+        } else {
+            w.key("error_code").value(errorCodeName(pt.error));
+            w.key("error").value(errorCodeLabel(pt.error));
+        }
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     return w.str();
 }

@@ -9,6 +9,8 @@
  *   POST /v1/csr    CSR series over a submitted gain table (Eq. 1-2).
  *   POST /v1/sweep  A bounded Section-VI design-space sweep, fanned
  *                   out on the shared util::ThreadPool.
+ *   POST /v1/chiplet A bounded chiplet-partitioning sweep: K x node
+ *                   grid with cost-normalized gains (chiplet/sweep.hh).
  *   GET  /healthz   Liveness + version.
  *   GET  /metrics   Prometheus exposition (requests, latency
  *                   histogram, cache counters).
@@ -53,6 +55,11 @@ struct ServiceOptions
     std::size_t max_sweep_cells = 512;
     /** Upper bound on chips per /v1/csr request. */
     std::size_t max_csr_chips = 1024;
+    /**
+     * Upper bound on chiplets x nodes per /v1/chiplet request; larger
+     * grids are rejected with 413 E5010.
+     */
+    std::size_t max_chiplet_cells = 256;
     /** Worker threads per sweep request (0 = util::defaultJobs()). */
     int sweep_jobs = 0;
     /** Reported by /healthz. */
@@ -91,6 +98,7 @@ class Service
     HttpResponse handleGains(const HttpRequest &request);
     HttpResponse handleCsr(const HttpRequest &request);
     HttpResponse handleSweep(const HttpRequest &request);
+    HttpResponse handleChiplet(const HttpRequest &request);
     HttpResponse handleHealthz() const;
     HttpResponse handleMetrics() const;
 
@@ -102,6 +110,7 @@ class Service
     Result<std::string> computeGains(const std::string &body);
     Result<std::string> computeCsr(const std::string &body);
     Result<std::string> computeSweep(const std::string &body);
+    Result<std::string> computeChiplet(const std::string &body);
 
     ServiceOptions options_;
     potential::PotentialModel model_;

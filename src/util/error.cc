@@ -36,6 +36,8 @@ errorCodeLabel(ErrorCode code)
       case ErrorCode::CheckpointIo: return "checkpoint-io";
       case ErrorCode::CheckpointCorrupt: return "checkpoint-corrupt";
       case ErrorCode::CheckpointMismatch: return "checkpoint-mismatch";
+      case ErrorCode::ChipletUnknownNode: return "chiplet-unknown-node";
+      case ErrorCode::ChipletDieTooLarge: return "chiplet-die-too-large";
       case ErrorCode::HttpMalformed: return "http-malformed";
       case ErrorCode::HttpUnsupportedMethod:
           return "http-unsupported-method";
@@ -47,6 +49,8 @@ errorCodeLabel(ErrorCode code)
       case ErrorCode::ServeSweepTooLarge: return "serve-sweep-too-large";
       case ErrorCode::ServeBind: return "serve-bind";
       case ErrorCode::ServeConnection: return "serve-connection";
+      case ErrorCode::ServeChipletTooLarge:
+          return "serve-chiplet-too-large";
       case ErrorCode::ClientRetriesExhausted:
           return "client-retries-exhausted";
       case ErrorCode::ClientCircuitOpen: return "client-circuit-open";

@@ -73,6 +73,10 @@ enum class ErrorCode
     CheckpointCorrupt = 4102,
     CheckpointMismatch = 4103,
 
+    // 42xx: chiplet cost/partition model (src/chiplet).
+    ChipletUnknownNode = 4201,
+    ChipletDieTooLarge = 4202,
+
     // 5xxx: embedded query service (serve). The HTTP status each code
     // maps to is part of the interface; see serve/service.hh.
     HttpMalformed = 5001,
@@ -84,6 +88,7 @@ enum class ErrorCode
     ServeSweepTooLarge = 5007,
     ServeBind = 5008,
     ServeConnection = 5009,
+    ServeChipletTooLarge = 5010,
 
     // 52xx: the resilient serve client (serve/client.hh). Raised on
     // the caller's side of the wire, after the retry policy gave up.

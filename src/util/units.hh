@@ -12,10 +12,10 @@
  *
  * A Quantity<Dim, Scale> is a double tagged with
  *
- *  - a dimension vector Dim<length, time, energy, count, voltage> of
- *    integer exponents, and
+ *  - a dimension vector Dim<length, time, energy, count, voltage,
+ *    currency> of integer exponents, and
  *  - a std::ratio Scale relative to the coherent base units
- *    (metre, second, joule, transistor, volt),
+ *    (metre, second, joule, transistor, volt, US dollar),
  *
  * so Nanometers and SquareMillimeters differ in dimension, while
  * Megahertz and Gigahertz share a dimension but differ in scale.
@@ -50,9 +50,12 @@ namespace accelwall::units
 
 /**
  * Integer exponents over the base axes: length [m], time [s],
- * energy [J], count [transistors], voltage [V].
+ * energy [J], count [transistors], voltage [V], currency [USD].
+ * The currency axis defaults to 0 so the physical-only spellings
+ * (Dim<2,0,0,0,0> for area, …) keep meaning what they always did.
  */
-template <int Len, int Time, int Energy, int Count, int Volt>
+template <int Len, int Time, int Energy, int Count, int Volt,
+          int Curr = 0>
 struct Dim
 {
     static constexpr int len = Len;
@@ -60,6 +63,7 @@ struct Dim
     static constexpr int energy = Energy;
     static constexpr int count = Count;
     static constexpr int volt = Volt;
+    static constexpr int curr = Curr;
 };
 
 using DimNone = Dim<0, 0, 0, 0, 0>;
@@ -302,11 +306,13 @@ operator<<(std::ostream &os, Quantity<D, S> q)
 
 using DimLength = Dim<1, 0, 0, 0, 0>;
 using DimArea = Dim<2, 0, 0, 0, 0>;
+using DimTime = Dim<0, 1, 0, 0, 0>;
 using DimFrequency = Dim<0, -1, 0, 0, 0>;
 using DimEnergy = Dim<0, 0, 1, 0, 0>;
 using DimPower = Dim<0, -1, 1, 0, 0>;
 using DimCount = Dim<0, 0, 0, 1, 0>;
 using DimVoltage = Dim<0, 0, 0, 0, 1>;
+using DimCurrency = Dim<0, 0, 0, 0, 0, 1>;
 
 /** CMOS feature size, e.g. the 45 of "45nm". */
 using Nanometers = Quantity<DimLength, std::ratio<1, 1000000000>>;
@@ -326,10 +332,20 @@ using Watts = Quantity<DimPower>;
 /** Absolute energy; 1 W / 1 GHz = 1 nJ per cycle. */
 using Joules = Quantity<DimEnergy>;
 using Nanojoules = Quantity<DimEnergy, std::ratio<1, 1000000000>>;
+/** Per-bit link energy of the chiplet model (pJ/bit transfers). */
+using Picojoules = Quantity<DimEnergy, std::ratio<1, 1000000000000>>;
+/** Billed electricity (utility meters charge per kWh). */
+using KilowattHours = Quantity<DimEnergy, std::ratio<3600000, 1>>;
+/** Inter-chiplet hop latency (ns × GHz = cycles, a plain ratio). */
+using Nanoseconds = Quantity<DimTime, std::ratio<1, 1000000000>>;
+/** Market-simulation epochs and payback horizons. */
+using Days = Quantity<DimTime, std::ratio<86400, 1>>;
 /** Transistor counts (double: fit outputs are fractional). */
 using TransistorCount = Quantity<DimCount>;
 /** Supply voltage. */
 using Volts = Quantity<DimVoltage>;
+/** Money: wafer prices, capex, revenue. */
+using Usd = Quantity<DimCurrency>;
 
 /** The Fig. 3b density factor D = area/node² in mm²/nm² (scale 1e12). */
 using DensityFactor =
@@ -347,11 +363,40 @@ using TransistorGigahertzPerWatt =
 /** Area-normalized throughput (Section VI's per-mm² metrics). */
 using TransistorGigahertzPerSquareMillimeter =
     decltype(TransistorGigahertz{} / SquareMillimeters{});
+/** Fab defect density D0 — the knob of the negative-binomial yield. */
+using DefectsPerSquareMillimeter = decltype(1.0 / SquareMillimeters{});
+/** Wafer/die silicon price per unit area. */
+using UsdPerSquareMillimeter = decltype(Usd{} / SquareMillimeters{});
+/** Electricity tariff. */
+using UsdPerKilowattHour = decltype(Usd{} / KilowattHours{});
+/** Revenue and margin rates of the mining-market simulator. */
+using UsdPerDay = decltype(Usd{} / Days{});
+/** Cost-normalized throughput: the chiplet sweep's headline metric. */
+using TransistorGigahertzPerUsd = decltype(TransistorGigahertz{} / Usd{});
 
 static_assert(sizeof(Nanometers) == sizeof(double),
               "Quantity must stay a bare double");
 static_assert(std::is_same_v<decltype(Watts{} / Gigahertz{}), Nanojoules>,
               "1 W at 1 GHz must be 1 nJ per cycle");
+static_assert(
+    std::is_same_v<decltype(Nanoseconds{} * Gigahertz{}), double>,
+    "hop latency times clock must collapse to plain cycles");
+static_assert(
+    std::is_same_v<decltype(SquareMillimeters{} *
+                            DefectsPerSquareMillimeter{}),
+                   double>,
+    "die area times defect density is the dimensionless A*D0 of the "
+    "yield formula");
+static_assert(
+    std::is_same_v<decltype(KilowattHours{} * UsdPerKilowattHour{} /
+                            Days{1.0}),
+                   UsdPerDay>,
+    "energy times tariff per day must land exactly on UsdPerDay");
+static_assert(
+    std::is_same_v<decltype(SquareMillimeters{} *
+                            UsdPerSquareMillimeter{}),
+                   Usd>,
+    "area times area price must be plain dollars");
 
 /** Unit literals: `using namespace accelwall::units::literals;`. */
 namespace literals
@@ -412,6 +457,14 @@ constexpr TransistorCount operator""_tx(unsigned long long v)
 constexpr Volts operator""_v(long double v)
 {
     return Volts{static_cast<double>(v)};
+}
+constexpr Usd operator""_usd(long double v)
+{
+    return Usd{static_cast<double>(v)};
+}
+constexpr Usd operator""_usd(unsigned long long v)
+{
+    return Usd{static_cast<double>(v)};
 }
 
 } // namespace literals

@@ -1,12 +1,12 @@
-# Pin the BENCH_sweep.json and BENCH_serve.json *schemas* — keys,
-# value types, and the repeat-count/array-length contract — so the
-# perf-trajectory format cannot drift silently between commits. The
-# numbers themselves are machine-dependent and deliberately unchecked.
-# Invoked by the golden_bench_schema ctest entry with
-# -DTOOL=<accelwall-bench> -DOUT=<scratch.json>
-# -DSERVE_OUT=<scratch2.json>; runs the real tool on the quick grid
-# with the smallest repeat count that still exercises the median-of-N
-# path.
+# Pin the BENCH_sweep.json, BENCH_serve.json and BENCH_chiplet.json
+# *schemas* — keys, value types, and the repeat-count/array-length
+# contract — so the perf-trajectory format cannot drift silently
+# between commits. The numbers themselves are machine-dependent and
+# deliberately unchecked. Invoked by the golden_bench_schema ctest
+# entry with -DTOOL=<accelwall-bench> -DOUT=<scratch.json>
+# -DSERVE_OUT=<scratch2.json> -DCHIPLET_OUT=<scratch3.json>; runs the
+# real tool on the quick grid with the smallest repeat count that
+# still exercises the median-of-N path.
 set(repeat 2)
 execute_process(
     COMMAND ${TOOL} --repeat ${repeat} --grid quick --only sweep
@@ -131,4 +131,41 @@ if (degraded_faults EQUAL 0)
     message(FATAL_ERROR
         "degraded scenario injected no faults; the recv-short plan "
         "is not reaching the socket layer")
+endif ()
+
+# Chiplet trajectory: the yield/cost axis over the pinned K x node
+# grid.
+execute_process(
+    COMMAND ${TOOL} --repeat ${repeat} --only chiplet
+        --chiplet-out ${CHIPLET_OUT}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if (NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "${TOOL} --only chiplet failed with status ${rc}")
+endif ()
+file(READ ${CHIPLET_OUT} cdoc)
+
+check_member("${cdoc}" STRING schema)
+check_member("${cdoc}" STRING version)
+check_member("${cdoc}" NUMBER repeat)
+check_member("${cdoc}" NUMBER cells_per_repeat)
+check_member("${cdoc}" OBJECT chiplet)
+check_member("${cdoc}" NUMBER max_rss_kb)
+foreach (key median_wall_ms cells_per_sec p50_ms p95_ms p99_ms)
+    check_member("${cdoc}" NUMBER chiplet ${key})
+endforeach ()
+check_member("${cdoc}" ARRAY chiplet repeats_wall_ms)
+string(JSON n LENGTH "${cdoc}" chiplet repeats_wall_ms)
+if (NOT n EQUAL repeat)
+    message(FATAL_ERROR
+        "chiplet.repeats_wall_ms has ${n} samples, "
+        "expected ${repeat}")
+endif ()
+
+string(JSON chiplet_schema GET "${cdoc}" schema)
+if (NOT chiplet_schema STREQUAL "accelwall-bench-chiplet-v1")
+    message(FATAL_ERROR
+        "chiplet schema tag is '${chiplet_schema}'; bump this test "
+        "with the format")
 endif ()

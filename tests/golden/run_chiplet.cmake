@@ -1,0 +1,27 @@
+# Run accelwall-sweep's chiplet axis and diff its CSV against the
+# checked-in golden file — twice, at two job counts, pinning the
+# sweep's determinism contract (bit-identical output for every --jobs
+# value). Invoked by the golden_chiplet_csv ctest entry with
+# -DTOOL=<binary> -DGOLDEN=<ref> -DOUT=<scratch>.
+foreach (jobs 1 4)
+    execute_process(
+        COMMAND ${TOOL} --chiplets 1,2,4,8 --link-pj-per-bit 0.5
+            --csv --jobs ${jobs}
+        OUTPUT_FILE ${OUT}.jobs${jobs}
+        RESULT_VARIABLE rc)
+    if (NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "${TOOL} --chiplets failed with status ${rc} "
+            "at --jobs ${jobs}")
+    endif ()
+    execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT}.jobs${jobs} ${GOLDEN}
+        RESULT_VARIABLE diff)
+    if (NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "chiplet CSV ${OUT}.jobs${jobs} differs from golden file "
+            "${GOLDEN}; if the change is intentional, regenerate the "
+            "golden file (see tests/CMakeLists.txt)")
+    endif ()
+endforeach ()

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Tests for the chiplet subsystem: the negative-binomial yield model
+ * pinned against closed forms, the cost layer's stable E-codes, the
+ * K=1 partition reducing exactly to the monolith, the sweep's
+ * jobs-independence, and the headline crossover — at least one
+ * workload whose cost-per-dollar optimum is K>1 on an older node.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chiplet/cost.hh"
+#include "chiplet/partition.hh"
+#include "chiplet/sweep.hh"
+#include "potential/model.hh"
+
+namespace accelwall::chiplet
+{
+namespace
+{
+
+using namespace units::literals;
+
+// ---------------------------------------------------------------------
+// Yield model: closed-form pins.
+// ---------------------------------------------------------------------
+
+TEST(Yield, MatchesNegativeBinomialClosedForm)
+{
+    // Y = (1 + A*D0/alpha)^(-alpha) for A=100mm2, D0=0.002/mm2, a=3.
+    const double expect = std::pow(1.0 + 100.0 * 0.002 / 3.0, -3.0);
+    EXPECT_NEAR(dieYield(100.0_mm2,
+                         units::DefectsPerSquareMillimeter{0.002},
+                         3.0),
+                expect, 1e-12);
+    // (1 + 0.2/3)^-3 = (16/15)^-3 = 3375/4096, exactly representable.
+    EXPECT_NEAR(dieYield(100.0_mm2,
+                         units::DefectsPerSquareMillimeter{0.002},
+                         3.0),
+                0.823974609375, 1e-12);
+}
+
+TEST(Yield, ZeroAreaIsPerfectAndLargeAreaDecays)
+{
+    const units::DefectsPerSquareMillimeter d0{0.002};
+    EXPECT_DOUBLE_EQ(dieYield(0.0_mm2, d0, 3.0), 1.0);
+    double prev = 1.0;
+    for (double a : {25.0, 100.0, 400.0, 800.0}) {
+        double y = dieYield(units::SquareMillimeters{a}, d0, 3.0);
+        EXPECT_GT(y, 0.0);
+        EXPECT_LT(y, prev);
+        prev = y;
+    }
+}
+
+TEST(Yield, LargeAlphaApproachesPoisson)
+{
+    // alpha -> inf degenerates to the Poisson model e^(-A*D0).
+    const double poisson = std::exp(-100.0 * 0.002);
+    EXPECT_NEAR(dieYield(100.0_mm2,
+                         units::DefectsPerSquareMillimeter{0.002},
+                         1e6),
+                poisson, 1e-6);
+}
+
+TEST(Yield, DiesPerWaferMatchesEdgeLossFormula)
+{
+    // pi*(d/2)^2/A - pi*d/sqrt(2A) for A=100mm2 on a 300mm wafer.
+    const double d = 300.0, a = 100.0;
+    const double expect = M_PI * d * d / (4.0 * a) -
+                          M_PI * d / std::sqrt(2.0 * a);
+    EXPECT_NEAR(diesPerWafer(100.0_mm2, units::Millimeters{300.0}),
+                expect, 1e-9);
+    // A die bigger than the wafer yields zero, not a negative count.
+    EXPECT_DOUBLE_EQ(
+        diesPerWafer(units::SquareMillimeters{80000.0},
+                     units::Millimeters{300.0}),
+        0.0);
+}
+
+// ---------------------------------------------------------------------
+// Cost layer: arithmetic and stable E-codes.
+// ---------------------------------------------------------------------
+
+TEST(Cost, CostPerGoodDieComposesYieldAndDiesPerWafer)
+{
+    const CostTable &table = shippedCostTable();
+    const NodeCost *row = findNode(table, 7.0_nm);
+    ASSERT_NE(row, nullptr);
+    auto got = costPerGoodDie(table, 7.0_nm, 100.0_mm2);
+    ASSERT_TRUE(got.ok());
+    const double dies =
+        diesPerWafer(100.0_mm2, table.wafer_diameter);
+    const double yield =
+        dieYield(100.0_mm2, row->defect_d0, table.alpha);
+    EXPECT_NEAR(got.value().raw(),
+                row->wafer_usd.raw() / (dies * yield), 1e-9);
+}
+
+TEST(Cost, UnknownNodeIsE4201)
+{
+    auto got = costPerGoodDie(shippedCostTable(), 6.0_nm, 100.0_mm2);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.error().code(), ErrorCode::ChipletUnknownNode);
+}
+
+TEST(Cost, DieTooLargeIsE4202)
+{
+    // 60000mm2 leaves less than one gross die on a 300mm wafer.
+    auto got = costPerGoodDie(shippedCostTable(), 7.0_nm,
+                              units::SquareMillimeters{60000.0});
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.error().code(), ErrorCode::ChipletDieTooLarge);
+}
+
+TEST(Cost, PackagedCostChargesPerDieAndPerPackage)
+{
+    const CostTable &table = shippedCostTable();
+    auto good = costPerGoodDie(table, 14.0_nm, 100.0_mm2);
+    ASSERT_TRUE(good.ok());
+    auto packaged = packagedCost(table, 14.0_nm, 100.0_mm2, 4);
+    ASSERT_TRUE(packaged.ok());
+    const Packaging &pkg = table.packaging;
+    const double expect =
+        pkg.substrate_usd.raw() +
+        4.0 * (good.value().raw() / pkg.test_yield +
+               pkg.bond_usd_per_die.raw());
+    EXPECT_NEAR(packaged.value().raw(), expect, 1e-9);
+    // More dies of the same area can only cost more.
+    auto more = packagedCost(table, 14.0_nm, 100.0_mm2, 8);
+    ASSERT_TRUE(more.ok());
+    EXPECT_GT(more.value().raw(), packaged.value().raw());
+}
+
+TEST(Cost, SplittingAFixedAreaBuysYield)
+{
+    // Four 175mm2 dies cost less silicon than one 700mm2 die: yield
+    // falls super-linearly in area. (Packaging charges fight back;
+    // compare bare good-die silicon here.)
+    const CostTable &table = shippedCostTable();
+    auto mono = costPerGoodDie(table, 7.0_nm, 700.0_mm2);
+    auto quarter = costPerGoodDie(table, 7.0_nm, 175.0_mm2);
+    ASSERT_TRUE(mono.ok());
+    ASSERT_TRUE(quarter.ok());
+    EXPECT_LT(4.0 * quarter.value().raw(), mono.value().raw());
+}
+
+// ---------------------------------------------------------------------
+// Partitioning: K=1 is the monolith; links charge real power.
+// ---------------------------------------------------------------------
+
+TEST(Partition, SingleChipletReducesToMonolith)
+{
+    potential::PotentialModel model;
+    const CostTable &table = shippedCostTable();
+    PartitionPlan plan;
+    plan.base =
+        potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    plan.chiplets = 1;
+    plan.node_nm = 7.0_nm;
+    auto got = evaluatePartition(model, table, plan);
+    ASSERT_TRUE(got.ok());
+    const PartitionResult &r = got.value();
+    EXPECT_DOUBLE_EQ(r.link_power.raw(), 0.0);
+    EXPECT_DOUBLE_EQ(r.latency_penalty, 1.0);
+    EXPECT_DOUBLE_EQ(r.die_area.raw(), 700.0);
+    // Same throughput the potential model gives the monolith directly.
+    EXPECT_DOUBLE_EQ(r.throughput.raw(),
+                     model.throughput(plan.base).raw());
+    auto cost = packagedCost(table, 7.0_nm, 700.0_mm2, 1);
+    ASSERT_TRUE(cost.ok());
+    EXPECT_DOUBLE_EQ(r.cost.raw(), cost.value().raw());
+}
+
+TEST(Partition, LinksChargePowerAndLatency)
+{
+    potential::PotentialModel model;
+    PartitionPlan plan;
+    plan.base =
+        potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    plan.chiplets = 4;
+    plan.node_nm = 7.0_nm;
+    auto got = evaluatePartition(model, shippedCostTable(), plan);
+    ASSERT_TRUE(got.ok());
+    const PartitionResult &r = got.value();
+    EXPECT_GT(r.link_power.raw(), 0.0);
+    EXPECT_LT(r.latency_penalty, 1.0);
+    EXPECT_GT(r.latency_penalty, 0.0);
+    // The split die is a quarter of the monolith.
+    EXPECT_DOUBLE_EQ(r.die_area.raw(), 175.0);
+}
+
+TEST(Partition, StrongerLinkEnergyLowersDeliveredThroughput)
+{
+    potential::PotentialModel model;
+    PartitionPlan plan;
+    plan.base =
+        potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    plan.chiplets = 8;
+    plan.node_nm = 7.0_nm;
+    LinkParams cheap;
+    LinkParams dear;
+    dear.pj_per_bit = units::Picojoules{50.0};
+    auto a = evaluatePartition(model, shippedCostTable(), plan, cheap);
+    auto b = evaluatePartition(model, shippedCostTable(), plan, dear);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_GT(b.value().link_power.raw(), a.value().link_power.raw());
+    EXPECT_LT(b.value().throughput.raw(), a.value().throughput.raw());
+}
+
+TEST(Partition, UnknownNodePropagatesE4201)
+{
+    potential::PotentialModel model;
+    PartitionPlan plan;
+    plan.base =
+        potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    plan.chiplets = 2;
+    plan.node_nm = 6.0_nm;
+    auto got = evaluatePartition(model, shippedCostTable(), plan);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.error().code(), ErrorCode::ChipletUnknownNode);
+}
+
+// ---------------------------------------------------------------------
+// The sweep: determinism, per-point errors, and the crossover.
+// ---------------------------------------------------------------------
+
+SweepConfig
+crossoverConfig()
+{
+    SweepConfig cfg;
+    cfg.base =
+        potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    cfg.chiplets = {1, 2, 4, 8};
+    for (const NodeCost &node : shippedCostTable().nodes)
+        cfg.nodes.push_back(node.node_nm);
+    return cfg;
+}
+
+TEST(ChipletSweep, OutputIsIdenticalForEveryJobsValue)
+{
+    potential::PotentialModel model;
+    SweepConfig cfg = crossoverConfig();
+    cfg.jobs = 1;
+    auto serial = runSweep(model, shippedCostTable(), cfg);
+    cfg.jobs = 4;
+    auto parallel = runSweep(model, shippedCostTable(), cfg);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    const auto &a = serial.value().points;
+    const auto &b = parallel.value().points;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].chiplets, b[i].chiplets);
+        EXPECT_EQ(a[i].node_nm.raw(), b[i].node_nm.raw());
+        EXPECT_EQ(a[i].ok, b[i].ok);
+        EXPECT_EQ(a[i].error, b[i].error);
+        EXPECT_EQ(a[i].result.throughput.raw(),
+                  b[i].result.throughput.raw());
+        EXPECT_EQ(a[i].result.cost.raw(), b[i].result.cost.raw());
+        EXPECT_EQ(a[i].gain_per_usd, b[i].gain_per_usd);
+    }
+}
+
+TEST(ChipletSweep, GridIsRowMajorChipletsOuterNodesInner)
+{
+    potential::PotentialModel model;
+    SweepConfig cfg = crossoverConfig();
+    auto got = runSweep(model, shippedCostTable(), cfg);
+    ASSERT_TRUE(got.ok());
+    const auto &points = got.value().points;
+    ASSERT_EQ(points.size(), cfg.chiplets.size() * cfg.nodes.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].chiplets,
+                  cfg.chiplets[i / cfg.nodes.size()]);
+        EXPECT_EQ(points[i].node_nm.raw(),
+                  cfg.nodes[i % cfg.nodes.size()].raw());
+    }
+}
+
+TEST(ChipletSweep, BaselineGainIsExactlyOne)
+{
+    potential::PotentialModel model;
+    auto got =
+        runSweep(model, shippedCostTable(), crossoverConfig());
+    ASSERT_TRUE(got.ok());
+    for (const SweepPoint &p : got.value().points) {
+        if (p.chiplets == 1 && p.node_nm == 7.0_nm)
+            EXPECT_DOUBLE_EQ(p.gain_per_usd, 1.0);
+    }
+}
+
+TEST(ChipletSweep, CrossoverFavorsPartitioningOntoAnOlderNode)
+{
+    // The acceptance headline: for the pinned 7nm/700mm2/300W
+    // monolith, the cost-per-dollar optimum is K>1 on an *older*
+    // node than the monolith's.
+    potential::PotentialModel model;
+    auto got =
+        runSweep(model, shippedCostTable(), crossoverConfig());
+    ASSERT_TRUE(got.ok());
+    const SweepPoint *best = nullptr;
+    for (const SweepPoint &p : got.value().points)
+        if (p.ok && (!best || p.gain_per_usd > best->gain_per_usd))
+            best = &p;
+    ASSERT_NE(best, nullptr);
+    EXPECT_GT(best->chiplets, 1);
+    EXPECT_GT(best->node_nm.raw(), 7.0);
+    EXPECT_GT(best->gain_per_usd, 1.5);
+}
+
+TEST(ChipletSweep, UntabulatedNodeIsAPerPointError)
+{
+    potential::PotentialModel model;
+    SweepConfig cfg = crossoverConfig();
+    cfg.nodes.push_back(6.0_nm);
+    auto got = runSweep(model, shippedCostTable(), cfg);
+    ASSERT_TRUE(got.ok());
+    bool saw_error = false;
+    for (const SweepPoint &p : got.value().points) {
+        if (p.node_nm == 6.0_nm) {
+            EXPECT_FALSE(p.ok);
+            EXPECT_EQ(p.error, ErrorCode::ChipletUnknownNode);
+            saw_error = true;
+        } else {
+            EXPECT_TRUE(p.ok);
+        }
+    }
+    EXPECT_TRUE(saw_error);
+}
+
+TEST(ChipletSweep, EmptyDimensionIsE4001)
+{
+    potential::PotentialModel model;
+    SweepConfig cfg = crossoverConfig();
+    cfg.chiplets.clear();
+    auto got = runSweep(model, shippedCostTable(), cfg);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.error().code(), ErrorCode::SweepEmptyDimension);
+
+    cfg = crossoverConfig();
+    cfg.nodes.clear();
+    got = runSweep(model, shippedCostTable(), cfg);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.error().code(), ErrorCode::SweepEmptyDimension);
+}
+
+TEST(ChipletSweep, UncostableBaselineFailsTheWholeSweep)
+{
+    // gain_per_usd is relative to the monolith on the base node; if
+    // that cannot be costed the metric is undefined.
+    potential::PotentialModel model;
+    SweepConfig cfg = crossoverConfig();
+    cfg.base.node_nm = 6.0_nm;
+    auto got = runSweep(model, shippedCostTable(), cfg);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.error().code(), ErrorCode::ChipletUnknownNode);
+}
+
+} // namespace
+} // namespace accelwall::chiplet

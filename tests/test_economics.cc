@@ -37,13 +37,13 @@ TEST(Market, ChipEvaluationArithmetic)
     chip.area_mm2 = 50.0;
 
     MarketConfig cfg;
-    cfg.usd_per_kwh = 0.10;
-    cfg.usd_per_mm2 = 2.0;
+    cfg.usd_per_kwh = units::UsdPerKilowattHour{0.10};
+    cfg.usd_per_mm2 = units::UsdPerSquareMillimeter{2.0};
     ChipEconomics econ = evaluateChip(chip, 1.0, cfg);
     // Revenue 10 USD/day, electricity 0.1kW*24h*0.1 = 0.24 USD/day.
-    EXPECT_NEAR(econ.margin_usd_per_day, 9.76, 1e-9);
+    EXPECT_NEAR(econ.margin_usd_per_day.raw(), 9.76, 1e-9);
     EXPECT_NEAR(econ.energy_cost_share, 0.024, 1e-9);
-    EXPECT_NEAR(econ.payback_days, 100.0 / 9.76, 1e-9);
+    EXPECT_NEAR(econ.payback_days.raw(), 100.0 / 9.76, 1e-9);
 }
 
 TEST(Market, UnprofitableChipNeverPaysBack)
@@ -53,8 +53,8 @@ TEST(Market, UnprofitableChipNeverPaysBack)
     chip.watts = 100.0;
     chip.area_mm2 = 200.0;
     ChipEconomics econ = evaluateChip(chip, 1.0, MarketConfig{});
-    EXPECT_LT(econ.margin_usd_per_day, 0.0);
-    EXPECT_TRUE(std::isinf(econ.payback_days));
+    EXPECT_LT(econ.margin_usd_per_day.raw(), 0.0);
+    EXPECT_TRUE(std::isinf(econ.payback_days.raw()));
 }
 
 TEST(Market, NetworkGrowsAndRevenueDensityFalls)

@@ -368,6 +368,7 @@ TEST(Service, StatusMappingIsPartOfTheInterface)
     EXPECT_EQ(httpStatusFor(ErrorCode::ServeOverloaded), 503);
     EXPECT_EQ(httpStatusFor(ErrorCode::ServeUnknownEndpoint), 404);
     EXPECT_EQ(httpStatusFor(ErrorCode::ServeSweepTooLarge), 413);
+    EXPECT_EQ(httpStatusFor(ErrorCode::ServeChipletTooLarge), 413);
     EXPECT_EQ(httpStatusFor(ErrorCode::ServeBind), 500);
 }
 
@@ -413,6 +414,90 @@ TEST(Service, SweepHappyPathAndCellLimit)
                      "\"simplifications\": [1, 2, 3]}"));
     EXPECT_EQ(too_big.status, 413);
     EXPECT_EQ(errorCode(too_big), "E5007");
+}
+
+TEST(Service, ChipletHappyPathAndCellLimit)
+{
+    ServiceOptions options;
+    options.max_chiplet_cells = 8;
+    Service service(options);
+    HttpResponse ok = service.handle(post(
+        "/v1/chiplet",
+        "{\"spec\": {\"node_nm\": 7, \"area_mm2\": 700, "
+        "\"freq_ghz\": 1.0, \"tdp_w\": 300}, "
+        "\"chiplets\": [1, 4], \"nodes\": [14, 7]}"));
+    ASSERT_EQ(ok.status, 200) << ok.body;
+    auto parsed = parseJson(ok.body);
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue *baseline = parsed.value().find("baseline");
+    ASSERT_NE(baseline, nullptr);
+    EXPECT_GT(baseline->find("cost_usd")->asNumber(), 0.0);
+    const JsonValue *points = parsed.value().find("points");
+    ASSERT_NE(points, nullptr);
+    EXPECT_EQ(points->asArray().size(), 4u);
+
+    HttpResponse too_big = service.handle(post(
+        "/v1/chiplet",
+        "{\"spec\": {\"node_nm\": 7, \"area_mm2\": 700, "
+        "\"freq_ghz\": 1.0, \"tdp_w\": 300}, "
+        "\"chiplets\": [1, 2, 4], \"nodes\": [45, 22, 14]}"));
+    EXPECT_EQ(too_big.status, 413);
+    EXPECT_EQ(errorCode(too_big), "E5010");
+}
+
+TEST(Service, ChipletUntabulatedNodeIsAPerPointError)
+{
+    Service service;
+    HttpResponse res = service.handle(post(
+        "/v1/chiplet",
+        "{\"spec\": {\"node_nm\": 7, \"area_mm2\": 700, "
+        "\"freq_ghz\": 1.0, \"tdp_w\": 300}, "
+        "\"chiplets\": [2], \"nodes\": [6]}"));
+    ASSERT_EQ(res.status, 200) << res.body;
+    auto parsed = parseJson(res.body);
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue *points = parsed.value().find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->asArray().size(), 1u);
+    const JsonValue &point = points->asArray()[0];
+    EXPECT_FALSE(point.find("ok")->asBool());
+    EXPECT_EQ(point.find("error")->asString(),
+              "chiplet-unknown-node");
+}
+
+TEST(Service, ChipletCacheBitIdentity)
+{
+    Service service;
+    HttpRequest req = post(
+        "/v1/chiplet",
+        "{\"spec\": {\"node_nm\": 7, \"area_mm2\": 700, "
+        "\"freq_ghz\": 1.0, \"tdp_w\": 300}, "
+        "\"chiplets\": [1, 2, 4, 8], \"nodes\": [45, 22, 14, 7], "
+        "\"link_pj_per_bit\": 0.5}");
+    HttpResponse first = service.handle(req);
+    HttpResponse second = service.handle(req);
+    ASSERT_EQ(first.status, 200) << first.body;
+    ASSERT_EQ(second.status, 200);
+    EXPECT_EQ(first.headers.at("X-Cache"), "miss");
+    EXPECT_EQ(second.headers.at("X-Cache"), "hit");
+    EXPECT_EQ(first.body, second.body);
+}
+
+TEST(Service, ChipletBadRequestsGetStableCodes)
+{
+    Service service;
+    HttpResponse empty = service.handle(post(
+        "/v1/chiplet",
+        "{\"spec\": {\"node_nm\": 7, \"area_mm2\": 700, "
+        "\"freq_ghz\": 1.0, \"tdp_w\": 300}, "
+        "\"chiplets\": [], \"nodes\": [45]}"));
+    EXPECT_EQ(empty.status, 400);
+    EXPECT_EQ(errorCode(empty), "E4001");
+
+    HttpResponse missing = service.handle(post(
+        "/v1/chiplet", "{\"chiplets\": [1], \"nodes\": [45]}"));
+    EXPECT_EQ(missing.status, 400);
+    EXPECT_EQ(errorCode(missing), "E1103");
 }
 
 TEST(Service, BadRequestsGetStableCodes)

@@ -443,7 +443,7 @@ TEST(DebugVerify, PassesCleanGraphsSilently)
 }
 
 // ---------------------------------------------------------------------
-// The model lint domain (modelcheck, rules M001..M010): the shipped
+// The model lint domain (modelcheck, rules M001..M013): the shipped
 // tables must audit clean, and each rule must fire on inputs corrupted
 // to break exactly its invariant.
 // ---------------------------------------------------------------------
@@ -459,6 +459,17 @@ TEST(ModelRules, CodesAndNamesAreStable)
     EXPECT_STREQ(mc::ruleName(mc::RuleId::NodeOrder), "node-order");
     EXPECT_STREQ(mc::ruleCode(mc::RuleId::CorpusAudit), "M010");
     EXPECT_STREQ(mc::ruleName(mc::RuleId::CorpusAudit), "corpus-audit");
+    EXPECT_STREQ(mc::ruleCode(mc::RuleId::ChipletWaferCostMonotonic),
+                 "M011");
+    EXPECT_STREQ(mc::ruleName(mc::RuleId::ChipletWaferCostMonotonic),
+                 "chiplet-wafer-cost-monotonic");
+    EXPECT_STREQ(mc::ruleCode(mc::RuleId::ChipletDefectMonotonic),
+                 "M012");
+    EXPECT_STREQ(mc::ruleName(mc::RuleId::ChipletDefectMonotonic),
+                 "chiplet-defect-monotonic");
+    EXPECT_STREQ(mc::ruleCode(mc::RuleId::ChipletYieldSanity), "M013");
+    EXPECT_STREQ(mc::ruleName(mc::RuleId::ChipletYieldSanity),
+                 "chiplet-yield-sanity");
     EXPECT_EQ(mc::defaultSeverity(mc::RuleId::NodeOrder),
               mc::Severity::Error);
 }
@@ -632,6 +643,80 @@ TEST(ModelCheck, DiagnosticRenderingIsStructured)
     std::string line = diag.str();
     EXPECT_NE(line.find(mc::ruleCode(diag.rule)), std::string::npos);
     EXPECT_NE(line.find(diag.subject), std::string::npos);
+}
+
+TEST(ModelCheck, ChipletWaferCostRegressionFires)
+{
+    // A shrink that got *cheaper* per wafer would make the crossover
+    // study trivially favor the newest node; the table forbids it.
+    mc::Inputs in = mc::shippedInputs();
+    ASSERT_GE(in.chiplet_costs.nodes.size(), 2u);
+    in.chiplet_costs.nodes.back().wafer_usd = units::Usd{1.0};
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(
+        report.fired(mc::RuleId::ChipletWaferCostMonotonic));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, ChipletNodeOrderViolationFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    ASSERT_GE(in.chiplet_costs.nodes.size(), 2u);
+    std::swap(in.chiplet_costs.nodes[0], in.chiplet_costs.nodes[1]);
+    EXPECT_TRUE(mc::check(in).fired(
+        mc::RuleId::ChipletWaferCostMonotonic));
+}
+
+TEST(ModelCheck, ChipletDefectRegressionFires)
+{
+    // Defect density falling at a shrink contradicts the model's
+    // yield-pressure story (and real fab learning curves).
+    mc::Inputs in = mc::shippedInputs();
+    ASSERT_GE(in.chiplet_costs.nodes.size(), 2u);
+    in.chiplet_costs.nodes.back().defect_d0 =
+        units::DefectsPerSquareMillimeter{1e-6};
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::ChipletDefectMonotonic));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, ChipletAbsurdDefectDensityFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    ASSERT_FALSE(in.chiplet_costs.nodes.empty());
+    in.chiplet_costs.nodes[0].defect_d0 =
+        units::DefectsPerSquareMillimeter{50.0};
+    EXPECT_TRUE(
+        mc::check(in).fired(mc::RuleId::ChipletDefectMonotonic));
+}
+
+TEST(ModelCheck, ChipletBadClusteringParameterFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.chiplet_costs.alpha = -3.0;
+    mc::Report report = mc::check(in);
+    EXPECT_TRUE(report.fired(mc::RuleId::ChipletYieldSanity));
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(ModelCheck, ChipletBadTestYieldFires)
+{
+    mc::Inputs in = mc::shippedInputs();
+    in.chiplet_costs.packaging.test_yield = 1.2;
+    EXPECT_TRUE(mc::check(in).fired(mc::RuleId::ChipletYieldSanity));
+}
+
+TEST(ModelCheck, EmptyChipletTableStaysSilent)
+{
+    // The chiplet table is optional: inputs predating the subsystem
+    // (or stripped-down fixtures) must not trip M011..M013.
+    mc::Inputs in = mc::shippedInputs();
+    in.chiplet_costs = chiplet::CostTable{};
+    in.chiplet_costs.nodes.clear();
+    mc::Report report = mc::check(in);
+    EXPECT_FALSE(report.fired(mc::RuleId::ChipletWaferCostMonotonic));
+    EXPECT_FALSE(report.fired(mc::RuleId::ChipletDefectMonotonic));
+    EXPECT_FALSE(report.fired(mc::RuleId::ChipletYieldSanity));
 }
 
 TEST(ModelCheck, BrokenShowcaseCoversEveryRule)

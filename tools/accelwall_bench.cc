@@ -17,6 +17,10 @@
  *                     recv-short:10 plan — every 10th socket read
  *                     clamped to one byte), so the trajectory tracks
  *                     throughput under network faults too.
+ *   BENCH_chiplet.json  The chiplet yield/cost axis: the pinned
+ *                     monolith re-partitioned over a fixed
+ *                     K × node grid on the ThreadPool, median-of-N
+ *                     wall time and cells/sec.
  *
  * The workload is pinned: same kernels, same grids, same request
  * bodies on every invocation, so numbers are comparable across
@@ -25,7 +29,8 @@
  *
  * usage: accelwall-bench [--repeat N] [--grid quick|paper]
  *                        [--sweep-out PATH] [--serve-out PATH]
- *                        [--only sweep|serve]
+ *                        [--chiplet-out PATH]
+ *                        [--only sweep|serve|chiplet]
  */
 
 #include <sys/resource.h>
@@ -40,6 +45,7 @@
 #include "aladdin/design_point.hh"
 #include "aladdin/simulator.hh"
 #include "aladdin/sweep.hh"
+#include "chiplet/sweep.hh"
 #include "kernels/kernels.hh"
 #include "serve/client.hh"
 #include "serve/http.hh"
@@ -223,6 +229,73 @@ benchSweep(const std::string &grid_name, int repeat,
     return 0;
 }
 
+int
+benchChiplet(int repeat, const std::string &out_path)
+{
+    // Pinned grid: every shipped cost-table node against a fixed K
+    // ladder, re-swept kRounds times per repeat so one repeat is long
+    // enough to time.
+    using namespace units::literals;
+    const auto &table = chiplet::shippedCostTable();
+    chiplet::SweepConfig cfg;
+    cfg.base =
+        potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    cfg.chiplets = {1, 2, 3, 4, 6, 8, 12, 16};
+    for (const auto &node : table.nodes)
+        cfg.nodes.push_back(node.node_nm);
+    constexpr int kRounds = 25;
+
+    potential::PotentialModel model;
+    // Warm up the pool and page in the code path, untimed.
+    // srccheck:allow(S007): the warm-up result is irrelevant by
+    // construction; the timed repeats below check their own.
+    (void)chiplet::runSweep(model, table, cfg);
+
+    EngineStats stats;
+    for (int r = 0; r < repeat; ++r) {
+        double total_ms = 0.0;
+        std::size_t cells = 0;
+        for (int round = 0; round < kRounds; ++round) {
+            auto t0 = Clock::now();
+            auto outcome = chiplet::runSweep(model, table, cfg);
+            auto t1 = Clock::now();
+            if (!outcome.ok())
+                fatal("bench chiplet sweep failed: ",
+                      outcome.error().str());
+            cells += outcome.value().points.size();
+            double ms = elapsedMs(t0, t1);
+            stats.sweep_wall_ms.push_back(ms);
+            total_ms += ms;
+        }
+        stats.repeats_wall_ms.push_back(total_ms);
+        stats.cells_per_repeat = cells;
+    }
+    double med = median(stats.repeats_wall_ms);
+
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.key("schema").value("accelwall-bench-chiplet-v1");
+    w.key("version").value(cli::kVersion);
+    w.key("repeat").value(repeat);
+    w.key("cells_per_repeat")
+        .value(static_cast<unsigned long long>(
+            stats.cells_per_repeat));
+    w.key("chiplet");
+    writeEngineStats(w, stats);
+    w.key("max_rss_kb").value(static_cast<long long>(maxRssKb()));
+    w.endObject();
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out)
+        fatal("cannot write '", out_path, "'");
+    out << w.str() << '\n';
+    std::printf("%s: %d repeats: chiplet %.1f ms (%.0f cells/s)\n",
+                out_path.c_str(), repeat, med,
+                static_cast<double>(stats.cells_per_repeat) /
+                    (med / 1000.0));
+    return 0;
+}
+
 /** One (method, target, body) entry of the pinned serve mix. */
 struct ServeQuery
 {
@@ -400,7 +473,7 @@ usage()
         stderr,
         "usage: accelwall-bench [--repeat N] [--grid quick|paper]\n"
         "           [--sweep-out PATH] [--serve-out PATH]\n"
-        "           [--only sweep|serve]\n");
+        "           [--chiplet-out PATH] [--only sweep|serve|chiplet]\n");
     return 2;
 }
 
@@ -415,6 +488,7 @@ main(int argc, char **argv)
     std::string grid = "quick";
     std::string sweep_out = "BENCH_sweep.json";
     std::string serve_out = "BENCH_serve.json";
+    std::string chiplet_out = "BENCH_chiplet.json";
     std::string only;
 
     for (int i = 1; i < argc; ++i) {
@@ -438,9 +512,12 @@ main(int argc, char **argv)
             sweep_out = next();
         } else if (arg == "--serve-out") {
             serve_out = next();
+        } else if (arg == "--chiplet-out") {
+            chiplet_out = next();
         } else if (arg == "--only") {
             only = next();
-            if (only != "sweep" && only != "serve")
+            if (only != "sweep" && only != "serve" &&
+                only != "chiplet")
                 return usage();
         } else {
             return usage();
@@ -452,5 +529,7 @@ main(int argc, char **argv)
         rc |= benchSweep(grid, repeat, sweep_out);
     if (only.empty() || only == "serve")
         rc |= benchServe(repeat, serve_out);
+    if (only.empty() || only == "chiplet")
+        rc |= benchChiplet(repeat, chiplet_out);
     return rc;
 }

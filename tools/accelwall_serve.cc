@@ -5,8 +5,8 @@
  * Usage:
  *   accelwall-serve [--host H] [--port P] [--workers N] [--queue N]
  *                   [--cache-entries N] [--deadline-ms N] [--jobs N]
- *                   [--max-sweep-cells N] [--port-file PATH]
- *                   [--version]
+ *                   [--max-sweep-cells N] [--max-chiplet-cells N]
+ *                   [--port-file PATH] [--version]
  *
  * Binds, prints the serving address, and runs until SIGINT/SIGTERM,
  * which trigger a graceful drain: the listener closes, every accepted
@@ -39,7 +39,8 @@ usage()
         << "usage: accelwall-serve [--host H] [--port P] [--workers N]\n"
            "           [--queue N] [--cache-entries N] [--deadline-ms N]\n"
            "           [--jobs N] [--max-sweep-cells N]\n"
-           "           [--port-file PATH] [--version]\n";
+           "           [--max-chiplet-cells N] [--port-file PATH]\n"
+           "           [--version]\n";
     return 2;
 }
 
@@ -80,6 +81,10 @@ main(int argc, char **argv)
         } else if (arg == "--max-sweep-cells" && intFlag(value) &&
                    value > 0) {
             options.service.max_sweep_cells =
+                static_cast<std::size_t>(value);
+        } else if (arg == "--max-chiplet-cells" && intFlag(value) &&
+                   value > 0) {
+            options.service.max_chiplet_cells =
                 static_cast<std::size_t>(value);
         } else if (arg == "--port-file" && i + 1 < argc) {
             port_file = argv[++i];

@@ -8,11 +8,21 @@
  *                   [--power-mw BUDGET] [--csv] [--grid paper|quick]
  *                   [--jobs N] [--on-error abort|skip]
  *                   [--checkpoint PATH] [--resume]
+ *   accelwall-sweep --chiplets K1,K2,... [--link-pj-per-bit X]
+ *                   [--csv] [--jobs N]
  *
  * Prints the optimum (optionally under an area/power budget), the
  * Figure 14 gain attribution, and with --csv the full sweep as CSV on
  * stdout (the `status` column is "ok" or the failure code of the
  * cell's chain).
+ *
+ * The second form runs the chiplet axis instead of a kernel sweep: a
+ * pinned 7nm / 700mm2 / 1GHz / 300W monolith is re-partitioned into
+ * each K across every node in the shipped wafer-cost table, and each
+ * point's cost-normalized gain (throughput per dollar, relative to
+ * the monolith) is reported. --link-pj-per-bit overrides the
+ * inter-chiplet link energy; output is bit-identical for every
+ * --jobs value.
  *
  * --jobs N (or the ACCELWALL_JOBS environment variable) sets the
  * sweep's thread count; the default is the hardware concurrency, and
@@ -35,6 +45,7 @@
 #include "aladdin/attribution.hh"
 #include "aladdin/simulator.hh"
 #include "aladdin/sweep.hh"
+#include "chiplet/sweep.hh"
 #include "cli_util.hh"
 #include "kernels/kernels.hh"
 #include "util/csv.hh"
@@ -56,8 +67,132 @@ usage()
                  "           [--area-um2 N] [--power-mw N] [--csv]\n"
                  "           [--grid paper|quick] [--jobs N]\n"
                  "           [--on-error abort|skip]\n"
-                 "           [--checkpoint PATH] [--resume]\n";
+                 "           [--checkpoint PATH] [--resume]\n"
+                 "       accelwall-sweep --chiplets K1,K2,...\n"
+                 "           [--link-pj-per-bit X] [--csv] [--jobs N]\n";
     return 2;
+}
+
+/** Parse a non-empty comma-separated integer list ("1,2,4,8"). */
+bool
+parseIntList(const std::string &s, std::vector<int> &out)
+{
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        std::string tok =
+            comma == std::string::npos
+                ? s.substr(pos)
+                : s.substr(pos, comma - pos);
+        int v = 0;
+        if (!cli::parseInt(tok, v))
+            return false;
+        out.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return !out.empty();
+}
+
+/**
+ * The chiplet-axis mode (invoked when argv[1] is --chiplets): pinned
+ * monolith, every K in the flag's list against every node in the
+ * shipped wafer-cost table.
+ */
+int
+chipletMain(int argc, char **argv)
+{
+    std::vector<int> chiplets;
+    double link_pj = 0.0;
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--chiplets" && i + 1 < argc) {
+            if (!parseIntList(argv[++i], chiplets))
+                return usage();
+        } else if (arg == "--link-pj-per-bit" && i + 1 < argc) {
+            if (!cli::parseDouble(argv[++i], link_pj) || link_pj <= 0.0)
+                return usage();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            int jobs = 0;
+            if (!cli::parseInt(argv[++i], jobs) || jobs < 1)
+                return usage();
+            util::setDefaultJobs(jobs);
+        } else {
+            return usage();
+        }
+    }
+    for (int k : chiplets)
+        if (k < 1)
+            return usage();
+
+    using namespace units::literals;
+    const auto &table = chiplet::shippedCostTable();
+    chiplet::SweepConfig cfg;
+    cfg.base = potential::ChipSpec{7.0_nm, 700.0_mm2, 1.0_ghz, 300.0_w};
+    cfg.chiplets = chiplets;
+    for (const auto &node : table.nodes)
+        cfg.nodes.push_back(node.node_nm);
+    if (link_pj > 0.0)
+        cfg.link.pj_per_bit = units::Picojoules{link_pj};
+
+    potential::PotentialModel model;
+    auto outcome = chiplet::runSweep(model, table, cfg);
+    if (!outcome.ok())
+        fatal(outcome.error().str());
+    const auto &sweep = outcome.value();
+
+    if (csv) {
+        CsvWriter out({"chiplets", "node_nm", "die_area_mm2",
+                       "throughput_tghz", "power_w", "link_power_w",
+                       "latency_penalty", "cost_usd",
+                       "throughput_per_usd", "gain_per_usd", "status"});
+        for (const auto &p : sweep.points) {
+            out.addRow({std::to_string(p.chiplets),
+                        fmtFixed(p.node_nm.raw(), 0),
+                        fmtFixed(p.result.die_area.raw(), 3),
+                        fmtFixed(p.result.throughput.raw(), 3),
+                        fmtFixed(p.result.power.raw(), 4),
+                        fmtFixed(p.result.link_power.raw(), 4),
+                        fmtFixed(p.result.latency_penalty, 6),
+                        fmtFixed(p.result.cost.raw(), 2),
+                        fmtFixed(p.result.throughput_per_usd.raw(), 3),
+                        fmtFixed(p.gain_per_usd, 6),
+                        p.ok ? "ok" : errorCodeName(p.error)});
+        }
+        out.write(std::cout);
+        return 0;
+    }
+
+    const auto &base = sweep.baseline;
+    std::cout << "chiplet sweep: " << sweep.points.size()
+              << " grid points; monolithic baseline "
+              << fmtFixed(base.node_nm.raw(), 0) << " nm, "
+              << fmtFixed(base.die_area.raw(), 0) << " mm2, $"
+              << fmtFixed(base.cost.raw(), 2) << ", "
+              << fmtSi(base.throughput_per_usd.raw(), 2)
+              << " thr/$\n";
+    const chiplet::SweepPoint *best = nullptr;
+    for (const auto &p : sweep.points)
+        if (p.ok && (!best || p.gain_per_usd > best->gain_per_usd))
+            best = &p;
+    if (best == nullptr)
+        fatal("chiplet sweep: no feasible grid point");
+    std::cout << "best: K=" << best->chiplets << " at "
+              << fmtFixed(best->node_nm.raw(), 0) << " nm\n";
+    Table t({"Chiplets", "Node [nm]", "Die [mm2]", "Cost [$]",
+             "Link [W]", "Gain/$"});
+    t.addRow({std::to_string(best->chiplets),
+              fmtFixed(best->node_nm.raw(), 0),
+              fmtFixed(best->result.die_area.raw(), 1),
+              fmtFixed(best->result.cost.raw(), 2),
+              fmtFixed(best->result.link_power.raw(), 2),
+              fmtGain(best->gain_per_usd, 2)});
+    t.print(std::cout);
+    return 0;
 }
 
 } // namespace
@@ -69,6 +204,8 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     std::string kernel = argv[1];
+    if (kernel == "--chiplets")
+        return chipletMain(argc, argv);
     if (!kernel.empty() && kernel[0] == '-')
         return usage();
     bool eff_target = false;

@@ -173,6 +173,9 @@ stage "ctest (chaos)" run_ctest "${prefix}" "chaos"
 # label must be selected by name in some gate stage).
 stage "ctest (lint|golden|cli_version)" \
     run_ctest "${prefix}" "lint|golden|cli_version"
+# The chiplet label (yield/cost model, partitioned sweep,
+# cost-normalized CSR golden) named the same way for the same reason.
+stage "ctest (chiplet)" run_ctest "${prefix}" "chiplet"
 stage "lint --strict (dfg+model+source+iface)" \
     "${prefix}/tools/accelwall-lint" --strict
 stage "lint --strict (iface)" \
@@ -205,7 +208,8 @@ stage "asan loadgen smoke" bash tests/serve/run_loadgen_smoke.sh \
 stage "asan bench smoke" "${prefix}-asan/tools/accelwall-bench" \
     --repeat 2 --grid quick \
     --sweep-out "${prefix}-asan/BENCH_sweep.smoke.json" \
-    --serve-out "${prefix}-asan/BENCH_serve.smoke.json"
+    --serve-out "${prefix}-asan/BENCH_serve.smoke.json" \
+    --chiplet-out "${prefix}-asan/BENCH_chiplet.smoke.json"
 
 if command -v clang++ >/dev/null 2>&1; then
     # Thread-safety analysis only exists under Clang; the top-level
